@@ -1,0 +1,30 @@
+//! Ablation bench (DESIGN.md): cost and behaviour of RBM-IM variants
+//! (class-balanced loss off, persistence off, coarse batches, fixed window)
+//! on a Scenario-3 stream with a single drifting minority class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbm_im_harness::ablation::{run_ablation, AblationVariant};
+use rbm_im_streams::scenarios::ScenarioConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rbm");
+    group.sample_size(10);
+    let scenario = ScenarioConfig {
+        num_features: 10,
+        num_classes: 4,
+        length: 3_000,
+        imbalance_ratio: 20.0,
+        n_drifts: 1,
+        seed: 21,
+        ..Default::default()
+    };
+    for variant in AblationVariant::all() {
+        group.bench_with_input(BenchmarkId::new("scenario3", variant.name()), &variant, |b, &v| {
+            b.iter(|| run_ablation(v, &scenario, 1, 2_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8 bench: local-drift sweep (1 vs all classes drifting) for RBM-IM
+//! and one skew-insensitive baseline, on a compact Scenario-3 stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbm_im_harness::detectors::DetectorKind;
+use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_streams::scenarios::{scenario3, ScenarioConfig};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_local_drift");
+    group.sample_size(10);
+    let config = ScenarioConfig {
+        num_features: 10,
+        num_classes: 5,
+        length: 3_000,
+        imbalance_ratio: 50.0,
+        n_drifts: 1,
+        seed: 7,
+        ..Default::default()
+    };
+    let run = RunConfig { metric_window: 500, ..Default::default() };
+    for classes_with_drift in [1usize, 5] {
+        for detector in [DetectorKind::RbmIm, DetectorKind::DdmOci] {
+            let id = format!("{}-k{}", detector.name(), classes_with_drift);
+            group.bench_with_input(BenchmarkId::new("scenario3", id), &(), |b, _| {
+                b.iter(|| {
+                    let mut scenario = scenario3(&config, classes_with_drift);
+                    run_detector_on_stream(scenario.stream.as_mut(), detector, &run)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

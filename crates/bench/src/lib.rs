@@ -1,0 +1,1 @@
+//! Criterion benchmark crate: all targets live under `benches/`, one per paper table/figure (see DESIGN.md §4).

@@ -1,0 +1,534 @@
+//! Adaptive Cost-Sensitive Perceptron Tree (CSPT).
+//!
+//! Re-implementation of the behaviourally relevant design of "Cost-sensitive
+//! perceptron decision trees for imbalanced drifting data streams"
+//! (Krawczyk & Skryjomski, ECML-PKDD 2017), the base classifier used by the
+//! paper for every drift detector:
+//!
+//! * an incremental (Hoeffding-style) decision tree over numeric features;
+//! * leaves maintain per-class Gaussian attribute summaries and split on the
+//!   information-gain of candidate thresholds once a grace period has
+//!   elapsed and the Hoeffding bound separates the best split from the
+//!   runner-up;
+//! * each leaf carries a **cost-sensitive perceptron** (see
+//!   [`crate::perceptron`]) that produces the actual predictions, with
+//!   misclassification costs derived from the inverse class frequencies
+//!   observed at that leaf;
+//! * the tree is *adaptive through its drift detector*: the harness calls
+//!   [`OnlineClassifier::reset`] when the attached detector fires, which
+//!   rebuilds the tree from scratch (the paper's subtree-replacement
+//!   strategy reduced to its essential effect — discarding the outdated
+//!   model when told to).
+
+use crate::naive_bayes::GaussianNaiveBayes;
+use crate::perceptron::CostSensitivePerceptron;
+use crate::OnlineClassifier;
+use rbm_im_streams::Instance;
+
+/// Configuration of the perceptron tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsptConfig {
+    /// Number of instances a leaf accumulates between split attempts.
+    pub grace_period: u64,
+    /// Maximum tree depth (root = 0). Limits memory on fast streams.
+    pub max_depth: usize,
+    /// Hoeffding-bound confidence parameter δ.
+    pub split_confidence: f64,
+    /// Tie threshold: if the gain advantage of the best split is below the
+    /// Hoeffding bound but the bound itself is below this value, split
+    /// anyway (standard Hoeffding-tree tie breaking).
+    pub tie_threshold: f64,
+    /// Learning rate of the leaf perceptrons.
+    pub learning_rate: f64,
+    /// Number of candidate thresholds evaluated per feature.
+    pub candidate_thresholds: usize,
+}
+
+impl Default for CsptConfig {
+    fn default() -> Self {
+        CsptConfig {
+            grace_period: 200,
+            max_depth: 6,
+            split_confidence: 1e-6,
+            tie_threshold: 0.05,
+            learning_rate: 0.05,
+            candidate_thresholds: 8,
+        }
+    }
+}
+
+/// Per-class Gaussian summary of one feature at a leaf.
+#[derive(Debug, Clone, Default)]
+struct AttributeObserver {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AttributeObserver {
+    fn update(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.count < 2 {
+            1e-3
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt().max(1e-6)
+        }
+    }
+
+    /// Probability mass of this class's Gaussian falling below `threshold`
+    /// (used to estimate the class distribution in each split branch).
+    fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.5;
+        }
+        let z = (threshold - self.mean) / (self.std() * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf_approx(z))
+    }
+}
+
+/// Abramowitz–Stegun erf approximation (sufficient for split scoring; the
+/// exact special function lives in `rbm-im-stats`, which this crate does not
+/// need to depend on for just this heuristic).
+fn erf_approx(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A leaf of the perceptron tree.
+#[derive(Debug, Clone)]
+struct Leaf {
+    perceptron: CostSensitivePerceptron,
+    /// Naive Bayes fallback for the cold-start phase of a fresh leaf.
+    naive_bayes: GaussianNaiveBayes,
+    /// `observers[class][feature]` Gaussian summaries for split scoring.
+    observers: Vec<Vec<AttributeObserver>>,
+    class_counts: Vec<u64>,
+    seen: u64,
+    seen_since_split_attempt: u64,
+    depth: usize,
+}
+
+impl Leaf {
+    fn new(num_features: usize, num_classes: usize, depth: usize, config: &CsptConfig) -> Self {
+        Leaf {
+            perceptron: CostSensitivePerceptron::new(num_features, num_classes, config.learning_rate),
+            naive_bayes: GaussianNaiveBayes::new(num_features, num_classes),
+            observers: vec![vec![AttributeObserver::default(); num_features]; num_classes],
+            class_counts: vec![0; num_classes],
+            seen: 0,
+            seen_since_split_attempt: 0,
+            depth,
+        }
+    }
+
+    fn entropy(counts: &[u64]) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for &c in counts {
+            if c > 0 {
+                let p = c as f64 / total as f64;
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Information gain of splitting at `threshold` on `feature`, estimated
+    /// from the per-class Gaussian observers.
+    fn split_gain(&self, feature: usize, threshold: f64) -> f64 {
+        let num_classes = self.class_counts.len();
+        let mut left = vec![0u64; num_classes];
+        let mut right = vec![0u64; num_classes];
+        for c in 0..num_classes {
+            let n = self.class_counts[c];
+            if n == 0 {
+                continue;
+            }
+            let frac = self.observers[c][feature].fraction_below(threshold);
+            let l = (frac * n as f64).round() as u64;
+            left[c] = l.min(n);
+            right[c] = n - left[c];
+        }
+        let n_left: u64 = left.iter().sum();
+        let n_right: u64 = right.iter().sum();
+        let total = n_left + n_right;
+        if total == 0 || n_left == 0 || n_right == 0 {
+            return 0.0;
+        }
+        let parent = Self::entropy(&self.class_counts);
+        let child = (n_left as f64 / total as f64) * Self::entropy(&left)
+            + (n_right as f64 / total as f64) * Self::entropy(&right);
+        parent - child
+    }
+
+    /// Best `(feature, threshold, gain)` plus the runner-up gain.
+    fn best_split(&self, config: &CsptConfig) -> Option<(usize, f64, f64, f64)> {
+        let num_features = self.observers[0].len();
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut second_gain = 0.0;
+        for feature in 0..num_features {
+            // Candidate thresholds span the observed range of the feature.
+            let (lo, hi) = self.observers.iter().filter(|o| o[feature].count > 0).fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), o| (lo.min(o[feature].min), hi.max(o[feature].max)),
+            );
+            if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-9 {
+                continue;
+            }
+            for k in 1..=config.candidate_thresholds {
+                let threshold = lo + (hi - lo) * k as f64 / (config.candidate_thresholds + 1) as f64;
+                let gain = self.split_gain(feature, threshold);
+                match best {
+                    Some((_, _, g)) if gain <= g => {
+                        if gain > second_gain {
+                            second_gain = gain;
+                        }
+                    }
+                    _ => {
+                        if let Some((_, _, g)) = best {
+                            second_gain = g;
+                        }
+                        best = Some((feature, threshold, gain));
+                    }
+                }
+            }
+        }
+        best.map(|(f, t, g)| (f, t, g, second_gain))
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Box<Leaf>),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+/// The Adaptive Cost-Sensitive Perceptron Tree.
+#[derive(Debug, Clone)]
+pub struct CostSensitivePerceptronTree {
+    num_features: usize,
+    num_classes: usize,
+    config: CsptConfig,
+    root: Node,
+    instances_seen: u64,
+    n_splits: u64,
+    n_resets: u64,
+}
+
+impl CostSensitivePerceptronTree {
+    /// Creates an untrained tree with the default configuration.
+    pub fn new(num_features: usize, num_classes: usize) -> Self {
+        Self::with_config(num_features, num_classes, CsptConfig::default())
+    }
+
+    /// Creates an untrained tree with an explicit configuration.
+    pub fn with_config(num_features: usize, num_classes: usize, config: CsptConfig) -> Self {
+        assert!(num_features > 0);
+        assert!(num_classes >= 2);
+        CostSensitivePerceptronTree {
+            num_features,
+            num_classes,
+            config,
+            root: Node::Leaf(Box::new(Leaf::new(num_features, num_classes, 0, &config))),
+            instances_seen: 0,
+            n_splits: 0,
+            n_resets: 0,
+        }
+    }
+
+    /// Number of split nodes created so far.
+    pub fn split_count(&self) -> u64 {
+        self.n_splits
+    }
+
+    /// Number of times the tree has been reset (drift adaptations).
+    pub fn reset_count(&self) -> u64 {
+        self.n_resets
+    }
+
+    /// Total instances learned.
+    pub fn instances_seen(&self) -> u64 {
+        self.instances_seen
+    }
+
+    /// Depth of the current tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.root)
+    }
+
+    fn find_leaf<'a>(node: &'a Node, features: &[f64]) -> &'a Leaf {
+        match node {
+            Node::Leaf(leaf) => leaf,
+            Node::Split { feature, threshold, left, right } => {
+                if features[*feature] <= *threshold {
+                    Self::find_leaf(left, features)
+                } else {
+                    Self::find_leaf(right, features)
+                }
+            }
+        }
+    }
+
+    fn learn_recursive(
+        node: &mut Node,
+        instance: &Instance,
+        num_features: usize,
+        num_classes: usize,
+        config: &CsptConfig,
+        n_splits: &mut u64,
+    ) {
+        match node {
+            Node::Split { feature, threshold, left, right } => {
+                let child = if instance.features[*feature] <= *threshold { left } else { right };
+                Self::learn_recursive(child, instance, num_features, num_classes, config, n_splits);
+            }
+            Node::Leaf(leaf) => {
+                leaf.perceptron.learn(instance);
+                leaf.naive_bayes.learn(instance);
+                leaf.class_counts[instance.class] += 1;
+                for (f, obs) in instance.features.iter().zip(leaf.observers[instance.class].iter_mut()) {
+                    obs.update(*f);
+                }
+                leaf.seen += 1;
+                leaf.seen_since_split_attempt += 1;
+
+                if leaf.seen_since_split_attempt >= config.grace_period && leaf.depth < config.max_depth {
+                    leaf.seen_since_split_attempt = 0;
+                    // Only consider splitting once at least two classes are
+                    // present — otherwise the leaf is already pure.
+                    let present = leaf.class_counts.iter().filter(|&&c| c > 0).count();
+                    if present < 2 {
+                        return;
+                    }
+                    if let Some((feature, threshold, gain, second)) = leaf.best_split(config) {
+                        // Hoeffding bound over the information-gain range
+                        // log2(num_classes).
+                        let range = (num_classes as f64).log2();
+                        let epsilon = (range * range * (1.0 / config.split_confidence).ln()
+                            / (2.0 * leaf.seen as f64))
+                            .sqrt();
+                        let advantage = gain - second;
+                        if gain > 1e-3 && (advantage > epsilon || epsilon < config.tie_threshold) {
+                            let depth = leaf.depth;
+                            let left = Node::Leaf(Box::new(Leaf::new(num_features, num_classes, depth + 1, config)));
+                            let right = Node::Leaf(Box::new(Leaf::new(num_features, num_classes, depth + 1, config)));
+                            *n_splits += 1;
+                            *node = Node::Split {
+                                feature,
+                                threshold,
+                                left: Box::new(left),
+                                right: Box::new(right),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl OnlineClassifier for CostSensitivePerceptronTree {
+    fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.num_features, "feature count mismatch");
+        let leaf = Self::find_leaf(&self.root, features);
+        // Cold leaves (right after a split or a reset) fall back to their
+        // naive Bayes model, which is usable from the first instance.
+        if leaf.seen < 30 {
+            leaf.naive_bayes.predict_scores(features)
+        } else {
+            leaf.perceptron.predict_scores(features)
+        }
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        assert_eq!(instance.features.len(), self.num_features, "feature count mismatch");
+        assert!(instance.class < self.num_classes, "class out of range");
+        self.instances_seen += 1;
+        let config = self.config;
+        Self::learn_recursive(
+            &mut self.root,
+            instance,
+            self.num_features,
+            self.num_classes,
+            &config,
+            &mut self.n_splits,
+        );
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn reset(&mut self) {
+        self.root = Node::Leaf(Box::new(Leaf::new(self.num_features, self.num_classes, 0, &self.config)));
+        self.n_resets += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbm_im_streams::generators::{GaussianMixtureGenerator, RandomRbfGenerator};
+    use rbm_im_streams::imbalance::{ImbalanceProfile, ImbalancedStream};
+    use rbm_im_streams::StreamExt;
+
+    fn prequential_accuracy(classifier: &mut dyn OnlineClassifier, instances: &[Instance]) -> f64 {
+        let mut correct = 0usize;
+        for inst in instances {
+            if classifier.predict(&inst.features) == inst.class {
+                correct += 1;
+            }
+            classifier.learn(inst);
+        }
+        correct as f64 / instances.len() as f64
+    }
+
+    #[test]
+    fn learns_mixture_stream_better_than_chance() {
+        let mut stream = GaussianMixtureGenerator::balanced(8, 5, 2, 5);
+        let data = stream.take_instances(6000);
+        let mut tree = CostSensitivePerceptronTree::new(8, 5);
+        let acc = prequential_accuracy(&mut tree, &data);
+        assert!(acc > 0.5, "prequential accuracy {acc} (chance = 0.2)");
+        assert_eq!(tree.instances_seen(), 6000);
+    }
+
+    #[test]
+    fn splits_happen_on_structured_data() {
+        let mut stream = RandomRbfGenerator::new(6, 4, 2, 0.0, 9);
+        let data = stream.take_instances(8000);
+        let mut tree = CostSensitivePerceptronTree::new(6, 4);
+        for inst in &data {
+            tree.learn(inst);
+        }
+        assert!(tree.split_count() > 0, "tree should have grown at least one split");
+        assert!(tree.depth() >= 1);
+        assert!(tree.depth() <= CsptConfig::default().max_depth);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let config = CsptConfig { max_depth: 1, grace_period: 50, ..Default::default() };
+        let mut stream = RandomRbfGenerator::new(5, 3, 2, 0.0, 13);
+        let data = stream.take_instances(5000);
+        let mut tree = CostSensitivePerceptronTree::with_config(5, 3, config);
+        for inst in &data {
+            tree.learn(inst);
+        }
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn handles_imbalanced_stream_without_collapsing_to_majority() {
+        let base = GaussianMixtureGenerator::balanced(6, 3, 1, 21);
+        let profile = ImbalanceProfile::Static(vec![50.0, 5.0, 1.0]);
+        let mut stream = ImbalancedStream::new(base, profile, 3);
+        let data = stream.take_instances(8000);
+        let mut tree = CostSensitivePerceptronTree::new(6, 3);
+        // Prequential pass.
+        let mut minority_correct = 0usize;
+        let mut minority_total = 0usize;
+        for inst in &data {
+            let pred = tree.predict(&inst.features);
+            if inst.class == 2 {
+                minority_total += 1;
+                if pred == 2 {
+                    minority_correct += 1;
+                }
+            }
+            tree.learn(inst);
+        }
+        assert!(minority_total > 20, "stream should contain minority instances");
+        let recall = minority_correct as f64 / minority_total as f64;
+        assert!(recall > 0.2, "minority recall should be well above zero, got {recall}");
+    }
+
+    #[test]
+    fn reset_discards_learned_structure() {
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 2);
+        let data = stream.take_instances(4000);
+        let mut tree = CostSensitivePerceptronTree::new(5, 3);
+        for inst in &data {
+            tree.learn(inst);
+        }
+        tree.reset();
+        assert_eq!(tree.reset_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        // After a reset predictions come from an untrained leaf (uniform-ish).
+        let scores = tree.predict_scores(&data[0].features);
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.2, "fresh tree should be close to uniform, got {scores:?}");
+    }
+
+    #[test]
+    fn adaptation_after_drift_improves_over_frozen_model() {
+        // Train on one concept, then switch concepts: a tree that is reset at
+        // the drift recovers faster than one that never adapts.
+        let mut concept_a = RandomRbfGenerator::new(6, 4, 2, 0.0, 100);
+        let mut concept_b = RandomRbfGenerator::new(6, 4, 2, 0.0, 200);
+        let before = concept_a.take_instances(4000);
+        let after = concept_b.take_instances(4000);
+
+        let mut frozen = CostSensitivePerceptronTree::new(6, 4);
+        let mut adaptive = CostSensitivePerceptronTree::new(6, 4);
+        for inst in &before {
+            frozen.learn(inst);
+            adaptive.learn(inst);
+        }
+        adaptive.reset(); // simulated perfect drift signal
+        let acc_frozen = prequential_accuracy(&mut frozen, &after);
+        let acc_adaptive = prequential_accuracy(&mut adaptive, &after);
+        assert!(
+            acc_adaptive > acc_frozen - 0.02,
+            "adaptive {acc_adaptive} should not trail frozen {acc_frozen}"
+        );
+    }
+
+    #[test]
+    fn scores_are_probability_vectors() {
+        let mut tree = CostSensitivePerceptronTree::new(4, 6);
+        tree.learn(&Instance::new(vec![0.1, 0.2, 0.3, 0.4], 2));
+        let s = tree.predict_scores(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(s.len(), 6);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_feature_count_rejected() {
+        CostSensitivePerceptronTree::new(3, 2).predict_scores(&[1.0]);
+    }
+}

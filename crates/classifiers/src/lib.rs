@@ -1,0 +1,123 @@
+//! Online classifiers for multi-class imbalanced data streams.
+//!
+//! The paper drives every drift detector through the same base classifier —
+//! **Adaptive Cost-Sensitive Perceptron Trees** (Krawczyk & Skryjomski,
+//! ECML-PKDD 2017) — so that differences in Table III are attributable to
+//! the detector alone. The original implementation is not open source; this
+//! crate re-implements its behaviourally relevant design (an incremental
+//! decision tree whose leaves hold cost-sensitive perceptrons, with costs
+//! derived from inverse class frequencies and adaptation gated by an
+//! external drift detector) plus two simpler online learners used in tests,
+//! examples and ablations:
+//!
+//! * [`perceptron::CostSensitivePerceptron`] — flat multi-class perceptron
+//!   with skew-aware update scaling,
+//! * [`naive_bayes::GaussianNaiveBayes`] — incremental Gaussian NB,
+//! * [`cspt::CostSensitivePerceptronTree`] — the paper's base classifier.
+//!
+//! All classifiers implement [`OnlineClassifier`]: test-then-train usage is
+//! `predict` / `predict_scores` followed by `learn`.
+
+#![warn(missing_docs)]
+
+pub mod cspt;
+pub mod naive_bayes;
+pub mod perceptron;
+
+pub use cspt::CostSensitivePerceptronTree;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use perceptron::CostSensitivePerceptron;
+
+use rbm_im_streams::Instance;
+
+/// An online (incremental) classifier operating on a fixed schema.
+pub trait OnlineClassifier {
+    /// Predicts the class of an instance (ties broken toward the lower
+    /// class index).
+    fn predict(&self, features: &[f64]) -> usize {
+        let scores = self.predict_scores(features);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores must not be NaN"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Per-class scores (higher = more likely); need not be normalized but
+    /// every implementation here returns values in `[0, 1]` summing to 1 so
+    /// they can feed the pmAUC estimator directly.
+    fn predict_scores(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Learns from one labeled instance.
+    fn learn(&mut self, instance: &Instance);
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// Resets the model to its untrained state — called by the harness when
+    /// the attached drift detector signals a change (the adaptation
+    /// mechanism the paper's base classifier relies on).
+    fn reset(&mut self);
+}
+
+/// Normalizes a non-negative score vector into a probability distribution;
+/// degenerate vectors become uniform. Exposed for custom classifier
+/// implementations that produce unnormalized scores.
+pub fn normalize_scores(mut scores: Vec<f64>) -> Vec<f64> {
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min < 0.0 {
+        for s in scores.iter_mut() {
+            *s -= min;
+        }
+    }
+    let total: f64 = scores.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        let n = scores.len().max(1);
+        return vec![1.0 / n as f64; n];
+    }
+    for s in scores.iter_mut() {
+        *s /= total;
+    }
+    scores
+}
+
+/// Softmax with max-subtraction for numerical stability.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        let n = scores.len().max(1);
+        return vec![1.0 / n as f64; n];
+    }
+    exps.iter().map(|e| e / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_scores_handles_degenerate_inputs() {
+        assert_eq!(normalize_scores(vec![0.0, 0.0]), vec![0.5, 0.5]);
+        let n = normalize_scores(vec![1.0, 3.0]);
+        assert!((n[0] - 0.25).abs() < 1e-12);
+        assert!((n[1] - 0.75).abs() < 1e-12);
+        // Negative values are shifted before normalization.
+        let n = normalize_scores(vec![-1.0, 1.0]);
+        assert_eq!(n[0], 0.0);
+        assert_eq!(n[1], 1.0);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution_and_order_preserving() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        // Large values do not overflow.
+        let s = softmax(&[1000.0, 1001.0]);
+        assert!(s[1] > s[0]);
+        assert!(s.iter().all(|p| p.is_finite()));
+    }
+}

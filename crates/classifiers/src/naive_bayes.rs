@@ -1,0 +1,197 @@
+//! Incremental Gaussian naive Bayes.
+//!
+//! Maintains per-class, per-feature running means and variances (Welford)
+//! and class priors; prediction combines the Gaussian log-likelihoods with
+//! the log prior. Used as a lightweight reference learner in tests,
+//! examples and ablations, and as the leaf fallback in the perceptron tree
+//! before a leaf's perceptron has seen enough data.
+
+use crate::{softmax, OnlineClassifier};
+use rbm_im_streams::Instance;
+
+/// Running Gaussian summary of one feature for one class.
+#[derive(Debug, Clone, Default)]
+struct FeatureStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl FeatureStats {
+    fn update(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.count < 2 {
+            1.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(1e-6)
+        }
+    }
+
+    fn log_likelihood(&self, x: f64) -> f64 {
+        let var = self.variance();
+        let diff = x - self.mean;
+        -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var)
+    }
+}
+
+/// Incremental Gaussian naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    num_features: usize,
+    num_classes: usize,
+    /// `stats[class][feature]`.
+    stats: Vec<Vec<FeatureStats>>,
+    class_counts: Vec<u64>,
+    total: u64,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an untrained model.
+    pub fn new(num_features: usize, num_classes: usize) -> Self {
+        assert!(num_features > 0);
+        assert!(num_classes >= 2);
+        GaussianNaiveBayes {
+            num_features,
+            num_classes,
+            stats: vec![vec![FeatureStats::default(); num_features]; num_classes],
+            class_counts: vec![0; num_classes],
+            total: 0,
+        }
+    }
+
+    /// Number of training instances seen so far.
+    pub fn total_seen(&self) -> u64 {
+        self.total
+    }
+
+    /// Laplace-smoothed log prior of a class.
+    fn log_prior(&self, class: usize) -> f64 {
+        ((self.class_counts[class] + 1) as f64 / (self.total + self.num_classes as u64) as f64).ln()
+    }
+}
+
+impl OnlineClassifier for GaussianNaiveBayes {
+    fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.num_features, "feature count mismatch");
+        let log_posteriors: Vec<f64> = (0..self.num_classes)
+            .map(|c| {
+                let mut lp = self.log_prior(c);
+                if self.class_counts[c] > 0 {
+                    for (f, stat) in features.iter().zip(self.stats[c].iter()) {
+                        lp += stat.log_likelihood(*f);
+                    }
+                }
+                lp
+            })
+            .collect();
+        softmax(&log_posteriors)
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        assert_eq!(instance.features.len(), self.num_features, "feature count mismatch");
+        assert!(instance.class < self.num_classes, "class out of range");
+        self.class_counts[instance.class] += 1;
+        self.total += 1;
+        for (f, stat) in instance.features.iter().zip(self.stats[instance.class].iter_mut()) {
+            stat.update(*f);
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn reset(&mut self) {
+        *self = GaussianNaiveBayes::new(self.num_features, self.num_classes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbm_im_streams::generators::GaussianMixtureGenerator;
+    use rbm_im_streams::StreamExt;
+
+    #[test]
+    fn separable_gaussians_are_classified_correctly() {
+        let mut nb = GaussianNaiveBayes::new(2, 2);
+        for i in 0..500 {
+            let t = i as f64 * 0.001;
+            nb.learn(&Instance::new(vec![0.0 + t, 0.0 - t], 0));
+            nb.learn(&Instance::new(vec![10.0 + t, 10.0 - t], 1));
+        }
+        assert_eq!(nb.predict(&[0.5, -0.5]), 0);
+        assert_eq!(nb.predict(&[9.5, 10.5]), 1);
+        assert_eq!(nb.total_seen(), 1000);
+    }
+
+    #[test]
+    fn untrained_model_is_uniform() {
+        let nb = GaussianNaiveBayes::new(3, 4);
+        let s = nb.predict_scores(&[1.0, 2.0, 3.0]);
+        for p in &s {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_favor_likely_class() {
+        let mut nb = GaussianNaiveBayes::new(1, 2);
+        for _ in 0..200 {
+            nb.learn(&Instance::new(vec![0.0], 0));
+            nb.learn(&Instance::new(vec![5.0], 1));
+        }
+        let s = nb.predict_scores(&[0.1]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[0] > 0.95);
+    }
+
+    #[test]
+    fn priors_reflect_imbalance() {
+        let mut nb = GaussianNaiveBayes::new(1, 2);
+        // Identical feature distributions; only the prior differs 9:1.
+        for i in 0..1000 {
+            let class = if i % 10 == 0 { 1 } else { 0 };
+            nb.learn(&Instance::new(vec![(i % 7) as f64], class));
+        }
+        let s = nb.predict_scores(&[3.0]);
+        assert!(s[0] > s[1], "majority prior should dominate when likelihoods are equal");
+    }
+
+    #[test]
+    fn mixture_stream_accuracy_is_reasonable() {
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 11);
+        let train = stream.take_instances(3000);
+        let test = stream.take_instances(500);
+        let mut nb = GaussianNaiveBayes::new(5, 3);
+        for inst in &train {
+            nb.learn(inst);
+        }
+        let acc = test.iter().filter(|i| nb.predict(&i.features) == i.class).count() as f64 / test.len() as f64;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn reset_restores_uniform_predictions() {
+        let mut nb = GaussianNaiveBayes::new(2, 2);
+        for _ in 0..100 {
+            nb.learn(&Instance::new(vec![1.0, 1.0], 0));
+        }
+        nb.reset();
+        let s = nb.predict_scores(&[1.0, 1.0]);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert_eq!(nb.total_seen(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn class_out_of_range_rejected() {
+        GaussianNaiveBayes::new(2, 2).learn(&Instance::new(vec![0.0, 0.0], 7));
+    }
+}

@@ -1,0 +1,233 @@
+//! Cost-sensitive multi-class online perceptron.
+//!
+//! One weight vector (plus bias) per class; prediction is the arg-max of the
+//! linear scores, reported through a softmax so downstream AUC computation
+//! receives calibrated-ish probabilities. The update is the classical
+//! multi-class perceptron rule (promote the true class, demote the predicted
+//! one on mistakes) with the learning rate scaled by the inverse relative
+//! frequency of the true class — the cost-sensitivity mechanism used in the
+//! paper's base classifier to avoid drowning minority classes.
+
+use crate::{softmax, OnlineClassifier};
+use rbm_im_streams::Instance;
+
+/// Flat cost-sensitive multi-class perceptron.
+#[derive(Debug, Clone)]
+pub struct CostSensitivePerceptron {
+    num_features: usize,
+    num_classes: usize,
+    learning_rate: f64,
+    /// `weights[class][feature]`.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    /// Per-class instance counts, used to derive misclassification costs.
+    class_counts: Vec<u64>,
+    total_seen: u64,
+    /// Per-feature running mean/variance used for online standardization
+    /// (streams such as Agrawal mix features of wildly different scales).
+    feature_means: Vec<f64>,
+    feature_m2: Vec<f64>,
+}
+
+impl CostSensitivePerceptron {
+    /// Creates an untrained perceptron.
+    pub fn new(num_features: usize, num_classes: usize, learning_rate: f64) -> Self {
+        assert!(num_features > 0);
+        assert!(num_classes >= 2);
+        assert!(learning_rate > 0.0);
+        CostSensitivePerceptron {
+            num_features,
+            num_classes,
+            learning_rate,
+            weights: vec![vec![0.0; num_features]; num_classes],
+            biases: vec![0.0; num_classes],
+            class_counts: vec![0; num_classes],
+            total_seen: 0,
+            feature_means: vec![0.0; num_features],
+            feature_m2: vec![0.0; num_features],
+        }
+    }
+
+    /// Misclassification cost of a class: `total / (num_classes * count)`,
+    /// clamped to `[1, 100]`. Rare classes get proportionally larger
+    /// updates; an unseen class gets the maximum cost.
+    pub fn class_cost(&self, class: usize) -> f64 {
+        if self.total_seen == 0 || self.class_counts[class] == 0 {
+            return 100.0;
+        }
+        let cost = self.total_seen as f64 / (self.num_classes as f64 * self.class_counts[class] as f64);
+        cost.clamp(1.0, 100.0)
+    }
+
+    fn standardize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if self.total_seen < 2 {
+                    return x;
+                }
+                let var = self.feature_m2[i] / (self.total_seen - 1) as f64;
+                if var <= 1e-12 {
+                    x - self.feature_means[i]
+                } else {
+                    (x - self.feature_means[i]) / var.sqrt()
+                }
+            })
+            .collect()
+    }
+
+    fn update_feature_stats(&mut self, features: &[f64]) {
+        self.total_seen += 1;
+        for (i, &x) in features.iter().enumerate() {
+            let delta = x - self.feature_means[i];
+            self.feature_means[i] += delta / self.total_seen as f64;
+            self.feature_m2[i] += delta * (x - self.feature_means[i]);
+        }
+    }
+
+    fn raw_scores(&self, standardized: &[f64]) -> Vec<f64> {
+        (0..self.num_classes)
+            .map(|c| {
+                self.biases[c]
+                    + self.weights[c].iter().zip(standardized.iter()).map(|(w, x)| w * x).sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+impl OnlineClassifier for CostSensitivePerceptron {
+    fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.num_features, "feature count mismatch");
+        softmax(&self.raw_scores(&self.standardize(features)))
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        assert_eq!(instance.features.len(), self.num_features, "feature count mismatch");
+        assert!(instance.class < self.num_classes, "class out of range");
+        self.update_feature_stats(&instance.features);
+        self.class_counts[instance.class] += 1;
+
+        let x = self.standardize(&instance.features);
+        let scores = self.raw_scores(&x);
+        let predicted = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN scores"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if predicted != instance.class {
+            let eta = self.learning_rate * self.class_cost(instance.class);
+            for (w, xi) in self.weights[instance.class].iter_mut().zip(x.iter()) {
+                *w += eta * xi;
+            }
+            self.biases[instance.class] += eta;
+            for (w, xi) in self.weights[predicted].iter_mut().zip(x.iter()) {
+                *w -= eta * xi;
+            }
+            self.biases[predicted] -= eta;
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn reset(&mut self) {
+        *self = CostSensitivePerceptron::new(self.num_features, self.num_classes, self.learning_rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rbm_im_streams::generators::GaussianMixtureGenerator;
+    use rbm_im_streams::StreamExt;
+
+    fn train_and_score(classifier: &mut dyn OnlineClassifier, train: &[Instance], test: &[Instance]) -> f64 {
+        for inst in train {
+            classifier.learn(inst);
+        }
+        let correct = test.iter().filter(|i| classifier.predict(&i.features) == i.class).count();
+        correct as f64 / test.len() as f64
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let make = |rng: &mut StdRng, n: usize| -> Vec<Instance> {
+            (0..n)
+                .map(|_| {
+                    let class = rng.gen_range(0..3usize);
+                    let offset = class as f64 * 5.0;
+                    let features = vec![offset + rng.gen_range(-1.0..1.0), offset + rng.gen_range(-1.0..1.0)];
+                    Instance::new(features, class)
+                })
+                .collect()
+        };
+        let train = make(&mut rng, 2000);
+        let test = make(&mut rng, 500);
+        let mut p = CostSensitivePerceptron::new(2, 3, 0.1);
+        let acc = train_and_score(&mut p, &train, &test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_gaussian_mixture_stream() {
+        let mut stream = GaussianMixtureGenerator::balanced(6, 4, 1, 9);
+        let train = stream.take_instances(3000);
+        let test = stream.take_instances(500);
+        let mut p = CostSensitivePerceptron::new(6, 4, 0.05);
+        let acc = train_and_score(&mut p, &train, &test);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let mut p = CostSensitivePerceptron::new(3, 4, 0.1);
+        p.learn(&Instance::new(vec![1.0, 2.0, 3.0], 1));
+        let s = p.predict_scores(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 4);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn minority_class_cost_is_larger() {
+        let mut p = CostSensitivePerceptron::new(2, 2, 0.1);
+        for i in 0..100 {
+            let class = if i % 10 == 0 { 1 } else { 0 };
+            p.learn(&Instance::new(vec![i as f64, 0.0], class));
+        }
+        assert!(p.class_cost(1) > p.class_cost(0));
+        assert!(p.class_cost(0) >= 1.0);
+        assert!(p.class_cost(1) <= 100.0);
+    }
+
+    #[test]
+    fn unseen_class_has_max_cost() {
+        let p = CostSensitivePerceptron::new(2, 3, 0.1);
+        assert_eq!(p.class_cost(2), 100.0);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut p = CostSensitivePerceptron::new(2, 2, 0.1);
+        for i in 0..200 {
+            p.learn(&Instance::new(vec![i as f64, 1.0], (i % 2) as usize));
+        }
+        p.reset();
+        let s = p.predict_scores(&[5.0, 1.0]);
+        assert!((s[0] - 0.5).abs() < 1e-12, "reset model must be uninformative, got {s:?}");
+        assert_eq!(p.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn feature_count_mismatch_rejected() {
+        let p = CostSensitivePerceptron::new(3, 2, 0.1);
+        p.predict_scores(&[1.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! CUSUM — cumulative sum change detector.
+//!
+//! The one-sided CUSUM over the error indicator: the statistic
+//! `g_t = max(0, g_{t-1} + (x_t − μ̂ − δ))` accumulates evidence of an error
+//! increase; `g_t > λ` signals a change. A close sibling of
+//! [`crate::page_hinkley::PageHinkley`], included because it is a standard
+//! baseline in the drift-detection literature surveyed by the paper.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`Cusum`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumConfig {
+    /// Minimum number of instances before the test activates.
+    pub min_instances: u64,
+    /// Slack value δ subtracted from each deviation.
+    pub delta: f64,
+    /// Detection threshold λ.
+    pub lambda: f64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        CusumConfig { min_instances: 30, delta: 0.05, lambda: 20.0 }
+    }
+}
+
+/// The one-sided CUSUM detector.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    config: CusumConfig,
+    n: u64,
+    mean: f64,
+    g: f64,
+    state: DetectorState,
+}
+
+impl Cusum {
+    /// Creates a CUSUM detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(CusumConfig::default())
+    }
+
+    /// Creates a CUSUM detector with an explicit configuration.
+    pub fn with_config(config: CusumConfig) -> Self {
+        assert!(config.lambda > 0.0);
+        Cusum { config, n: 0, mean: 0.0, g: 0.0, state: DetectorState::Stable }
+    }
+
+    /// Current value of the CUSUM statistic.
+    pub fn statistic(&self) -> f64 {
+        self.g
+    }
+}
+
+impl Default for Cusum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Cusum {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.g = (self.g + x - self.mean - self.config.delta).max(0.0);
+        self.state = if self.n >= self.config.min_instances && self.g > self.config.lambda {
+            let c = self.config;
+            *self = Cusum::with_config(c);
+            DetectorState::Drift
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Cusum::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "CUSUM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Cusum::new(), 500, 2);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Cusum::new(), 2);
+    }
+
+    #[test]
+    fn statistic_stays_near_zero_when_stable() {
+        let mut cusum = Cusum::new();
+        run_error_stream(&mut cusum, 0.2, 0.2, usize::MAX, 3000, 4);
+        assert!(cusum.statistic() < 5.0, "statistic should hover near zero, got {}", cusum.statistic());
+    }
+
+    #[test]
+    fn improvement_does_not_trigger() {
+        assert!(run_error_stream(&mut Cusum::new(), 0.5, 0.05, 3000, 6000, 6).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut cusum = Cusum::new();
+        run_error_stream(&mut cusum, 0.1, 0.7, 500, 2000, 2);
+        cusum.reset();
+        assert_eq!(cusum.state(), DetectorState::Stable);
+        assert_eq!(cusum.statistic(), 0.0);
+        assert_eq!(cusum.name(), "CUSUM");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_lambda_rejected() {
+        Cusum::with_config(CusumConfig { lambda: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,178 @@
+//! DDM — Drift Detection Method (Gama et al., SBIA 2004).
+//!
+//! Monitors the running error rate `p_i` and its standard deviation
+//! `s_i = sqrt(p_i (1 − p_i) / i)`. The minimum of `p_i + s_i` over the
+//! current concept is remembered; a warning is raised when
+//! `p_i + s_i >= p_min + 2 s_min` and a drift when
+//! `p_i + s_i >= p_min + 3 s_min`.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`Ddm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdmConfig {
+    /// Number of instances to observe before the test activates.
+    pub min_instances: u64,
+    /// Warning threshold multiplier (standard value 2.0).
+    pub warning_level: f64,
+    /// Drift threshold multiplier (standard value 3.0).
+    pub drift_level: f64,
+}
+
+impl Default for DdmConfig {
+    fn default() -> Self {
+        DdmConfig { min_instances: 30, warning_level: 2.0, drift_level: 3.0 }
+    }
+}
+
+/// The DDM detector.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    config: DdmConfig,
+    n: u64,
+    errors: u64,
+    p_min: f64,
+    s_min: f64,
+    state: DetectorState,
+}
+
+impl Ddm {
+    /// Creates a DDM detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DdmConfig::default())
+    }
+
+    /// Creates a DDM detector with an explicit configuration.
+    pub fn with_config(config: DdmConfig) -> Self {
+        assert!(config.drift_level > config.warning_level, "drift level must exceed warning level");
+        Ddm { config, n: 0, errors: 0, p_min: f64::MAX, s_min: f64::MAX, state: DetectorState::Stable }
+    }
+
+    /// Current error-rate estimate.
+    pub fn error_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.n as f64
+        }
+    }
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Ddm {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        self.n += 1;
+        if !observation.correct {
+            self.errors += 1;
+        }
+        if self.n < self.config.min_instances {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let p = self.error_rate();
+        let s = (p * (1.0 - p) / self.n as f64).sqrt();
+        if p + s < self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        self.state = if p + s >= self.p_min + self.config.drift_level * self.s_min {
+            // Reset the concept statistics so monitoring restarts cleanly.
+            self.n = 0;
+            self.errors = 0;
+            self.p_min = f64::MAX;
+            self.s_min = f64::MAX;
+            DetectorState::Drift
+        } else if p + s >= self.p_min + self.config.warning_level * self.s_min {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Ddm::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "DDM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Ddm::new(), 800, 2);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Ddm::new(), 1);
+    }
+
+    #[test]
+    fn warning_precedes_drift() {
+        // Feed a slowly degrading error stream manually and look for a
+        // warning before the drift fires.
+        let mut ddm = Ddm::new();
+        let features = [0.0];
+        let mut saw_warning_before_drift = false;
+        let mut warned = false;
+        for i in 0..5000usize {
+            let p = if i < 2000 { 0.05 } else { 0.05 + (i - 2000) as f64 * 0.0004 };
+            let wrong = ((i as f64 * 0.754_877).fract()) < p;
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: if wrong { 1 } else { 0 },
+                correct: !wrong,
+            };
+            match ddm.update(&obs) {
+                DetectorState::Warning => warned = true,
+                DetectorState::Drift => {
+                    saw_warning_before_drift = warned;
+                    break;
+                }
+                DetectorState::Stable => {}
+            }
+        }
+        assert!(saw_warning_before_drift, "DDM should pass through the warning zone before drifting");
+    }
+
+    #[test]
+    fn error_improvement_does_not_trigger() {
+        let detections = run_error_stream(&mut Ddm::new(), 0.5, 0.1, 3000, 6000, 3);
+        assert!(detections.is_empty(), "an error decrease must not raise DDM alarms: {detections:?}");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut ddm = Ddm::new();
+        run_error_stream(&mut ddm, 0.1, 0.6, 1000, 3000, 9);
+        ddm.reset();
+        assert_eq!(ddm.state(), DetectorState::Stable);
+        assert_eq!(ddm.error_rate(), 0.0);
+        assert_eq!(ddm.name(), "DDM");
+        assert!(!ddm.per_class_detection());
+        assert!(ddm.drifted_classes().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        Ddm::with_config(DdmConfig { warning_level: 3.0, drift_level: 2.0, min_instances: 30 });
+    }
+}

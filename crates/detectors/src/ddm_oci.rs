@@ -1,0 +1,249 @@
+//! DDM-OCI — Drift Detection Method for Online Class Imbalance (Wang et
+//! al.; the per-class-recall monitoring detector the paper uses as its
+//! second skew-insensitive reference).
+//!
+//! DDM-OCI applies the DDM-style test not to the overall error rate but to
+//! the **time-decayed recall of every class separately**. A significant drop
+//! of any class's recall below its historical best signals a drift and
+//! reports the affected class — this makes the detector skew-aware (minority
+//! recall changes are not drowned by the majority) and gives it limited
+//! per-class attribution.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`DdmOci`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdmOciConfig {
+    /// Number of classes of the monitored problem.
+    pub num_classes: usize,
+    /// Time-decay factor for the per-class recall estimates.
+    pub decay: f64,
+    /// Warning threshold multiplier.
+    pub warning_level: f64,
+    /// Drift threshold multiplier.
+    pub drift_level: f64,
+    /// Minimum number of observations of a class before its recall is
+    /// trusted.
+    pub min_class_instances: u64,
+}
+
+impl DdmOciConfig {
+    /// Default configuration for `num_classes` classes. The threshold
+    /// multipliers apply to the standard deviation of the *decayed* recall
+    /// estimate, which is far smaller than a plain Bernoulli deviation, so
+    /// they are set higher than DDM's classical 2/3.
+    pub fn for_classes(num_classes: usize) -> Self {
+        DdmOciConfig { num_classes, decay: 0.995, warning_level: 4.0, drift_level: 6.0, min_class_instances: 30 }
+    }
+}
+
+/// Per-class recall monitoring state.
+#[derive(Debug, Clone)]
+struct ClassMonitor {
+    /// Raw (uncorrected) exponentially decayed recall accumulator.
+    recall_raw: f64,
+    /// Bias-corrected time-decayed recall estimate.
+    recall: f64,
+    /// Number of instances of this class seen in the current concept.
+    seen: u64,
+    /// Best (maximum) decayed recall observed in the current concept.
+    best_recall: f64,
+}
+
+impl ClassMonitor {
+    fn new() -> Self {
+        ClassMonitor { recall_raw: 0.0, recall: 0.0, seen: 0, best_recall: 0.0 }
+    }
+}
+
+/// The DDM-OCI detector.
+#[derive(Debug, Clone)]
+pub struct DdmOci {
+    config: DdmOciConfig,
+    monitors: Vec<ClassMonitor>,
+    state: DetectorState,
+    drifted: Vec<usize>,
+}
+
+impl DdmOci {
+    /// Creates a DDM-OCI detector.
+    pub fn new(config: DdmOciConfig) -> Self {
+        assert!(config.num_classes >= 2);
+        assert!(config.decay > 0.0 && config.decay < 1.0);
+        assert!(config.drift_level > config.warning_level);
+        DdmOci {
+            monitors: (0..config.num_classes).map(|_| ClassMonitor::new()).collect(),
+            state: DetectorState::Stable,
+            drifted: Vec::new(),
+            config,
+        }
+    }
+
+    /// Current time-decayed recall estimate of a class.
+    pub fn class_recall(&self, class: usize) -> f64 {
+        self.monitors[class].recall
+    }
+}
+
+impl DriftDetector for DdmOci {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let class = observation.true_class.min(self.config.num_classes - 1);
+        let correct = if observation.correct { 1.0 } else { 0.0 };
+        let monitor = &mut self.monitors[class];
+        monitor.seen += 1;
+        // Bias-corrected exponentially decayed recall: the raw EWMA starts
+        // at zero, so dividing by (1 - decay^seen) removes the cold-start
+        // bias that would otherwise lock the "best recall" at 1.0.
+        monitor.recall_raw =
+            self.config.decay * monitor.recall_raw + (1.0 - self.config.decay) * correct;
+        let correction = 1.0 - self.config.decay.powi(monitor.seen as i32);
+        monitor.recall = if correction > 0.0 { monitor.recall_raw / correction } else { correct };
+
+        if monitor.seen < self.config.min_class_instances {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        // Standard deviation of the exponentially decayed recall estimate:
+        // an EWMA with smoothing (1 − decay) over Bernoulli observations has
+        // variance p(1-p) · (1-decay)/(1+decay) at steady state; before the
+        // steady state the finite-sample variance p(1-p)/seen dominates, so
+        // the larger of the two is used.
+        let p = monitor.recall.clamp(0.0, 1.0);
+        let weight_factor = (1.0 - self.config.decay) / (1.0 + self.config.decay);
+        let variance_factor = weight_factor.max(1.0 / monitor.seen as f64);
+        let std = (p * (1.0 - p) * variance_factor).sqrt().max(1e-6);
+
+        if monitor.recall > monitor.best_recall {
+            monitor.best_recall = monitor.recall;
+        }
+
+        let drop = monitor.best_recall - monitor.recall;
+        let warning_threshold = self.config.warning_level * std;
+        let drift_threshold = self.config.drift_level * std;
+        self.state = if drop > drift_threshold {
+            self.drifted = vec![class];
+            // Reset only the affected class's concept statistics.
+            self.monitors[class] = ClassMonitor::new();
+            DetectorState::Drift
+        } else if drop > warning_threshold {
+            DetectorState::Warning
+        } else {
+            if self.state == DetectorState::Drift {
+                self.drifted.clear();
+            }
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = DdmOci::new(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "DDM-OCI"
+    }
+
+    fn per_class_detection(&self) -> bool {
+        true
+    }
+
+    fn drifted_classes(&self) -> Vec<usize> {
+        self.drifted.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated imbalanced stream: class 0 dominates; at `change_point` the
+    /// recall of `affected_class` collapses from ~0.9 to ~0.2.
+    fn run_recall_drop(
+        detector: &mut DdmOci,
+        affected_class: usize,
+        change_point: usize,
+        length: usize,
+    ) -> Vec<(usize, Vec<usize>)> {
+        let features = [0.0];
+        let mut detections = Vec::new();
+        for i in 0..length {
+            let true_class = if i % 20 < 17 { 0 } else { 1 + (i % 3).min(1) };
+            let base_recall = if true_class == affected_class && i >= change_point { 0.2 } else { 0.9 };
+            let correct = ((i as f64 * 0.754_877).fract()) < base_recall;
+            let obs = Observation {
+                features: &features,
+                true_class,
+                predicted_class: if correct { true_class } else { (true_class + 1) % 3 },
+                correct,
+            };
+            if detector.update(&obs).is_drift() {
+                detections.push((i, detector.drifted_classes()));
+            }
+        }
+        detections
+    }
+
+    #[test]
+    fn detects_minority_recall_collapse_and_attributes_class() {
+        let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
+        let detections = run_recall_drop(&mut d, 2, 20_000, 40_000);
+        let hit = detections.iter().find(|(p, _)| *p >= 20_000);
+        assert!(hit.is_some(), "DDM-OCI must notice the minority recall collapse: {detections:?}");
+        let (_, classes) = hit.unwrap();
+        assert_eq!(classes, &vec![2], "the affected class must be attributed");
+        assert!(d.per_class_detection());
+    }
+
+    #[test]
+    fn detects_majority_recall_collapse_too() {
+        let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
+        let detections = run_recall_drop(&mut d, 0, 10_000, 20_000);
+        assert!(detections.iter().any(|(p, _)| *p >= 10_000), "majority collapse missed: {detections:?}");
+    }
+
+    #[test]
+    fn stable_recalls_stay_quiet() {
+        let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
+        let detections = run_recall_drop(&mut d, 0, usize::MAX, 30_000);
+        assert!(detections.len() <= 1, "stable stream should be (nearly) alarm free: {detections:?}");
+    }
+
+    #[test]
+    fn recall_estimates_are_tracked() {
+        let mut d = DdmOci::new(DdmOciConfig::for_classes(2));
+        let features = [0.0];
+        for i in 0..2000 {
+            let correct = i % 10 != 0; // 90% recall for class 0
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: if correct { 0 } else { 1 },
+                correct,
+            };
+            d.update(&obs);
+        }
+        assert!((d.class_recall(0) - 0.9).abs() < 0.1, "recall estimate {}", d.class_recall(0));
+        assert_eq!(d.class_recall(1), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
+        run_recall_drop(&mut d, 1, 500, 3000);
+        d.reset();
+        assert_eq!(d.state(), DetectorState::Stable);
+        assert!(d.drifted_classes().is_empty());
+        assert_eq!(d.name(), "DDM-OCI");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_decay_rejected() {
+        DdmOci::new(DdmOciConfig { decay: 1.0, ..DdmOciConfig::for_classes(3) });
+    }
+}

@@ -1,0 +1,139 @@
+//! ECDD — EWMA for Concept Drift Detection (Ross et al., 2012).
+//!
+//! Monitors the classifier error through an exponentially weighted moving
+//! average `Z_t`. Under a stable error rate `p̂`, `Z_t` has standard
+//! deviation `σ_Z = sqrt(λ / (2 − λ) · p̂ (1 − p̂))`; control limits at
+//! `p̂ + L·σ_Z` give the warning and drift thresholds.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`Ecdd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcddConfig {
+    /// EWMA smoothing factor λ.
+    pub lambda: f64,
+    /// Warning control-limit multiplier.
+    pub warning_limit: f64,
+    /// Drift control-limit multiplier.
+    pub drift_limit: f64,
+    /// Minimum number of instances before the test activates.
+    pub min_instances: u64,
+}
+
+impl Default for EcddConfig {
+    fn default() -> Self {
+        EcddConfig { lambda: 0.05, warning_limit: 3.0, drift_limit: 4.0, min_instances: 50 }
+    }
+}
+
+/// The ECDD (EWMA) drift detector.
+#[derive(Debug, Clone)]
+pub struct Ecdd {
+    config: EcddConfig,
+    n: u64,
+    errors: u64,
+    z: f64,
+    state: DetectorState,
+}
+
+impl Ecdd {
+    /// Creates an ECDD detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EcddConfig::default())
+    }
+
+    /// Creates an ECDD detector with an explicit configuration.
+    pub fn with_config(config: EcddConfig) -> Self {
+        assert!(config.lambda > 0.0 && config.lambda <= 1.0);
+        assert!(config.drift_limit > config.warning_limit);
+        Ecdd { config, n: 0, errors: 0, z: 0.0, state: DetectorState::Stable }
+    }
+}
+
+impl Default for Ecdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Ecdd {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        self.n += 1;
+        if !observation.correct {
+            self.errors += 1;
+        }
+        let lambda = self.config.lambda;
+        // Raw EWMA starts at zero; the bias correction below rescales it so
+        // early values are unbiased estimates of the error rate.
+        self.z = lambda * x + (1.0 - lambda) * self.z;
+        if self.n < self.config.min_instances {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let p = self.errors as f64 / self.n as f64;
+        let correction = 1.0 - (1.0 - lambda).powi(self.n as i32);
+        let z_corrected = if correction > 0.0 { self.z / correction } else { self.z };
+        // Finite-sample EWMA standard deviation (Ross et al., 2012).
+        let finite = 1.0 - (1.0 - lambda).powi(2 * self.n as i32);
+        let sigma_z = (lambda / (2.0 - lambda) * finite * p * (1.0 - p)).sqrt();
+        self.state = if sigma_z > 0.0 && z_corrected > p + self.config.drift_limit * sigma_z {
+            let c = self.config;
+            *self = Ecdd::with_config(c);
+            DetectorState::Drift
+        } else if sigma_z > 0.0 && z_corrected > p + self.config.warning_limit * sigma_z {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Ecdd::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "ECDD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Ecdd::new(), 500, 3);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Ecdd::new(), 3);
+    }
+
+    #[test]
+    fn improvement_does_not_trigger() {
+        assert!(run_error_stream(&mut Ecdd::new(), 0.5, 0.05, 3000, 6000, 11).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut e = Ecdd::new();
+        run_error_stream(&mut e, 0.1, 0.7, 500, 2000, 12);
+        e.reset();
+        assert_eq!(e.state(), DetectorState::Stable);
+        assert_eq!(e.name(), "ECDD");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_limits_rejected() {
+        Ecdd::with_config(EcddConfig { warning_limit: 3.0, drift_limit: 2.0, ..Default::default() });
+    }
+}

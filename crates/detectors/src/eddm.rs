@@ -1,0 +1,193 @@
+//! EDDM — Early Drift Detection Method (Baena-García et al., 2006).
+//!
+//! Instead of the error *rate*, EDDM monitors the *distance between
+//! consecutive errors* (in number of instances). When the data is stable
+//! the mean distance grows; a drift shrinks it. The detector tracks the
+//! running mean `p'` and standard deviation `s'` of the distance and
+//! remembers the maximum of `p' + 2s'`; warnings / drifts are raised when
+//! `(p' + 2s') / (p'_max + 2s'_max)` falls below the `alpha` / `beta`
+//! thresholds (0.85 / 0.75 by default).
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`Eddm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EddmConfig {
+    /// Warning threshold α (ratio below which a warning is raised).
+    pub alpha: f64,
+    /// Drift threshold β (ratio below which a drift is raised).
+    pub beta: f64,
+    /// Minimum number of errors before the test activates.
+    pub min_errors: u64,
+}
+
+impl Default for EddmConfig {
+    fn default() -> Self {
+        EddmConfig { alpha: 0.85, beta: 0.75, min_errors: 30 }
+    }
+}
+
+/// The EDDM detector.
+#[derive(Debug, Clone)]
+pub struct Eddm {
+    config: EddmConfig,
+    instance_counter: u64,
+    last_error_at: Option<u64>,
+    n_errors: u64,
+    mean_distance: f64,
+    m2_distance: f64,
+    max_score: f64,
+    state: DetectorState,
+}
+
+impl Eddm {
+    /// Creates an EDDM detector with the default thresholds.
+    pub fn new() -> Self {
+        Self::with_config(EddmConfig::default())
+    }
+
+    /// Creates an EDDM detector with explicit thresholds.
+    pub fn with_config(config: EddmConfig) -> Self {
+        assert!(config.beta < config.alpha, "beta (drift) must be below alpha (warning)");
+        Eddm {
+            config,
+            instance_counter: 0,
+            last_error_at: None,
+            n_errors: 0,
+            mean_distance: 0.0,
+            m2_distance: 0.0,
+            max_score: f64::MIN_POSITIVE,
+            state: DetectorState::Stable,
+        }
+    }
+}
+
+impl Default for Eddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Eddm {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        self.instance_counter += 1;
+        if observation.correct {
+            // EDDM only updates on errors.
+            if !matches!(self.state, DetectorState::Drift) {
+                // Keep warning state sticky until contradicted by the score.
+                return self.state;
+            }
+            return self.state;
+        }
+
+        if let Some(last) = self.last_error_at {
+            let distance = (self.instance_counter - last) as f64;
+            self.n_errors += 1;
+            let delta = distance - self.mean_distance;
+            self.mean_distance += delta / self.n_errors as f64;
+            self.m2_distance += delta * (distance - self.mean_distance);
+        }
+        self.last_error_at = Some(self.instance_counter);
+
+        if self.n_errors < self.config.min_errors {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let std = if self.n_errors < 2 {
+            0.0
+        } else {
+            (self.m2_distance / (self.n_errors - 1) as f64).sqrt()
+        };
+        let score = self.mean_distance + 2.0 * std;
+        if score > self.max_score {
+            self.max_score = score;
+        }
+        let ratio = score / self.max_score;
+        self.state = if ratio < self.config.beta {
+            // Restart concept statistics after signalling.
+            self.n_errors = 0;
+            self.mean_distance = 0.0;
+            self.m2_distance = 0.0;
+            self.max_score = f64::MIN_POSITIVE;
+            self.last_error_at = None;
+            DetectorState::Drift
+        } else if ratio < self.config.alpha {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Eddm::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "EDDM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_gradual_error_increase() {
+        // EDDM is designed for gradual changes: error rate creeps from 2% to
+        // 30% over a long window.
+        let mut eddm = Eddm::new();
+        let features = [0.0];
+        let mut detected_at = None;
+        for i in 0..30_000usize {
+            let p = if i < 10_000 { 0.02 } else { (0.02 + (i - 10_000) as f64 * 0.00005).min(0.3) };
+            let wrong = ((i as f64 * 0.618_034).fract()) < p;
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: if wrong { 1 } else { 0 },
+                correct: !wrong,
+            };
+            if eddm.update(&obs).is_drift() && i > 10_000 {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        assert!(detected_at.is_some(), "EDDM should react to a gradual error increase");
+    }
+
+    #[test]
+    fn detects_abrupt_change_as_well() {
+        let detections = run_error_stream(&mut Eddm::new(), 0.05, 0.5, 5000, 10_000, 11);
+        assert!(
+            detections.iter().any(|&p| (5000..6500).contains(&p)),
+            "EDDM should fire after the abrupt change, detections: {detections:?}"
+        );
+    }
+
+    #[test]
+    fn tolerates_stationary_stream() {
+        // EDDM is known to be more alarm-happy than DDM; allow a few.
+        assert_quiet_on_stationary(&mut Eddm::new(), 6);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut eddm = Eddm::new();
+        run_error_stream(&mut eddm, 0.05, 0.5, 1000, 4000, 2);
+        eddm.reset();
+        assert_eq!(eddm.state(), DetectorState::Stable);
+        assert_eq!(eddm.name(), "EDDM");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_thresholds_rejected() {
+        Eddm::with_config(EddmConfig { alpha: 0.9, beta: 0.95, min_errors: 30 });
+    }
+}

@@ -1,0 +1,170 @@
+//! FHDDM — Fast Hoeffding Drift Detection Method (Pesaranghader & Viktor,
+//! ECML-PKDD 2016).
+//!
+//! Keeps a sliding window of the most recent `n` prediction outcomes and
+//! monitors the probability of *correct* predictions within it. The maximum
+//! windowed accuracy observed during the current concept is remembered; when
+//! the current windowed accuracy falls below that maximum by more than the
+//! Hoeffding bound `ε = sqrt(ln(1/δ) / (2n))`, a drift is signalled.
+
+use crate::{DetectorState, DriftDetector, Observation};
+use rbm_im_stats::hoeffding::hoeffding_bound;
+use std::collections::VecDeque;
+
+/// Configuration of [`Fhddm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FhddmConfig {
+    /// Sliding-window size (25–100 in the paper's grid).
+    pub window_size: usize,
+    /// Allowed error δ of the Hoeffding bound.
+    pub delta: f64,
+}
+
+impl Default for FhddmConfig {
+    fn default() -> Self {
+        FhddmConfig { window_size: 100, delta: 1e-6 }
+    }
+}
+
+/// The FHDDM detector.
+#[derive(Debug, Clone)]
+pub struct Fhddm {
+    config: FhddmConfig,
+    window: VecDeque<bool>,
+    correct_in_window: usize,
+    max_accuracy: f64,
+    epsilon: f64,
+    state: DetectorState,
+}
+
+impl Fhddm {
+    /// Creates an FHDDM detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(FhddmConfig::default())
+    }
+
+    /// Creates an FHDDM detector with an explicit configuration.
+    pub fn with_config(config: FhddmConfig) -> Self {
+        assert!(config.window_size >= 10, "window must hold at least 10 outcomes");
+        assert!(config.delta > 0.0 && config.delta < 1.0);
+        let epsilon = hoeffding_bound(1.0, config.delta, config.window_size as u64);
+        Fhddm {
+            config,
+            window: VecDeque::with_capacity(config.window_size),
+            correct_in_window: 0,
+            max_accuracy: 0.0,
+            epsilon,
+            state: DetectorState::Stable,
+        }
+    }
+
+    /// The Hoeffding threshold ε in use.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Default for Fhddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Fhddm {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        if self.window.len() == self.config.window_size {
+            if let Some(old) = self.window.pop_front() {
+                if old {
+                    self.correct_in_window -= 1;
+                }
+            }
+        }
+        self.window.push_back(observation.correct);
+        if observation.correct {
+            self.correct_in_window += 1;
+        }
+        if self.window.len() < self.config.window_size {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let accuracy = self.correct_in_window as f64 / self.config.window_size as f64;
+        if accuracy > self.max_accuracy {
+            self.max_accuracy = accuracy;
+        }
+        self.state = if self.max_accuracy - accuracy > self.epsilon {
+            self.window.clear();
+            self.correct_in_window = 0;
+            self.max_accuracy = 0.0;
+            DetectorState::Drift
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Fhddm::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "FHDDM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Fhddm::new(), 400, 2);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Fhddm::new(), 2);
+    }
+
+    #[test]
+    fn epsilon_matches_hoeffding_formula() {
+        let f = Fhddm::with_config(FhddmConfig { window_size: 25, delta: 0.000001 });
+        let expected = (1.0_f64 / 0.000001).ln() / (2.0 * 25.0);
+        assert!((f.epsilon() - expected.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_window_reacts_faster() {
+        let mut small = Fhddm::with_config(FhddmConfig { window_size: 25, delta: 1e-4 });
+        let mut large = Fhddm::with_config(FhddmConfig { window_size: 300, delta: 1e-4 });
+        let d_small = run_error_stream(&mut small, 0.05, 0.6, 2000, 4000, 5);
+        let d_large = run_error_stream(&mut large, 0.05, 0.6, 2000, 4000, 5);
+        let delay = |d: &Vec<usize>| d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX);
+        assert!(delay(&d_small) <= delay(&d_large), "small window should not be slower");
+        assert!(delay(&d_small) < 300);
+    }
+
+    #[test]
+    fn improvement_does_not_trigger() {
+        assert!(run_error_stream(&mut Fhddm::new(), 0.5, 0.05, 3000, 6000, 7).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut f = Fhddm::new();
+        run_error_stream(&mut f, 0.05, 0.6, 500, 2000, 1);
+        f.reset();
+        assert_eq!(f.state(), DetectorState::Stable);
+        assert_eq!(f.name(), "FHDDM");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_window_rejected() {
+        Fhddm::with_config(FhddmConfig { window_size: 2, delta: 0.01 });
+    }
+}

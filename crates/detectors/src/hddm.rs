@@ -1,0 +1,295 @@
+//! HDDM — drift detection based on Hoeffding's / McDiarmid's bounds
+//! (Frías-Blanco et al., TKDE 2015).
+//!
+//! Two variants:
+//!
+//! * [`HddmA`] (A-test) compares the running mean of the full sequence with
+//!   the minimum running mean observed so far using Hoeffding bounds on the
+//!   difference of averages — sensitive to abrupt changes;
+//! * [`HddmW`] (W-test) uses EWMA-weighted means and a McDiarmid bound,
+//!   which weights recent instances more heavily — sensitive to gradual
+//!   changes.
+
+use crate::{DetectorState, DriftDetector, Observation};
+use rbm_im_stats::hoeffding::{hoeffding_bound_two_means, mcdiarmid_bound};
+use rbm_im_stats::online::Ewma;
+
+/// Configuration shared by both HDDM variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HddmConfig {
+    /// Confidence for the drift test.
+    pub drift_confidence: f64,
+    /// Confidence for the warning test (larger than `drift_confidence`).
+    pub warning_confidence: f64,
+}
+
+impl Default for HddmConfig {
+    fn default() -> Self {
+        HddmConfig { drift_confidence: 0.0001, warning_confidence: 0.001 }
+    }
+}
+
+/// HDDM with the averages test (abrupt drifts).
+#[derive(Debug, Clone)]
+pub struct HddmA {
+    config: HddmConfig,
+    total: f64,
+    n: u64,
+    /// Running statistics at the historical minimum of the bounded mean.
+    cut_total: f64,
+    cut_n: u64,
+    state: DetectorState,
+}
+
+impl HddmA {
+    /// Creates an HDDM-A detector with the default confidences.
+    pub fn new() -> Self {
+        Self::with_config(HddmConfig::default())
+    }
+
+    /// Creates an HDDM-A detector with explicit confidences.
+    pub fn with_config(config: HddmConfig) -> Self {
+        assert!(config.drift_confidence < config.warning_confidence, "drift confidence must be stricter");
+        HddmA { config, total: 0.0, n: 0, cut_total: 0.0, cut_n: 0, state: DetectorState::Stable }
+    }
+
+    fn mean(total: f64, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+impl Default for HddmA {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for HddmA {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        self.total += x;
+        self.n += 1;
+
+        // Track the cut point with the lowest upper-bounded mean so far.
+        let epsilon_cut = (1.0 / (2.0 * self.n as f64) * (1.0 / self.config.drift_confidence).ln()).sqrt();
+        let current_bound = Self::mean(self.total, self.n) + epsilon_cut;
+        let cut_bound = if self.cut_n == 0 {
+            f64::MAX
+        } else {
+            Self::mean(self.cut_total, self.cut_n)
+                + (1.0 / (2.0 * self.cut_n as f64) * (1.0 / self.config.drift_confidence).ln()).sqrt()
+        };
+        if current_bound < cut_bound {
+            self.cut_total = self.total;
+            self.cut_n = self.n;
+        }
+
+        // Compare the post-cut segment with the pre-cut segment.
+        self.state = if self.cut_n > 0 && self.n > self.cut_n {
+            let recent_n = self.n - self.cut_n;
+            let recent_mean = (self.total - self.cut_total) / recent_n as f64;
+            let cut_mean = Self::mean(self.cut_total, self.cut_n);
+            let diff = recent_mean - cut_mean;
+            let eps_drift = hoeffding_bound_two_means(1.0, self.config.drift_confidence, self.cut_n, recent_n);
+            let eps_warn = hoeffding_bound_two_means(1.0, self.config.warning_confidence, self.cut_n, recent_n);
+            if diff > eps_drift {
+                let state = DetectorState::Drift;
+                self.total = 0.0;
+                self.n = 0;
+                self.cut_total = 0.0;
+                self.cut_n = 0;
+                state
+            } else if diff > eps_warn {
+                DetectorState::Warning
+            } else {
+                DetectorState::Stable
+            }
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = HddmA::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "HDDM-A"
+    }
+}
+
+/// HDDM with EWMA-weighted means and a McDiarmid bound (gradual drifts).
+#[derive(Debug, Clone)]
+pub struct HddmW {
+    config: HddmConfig,
+    lambda: f64,
+    ewma: Ewma,
+    /// EWMA snapshot at the historical minimum.
+    cut_value: f64,
+    cut_sum_sq: f64,
+    has_cut: bool,
+    state: DetectorState,
+}
+
+impl HddmW {
+    /// Creates an HDDM-W detector with EWMA factor `lambda` (0.05 in the
+    /// original paper) and default confidences.
+    pub fn new(lambda: f64) -> Self {
+        Self::with_config(lambda, HddmConfig::default())
+    }
+
+    /// Creates an HDDM-W detector with explicit configuration.
+    pub fn with_config(lambda: f64, config: HddmConfig) -> Self {
+        assert!(config.drift_confidence < config.warning_confidence);
+        HddmW {
+            config,
+            lambda,
+            ewma: Ewma::new(lambda),
+            cut_value: f64::MAX,
+            cut_sum_sq: 0.0,
+            has_cut: false,
+            state: DetectorState::Stable,
+        }
+    }
+}
+
+impl DriftDetector for HddmW {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        self.ewma.update(x);
+        let value = self.ewma.value();
+        let sum_sq = self.ewma.sum_squared_weights();
+
+        // Warm-up: the EWMA needs a few time constants before its value and
+        // weight sum are representative; testing earlier produces spurious
+        // minima locked in by cold-start noise.
+        let warmup = (2.0 / self.lambda).ceil() as u64;
+        if self.ewma.count() < warmup {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let bound = mcdiarmid_bound(sum_sq, self.config.drift_confidence);
+        if !self.has_cut || value + bound < self.cut_value + mcdiarmid_bound(self.cut_sum_sq, self.config.drift_confidence) {
+            self.cut_value = value;
+            self.cut_sum_sq = sum_sq;
+            self.has_cut = true;
+        }
+
+        let diff = value - self.cut_value;
+        let eps_drift = mcdiarmid_bound(sum_sq + self.cut_sum_sq, self.config.drift_confidence);
+        let eps_warn = mcdiarmid_bound(sum_sq + self.cut_sum_sq, self.config.warning_confidence);
+        self.state = if diff > eps_drift {
+            self.ewma.reset();
+            self.cut_value = f64::MAX;
+            self.cut_sum_sq = 0.0;
+            self.has_cut = false;
+            DetectorState::Drift
+        } else if diff > eps_warn {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = HddmW::with_config(self.lambda, self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "HDDM-W"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn hddm_a_detects_abrupt_change() {
+        assert_detects_abrupt_change(&mut HddmA::new(), 600, 2);
+    }
+
+    #[test]
+    fn hddm_a_quiet_on_stationary() {
+        assert_quiet_on_stationary(&mut HddmA::new(), 2);
+    }
+
+    #[test]
+    fn hddm_w_detects_abrupt_change() {
+        assert_detects_abrupt_change(&mut HddmW::new(0.05), 800, 2);
+    }
+
+    #[test]
+    fn hddm_w_quiet_on_stationary() {
+        assert_quiet_on_stationary(&mut HddmW::new(0.05), 2);
+    }
+
+    #[test]
+    fn hddm_w_catches_gradual_change() {
+        let mut detector = HddmW::new(0.05);
+        let features = [0.0];
+        let mut detected = false;
+        for i in 0..20_000usize {
+            let p = if i < 8_000 { 0.1 } else { (0.1 + (i - 8_000) as f64 * 0.00004).min(0.45) };
+            let wrong = ((i as f64 * 0.917_152).fract()) < p;
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: if wrong { 1 } else { 0 },
+                correct: !wrong,
+            };
+            if detector.update(&obs).is_drift() && i > 8_000 {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "HDDM-W should catch a gradual error increase");
+    }
+
+    #[test]
+    fn improvement_does_not_trigger_either_variant() {
+        // An error-rate *decrease* must never be reported as drift. (Alarms
+        // during the maximal-variance p=0.5 warm-up phase are a separate,
+        // false-alarm concern covered by the stationary tests.)
+        let a = run_error_stream(&mut HddmA::new(), 0.5, 0.1, 3000, 6000, 3);
+        assert!(a.iter().all(|&p| p < 3000), "HDDM-A fired after the improvement: {a:?}");
+        let w = run_error_stream(&mut HddmW::new(0.05), 0.5, 0.1, 3000, 6000, 3);
+        assert!(w.iter().all(|&p| p < 3000), "HDDM-W fired after the improvement: {w:?}");
+    }
+
+    #[test]
+    fn resets_restore_initial_state() {
+        let mut a = HddmA::new();
+        run_error_stream(&mut a, 0.1, 0.6, 1000, 3000, 8);
+        a.reset();
+        assert_eq!(a.state(), DetectorState::Stable);
+        assert_eq!(a.name(), "HDDM-A");
+        let mut w = HddmW::new(0.05);
+        run_error_stream(&mut w, 0.1, 0.6, 1000, 3000, 8);
+        w.reset();
+        assert_eq!(w.state(), DetectorState::Stable);
+        assert_eq!(w.name(), "HDDM-W");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_confidences_rejected() {
+        HddmA::with_config(HddmConfig { drift_confidence: 0.01, warning_confidence: 0.001 });
+    }
+}
+

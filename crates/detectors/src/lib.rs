@@ -1,0 +1,257 @@
+//! Concept drift detectors.
+//!
+//! This crate implements the reference detectors the paper compares RBM-IM
+//! against (Tab. II), plus the broader families discussed in its Related
+//! Works section, all behind one [`DriftDetector`] trait:
+//!
+//! **Standard (error-monitoring) detectors**
+//! * [`ddm::Ddm`] — Drift Detection Method (Gama et al., 2004)
+//! * [`eddm::Eddm`] — Early Drift Detection Method
+//! * [`rddm::Rddm`] — Reactive Drift Detection Method
+//! * [`adwin::Adwin`] — Adaptive Windowing (Bifet & Gavaldà, 2007)
+//! * [`hddm::HddmA`] / [`hddm::HddmW`] — Hoeffding-bound detectors
+//! * [`fhddm::Fhddm`] — Fast Hoeffding Drift Detection Method
+//! * [`wstd::Wstd`] — Wilcoxon rank-sum test drift detector
+//! * [`page_hinkley::PageHinkley`], [`cusum::Cusum`], [`ecdd::Ecdd`] —
+//!   classical sequential change detectors
+//!
+//! **Skew-insensitive detectors**
+//! * [`perfsim::PerfSim`] — monitors the whole confusion matrix
+//! * [`ddm_oci::DdmOci`] — monitors per-class recall (online class
+//!   imbalance)
+//!
+//! The trainable RBM-IM detector (the paper's contribution) lives in the
+//! `rbm-im` crate and implements the same trait, so the harness can swap
+//! detectors freely.
+//!
+//! # Interface
+//!
+//! Detectors are fed one [`Observation`] per test-then-train step: the true
+//! class, the predicted class and whether the prediction was correct (plus
+//! the raw feature vector, which only trainable detectors use). They answer
+//! with a [`DetectorState`] and expose per-class drift attribution when they
+//! support it (`drifted_classes`).
+
+#![warn(missing_docs)]
+
+pub mod adwin;
+pub mod cusum;
+pub mod ddm;
+pub mod ddm_oci;
+pub mod ecdd;
+pub mod eddm;
+pub mod fhddm;
+pub mod hddm;
+pub mod page_hinkley;
+pub mod perfsim;
+pub mod rddm;
+pub mod wstd;
+
+pub use adwin::Adwin;
+pub use cusum::Cusum;
+pub use ddm::Ddm;
+pub use ddm_oci::DdmOci;
+pub use ecdd::Ecdd;
+pub use eddm::Eddm;
+pub use fhddm::Fhddm;
+pub use hddm::{HddmA, HddmW};
+pub use page_hinkley::PageHinkley;
+pub use perfsim::PerfSim;
+pub use rddm::Rddm;
+pub use wstd::Wstd;
+
+/// One monitored prediction step, assembled by the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation<'a> {
+    /// Feature vector of the tested instance (used by trainable detectors).
+    pub features: &'a [f64],
+    /// True class of the instance.
+    pub true_class: usize,
+    /// Class predicted by the monitored classifier.
+    pub predicted_class: usize,
+    /// Whether the prediction was correct (`predicted_class == true_class`).
+    pub correct: bool,
+}
+
+impl<'a> Observation<'a> {
+    /// Builds an observation, deriving `correct` from the two labels.
+    pub fn new(features: &'a [f64], true_class: usize, predicted_class: usize) -> Self {
+        Observation { features, true_class, predicted_class, correct: true_class == predicted_class }
+    }
+}
+
+/// State reported by a detector after each observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorState {
+    /// No evidence of change.
+    Stable,
+    /// The warning zone: change is suspected but not confirmed.
+    Warning,
+    /// A concept drift has been detected. The harness reacts by resetting
+    /// the classifier (and the detector resets its own statistics).
+    Drift,
+}
+
+impl DetectorState {
+    /// Convenience predicate.
+    pub fn is_drift(&self) -> bool {
+        matches!(self, DetectorState::Drift)
+    }
+
+    /// Convenience predicate.
+    pub fn is_warning(&self) -> bool {
+        matches!(self, DetectorState::Warning)
+    }
+}
+
+/// A concept drift detector consuming a stream of monitored predictions.
+pub trait DriftDetector {
+    /// Processes one observation and returns the detector state after it.
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState;
+
+    /// The state after the most recent update.
+    fn state(&self) -> DetectorState;
+
+    /// Clears all internal statistics (called by the harness after it has
+    /// reacted to a drift, and at stream restarts).
+    fn reset(&mut self);
+
+    /// Human-readable detector name (used in result tables).
+    fn name(&self) -> &'static str;
+
+    /// Whether the detector can attribute drifts to individual classes
+    /// (RBM-IM and DDM-OCI can; global detectors cannot).
+    fn per_class_detection(&self) -> bool {
+        false
+    }
+
+    /// Classes implicated in the most recent drift signal. Empty for global
+    /// detectors or when no drift is active.
+    fn drifted_classes(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+/// Boxed detectors are detectors too (the harness stores them this way).
+impl DriftDetector for Box<dyn DriftDetector + Send> {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        (**self).update(observation)
+    }
+    fn state(&self) -> DetectorState {
+        (**self).state()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn per_class_detection(&self) -> bool {
+        (**self).per_class_detection()
+    }
+    fn drifted_classes(&self) -> Vec<usize> {
+        (**self).drifted_classes()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for detector unit tests: synthetic error streams with
+    //! a known change point.
+
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feeds a detector a Bernoulli error stream whose error rate jumps from
+    /// `p_before` to `p_after` at `change_point`; returns the positions at
+    /// which the detector signalled drift.
+    pub fn run_error_stream(
+        detector: &mut dyn DriftDetector,
+        p_before: f64,
+        p_after: f64,
+        change_point: usize,
+        length: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut detections = Vec::new();
+        let features = [0.0_f64; 1];
+        for i in 0..length {
+            let p = if i < change_point { p_before } else { p_after };
+            let wrong = rng.gen::<f64>() < p;
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: if wrong { 1 } else { 0 },
+                correct: !wrong,
+            };
+            if detector.update(&obs).is_drift() {
+                detections.push(i);
+            }
+        }
+        detections
+    }
+
+    /// Asserts the standard detector contract on a synthetic abrupt change:
+    /// at least one detection after the change point (within `max_delay`),
+    /// and no more than `max_false_alarms` before it.
+    pub fn assert_detects_abrupt_change(
+        detector: &mut dyn DriftDetector,
+        max_delay: usize,
+        max_false_alarms: usize,
+    ) {
+        let change = 3000;
+        let detections = run_error_stream(detector, 0.1, 0.5, change, 6000, 77);
+        let false_alarms = detections.iter().filter(|&&p| p < change).count();
+        let hit = detections.iter().find(|&&p| p >= change && p <= change + max_delay);
+        assert!(
+            hit.is_some(),
+            "{}: no detection within {} instances of the change (detections: {:?})",
+            detector.name(),
+            max_delay,
+            detections
+        );
+        assert!(
+            false_alarms <= max_false_alarms,
+            "{}: {} false alarms before the change (allowed {})",
+            detector.name(),
+            false_alarms,
+            max_false_alarms
+        );
+    }
+
+    /// Asserts that a detector stays silent on a stationary error stream.
+    pub fn assert_quiet_on_stationary(detector: &mut dyn DriftDetector, max_alarms: usize) {
+        let detections = run_error_stream(detector, 0.2, 0.2, usize::MAX, 8000, 5);
+        assert!(
+            detections.len() <= max_alarms,
+            "{}: {} alarms on a stationary stream (allowed {})",
+            detector.name(),
+            detections.len(),
+            max_alarms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_derives_correctness() {
+        let f = [1.0, 2.0];
+        let ok = Observation::new(&f, 3, 3);
+        assert!(ok.correct);
+        let bad = Observation::new(&f, 3, 1);
+        assert!(!bad.correct);
+    }
+
+    #[test]
+    fn detector_state_predicates() {
+        assert!(DetectorState::Drift.is_drift());
+        assert!(!DetectorState::Stable.is_drift());
+        assert!(DetectorState::Warning.is_warning());
+        assert!(!DetectorState::Drift.is_warning());
+    }
+}

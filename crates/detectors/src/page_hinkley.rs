@@ -1,0 +1,137 @@
+//! Page–Hinkley test, a classical sequential change detector.
+//!
+//! Accumulates the deviations of the observed error indicator from its
+//! running mean (minus a tolerance `delta`); when the accumulated sum rises
+//! more than `lambda` above its historical minimum, a change is signalled.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`PageHinkley`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHinkleyConfig {
+    /// Minimum number of instances before the test activates.
+    pub min_instances: u64,
+    /// Magnitude tolerance δ subtracted from each deviation.
+    pub delta: f64,
+    /// Detection threshold λ.
+    pub lambda: f64,
+    /// Forgetting factor applied to the cumulative sum (1.0 = none).
+    pub alpha: f64,
+}
+
+impl Default for PageHinkleyConfig {
+    fn default() -> Self {
+        PageHinkleyConfig { min_instances: 30, delta: 0.005, lambda: 50.0, alpha: 0.999 }
+    }
+}
+
+/// The Page–Hinkley change detector.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    config: PageHinkleyConfig,
+    n: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+    state: DetectorState,
+}
+
+impl PageHinkley {
+    /// Creates a detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(PageHinkleyConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    pub fn with_config(config: PageHinkleyConfig) -> Self {
+        assert!(config.lambda > 0.0);
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0);
+        PageHinkley { config, n: 0, mean: 0.0, cumulative: 0.0, minimum: f64::MAX, state: DetectorState::Stable }
+    }
+}
+
+impl Default for PageHinkley {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cumulative = self.config.alpha * self.cumulative + (x - self.mean - self.config.delta);
+        if self.cumulative < self.minimum {
+            self.minimum = self.cumulative;
+        }
+        self.state = if self.n >= self.config.min_instances
+            && self.cumulative - self.minimum > self.config.lambda
+        {
+            let c = self.config;
+            *self = PageHinkley::with_config(c);
+            DetectorState::Drift
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = PageHinkley::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "PageHinkley"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut PageHinkley::new(), 800, 2);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut PageHinkley::new(), 1);
+    }
+
+    #[test]
+    fn lower_lambda_reacts_faster() {
+        let fast_cfg = PageHinkleyConfig { lambda: 10.0, ..Default::default() };
+        let slow_cfg = PageHinkleyConfig { lambda: 200.0, ..Default::default() };
+        let d_fast = run_error_stream(&mut PageHinkley::with_config(fast_cfg), 0.1, 0.5, 2000, 5000, 5);
+        let d_slow = run_error_stream(&mut PageHinkley::with_config(slow_cfg), 0.1, 0.5, 2000, 5000, 5);
+        let delay = |d: &Vec<usize>| d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX);
+        assert!(delay(&d_fast) < delay(&d_slow));
+    }
+
+    #[test]
+    fn improvement_does_not_trigger() {
+        assert!(run_error_stream(&mut PageHinkley::new(), 0.5, 0.05, 3000, 6000, 2).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut ph = PageHinkley::new();
+        run_error_stream(&mut ph, 0.1, 0.7, 500, 2000, 1);
+        ph.reset();
+        assert_eq!(ph.state(), DetectorState::Stable);
+        assert_eq!(ph.name(), "PageHinkley");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_lambda_rejected() {
+        PageHinkley::with_config(PageHinkleyConfig { lambda: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,259 @@
+//! PerfSim — Performance Similarity drift detector for imbalanced streams
+//! (Antwi, Viktor & Japkowicz, ICDM Workshops 2012).
+//!
+//! PerfSim monitors **the entire confusion matrix** rather than a single
+//! aggregate error rate. The stream is processed in consecutive batches; the
+//! confusion matrix of each batch is flattened into a vector and compared to
+//! the previous batch's vector with the cosine similarity. A drop of the
+//! similarity below a threshold (equivalently, a differentiation weight λ)
+//! signals a concept drift — changes in *any* cell of the matrix, including
+//! those of minority classes, contribute to the decision, which is what
+//! makes PerfSim skew-aware.
+
+use crate::{DetectorState, DriftDetector, Observation};
+
+/// Configuration of [`PerfSim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSimConfig {
+    /// Number of classes of the monitored problem.
+    pub num_classes: usize,
+    /// Batch size over which confusion matrices are accumulated.
+    pub batch_size: usize,
+    /// Differentiation weight λ: a drift is signalled when the cosine
+    /// similarity between consecutive batch matrices falls below `1 − λ`.
+    pub lambda: f64,
+    /// Warning margin added on top of the drift threshold.
+    pub warning_margin: f64,
+}
+
+impl PerfSimConfig {
+    /// Default configuration for a problem with `num_classes` classes
+    /// (λ = 0.2, batch = 500).
+    pub fn for_classes(num_classes: usize) -> Self {
+        PerfSimConfig { num_classes, batch_size: 500, lambda: 0.2, warning_margin: 0.05 }
+    }
+}
+
+/// The PerfSim detector.
+#[derive(Debug, Clone)]
+pub struct PerfSim {
+    config: PerfSimConfig,
+    current: Vec<f64>,
+    previous: Option<Vec<f64>>,
+    in_batch: usize,
+    state: DetectorState,
+    last_similarity: f64,
+}
+
+impl PerfSim {
+    /// Creates a PerfSim detector.
+    pub fn new(config: PerfSimConfig) -> Self {
+        assert!(config.num_classes >= 2);
+        assert!(config.batch_size >= 10);
+        assert!(config.lambda > 0.0 && config.lambda < 1.0);
+        PerfSim {
+            current: vec![0.0; config.num_classes * config.num_classes],
+            previous: None,
+            in_batch: 0,
+            state: DetectorState::Stable,
+            last_similarity: 1.0,
+            config,
+        }
+    }
+
+    /// Cosine similarity between two flattened confusion matrices.
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            1.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Similarity measured at the end of the most recent completed batch.
+    pub fn last_similarity(&self) -> f64 {
+        self.last_similarity
+    }
+}
+
+impl DriftDetector for PerfSim {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let k = self.config.num_classes;
+        let t = observation.true_class.min(k - 1);
+        let p = observation.predicted_class.min(k - 1);
+        self.current[t * k + p] += 1.0;
+        self.in_batch += 1;
+        if self.in_batch < self.config.batch_size {
+            if self.state == DetectorState::Drift {
+                self.state = DetectorState::Stable;
+            }
+            return self.state;
+        }
+        // Batch complete: compare with the previous batch. The matrix is
+        // row-normalized (each true-class row becomes that class's
+        // prediction distribution) so every class — however rare — carries
+        // equal weight in the similarity, which is the property that makes
+        // PerfSim skew-aware.
+        self.in_batch = 0;
+        let mut finished = std::mem::replace(&mut self.current, vec![0.0; k * k]);
+        for row in 0..k {
+            let total: f64 = finished[row * k..(row + 1) * k].iter().sum();
+            if total > 0.0 {
+                for cell in finished[row * k..(row + 1) * k].iter_mut() {
+                    *cell /= total;
+                }
+            }
+        }
+        self.state = match &self.previous {
+            Some(prev) => {
+                let similarity = Self::cosine(prev, &finished);
+                self.last_similarity = similarity;
+                let drift_threshold = 1.0 - self.config.lambda;
+                let warning_threshold = drift_threshold + self.config.warning_margin;
+                if similarity < drift_threshold {
+                    self.previous = None;
+                    DetectorState::Drift
+                } else if similarity < warning_threshold {
+                    self.previous = Some(finished);
+                    DetectorState::Warning
+                } else {
+                    self.previous = Some(finished);
+                    DetectorState::Stable
+                }
+            }
+            None => {
+                self.previous = Some(finished);
+                DetectorState::Stable
+            }
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = PerfSim::new(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "PerfSim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds PerfSim a stream where the per-class recall pattern changes at
+    /// `change_point`; returns detection positions.
+    fn run_class_stream(
+        detector: &mut PerfSim,
+        change_point: usize,
+        length: usize,
+        num_classes: usize,
+        minority_only: bool,
+    ) -> Vec<usize> {
+        let features = [0.0];
+        let mut detections = Vec::new();
+        for i in 0..length {
+            // Class 0 is the majority (appears 90% of the time with 3 classes).
+            let true_class = if i % 10 < 8 { 0 } else { 1 + (i % (num_classes - 1)).min(num_classes - 2) };
+            let drifted = i >= change_point;
+            // Before the drift every class is predicted correctly; after it
+            // either everything degrades or only the minority classes do.
+            let predicted = if !drifted {
+                true_class
+            } else if minority_only {
+                if true_class == 0 {
+                    0
+                } else {
+                    0 // minority classes start being absorbed by the majority
+                }
+            } else {
+                (true_class + 1) % num_classes
+            };
+            let obs = Observation {
+                features: &features,
+                true_class,
+                predicted_class: predicted,
+                correct: true_class == predicted,
+            };
+            if detector.update(&obs).is_drift() {
+                detections.push(i);
+            }
+        }
+        detections
+    }
+
+    #[test]
+    fn detects_global_performance_change() {
+        let mut d = PerfSim::new(PerfSimConfig::for_classes(3));
+        let detections = run_class_stream(&mut d, 5000, 10_000, 3, false);
+        assert!(
+            detections.iter().any(|&p| p >= 5000 && p <= 6500),
+            "PerfSim should detect a global confusion-matrix change: {detections:?}"
+        );
+        let false_alarms = detections.iter().filter(|&&p| p < 5000).count();
+        assert_eq!(false_alarms, 0);
+    }
+
+    #[test]
+    fn detects_minority_class_degradation() {
+        // Only the 20% minority portion of the stream changes behaviour; an
+        // aggregate error-rate detector would see a small error increase, but
+        // PerfSim sees whole matrix cells moving.
+        let mut d = PerfSim::new(PerfSimConfig { lambda: 0.05, ..PerfSimConfig::for_classes(3) });
+        let detections = run_class_stream(&mut d, 5000, 10_000, 3, true);
+        assert!(
+            detections.iter().any(|&p| p >= 5000),
+            "PerfSim should notice minority-class degradation: {detections:?}"
+        );
+    }
+
+    #[test]
+    fn stable_stream_is_quiet() {
+        let mut d = PerfSim::new(PerfSimConfig::for_classes(4));
+        let detections = run_class_stream(&mut d, usize::MAX, 12_000, 4, false);
+        assert!(detections.is_empty(), "no drift injected, got {detections:?}");
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![0.0, 1.0, 1.0, 0.0];
+        assert!((PerfSim::cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(PerfSim::cosine(&a, &b), 0.0);
+        assert_eq!(PerfSim::cosine(&a, &[0.0, 0.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn last_similarity_is_exposed() {
+        let mut d = PerfSim::new(PerfSimConfig { batch_size: 50, ..PerfSimConfig::for_classes(2) });
+        let features = [0.0];
+        for i in 0..200 {
+            let obs = Observation { features: &features, true_class: i % 2, predicted_class: i % 2, correct: true };
+            d.update(&obs);
+        }
+        assert!((d.last_similarity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = PerfSim::new(PerfSimConfig::for_classes(3));
+        run_class_stream(&mut d, 100, 2000, 3, false);
+        d.reset();
+        assert_eq!(d.state(), DetectorState::Stable);
+        assert_eq!(d.name(), "PerfSim");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_lambda_rejected() {
+        PerfSim::new(PerfSimConfig { lambda: 0.0, ..PerfSimConfig::for_classes(3) });
+    }
+}

@@ -1,0 +1,222 @@
+//! RDDM — Reactive Drift Detection Method (de Barros et al., 2017).
+//!
+//! RDDM is DDM plus a pruning mechanism that discards outdated instances:
+//! the concept statistics are periodically recomputed over a bounded recent
+//! window, which restores DDM's sensitivity on long stable concepts (where
+//! plain DDM becomes numb because `s_i` shrinks with `1/sqrt(n)` while
+//! `p_min`/`s_min` freeze at historic lows).
+//!
+//! This implementation keeps a circular buffer of the most recent
+//! prediction outcomes (capped at `max_instances`); when the buffer is full
+//! or a warning persists for too long, the statistics are rebuilt from the
+//! most recent `min_instances` outcomes only.
+
+use crate::{DetectorState, DriftDetector, Observation};
+use std::collections::VecDeque;
+
+/// Configuration of [`Rddm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RddmConfig {
+    /// Warning threshold multiplier (DDM's 2.0 by default, expressed as a
+    /// probability-style threshold 0.95 in the paper's grid; the multiplier
+    /// formulation is used internally).
+    pub warning_level: f64,
+    /// Drift threshold multiplier.
+    pub drift_level: f64,
+    /// Minimum number of recent instances kept after pruning.
+    pub min_instances: usize,
+    /// Maximum number of instances accumulated before a forced recomputation.
+    pub max_instances: usize,
+    /// Minimum number of errors before the test activates.
+    pub min_errors: u64,
+    /// Maximum number of consecutive warning steps before the warning is
+    /// escalated to a drift (the "reactive" mechanism).
+    pub warning_limit: usize,
+}
+
+impl Default for RddmConfig {
+    fn default() -> Self {
+        RddmConfig {
+            warning_level: 1.773,
+            drift_level: 2.258,
+            min_instances: 3_000,
+            max_instances: 30_000,
+            min_errors: 30,
+            warning_limit: 1_000,
+        }
+    }
+}
+
+/// The RDDM detector.
+#[derive(Debug, Clone)]
+pub struct Rddm {
+    config: RddmConfig,
+    /// Recent prediction outcomes (true = error).
+    window: VecDeque<bool>,
+    n: u64,
+    errors: u64,
+    p_min: f64,
+    s_min: f64,
+    warning_steps: usize,
+    state: DetectorState,
+}
+
+impl Rddm {
+    /// Creates an RDDM detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(RddmConfig::default())
+    }
+
+    /// Creates an RDDM detector with an explicit configuration.
+    pub fn with_config(config: RddmConfig) -> Self {
+        assert!(config.drift_level > config.warning_level);
+        assert!(config.max_instances > config.min_instances);
+        Rddm {
+            config,
+            window: VecDeque::with_capacity(config.max_instances),
+            n: 0,
+            errors: 0,
+            p_min: f64::MAX,
+            s_min: f64::MAX,
+            warning_steps: 0,
+            state: DetectorState::Stable,
+        }
+    }
+
+    /// Rebuilds the running statistics from the most recent
+    /// `min_instances` outcomes (the pruning step).
+    fn recompute_from_recent(&mut self) {
+        let keep = self.config.min_instances.min(self.window.len());
+        let start = self.window.len() - keep;
+        let recent: Vec<bool> = self.window.iter().skip(start).copied().collect();
+        self.window = recent.iter().copied().collect();
+        self.n = recent.len() as u64;
+        self.errors = recent.iter().filter(|&&e| e).count() as u64;
+        self.p_min = f64::MAX;
+        self.s_min = f64::MAX;
+    }
+
+    fn signal_drift(&mut self) -> DetectorState {
+        self.window.clear();
+        self.n = 0;
+        self.errors = 0;
+        self.p_min = f64::MAX;
+        self.s_min = f64::MAX;
+        self.warning_steps = 0;
+        DetectorState::Drift
+    }
+}
+
+impl Default for Rddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Rddm {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let error = !observation.correct;
+        if self.window.len() == self.config.max_instances {
+            // Forced pruning: the concept has been stable for a long time.
+            self.recompute_from_recent();
+        }
+        self.window.push_back(error);
+        self.n += 1;
+        if error {
+            self.errors += 1;
+        }
+        if self.errors < self.config.min_errors {
+            self.state = DetectorState::Stable;
+            return self.state;
+        }
+        let p = self.errors as f64 / self.n as f64;
+        let s = (p * (1.0 - p) / self.n as f64).sqrt();
+        if p + s < self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        self.state = if p + s >= self.p_min + self.config.drift_level * self.s_min {
+            self.signal_drift()
+        } else if p + s >= self.p_min + self.config.warning_level * self.s_min {
+            self.warning_steps += 1;
+            if self.warning_steps >= self.config.warning_limit {
+                // Reactive escalation: a warning that never resolves is
+                // treated as a (slow) drift.
+                self.signal_drift()
+            } else {
+                DetectorState::Warning
+            }
+        } else {
+            self.warning_steps = 0;
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Rddm::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "RDDM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Rddm::new(), 800, 2);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Rddm::new(), 5);
+    }
+
+    #[test]
+    fn remains_reactive_after_a_long_stable_concept() {
+        // Long stable run (beyond max_instances) followed by a change: the
+        // pruning must keep RDDM able to react reasonably fast.
+        let config = RddmConfig { max_instances: 5_000, min_instances: 1_000, ..Default::default() };
+        let mut rddm = Rddm::with_config(config);
+        let detections = run_error_stream(&mut rddm, 0.05, 0.4, 20_000, 24_000, 13);
+        let delay =
+            detections.iter().find(|&&p| p >= 20_000).map(|&p| p - 20_000).unwrap_or(usize::MAX);
+        assert!(delay < 1_500, "RDDM should stay reactive after pruning, delay = {delay}");
+    }
+
+    #[test]
+    fn warning_limit_escalates_to_drift() {
+        let config = RddmConfig { warning_limit: 50, ..Default::default() };
+        let mut rddm = Rddm::with_config(config);
+        // A persistent mild degradation that hovers in the warning zone.
+        let detections = run_error_stream(&mut rddm, 0.10, 0.16, 4_000, 12_000, 21);
+        assert!(
+            detections.iter().any(|&p| p >= 4_000),
+            "persistent warnings should eventually escalate, detections: {detections:?}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut rddm = Rddm::new();
+        run_error_stream(&mut rddm, 0.1, 0.5, 1000, 3000, 4);
+        rddm.reset();
+        assert_eq!(rddm.state(), DetectorState::Stable);
+        assert_eq!(rddm.name(), "RDDM");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_window_config_rejected() {
+        Rddm::with_config(RddmConfig { min_instances: 100, max_instances: 50, ..Default::default() });
+    }
+}

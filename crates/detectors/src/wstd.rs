@@ -1,0 +1,192 @@
+//! WSTD — Wilcoxon Rank Sum Test Drift detector (de Barros et al.,
+//! Neurocomputing 2018).
+//!
+//! Maintains two sub-windows over the stream of prediction outcomes: an
+//! *older* window capped at `max_old_instances` and a *recent* sliding
+//! window of size `window_size`. Once both hold enough data, a Wilcoxon
+//! rank-sum test compares their distributions; p-values below the warning /
+//! drift significance levels raise the corresponding signals.
+
+use crate::{DetectorState, DriftDetector, Observation};
+use rbm_im_stats::wilcoxon::wilcoxon_rank_sum;
+use std::collections::VecDeque;
+
+/// Configuration of [`Wstd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WstdConfig {
+    /// Size of the recent sliding window (25–100 in the paper's grid).
+    pub window_size: usize,
+    /// Warning significance level.
+    pub warning_significance: f64,
+    /// Drift significance level (stricter than the warning level).
+    pub drift_significance: f64,
+    /// Maximum number of old-concept instances retained.
+    pub max_old_instances: usize,
+    /// How many instances pass between consecutive tests (testing on every
+    /// instance is unnecessary and slow).
+    pub test_interval: usize,
+}
+
+impl Default for WstdConfig {
+    fn default() -> Self {
+        WstdConfig {
+            window_size: 75,
+            warning_significance: 0.01,
+            drift_significance: 0.001,
+            max_old_instances: 3_000,
+            test_interval: 25,
+        }
+    }
+}
+
+/// The WSTD detector.
+#[derive(Debug, Clone)]
+pub struct Wstd {
+    config: WstdConfig,
+    old_window: VecDeque<f64>,
+    recent_window: VecDeque<f64>,
+    since_last_test: usize,
+    state: DetectorState,
+}
+
+impl Wstd {
+    /// Creates a WSTD detector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(WstdConfig::default())
+    }
+
+    /// Creates a WSTD detector with an explicit configuration.
+    pub fn with_config(config: WstdConfig) -> Self {
+        assert!(config.window_size >= 10);
+        assert!(config.drift_significance < config.warning_significance);
+        assert!(config.max_old_instances > config.window_size);
+        assert!(config.test_interval >= 1);
+        Wstd {
+            config,
+            old_window: VecDeque::with_capacity(config.max_old_instances),
+            recent_window: VecDeque::with_capacity(config.window_size),
+            since_last_test: 0,
+            state: DetectorState::Stable,
+        }
+    }
+}
+
+impl Default for Wstd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftDetector for Wstd {
+    fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
+        let x = if observation.correct { 0.0 } else { 1.0 };
+        // The recent window fills first; once full, the oldest recent value
+        // graduates into the old-concept window.
+        if self.recent_window.len() == self.config.window_size {
+            let graduated = self.recent_window.pop_front().expect("recent window full");
+            if self.old_window.len() == self.config.max_old_instances {
+                self.old_window.pop_front();
+            }
+            self.old_window.push_back(graduated);
+        }
+        self.recent_window.push_back(x);
+
+        self.since_last_test += 1;
+        if self.recent_window.len() < self.config.window_size
+            || self.old_window.len() < self.config.window_size
+            || self.since_last_test < self.config.test_interval
+        {
+            if !self.state.is_warning() {
+                self.state = DetectorState::Stable;
+            }
+            return self.state;
+        }
+        self.since_last_test = 0;
+
+        let old: Vec<f64> = self.old_window.iter().copied().collect();
+        let recent: Vec<f64> = self.recent_window.iter().copied().collect();
+        // A one-sided concern (error increase) expressed through the
+        // two-sided test plus a direction check, as in the original method.
+        let recent_mean = recent.iter().sum::<f64>() / recent.len() as f64;
+        let old_mean = old.iter().sum::<f64>() / old.len() as f64;
+        let p_value = match wilcoxon_rank_sum(&old, &recent) {
+            Ok(res) => res.p_value,
+            Err(_) => 1.0,
+        };
+        self.state = if recent_mean > old_mean && p_value < self.config.drift_significance {
+            self.old_window.clear();
+            self.recent_window.clear();
+            DetectorState::Drift
+        } else if recent_mean > old_mean && p_value < self.config.warning_significance {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        *self = Wstd::with_config(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "WSTD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+
+    #[test]
+    fn detects_abrupt_error_increase() {
+        assert_detects_abrupt_change(&mut Wstd::new(), 600, 3);
+    }
+
+    #[test]
+    fn quiet_on_stationary_stream() {
+        assert_quiet_on_stationary(&mut Wstd::new(), 3);
+    }
+
+    #[test]
+    fn improvement_does_not_trigger() {
+        let detections = run_error_stream(&mut Wstd::new(), 0.5, 0.05, 3000, 6000, 9);
+        assert!(detections.is_empty(), "error decreases must not raise WSTD alarms: {detections:?}");
+    }
+
+    #[test]
+    fn needs_both_windows_before_testing() {
+        let mut wstd = Wstd::new();
+        let features = [0.0];
+        // Fewer instances than one full window: never anything but stable.
+        for i in 0..50 {
+            let obs = Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: i % 2,
+                correct: i % 2 == 0,
+            };
+            assert_eq!(wstd.update(&obs), DetectorState::Stable);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut wstd = Wstd::new();
+        run_error_stream(&mut wstd, 0.05, 0.6, 1000, 3000, 3);
+        wstd.reset();
+        assert_eq!(wstd.state(), DetectorState::Stable);
+        assert_eq!(wstd.name(), "WSTD");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_significances_rejected() {
+        Wstd::with_config(WstdConfig { warning_significance: 0.001, drift_significance: 0.05, ..Default::default() });
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates Fig. 9: pmAUC as a function of the multi-class imbalance
+//! ratio (50 … 500), for every detector.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rbm-im-harness --release --bin experiment3 -- \
+//!     [--classes M] [--features D] [--length N] [--seed S] [--ratios 50,100,200] [--json out.json]
+//! ```
+
+use rbm_im_harness::experiment3::{run_experiment3, Experiment3Config};
+use rbm_im_harness::report::{format_fig9, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = Experiment3Config::default();
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--classes" => {
+                config.num_classes = args[i + 1].parse().expect("--classes needs an integer");
+                i += 2;
+            }
+            "--features" => {
+                config.num_features = args[i + 1].parse().expect("--features needs an integer");
+                i += 2;
+            }
+            "--length" => {
+                config.length = args[i + 1].parse().expect("--length needs an integer");
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = args[i + 1].parse().expect("--seed needs an integer");
+                i += 2;
+            }
+            "--ratios" => {
+                config.imbalance_ratios = args[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--ratios needs numbers"))
+                    .collect();
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "Experiment 3 (imbalance robustness): {} classes, ratios {:?}, {} instances",
+        config.num_classes, config.imbalance_ratios, config.length
+    );
+    let result = run_experiment3(&config, |ir, r| {
+        eprintln!("  IR={ir:<6} {:<10} pmAUC {:6.2}  drifts {:4}", r.detector.name(), r.pm_auc, r.drift_count());
+    });
+    println!("{}", format_fig9(&result));
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&result.points)).expect("failed to write JSON results");
+        eprintln!("wrote raw results to {path}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Prints the benchmark inventory (Table I): name, instances, features,
+//! classes, maximum imbalance ratio and drift type for all 24 streams, and
+//! the scaled instance counts the default harness configuration uses.
+
+use rbm_im_streams::registry::{all_benchmarks, BuildConfig};
+
+fn main() {
+    let config = BuildConfig::default();
+    println!(
+        "{:<16}{:>12}{:>10}{:>9}{:>9}  {:<12}{:>14}",
+        "Dataset", "Instances", "Features", "Classes", "IR", "Drift", "Scaled length"
+    );
+    for spec in all_benchmarks() {
+        println!(
+            "{:<16}{:>12}{:>10}{:>9}{:>9.2}  {:<12}{:>14}",
+            spec.name,
+            spec.instances,
+            spec.features,
+            spec.classes,
+            spec.ir,
+            spec.drift.label(),
+            spec.scaled_instances(&config)
+        );
+    }
+    println!("\n(scale divisor = {}; pass --scale 1 to experiment1 for paper-length streams)", config.scale_divisor);
+}

@@ -1,0 +1,166 @@
+//! Registry of drift detectors known to the harness.
+
+use rbm_im::{RbmIm, RbmImConfig};
+use rbm_im_detectors::{
+    Adwin, Cusum, Ddm, DdmOci, Ecdd, Eddm, Fhddm, HddmA, HddmW, PageHinkley, PerfSim, Rddm, Wstd,
+};
+use rbm_im_detectors::ddm_oci::DdmOciConfig;
+use rbm_im_detectors::perfsim::PerfSimConfig;
+use rbm_im_detectors::DriftDetector;
+use serde::{Deserialize, Serialize};
+
+/// Every detector the harness can evaluate. The six `paper_detectors` are the
+/// ones compared in Table III; the rest are available for extended studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Wilcoxon rank-sum test detector (reference, standard).
+    Wstd,
+    /// Reactive DDM (reference, standard).
+    Rddm,
+    /// Fast Hoeffding DDM (reference, standard).
+    Fhddm,
+    /// PerfSim (reference, skew-insensitive).
+    PerfSim,
+    /// DDM-OCI (reference, skew-insensitive).
+    DdmOci,
+    /// RBM-IM (the paper's contribution).
+    RbmIm,
+    /// Classical DDM.
+    Ddm,
+    /// Early DDM.
+    Eddm,
+    /// ADWIN.
+    Adwin,
+    /// Hoeffding-bound detector, averages test.
+    HddmA,
+    /// Hoeffding-bound detector, weighted test.
+    HddmW,
+    /// Page–Hinkley.
+    PageHinkley,
+    /// CUSUM.
+    Cusum,
+    /// EWMA for concept drift detection.
+    Ecdd,
+}
+
+impl DetectorKind {
+    /// The six detectors evaluated in Table III, in the paper's column order.
+    pub fn paper_detectors() -> Vec<DetectorKind> {
+        vec![
+            DetectorKind::Wstd,
+            DetectorKind::Rddm,
+            DetectorKind::Fhddm,
+            DetectorKind::PerfSim,
+            DetectorKind::DdmOci,
+            DetectorKind::RbmIm,
+        ]
+    }
+
+    /// Every detector kind known to the harness.
+    pub fn all() -> Vec<DetectorKind> {
+        vec![
+            DetectorKind::Wstd,
+            DetectorKind::Rddm,
+            DetectorKind::Fhddm,
+            DetectorKind::PerfSim,
+            DetectorKind::DdmOci,
+            DetectorKind::RbmIm,
+            DetectorKind::Ddm,
+            DetectorKind::Eddm,
+            DetectorKind::Adwin,
+            DetectorKind::HddmA,
+            DetectorKind::HddmW,
+            DetectorKind::PageHinkley,
+            DetectorKind::Cusum,
+            DetectorKind::Ecdd,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectorKind::Wstd => "WSTD",
+            DetectorKind::Rddm => "RDDM",
+            DetectorKind::Fhddm => "FHDDM",
+            DetectorKind::PerfSim => "PerfSim",
+            DetectorKind::DdmOci => "DDM-OCI",
+            DetectorKind::RbmIm => "RBM-IM",
+            DetectorKind::Ddm => "DDM",
+            DetectorKind::Eddm => "EDDM",
+            DetectorKind::Adwin => "ADWIN",
+            DetectorKind::HddmA => "HDDM-A",
+            DetectorKind::HddmW => "HDDM-W",
+            DetectorKind::PageHinkley => "PageHinkley",
+            DetectorKind::Cusum => "CUSUM",
+            DetectorKind::Ecdd => "ECDD",
+        }
+    }
+
+    /// Whether the detector is one of the skew-insensitive methods.
+    pub fn skew_insensitive(&self) -> bool {
+        matches!(self, DetectorKind::PerfSim | DetectorKind::DdmOci | DetectorKind::RbmIm)
+    }
+
+    /// Instantiates the detector for a stream with the given schema.
+    pub fn build(&self, num_features: usize, num_classes: usize) -> Box<dyn DriftDetector + Send> {
+        match self {
+            DetectorKind::Wstd => Box::new(Wstd::new()),
+            DetectorKind::Rddm => Box::new(Rddm::new()),
+            DetectorKind::Fhddm => Box::new(Fhddm::new()),
+            DetectorKind::PerfSim => Box::new(PerfSim::new(PerfSimConfig::for_classes(num_classes))),
+            DetectorKind::DdmOci => Box::new(DdmOci::new(DdmOciConfig::for_classes(num_classes))),
+            DetectorKind::RbmIm => Box::new(RbmIm::new(num_features, num_classes, RbmImConfig::default())),
+            DetectorKind::Ddm => Box::new(Ddm::new()),
+            DetectorKind::Eddm => Box::new(Eddm::new()),
+            DetectorKind::Adwin => Box::new(Adwin::new(0.002)),
+            DetectorKind::HddmA => Box::new(HddmA::new()),
+            DetectorKind::HddmW => Box::new(HddmW::new(0.05)),
+            DetectorKind::PageHinkley => Box::new(PageHinkley::new()),
+            DetectorKind::Cusum => Box::new(Cusum::new()),
+            DetectorKind::Ecdd => Box::new(Ecdd::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbm_im_detectors::Observation;
+
+    #[test]
+    fn paper_detector_list_matches_table_two() {
+        let names: Vec<&str> = DetectorKind::paper_detectors().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["WSTD", "RDDM", "FHDDM", "PerfSim", "DDM-OCI", "RBM-IM"]);
+    }
+
+    #[test]
+    fn every_kind_builds_and_updates() {
+        let features = vec![0.1, 0.2, 0.3, 0.4];
+        for kind in DetectorKind::all() {
+            let mut detector = kind.build(4, 3);
+            assert_eq!(detector.name(), kind.name());
+            for i in 0..120usize {
+                let obs = Observation::new(&features, i % 3, (i + 1) % 3);
+                detector.update(&obs);
+            }
+            detector.reset();
+        }
+    }
+
+    #[test]
+    fn skew_insensitive_flags() {
+        assert!(DetectorKind::RbmIm.skew_insensitive());
+        assert!(DetectorKind::PerfSim.skew_insensitive());
+        assert!(DetectorKind::DdmOci.skew_insensitive());
+        assert!(!DetectorKind::Wstd.skew_insensitive());
+        assert!(!DetectorKind::Adwin.skew_insensitive());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let kind = DetectorKind::RbmIm;
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: DetectorKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(kind, back);
+    }
+}

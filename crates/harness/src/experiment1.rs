@@ -1,0 +1,249 @@
+//! Experiment 1 — detector comparison over the 24 benchmark streams
+//! (Table III) with Friedman / Bonferroni–Dunn ranking (Figs. 4–5) and
+//! Bayesian signed pairwise tests (Figs. 6–7).
+
+use crate::detectors::DetectorKind;
+use crate::runner::{run_detector_on_stream, RunConfig, RunResult};
+use rbm_im_stats::friedman::{bonferroni_dunn_critical_difference, friedman_test, FriedmanResult};
+use rbm_im_stats::bayesian::{bayesian_signed_test, BayesianSignedOutcome};
+use rbm_im_streams::registry::{all_benchmarks, BenchmarkSpec, BuildConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Experiment 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment1Config {
+    /// Detectors to compare (defaults to the paper's six).
+    pub detectors: Vec<DetectorKind>,
+    /// Stream construction (seed, length scaling, drift count, dynamic IR).
+    pub build: BuildConfigSerde,
+    /// Prequential run settings.
+    pub run: RunConfig,
+    /// Optional restriction to a subset of benchmark names (all 24 if empty).
+    pub benchmarks: Vec<String>,
+}
+
+/// Serializable mirror of [`BuildConfig`] (which lives in the streams crate
+/// and intentionally stays serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildConfigSerde {
+    /// Reproducibility seed.
+    pub seed: u64,
+    /// Divisor applied to the published stream lengths.
+    pub scale_divisor: u64,
+    /// Number of injected drifts per artificial stream.
+    pub n_drifts: usize,
+    /// Whether artificial streams use a dynamic imbalance ratio.
+    pub dynamic_imbalance: bool,
+}
+
+impl From<BuildConfigSerde> for BuildConfig {
+    fn from(value: BuildConfigSerde) -> Self {
+        BuildConfig {
+            seed: value.seed,
+            scale_divisor: value.scale_divisor,
+            n_drifts: value.n_drifts,
+            dynamic_imbalance: value.dynamic_imbalance,
+        }
+    }
+}
+
+impl Default for Experiment1Config {
+    fn default() -> Self {
+        Experiment1Config {
+            detectors: DetectorKind::paper_detectors(),
+            build: BuildConfigSerde { seed: 42, scale_divisor: 20, n_drifts: 3, dynamic_imbalance: true },
+            run: RunConfig::default(),
+            benchmarks: Vec::new(),
+        }
+    }
+}
+
+/// Full outcome of Experiment 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment1Result {
+    /// One row per (benchmark × detector).
+    pub runs: Vec<RunResult>,
+    /// Benchmark names in evaluation order.
+    pub benchmarks: Vec<String>,
+    /// Detector order used for the rank analysis.
+    pub detectors: Vec<DetectorKind>,
+}
+
+impl Experiment1Result {
+    /// pmAUC matrix `[detector][benchmark]`.
+    pub fn pm_auc_matrix(&self) -> Vec<Vec<f64>> {
+        self.metric_matrix(|r| r.pm_auc)
+    }
+
+    /// pmGM matrix `[detector][benchmark]`.
+    pub fn pm_gmean_matrix(&self) -> Vec<Vec<f64>> {
+        self.metric_matrix(|r| r.pm_gmean)
+    }
+
+    fn metric_matrix(&self, metric: impl Fn(&RunResult) -> f64) -> Vec<Vec<f64>> {
+        self.detectors
+            .iter()
+            .map(|d| {
+                self.benchmarks
+                    .iter()
+                    .map(|b| {
+                        self.runs
+                            .iter()
+                            .find(|r| &r.detector == d && &r.stream == b)
+                            .map(&metric)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Friedman test over the pmAUC matrix (Fig. 4 input).
+    pub fn friedman_pm_auc(&self) -> rbm_im_stats::Result<FriedmanResult> {
+        friedman_test(&self.pm_auc_matrix(), true)
+    }
+
+    /// Friedman test over the pmGM matrix (Fig. 5 input).
+    pub fn friedman_pm_gmean(&self) -> rbm_im_stats::Result<FriedmanResult> {
+        friedman_test(&self.pm_gmean_matrix(), true)
+    }
+
+    /// Bonferroni–Dunn critical difference for this comparison.
+    pub fn critical_difference(&self, alpha: f64) -> rbm_im_stats::Result<f64> {
+        bonferroni_dunn_critical_difference(self.detectors.len(), self.benchmarks.len(), alpha)
+    }
+
+    /// Bayesian signed test of RBM-IM against another detector on pmAUC
+    /// (Figs. 6–7; the rope is expressed in pmAUC percentage points).
+    pub fn bayesian_vs(
+        &self,
+        opponent: DetectorKind,
+        rope: f64,
+        samples: usize,
+        seed: u64,
+    ) -> rbm_im_stats::Result<BayesianSignedOutcome> {
+        let matrix = self.pm_auc_matrix();
+        let rbm_idx = self
+            .detectors
+            .iter()
+            .position(|d| *d == DetectorKind::RbmIm)
+            .expect("RBM-IM must be part of the comparison");
+        let opp_idx = self
+            .detectors
+            .iter()
+            .position(|d| *d == opponent)
+            .expect("opponent must be part of the comparison");
+        bayesian_signed_test(&matrix[rbm_idx], &matrix[opp_idx], rope, samples, seed)
+    }
+
+    /// Average detector update time in seconds, per detector.
+    pub fn average_update_seconds(&self) -> Vec<(DetectorKind, f64)> {
+        self.detectors
+            .iter()
+            .map(|d| {
+                let rows: Vec<&RunResult> = self.runs.iter().filter(|r| &r.detector == d).collect();
+                let avg = if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter().map(|r| r.detector_update_seconds).sum::<f64>() / rows.len() as f64
+                };
+                (*d, avg)
+            })
+            .collect()
+    }
+}
+
+/// Selects the benchmarks requested by the configuration.
+pub fn selected_benchmarks(config: &Experiment1Config) -> Vec<BenchmarkSpec> {
+    let all = all_benchmarks();
+    if config.benchmarks.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|b| config.benchmarks.iter().any(|n| n.eq_ignore_ascii_case(&b.name)))
+            .collect()
+    }
+}
+
+/// Runs Experiment 1: every configured detector on every configured
+/// benchmark. `progress` is called after each completed run (for CLI
+/// output); pass `|_| {}` to ignore.
+pub fn run_experiment1(
+    config: &Experiment1Config,
+    mut progress: impl FnMut(&RunResult),
+) -> Experiment1Result {
+    let build: BuildConfig = config.build.into();
+    let specs = selected_benchmarks(config);
+    let mut runs = Vec::new();
+    for spec in &specs {
+        for &detector in &config.detectors {
+            let mut stream = spec.build(&build);
+            let mut result = run_detector_on_stream(stream.as_mut(), detector, &config.run);
+            // The registry renames wrapped streams; report the benchmark name.
+            result.stream = spec.name.clone();
+            progress(&result);
+            runs.push(result);
+        }
+    }
+    Experiment1Result {
+        runs,
+        benchmarks: specs.iter().map(|s| s.name.clone()).collect(),
+        detectors: config.detectors.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately tiny configuration so the experiment machinery can be
+    /// exercised inside unit tests.
+    fn tiny_config() -> Experiment1Config {
+        Experiment1Config {
+            detectors: vec![DetectorKind::Fhddm, DetectorKind::DdmOci, DetectorKind::RbmIm],
+            build: BuildConfigSerde { seed: 7, scale_divisor: 400, n_drifts: 1, dynamic_imbalance: true },
+            run: RunConfig { metric_window: 500, max_instances: Some(2_500), ..Default::default() },
+            benchmarks: vec!["RBF5".into(), "Aggrawal5".into()],
+        }
+    }
+
+    #[test]
+    fn tiny_experiment_produces_full_matrix() {
+        let config = tiny_config();
+        let mut seen = 0usize;
+        let result = run_experiment1(&config, |_| seen += 1);
+        assert_eq!(seen, 6);
+        assert_eq!(result.runs.len(), 6);
+        assert_eq!(result.benchmarks.len(), 2);
+        let matrix = result.pm_auc_matrix();
+        assert_eq!(matrix.len(), 3);
+        assert_eq!(matrix[0].len(), 2);
+        assert!(matrix.iter().flatten().all(|v| v.is_finite()));
+        let gm = result.pm_gmean_matrix();
+        assert!(gm.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rank_analysis_runs_on_experiment_output() {
+        let result = run_experiment1(&tiny_config(), |_| {});
+        let friedman = result.friedman_pm_auc().unwrap();
+        assert_eq!(friedman.average_ranks.len(), 3);
+        let cd = result.critical_difference(0.05).unwrap();
+        assert!(cd > 0.0);
+        let bayes = result.bayesian_vs(DetectorKind::DdmOci, 1.0, 2_000, 3).unwrap();
+        let total = bayes.p_left + bayes.p_rope + bayes.p_right;
+        assert!((total - 1.0).abs() < 1e-9);
+        let timings = result.average_update_seconds();
+        assert_eq!(timings.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_selection_filters() {
+        let mut config = Experiment1Config::default();
+        config.benchmarks = vec!["rbf5".into(), "electricity".into()];
+        let specs = selected_benchmarks(&config);
+        assert_eq!(specs.len(), 2);
+        config.benchmarks.clear();
+        assert_eq!(selected_benchmarks(&config).len(), 24);
+    }
+}

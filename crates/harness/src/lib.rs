@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Sec. VI) from the building blocks in the other crates.
+//!
+//! | Paper artifact | Module | Binary / bench |
+//! |---|---|---|
+//! | Table I (benchmark inventory) | [`rbm_im_streams::registry`] | `cargo run -p rbm-im-harness --release --bin table1` |
+//! | Table III (pmAUC / pmGM / timing, 6 detectors × 24 streams) | [`experiment1`] | `--bin experiment1`, bench `table3_detectors` |
+//! | Fig. 4 & 5 (Bonferroni–Dunn ranks) | [`experiment1`] | `--bin experiment1` |
+//! | Fig. 6 & 7 (Bayesian signed tests) | [`experiment1`] | `--bin experiment1` |
+//! | Fig. 8 (pmAUC vs number of locally drifting classes) | [`experiment2`] | `--bin experiment2`, bench `fig8_local_drift` |
+//! | Fig. 9 (pmAUC vs imbalance ratio) | [`experiment3`] | `--bin experiment3`, bench `fig9_imbalance` |
+//! | Detector overhead (Table III bottom rows) | [`runner`] timing fields | bench `detector_overhead` |
+//! | Design-choice ablations (DESIGN.md) | [`ablation`] | bench `ablation_rbm` |
+//!
+//! The harness scales stream lengths down by default (`BuildConfig::default`)
+//! so the complete Table III regenerates in minutes on a laptop; pass
+//! `--scale 1` to the binaries for paper-scale streams.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod detectors;
+pub mod experiment1;
+pub mod experiment2;
+pub mod experiment3;
+pub mod report;
+pub mod runner;
+pub mod tuning;
+
+pub use detectors::DetectorKind;
+pub use runner::{run_detector_on_stream, RunConfig, RunResult};

@@ -1,0 +1,248 @@
+//! Windowed multi-class AUC (the "pmAUC" of the paper).
+//!
+//! Following Wang & Minku (2020), the prequential multi-class AUC keeps a
+//! sliding window of the most recent `(score vector, true class)` pairs and
+//! computes the Hand & Till M-measure over the window: the average, over all
+//! ordered class pairs `(i, j)`, of the probability that a random window
+//! instance of class `i` receives a higher class-`i` score than a random
+//! window instance of class `j` (ties count one half).
+//!
+//! The window makes the metric *prequential* (it follows the current state
+//! of the stream) and the pairwise averaging makes it insensitive to class
+//! imbalance — the property the paper's evaluation depends on.
+
+use std::collections::VecDeque;
+
+/// Sliding-window multi-class AUC estimator.
+#[derive(Debug, Clone)]
+pub struct WindowedMultiClassAuc {
+    num_classes: usize,
+    capacity: usize,
+    /// Window of (per-class scores, true class).
+    window: VecDeque<(Vec<f64>, usize)>,
+}
+
+impl WindowedMultiClassAuc {
+    /// Creates an estimator over `num_classes` classes with a window of
+    /// `capacity` recent predictions (the paper uses 1000).
+    ///
+    /// # Panics
+    /// Panics if `num_classes < 2` or `capacity == 0`.
+    pub fn new(num_classes: usize, capacity: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(capacity > 0, "window capacity must be > 0");
+        WindowedMultiClassAuc { num_classes, capacity, window: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Adds one prediction (per-class scores and the true class).
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != num_classes` or `true_class` is out of
+    /// range.
+    pub fn record(&mut self, scores: &[f64], true_class: usize) {
+        assert_eq!(scores.len(), self.num_classes, "score vector length mismatch");
+        assert!(true_class < self.num_classes, "true class out of range");
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((scores.to_vec(), true_class));
+    }
+
+    /// Number of predictions currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Pairwise AUC `A(i | j)`: probability that class-`i` instances score
+    /// higher on class `i` than class-`j` instances do. Returns `None` if
+    /// either class is absent from the window.
+    fn pairwise_auc(&self, class_i: usize, class_j: usize) -> Option<f64> {
+        let scores_i: Vec<f64> =
+            self.window.iter().filter(|(_, c)| *c == class_i).map(|(s, _)| s[class_i]).collect();
+        let scores_j: Vec<f64> =
+            self.window.iter().filter(|(_, c)| *c == class_j).map(|(s, _)| s[class_i]).collect();
+        if scores_i.is_empty() || scores_j.is_empty() {
+            return None;
+        }
+        // Rank-based computation: O((n+m) log(n+m)) via sorting.
+        let mut combined: Vec<(f64, bool)> = scores_i
+            .iter()
+            .map(|&s| (s, true))
+            .chain(scores_j.iter().map(|&s| (s, false)))
+            .collect();
+        combined.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+        // Sum of ranks of class-i instances with midrank tie handling.
+        let mut rank_sum_i = 0.0;
+        let mut idx = 0usize;
+        let n = combined.len();
+        while idx < n {
+            let mut j = idx;
+            while j + 1 < n && combined[j + 1].0 == combined[idx].0 {
+                j += 1;
+            }
+            let avg_rank = (idx + j) as f64 / 2.0 + 1.0;
+            for item in &combined[idx..=j] {
+                if item.1 {
+                    rank_sum_i += avg_rank;
+                }
+            }
+            idx = j + 1;
+        }
+        let n_i = scores_i.len() as f64;
+        let n_j = scores_j.len() as f64;
+        let u = rank_sum_i - n_i * (n_i + 1.0) / 2.0;
+        Some(u / (n_i * n_j))
+    }
+
+    /// The multi-class AUC over the current window: the mean of
+    /// `A(i | j)` over all ordered pairs of classes present in the window.
+    /// Returns 0.5 (chance level) if fewer than two classes are present.
+    pub fn auc(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.num_classes {
+            for j in 0..self.num_classes {
+                if i == j {
+                    continue;
+                }
+                if let Some(a) = self.pairwise_auc(i, j) {
+                    sum += a;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.5
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-hot score vector helper.
+    fn one_hot(n: usize, class: usize, confidence: f64) -> Vec<f64> {
+        let rest = (1.0 - confidence) / (n as f64 - 1.0);
+        (0..n).map(|c| if c == class { confidence } else { rest }).collect()
+    }
+
+    #[test]
+    fn perfect_scores_give_auc_one() {
+        let mut auc = WindowedMultiClassAuc::new(3, 100);
+        for i in 0..60 {
+            let class = i % 3;
+            auc.record(&one_hot(3, class, 0.9), class);
+        }
+        assert!((auc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        let mut auc = WindowedMultiClassAuc::new(4, 400);
+        // Identical scores for every instance: all pairwise comparisons tie.
+        for i in 0..400 {
+            auc.record(&[0.25, 0.25, 0.25, 0.25], i % 4);
+        }
+        assert!((auc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let mut auc = WindowedMultiClassAuc::new(2, 100);
+        for i in 0..100 {
+            let class = i % 2;
+            // Score is always higher for the wrong class.
+            let scores = if class == 0 { vec![0.1, 0.9] } else { vec![0.9, 0.1] };
+            auc.record(&scores, class);
+        }
+        assert!(auc.auc() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_does_not_inflate_auc() {
+        // A classifier that always scores class 0 highest: on a 99:1
+        // imbalanced window its accuracy would be 99%, but its AUC must be
+        // 0.5 because it cannot separate the classes.
+        let mut auc = WindowedMultiClassAuc::new(2, 1000);
+        for i in 0..1000 {
+            let class = if i % 100 == 0 { 1 } else { 0 };
+            auc.record(&[0.8, 0.2], class);
+        }
+        assert!((auc.auc() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_separation_is_between_half_and_one() {
+        let mut auc = WindowedMultiClassAuc::new(2, 200);
+        for i in 0..200 {
+            let class = i % 2;
+            // Class-1 instances score a bit higher on class 1, with overlap.
+            let s1 = if class == 1 { 0.5 + (i % 7) as f64 * 0.05 } else { 0.4 + (i % 5) as f64 * 0.05 };
+            auc.record(&[1.0 - s1, s1], class);
+        }
+        let a = auc.auc();
+        assert!(a > 0.55 && a < 0.95, "auc = {a}");
+    }
+
+    #[test]
+    fn missing_class_falls_back_gracefully() {
+        let mut auc = WindowedMultiClassAuc::new(3, 50);
+        for _ in 0..20 {
+            auc.record(&one_hot(3, 0, 0.9), 0);
+        }
+        // Only one class present → chance level by definition.
+        assert_eq!(auc.auc(), 0.5);
+        // Two of three classes present: only those pairs count.
+        for _ in 0..20 {
+            auc.record(&one_hot(3, 1, 0.9), 1);
+        }
+        assert!((auc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut auc = WindowedMultiClassAuc::new(2, 10);
+        // Fill with bad predictions, then push 10 perfect ones: the bad ones
+        // must be evicted entirely.
+        for i in 0..10 {
+            let class = i % 2;
+            let scores = if class == 0 { vec![0.1, 0.9] } else { vec![0.9, 0.1] };
+            auc.record(&scores, class);
+        }
+        for i in 0..10 {
+            let class = i % 2;
+            auc.record(&one_hot(2, class, 0.95), class);
+        }
+        assert_eq!(auc.len(), 10);
+        assert!((auc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let mut auc = WindowedMultiClassAuc::new(2, 10);
+        auc.record(&[0.4, 0.6], 1);
+        assert!(!auc.is_empty());
+        auc.reset();
+        assert!(auc.is_empty());
+        assert_eq!(auc.auc(), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_score_length_rejected() {
+        WindowedMultiClassAuc::new(3, 10).record(&[0.5, 0.5], 0);
+    }
+}

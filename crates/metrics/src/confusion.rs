@@ -1,0 +1,285 @@
+//! Streaming (running) confusion matrix and the classification metrics
+//! derived from it.
+
+use serde::{Deserialize, Serialize};
+
+/// A running multi-class confusion matrix.
+///
+/// `matrix[true][predicted]` counts how many instances of class `true` were
+/// predicted as `predicted`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfusionMatrix {
+    num_classes: usize,
+    matrix: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl StreamingConfusionMatrix {
+    /// Creates an empty matrix for `num_classes` classes.
+    ///
+    /// # Panics
+    /// Panics if `num_classes < 2`.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        StreamingConfusionMatrix { num_classes, matrix: vec![vec![0; num_classes]; num_classes], total: 0 }
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, true_class: usize, predicted_class: usize) {
+        assert!(true_class < self.num_classes, "true class {true_class} out of range");
+        assert!(predicted_class < self.num_classes, "predicted class {predicted_class} out of range");
+        self.matrix[true_class][predicted_class] += 1;
+        self.total += 1;
+    }
+
+    /// Removes a previously recorded prediction (used by sliding-window
+    /// evaluators when an observation leaves the window).
+    ///
+    /// # Panics
+    /// Panics if the corresponding cell is already zero.
+    pub fn unrecord(&mut self, true_class: usize, predicted_class: usize) {
+        assert!(true_class < self.num_classes && predicted_class < self.num_classes);
+        assert!(self.matrix[true_class][predicted_class] > 0, "cannot unrecord an empty cell");
+        self.matrix[true_class][predicted_class] -= 1;
+        self.total -= 1;
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count in cell `(true_class, predicted_class)`.
+    pub fn count(&self, true_class: usize, predicted_class: usize) -> u64 {
+        self.matrix[true_class][predicted_class]
+    }
+
+    /// Number of instances whose true class is `class`.
+    pub fn class_support(&self, class: usize) -> u64 {
+        self.matrix[class].iter().sum()
+    }
+
+    /// Overall accuracy (0.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|c| self.matrix[c][c]).sum();
+        correct as f64 / self.total as f64
+    }
+
+    /// Recall of one class (`None` when the class has no support yet).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let support = self.class_support(class);
+        if support == 0 {
+            None
+        } else {
+            Some(self.matrix[class][class] as f64 / support as f64)
+        }
+    }
+
+    /// Precision of one class (`None` when nothing was predicted as it).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: u64 = (0..self.num_classes).map(|t| self.matrix[t][class]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.matrix[class][class] as f64 / predicted as f64)
+        }
+    }
+
+    /// Per-class recalls; classes without support are reported as `None`.
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        (0..self.num_classes).map(|c| self.recall(c)).collect()
+    }
+
+    /// Multi-class G-mean: the geometric mean of the recalls of all classes
+    /// *with support* in the matrix. Returns 0.0 if no class has support, or
+    /// if any supported class has zero recall (the standard, deliberately
+    /// harsh behaviour that makes G-mean skew-sensitive in the right way).
+    pub fn g_mean(&self) -> f64 {
+        let recalls: Vec<f64> = self.recalls().into_iter().flatten().collect();
+        if recalls.is_empty() {
+            return 0.0;
+        }
+        let product: f64 = recalls.iter().product();
+        if product <= 0.0 {
+            0.0
+        } else {
+            product.powf(1.0 / recalls.len() as f64)
+        }
+    }
+
+    /// Macro-averaged recall over supported classes (0.0 when empty).
+    pub fn macro_recall(&self) -> f64 {
+        let recalls: Vec<f64> = self.recalls().into_iter().flatten().collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+
+    /// Cohen's kappa agreement statistic (0.0 when empty or when the
+    /// expected agreement is 1).
+    pub fn kappa(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        let observed = self.accuracy();
+        let mut expected = 0.0;
+        for c in 0..self.num_classes {
+            let row: u64 = self.matrix[c].iter().sum();
+            let col: u64 = (0..self.num_classes).map(|t| self.matrix[t][c]).sum();
+            expected += (row as f64 / total) * (col as f64 / total);
+        }
+        if (1.0 - expected).abs() < 1e-12 {
+            0.0
+        } else {
+            (observed - expected) / (1.0 - expected)
+        }
+    }
+
+    /// Resets all counts.
+    pub fn reset(&mut self) {
+        for row in self.matrix.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = 0;
+            }
+        }
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect(n: usize, per_class: u64) -> StreamingConfusionMatrix {
+        let mut m = StreamingConfusionMatrix::new(n);
+        for c in 0..n {
+            for _ in 0..per_class {
+                m.record(c, c);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let m = perfect(4, 25);
+        assert_eq!(m.total(), 100);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.g_mean(), 1.0);
+        assert_eq!(m.macro_recall(), 1.0);
+        assert!((m.kappa() - 1.0).abs() < 1e-12);
+        for c in 0..4 {
+            assert_eq!(m.recall(c), Some(1.0));
+            assert_eq!(m.precision(c), Some(1.0));
+            assert_eq!(m.class_support(c), 25);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = StreamingConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.g_mean(), 0.0);
+        assert_eq!(m.kappa(), 0.0);
+        assert_eq!(m.recall(0), None);
+        assert_eq!(m.precision(0), None);
+        assert_eq!(m.num_classes(), 3);
+    }
+
+    #[test]
+    fn known_binary_example() {
+        // TP=40 (1→1), TN=45 (0→0), FP=5 (0→1), FN=10 (1→0)
+        let mut m = StreamingConfusionMatrix::new(2);
+        for _ in 0..45 {
+            m.record(0, 0);
+        }
+        for _ in 0..5 {
+            m.record(0, 1);
+        }
+        for _ in 0..10 {
+            m.record(1, 0);
+        }
+        for _ in 0..40 {
+            m.record(1, 1);
+        }
+        assert!((m.accuracy() - 0.85).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 0.8).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 0.9).abs() < 1e-12);
+        assert!((m.precision(1).unwrap() - 40.0 / 45.0).abs() < 1e-12);
+        assert!((m.g_mean() - (0.8_f64 * 0.9).sqrt()).abs() < 1e-12);
+        // Kappa: p_e = 0.5*0.55 + 0.5*0.45 = 0.5 → (0.85-0.5)/0.5 = 0.7
+        assert!((m.kappa() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_zero_if_any_class_never_correct() {
+        let mut m = StreamingConfusionMatrix::new(3);
+        for _ in 0..50 {
+            m.record(0, 0);
+            m.record(1, 1);
+            m.record(2, 0); // class 2 always wrong
+        }
+        assert_eq!(m.g_mean(), 0.0);
+        assert!(m.macro_recall() > 0.6);
+    }
+
+    #[test]
+    fn majority_guesser_has_zero_kappa() {
+        // Predict class 0 always; true labels 90% class 0, 10% class 1.
+        let mut m = StreamingConfusionMatrix::new(2);
+        for _ in 0..90 {
+            m.record(0, 0);
+        }
+        for _ in 0..10 {
+            m.record(1, 0);
+        }
+        assert!((m.accuracy() - 0.9).abs() < 1e-12);
+        assert!(m.kappa().abs() < 1e-12, "majority guessing must not earn kappa, got {}", m.kappa());
+        assert_eq!(m.g_mean(), 0.0);
+    }
+
+    #[test]
+    fn unrecord_reverses_record() {
+        let mut m = StreamingConfusionMatrix::new(2);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.unrecord(0, 1);
+        assert_eq!(m.total(), 1);
+        assert_eq!(m.count(0, 1), 0);
+        assert_eq!(m.count(1, 1), 1);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut m = perfect(3, 5);
+        m.reset();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_rejected() {
+        StreamingConfusionMatrix::new(2).record(5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrecord_empty_cell_rejected() {
+        StreamingConfusionMatrix::new(2).unrecord(0, 0);
+    }
+}

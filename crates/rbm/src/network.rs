@@ -1,0 +1,580 @@
+//! The three-layer Restricted Boltzmann Machine underlying RBM-IM.
+//!
+//! Architecture (paper Eq. 6–12): a visible layer `v` of `V` units holding
+//! the normalized feature vector, a hidden layer `h` of `H` binary units and
+//! a class layer `z` of `Z` softmax units. Connections exist between `v`–`h`
+//! (weights `w`) and `h`–`z` (weights `u`); there are no intra-layer
+//! connections. Training minimizes the class-balanced negative
+//! log-likelihood (Eq. 13) with Contrastive Divergence (CD-k, Eq. 16–21) on
+//! mini-batches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbm_im_streams::{Instance, MiniBatch};
+
+/// Hyper-parameters of the RBM network (the RBM-IM rows of Tab. II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbmNetworkConfig {
+    /// Number of hidden units, expressed as a fraction of the visible units
+    /// (the paper's grid: 0.25·V … 1.0·V). The absolute count is
+    /// `max(4, fraction * num_features)`.
+    pub hidden_fraction: f64,
+    /// Learning rate η of the gradient updates (Eq. 17).
+    pub learning_rate: f64,
+    /// Number of Gibbs sampling steps k in CD-k.
+    pub gibbs_steps: usize,
+    /// β parameter of the effective-number-of-samples class-balanced loss;
+    /// weights are `(1 − β) / (1 − β^{n_c})`.
+    pub class_balance_beta: f64,
+    /// Weight-decay (L2) coefficient applied to the connection weights.
+    pub weight_decay: f64,
+    /// Momentum applied to gradient updates (0 disables it).
+    pub momentum: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RbmNetworkConfig {
+    fn default() -> Self {
+        RbmNetworkConfig {
+            hidden_fraction: 0.5,
+            learning_rate: 0.05,
+            gibbs_steps: 1,
+            class_balance_beta: 0.99,
+            weight_decay: 1e-4,
+            momentum: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// The three-layer RBM.
+#[derive(Debug, Clone)]
+pub struct RbmNetwork {
+    num_visible: usize,
+    num_hidden: usize,
+    num_classes: usize,
+    config: RbmNetworkConfig,
+    /// Visible–hidden weights, `w[i][j]` connecting `v_i` to `h_j`.
+    w: Vec<Vec<f64>>,
+    /// Hidden–class weights, `u[j][k]` connecting `h_j` to `z_k`.
+    u: Vec<Vec<f64>>,
+    /// Visible biases `a_i`.
+    a: Vec<f64>,
+    /// Hidden biases `b_j`.
+    b: Vec<f64>,
+    /// Class biases `c_k`.
+    c: Vec<f64>,
+    /// Momentum buffers.
+    w_vel: Vec<Vec<f64>>,
+    u_vel: Vec<Vec<f64>>,
+    /// Per-class instance counts (for the class-balanced loss weights).
+    class_counts: Vec<u64>,
+    /// Online per-feature min/max used to normalize inputs into [0, 1].
+    feature_min: Vec<f64>,
+    feature_max: Vec<f64>,
+    rng: StdRng,
+    batches_trained: u64,
+}
+
+impl RbmNetwork {
+    /// Creates an untrained network for the given schema.
+    pub fn new(num_features: usize, num_classes: usize, config: RbmNetworkConfig) -> Self {
+        assert!(num_features > 0);
+        assert!(num_classes >= 2);
+        assert!(config.hidden_fraction > 0.0);
+        assert!(config.learning_rate > 0.0);
+        assert!(config.gibbs_steps >= 1);
+        assert!(config.class_balance_beta > 0.0 && config.class_balance_beta < 1.0);
+        let num_hidden = ((num_features as f64 * config.hidden_fraction).round() as usize).max(4);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale = 0.1;
+        let w = (0..num_features)
+            .map(|_| (0..num_hidden).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect())
+            .collect();
+        let u = (0..num_hidden)
+            .map(|_| (0..num_classes).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect())
+            .collect();
+        RbmNetwork {
+            num_visible: num_features,
+            num_hidden,
+            num_classes,
+            config,
+            w,
+            u,
+            a: vec![0.0; num_features],
+            b: vec![0.0; num_hidden],
+            c: vec![0.0; num_classes],
+            w_vel: vec![vec![0.0; num_hidden]; num_features],
+            u_vel: vec![vec![0.0; num_classes]; num_hidden],
+            class_counts: vec![0; num_classes],
+            feature_min: vec![f64::INFINITY; num_features],
+            feature_max: vec![f64::NEG_INFINITY; num_features],
+            rng,
+            batches_trained: 0,
+        }
+    }
+
+    /// Number of hidden units.
+    pub fn num_hidden(&self) -> usize {
+        self.num_hidden
+    }
+
+    /// Number of mini-batches trained on so far.
+    pub fn batches_trained(&self) -> u64 {
+        self.batches_trained
+    }
+
+    /// Per-class instance counts accumulated during training.
+    pub fn class_counts(&self) -> &[u64] {
+        &self.class_counts
+    }
+
+    fn sigmoid(x: f64) -> f64 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Min–max normalizes a feature vector into `[0, 1]` using the running
+    /// per-feature ranges (features never observed to vary map to 0.5).
+    fn normalize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let (lo, hi) = (self.feature_min[i], self.feature_max[i]);
+                if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-12 {
+                    0.5
+                } else {
+                    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    fn observe_ranges(&mut self, instance: &Instance) {
+        for (i, &x) in instance.features.iter().enumerate() {
+            if x < self.feature_min[i] {
+                self.feature_min[i] = x;
+            }
+            if x > self.feature_max[i] {
+                self.feature_max[i] = x;
+            }
+        }
+    }
+
+    /// Hidden activation probabilities given visible values and a class
+    /// one-hot/soft encoding (Eq. 10).
+    fn hidden_probabilities(&self, v: &[f64], z: &[f64]) -> Vec<f64> {
+        (0..self.num_hidden)
+            .map(|j| {
+                let mut act = self.b[j];
+                for (i, &vi) in v.iter().enumerate() {
+                    act += vi * self.w[i][j];
+                }
+                for (k, &zk) in z.iter().enumerate() {
+                    act += zk * self.u[j][k];
+                }
+                Self::sigmoid(act)
+            })
+            .collect()
+    }
+
+    /// Visible reconstruction probabilities given hidden values (Eq. 11).
+    fn visible_probabilities(&self, h: &[f64]) -> Vec<f64> {
+        (0..self.num_visible)
+            .map(|i| {
+                let mut act = self.a[i];
+                for (j, &hj) in h.iter().enumerate() {
+                    act += hj * self.w[i][j];
+                }
+                Self::sigmoid(act)
+            })
+            .collect()
+    }
+
+    /// Class reconstruction probabilities (softmax, Eq. 12).
+    fn class_probabilities(&self, h: &[f64]) -> Vec<f64> {
+        let activations: Vec<f64> = (0..self.num_classes)
+            .map(|k| {
+                let mut act = self.c[k];
+                for (j, &hj) in h.iter().enumerate() {
+                    act += hj * self.u[j][k];
+                }
+                act
+            })
+            .collect();
+        let max = activations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = activations.iter().map(|&x| (x - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.iter().map(|e| e / total).collect()
+    }
+
+    fn sample_binary(&mut self, probabilities: &[f64]) -> Vec<f64> {
+        probabilities.iter().map(|&p| if self.rng.gen::<f64>() < p { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Class-balanced loss weight of a class (Eq. 13): the inverse effective
+    /// number of samples, normalized so the average weight over observed
+    /// classes is 1.
+    pub fn class_weight(&self, class: usize) -> f64 {
+        let beta = self.config.class_balance_beta;
+        let raw: Vec<f64> = self
+            .class_counts
+            .iter()
+            .map(|&n| {
+                if n == 0 {
+                    // Unseen classes get the weight of a single-instance class.
+                    (1.0 - beta) / (1.0 - beta.powi(1))
+                } else {
+                    (1.0 - beta) / (1.0 - beta.powi(n.min(i32::MAX as u64) as i32))
+                }
+            })
+            .collect();
+        let mean: f64 = raw.iter().sum::<f64>() / raw.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            raw[class] / mean
+        }
+    }
+
+    /// Predicts the class of an instance by comparing free energies: for
+    /// each candidate class `k` the free energy of the configuration
+    /// `(v, z = 1_k)` is computed and the lowest-energy class wins (the
+    /// standard discriminative read-out of a classification RBM). Used by
+    /// examples and tests; RBM-IM itself is a detector, not the stream
+    /// classifier.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let v = self.normalize(features);
+        let visible_term: f64 = v.iter().zip(self.a.iter()).map(|(vi, ai)| vi * ai).sum();
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for k in 0..self.num_classes {
+            // -F(v, k) = Σ_i a_i v_i + c_k + Σ_j softplus(b_j + Σ_i v_i w_ij + u_jk)
+            let mut neg_free_energy = visible_term + self.c[k];
+            for j in 0..self.num_hidden {
+                let mut act = self.b[j] + self.u[j][k];
+                for (i, &vi) in v.iter().enumerate() {
+                    act += vi * self.w[i][j];
+                }
+                // softplus(act) = ln(1 + e^act), computed stably.
+                neg_free_energy += if act > 30.0 { act } else { (1.0 + act.exp()).ln() };
+            }
+            if neg_free_energy > best.1 {
+                best = (k, neg_free_energy);
+            }
+        }
+        best.0
+    }
+
+    /// Reconstruction error of a single labeled instance (Eq. 22–26): the
+    /// root of the summed squared differences between the instance (features
+    /// plus one-hot label) and its reconstruction.
+    pub fn reconstruction_error(&self, instance: &Instance) -> f64 {
+        let v = self.normalize(&instance.features);
+        let mut z = vec![0.0; self.num_classes];
+        if instance.class < self.num_classes {
+            z[instance.class] = 1.0;
+        }
+        let h = self.hidden_probabilities(&v, &z);
+        let v_rec = self.visible_probabilities(&h);
+        let z_rec = self.class_probabilities(&h);
+        let mut sum = 0.0;
+        for (x, xr) in v.iter().zip(v_rec.iter()) {
+            sum += (x - xr) * (x - xr);
+        }
+        for (y, yr) in z.iter().zip(z_rec.iter()) {
+            sum += (y - yr) * (y - yr);
+        }
+        sum.sqrt()
+    }
+
+    /// Average reconstruction error of each class over a mini-batch
+    /// (Eq. 27). Classes absent from the batch yield `None`.
+    pub fn batch_reconstruction_errors(&self, batch: &MiniBatch) -> Vec<Option<f64>> {
+        let mut sums = vec![0.0; self.num_classes];
+        let mut counts = vec![0usize; self.num_classes];
+        for instance in &batch.instances {
+            if instance.class >= self.num_classes {
+                continue;
+            }
+            sums[instance.class] += self.reconstruction_error(instance);
+            counts[instance.class] += 1;
+        }
+        sums.iter()
+            .zip(counts.iter())
+            .map(|(&s, &c)| if c == 0 { None } else { Some(s / c as f64) })
+            .collect()
+    }
+
+    /// Trains the network on one mini-batch with CD-k and the class-balanced
+    /// loss (Eq. 16–21). Returns the mean (weighted) reconstruction error of
+    /// the batch before the update, which doubles as a cheap training
+    /// diagnostic.
+    pub fn train_batch(&mut self, batch: &MiniBatch) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        // Update normalization ranges and class counts first so the weights
+        // reflect the batch about to be learned.
+        for instance in &batch.instances {
+            self.observe_ranges(instance);
+            if instance.class < self.num_classes {
+                self.class_counts[instance.class] += 1;
+            }
+        }
+
+        let lr = self.config.learning_rate / batch.len() as f64;
+        let momentum = self.config.momentum;
+        let decay = self.config.weight_decay;
+
+        // Gradient accumulators.
+        let mut dw = vec![vec![0.0; self.num_hidden]; self.num_visible];
+        let mut du = vec![vec![0.0; self.num_classes]; self.num_hidden];
+        let mut da = vec![0.0; self.num_visible];
+        let mut db = vec![0.0; self.num_hidden];
+        let mut dc = vec![0.0; self.num_classes];
+        let mut total_error = 0.0;
+
+        for instance in &batch.instances {
+            if instance.class >= self.num_classes {
+                continue;
+            }
+            let weight = self.class_weight(instance.class);
+            let v0 = self.normalize(&instance.features);
+            let mut z0 = vec![0.0; self.num_classes];
+            z0[instance.class] = 1.0;
+
+            // Positive phase.
+            let h0_prob = self.hidden_probabilities(&v0, &z0);
+            let mut h_sample = self.sample_binary(&h0_prob);
+
+            // Gibbs chain (negative phase).
+            let mut vk = v0.clone();
+            let mut zk = z0.clone();
+            let mut hk_prob = h0_prob.clone();
+            for step in 0..self.config.gibbs_steps {
+                vk = self.visible_probabilities(&h_sample);
+                zk = self.class_probabilities(&h_sample);
+                hk_prob = self.hidden_probabilities(&vk, &zk);
+                if step + 1 < self.config.gibbs_steps {
+                    h_sample = self.sample_binary(&hk_prob);
+                } else {
+                    // Final step uses probabilities (standard CD-k practice).
+                    h_sample = hk_prob.clone();
+                }
+            }
+
+            // Accumulate weighted gradients: ⟨data⟩ − ⟨reconstruction⟩.
+            for i in 0..self.num_visible {
+                for j in 0..self.num_hidden {
+                    dw[i][j] += weight * (v0[i] * h0_prob[j] - vk[i] * hk_prob[j]);
+                }
+                da[i] += weight * (v0[i] - vk[i]);
+            }
+            for j in 0..self.num_hidden {
+                for k in 0..self.num_classes {
+                    du[j][k] += weight * (h0_prob[j] * z0[k] - hk_prob[j] * zk[k]);
+                }
+                db[j] += weight * (h0_prob[j] - hk_prob[j]);
+            }
+            for k in 0..self.num_classes {
+                dc[k] += weight * (z0[k] - zk[k]);
+            }
+
+            let mut err = 0.0;
+            for (x, xr) in v0.iter().zip(vk.iter()) {
+                err += (x - xr) * (x - xr);
+            }
+            for (y, yr) in z0.iter().zip(zk.iter()) {
+                err += (y - yr) * (y - yr);
+            }
+            total_error += weight * err.sqrt();
+        }
+
+        // Apply updates with momentum and weight decay.
+        for i in 0..self.num_visible {
+            for j in 0..self.num_hidden {
+                self.w_vel[i][j] = momentum * self.w_vel[i][j] + lr * (dw[i][j] - decay * self.w[i][j]);
+                self.w[i][j] += self.w_vel[i][j];
+            }
+            self.a[i] += lr * da[i];
+        }
+        for j in 0..self.num_hidden {
+            for k in 0..self.num_classes {
+                self.u_vel[j][k] = momentum * self.u_vel[j][k] + lr * (du[j][k] - decay * self.u[j][k]);
+                self.u[j][k] += self.u_vel[j][k];
+            }
+            self.b[j] += lr * db[j];
+        }
+        for k in 0..self.num_classes {
+            self.c[k] += lr * dc[k];
+        }
+        self.batches_trained += 1;
+        total_error / batch.len() as f64
+    }
+
+    /// Forgets everything (used when the harness fully reinitializes the
+    /// detector).
+    pub fn reset(&mut self) {
+        *self = RbmNetwork::new(self.num_visible, self.num_classes, self.config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbm_im_streams::generators::GaussianMixtureGenerator;
+    use rbm_im_streams::imbalance::{ImbalanceProfile, ImbalancedStream};
+    use rbm_im_streams::StreamExt;
+
+    fn batch_from(instances: Vec<Instance>) -> MiniBatch {
+        MiniBatch { start_index: instances.first().map(|i| i.index).unwrap_or(0), instances }
+    }
+
+    #[test]
+    fn construction_respects_hidden_fraction() {
+        let net = RbmNetwork::new(20, 5, RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() });
+        assert_eq!(net.num_hidden(), 5);
+        // Floor of 4 hidden units for tiny inputs.
+        let tiny = RbmNetwork::new(3, 2, RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() });
+        assert_eq!(tiny.num_hidden(), 4);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let mut stream = GaussianMixtureGenerator::balanced(8, 3, 1, 7);
+        let mut net = RbmNetwork::new(8, 3, RbmNetworkConfig::default());
+        // Measure error on a held-out probe batch before and after training.
+        let probe = batch_from(stream.take_instances(100));
+        // Warm the normalization ranges so the before/after comparison is fair.
+        let warm = batch_from(stream.take_instances(50));
+        net.train_batch(&warm);
+        let before: f64 = probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+        for _ in 0..60 {
+            let batch = batch_from(stream.take_instances(50));
+            net.train_batch(&batch);
+        }
+        let after: f64 = probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+        assert!(
+            after < before * 0.9,
+            "training should reduce reconstruction error: before {before}, after {after}"
+        );
+        assert_eq!(net.batches_trained(), 61);
+    }
+
+    #[test]
+    fn reconstruction_error_rises_after_concept_change() {
+        // Train on one mixture; the reconstruction error of data from a
+        // different mixture must be higher than on the training concept.
+        let mut concept_a = GaussianMixtureGenerator::balanced(6, 3, 1, 11);
+        let mut concept_b = GaussianMixtureGenerator::balanced(6, 3, 1, 999);
+        let mut net = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
+        for _ in 0..80 {
+            let batch = batch_from(concept_a.take_instances(50));
+            net.train_batch(&batch);
+        }
+        let err_a: f64 =
+            concept_a.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 200.0;
+        let err_b: f64 =
+            concept_b.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 200.0;
+        assert!(
+            err_b > err_a * 1.05,
+            "unseen concept should reconstruct worse: trained {err_a}, new {err_b}"
+        );
+    }
+
+    #[test]
+    fn per_class_errors_reported_only_for_present_classes() {
+        let mut stream = GaussianMixtureGenerator::balanced(5, 4, 1, 3);
+        let mut net = RbmNetwork::new(5, 4, RbmNetworkConfig::default());
+        let batch = batch_from(stream.take_instances(60));
+        net.train_batch(&batch);
+        let only_class_zero: Vec<Instance> =
+            (0..20).map(|_| stream.generate_for_class(0)).collect();
+        let errors = net.batch_reconstruction_errors(&batch_from(only_class_zero));
+        assert!(errors[0].is_some());
+        assert!(errors[1].is_none());
+        assert!(errors[2].is_none());
+        assert!(errors[3].is_none());
+    }
+
+    #[test]
+    fn class_weights_favor_minorities() {
+        let base = GaussianMixtureGenerator::balanced(5, 3, 1, 17);
+        let profile = ImbalanceProfile::Static(vec![50.0, 10.0, 1.0]);
+        let mut stream = ImbalancedStream::new(base, profile, 5);
+        let mut net = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        for _ in 0..40 {
+            let batch = batch_from(stream.take_instances(50));
+            net.train_batch(&batch);
+        }
+        let w_majority = net.class_weight(0);
+        let w_minority = net.class_weight(2);
+        assert!(
+            w_minority > w_majority,
+            "minority weight {w_minority} must exceed majority weight {w_majority}"
+        );
+        assert!(net.class_counts()[0] > net.class_counts()[2]);
+    }
+
+    #[test]
+    fn prediction_is_better_than_chance_after_training() {
+        // The default (detector-sized) network is deliberately small; give
+        // the classification probe a wider hidden layer and a faster
+        // learning rate, as one would when using the RBM as a classifier.
+        let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 23);
+        let cfg = RbmNetworkConfig { hidden_fraction: 2.0, learning_rate: 0.2, ..Default::default() };
+        let mut net = RbmNetwork::new(6, 3, cfg);
+        for _ in 0..200 {
+            let batch = batch_from(stream.take_instances(50));
+            net.train_batch(&batch);
+        }
+        let test = stream.take_instances(300);
+        let correct = test.iter().filter(|i| net.predict(&i.features) == i.class).count();
+        let accuracy = correct as f64 / test.len() as f64;
+        assert!(accuracy > 0.6, "RBM class layer should beat chance (1/3), got {accuracy}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut net = RbmNetwork::new(4, 2, RbmNetworkConfig::default());
+        let err = net.train_batch(&MiniBatch { instances: vec![], start_index: 0 });
+        assert_eq!(err, 0.0);
+        assert_eq!(net.batches_trained(), 0);
+    }
+
+    #[test]
+    fn reset_forgets_training() {
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 31);
+        let mut net = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        for _ in 0..20 {
+            let batch = batch_from(stream.take_instances(50));
+            net.train_batch(&batch);
+        }
+        net.reset();
+        assert_eq!(net.batches_trained(), 0);
+        assert!(net.class_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut s1 = GaussianMixtureGenerator::balanced(5, 3, 1, 3);
+        let mut s2 = GaussianMixtureGenerator::balanced(5, 3, 1, 3);
+        let mut n1 = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        let mut n2 = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        for _ in 0..10 {
+            let b1 = batch_from(s1.take_instances(40));
+            let b2 = batch_from(s2.take_instances(40));
+            let e1 = n1.train_batch(&b1);
+            let e2 = n2.train_batch(&b2);
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        RbmNetwork::new(5, 3, RbmNetworkConfig { gibbs_steps: 0, ..Default::default() });
+    }
+}
+

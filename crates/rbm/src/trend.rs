@@ -1,0 +1,305 @@
+//! Per-class reconstruction-error trend tracking (paper Eq. 28–37).
+//!
+//! For every class, RBM-IM maintains the *trend* (linear-regression slope)
+//! of the per-batch reconstruction error over a sliding window of recent
+//! mini-batches. The regression is computed incrementally from running sums
+//! (`ΣtR`, `Σt`, `ΣR`, `Σt²`) exactly as in Eq. 29–36, with the window-size
+//! bookkeeping of Eq. 33–37. The window length adapts to the stream: an
+//! embedded ADWIN instance (the "self-adaptive window size [19]" of the
+//! paper) shrinks it when the error level shifts.
+
+use rbm_im_detectors::adwin::Adwin;
+use rbm_im_stats::regression::trend_from_sums;
+use std::collections::VecDeque;
+
+/// Incremental trend tracker over a (bounded, self-adaptive) sliding window.
+#[derive(Debug, Clone)]
+pub struct TrendTracker {
+    /// Maximum window length in batches.
+    max_window: usize,
+    /// Recent `(t, R)` pairs, oldest first.
+    window: VecDeque<(f64, f64)>,
+    /// Running sums for the regression terms of Eq. 29–36.
+    sum_tr: f64,
+    sum_t: f64,
+    sum_r: f64,
+    sum_t2: f64,
+    /// Sum of squared error values (for the window standard deviation used
+    /// by the detector's magnitude guard).
+    sum_r2: f64,
+    /// Batch counter (the regression's time axis).
+    t: u64,
+    /// Self-adaptive window on the raw error values; a detected change
+    /// shrinks the regression window to the most recent observations.
+    adwin: Adwin,
+    /// History of computed trend values (for the Granger test).
+    trend_history: VecDeque<f64>,
+    trend_capacity: usize,
+}
+
+impl TrendTracker {
+    /// Creates a tracker with the given maximum regression window (in
+    /// batches) and trend-history capacity (the number of recent trend
+    /// values retained for the Granger causality test).
+    pub fn new(max_window: usize, trend_capacity: usize, adwin_delta: f64) -> Self {
+        assert!(max_window >= 2, "regression needs at least two points");
+        assert!(trend_capacity >= 4, "the causality test needs a few trend points");
+        TrendTracker {
+            max_window,
+            window: VecDeque::with_capacity(max_window),
+            sum_tr: 0.0,
+            sum_t: 0.0,
+            sum_r: 0.0,
+            sum_t2: 0.0,
+            sum_r2: 0.0,
+            t: 0,
+            adwin: Adwin::new(adwin_delta).with_check_interval(1),
+            trend_history: VecDeque::with_capacity(trend_capacity),
+            trend_capacity,
+        }
+    }
+
+    /// Number of `(t, R)` observations currently inside the regression
+    /// window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Number of batches observed in total.
+    pub fn batches_seen(&self) -> u64 {
+        self.t
+    }
+
+    /// Mean reconstruction error over the current window (0.0 when empty).
+    pub fn window_mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum_r / self.window.len() as f64
+        }
+    }
+
+    /// Population standard deviation of the error values in the current
+    /// window (0.0 when fewer than two values are held).
+    pub fn window_std(&self) -> f64 {
+        let n = self.window.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.sum_r / n as f64;
+        ((self.sum_r2 / n as f64 - mean * mean).max(0.0)).sqrt()
+    }
+
+    fn push_pair(&mut self, t: f64, r: f64) {
+        self.window.push_back((t, r));
+        self.sum_tr += t * r;
+        self.sum_t += t;
+        self.sum_r += r;
+        self.sum_t2 += t * t;
+        self.sum_r2 += r * r;
+    }
+
+    fn pop_oldest(&mut self) {
+        if let Some((t, r)) = self.window.pop_front() {
+            self.sum_tr -= t * r;
+            self.sum_t -= t;
+            self.sum_r -= r;
+            self.sum_t2 -= t * t;
+            self.sum_r2 -= r * r;
+        }
+    }
+
+    /// Adds the reconstruction error of one mini-batch and returns the
+    /// updated trend `Q_r(t)` (Eq. 28). Also reports whether the embedded
+    /// adaptive window signalled a change in the error level.
+    pub fn observe(&mut self, error: f64) -> (f64, bool) {
+        self.t += 1;
+        let t = self.t as f64;
+        self.push_pair(t, error);
+        if self.window.len() > self.max_window {
+            self.pop_oldest();
+        }
+        // Self-adaptive windowing: if ADWIN decides the error level changed,
+        // shrink the regression window to roughly ADWIN's retained width so
+        // the trend reflects the new regime quickly.
+        let adwin_change = self.adwin.add(error);
+        if adwin_change {
+            let keep = (self.adwin.width() as usize).clamp(2, self.max_window);
+            while self.window.len() > keep {
+                self.pop_oldest();
+            }
+        }
+        let trend = trend_from_sums(self.window.len() as f64, self.sum_tr, self.sum_t, self.sum_r, self.sum_t2);
+        if self.trend_history.len() == self.trend_capacity {
+            self.trend_history.pop_front();
+        }
+        self.trend_history.push_back(trend);
+        (trend, adwin_change)
+    }
+
+    /// The most recent trend value, if any.
+    pub fn current_trend(&self) -> Option<f64> {
+        self.trend_history.back().copied()
+    }
+
+    /// The retained trend history split into the older half and the recent
+    /// half — the two series compared by the Granger causality test.
+    /// Returns `None` until the history is full.
+    pub fn trend_series(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        if self.trend_history.len() < self.trend_capacity {
+            return None;
+        }
+        let half = self.trend_capacity / 2;
+        let all: Vec<f64> = self.trend_history.iter().copied().collect();
+        Some((all[..half].to_vec(), all[half..].to_vec()))
+    }
+
+    /// Clears all state (called when a drift has been signalled for the
+    /// class this tracker monitors).
+    pub fn reset(&mut self) {
+        use rbm_im_detectors::DriftDetector;
+        self.window.clear();
+        self.sum_tr = 0.0;
+        self.sum_t = 0.0;
+        self.sum_r = 0.0;
+        self.sum_t2 = 0.0;
+        self.sum_r2 = 0.0;
+        self.t = 0;
+        self.adwin.reset();
+        self.trend_history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_matches_direct_regression_on_linear_series() {
+        let mut tracker = TrendTracker::new(50, 10, 0.002);
+        // R(t) = 0.3 + 0.02 t — the slope must converge to 0.02.
+        let mut last = 0.0;
+        for t in 1..=40 {
+            let (trend, _) = tracker.observe(0.3 + 0.02 * t as f64);
+            last = trend;
+        }
+        assert!((last - 0.02).abs() < 1e-9, "trend = {last}");
+        assert_eq!(tracker.window_len(), 40);
+        assert_eq!(tracker.batches_seen(), 40);
+    }
+
+    #[test]
+    fn flat_series_has_zero_trend() {
+        let mut tracker = TrendTracker::new(30, 8, 0.002);
+        let mut last = 1.0;
+        for _ in 0..30 {
+            let (trend, _) = tracker.observe(0.5);
+            last = trend;
+        }
+        assert!(last.abs() < 1e-9);
+        assert!((tracker.window_mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut tracker = TrendTracker::new(10, 6, 0.002);
+        for t in 1..=100 {
+            tracker.observe(0.1 * (t % 7) as f64);
+        }
+        assert_eq!(tracker.window_len(), 10);
+    }
+
+    #[test]
+    fn sums_remain_consistent_after_evictions() {
+        let mut tracker = TrendTracker::new(10, 6, 0.002);
+        for t in 1..=50 {
+            tracker.observe((t as f64 * 0.37).sin().abs());
+        }
+        // Recompute the regression directly from the retained window and
+        // compare with the incrementally tracked slope.
+        let pairs: Vec<(f64, f64)> = tracker.window.iter().copied().collect();
+        let n = pairs.len() as f64;
+        let sum_t: f64 = pairs.iter().map(|(t, _)| t).sum();
+        let sum_r: f64 = pairs.iter().map(|(_, r)| r).sum();
+        let sum_tr: f64 = pairs.iter().map(|(t, r)| t * r).sum();
+        let sum_t2: f64 = pairs.iter().map(|(t, _)| t * t).sum();
+        let direct = trend_from_sums(n, sum_tr, sum_t, sum_r, sum_t2);
+        let tracked = tracker.current_trend().unwrap();
+        assert!((direct - tracked).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adwin_shrinks_window_on_level_shift() {
+        let mut tracker = TrendTracker::new(200, 10, 0.01);
+        for _ in 0..150 {
+            tracker.observe(0.2);
+        }
+        let mut shrank = false;
+        for _ in 0..150 {
+            let (_, change) = tracker.observe(0.9);
+            if change {
+                shrank = true;
+            }
+        }
+        assert!(shrank, "the adaptive window must react to a level shift");
+        assert!(tracker.window_len() < 300);
+    }
+
+    #[test]
+    fn rising_error_produces_positive_trend() {
+        let mut tracker = TrendTracker::new(40, 10, 0.002);
+        for _ in 0..20 {
+            tracker.observe(0.2);
+        }
+        for k in 0..20 {
+            tracker.observe(0.2 + 0.03 * k as f64);
+        }
+        assert!(tracker.current_trend().unwrap() > 0.005);
+    }
+
+    #[test]
+    fn trend_series_splits_history_in_half() {
+        let mut tracker = TrendTracker::new(30, 8, 0.002);
+        for t in 1..=7 {
+            tracker.observe(t as f64 * 0.1);
+            assert!(tracker.trend_series().is_none());
+        }
+        tracker.observe(0.9);
+        let (older, recent) = tracker.trend_series().unwrap();
+        assert_eq!(older.len(), 4);
+        assert_eq!(recent.len(), 4);
+    }
+
+    #[test]
+    fn window_std_matches_direct_computation() {
+        let mut tracker = TrendTracker::new(20, 6, 0.002);
+        let values = [0.2, 0.4, 0.3, 0.5, 0.1, 0.35];
+        for &v in &values {
+            tracker.observe(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        assert!((tracker.window_std() - var.sqrt()).abs() < 1e-12);
+        let empty = TrendTracker::new(5, 4, 0.002);
+        assert_eq!(empty.window_std(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut tracker = TrendTracker::new(20, 6, 0.002);
+        for t in 1..=15 {
+            tracker.observe(t as f64);
+        }
+        tracker.reset();
+        assert_eq!(tracker.window_len(), 0);
+        assert_eq!(tracker.batches_seen(), 0);
+        assert!(tracker.current_trend().is_none());
+        assert!(tracker.trend_series().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_window_rejected() {
+        TrendTracker::new(1, 8, 0.002);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bayesian signed test for pairwise algorithm comparison (Benavoli et al.,
+//! JMLR 2017), used by the paper for Figs. 6 and 7.
+//!
+//! Given paired performance differences of two algorithms over `n` datasets
+//! and a region of practical equivalence (ROPE), the test produces a
+//! posterior probability that algorithm A is practically better, that the
+//! two are practically equivalent, and that B is practically better. The
+//! posterior is a Dirichlet distribution over the three regions (with a
+//! symmetric prior pseudo-count placed on the ROPE), sampled by Monte Carlo
+//! using normalized Gamma draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Result, StatsError};
+
+/// Posterior summary of the Bayesian signed test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesianSignedOutcome {
+    /// Posterior probability that algorithm A (left) is practically better.
+    pub p_left: f64,
+    /// Posterior probability of practical equivalence (the ROPE).
+    pub p_rope: f64,
+    /// Posterior probability that algorithm B (right) is practically better.
+    pub p_right: f64,
+    /// Number of paired observations.
+    pub n: usize,
+}
+
+impl BayesianSignedOutcome {
+    /// Returns the label of the region with the highest posterior mass:
+    /// `"left"`, `"rope"` or `"right"`.
+    pub fn winner(&self) -> &'static str {
+        if self.p_left >= self.p_rope && self.p_left >= self.p_right {
+            "left"
+        } else if self.p_right >= self.p_rope && self.p_right >= self.p_left {
+            "right"
+        } else {
+            "rope"
+        }
+    }
+}
+
+/// Runs the Bayesian signed test.
+///
+/// * `scores_a`, `scores_b` — paired performance values (e.g. pmAUC per
+///   stream) of the two algorithms;
+/// * `rope` — half-width of the region of practical equivalence expressed in
+///   the same units as the scores (the paper uses 0.01, i.e. 1% of pmAUC);
+/// * `samples` — number of Monte Carlo samples of the Dirichlet posterior;
+/// * `seed` — RNG seed so figures regenerate deterministically.
+pub fn bayesian_signed_test(
+    scores_a: &[f64],
+    scores_b: &[f64],
+    rope: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<BayesianSignedOutcome> {
+    if scores_a.len() != scores_b.len() {
+        return Err(StatsError::InvalidParameter(format!(
+            "paired samples must have equal length ({} vs {})",
+            scores_a.len(),
+            scores_b.len()
+        )));
+    }
+    if scores_a.len() < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: scores_a.len() });
+    }
+    if rope < 0.0 {
+        return Err(StatsError::InvalidParameter(format!("rope must be >= 0, got {rope}")));
+    }
+    if samples == 0 {
+        return Err(StatsError::InvalidParameter("samples must be > 0".into()));
+    }
+
+    // Count observations in each region.
+    let mut n_left = 0.0_f64;
+    let mut n_rope = 0.0_f64;
+    let mut n_right = 0.0_f64;
+    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+        let d = a - b;
+        if d > rope {
+            n_left += 1.0;
+        } else if d < -rope {
+            n_right += 1.0;
+        } else {
+            n_rope += 1.0;
+        }
+    }
+    // Symmetric Dirichlet prior with pseudo-count 1 on the ROPE (the prior
+    // recommended by Benavoli et al. for the signed test).
+    let alpha = [n_left + 1e-6, n_rope + 1.0, n_right + 1e-6];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wins = [0usize; 3];
+    for _ in 0..samples {
+        let g: Vec<f64> = alpha.iter().map(|&a| sample_gamma(&mut rng, a)).collect();
+        let total: f64 = g.iter().sum();
+        let theta: Vec<f64> = g.iter().map(|v| v / total).collect();
+        let argmax = if theta[0] >= theta[1] && theta[0] >= theta[2] {
+            0
+        } else if theta[2] >= theta[1] {
+            2
+        } else {
+            1
+        };
+        wins[argmax] += 1;
+    }
+    let s = samples as f64;
+    Ok(BayesianSignedOutcome {
+        p_left: wins[0] as f64 / s,
+        p_rope: wins[1] as f64 / s,
+        p_right: wins[2] as f64 / s,
+        n: scores_a.len(),
+    })
+}
+
+/// Marsaglia–Tsang gamma sampler (shape `a`, scale 1), with the standard
+/// boost trick for `a < 1`.
+fn sample_gamma<R: Rng>(rng: &mut R, a: f64) -> f64 {
+    debug_assert!(a > 0.0);
+    if a < 1.0 {
+        // Boosting: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(rng, a + 1.0) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_winner_gets_posterior_mass() {
+        // A beats B by 10 points on every one of 24 datasets, rope = 1.
+        let a: Vec<f64> = (0..24).map(|i| 80.0 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..24).map(|i| 70.0 + i as f64 * 0.1).collect();
+        let out = bayesian_signed_test(&a, &b, 1.0, 20_000, 42).unwrap();
+        assert!(out.p_left > 0.95, "p_left = {}", out.p_left);
+        assert_eq!(out.winner(), "left");
+        assert!((out.p_left + out.p_rope + out.p_right - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_case_flips_roles() {
+        let a: Vec<f64> = (0..24).map(|i| 70.0 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..24).map(|i| 80.0 + i as f64 * 0.1).collect();
+        let out = bayesian_signed_test(&a, &b, 1.0, 20_000, 42).unwrap();
+        assert!(out.p_right > 0.95, "p_right = {}", out.p_right);
+        assert_eq!(out.winner(), "right");
+    }
+
+    #[test]
+    fn equivalent_algorithms_land_in_rope() {
+        // Differences all within the rope.
+        let a: Vec<f64> = (0..24).map(|i| 75.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..24).map(|i| 75.0 - (i % 2) as f64 * 0.1).collect();
+        let out = bayesian_signed_test(&a, &b, 1.0, 20_000, 7).unwrap();
+        assert!(out.p_rope > 0.9, "p_rope = {}", out.p_rope);
+        assert_eq!(out.winner(), "rope");
+    }
+
+    #[test]
+    fn mixed_results_are_uncertain() {
+        // A wins half the time by 5, loses half the time by 5.
+        let a: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 80.0 } else { 70.0 }).collect();
+        let b: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 75.0 } else { 75.0 }).collect();
+        let out = bayesian_signed_test(&a, &b, 1.0, 20_000, 11).unwrap();
+        assert!(out.p_left < 0.9 && out.p_right < 0.9, "left {} right {}", out.p_left, out.p_right);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = (0..24).map(|i| 80.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..24).map(|i| 78.0 + (i % 7) as f64).collect();
+        let o1 = bayesian_signed_test(&a, &b, 1.0, 5_000, 123).unwrap();
+        let o2 = bayesian_signed_test(&a, &b, 1.0, 5_000, 123).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn error_handling() {
+        assert!(bayesian_signed_test(&[1.0, 2.0], &[1.0], 0.1, 100, 0).is_err());
+        assert!(bayesian_signed_test(&[1.0], &[1.0], 0.1, 100, 0).is_err());
+        assert!(bayesian_signed_test(&[1.0, 2.0], &[1.0, 2.0], -0.1, 100, 0).is_err());
+        assert!(bayesian_signed_test(&[1.0, 2.0], &[1.0, 2.0], 0.1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn gamma_sampler_has_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &shape in &[0.5, 1.0, 3.0, 10.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "shape {shape}: mean {mean}");
+        }
+    }
+}

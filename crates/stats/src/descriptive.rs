@@ -1,0 +1,238 @@
+//! Descriptive statistics and rank transforms.
+//!
+//! These helpers are used throughout the detectors (window means, variances)
+//! and by the rank-based hypothesis tests (Wilcoxon, Friedman), which require
+//! midrank handling of ties.
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n - 1`). Returns 0.0 if fewer than
+/// two observations are provided.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Population variance (denominator `n`). Returns 0.0 for an empty slice.
+pub fn population_variance(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Sample standard deviation (square root of the unbiased variance).
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Median of a slice (average of the two central order statistics for even
+/// lengths). Returns 0.0 for an empty slice.
+pub fn median(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median requires non-NaN data"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Minimum of a slice; `None` if empty.
+pub fn min(data: &[f64]) -> Option<f64> {
+    data.iter().copied().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(m) => Some(m.min(x)),
+    })
+}
+
+/// Maximum of a slice; `None` if empty.
+pub fn max(data: &[f64]) -> Option<f64> {
+    data.iter().copied().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(m) => Some(m.max(x)),
+    })
+}
+
+/// Assigns fractional (midrank) ranks to the observations, averaging the
+/// ranks of tied values. Ranks start at 1.
+///
+/// This is the rank transform used by the Wilcoxon rank-sum test and the
+/// Friedman test. For example `[10.0, 20.0, 20.0, 30.0]` receives ranks
+/// `[1.0, 2.5, 2.5, 4.0]`.
+pub fn rank_with_ties(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("rank requires non-NaN data"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        // Extend over the tie group [i, j].
+        while j + 1 < n && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average rank of positions i..=j (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Correction term for ties in rank statistics: `sum(t^3 - t)` over all tie
+/// groups of size `t`. Used by the Wilcoxon rank-sum variance correction.
+pub fn tie_correction(data: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("tie correction requires non-NaN data"));
+    let mut correction = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        correction += t * t * t - t;
+        i = j + 1;
+    }
+    correction
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+/// Returns 0.0 if either input has zero variance or fewer than 2 points.
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation requires equal-length inputs");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// First differences of a series: `y[i] = x[i+1] - x[i]`.
+///
+/// The Granger-causality variant used by RBM-IM operates on first
+/// differences to handle non-stationary trend series (Sec. V-B).
+pub fn first_differences(x: &[f64]) -> Vec<f64> {
+    if x.len() < 2 {
+        return Vec::new();
+    }
+    x.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&d) - 5.0).abs() < 1e-12);
+        assert!((population_variance(&d) - 4.0).abs() < 1e-12);
+        assert!((variance(&d) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&d) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert!(rank_with_ties(&[]).is_empty());
+        assert!(first_differences(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn min_max() {
+        let d = [3.0, -1.0, 7.0, 2.0];
+        assert_eq!(min(&d), Some(-1.0));
+        assert_eq!(max(&d), Some(7.0));
+    }
+
+    #[test]
+    fn ranks_without_ties_are_permutation() {
+        let d = [10.0, 5.0, 8.0, 1.0];
+        assert_eq!(rank_with_ties(&d), vec![4.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let d = [10.0, 20.0, 20.0, 30.0];
+        assert_eq!(rank_with_ties(&d), vec![1.0, 2.5, 2.5, 4.0]);
+        let all_same = [7.0, 7.0, 7.0];
+        assert_eq!(rank_with_ties(&all_same), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Sum of ranks must always be n(n+1)/2 regardless of ties.
+        let d = [5.0, 5.0, 1.0, 3.0, 3.0, 3.0, 9.0];
+        let n = d.len() as f64;
+        let s: f64 = rank_with_ties(&d).iter().sum();
+        assert!((s - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_correction_counts_groups() {
+        // two ties of size 2 and 3: (8-2) + (27-3) = 30
+        let d = [1.0, 1.0, 2.0, 2.0, 2.0, 5.0];
+        assert_eq!(tie_correction(&d), 6.0 + 24.0);
+        assert_eq!(tie_correction(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_perfect_and_none() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &z) + 1.0).abs() < 1e-12);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson_correlation(&x, &c), 0.0);
+    }
+
+    #[test]
+    fn first_differences_basic() {
+        assert_eq!(first_differences(&[1.0, 3.0, 6.0, 10.0]), vec![2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Friedman ranking test with the Bonferroni–Dunn post-hoc procedure.
+//!
+//! The paper compares 6 drift detectors over 24 benchmark streams (Tab. III)
+//! and reports average ranks plus Bonferroni–Dunn critical-difference
+//! diagrams (Figs. 4 and 5). This module reproduces that machinery:
+//!
+//! * the Friedman chi-squared statistic and Iman–Davenport F variant,
+//! * average ranks per algorithm (with midrank tie handling),
+//! * the Bonferroni–Dunn critical difference at a significance level α.
+
+use crate::descriptive::rank_with_ties;
+use crate::distributions::{ChiSquared, ContinuousDistribution, FisherF, Normal};
+use crate::{Result, StatsError};
+
+/// Result of the Friedman test over `k` algorithms and `n` datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriedmanResult {
+    /// Average rank of each algorithm (lower is better; same order as the
+    /// rows passed to [`friedman_test`]).
+    pub average_ranks: Vec<f64>,
+    /// Friedman chi-squared statistic.
+    pub chi_squared: f64,
+    /// p-value of the chi-squared statistic.
+    pub p_value: f64,
+    /// Iman–Davenport F statistic (less conservative variant).
+    pub iman_davenport_f: f64,
+    /// p-value of the Iman–Davenport statistic.
+    pub iman_davenport_p: f64,
+    /// Number of algorithms `k`.
+    pub n_algorithms: usize,
+    /// Number of datasets `n`.
+    pub n_datasets: usize,
+}
+
+/// Runs the Friedman test.
+///
+/// `scores[i][j]` is the performance of algorithm `i` on dataset `j`.
+/// `higher_is_better` controls the ranking direction (pmAUC and pmGM are
+/// both "higher is better"). At least 2 algorithms and 2 datasets are
+/// required; every algorithm must have a score for every dataset.
+pub fn friedman_test(scores: &[Vec<f64>], higher_is_better: bool) -> Result<FriedmanResult> {
+    let k = scores.len();
+    if k < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: k });
+    }
+    let n = scores[0].len();
+    if n < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: n });
+    }
+    if scores.iter().any(|row| row.len() != n) {
+        return Err(StatsError::InvalidParameter("all algorithms need scores on all datasets".into()));
+    }
+
+    // Rank algorithms within each dataset.
+    let mut rank_sums = vec![0.0; k];
+    for j in 0..n {
+        let column: Vec<f64> = (0..k)
+            .map(|i| if higher_is_better { -scores[i][j] } else { scores[i][j] })
+            .collect();
+        let ranks = rank_with_ties(&column);
+        for i in 0..k {
+            rank_sums[i] += ranks[i];
+        }
+    }
+    let average_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_r2: f64 = average_ranks.iter().map(|r| r * r).sum();
+    let chi_squared = 12.0 * nf / (kf * (kf + 1.0)) * (sum_r2 - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
+    let chi_dist = ChiSquared::new(kf - 1.0);
+    let p_value = chi_dist.sf(chi_squared);
+
+    // Iman–Davenport correction: F = (n-1) χ² / (n(k-1) − χ²), ~ F(k−1, (k−1)(n−1)).
+    let denom = nf * (kf - 1.0) - chi_squared;
+    let (iman_davenport_f, iman_davenport_p) = if denom <= 0.0 {
+        (f64::INFINITY, 0.0)
+    } else {
+        let f = (nf - 1.0) * chi_squared / denom;
+        let fd = FisherF::new(kf - 1.0, (kf - 1.0) * (nf - 1.0));
+        (f, fd.sf(f))
+    };
+
+    Ok(FriedmanResult {
+        average_ranks,
+        chi_squared,
+        p_value,
+        iman_davenport_f,
+        iman_davenport_p,
+        n_algorithms: k,
+        n_datasets: n,
+    })
+}
+
+/// Bonferroni–Dunn critical difference for comparing `k` algorithms over `n`
+/// datasets against a control at significance level `alpha`:
+///
+/// `CD = q_α · sqrt(k (k + 1) / (6 n))`
+///
+/// where `q_α = z_{α / (2(k−1))}` is the Bonferroni-corrected two-sided
+/// normal critical value (Demšar 2006).
+pub fn bonferroni_dunn_critical_difference(k: usize, n: usize, alpha: f64) -> Result<f64> {
+    if k < 2 || n < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: k.min(n) });
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter(format!("alpha must be in (0,1), got {alpha}")));
+    }
+    let kf = k as f64;
+    let nf = n as f64;
+    let adjusted = alpha / (2.0 * (kf - 1.0));
+    let q = Normal::standard().quantile(1.0 - adjusted);
+    Ok(q * (kf * (kf + 1.0) / (6.0 * nf)).sqrt())
+}
+
+/// Identifies, for a control algorithm, which competitors are significantly
+/// worse according to the Bonferroni–Dunn procedure: returns a vector of
+/// booleans aligned with `average_ranks` where `true` means "significantly
+/// different from the control".
+pub fn bonferroni_dunn_significant(
+    average_ranks: &[f64],
+    control_index: usize,
+    n_datasets: usize,
+    alpha: f64,
+) -> Result<Vec<bool>> {
+    if control_index >= average_ranks.len() {
+        return Err(StatsError::InvalidParameter(format!(
+            "control index {control_index} out of range for {} algorithms",
+            average_ranks.len()
+        )));
+    }
+    let cd = bonferroni_dunn_critical_difference(average_ranks.len(), n_datasets, alpha)?;
+    let control = average_ranks[control_index];
+    Ok(average_ranks.iter().map(|r| (r - control).abs() > cd).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_dominant_algorithm_detected() {
+        // Algorithm 0 always best, algorithm 2 always worst, on 10 datasets.
+        let scores = vec![
+            (0..10).map(|j| 0.9 + 0.001 * j as f64).collect::<Vec<_>>(),
+            (0..10).map(|j| 0.7 + 0.001 * j as f64).collect::<Vec<_>>(),
+            (0..10).map(|j| 0.5 + 0.001 * j as f64).collect::<Vec<_>>(),
+        ];
+        let res = friedman_test(&scores, true).unwrap();
+        assert!(res.average_ranks[0] < res.average_ranks[1]);
+        assert!(res.average_ranks[1] < res.average_ranks[2]);
+        assert_eq!(res.average_ranks[0], 1.0);
+        assert_eq!(res.average_ranks[2], 3.0);
+        assert!(res.p_value < 0.001, "p = {}", res.p_value);
+        assert!(res.iman_davenport_p <= res.p_value + 1e-12);
+    }
+
+    #[test]
+    fn rank_direction_respected() {
+        let scores = vec![vec![0.9, 0.8, 0.95], vec![0.1, 0.2, 0.15]];
+        let high = friedman_test(&scores, true).unwrap();
+        assert!(high.average_ranks[0] < high.average_ranks[1]);
+        // If lower is better (e.g. error rates), ranking flips.
+        let low = friedman_test(&scores, false).unwrap();
+        assert!(low.average_ranks[0] > low.average_ranks[1]);
+    }
+
+    #[test]
+    fn indistinguishable_algorithms_not_significant() {
+        // Alternating winners — ranks average out.
+        let a: Vec<f64> = (0..20).map(|j| if j % 2 == 0 { 0.8 } else { 0.7 }).collect();
+        let b: Vec<f64> = (0..20).map(|j| if j % 2 == 0 { 0.7 } else { 0.8 }).collect();
+        let res = friedman_test(&[a, b].to_vec(), true).unwrap();
+        assert!((res.average_ranks[0] - res.average_ranks[1]).abs() < 1e-12);
+        assert!(res.p_value > 0.5);
+    }
+
+    #[test]
+    fn ties_within_dataset_get_midranks() {
+        let scores = vec![vec![0.5, 0.6], vec![0.5, 0.6], vec![0.4, 0.2]];
+        let res = friedman_test(&scores, true).unwrap();
+        assert_eq!(res.average_ranks[0], 1.5);
+        assert_eq!(res.average_ranks[1], 1.5);
+        assert_eq!(res.average_ranks[2], 3.0);
+    }
+
+    #[test]
+    fn average_ranks_sum_is_invariant() {
+        // Σ average ranks = k(k+1)/2 regardless of the data.
+        let scores = vec![
+            vec![0.3, 0.9, 0.4, 0.6],
+            vec![0.8, 0.1, 0.45, 0.61],
+            vec![0.2, 0.5, 0.9, 0.3],
+            vec![0.6, 0.6, 0.2, 0.8],
+        ];
+        let res = friedman_test(&scores, true).unwrap();
+        let sum: f64 = res.average_ranks.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_difference_matches_published_value() {
+        // Demšar (2006): for k = 5, n = 30 and α = 0.05 the Bonferroni–Dunn
+        // CD is about 1.02 (q ≈ 2.498).
+        let cd = bonferroni_dunn_critical_difference(5, 30, 0.05).unwrap();
+        assert!((cd - 1.02).abs() < 0.02, "cd = {cd}");
+        // Paper setting: k = 6 detectors, n = 24 streams.
+        let cd_paper = bonferroni_dunn_critical_difference(6, 24, 0.05).unwrap();
+        assert!(cd_paper > 1.3 && cd_paper < 1.6, "cd = {cd_paper}");
+    }
+
+    #[test]
+    fn significance_flags_relative_to_control() {
+        let ranks = vec![1.2, 2.0, 4.5, 5.0];
+        let flags = bonferroni_dunn_significant(&ranks, 0, 24, 0.05).unwrap();
+        assert!(!flags[0]);
+        assert!(!flags[1]);
+        assert!(flags[2]);
+        assert!(flags[3]);
+    }
+
+    #[test]
+    fn error_handling() {
+        assert!(matches!(friedman_test(&[vec![1.0, 2.0]], true), Err(StatsError::InsufficientData { .. })));
+        assert!(matches!(
+            friedman_test(&[vec![1.0], vec![2.0]], true),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            friedman_test(&[vec![1.0, 2.0], vec![2.0]], true),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(bonferroni_dunn_critical_difference(1, 10, 0.05).is_err());
+        assert!(bonferroni_dunn_critical_difference(5, 10, 0.0).is_err());
+        assert!(bonferroni_dunn_significant(&[1.0, 2.0], 5, 10, 0.05).is_err());
+    }
+}

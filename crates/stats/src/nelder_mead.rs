@@ -1,0 +1,285 @@
+//! Nelder–Mead simplex optimizer.
+//!
+//! The paper tunes every detector's hyper-parameters per stream using "self
+//! hyper-parameter tuning" (Veloso et al., 2018), which is an online
+//! Nelder–Mead search over the parameter space. This module provides the
+//! underlying derivative-free simplex minimizer; the harness wraps it with
+//! the parameter grids of Tab. II.
+
+/// Configuration of the Nelder–Mead search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Reflection coefficient (standard value 1.0).
+    pub alpha: f64,
+    /// Expansion coefficient (standard value 2.0).
+    pub gamma: f64,
+    /// Contraction coefficient (standard value 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard value 0.5).
+    pub sigma: f64,
+    /// Maximum number of objective evaluations.
+    pub max_evaluations: usize,
+    /// Terminate when the simplex spread (max − min objective) drops below
+    /// this tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            max_evaluations: 200,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub point: Vec<f64>,
+    /// Objective value at the best point.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+    /// Whether the tolerance criterion was met before the evaluation budget
+    /// ran out.
+    pub converged: bool,
+}
+
+/// Derivative-free simplex minimizer.
+pub struct NelderMead {
+    config: NelderMeadConfig,
+    /// Optional per-dimension bounds `(lower, upper)`; points are clamped.
+    bounds: Option<Vec<(f64, f64)>>,
+}
+
+impl NelderMead {
+    /// Creates an unbounded minimizer with the given configuration.
+    pub fn new(config: NelderMeadConfig) -> Self {
+        NelderMead { config, bounds: None }
+    }
+
+    /// Creates a minimizer that clamps every candidate point into the given
+    /// per-dimension `(lower, upper)` box — hyper-parameter grids are always
+    /// bounded, so this is what the tuning harness uses.
+    pub fn with_bounds(config: NelderMeadConfig, bounds: Vec<(f64, f64)>) -> Self {
+        assert!(bounds.iter().all(|(l, u)| l < u), "each bound must satisfy lower < upper");
+        NelderMead { config, bounds: Some(bounds) }
+    }
+
+    fn clamp(&self, point: &mut [f64]) {
+        if let Some(bounds) = &self.bounds {
+            for (x, (lo, hi)) in point.iter_mut().zip(bounds.iter()) {
+                *x = x.clamp(*lo, *hi);
+            }
+        }
+    }
+
+    /// Minimizes `objective` starting from `initial`, using an axis-aligned
+    /// initial simplex with step `initial_step` in each dimension.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty or `initial_step` is not positive, or if
+    /// bounds were supplied with a dimensionality different from `initial`.
+    pub fn minimize<F>(&self, mut objective: F, initial: &[f64], initial_step: f64) -> NelderMeadResult
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(!initial.is_empty(), "initial point must be non-empty");
+        assert!(initial_step > 0.0, "initial step must be > 0");
+        if let Some(b) = &self.bounds {
+            assert_eq!(b.len(), initial.len(), "bounds dimensionality mismatch");
+        }
+        let n = initial.len();
+        let cfg = self.config;
+        let mut evaluations = 0usize;
+        let mut eval = |pt: &[f64], evals: &mut usize| {
+            *evals += 1;
+            objective(pt)
+        };
+
+        // Initial simplex: start point plus one vertex per axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let mut start = initial.to_vec();
+        self.clamp(&mut start);
+        let f0 = eval(&start, &mut evaluations);
+        simplex.push((start.clone(), f0));
+        for i in 0..n {
+            let mut p = start.clone();
+            p[i] += initial_step;
+            self.clamp(&mut p);
+            // If clamping collapsed the vertex onto the start, step the other way.
+            if p == start {
+                p[i] -= 2.0 * initial_step;
+                self.clamp(&mut p);
+            }
+            let f = eval(&p, &mut evaluations);
+            simplex.push((p, f));
+        }
+
+        let mut converged = false;
+        while evaluations < cfg.max_evaluations {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not return NaN"));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < cfg.tolerance {
+                converged = true;
+                break;
+            }
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (p, _) in &simplex[..n] {
+                for (c, x) in centroid.iter_mut().zip(p.iter()) {
+                    *c += x / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+
+            // Reflection.
+            let mut reflected: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(c, w)| c + cfg.alpha * (c - w))
+                .collect();
+            self.clamp(&mut reflected);
+            let f_reflected = eval(&reflected, &mut evaluations);
+
+            if f_reflected < simplex[0].1 {
+                // Expansion.
+                let mut expanded: Vec<f64> = centroid
+                    .iter()
+                    .zip(reflected.iter())
+                    .map(|(c, r)| c + cfg.gamma * (r - c))
+                    .collect();
+                self.clamp(&mut expanded);
+                let f_expanded = eval(&expanded, &mut evaluations);
+                simplex[n] = if f_expanded < f_reflected {
+                    (expanded, f_expanded)
+                } else {
+                    (reflected, f_reflected)
+                };
+            } else if f_reflected < simplex[n - 1].1 {
+                simplex[n] = (reflected, f_reflected);
+            } else {
+                // Contraction (toward the better of worst/reflected).
+                let (base, f_base) = if f_reflected < worst.1 {
+                    (&reflected, f_reflected)
+                } else {
+                    (&worst.0, worst.1)
+                };
+                let mut contracted: Vec<f64> = centroid
+                    .iter()
+                    .zip(base.iter())
+                    .map(|(c, b)| c + cfg.rho * (b - c))
+                    .collect();
+                self.clamp(&mut contracted);
+                let f_contracted = eval(&contracted, &mut evaluations);
+                if f_contracted < f_base {
+                    simplex[n] = (contracted, f_contracted);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for vertex in simplex.iter_mut().skip(1) {
+                        let mut p: Vec<f64> = best
+                            .iter()
+                            .zip(vertex.0.iter())
+                            .map(|(b, v)| b + cfg.sigma * (v - b))
+                            .collect();
+                        self.clamp(&mut p);
+                        let f = eval(&p, &mut evaluations);
+                        *vertex = (p, f);
+                        if evaluations >= cfg.max_evaluations {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not return NaN"));
+        NelderMeadResult {
+            point: simplex[0].0.clone(),
+            value: simplex[0].1,
+            evaluations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let nm = NelderMead::new(NelderMeadConfig { max_evaluations: 500, ..Default::default() });
+        let res = nm.minimize(|p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2), &[0.0, 0.0], 1.0);
+        assert!((res.point[0] - 3.0).abs() < 1e-3, "x = {}", res.point[0]);
+        assert!((res.point[1] + 1.0).abs() < 1e-3, "y = {}", res.point[1]);
+        assert!(res.value < 1e-5);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_reasonably() {
+        let nm = NelderMead::new(NelderMeadConfig {
+            max_evaluations: 4000,
+            tolerance: 1e-12,
+            ..Default::default()
+        });
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let res = nm.minimize(rosen, &[-1.2, 1.0], 0.5);
+        assert!(res.value < 1e-4, "rosenbrock value = {}", res.value);
+    }
+
+    #[test]
+    fn one_dimensional_problem() {
+        let nm = NelderMead::new(NelderMeadConfig::default());
+        let res = nm.minimize(|p| (p[0] - 7.0).powi(2) + 2.0, &[0.0], 1.0);
+        assert!((res.point[0] - 7.0).abs() < 1e-3);
+        assert!((res.value - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // The unconstrained minimum (x = 10) lies outside the box [0, 2].
+        let nm = NelderMead::with_bounds(NelderMeadConfig::default(), vec![(0.0, 2.0)]);
+        let res = nm.minimize(|p| (p[0] - 10.0).powi(2), &[1.0], 0.5);
+        assert!(res.point[0] <= 2.0 + 1e-12);
+        assert!(res.point[0] > 1.5, "should push to the upper bound, got {}", res.point[0]);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let nm = NelderMead::new(NelderMeadConfig { max_evaluations: 20, ..Default::default() });
+        let mut count = 0usize;
+        let res = nm.minimize(
+            |p| {
+                count += 1;
+                p.iter().map(|x| x * x).sum()
+            },
+            &[5.0, 5.0, 5.0],
+            1.0,
+        );
+        // The implementation may finish the in-flight simplex operation, so
+        // allow a small overshoot proportional to the dimensionality.
+        assert!(count <= 20 + 4, "count = {count}");
+        assert_eq!(res.evaluations, count);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_start() {
+        NelderMead::new(NelderMeadConfig::default()).minimize(|_| 0.0, &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_bounds() {
+        NelderMead::with_bounds(NelderMeadConfig::default(), vec![(1.0, 0.0)]);
+    }
+}

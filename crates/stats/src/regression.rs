@@ -1,0 +1,264 @@
+//! Ordinary least squares: simple (one predictor) and multivariate fits.
+//!
+//! Two consumers in the reproduction:
+//!
+//! * RBM-IM maintains the *trend* of the per-class reconstruction error as
+//!   the slope of a simple linear regression over a sliding window
+//!   (paper Eq. 28–37) — see [`simple_linear_regression`] and the
+//!   incremental variant in `rbm-im` itself;
+//! * the Granger causality test regresses the current value of a series on
+//!   lags of itself and of a second series, which requires the multivariate
+//!   fit in [`ols_multi`].
+
+use crate::matrix::Matrix;
+use crate::{Result, StatsError};
+
+/// Result of a simple (single-predictor) linear regression `y = a + b x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleRegression {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b` — the "trend" used by RBM-IM's detection rule.
+    pub slope: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+/// Fits `y = a + b x` by least squares.
+///
+/// Returns an error if fewer than two points are supplied or if all `x`
+/// values are identical (the slope is then undefined).
+pub fn simple_linear_regression(x: &[f64], y: &[f64]) -> Result<SimpleRegression> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter(format!(
+            "x and y must have equal length ({} vs {})",
+            x.len(),
+            y.len()
+        )));
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return Err(StatsError::InvalidParameter("all x values identical; slope undefined".into()));
+    }
+    let slope = (nf * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / nf;
+
+    let my = sy / nf;
+    let mut rss = 0.0;
+    let mut tss = 0.0;
+    for (xi, yi) in x.iter().zip(y.iter()) {
+        let pred = intercept + slope * xi;
+        rss += (yi - pred) * (yi - pred);
+        tss += (yi - my) * (yi - my);
+    }
+    let r_squared = if tss == 0.0 { 1.0 } else { 1.0 - rss / tss };
+    Ok(SimpleRegression { intercept, slope, r_squared, rss, n })
+}
+
+/// Computes the regression-trend slope from accumulated sums, exactly as in
+/// paper Eq. 28:
+///
+/// `Q_r(t) = (n * Σ(t·R) − Σt · ΣR) / (n * Σt² − (Σt)²)`
+///
+/// where `n` is the number of points in the window, `Σ(t·R)` the sum of
+/// time×value products, `Σt` the sum of time indices, `ΣR` the sum of values
+/// and `Σt²` the sum of squared time indices. Returns 0.0 when the
+/// denominator degenerates (e.g. a single point).
+pub fn trend_from_sums(n: f64, sum_tr: f64, sum_t: f64, sum_r: f64, sum_t2: f64) -> f64 {
+    let denom = n * sum_t2 - sum_t * sum_t;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sum_tr - sum_t * sum_r) / denom
+    }
+}
+
+/// Result of a multivariate OLS fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Fitted coefficients, in the column order of the design matrix.
+    pub coefficients: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of fitted parameters (columns of the design matrix).
+    pub k: usize,
+}
+
+impl OlsFit {
+    /// Residual degrees of freedom `n - k`.
+    pub fn residual_df(&self) -> usize {
+        self.n.saturating_sub(self.k)
+    }
+}
+
+/// Fits `y = X β` by ordinary least squares via the normal equations
+/// `XᵀX β = Xᵀy`, solved with partial-pivot Gaussian elimination.
+///
+/// The caller is responsible for including an intercept column (of ones) in
+/// `design` if one is wanted — the Granger test does this explicitly.
+///
+/// Returns [`StatsError::SingularMatrix`] for rank-deficient designs and
+/// [`StatsError::InsufficientData`] if there are fewer rows than columns.
+pub fn ols_multi(design: &Matrix, y: &[f64]) -> Result<OlsFit> {
+    let n = design.rows();
+    let k = design.cols();
+    if y.len() != n {
+        return Err(StatsError::InvalidParameter(format!(
+            "response length {} does not match design rows {}",
+            y.len(),
+            n
+        )));
+    }
+    if n < k {
+        return Err(StatsError::InsufficientData { needed: k, got: n });
+    }
+    let xt = design.transpose();
+    let xtx = xt.matmul(design);
+    let xty = xt.matmul(&Matrix::column(y));
+    let beta = xtx.solve(xty.as_slice())?;
+
+    let mut rss = 0.0;
+    for i in 0..n {
+        let mut pred = 0.0;
+        for j in 0..k {
+            pred += design[(i, j)] * beta[j];
+        }
+        rss += (y[i] - pred) * (y[i] - pred);
+    }
+    Ok(OlsFit { coefficients: beta, rss, n, k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_regression_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let fit = simple_linear_regression(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.rss < 1e-20);
+    }
+
+    #[test]
+    fn simple_regression_noisy_data() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1, 11.9];
+        let fit = simple_linear_regression(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn simple_regression_flat_series_has_zero_slope() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [5.0, 5.0, 5.0, 5.0];
+        let fit = simple_linear_regression(&x, &y).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        // Flat series: TSS = 0 so R² defined as 1 by convention here.
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn simple_regression_errors() {
+        assert!(matches!(
+            simple_linear_regression(&[1.0], &[1.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            simple_linear_regression(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            simple_linear_regression(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn trend_from_sums_matches_full_regression() {
+        let t: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let r: Vec<f64> = t.iter().map(|v| 0.5 * v + 3.0).collect();
+        let fit = simple_linear_regression(&t, &r).unwrap();
+        let n = t.len() as f64;
+        let sum_tr: f64 = t.iter().zip(r.iter()).map(|(a, b)| a * b).sum();
+        let sum_t: f64 = t.iter().sum();
+        let sum_r: f64 = r.iter().sum();
+        let sum_t2: f64 = t.iter().map(|v| v * v).sum();
+        let slope = trend_from_sums(n, sum_tr, sum_t, sum_r, sum_t2);
+        assert!((slope - fit.slope).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trend_from_sums_degenerate_is_zero() {
+        assert_eq!(trend_from_sums(1.0, 3.0, 1.0, 3.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ols_multi_recovers_coefficients() {
+        // y = 1 + 2*x1 - 3*x2 exactly.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let x1 = i as f64;
+            let x2 = (i as f64 * 0.7).sin();
+            rows.push(vec![1.0, x1, x2]);
+            ys.push(1.0 + 2.0 * x1 - 3.0 * x2);
+        }
+        let design = Matrix::from_rows(&rows);
+        let fit = ols_multi(&design, &ys).unwrap();
+        assert!((fit.coefficients[0] - 1.0).abs() < 1e-8);
+        assert!((fit.coefficients[1] - 2.0).abs() < 1e-8);
+        assert!((fit.coefficients[2] + 3.0).abs() < 1e-8);
+        assert!(fit.rss < 1e-12);
+        assert_eq!(fit.residual_df(), 17);
+    }
+
+    #[test]
+    fn ols_multi_matches_simple_regression() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.2, 1.9, 3.2, 3.8, 5.1];
+        let simple = simple_linear_regression(&x, &y).unwrap();
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![1.0, v]).collect();
+        let multi = ols_multi(&Matrix::from_rows(&rows), &y).unwrap();
+        assert!((multi.coefficients[0] - simple.intercept).abs() < 1e-10);
+        assert!((multi.coefficients[1] - simple.slope).abs() < 1e-10);
+        assert!((multi.rss - simple.rss).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ols_multi_detects_collinearity() {
+        // Second column is exactly twice the first → singular normal equations.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(ols_multi(&Matrix::from_rows(&rows), &y), Err(StatsError::SingularMatrix));
+    }
+
+    #[test]
+    fn ols_multi_rejects_underdetermined() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let y = vec![1.0, 2.0];
+        assert!(matches!(
+            ols_multi(&Matrix::from_rows(&rows), &y),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+}

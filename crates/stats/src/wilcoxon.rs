@@ -1,0 +1,201 @@
+//! Wilcoxon rank-based hypothesis tests.
+//!
+//! * [`wilcoxon_rank_sum`] (Mann–Whitney U) compares two independent samples
+//!   — this is the decision statistic of the WSTD reference detector, which
+//!   compares the classifier-error distributions of two sub-windows.
+//! * [`wilcoxon_signed_rank`] compares paired samples — used in classical
+//!   post-hoc comparisons of two algorithms over multiple datasets.
+//!
+//! Both tests use the normal approximation with tie and continuity
+//! corrections, which is accurate for the window sizes (≥ 25) employed by
+//! the detectors and the 24-dataset comparisons of the paper.
+
+use crate::descriptive::{rank_with_ties, tie_correction};
+use crate::distributions::{ContinuousDistribution, Normal};
+use crate::{Result, StatsError};
+
+/// Outcome of a Wilcoxon-family test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// The test statistic (U for rank-sum, W for signed-rank).
+    pub statistic: f64,
+    /// Standardized z-score under the normal approximation.
+    pub z_score: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Wilcoxon rank-sum (Mann–Whitney U) test for two independent samples.
+///
+/// Tests the null hypothesis that both samples come from the same
+/// distribution against a two-sided alternative. Requires at least two
+/// observations in each sample.
+pub fn wilcoxon_rank_sum(sample_a: &[f64], sample_b: &[f64]) -> Result<WilcoxonResult> {
+    let n1 = sample_a.len();
+    let n2 = sample_b.len();
+    if n1 < 2 || n2 < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: n1.min(n2) });
+    }
+    let mut combined = Vec::with_capacity(n1 + n2);
+    combined.extend_from_slice(sample_a);
+    combined.extend_from_slice(sample_b);
+    let ranks = rank_with_ties(&combined);
+    let r1: f64 = ranks[..n1].iter().sum();
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u1 = r1 - n1f * (n1f + 1.0) / 2.0;
+    let u2 = n1f * n2f - u1;
+    let u = u1.min(u2);
+
+    let mean_u = n1f * n2f / 2.0;
+    let n = n1f + n2f;
+    // Variance with tie correction.
+    let tie = tie_correction(&combined);
+    let var_u = n1f * n2f / 12.0 * ((n + 1.0) - tie / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        // All observations identical: no evidence against the null.
+        return Ok(WilcoxonResult { statistic: u, z_score: 0.0, p_value: 1.0 });
+    }
+    // Continuity correction.
+    let z = (u - mean_u + 0.5) / var_u.sqrt();
+    let p = 2.0 * Normal::standard().cdf(-z.abs());
+    Ok(WilcoxonResult { statistic: u, z_score: z, p_value: p.min(1.0) })
+}
+
+/// Wilcoxon signed-rank test for paired samples.
+///
+/// Zero differences are discarded (standard practice). Requires at least
+/// five non-zero differences for the normal approximation to be meaningful.
+pub fn wilcoxon_signed_rank(sample_a: &[f64], sample_b: &[f64]) -> Result<WilcoxonResult> {
+    if sample_a.len() != sample_b.len() {
+        return Err(StatsError::InvalidParameter(format!(
+            "paired samples must have equal length ({} vs {})",
+            sample_a.len(),
+            sample_b.len()
+        )));
+    }
+    let diffs: Vec<f64> = sample_a
+        .iter()
+        .zip(sample_b.iter())
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return Err(StatsError::InsufficientData { needed: 5, got: n });
+    }
+    let abs_diffs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = rank_with_ties(&abs_diffs);
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(ranks.iter()) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+    let w = w_plus.min(w_minus);
+    let nf = n as f64;
+    let mean_w = nf * (nf + 1.0) / 4.0;
+    let tie = tie_correction(&abs_diffs);
+    let var_w = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie / 48.0;
+    if var_w <= 0.0 {
+        return Ok(WilcoxonResult { statistic: w, z_score: 0.0, p_value: 1.0 });
+    }
+    let z = (w - mean_w + 0.5) / var_w.sqrt();
+    let p = 2.0 * Normal::standard().cdf(-z.abs());
+    Ok(WilcoxonResult { statistic: w, z_score: z, p_value: p.min(1.0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, scale: f64) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() * scale
+    }
+
+    #[test]
+    fn rank_sum_identical_distributions_not_significant() {
+        let a: Vec<f64> = (0..60).map(|i| noise(i, 1.0)).collect();
+        let b: Vec<f64> = (0..60).map(|i| noise(i + 999, 1.0)).collect();
+        let res = wilcoxon_rank_sum(&a, &b).unwrap();
+        assert!(res.p_value > 0.05, "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn rank_sum_shifted_distributions_significant() {
+        let a: Vec<f64> = (0..60).map(|i| noise(i, 1.0)).collect();
+        let b: Vec<f64> = (0..60).map(|i| noise(i + 999, 1.0) + 1.5).collect();
+        let res = wilcoxon_rank_sum(&a, &b).unwrap();
+        assert!(res.p_value < 0.001, "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn rank_sum_known_small_example() {
+        // Classic textbook example: clearly separated groups.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let res = wilcoxon_rank_sum(&a, &b).unwrap();
+        assert_eq!(res.statistic, 0.0);
+        assert!(res.p_value < 0.02);
+    }
+
+    #[test]
+    fn rank_sum_all_identical_values() {
+        let a = [3.0; 10];
+        let b = [3.0; 10];
+        let res = wilcoxon_rank_sum(&a, &b).unwrap();
+        assert_eq!(res.p_value, 1.0);
+        assert_eq!(res.z_score, 0.0);
+    }
+
+    #[test]
+    fn rank_sum_symmetric_in_arguments() {
+        let a: Vec<f64> = (0..30).map(|i| noise(i, 1.0)).collect();
+        let b: Vec<f64> = (0..40).map(|i| noise(i + 123, 1.0) + 0.4).collect();
+        let r1 = wilcoxon_rank_sum(&a, &b).unwrap();
+        let r2 = wilcoxon_rank_sum(&b, &a).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-10);
+        assert!((r1.statistic - r2.statistic).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_sum_insufficient_data() {
+        assert!(matches!(
+            wilcoxon_rank_sum(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_rank_paired_shift_detected() {
+        let a: Vec<f64> = (0..40).map(|i| noise(i, 1.0)).collect();
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 0.8 + noise(i + 77, 0.1)).collect();
+        let res = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(res.p_value < 0.001, "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn signed_rank_no_difference_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| noise(i, 1.0)).collect();
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + noise(i + 9999, 0.4) - 0.2 * noise(i + 555, 1.0)).collect();
+        let res = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(res.p_value > 0.01, "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn signed_rank_errors() {
+        assert!(matches!(
+            wilcoxon_signed_rank(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // All differences zero → insufficient non-zero pairs.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert!(matches!(
+            wilcoxon_signed_rank(&a, &a),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+}

@@ -1,0 +1,334 @@
+//! Local concept drift: real drift affecting only a subset of classes.
+//!
+//! This is the core mechanism behind the paper's Experiment 2 (Fig. 8) and
+//! Scenario 3 of the taxonomy: at a scheduled position, the conditional
+//! feature distribution `p(x | y)` of the *affected classes only* changes,
+//! while the remaining classes keep their concept. A detector that
+//! aggregates statistics over the whole stream is easily blinded to such a
+//! change when the affected classes are minorities.
+//!
+//! [`LocalDriftStream`] wraps any base stream and applies a per-class affine
+//! feature transform (a rotation-like shuffle plus a shift) to the affected
+//! classes once their drift activates. The transform strength ramps
+//! according to the configured [`DriftKind`]. Because the transform changes
+//! where the affected classes live in feature space, it changes the decision
+//! boundary (a *real* drift), not just feature marginals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::DriftKind;
+use crate::instance::{Instance, StreamSchema};
+use crate::stream::DataStream;
+
+/// Description of a single local drift event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDriftEvent {
+    /// Classes whose conditional distribution changes.
+    pub affected_classes: Vec<usize>,
+    /// Stream position at which the drift starts.
+    pub position: u64,
+    /// Transition width in instances (ignored for sudden drifts).
+    pub width: u64,
+    /// Speed profile.
+    pub kind: DriftKind,
+    /// Magnitude of the feature-space displacement applied to affected
+    /// classes (in units of the feature scale; `0.5` is a severe drift).
+    pub magnitude: f64,
+}
+
+/// Wrapper applying local (per-class) real concept drift to a base stream.
+pub struct LocalDriftStream<S> {
+    inner: S,
+    schema: StreamSchema,
+    events: Vec<LocalDriftEvent>,
+    /// Per-class random transform parameters, generated lazily per event.
+    transforms: Vec<ClassTransform>,
+    seed: u64,
+    rng: StdRng,
+    counter: u64,
+}
+
+/// Affine per-class transform: a per-dimension sign/permutation-free shift
+/// plus a mild scaling, sufficient to relocate the class in feature space.
+#[derive(Debug, Clone)]
+struct ClassTransform {
+    class: usize,
+    event_index: usize,
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl<S: DataStream> LocalDriftStream<S> {
+    /// Wraps `inner` with the given local-drift events.
+    ///
+    /// # Panics
+    /// Panics if any event references a class outside the base schema or
+    /// has non-positive magnitude.
+    pub fn new(inner: S, events: Vec<LocalDriftEvent>, seed: u64) -> Self {
+        let schema = inner.schema().renamed(format!("{}-localdrift", inner.schema().name));
+        for e in &events {
+            assert!(!e.affected_classes.is_empty(), "a local drift must affect at least one class");
+            assert!(e.magnitude > 0.0, "drift magnitude must be > 0");
+            for &c in &e.affected_classes {
+                assert!(c < schema.num_classes, "class {c} out of range for {} classes", schema.num_classes);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let transforms = Self::build_transforms(&events, schema.num_features, &mut rng);
+        LocalDriftStream { inner, schema, events, transforms, seed, rng, counter: 0 }
+    }
+
+    fn build_transforms(
+        events: &[LocalDriftEvent],
+        num_features: usize,
+        rng: &mut StdRng,
+    ) -> Vec<ClassTransform> {
+        let mut transforms = Vec::new();
+        for (ei, event) in events.iter().enumerate() {
+            for &class in &event.affected_classes {
+                let shift: Vec<f64> = (0..num_features)
+                    .map(|_| {
+                        let direction = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                        direction * rng.gen_range(0.5..1.0) * event.magnitude
+                    })
+                    .collect();
+                let scale: Vec<f64> =
+                    (0..num_features).map(|_| 1.0 + rng.gen_range(-0.3..0.3) * event.magnitude).collect();
+                transforms.push(ClassTransform { class, event_index: ei, shift, scale });
+            }
+        }
+        transforms
+    }
+
+    /// The configured drift events.
+    pub fn events(&self) -> &[LocalDriftEvent] {
+        &self.events
+    }
+
+    /// Activation level of event `ei` at stream position `t`: 0 before the
+    /// drift, 1 after it completes, intermediate during gradual/incremental
+    /// transitions.
+    fn activation(&self, ei: usize, t: u64) -> f64 {
+        let e = &self.events[ei];
+        match e.kind {
+            DriftKind::Sudden => {
+                if t >= e.position {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DriftKind::Gradual | DriftKind::Incremental => {
+                if t < e.position {
+                    0.0
+                } else if e.width == 0 || t >= e.position + e.width {
+                    1.0
+                } else {
+                    (t - e.position) as f64 / e.width as f64
+                }
+            }
+        }
+    }
+}
+
+impl<S: DataStream> DataStream for LocalDriftStream<S> {
+    fn next_instance(&mut self) -> Option<Instance> {
+        let mut inst = self.inner.next_instance()?;
+        let t = self.counter;
+        for transform in &self.transforms {
+            if transform.class != inst.class {
+                continue;
+            }
+            let mut alpha = self.activation(transform.event_index, t);
+            if alpha <= 0.0 {
+                continue;
+            }
+            // Gradual drift: instances flip between concepts; incremental:
+            // concepts interpolate. Both end in the fully drifted transform.
+            if self.events[transform.event_index].kind == DriftKind::Gradual && alpha < 1.0 {
+                alpha = if self.rng.gen::<f64>() < alpha { 1.0 } else { 0.0 };
+            }
+            if alpha <= 0.0 {
+                continue;
+            }
+            for ((f, s), sc) in inst.features.iter_mut().zip(transform.shift.iter()).zip(transform.scale.iter()) {
+                let transformed = *f * sc + s;
+                *f = *f * (1.0 - alpha) + transformed * alpha;
+            }
+        }
+        inst.index = t;
+        self.counter += 1;
+        Some(inst)
+    }
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn restart(&mut self) {
+        self.inner.restart();
+        self.rng = StdRng::seed_from_u64(self.seed);
+        // Transforms are deterministic in the seed; rebuild so gradual
+        // sampling restarts identically.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.transforms = Self::build_transforms(&self.events, self.schema.num_features, &mut rng);
+        self.rng = rng;
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::RandomRbfGenerator;
+    use crate::stream::StreamExt;
+
+    fn class_mean(instances: &[Instance], class: usize, dim: usize) -> Vec<f64> {
+        let mut mean = vec![0.0; dim];
+        let mut count = 0usize;
+        for inst in instances.iter().filter(|i| i.class == class) {
+            for (m, f) in mean.iter_mut().zip(inst.features.iter()) {
+                *m += f;
+            }
+            count += 1;
+        }
+        if count > 0 {
+            for m in mean.iter_mut() {
+                *m /= count as f64;
+            }
+        }
+        mean
+    }
+
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn affected_class_moves_untouched_class_stays() {
+        let base = RandomRbfGenerator::new(6, 4, 2, 0.0, 3);
+        let event = LocalDriftEvent {
+            affected_classes: vec![2],
+            position: 2000,
+            width: 0,
+            kind: DriftKind::Sudden,
+            magnitude: 0.6,
+        };
+        let mut stream = LocalDriftStream::new(base, vec![event], 9);
+        let sample = stream.take_instances(4000);
+        let before = &sample[..2000];
+        let after = &sample[2000..];
+        let moved = distance(&class_mean(before, 2, 6), &class_mean(after, 2, 6));
+        let stayed = distance(&class_mean(before, 0, 6), &class_mean(after, 0, 6));
+        assert!(moved > 0.3, "affected class must relocate, moved {moved}");
+        assert!(stayed < 0.1, "untouched class must stay, moved {stayed}");
+    }
+
+    #[test]
+    fn before_position_nothing_changes() {
+        let base = RandomRbfGenerator::new(5, 3, 2, 0.0, 17);
+        let mut reference = RandomRbfGenerator::new(5, 3, 2, 0.0, 17);
+        let event = LocalDriftEvent {
+            affected_classes: vec![0],
+            position: 10_000,
+            width: 0,
+            kind: DriftKind::Sudden,
+            magnitude: 0.5,
+        };
+        let mut stream = LocalDriftStream::new(base, vec![event], 1);
+        let wrapped = stream.take_instances(500);
+        let plain = reference.take_instances(500);
+        for (w, p) in wrapped.iter().zip(plain.iter()) {
+            assert_eq!(w.features, p.features);
+            assert_eq!(w.class, p.class);
+        }
+    }
+
+    #[test]
+    fn incremental_drift_ramps_smoothly() {
+        let base = RandomRbfGenerator::new(4, 2, 1, 0.0, 5);
+        let event = LocalDriftEvent {
+            affected_classes: vec![1],
+            position: 1000,
+            width: 2000,
+            kind: DriftKind::Incremental,
+            magnitude: 0.8,
+        };
+        let mut stream = LocalDriftStream::new(base, vec![event], 2);
+        let sample = stream.take_instances(4000);
+        let early = class_mean(&sample[..1000], 1, 4);
+        let mid = class_mean(&sample[1500..2500], 1, 4);
+        let late = class_mean(&sample[3000..], 1, 4);
+        let d_early_mid = distance(&early, &mid);
+        let d_early_late = distance(&early, &late);
+        assert!(d_early_late > d_early_mid, "drift should keep progressing: mid {d_early_mid}, late {d_early_late}");
+        assert!(d_early_mid > 0.05, "mid-transition should already have moved");
+    }
+
+    #[test]
+    fn multiple_events_affect_multiple_classes() {
+        let base = RandomRbfGenerator::new(5, 5, 2, 0.0, 8);
+        let events = vec![
+            LocalDriftEvent {
+                affected_classes: vec![0, 1],
+                position: 1000,
+                width: 0,
+                kind: DriftKind::Sudden,
+                magnitude: 0.5,
+            },
+            LocalDriftEvent {
+                affected_classes: vec![4],
+                position: 2000,
+                width: 0,
+                kind: DriftKind::Sudden,
+                magnitude: 0.5,
+            },
+        ];
+        let mut stream = LocalDriftStream::new(base, events, 4);
+        assert_eq!(stream.events().len(), 2);
+        let sample = stream.take_instances(3000);
+        let before = &sample[..1000];
+        let after = &sample[2200..];
+        for c in [0usize, 1, 4] {
+            let moved = distance(&class_mean(before, c, 5), &class_mean(after, c, 5));
+            assert!(moved > 0.2, "class {c} should have drifted, moved {moved}");
+        }
+        let moved2 = distance(&class_mean(before, 2, 5), &class_mean(after, 2, 5));
+        assert!(moved2 < 0.1, "class 2 should not drift, moved {moved2}");
+    }
+
+    #[test]
+    fn restart_is_deterministic() {
+        let base = RandomRbfGenerator::new(4, 3, 2, 0.0, 12);
+        let event = LocalDriftEvent {
+            affected_classes: vec![1],
+            position: 100,
+            width: 200,
+            kind: DriftKind::Gradual,
+            magnitude: 0.4,
+        };
+        let mut stream = LocalDriftStream::new(base, vec![event], 21);
+        let a = stream.take_instances(600);
+        stream.restart();
+        let b = stream.take_instances(600);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_class() {
+        let base = RandomRbfGenerator::new(4, 3, 2, 0.0, 12);
+        LocalDriftStream::new(
+            base,
+            vec![LocalDriftEvent {
+                affected_classes: vec![7],
+                position: 0,
+                width: 0,
+                kind: DriftKind::Sudden,
+                magnitude: 0.5,
+            }],
+            0,
+        );
+    }
+}

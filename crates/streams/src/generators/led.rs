@@ -1,0 +1,171 @@
+//! LED display generator.
+//!
+//! The classic LED generator (Breiman et al., 1984; MOA `LEDGenerator`)
+//! encodes the digit shown on a seven-segment display: 7 relevant binary
+//! attributes (the segments) plus 17 irrelevant binary attributes, 10
+//! classes (the digits 0–9), and a per-segment noise probability that flips
+//! segment values. Drift variants swap which attribute positions carry the
+//! relevant segments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Instance, StreamSchema};
+use crate::stream::DataStream;
+
+/// Segment patterns of the digits 0–9 on a seven-segment display.
+const DIGIT_SEGMENTS: [[u8; 7]; 10] = [
+    [1, 1, 1, 0, 1, 1, 1], // 0
+    [0, 0, 1, 0, 0, 1, 0], // 1
+    [1, 0, 1, 1, 1, 0, 1], // 2
+    [1, 0, 1, 1, 0, 1, 1], // 3
+    [0, 1, 1, 1, 0, 1, 0], // 4
+    [1, 1, 0, 1, 0, 1, 1], // 5
+    [1, 1, 0, 1, 1, 1, 1], // 6
+    [1, 0, 1, 0, 0, 1, 0], // 7
+    [1, 1, 1, 1, 1, 1, 1], // 8
+    [1, 1, 1, 1, 0, 1, 1], // 9
+];
+
+/// Total number of binary attributes (7 relevant + 17 irrelevant).
+const NUM_ATTRIBUTES: usize = 24;
+
+/// LED digit generator.
+pub struct LedGenerator {
+    schema: StreamSchema,
+    seed: u64,
+    rng: StdRng,
+    /// Probability of flipping each relevant segment (noise).
+    noise: f64,
+    /// Attribute positions carrying the 7 relevant segments; permuting this
+    /// vector is the drift mechanism of `LEDGeneratorDrift`.
+    segment_positions: [usize; 7],
+    counter: u64,
+}
+
+impl LedGenerator {
+    /// Creates an LED stream with the given segment-flip probability.
+    pub fn new(noise: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0,1)");
+        let schema = StreamSchema::new("led", NUM_ATTRIBUTES, 10);
+        LedGenerator {
+            schema,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            noise,
+            segment_positions: [0, 1, 2, 3, 4, 5, 6],
+            counter: 0,
+        }
+    }
+
+    /// Swaps `k` relevant segments with irrelevant attribute positions —
+    /// the LED drift mechanism (a real drift: the mapping from features to
+    /// digits changes).
+    pub fn drift_segments(&mut self, k: usize) {
+        let k = k.min(7);
+        for i in 0..k {
+            // Swap relevant position i with a random irrelevant position.
+            let target = self.rng.gen_range(7..NUM_ATTRIBUTES);
+            self.segment_positions[i] = target;
+        }
+    }
+
+    /// Current positions of the relevant segments.
+    pub fn segment_positions(&self) -> [usize; 7] {
+        self.segment_positions
+    }
+}
+
+impl DataStream for LedGenerator {
+    fn next_instance(&mut self) -> Option<Instance> {
+        let digit = self.rng.gen_range(0..10usize);
+        let mut features = vec![0.0; NUM_ATTRIBUTES];
+        // Irrelevant attributes are pure noise.
+        for f in features.iter_mut() {
+            *f = if self.rng.gen::<bool>() { 1.0 } else { 0.0 };
+        }
+        // Relevant segments overwrite their positions (with flip noise).
+        for (seg, &pos) in self.segment_positions.iter().enumerate() {
+            let mut v = DIGIT_SEGMENTS[digit][seg];
+            if self.rng.gen::<f64>() < self.noise {
+                v = 1 - v;
+            }
+            features[pos] = v as f64;
+        }
+        let inst = Instance::with_index(features, digit, self.counter);
+        self.counter += 1;
+        Some(inst)
+    }
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn restart(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.segment_positions = [0, 1, 2, 3, 4, 5, 6];
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    #[test]
+    fn noiseless_digits_are_recoverable() {
+        let mut g = LedGenerator::new(0.0, 3);
+        for inst in g.take_instances(500) {
+            let segs: Vec<u8> = (0..7).map(|i| inst.features[i] as u8).collect();
+            assert_eq!(&segs[..], &DIGIT_SEGMENTS[inst.class][..], "digit {} segments corrupted", inst.class);
+        }
+    }
+
+    #[test]
+    fn all_ten_digits_appear() {
+        let mut g = LedGenerator::new(0.05, 8);
+        let mut counts = [0usize; 10];
+        for inst in g.take_instances(5000) {
+            counts[inst.class] += 1;
+        }
+        for (d, &n) in counts.iter().enumerate() {
+            assert!(n > 300, "digit {d} underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn drift_moves_segment_positions() {
+        let mut g = LedGenerator::new(0.0, 4);
+        let before = g.segment_positions();
+        g.drift_segments(4);
+        let after = g.segment_positions();
+        assert_ne!(before, after);
+        // Positions outside the first seven mean segments moved into the
+        // irrelevant zone.
+        assert!(after.iter().any(|&p| p >= 7));
+    }
+
+    #[test]
+    fn restart_resets_positions_and_sequence() {
+        let mut g = LedGenerator::new(0.1, 6);
+        let a = g.take_instances(100);
+        g.drift_segments(3);
+        g.restart();
+        assert_eq!(g.segment_positions(), [0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(a, g.take_instances(100));
+    }
+
+    #[test]
+    fn noise_corrupts_some_segments() {
+        let mut g = LedGenerator::new(0.3, 12);
+        let mut corrupted = 0;
+        for inst in g.take_instances(500) {
+            let segs: Vec<u8> = (0..7).map(|i| inst.features[i] as u8).collect();
+            if segs != DIGIT_SEGMENTS[inst.class] {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 300, "with 30% segment noise most digits should be corrupted, got {corrupted}");
+    }
+}

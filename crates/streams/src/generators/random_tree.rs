@@ -1,0 +1,216 @@
+//! RandomTree generator.
+//!
+//! The MOA `RandomTreeGenerator` builds a random decision tree over the
+//! feature space and labels uniformly sampled instances by routing them to a
+//! leaf. Drift is obtained by replacing the tree with a freshly generated
+//! one — a sudden real drift (the setting listed for the
+//! `RandomTree5/10/20` benchmarks of Table I).
+//!
+//! Leaves are labeled round-robin during construction so the class
+//! distribution stays approximately balanced, leaving imbalance control to
+//! the [`imbalance`](crate::imbalance) wrapper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Instance, StreamSchema};
+use crate::stream::DataStream;
+
+/// A node of the random labeling tree.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Split { feature: usize, threshold: f64, left: Box<TreeNode>, right: Box<TreeNode> },
+    Leaf { class: usize },
+}
+
+/// Random decision-tree labeled stream.
+pub struct RandomTreeGenerator {
+    schema: StreamSchema,
+    seed: u64,
+    rng: StdRng,
+    tree: TreeNode,
+    depth: usize,
+    /// How many times the tree has been regenerated (concept counter).
+    concept: u64,
+    noise: f64,
+    counter: u64,
+}
+
+impl RandomTreeGenerator {
+    /// Creates a generator with a random tree of the given `depth` over
+    /// `num_features` uniform features in `[0, 1]`.
+    pub fn new(num_features: usize, num_classes: usize, depth: usize, seed: u64) -> Self {
+        assert!(num_features >= 1);
+        assert!(num_classes >= 2);
+        assert!(depth >= 1, "tree depth must be >= 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut leaf_counter = 0usize;
+        let tree = Self::build_tree(depth, num_features, num_classes, &mut rng, &mut leaf_counter);
+        let schema =
+            StreamSchema::new(format!("randomtree-d{num_features}-c{num_classes}"), num_features, num_classes);
+        RandomTreeGenerator { schema, seed, rng, tree, depth, concept: 0, noise: 0.0, counter: 0 }
+    }
+
+    /// Sets the label-noise fraction.
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise));
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the labeling tree with a fresh random one — a sudden global
+    /// real drift.
+    pub fn regenerate(&mut self) {
+        let mut leaf_counter = self.rng.gen_range(0..self.schema.num_classes);
+        self.tree = Self::build_tree(
+            self.depth,
+            self.schema.num_features,
+            self.schema.num_classes,
+            &mut self.rng,
+            &mut leaf_counter,
+        );
+        self.concept += 1;
+    }
+
+    /// Number of tree regenerations so far.
+    pub fn concept(&self) -> u64 {
+        self.concept
+    }
+
+    fn build_tree(
+        depth: usize,
+        num_features: usize,
+        num_classes: usize,
+        rng: &mut StdRng,
+        leaf_counter: &mut usize,
+    ) -> TreeNode {
+        if depth == 0 {
+            let class = *leaf_counter % num_classes;
+            *leaf_counter += 1;
+            return TreeNode::Leaf { class };
+        }
+        let feature = rng.gen_range(0..num_features);
+        // Keep thresholds away from the extremes so both branches are reachable.
+        let threshold = rng.gen_range(0.25..0.75);
+        TreeNode::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::build_tree(depth - 1, num_features, num_classes, rng, leaf_counter)),
+            right: Box::new(Self::build_tree(depth - 1, num_features, num_classes, rng, leaf_counter)),
+        }
+    }
+
+    fn classify(tree: &TreeNode, features: &[f64]) -> usize {
+        match tree {
+            TreeNode::Leaf { class } => *class,
+            TreeNode::Split { feature, threshold, left, right } => {
+                if features[*feature] <= *threshold {
+                    Self::classify(left, features)
+                } else {
+                    Self::classify(right, features)
+                }
+            }
+        }
+    }
+}
+
+impl DataStream for RandomTreeGenerator {
+    fn next_instance(&mut self) -> Option<Instance> {
+        let features: Vec<f64> = (0..self.schema.num_features).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+        let mut class = Self::classify(&self.tree, &features);
+        if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
+            class = self.rng.gen_range(0..self.schema.num_classes);
+        }
+        let inst = Instance::with_index(features, class, self.counter);
+        self.counter += 1;
+        Some(inst)
+    }
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn restart(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut leaf_counter = 0usize;
+        self.tree =
+            Self::build_tree(self.depth, self.schema.num_features, self.schema.num_classes, &mut rng, &mut leaf_counter);
+        self.rng = rng;
+        self.concept = 0;
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    #[test]
+    fn labels_are_deterministic_given_features() {
+        let g = RandomTreeGenerator::new(6, 4, 5, 10);
+        let x = vec![0.3; 6];
+        let a = RandomTreeGenerator::classify(&g.tree, &x);
+        let b = RandomTreeGenerator::classify(&g.tree, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regenerate_changes_labeling() {
+        let mut g = RandomTreeGenerator::new(8, 5, 5, 20);
+        // Fix a probe set, compare labels before/after the drift.
+        let probes: Vec<Vec<f64>> = (0..300)
+            .map(|i| (0..8).map(|j| (((i * 8 + j) as f64) * 0.618_033_9).fract()).collect())
+            .collect();
+        let before: Vec<usize> = probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
+        g.regenerate();
+        assert_eq!(g.concept(), 1);
+        let after: Vec<usize> = probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
+        let changed = before.iter().zip(after.iter()).filter(|(a, b)| a != b).count();
+        assert!(changed > 60, "a new random tree must relabel a large share, got {changed}");
+    }
+
+    #[test]
+    fn depth_controls_leaf_count_balance() {
+        // With depth 4 there are 16 leaves; for 5 classes each class owns at
+        // least 3 leaves, so no class should be empty in a large sample.
+        let mut g = RandomTreeGenerator::new(10, 5, 4, 30);
+        let mut counts = vec![0usize; 5];
+        for inst in g.take_instances(5000) {
+            counts[inst.class] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(n > 100, "class {c} severely underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn restart_reproduces_sequence_and_tree() {
+        let mut g = RandomTreeGenerator::new(5, 3, 4, 77);
+        let a = g.take_instances(200);
+        g.regenerate();
+        g.restart();
+        assert_eq!(g.concept(), 0);
+        let b = g.take_instances(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_perturbs_labels() {
+        let clean: Vec<usize> =
+            RandomTreeGenerator::new(5, 4, 4, 1).take_instances(500).iter().map(|i| i.class).collect();
+        let noisy: Vec<usize> = RandomTreeGenerator::new(5, 4, 4, 1)
+            .with_noise(0.3)
+            .take_instances(500)
+            .iter()
+            .map(|i| i.class)
+            .collect();
+        assert_ne!(clean, noisy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_depth() {
+        RandomTreeGenerator::new(5, 3, 0, 0);
+    }
+}

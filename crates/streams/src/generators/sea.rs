@@ -1,0 +1,167 @@
+//! SEA concepts generator (Street & Kim, 2001).
+//!
+//! Three uniform features in `[0, 10]`; only the first two are relevant. The
+//! classical binary concept is `f1 + f2 <= θ` with four canonical thresholds
+//! (8, 9, 7, 9.5) defining four concepts. This implementation keeps the four
+//! canonical concepts and extends the labeling to `M` classes by splitting
+//! `f1 + f2` into `M` bands anchored at the concept threshold, so concept
+//! switches remain real drifts in the multi-class setting.
+//!
+//! SEA is not one of the Table I benchmarks but is used by the real-world
+//! substitutes and the examples as a compact, easily interpretable stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Instance, StreamSchema};
+use crate::stream::DataStream;
+
+/// Canonical SEA concept thresholds.
+const SEA_THRESHOLDS: [f64; 4] = [8.0, 9.0, 7.0, 9.5];
+
+/// SEA concepts generator.
+pub struct SeaGenerator {
+    schema: StreamSchema,
+    seed: u64,
+    rng: StdRng,
+    concept: usize,
+    num_classes: usize,
+    noise: f64,
+    counter: u64,
+}
+
+impl SeaGenerator {
+    /// Creates a SEA stream with the given class count and label-noise
+    /// fraction, starting in concept 0.
+    pub fn new(num_classes: usize, noise: f64, seed: u64) -> Self {
+        assert!(num_classes >= 2);
+        assert!((0.0..1.0).contains(&noise));
+        let schema = StreamSchema::new(format!("sea-c{num_classes}"), 3, num_classes);
+        SeaGenerator { schema, seed, rng: StdRng::seed_from_u64(seed), concept: 0, num_classes, noise, counter: 0 }
+    }
+
+    /// Switches to one of the four canonical concepts (sudden drift).
+    pub fn set_concept(&mut self, concept: usize) {
+        assert!(concept < SEA_THRESHOLDS.len(), "SEA has 4 concepts, got {concept}");
+        self.concept = concept;
+    }
+
+    /// Currently active concept index.
+    pub fn concept(&self) -> usize {
+        self.concept
+    }
+
+    fn label(&self, f1: f64, f2: f64) -> usize {
+        let theta = SEA_THRESHOLDS[self.concept];
+        // Signed distance to the concept threshold, mapped onto M bands that
+        // tile the attainable range of f1+f2 ∈ [0, 20].
+        let s = f1 + f2;
+        let m = self.num_classes as f64;
+        // Band 0 is "far below threshold", band M-1 "far above".
+        let lower_span = theta.max(1e-9);
+        let upper_span = (20.0 - theta).max(1e-9);
+        let half = (m / 2.0).ceil();
+        let band = if s <= theta {
+            // Map [0, theta] onto bands [0, half).
+            ((s / lower_span) * half).floor().min(half - 1.0)
+        } else {
+            // Map (theta, 20] onto bands [half, m).
+            half + (((s - theta) / upper_span) * (m - half)).floor().min(m - half - 1.0)
+        };
+        band as usize
+    }
+}
+
+impl DataStream for SeaGenerator {
+    fn next_instance(&mut self) -> Option<Instance> {
+        let f1 = self.rng.gen_range(0.0..10.0);
+        let f2 = self.rng.gen_range(0.0..10.0);
+        let f3 = self.rng.gen_range(0.0..10.0);
+        let mut class = self.label(f1, f2);
+        if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
+            class = self.rng.gen_range(0..self.num_classes);
+        }
+        let inst = Instance::with_index(vec![f1, f2, f3], class, self.counter);
+        self.counter += 1;
+        Some(inst)
+    }
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn restart(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    #[test]
+    fn binary_sea_matches_classic_rule() {
+        let mut g = SeaGenerator::new(2, 0.0, 5);
+        for inst in g.take_instances(2000) {
+            let expected = if inst.features[0] + inst.features[1] <= 8.0 { 0 } else { 1 };
+            assert_eq!(inst.class, expected);
+        }
+    }
+
+    #[test]
+    fn concept_switch_relabels_boundary_region() {
+        let mut a = SeaGenerator::new(2, 0.0, 9);
+        let mut b = SeaGenerator::new(2, 0.0, 9);
+        b.set_concept(2); // threshold 7 instead of 8
+        let xa = a.take_instances(3000);
+        let xb = b.take_instances(3000);
+        let mut diff = 0;
+        for (ia, ib) in xa.iter().zip(xb.iter()) {
+            assert_eq!(ia.features, ib.features);
+            if ia.class != ib.class {
+                diff += 1;
+            }
+        }
+        // Roughly the band between 7 and 8 changes labels (~8% of the mass).
+        assert!(diff > 100, "concept switch must relabel the boundary band, got {diff}");
+    }
+
+    #[test]
+    fn multi_class_bands_cover_all_classes() {
+        let mut g = SeaGenerator::new(6, 0.0, 3);
+        let mut counts = vec![0usize; 6];
+        for inst in g.take_instances(6000) {
+            counts[inst.class] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(n > 100, "class {c} empty: {n}");
+        }
+    }
+
+    #[test]
+    fn third_feature_is_irrelevant() {
+        // Re-labeling with a different third feature must not change labels:
+        // verify the label depends only on f1+f2.
+        let g = SeaGenerator::new(4, 0.0, 1);
+        let l1 = g.label(3.0, 4.0);
+        let l2 = g.label(4.0, 3.0);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn restart_and_concept_accessors() {
+        let mut g = SeaGenerator::new(3, 0.0, 4);
+        assert_eq!(g.concept(), 0);
+        let a = g.take_instances(50);
+        g.restart();
+        assert_eq!(a, g.take_instances(50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_concept() {
+        SeaGenerator::new(2, 0.0, 0).set_concept(4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Instance and schema types.
+//!
+//! A stream element (paper Sec. II) is a `d`-dimensional feature vector with
+//! a class label drawn from a joint distribution that may change over time.
+
+use serde::{Deserialize, Serialize};
+
+/// A single labeled stream instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Numeric feature vector. Categorical attributes produced by the
+    /// generators are encoded as their numeric category index.
+    pub features: Vec<f64>,
+    /// Class label in `0..n_classes`.
+    pub class: usize,
+    /// Arrival index within the stream (0-based). Useful for diagnostics
+    /// and for evaluating detection delays.
+    pub index: u64,
+}
+
+impl Instance {
+    /// Creates a new instance.
+    pub fn new(features: Vec<f64>, class: usize) -> Self {
+        Instance { features, class, index: 0 }
+    }
+
+    /// Creates a new instance carrying its arrival index.
+    pub fn with_index(features: Vec<f64>, class: usize, index: u64) -> Self {
+        Instance { features, class, index }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// Static description of a stream: dimensionality and class count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSchema {
+    /// Number of numeric features per instance.
+    pub num_features: usize,
+    /// Number of distinct classes.
+    pub num_classes: usize,
+    /// Human-readable stream name (benchmark identifier).
+    pub name: String,
+}
+
+impl StreamSchema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    /// Panics if `num_features == 0` or `num_classes < 2`.
+    pub fn new(name: impl Into<String>, num_features: usize, num_classes: usize) -> Self {
+        assert!(num_features > 0, "a stream needs at least one feature");
+        assert!(num_classes >= 2, "a classification stream needs at least two classes");
+        StreamSchema { num_features, num_classes, name: name.into() }
+    }
+
+    /// Returns a copy of this schema under a different name (used by
+    /// wrapper streams that change drift/imbalance characteristics but not
+    /// the feature space).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        StreamSchema { num_features: self.num_features, num_classes: self.num_classes, name: name.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_accessors() {
+        let inst = Instance::new(vec![1.0, 2.0, 3.0], 2);
+        assert_eq!(inst.num_features(), 3);
+        assert_eq!(inst.class, 2);
+        assert_eq!(inst.index, 0);
+        let inst = Instance::with_index(vec![1.0], 0, 42);
+        assert_eq!(inst.index, 42);
+    }
+
+    #[test]
+    fn schema_construction_and_rename() {
+        let s = StreamSchema::new("rbf5", 20, 5);
+        assert_eq!(s.num_features, 20);
+        assert_eq!(s.num_classes, 5);
+        assert_eq!(s.name, "rbf5");
+        let r = s.renamed("rbf5-imbalanced");
+        assert_eq!(r.num_features, 20);
+        assert_eq!(r.name, "rbf5-imbalanced");
+    }
+
+    #[test]
+    #[should_panic]
+    fn schema_rejects_single_class() {
+        StreamSchema::new("bad", 3, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn schema_rejects_zero_features() {
+        StreamSchema::new("bad", 0, 2);
+    }
+
+    #[test]
+    fn instance_serde_round_trip() {
+        let inst = Instance::with_index(vec![0.5, -1.0], 1, 7);
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

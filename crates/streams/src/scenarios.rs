@@ -1,0 +1,263 @@
+//! Builders for the three taxonomy scenarios of Section IV.
+//!
+//! * **Scenario 1** — global concept drift + dynamic imbalance ratio, class
+//!   roles fixed;
+//! * **Scenario 2** — Scenario 1 plus class-role switching;
+//! * **Scenario 3** — *local* concept drift (a configurable subset of
+//!   classes) + dynamic imbalance ratio + class-role switching.
+//!
+//! Experiments 2 and 3 of the paper are parameter sweeps over Scenario 3
+//! (number of drifting classes) and over the imbalance ratio respectively;
+//! the harness builds them through these functions.
+
+use crate::drift::local::{LocalDriftEvent, LocalDriftStream};
+use crate::drift::{ConceptSequenceStream, DriftEvent, DriftKind, DriftSchedule};
+use crate::generators::RandomRbfGenerator;
+use crate::imbalance::{ImbalanceProfile, ImbalancedStream};
+use crate::stream::{BoundedStream, DataStream};
+
+/// Common parameters of a scenario stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of features.
+    pub num_features: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Total number of instances emitted.
+    pub length: u64,
+    /// Maximum imbalance ratio.
+    pub imbalance_ratio: f64,
+    /// Number of drift events.
+    pub n_drifts: usize,
+    /// Drift speed profile.
+    pub drift_kind: DriftKind,
+    /// Reproducibility seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            num_features: 20,
+            num_classes: 5,
+            length: 50_000,
+            imbalance_ratio: 100.0,
+            n_drifts: 2,
+            drift_kind: DriftKind::Sudden,
+            seed: 42,
+        }
+    }
+}
+
+/// A built scenario: the stream plus the ground-truth drift positions
+/// (needed to score detection delay and false alarms).
+pub struct ScenarioStream {
+    /// The stream itself.
+    pub stream: Box<dyn DataStream + Send>,
+    /// Ground-truth positions of the injected drifts. For Scenario 3 these
+    /// are exact indices of the emitted stream; for Scenarios 1 and 2 (whose
+    /// concept switches live inside the imbalance operator) they are
+    /// schedule positions of the underlying concept sequence and should be
+    /// treated as approximate when scoring detection delay.
+    pub drift_positions: Vec<u64>,
+    /// Classes affected by each drift (all classes for global scenarios).
+    pub affected_classes: Vec<Vec<usize>>,
+}
+
+fn drift_positions(config: &ScenarioConfig) -> Vec<u64> {
+    (1..=config.n_drifts as u64).map(|k| config.length * k / (config.n_drifts as u64 + 1)).collect()
+}
+
+fn dynamic_profile(config: &ScenarioConfig, switch_roles: bool) -> ImbalanceProfile {
+    let base = match ImbalanceProfile::geometric(config.num_classes, config.imbalance_ratio) {
+        ImbalanceProfile::Static(w) => w,
+        _ => unreachable!(),
+    };
+    if switch_roles {
+        // Role switching rotates the majority role across classes several
+        // times during the stream.
+        ImbalanceProfile::RoleSwitching {
+            weights: base,
+            interval: (config.length / (config.n_drifts as u64 + 2)).max(1),
+        }
+    } else {
+        // Dynamic IR without role change: interpolate between the full-IR
+        // profile and a mild (sqrt IR) profile, keeping the class order.
+        let mild = match ImbalanceProfile::geometric(config.num_classes, config.imbalance_ratio.sqrt()) {
+            ImbalanceProfile::Static(w) => w,
+            _ => unreachable!(),
+        };
+        ImbalanceProfile::LinearShift { start: base, end: mild, period: config.length }
+    }
+}
+
+/// Scenario 1: global concept drift + dynamic imbalance ratio, static roles.
+pub fn scenario1(config: &ScenarioConfig) -> ScenarioStream {
+    let positions = drift_positions(config);
+    let concepts: Vec<Box<dyn DataStream + Send>> = (0..=config.n_drifts)
+        .map(|i| {
+            Box::new(RandomRbfGenerator::new(
+                config.num_features,
+                config.num_classes,
+                3,
+                0.0,
+                config.seed.wrapping_add(i as u64 * 31_337),
+            )) as Box<dyn DataStream + Send>
+        })
+        .collect();
+    let schedule = DriftSchedule {
+        events: positions
+            .iter()
+            .map(|&position| DriftEvent { position, width: (config.length / 20).max(1), kind: config.drift_kind })
+            .collect(),
+    };
+    let drifting = ConceptSequenceStream::new(concepts, schedule, config.seed ^ 0x51);
+    let imbalanced = ImbalancedStream::new(drifting, dynamic_profile(config, false), config.seed ^ 0x52);
+    let all_classes: Vec<usize> = (0..config.num_classes).collect();
+    ScenarioStream {
+        stream: Box::new(BoundedStream::new(imbalanced, config.length)),
+        affected_classes: positions.iter().map(|_| all_classes.clone()).collect(),
+        drift_positions: positions,
+    }
+}
+
+/// Scenario 2: global concept drift + dynamic imbalance ratio + class-role
+/// switching.
+pub fn scenario2(config: &ScenarioConfig) -> ScenarioStream {
+    let positions = drift_positions(config);
+    let concepts: Vec<Box<dyn DataStream + Send>> = (0..=config.n_drifts)
+        .map(|i| {
+            Box::new(RandomRbfGenerator::new(
+                config.num_features,
+                config.num_classes,
+                3,
+                0.0,
+                config.seed.wrapping_add(i as u64 * 7_901),
+            )) as Box<dyn DataStream + Send>
+        })
+        .collect();
+    let schedule = DriftSchedule {
+        events: positions
+            .iter()
+            .map(|&position| DriftEvent { position, width: (config.length / 20).max(1), kind: config.drift_kind })
+            .collect(),
+    };
+    let drifting = ConceptSequenceStream::new(concepts, schedule, config.seed ^ 0x61);
+    let imbalanced = ImbalancedStream::new(drifting, dynamic_profile(config, true), config.seed ^ 0x62);
+    let all_classes: Vec<usize> = (0..config.num_classes).collect();
+    ScenarioStream {
+        stream: Box::new(BoundedStream::new(imbalanced, config.length)),
+        affected_classes: positions.iter().map(|_| all_classes.clone()).collect(),
+        drift_positions: positions,
+    }
+}
+
+/// Scenario 3: **local** concept drift affecting `classes_with_drift`
+/// classes (chosen smallest-first, matching the paper's Experiment 2
+/// protocol) + dynamic imbalance ratio + class-role switching.
+pub fn scenario3(config: &ScenarioConfig, classes_with_drift: usize) -> ScenarioStream {
+    assert!(classes_with_drift >= 1 && classes_with_drift <= config.num_classes);
+    // With a geometric profile class (num_classes - 1) is the smallest, so
+    // drift is injected starting from the highest class index downwards.
+    let affected: Vec<usize> =
+        (config.num_classes - classes_with_drift..config.num_classes).collect();
+    let positions = drift_positions(config);
+    let base = RandomRbfGenerator::new(config.num_features, config.num_classes, 3, 0.0, config.seed);
+    let events: Vec<LocalDriftEvent> = positions
+        .iter()
+        .map(|&position| LocalDriftEvent {
+            affected_classes: affected.clone(),
+            position,
+            width: (config.length / 20).max(1),
+            kind: config.drift_kind,
+            magnitude: 0.6,
+        })
+        .collect();
+    // The imbalance operator sits *inside* the local-drift operator: its
+    // rejection sampling consumes several base instances per emitted one, so
+    // applying the drift outermost keeps the drift positions aligned with
+    // the indices of the emitted stream (which is what detection-delay
+    // scoring compares against).
+    let imbalanced = ImbalancedStream::new(base, dynamic_profile(config, true), config.seed ^ 0x72);
+    let local = LocalDriftStream::new(imbalanced, events, config.seed ^ 0x71);
+    ScenarioStream {
+        stream: Box::new(BoundedStream::new(local, config.length)),
+        affected_classes: positions.iter().map(|_| affected.clone()).collect(),
+        drift_positions: positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig { length: 6_000, num_features: 8, num_classes: 5, imbalance_ratio: 20.0, ..Default::default() }
+    }
+
+    #[test]
+    fn scenario1_emits_declared_length_and_positions() {
+        let cfg = small_config();
+        let mut s = scenario1(&cfg);
+        let sample = s.stream.take_instances(100_000);
+        assert_eq!(sample.len() as u64, cfg.length);
+        assert_eq!(s.drift_positions, vec![2000, 4000]);
+        assert!(s.affected_classes.iter().all(|c| c.len() == 5));
+    }
+
+    #[test]
+    fn scenario2_changes_majority_role() {
+        let cfg = small_config();
+        let mut s = scenario2(&cfg);
+        let sample = s.stream.take_instances(100_000);
+        let majority_of = |slice: &[crate::instance::Instance]| -> usize {
+            let mut counts = vec![0usize; 5];
+            for i in slice {
+                counts[i.class] += 1;
+            }
+            counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap()
+        };
+        let early = majority_of(&sample[..1500]);
+        let late = majority_of(&sample[4500..]);
+        assert_ne!(early, late, "scenario 2 must switch class roles");
+    }
+
+    #[test]
+    fn scenario3_affects_smallest_classes_only() {
+        let cfg = small_config();
+        let s = scenario3(&cfg, 2);
+        assert_eq!(s.affected_classes[0], vec![3, 4]);
+        assert_eq!(s.drift_positions.len(), 2);
+    }
+
+    #[test]
+    fn scenario3_single_class_drift() {
+        let cfg = small_config();
+        let mut s = scenario3(&cfg, 1);
+        assert_eq!(s.affected_classes[0], vec![4]);
+        let sample = s.stream.take_instances(100_000);
+        assert_eq!(sample.len() as u64, cfg.length);
+    }
+
+    #[test]
+    fn scenario3_all_classes_equals_global() {
+        let cfg = small_config();
+        let s = scenario3(&cfg, 5);
+        assert_eq!(s.affected_classes[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = small_config();
+        let mut a = scenario3(&cfg, 2);
+        let mut b = scenario3(&cfg, 2);
+        assert_eq!(a.stream.take_instances(500), b.stream.take_instances(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scenario3_rejects_zero_drifting_classes() {
+        scenario3(&small_config(), 0);
+    }
+}

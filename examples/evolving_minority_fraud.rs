@@ -1,0 +1,61 @@
+//! Scenario 2/3 walk-through: dynamic imbalance ratio with class-role
+//! switching (the "fraud patterns change and yesterday's rare fraud becomes
+//! today's dominant fraud" situation from the paper's taxonomy).
+//!
+//! The example builds Scenario 2 and Scenario 3 streams from the taxonomy
+//! builders, runs the paper's six detectors on each, and prints a compact
+//! comparison — a miniature version of Experiments 2 and 3.
+//!
+//! Run with: `cargo run -p rbm-im-harness --release --example evolving_minority_fraud`
+
+use rbm_im_harness::detectors::DetectorKind;
+use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_streams::drift::DriftKind;
+use rbm_im_streams::scenarios::{scenario2, scenario3, ScenarioConfig};
+
+fn main() {
+    let config = ScenarioConfig {
+        num_features: 15,
+        num_classes: 5,
+        length: 25_000,
+        imbalance_ratio: 100.0,
+        n_drifts: 2,
+        drift_kind: DriftKind::Sudden,
+        seed: 99,
+    };
+    let run_config = RunConfig { metric_window: 1000, ..Default::default() };
+    let detectors = DetectorKind::paper_detectors();
+
+    println!("Scenario 2: global drift + dynamic IR + class-role switching");
+    println!("{:<10} {:>8} {:>8} {:>8}", "detector", "pmAUC", "pmGM", "signals");
+    for &detector in &detectors {
+        let mut s = scenario2(&config);
+        let result = run_detector_on_stream(s.stream.as_mut(), detector, &run_config);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8}",
+            result.detector.name(),
+            result.pm_auc,
+            result.pm_gmean,
+            result.drift_count()
+        );
+    }
+
+    println!("\nScenario 3: the same difficulties, but the drift is LOCAL to the single smallest class");
+    println!("{:<10} {:>8} {:>8} {:>8}", "detector", "pmAUC", "pmGM", "signals");
+    for &detector in &detectors {
+        let mut s = scenario3(&config, 1);
+        let result = run_detector_on_stream(s.stream.as_mut(), detector, &run_config);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8}",
+            result.detector.name(),
+            result.pm_auc,
+            result.pm_gmean,
+            result.drift_count()
+        );
+    }
+    println!(
+        "\nIn Scenario 3 the standard detectors rarely fire (the global error barely\n\
+         moves when only the smallest class drifts), so their classifier never adapts;\n\
+         RBM-IM monitors each class's reconstruction error and keeps reacting."
+    );
+}

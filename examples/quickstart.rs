@@ -1,0 +1,81 @@
+//! Quickstart: monitor a drifting, imbalanced stream with RBM-IM.
+//!
+//! Builds a 4-class RBF stream with a 20:1 imbalance, injects a sudden drift
+//! into the *smallest class only* halfway through, and shows RBM-IM flagging
+//! the change and naming the affected class while a standard error-based
+//! detector (DDM) stays silent.
+//!
+//! Run with: `cargo run -p rbm-im-harness --release --example quickstart`
+
+use rbm_im::{RbmIm, RbmImConfig};
+use rbm_im_detectors::{Ddm, DriftDetector, Observation};
+use rbm_im_streams::drift::local::{LocalDriftEvent, LocalDriftStream};
+use rbm_im_streams::drift::DriftKind;
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::imbalance::{ImbalanceProfile, ImbalancedStream};
+use rbm_im_streams::StreamExt;
+
+fn main() {
+    // 1. Build the stream: 4 classes, geometric 10:1 imbalance, and a severe
+    //    local drift hitting only the smallest class (class 3) at t = 15 000.
+    let base = RandomRbfGenerator::new(10, 4, 3, 0.0, 7);
+    let drift = LocalDriftEvent {
+        affected_classes: vec![3],
+        position: 15_000,
+        width: 0,
+        kind: DriftKind::Sudden,
+        magnitude: 0.9,
+    };
+    // Imbalance first, local drift outermost, so the drift position refers
+    // to the indices of the stream we actually iterate over.
+    let imbalanced = ImbalancedStream::new(base, ImbalanceProfile::geometric(4, 10.0), 3);
+    let mut stream = LocalDriftStream::new(imbalanced, vec![drift], 11);
+
+    // 2. Attach the detectors. The minority class contributes only a couple
+    //    of instances to a default 50-instance mini-batch, so the example
+    //    uses a larger batch to give its per-class error a stable estimate.
+    let config = RbmImConfig { mini_batch_size: 100, ..Default::default() };
+    let mut rbm_im = RbmIm::new(10, 4, config);
+    let mut ddm = Ddm::new();
+
+    // 3. Stream through 30 000 instances. RBM-IM consumes the instances
+    //    directly; DDM monitors a simulated classifier whose accuracy on the
+    //    drifted minority class collapses after the drift (the realistic
+    //    situation the paper describes: the global error barely moves).
+    let instances = stream.take_instances(30_000);
+    println!("streaming {} instances (local drift in class 3 at t = 15000)\n", instances.len());
+    let mut rbm_detections = Vec::new();
+    let mut ddm_detections = Vec::new();
+    for inst in &instances {
+        if rbm_im.observe_instance(inst).is_drift() {
+            rbm_detections.push((inst.index, rbm_im.drifted_classes()));
+        }
+        // Simulated classifier: 90% accurate everywhere, except on class 3
+        // after the drift where it drops to 30%.
+        let drifted_region = inst.index >= 15_000 && inst.class == 3;
+        let accuracy = if drifted_region { 0.3 } else { 0.9 };
+        let hash = ((inst.index as f64 * 0.754_877).fract()) < accuracy;
+        let predicted = if hash { inst.class } else { (inst.class + 1) % 4 };
+        let obs = Observation::new(&inst.features, inst.class, predicted);
+        if ddm.update(&obs).is_drift() {
+            ddm_detections.push(inst.index);
+        }
+    }
+
+    // 4. Report.
+    println!("RBM-IM raised {} drift signal(s):", rbm_detections.len());
+    for (pos, classes) in &rbm_detections {
+        println!("  at instance {:>6}, affected classes {:?}", pos, classes);
+    }
+    println!("\nDDM (global error monitoring) raised {} drift signal(s): {:?}", ddm_detections.len(), ddm_detections);
+    println!(
+        "\nRBM-IM processed {} mini-batches and signalled {} drifts in total.",
+        rbm_im.batches_processed(),
+        rbm_im.drift_count()
+    );
+    if rbm_detections.iter().any(|(p, c)| *p >= 15_000 && c.contains(&3)) {
+        println!("=> the local minority-class drift was detected and attributed correctly.");
+    } else {
+        println!("=> the drift was not attributed to class 3 in this run; try a different seed.");
+    }
+}
