@@ -9,7 +9,8 @@ use rbm_im_streams::registry::{benchmark_by_name, BuildConfig};
 use rbm_im_streams::StreamExt;
 
 fn bench_overhead(c: &mut Criterion) {
-    let build = BuildConfig { seed: 42, scale_divisor: 1_000, n_drifts: 1, dynamic_imbalance: true };
+    let build =
+        BuildConfig { seed: 42, scale_divisor: 1_000, n_drifts: 1, dynamic_imbalance: true };
     let spec = benchmark_by_name("RBF5").expect("RBF5 exists");
     let mut stream = spec.build(&build);
     let instances = stream.take_instances(2_000);
@@ -25,7 +26,11 @@ fn bench_overhead(c: &mut Criterion) {
                 b.iter(|| {
                     let mut detector = kind.build(spec.features, spec.classes);
                     for (i, inst) in instances.iter().enumerate() {
-                        let obs = Observation::new(&inst.features, inst.class, (inst.class + i % 2) % spec.classes);
+                        let obs = Observation::new(
+                            &inst.features,
+                            inst.class,
+                            (inst.class + i % 2) % spec.classes,
+                        );
                         detector.update(&obs);
                     }
                     detector

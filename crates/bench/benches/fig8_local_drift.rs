@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbm_im_harness::detectors::DetectorKind;
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::scenarios::{scenario3, ScenarioConfig};
 
 fn bench_fig8(c: &mut Criterion) {
@@ -24,8 +24,13 @@ fn bench_fig8(c: &mut Criterion) {
             let id = format!("{}-k{}", detector.name(), classes_with_drift);
             group.bench_with_input(BenchmarkId::new("scenario3", id), &(), |b, _| {
                 b.iter(|| {
-                    let mut scenario = scenario3(&config, classes_with_drift);
-                    run_detector_on_stream(scenario.stream.as_mut(), detector, &run)
+                    let scenario = scenario3(&config, classes_with_drift);
+                    PipelineBuilder::new()
+                        .boxed_stream(scenario.stream)
+                        .detector_spec(detector.spec())
+                        .config(run)
+                        .run()
+                        .unwrap()
                 })
             });
         }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbm_im_harness::detectors::DetectorKind;
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::scenarios::{scenario2, ScenarioConfig};
 
 fn bench_fig9(c: &mut Criterion) {
@@ -24,8 +24,13 @@ fn bench_fig9(c: &mut Criterion) {
             let id = format!("{}-ir{}", detector.name(), ir);
             group.bench_with_input(BenchmarkId::new("scenario2", id), &(), |b, _| {
                 b.iter(|| {
-                    let mut scenario = scenario2(&config);
-                    run_detector_on_stream(scenario.stream.as_mut(), detector, &run)
+                    let scenario = scenario2(&config);
+                    PipelineBuilder::new()
+                        .boxed_stream(scenario.stream)
+                        .detector_spec(detector.spec())
+                        .config(run)
+                        .run()
+                        .unwrap()
                 })
             });
         }

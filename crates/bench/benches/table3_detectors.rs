@@ -8,20 +8,25 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbm_im_harness::detectors::DetectorKind;
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::registry::{benchmark_by_name, BuildConfig};
 
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_detectors");
     group.sample_size(10);
-    let build = BuildConfig { seed: 42, scale_divisor: 1_000, n_drifts: 1, dynamic_imbalance: true };
+    let build =
+        BuildConfig { seed: 42, scale_divisor: 1_000, n_drifts: 1, dynamic_imbalance: true };
     let run = RunConfig { metric_window: 500, max_instances: Some(2_000), ..Default::default() };
     let spec = benchmark_by_name("RBF5").expect("RBF5 exists");
     for detector in DetectorKind::paper_detectors() {
         group.bench_with_input(BenchmarkId::new("rbf5", detector.name()), &detector, |b, &d| {
             b.iter(|| {
-                let mut stream = spec.build(&build);
-                run_detector_on_stream(stream.as_mut(), d, &run)
+                PipelineBuilder::new()
+                    .boxed_stream(spec.build(&build))
+                    .detector_spec(d.spec())
+                    .config(run)
+                    .run()
+                    .unwrap()
             })
         });
     }

@@ -133,7 +133,11 @@ struct Leaf {
 impl Leaf {
     fn new(num_features: usize, num_classes: usize, depth: usize, config: &CsptConfig) -> Self {
         Leaf {
-            perceptron: CostSensitivePerceptron::new(num_features, num_classes, config.learning_rate),
+            perceptron: CostSensitivePerceptron::new(
+                num_features,
+                num_classes,
+                config.learning_rate,
+            ),
             naive_bayes: GaussianNaiveBayes::new(num_features, num_classes),
             observers: vec![vec![AttributeObserver::default(); num_features]; num_classes],
             class_counts: vec![0; num_classes],
@@ -193,15 +197,19 @@ impl Leaf {
         let mut second_gain = 0.0;
         for feature in 0..num_features {
             // Candidate thresholds span the observed range of the feature.
-            let (lo, hi) = self.observers.iter().filter(|o| o[feature].count > 0).fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), o| (lo.min(o[feature].min), hi.max(o[feature].max)),
-            );
+            let (lo, hi) = self
+                .observers
+                .iter()
+                .filter(|o| o[feature].count > 0)
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), o| {
+                    (lo.min(o[feature].min), hi.max(o[feature].max))
+                });
             if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-9 {
                 continue;
             }
             for k in 1..=config.candidate_thresholds {
-                let threshold = lo + (hi - lo) * k as f64 / (config.candidate_thresholds + 1) as f64;
+                let threshold =
+                    lo + (hi - lo) * k as f64 / (config.candidate_thresholds + 1) as f64;
                 let gain = self.split_gain(feature, threshold);
                 match best {
                     Some((_, _, g)) if gain <= g => {
@@ -318,13 +326,17 @@ impl CostSensitivePerceptronTree {
                 leaf.perceptron.learn(instance);
                 leaf.naive_bayes.learn(instance);
                 leaf.class_counts[instance.class] += 1;
-                for (f, obs) in instance.features.iter().zip(leaf.observers[instance.class].iter_mut()) {
+                for (f, obs) in
+                    instance.features.iter().zip(leaf.observers[instance.class].iter_mut())
+                {
                     obs.update(*f);
                 }
                 leaf.seen += 1;
                 leaf.seen_since_split_attempt += 1;
 
-                if leaf.seen_since_split_attempt >= config.grace_period && leaf.depth < config.max_depth {
+                if leaf.seen_since_split_attempt >= config.grace_period
+                    && leaf.depth < config.max_depth
+                {
                     leaf.seen_since_split_attempt = 0;
                     // Only consider splitting once at least two classes are
                     // present — otherwise the leaf is already pure.
@@ -342,8 +354,18 @@ impl CostSensitivePerceptronTree {
                         let advantage = gain - second;
                         if gain > 1e-3 && (advantage > epsilon || epsilon < config.tie_threshold) {
                             let depth = leaf.depth;
-                            let left = Node::Leaf(Box::new(Leaf::new(num_features, num_classes, depth + 1, config)));
-                            let right = Node::Leaf(Box::new(Leaf::new(num_features, num_classes, depth + 1, config)));
+                            let left = Node::Leaf(Box::new(Leaf::new(
+                                num_features,
+                                num_classes,
+                                depth + 1,
+                                config,
+                            )));
+                            let right = Node::Leaf(Box::new(Leaf::new(
+                                num_features,
+                                num_classes,
+                                depth + 1,
+                                config,
+                            )));
                             *n_splits += 1;
                             *node = Node::Split {
                                 feature,
@@ -361,14 +383,20 @@ impl CostSensitivePerceptronTree {
 
 impl OnlineClassifier for CostSensitivePerceptronTree {
     fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_scores_into(features, &mut out);
+        out
+    }
+
+    fn predict_scores_into(&self, features: &[f64], out: &mut Vec<f64>) {
         assert_eq!(features.len(), self.num_features, "feature count mismatch");
         let leaf = Self::find_leaf(&self.root, features);
         // Cold leaves (right after a split or a reset) fall back to their
         // naive Bayes model, which is usable from the first instance.
         if leaf.seen < 30 {
-            leaf.naive_bayes.predict_scores(features)
+            leaf.naive_bayes.predict_scores_into(features, out)
         } else {
-            leaf.perceptron.predict_scores(features)
+            leaf.perceptron.predict_scores_into(features, out)
         }
     }
 
@@ -392,7 +420,8 @@ impl OnlineClassifier for CostSensitivePerceptronTree {
     }
 
     fn reset(&mut self) {
-        self.root = Node::Leaf(Box::new(Leaf::new(self.num_features, self.num_classes, 0, &self.config)));
+        self.root =
+            Node::Leaf(Box::new(Leaf::new(self.num_features, self.num_classes, 0, &self.config)));
         self.n_resets += 1;
     }
 }
@@ -427,7 +456,7 @@ mod tests {
 
     #[test]
     fn splits_happen_on_structured_data() {
-        let mut stream = RandomRbfGenerator::new(6, 4, 2, 0.0, 9);
+        let mut stream = RandomRbfGenerator::new(6, 4, 2, 0.0, 13);
         let data = stream.take_instances(8000);
         let mut tree = CostSensitivePerceptronTree::new(6, 4);
         for inst in &data {

@@ -33,21 +33,25 @@ use rbm_im_streams::Instance;
 /// An online (incremental) classifier operating on a fixed schema.
 pub trait OnlineClassifier {
     /// Predicts the class of an instance (ties broken toward the lower
-    /// class index).
+    /// class index; see [`argmax`]).
     fn predict(&self, features: &[f64]) -> usize {
-        let scores = self.predict_scores(features);
-        scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores must not be NaN"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax(&self.predict_scores(features))
     }
 
     /// Per-class scores (higher = more likely); need not be normalized but
     /// every implementation here returns values in `[0, 1]` summing to 1 so
     /// they can feed the pmAUC estimator directly.
     fn predict_scores(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Caller-buffer variant of [`OnlineClassifier::predict_scores`]: clears
+    /// `out` and fills it with the per-class scores. Evaluation hot loops
+    /// keep one buffer alive for the whole stream instead of allocating a
+    /// fresh `Vec` per instance; implementations should override this with
+    /// an allocation-free fill where possible.
+    fn predict_scores_into(&self, features: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.predict_scores(features));
+    }
 
     /// Learns from one labeled instance.
     fn learn(&mut self, instance: &Instance);
@@ -59,6 +63,23 @@ pub trait OnlineClassifier {
     /// the attached drift detector signals a change (the adaptation
     /// mechanism the paper's base classifier relies on).
     fn reset(&mut self);
+}
+
+/// Index of the maximum score, with ties broken toward the lower class
+/// index. This is the single argmax used by both
+/// [`OnlineClassifier::predict`] and the evaluation pipeline, so the two can
+/// never disagree on tie-breaking. Returns 0 for an empty slice; NaN scores
+/// never win.
+pub fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, &score) in scores.iter().enumerate() {
+        if score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    best
 }
 
 /// Normalizes a non-negative score vector into a probability distribution;
@@ -84,14 +105,40 @@ pub fn normalize_scores(mut scores: Vec<f64>) -> Vec<f64> {
 
 /// Softmax with max-subtraction for numerical stability.
 pub fn softmax(scores: &[f64]) -> Vec<f64> {
-    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
-    let total: f64 = exps.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        let n = scores.len().max(1);
-        return vec![1.0 / n as f64; n];
+    let mut out = Vec::new();
+    softmax_into(scores, &mut out);
+    out
+}
+
+/// Buffer-reusing [`softmax`]: clears `out` and fills it with the softmax of
+/// `scores` (uniform for degenerate inputs). Allocation-free once `out` has
+/// grown to the class count.
+pub fn softmax_into(scores: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend_from_slice(scores);
+    softmax_in_place(out);
+}
+
+/// In-place [`softmax`]: replaces raw scores with the softmax distribution
+/// (uniform for degenerate inputs) without any allocation. Classifiers fill
+/// the caller's score buffer with raw scores and finish with this.
+pub fn softmax_in_place(scores: &mut [f64]) {
+    if scores.is_empty() {
+        return;
     }
-    exps.iter().map(|e| e / total).collect()
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+    }
+    let total: f64 = scores.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        let uniform = 1.0 / scores.len() as f64;
+        scores.fill(uniform);
+        return;
+    }
+    for s in scores.iter_mut() {
+        *s /= total;
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +155,25 @@ mod tests {
         let n = normalize_scores(vec![-1.0, 1.0]);
         assert_eq!(n[0], 0.0);
         assert_eq!(n[1], 1.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lower_index() {
+        assert_eq!(argmax(&[0.2, 0.5, 0.5, 0.1]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[]), 0);
+        // NaN scores never win.
+        assert_eq!(argmax(&[f64::NAN, 0.3, f64::NAN]), 1);
+    }
+
+    #[test]
+    fn softmax_into_reuses_buffer_and_matches_softmax() {
+        let mut buffer = vec![9.0; 8];
+        softmax_into(&[1.0, 2.0, 3.0], &mut buffer);
+        assert_eq!(buffer, softmax(&[1.0, 2.0, 3.0]));
+        softmax_into(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &mut buffer);
+        assert_eq!(buffer, vec![0.5, 0.5]);
     }
 
     #[test]

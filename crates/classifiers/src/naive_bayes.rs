@@ -6,7 +6,7 @@
 //! examples and ablations, and as the leaf fallback in the perceptron tree
 //! before a leaf's perceptron has seen enough data.
 
-use crate::{softmax, OnlineClassifier};
+use crate::{softmax_in_place, OnlineClassifier};
 use rbm_im_streams::Instance;
 
 /// Running Gaussian summary of one feature for one class.
@@ -78,19 +78,24 @@ impl GaussianNaiveBayes {
 
 impl OnlineClassifier for GaussianNaiveBayes {
     fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_scores_into(features, &mut out);
+        out
+    }
+
+    fn predict_scores_into(&self, features: &[f64], out: &mut Vec<f64>) {
         assert_eq!(features.len(), self.num_features, "feature count mismatch");
-        let log_posteriors: Vec<f64> = (0..self.num_classes)
-            .map(|c| {
-                let mut lp = self.log_prior(c);
-                if self.class_counts[c] > 0 {
-                    for (f, stat) in features.iter().zip(self.stats[c].iter()) {
-                        lp += stat.log_likelihood(*f);
-                    }
+        out.clear();
+        out.extend((0..self.num_classes).map(|c| {
+            let mut lp = self.log_prior(c);
+            if self.class_counts[c] > 0 {
+                for (f, stat) in features.iter().zip(self.stats[c].iter()) {
+                    lp += stat.log_likelihood(*f);
                 }
-                lp
-            })
-            .collect();
-        softmax(&log_posteriors)
+            }
+            lp
+        }));
+        softmax_in_place(out);
     }
 
     fn learn(&mut self, instance: &Instance) {
@@ -173,7 +178,8 @@ mod tests {
         for inst in &train {
             nb.learn(inst);
         }
-        let acc = test.iter().filter(|i| nb.predict(&i.features) == i.class).count() as f64 / test.len() as f64;
+        let acc = test.iter().filter(|i| nb.predict(&i.features) == i.class).count() as f64
+            / test.len() as f64;
         assert!(acc > 0.8, "accuracy {acc}");
     }
 

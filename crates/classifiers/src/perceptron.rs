@@ -8,7 +8,7 @@
 //! frequency of the true class — the cost-sensitivity mechanism used in the
 //! paper's base classifier to avoid drowning minority classes.
 
-use crate::{softmax, OnlineClassifier};
+use crate::{argmax, softmax_in_place, OnlineClassifier};
 use rbm_im_streams::Instance;
 
 /// Flat cost-sensitive multi-class perceptron.
@@ -55,7 +55,8 @@ impl CostSensitivePerceptron {
         if self.total_seen == 0 || self.class_counts[class] == 0 {
             return 100.0;
         }
-        let cost = self.total_seen as f64 / (self.num_classes as f64 * self.class_counts[class] as f64);
+        let cost =
+            self.total_seen as f64 / (self.num_classes as f64 * self.class_counts[class] as f64);
         cost.clamp(1.0, 100.0)
     }
 
@@ -86,20 +87,29 @@ impl CostSensitivePerceptron {
         }
     }
 
+    fn raw_score(&self, class: usize, standardized: &[f64]) -> f64 {
+        self.biases[class]
+            + self.weights[class].iter().zip(standardized.iter()).map(|(w, x)| w * x).sum::<f64>()
+    }
+
     fn raw_scores(&self, standardized: &[f64]) -> Vec<f64> {
-        (0..self.num_classes)
-            .map(|c| {
-                self.biases[c]
-                    + self.weights[c].iter().zip(standardized.iter()).map(|(w, x)| w * x).sum::<f64>()
-            })
-            .collect()
+        (0..self.num_classes).map(|c| self.raw_score(c, standardized)).collect()
     }
 }
 
 impl OnlineClassifier for CostSensitivePerceptron {
     fn predict_scores(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_scores_into(features, &mut out);
+        out
+    }
+
+    fn predict_scores_into(&self, features: &[f64], out: &mut Vec<f64>) {
         assert_eq!(features.len(), self.num_features, "feature count mismatch");
-        softmax(&self.raw_scores(&self.standardize(features)))
+        let standardized = self.standardize(features);
+        out.clear();
+        out.extend((0..self.num_classes).map(|c| self.raw_score(c, &standardized)));
+        softmax_in_place(out);
     }
 
     fn learn(&mut self, instance: &Instance) {
@@ -110,12 +120,7 @@ impl OnlineClassifier for CostSensitivePerceptron {
 
         let x = self.standardize(&instance.features);
         let scores = self.raw_scores(&x);
-        let predicted = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN scores"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let predicted = argmax(&scores);
         if predicted != instance.class {
             let eta = self.learning_rate * self.class_cost(instance.class);
             for (w, xi) in self.weights[instance.class].iter_mut().zip(x.iter()) {
@@ -134,7 +139,8 @@ impl OnlineClassifier for CostSensitivePerceptron {
     }
 
     fn reset(&mut self) {
-        *self = CostSensitivePerceptron::new(self.num_features, self.num_classes, self.learning_rate);
+        *self =
+            CostSensitivePerceptron::new(self.num_features, self.num_classes, self.learning_rate);
     }
 }
 
@@ -146,7 +152,11 @@ mod tests {
     use rbm_im_streams::generators::GaussianMixtureGenerator;
     use rbm_im_streams::StreamExt;
 
-    fn train_and_score(classifier: &mut dyn OnlineClassifier, train: &[Instance], test: &[Instance]) -> f64 {
+    fn train_and_score(
+        classifier: &mut dyn OnlineClassifier,
+        train: &[Instance],
+        test: &[Instance],
+    ) -> f64 {
         for inst in train {
             classifier.learn(inst);
         }
@@ -162,7 +172,8 @@ mod tests {
                 .map(|_| {
                     let class = rng.gen_range(0..3usize);
                     let offset = class as f64 * 5.0;
-                    let features = vec![offset + rng.gen_range(-1.0..1.0), offset + rng.gen_range(-1.0..1.0)];
+                    let features =
+                        vec![offset + rng.gen_range(-1.0..1.0), offset + rng.gen_range(-1.0..1.0)];
                     Instance::new(features, class)
                 })
                 .collect()

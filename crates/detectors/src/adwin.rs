@@ -95,7 +95,7 @@ impl Adwin {
         self.insert_element(value);
         self.compress_buckets();
         self.ticks += 1;
-        if self.ticks % self.clock == 0 && self.width > 10 {
+        if self.ticks.is_multiple_of(self.clock) && self.width > 10 {
             self.detect_change()
         } else {
             false
@@ -106,7 +106,8 @@ impl Adwin {
         // New elements enter level 0 as single-element buckets.
         if self.width > 0 {
             let mean = self.mean();
-            let incremental = (value - mean) * (value - mean) * self.width as f64 / (self.width + 1) as f64;
+            let incremental =
+                (value - mean) * (value - mean) * self.width as f64 / (self.width + 1) as f64;
             self.variance += incremental;
         }
         self.rows[0].sums.insert(0, value);
@@ -263,7 +264,11 @@ mod tests {
         }
         assert!(shrank, "window must shrink when the mean shifts");
         assert!(adwin.width() < width_before + 2000, "old data must have been dropped");
-        assert!(adwin.mean() > 0.5, "window mean should reflect the new regime, got {}", adwin.mean());
+        assert!(
+            adwin.mean() > 0.5,
+            "window mean should reflect the new regime, got {}",
+            adwin.mean()
+        );
     }
 
     #[test]

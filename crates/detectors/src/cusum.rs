@@ -91,7 +91,9 @@ impl DriftDetector for Cusum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -107,7 +109,11 @@ mod tests {
     fn statistic_stays_near_zero_when_stable() {
         let mut cusum = Cusum::new();
         run_error_stream(&mut cusum, 0.2, 0.2, usize::MAX, 3000, 4);
-        assert!(cusum.statistic() < 5.0, "statistic should hover near zero, got {}", cusum.statistic());
+        assert!(
+            cusum.statistic() < 5.0,
+            "statistic should hover near zero, got {}",
+            cusum.statistic()
+        );
     }
 
     #[test]

@@ -45,7 +45,14 @@ impl Ddm {
     /// Creates a DDM detector with an explicit configuration.
     pub fn with_config(config: DdmConfig) -> Self {
         assert!(config.drift_level > config.warning_level, "drift level must exceed warning level");
-        Ddm { config, n: 0, errors: 0, p_min: f64::MAX, s_min: f64::MAX, state: DetectorState::Stable }
+        Ddm {
+            config,
+            n: 0,
+            errors: 0,
+            p_min: f64::MAX,
+            s_min: f64::MAX,
+            state: DetectorState::Stable,
+        }
     }
 
     /// Current error-rate estimate.
@@ -111,7 +118,10 @@ impl DriftDetector for Ddm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
+    use crate::DriftDetectorExt;
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -149,13 +159,19 @@ mod tests {
                 DetectorState::Stable => {}
             }
         }
-        assert!(saw_warning_before_drift, "DDM should pass through the warning zone before drifting");
+        assert!(
+            saw_warning_before_drift,
+            "DDM should pass through the warning zone before drifting"
+        );
     }
 
     #[test]
     fn error_improvement_does_not_trigger() {
         let detections = run_error_stream(&mut Ddm::new(), 0.5, 0.1, 3000, 6000, 3);
-        assert!(detections.is_empty(), "an error decrease must not raise DDM alarms: {detections:?}");
+        assert!(
+            detections.is_empty(),
+            "an error decrease must not raise DDM alarms: {detections:?}"
+        );
     }
 
     #[test]

@@ -33,7 +33,13 @@ impl DdmOciConfig {
     /// estimate, which is far smaller than a plain Bernoulli deviation, so
     /// they are set higher than DDM's classical 2/3.
     pub fn for_classes(num_classes: usize) -> Self {
-        DdmOciConfig { num_classes, decay: 0.995, warning_level: 4.0, drift_level: 6.0, min_class_instances: 30 }
+        DdmOciConfig {
+            num_classes,
+            decay: 0.995,
+            warning_level: 4.0,
+            drift_level: 6.0,
+            min_class_instances: 30,
+        }
     }
 }
 
@@ -152,14 +158,16 @@ impl DriftDetector for DdmOci {
         true
     }
 
-    fn drifted_classes(&self) -> Vec<usize> {
-        self.drifted.clone()
+    fn drifted_classes_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.drifted);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DriftDetectorExt;
 
     /// Simulated imbalanced stream: class 0 dominates; at `change_point` the
     /// recall of `affected_class` collapses from ~0.9 to ~0.2.
@@ -173,7 +181,8 @@ mod tests {
         let mut detections = Vec::new();
         for i in 0..length {
             let true_class = if i % 20 < 17 { 0 } else { 1 + (i % 3).min(1) };
-            let base_recall = if true_class == affected_class && i >= change_point { 0.2 } else { 0.9 };
+            let base_recall =
+                if true_class == affected_class && i >= change_point { 0.2 } else { 0.9 };
             let correct = ((i as f64 * 0.754_877).fract()) < base_recall;
             let obs = Observation {
                 features: &features,
@@ -203,14 +212,20 @@ mod tests {
     fn detects_majority_recall_collapse_too() {
         let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
         let detections = run_recall_drop(&mut d, 0, 10_000, 20_000);
-        assert!(detections.iter().any(|(p, _)| *p >= 10_000), "majority collapse missed: {detections:?}");
+        assert!(
+            detections.iter().any(|(p, _)| *p >= 10_000),
+            "majority collapse missed: {detections:?}"
+        );
     }
 
     #[test]
     fn stable_recalls_stay_quiet() {
         let mut d = DdmOci::new(DdmOciConfig::for_classes(3));
         let detections = run_recall_drop(&mut d, 0, usize::MAX, 30_000);
-        assert!(detections.len() <= 1, "stable stream should be (nearly) alarm free: {detections:?}");
+        assert!(
+            detections.len() <= 1,
+            "stable stream should be (nearly) alarm free: {detections:?}"
+        );
     }
 
     #[test]

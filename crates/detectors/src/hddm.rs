@@ -49,7 +49,10 @@ impl HddmA {
 
     /// Creates an HDDM-A detector with explicit confidences.
     pub fn with_config(config: HddmConfig) -> Self {
-        assert!(config.drift_confidence < config.warning_confidence, "drift confidence must be stricter");
+        assert!(
+            config.drift_confidence < config.warning_confidence,
+            "drift confidence must be stricter"
+        );
         HddmA { config, total: 0.0, n: 0, cut_total: 0.0, cut_n: 0, state: DetectorState::Stable }
     }
 
@@ -75,13 +78,15 @@ impl DriftDetector for HddmA {
         self.n += 1;
 
         // Track the cut point with the lowest upper-bounded mean so far.
-        let epsilon_cut = (1.0 / (2.0 * self.n as f64) * (1.0 / self.config.drift_confidence).ln()).sqrt();
+        let epsilon_cut =
+            (1.0 / (2.0 * self.n as f64) * (1.0 / self.config.drift_confidence).ln()).sqrt();
         let current_bound = Self::mean(self.total, self.n) + epsilon_cut;
         let cut_bound = if self.cut_n == 0 {
             f64::MAX
         } else {
             Self::mean(self.cut_total, self.cut_n)
-                + (1.0 / (2.0 * self.cut_n as f64) * (1.0 / self.config.drift_confidence).ln()).sqrt()
+                + (1.0 / (2.0 * self.cut_n as f64) * (1.0 / self.config.drift_confidence).ln())
+                    .sqrt()
         };
         if current_bound < cut_bound {
             self.cut_total = self.total;
@@ -94,8 +99,14 @@ impl DriftDetector for HddmA {
             let recent_mean = (self.total - self.cut_total) / recent_n as f64;
             let cut_mean = Self::mean(self.cut_total, self.cut_n);
             let diff = recent_mean - cut_mean;
-            let eps_drift = hoeffding_bound_two_means(1.0, self.config.drift_confidence, self.cut_n, recent_n);
-            let eps_warn = hoeffding_bound_two_means(1.0, self.config.warning_confidence, self.cut_n, recent_n);
+            let eps_drift =
+                hoeffding_bound_two_means(1.0, self.config.drift_confidence, self.cut_n, recent_n);
+            let eps_warn = hoeffding_bound_two_means(
+                1.0,
+                self.config.warning_confidence,
+                self.cut_n,
+                recent_n,
+            );
             if diff > eps_drift {
                 let state = DetectorState::Drift;
                 self.total = 0.0;
@@ -178,7 +189,10 @@ impl DriftDetector for HddmW {
             return self.state;
         }
         let bound = mcdiarmid_bound(sum_sq, self.config.drift_confidence);
-        if !self.has_cut || value + bound < self.cut_value + mcdiarmid_bound(self.cut_sum_sq, self.config.drift_confidence) {
+        if !self.has_cut
+            || value + bound
+                < self.cut_value + mcdiarmid_bound(self.cut_sum_sq, self.config.drift_confidence)
+        {
             self.cut_value = value;
             self.cut_sum_sq = sum_sq;
             self.has_cut = true;
@@ -217,7 +231,9 @@ impl DriftDetector for HddmW {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn hddm_a_detects_abrupt_change() {
@@ -292,4 +308,3 @@ mod tests {
         HddmA::with_config(HddmConfig { drift_confidence: 0.01, warning_confidence: 0.001 });
     }
 }
-

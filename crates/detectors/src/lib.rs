@@ -26,11 +26,13 @@
 //!
 //! # Interface
 //!
-//! Detectors are fed one [`Observation`] per test-then-train step: the true
-//! class, the predicted class and whether the prediction was correct (plus
-//! the raw feature vector, which only trainable detectors use). They answer
-//! with a [`DetectorState`] and expose per-class drift attribution when they
-//! support it (`drifted_classes`).
+//! Detectors are fed [`Observation`]s — the true class, the predicted class
+//! and whether the prediction was correct (plus the raw feature vector,
+//! which only trainable detectors use) — either one per test-then-train step
+//! (`update`) or as contiguous slices (`update_batch`, whose default is the
+//! per-observation loop, so both entry points report identical drift
+//! positions). They answer with a [`DetectorState`] and expose per-class
+//! drift attribution when they support it (`drifted_classes_into`).
 
 #![warn(missing_docs)]
 
@@ -76,7 +78,12 @@ pub struct Observation<'a> {
 impl<'a> Observation<'a> {
     /// Builds an observation, deriving `correct` from the two labels.
     pub fn new(features: &'a [f64], true_class: usize, predicted_class: usize) -> Self {
-        Observation { features, true_class, predicted_class, correct: true_class == predicted_class }
+        Observation {
+            features,
+            true_class,
+            predicted_class,
+            correct: true_class == predicted_class,
+        }
     }
 }
 
@@ -105,9 +112,39 @@ impl DetectorState {
 }
 
 /// A concept drift detector consuming a stream of monitored predictions.
+///
+/// The trait is *batched*: [`DriftDetector::update`] handles one observation,
+/// [`DriftDetector::update_batch`] a contiguous slice of them. The default
+/// batch implementation is an update-per-observation loop, so the two entry
+/// points always yield identical drift positions; detectors whose natural
+/// unit of work is a mini-batch (RBM-IM) override `update_batch` to skip the
+/// per-observation bookkeeping. Per-class drift attribution goes through the
+/// caller-buffer method [`DriftDetector::drifted_classes_into`] so the hot
+/// loop of an evaluation pipeline allocates nothing per signal.
 pub trait DriftDetector {
     /// Processes one observation and returns the detector state after it.
     fn update(&mut self, observation: &Observation<'_>) -> DetectorState;
+
+    /// Processes a batch of observations and returns the state after the
+    /// last one. `drift_offsets` is cleared and filled with the
+    /// batch-relative offset of every observation at which the detector
+    /// signalled [`DetectorState::Drift`] — exactly the positions a
+    /// per-observation [`DriftDetector::update`] loop would have reported.
+    fn update_batch(
+        &mut self,
+        observations: &[Observation<'_>],
+        drift_offsets: &mut Vec<usize>,
+    ) -> DetectorState {
+        drift_offsets.clear();
+        let mut state = self.state();
+        for (offset, observation) in observations.iter().enumerate() {
+            state = self.update(observation);
+            if state.is_drift() {
+                drift_offsets.push(offset);
+            }
+        }
+        state
+    }
 
     /// The state after the most recent update.
     fn state(&self) -> DetectorState;
@@ -125,17 +162,45 @@ pub trait DriftDetector {
         false
     }
 
-    /// Classes implicated in the most recent drift signal. Empty for global
-    /// detectors or when no drift is active.
-    fn drifted_classes(&self) -> Vec<usize> {
-        Vec::new()
+    /// Caller-buffer variant of drift attribution: clears `out` and fills it
+    /// with the classes implicated in the most recent drift signal. Global
+    /// detectors leave the buffer empty. Evaluation loops keep one buffer
+    /// alive across the whole stream instead of allocating per signal.
+    fn drifted_classes_into(&self, out: &mut Vec<usize>) {
+        out.clear();
     }
 }
 
+/// Non-overridable conveniences available on every detector. These live
+/// outside [`DriftDetector`] deliberately: a detector migrating from the
+/// pre-batched API that still tries to override `drifted_classes` gets a
+/// compile error pointing it at `drifted_classes_into`, instead of
+/// compiling and being silently ignored by evaluation pipelines.
+pub trait DriftDetectorExt: DriftDetector {
+    /// Allocating wrapper around [`DriftDetector::drifted_classes_into`]
+    /// for examples and tests; hot loops should reuse a buffer instead.
+    fn drifted_classes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.drifted_classes_into(&mut out);
+        out
+    }
+}
+
+impl<T: DriftDetector + ?Sized> DriftDetectorExt for T {}
+
 /// Boxed detectors are detectors too (the harness stores them this way).
+/// Every method forwards explicitly so overridden batch/attribution
+/// implementations are not shadowed by the trait defaults.
 impl DriftDetector for Box<dyn DriftDetector + Send> {
     fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
         (**self).update(observation)
+    }
+    fn update_batch(
+        &mut self,
+        observations: &[Observation<'_>],
+        drift_offsets: &mut Vec<usize>,
+    ) -> DetectorState {
+        (**self).update_batch(observations, drift_offsets)
     }
     fn state(&self) -> DetectorState {
         (**self).state()
@@ -149,8 +214,8 @@ impl DriftDetector for Box<dyn DriftDetector + Send> {
     fn per_class_detection(&self) -> bool {
         (**self).per_class_detection()
     }
-    fn drifted_classes(&self) -> Vec<usize> {
-        (**self).drifted_classes()
+    fn drifted_classes_into(&self, out: &mut Vec<usize>) {
+        (**self).drifted_classes_into(out)
     }
 }
 
@@ -253,5 +318,73 @@ mod tests {
         assert!(!DetectorState::Stable.is_drift());
         assert!(DetectorState::Warning.is_warning());
         assert!(!DetectorState::Drift.is_warning());
+    }
+
+    #[test]
+    fn default_update_batch_matches_per_instance_loop() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Build a fixed observation stream with an error-rate change.
+        let mut rng = StdRng::seed_from_u64(4242);
+        let outcomes: Vec<bool> =
+            (0..6_000).map(|i| rng.gen::<f64>() < if i < 3_000 { 0.1 } else { 0.5 }).collect();
+        let features = [0.0_f64; 1];
+        let observations: Vec<Observation<'_>> = outcomes
+            .iter()
+            .map(|&wrong| Observation {
+                features: &features,
+                true_class: 0,
+                predicted_class: usize::from(wrong),
+                correct: !wrong,
+            })
+            .collect();
+
+        let mut per_instance = Ddm::new();
+        let mut sequential_positions = Vec::new();
+        for (i, obs) in observations.iter().enumerate() {
+            if per_instance.update(obs).is_drift() {
+                sequential_positions.push(i);
+            }
+        }
+
+        let mut batched = Ddm::new();
+        let mut batched_positions = Vec::new();
+        let mut offsets = Vec::new();
+        for (chunk_index, chunk) in observations.chunks(97).enumerate() {
+            batched.update_batch(chunk, &mut offsets);
+            batched_positions.extend(offsets.iter().map(|o| chunk_index * 97 + o));
+        }
+        assert_eq!(sequential_positions, batched_positions);
+        assert!(!sequential_positions.is_empty(), "change must be detected at all");
+    }
+
+    #[test]
+    fn drifted_classes_wrapper_mirrors_into_variant() {
+        struct FixedAttribution;
+        impl DriftDetector for FixedAttribution {
+            fn update(&mut self, _observation: &Observation<'_>) -> DetectorState {
+                DetectorState::Drift
+            }
+            fn state(&self) -> DetectorState {
+                DetectorState::Drift
+            }
+            fn reset(&mut self) {}
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn per_class_detection(&self) -> bool {
+                true
+            }
+            fn drifted_classes_into(&self, out: &mut Vec<usize>) {
+                out.clear();
+                out.extend([2, 5]);
+            }
+        }
+        let detector = FixedAttribution;
+        let mut buffer = vec![9, 9, 9];
+        detector.drifted_classes_into(&mut buffer);
+        assert_eq!(buffer, vec![2, 5]);
+        assert_eq!(detector.drifted_classes(), vec![2, 5]);
     }
 }

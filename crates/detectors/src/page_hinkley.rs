@@ -46,7 +46,14 @@ impl PageHinkley {
     pub fn with_config(config: PageHinkleyConfig) -> Self {
         assert!(config.lambda > 0.0);
         assert!(config.alpha > 0.0 && config.alpha <= 1.0);
-        PageHinkley { config, n: 0, mean: 0.0, cumulative: 0.0, minimum: f64::MAX, state: DetectorState::Stable }
+        PageHinkley {
+            config,
+            n: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            minimum: f64::MAX,
+            state: DetectorState::Stable,
+        }
     }
 }
 
@@ -93,7 +100,9 @@ impl DriftDetector for PageHinkley {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -109,9 +118,13 @@ mod tests {
     fn lower_lambda_reacts_faster() {
         let fast_cfg = PageHinkleyConfig { lambda: 10.0, ..Default::default() };
         let slow_cfg = PageHinkleyConfig { lambda: 200.0, ..Default::default() };
-        let d_fast = run_error_stream(&mut PageHinkley::with_config(fast_cfg), 0.1, 0.5, 2000, 5000, 5);
-        let d_slow = run_error_stream(&mut PageHinkley::with_config(slow_cfg), 0.1, 0.5, 2000, 5000, 5);
-        let delay = |d: &Vec<usize>| d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX);
+        let d_fast =
+            run_error_stream(&mut PageHinkley::with_config(fast_cfg), 0.1, 0.5, 2000, 5000, 5);
+        let d_slow =
+            run_error_stream(&mut PageHinkley::with_config(slow_cfg), 0.1, 0.5, 2000, 5000, 5);
+        let delay = |d: &Vec<usize>| {
+            d.iter().find(|&&p| p >= 2000).map(|&p| p - 2000).unwrap_or(usize::MAX)
+        };
         assert!(delay(&d_fast) < delay(&d_slow));
     }
 

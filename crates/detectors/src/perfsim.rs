@@ -162,18 +162,17 @@ mod tests {
         let mut detections = Vec::new();
         for i in 0..length {
             // Class 0 is the majority (appears 90% of the time with 3 classes).
-            let true_class = if i % 10 < 8 { 0 } else { 1 + (i % (num_classes - 1)).min(num_classes - 2) };
+            let true_class =
+                if i % 10 < 8 { 0 } else { 1 + (i % (num_classes - 1)).min(num_classes - 2) };
             let drifted = i >= change_point;
             // Before the drift every class is predicted correctly; after it
             // either everything degrades or only the minority classes do.
             let predicted = if !drifted {
                 true_class
             } else if minority_only {
-                if true_class == 0 {
-                    0
-                } else {
-                    0 // minority classes start being absorbed by the majority
-                }
+                // Minority classes start being absorbed by the majority:
+                // every prediction collapses to class 0.
+                0
             } else {
                 (true_class + 1) % num_classes
             };
@@ -195,7 +194,7 @@ mod tests {
         let mut d = PerfSim::new(PerfSimConfig::for_classes(3));
         let detections = run_class_stream(&mut d, 5000, 10_000, 3, false);
         assert!(
-            detections.iter().any(|&p| p >= 5000 && p <= 6500),
+            detections.iter().any(|&p| (5000..=6500).contains(&p)),
             "PerfSim should detect a global confusion-matrix change: {detections:?}"
         );
         let false_alarms = detections.iter().filter(|&&p| p < 5000).count();
@@ -236,7 +235,12 @@ mod tests {
         let mut d = PerfSim::new(PerfSimConfig { batch_size: 50, ..PerfSimConfig::for_classes(2) });
         let features = [0.0];
         for i in 0..200 {
-            let obs = Observation { features: &features, true_class: i % 2, predicted_class: i % 2, correct: true };
+            let obs = Observation {
+                features: &features,
+                true_class: i % 2,
+                predicted_class: i % 2,
+                correct: true,
+            };
             d.update(&obs);
         }
         assert!((d.last_similarity() - 1.0).abs() < 1e-9);

@@ -169,7 +169,9 @@ impl DriftDetector for Rddm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -185,7 +187,8 @@ mod tests {
     fn remains_reactive_after_a_long_stable_concept() {
         // Long stable run (beyond max_instances) followed by a change: the
         // pruning must keep RDDM able to react reasonably fast.
-        let config = RddmConfig { max_instances: 5_000, min_instances: 1_000, ..Default::default() };
+        let config =
+            RddmConfig { max_instances: 5_000, min_instances: 1_000, ..Default::default() };
         let mut rddm = Rddm::with_config(config);
         let detections = run_error_stream(&mut rddm, 0.05, 0.4, 20_000, 24_000, 13);
         let delay =
@@ -217,6 +220,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_window_config_rejected() {
-        Rddm::with_config(RddmConfig { min_instances: 100, max_instances: 50, ..Default::default() });
+        Rddm::with_config(RddmConfig {
+            min_instances: 100,
+            max_instances: 50,
+            ..Default::default()
+        });
     }
 }

@@ -141,7 +141,9 @@ impl DriftDetector for Wstd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream};
+    use crate::test_support::{
+        assert_detects_abrupt_change, assert_quiet_on_stationary, run_error_stream,
+    };
 
     #[test]
     fn detects_abrupt_error_increase() {
@@ -156,7 +158,10 @@ mod tests {
     #[test]
     fn improvement_does_not_trigger() {
         let detections = run_error_stream(&mut Wstd::new(), 0.5, 0.05, 3000, 6000, 9);
-        assert!(detections.is_empty(), "error decreases must not raise WSTD alarms: {detections:?}");
+        assert!(
+            detections.is_empty(),
+            "error decreases must not raise WSTD alarms: {detections:?}"
+        );
     }
 
     #[test]
@@ -187,6 +192,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_significances_rejected() {
-        Wstd::with_config(WstdConfig { warning_significance: 0.001, drift_significance: 0.05, ..Default::default() });
+        Wstd::with_config(WstdConfig {
+            warning_significance: 0.001,
+            drift_significance: 0.05,
+            ..Default::default()
+        });
     }
 }

@@ -15,8 +15,10 @@
 //!   window effectively never shrinks, leaving only the fixed-length
 //!   regression window.
 
-use rbm_im::{RbmIm, RbmImConfig};
+use crate::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im::network::RbmNetworkConfig;
+use rbm_im::{RbmIm, RbmImConfig};
+use rbm_im_classifiers::GaussianNaiveBayes;
 use rbm_im_metrics::{evaluate_detections, DetectionQuality};
 use rbm_im_streams::scenarios::{scenario3, ScenarioConfig};
 use rbm_im_streams::DataStream;
@@ -92,23 +94,31 @@ pub struct AblationResult {
 /// Runs one ablation variant on a Scenario-3 stream (local drift in the
 /// smallest `classes_with_drift` classes) and scores it against the known
 /// drift positions.
+///
+/// The variant runs through the [`PipelineBuilder`] like every other
+/// experiment. RBM-IM only reads the features and the true class of each
+/// observation, so the attached classifier cannot influence the detections;
+/// a lightweight Gaussian naive Bayes keeps the run cheap, and
+/// `reset_on_drift` is disabled because only the detector is under study.
 pub fn run_ablation(
     variant: AblationVariant,
     scenario_config: &ScenarioConfig,
     classes_with_drift: usize,
     detection_horizon: u64,
 ) -> AblationResult {
-    let mut scenario = scenario3(scenario_config, classes_with_drift);
+    let scenario = scenario3(scenario_config, classes_with_drift);
     let schema = scenario.stream.schema().clone();
-    let mut detector = RbmIm::new(schema.num_features, schema.num_classes, variant.config());
-    let mut alarms = Vec::new();
-    while let Some(instance) = scenario.stream.next_instance() {
-        if detector.observe_instance(&instance).is_drift() {
-            alarms.push(instance.index);
-        }
-    }
-    let quality = evaluate_detections(&scenario.drift_positions, &alarms, detection_horizon);
-    AblationResult { variant, quality, signals: alarms.len() }
+    let detector = RbmIm::new(schema.num_features, schema.num_classes, variant.config());
+    let result = PipelineBuilder::new()
+        .boxed_stream(scenario.stream)
+        .classifier(GaussianNaiveBayes::new(schema.num_features, schema.num_classes))
+        .detector(detector)
+        .config(RunConfig { metric_window: 1000, reset_on_drift: false, ..Default::default() })
+        .run()
+        .expect("ablation pipeline is fully specified");
+    let quality =
+        evaluate_detections(&scenario.drift_positions, &result.detections, detection_horizon);
+    AblationResult { variant, quality, signals: result.detections.len() }
 }
 
 /// Runs every ablation variant with the same scenario settings.
@@ -142,9 +152,15 @@ mod tests {
     #[test]
     fn variants_produce_distinct_configs() {
         let full = AblationVariant::Full.config();
-        assert!(AblationVariant::NoClassBalance.config().network.class_balance_beta < full.network.class_balance_beta);
+        assert!(
+            AblationVariant::NoClassBalance.config().network.class_balance_beta
+                < full.network.class_balance_beta
+        );
         assert_eq!(AblationVariant::NoPersistence.config().persistence, 1);
-        assert_eq!(AblationVariant::CoarseBatches.config().mini_batch_size, full.mini_batch_size * 4);
+        assert_eq!(
+            AblationVariant::CoarseBatches.config().mini_batch_size,
+            full.mini_batch_size * 4
+        );
         assert!(AblationVariant::FixedWindow.config().adwin_delta < full.adwin_delta);
         assert_eq!(AblationVariant::all().len(), 5);
         assert_eq!(AblationVariant::Full.name(), "full");
@@ -155,7 +171,7 @@ mod tests {
         let result = run_ablation(AblationVariant::Full, &tiny_scenario(), 2, 3_000);
         assert_eq!(result.quality.true_drifts, 1);
         assert!(result.quality.recall() >= 0.0 && result.quality.recall() <= 1.0);
-        assert_eq!(result.signals >= result.quality.detected, true);
+        assert!(result.signals >= result.quality.detected);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! Usage:
 //! ```text
 //! cargo run -p rbm-im-harness --release --bin experiment1 -- \
-//!     [--scale N] [--seed S] [--benchmarks name1,name2] [--max-instances N] [--json out.json]
+//!     [--scale N] [--seed S] [--benchmarks name1,name2] [--max-instances N] \
+//!     [--threads T] [--json out.json]
 //! ```
 //! `--scale 1` reproduces paper-length streams (slow); the default of 20
-//! finishes in minutes.
+//! finishes in minutes. The grid runs on all cores by default; `--threads`
+//! pins the rayon worker count (results are identical either way).
 
 use rbm_im_harness::detectors::DetectorKind;
 use rbm_im_harness::experiment1::{run_experiment1, Experiment1Config};
@@ -18,11 +20,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut config = Experiment1Config::default();
     let mut json_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 config.build.scale_divisor = args[i + 1].parse().expect("--scale needs an integer");
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(args[i + 1].parse().expect("--threads needs an integer"));
                 i += 2;
             }
             "--seed" => {
@@ -34,7 +41,8 @@ fn main() {
                 i += 2;
             }
             "--max-instances" => {
-                config.run.max_instances = Some(args[i + 1].parse().expect("--max-instances needs an integer"));
+                config.run.max_instances =
+                    Some(args[i + 1].parse().expect("--max-instances needs an integer"));
                 i += 2;
             }
             "--json" => {
@@ -54,17 +62,27 @@ fn main() {
         if config.benchmarks.is_empty() { 24 } else { config.benchmarks.len() },
         config.build.scale_divisor
     );
-    let result = run_experiment1(&config, |r| {
-        eprintln!(
-            "  {:<14} {:<10} pmAUC {:6.2}  pmGM {:6.2}  drifts {:4}  ({} instances)",
-            r.stream,
-            r.detector.name(),
-            r.pm_auc,
-            r.pm_gmean,
-            r.drift_count(),
-            r.instances
-        );
-    });
+    let run = |config: &Experiment1Config| {
+        run_experiment1(config, |r| {
+            eprintln!(
+                "  {:<14} {:<10} pmAUC {:6.2}  pmGM {:6.2}  drifts {:4}  ({} instances)",
+                r.stream,
+                r.detector,
+                r.pm_auc,
+                r.pm_gmean,
+                r.drift_count(),
+                r.instances
+            );
+        })
+    };
+    let result = match threads {
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("thread pool")
+            .install(|| run(&config)),
+        None => run(&config),
+    };
 
     println!("{}", format_table3(&result, "pmAUC"));
     println!("{}", format_table3(&result, "pmGM"));

@@ -52,7 +52,12 @@ fn main() {
         config.num_classes, config.num_features, config.length, config.imbalance_ratio
     );
     let result = run_experiment2(&config, |k, r| {
-        eprintln!("  k={k:<3} {:<10} pmAUC {:6.2}  drifts {:4}", r.detector.name(), r.pm_auc, r.drift_count());
+        eprintln!(
+            "  k={k:<3} {:<10} pmAUC {:6.2}  drifts {:4}",
+            r.detector,
+            r.pm_auc,
+            r.drift_count()
+        );
     });
     println!("{}", format_fig8(&result));
     if let Some(path) = json_path {

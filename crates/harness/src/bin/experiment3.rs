@@ -55,7 +55,12 @@ fn main() {
         config.num_classes, config.imbalance_ratios, config.length
     );
     let result = run_experiment3(&config, |ir, r| {
-        eprintln!("  IR={ir:<6} {:<10} pmAUC {:6.2}  drifts {:4}", r.detector.name(), r.pm_auc, r.drift_count());
+        eprintln!(
+            "  IR={ir:<6} {:<10} pmAUC {:6.2}  drifts {:4}",
+            r.detector,
+            r.pm_auc,
+            r.drift_count()
+        );
     });
     println!("{}", format_fig9(&result));
     if let Some(path) = json_path {

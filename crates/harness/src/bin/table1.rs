@@ -22,5 +22,8 @@ fn main() {
             spec.scaled_instances(&config)
         );
     }
-    println!("\n(scale divisor = {}; pass --scale 1 to experiment1 for paper-length streams)", config.scale_divisor);
+    println!(
+        "\n(scale divisor = {}; pass --scale 1 to experiment1 for paper-length streams)",
+        config.scale_divisor
+    );
 }

@@ -1,11 +1,14 @@
-//! Registry of drift detectors known to the harness.
+//! The closed enum of the paper's detectors — now a thin compatibility shim
+//! over the open [`DetectorRegistry`](crate::registry::DetectorRegistry).
+//!
+//! `DetectorKind` remains convenient for enumerating the paper's line-up
+//! (Table II / Table III column order) and for serde round-trips of older
+//! experiment configurations, but instantiation goes through the registry:
+//! [`DetectorKind::spec`] names the registry entry and
+//! [`DetectorKind::build`] resolves it. New detectors and tuned variants
+//! register with the registry directly and never touch this enum.
 
-use rbm_im::{RbmIm, RbmImConfig};
-use rbm_im_detectors::{
-    Adwin, Cusum, Ddm, DdmOci, Ecdd, Eddm, Fhddm, HddmA, HddmW, PageHinkley, PerfSim, Rddm, Wstd,
-};
-use rbm_im_detectors::ddm_oci::DdmOciConfig;
-use rbm_im_detectors::perfsim::PerfSimConfig;
+use crate::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_detectors::DriftDetector;
 use serde::{Deserialize, Serialize};
 
@@ -101,24 +104,17 @@ impl DetectorKind {
         matches!(self, DetectorKind::PerfSim | DetectorKind::DdmOci | DetectorKind::RbmIm)
     }
 
-    /// Instantiates the detector for a stream with the given schema.
+    /// The registry spec naming this detector (default parameters).
+    pub fn spec(&self) -> DetectorSpec {
+        DetectorSpec::new(self.name())
+    }
+
+    /// Instantiates the detector for a stream with the given schema, by
+    /// resolving [`DetectorKind::spec`] against the default registry.
     pub fn build(&self, num_features: usize, num_classes: usize) -> Box<dyn DriftDetector + Send> {
-        match self {
-            DetectorKind::Wstd => Box::new(Wstd::new()),
-            DetectorKind::Rddm => Box::new(Rddm::new()),
-            DetectorKind::Fhddm => Box::new(Fhddm::new()),
-            DetectorKind::PerfSim => Box::new(PerfSim::new(PerfSimConfig::for_classes(num_classes))),
-            DetectorKind::DdmOci => Box::new(DdmOci::new(DdmOciConfig::for_classes(num_classes))),
-            DetectorKind::RbmIm => Box::new(RbmIm::new(num_features, num_classes, RbmImConfig::default())),
-            DetectorKind::Ddm => Box::new(Ddm::new()),
-            DetectorKind::Eddm => Box::new(Eddm::new()),
-            DetectorKind::Adwin => Box::new(Adwin::new(0.002)),
-            DetectorKind::HddmA => Box::new(HddmA::new()),
-            DetectorKind::HddmW => Box::new(HddmW::new(0.05)),
-            DetectorKind::PageHinkley => Box::new(PageHinkley::new()),
-            DetectorKind::Cusum => Box::new(Cusum::new()),
-            DetectorKind::Ecdd => Box::new(Ecdd::new()),
-        }
+        DetectorRegistry::global()
+            .build(&self.spec(), num_features, num_classes)
+            .expect("every DetectorKind is registered in the default registry")
     }
 }
 

@@ -1,11 +1,17 @@
 //! Experiment 1 — detector comparison over the 24 benchmark streams
 //! (Table III) with Friedman / Bonferroni–Dunn ranking (Figs. 4–5) and
 //! Bayesian signed pairwise tests (Figs. 6–7).
+//!
+//! The full grid (detectors × benchmarks) runs through the rayon-parallel
+//! [`run_grid`], one deterministic cell per pair, so wall-clock time scales
+//! with the core count while the output stays byte-identical to a
+//! single-threaded run.
 
 use crate::detectors::DetectorKind;
-use crate::runner::{run_detector_on_stream, RunConfig, RunResult};
-use rbm_im_stats::friedman::{bonferroni_dunn_critical_difference, friedman_test, FriedmanResult};
+use crate::pipeline::{run_grid_observed, GridStream, RunConfig, RunResult};
+use crate::registry::DetectorRegistry;
 use rbm_im_stats::bayesian::{bayesian_signed_test, BayesianSignedOutcome};
+use rbm_im_stats::friedman::{bonferroni_dunn_critical_difference, friedman_test, FriedmanResult};
 use rbm_im_streams::registry::{all_benchmarks, BenchmarkSpec, BuildConfig};
 use serde::{Deserialize, Serialize};
 
@@ -51,7 +57,12 @@ impl Default for Experiment1Config {
     fn default() -> Self {
         Experiment1Config {
             detectors: DetectorKind::paper_detectors(),
-            build: BuildConfigSerde { seed: 42, scale_divisor: 20, n_drifts: 3, dynamic_imbalance: true },
+            build: BuildConfigSerde {
+                seed: 42,
+                scale_divisor: 20,
+                n_drifts: 3,
+                dynamic_imbalance: true,
+            },
             run: RunConfig::default(),
             benchmarks: Vec::new(),
         }
@@ -89,7 +100,7 @@ impl Experiment1Result {
                     .map(|b| {
                         self.runs
                             .iter()
-                            .find(|r| &r.detector == d && &r.stream == b)
+                            .find(|r| r.detector == d.name() && &r.stream == b)
                             .map(&metric)
                             .unwrap_or(f64::NAN)
                     })
@@ -141,7 +152,8 @@ impl Experiment1Result {
         self.detectors
             .iter()
             .map(|d| {
-                let rows: Vec<&RunResult> = self.runs.iter().filter(|r| &r.detector == d).collect();
+                let rows: Vec<&RunResult> =
+                    self.runs.iter().filter(|r| r.detector == d.name()).collect();
                 let avg = if rows.is_empty() {
                     0.0
                 } else {
@@ -166,25 +178,25 @@ pub fn selected_benchmarks(config: &Experiment1Config) -> Vec<BenchmarkSpec> {
 }
 
 /// Runs Experiment 1: every configured detector on every configured
-/// benchmark. `progress` is called after each completed run (for CLI
-/// output); pass `|_| {}` to ignore.
+/// benchmark, as one parallel grid. `progress` is called live as each cell
+/// completes (completion order, so long grids show progress); the returned
+/// result is in deterministic benchmark-major grid order. Pass `|_| {}` to
+/// ignore progress.
 pub fn run_experiment1(
     config: &Experiment1Config,
-    mut progress: impl FnMut(&RunResult),
+    progress: impl FnMut(&RunResult) + Send,
 ) -> Experiment1Result {
     let build: BuildConfig = config.build.into();
     let specs = selected_benchmarks(config);
-    let mut runs = Vec::new();
-    for spec in &specs {
-        for &detector in &config.detectors {
-            let mut stream = spec.build(&build);
-            let mut result = run_detector_on_stream(stream.as_mut(), detector, &config.run);
-            // The registry renames wrapped streams; report the benchmark name.
-            result.stream = spec.name.clone();
-            progress(&result);
-            runs.push(result);
-        }
-    }
+    let detectors: Vec<_> = config.detectors.iter().map(|d| d.spec()).collect();
+    let streams: Vec<GridStream> =
+        specs.iter().map(|s| GridStream::from_benchmark(s.clone(), build)).collect();
+    let progress = std::sync::Mutex::new(progress);
+    let runs =
+        run_grid_observed(DetectorRegistry::global(), &detectors, &streams, &config.run, |run| {
+            (progress.lock().expect("progress sink poisoned"))(run)
+        })
+        .expect("every DetectorKind resolves against the default registry");
     Experiment1Result {
         runs,
         benchmarks: specs.iter().map(|s| s.name.clone()).collect(),
@@ -201,7 +213,12 @@ mod tests {
     fn tiny_config() -> Experiment1Config {
         Experiment1Config {
             detectors: vec![DetectorKind::Fhddm, DetectorKind::DdmOci, DetectorKind::RbmIm],
-            build: BuildConfigSerde { seed: 7, scale_divisor: 400, n_drifts: 1, dynamic_imbalance: true },
+            build: BuildConfigSerde {
+                seed: 7,
+                scale_divisor: 400,
+                n_drifts: 1,
+                dynamic_imbalance: true,
+            },
             run: RunConfig { metric_window: 500, max_instances: Some(2_500), ..Default::default() },
             benchmarks: vec!["RBF5".into(), "Aggrawal5".into()],
         }
@@ -239,8 +256,10 @@ mod tests {
 
     #[test]
     fn benchmark_selection_filters() {
-        let mut config = Experiment1Config::default();
-        config.benchmarks = vec!["rbf5".into(), "electricity".into()];
+        let mut config = Experiment1Config {
+            benchmarks: vec!["rbf5".into(), "electricity".into()],
+            ..Default::default()
+        };
         let specs = selected_benchmarks(&config);
         assert_eq!(specs.len(), 2);
         config.benchmarks.clear();

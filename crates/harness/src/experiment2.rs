@@ -6,7 +6,8 @@
 //! each detector. The fewer classes drift, the harder the detection.
 
 use crate::detectors::DetectorKind;
-use crate::runner::{run_detector_on_stream, RunConfig, RunResult};
+use crate::pipeline::{run_grid_observed, GridStream, RunConfig, RunResult};
+use crate::registry::DetectorRegistry;
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::scenarios::{scenario3, ScenarioConfig};
 use serde::{Deserialize, Serialize};
@@ -76,7 +77,7 @@ impl Experiment2Result {
             .map(|p| {
                 p.runs
                     .iter()
-                    .find(|r| r.detector == detector)
+                    .find(|r| r.detector == detector.name())
                     .map(|r| r.pm_auc)
                     .unwrap_or(f64::NAN)
             })
@@ -84,36 +85,49 @@ impl Experiment2Result {
     }
 }
 
-/// Runs the local-drift sweep.
+/// Runs the local-drift sweep: all (sweep point × detector) cells form one
+/// parallel grid. `progress` fires live as each cell completes (completion
+/// order); the returned points are in deterministic sweep order.
 pub fn run_experiment2(
     config: &Experiment2Config,
-    mut progress: impl FnMut(usize, &RunResult),
+    progress: impl FnMut(usize, &RunResult) + Send,
 ) -> Experiment2Result {
     let sweep: Vec<usize> = if config.classes_with_drift.is_empty() {
         (1..=config.num_classes).collect()
     } else {
         config.classes_with_drift.clone()
     };
+    let detectors: Vec<_> = config.detectors.iter().map(|d| d.spec()).collect();
+    let streams: Vec<GridStream> = sweep
+        .iter()
+        .map(|&k| {
+            let scenario_config = ScenarioConfig {
+                num_features: config.num_features,
+                num_classes: config.num_classes,
+                length: config.length,
+                imbalance_ratio: config.imbalance_ratio,
+                n_drifts: config.n_drifts,
+                drift_kind: DriftKind::Sudden,
+                seed: config.seed,
+            };
+            GridStream::new(format!("scenario3-k{k}"), move || {
+                scenario3(&scenario_config, k).stream
+            })
+        })
+        .collect();
+    // Recover the sweep point of a completed cell from its stream label.
+    let k_by_name: std::collections::BTreeMap<String, usize> =
+        streams.iter().map(|s| s.name.clone()).zip(sweep.iter().copied()).collect();
+    let progress = std::sync::Mutex::new(progress);
+    let results =
+        run_grid_observed(DetectorRegistry::global(), &detectors, &streams, &config.run, |run| {
+            let k = k_by_name[&run.stream];
+            (progress.lock().expect("progress sink poisoned"))(k, run);
+        })
+        .expect("every DetectorKind resolves against the default registry");
     let mut points = Vec::new();
-    for &k in &sweep {
-        let scenario_config = ScenarioConfig {
-            num_features: config.num_features,
-            num_classes: config.num_classes,
-            length: config.length,
-            imbalance_ratio: config.imbalance_ratio,
-            n_drifts: config.n_drifts,
-            drift_kind: DriftKind::Sudden,
-            seed: config.seed,
-        };
-        let mut runs = Vec::new();
-        for &detector in &config.detectors {
-            let mut scenario = scenario3(&scenario_config, k);
-            let mut result = run_detector_on_stream(scenario.stream.as_mut(), detector, &config.run);
-            result.stream = format!("scenario3-k{k}");
-            progress(k, &result);
-            runs.push(result);
-        }
-        points.push(LocalDriftPoint { classes_with_drift: k, runs });
+    for (chunk, &k) in results.chunks(detectors.len().max(1)).zip(sweep.iter()) {
+        points.push(LocalDriftPoint { classes_with_drift: k, runs: chunk.to_vec() });
     }
     Experiment2Result { points, detectors: config.detectors.clone() }
 }

@@ -6,7 +6,8 @@
 //! and reports the pmAUC of the classifier driven by each detector.
 
 use crate::detectors::DetectorKind;
-use crate::runner::{run_detector_on_stream, RunConfig, RunResult};
+use crate::pipeline::{run_grid_observed, GridStream, RunConfig, RunResult};
+use crate::registry::DetectorRegistry;
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::scenarios::{scenario2, ScenarioConfig};
 use serde::{Deserialize, Serialize};
@@ -73,7 +74,7 @@ impl Experiment3Result {
             .map(|p| {
                 p.runs
                     .iter()
-                    .find(|r| r.detector == detector)
+                    .find(|r| r.detector == detector.name())
                     .map(|r| r.pm_auc)
                     .unwrap_or(f64::NAN)
             })
@@ -81,36 +82,47 @@ impl Experiment3Result {
     }
 }
 
-/// Runs the imbalance-ratio sweep.
+/// Runs the imbalance-ratio sweep: all (ratio × detector) cells form one
+/// parallel grid. `progress` fires live as each cell completes (completion
+/// order); the returned points are in deterministic ratio order.
 pub fn run_experiment3(
     config: &Experiment3Config,
-    mut progress: impl FnMut(f64, &RunResult),
+    progress: impl FnMut(f64, &RunResult) + Send,
 ) -> Experiment3Result {
     let ratios = if config.imbalance_ratios.is_empty() {
         vec![50.0, 100.0, 200.0, 300.0, 400.0, 500.0]
     } else {
         config.imbalance_ratios.clone()
     };
+    let detectors: Vec<_> = config.detectors.iter().map(|d| d.spec()).collect();
+    let streams: Vec<GridStream> = ratios
+        .iter()
+        .map(|&ir| {
+            let scenario_config = ScenarioConfig {
+                num_features: config.num_features,
+                num_classes: config.num_classes,
+                length: config.length,
+                imbalance_ratio: ir,
+                n_drifts: config.n_drifts,
+                drift_kind: DriftKind::Sudden,
+                seed: config.seed,
+            };
+            GridStream::new(format!("scenario2-ir{ir}"), move || scenario2(&scenario_config).stream)
+        })
+        .collect();
+    // Recover the swept ratio of a completed cell from its stream label.
+    let ir_by_name: std::collections::BTreeMap<String, f64> =
+        streams.iter().map(|s| s.name.clone()).zip(ratios.iter().copied()).collect();
+    let progress = std::sync::Mutex::new(progress);
+    let results =
+        run_grid_observed(DetectorRegistry::global(), &detectors, &streams, &config.run, |run| {
+            let ir = ir_by_name[&run.stream];
+            (progress.lock().expect("progress sink poisoned"))(ir, run);
+        })
+        .expect("every DetectorKind resolves against the default registry");
     let mut points = Vec::new();
-    for &ir in &ratios {
-        let scenario_config = ScenarioConfig {
-            num_features: config.num_features,
-            num_classes: config.num_classes,
-            length: config.length,
-            imbalance_ratio: ir,
-            n_drifts: config.n_drifts,
-            drift_kind: DriftKind::Sudden,
-            seed: config.seed,
-        };
-        let mut runs = Vec::new();
-        for &detector in &config.detectors {
-            let mut scenario = scenario2(&scenario_config);
-            let mut result = run_detector_on_stream(scenario.stream.as_mut(), detector, &config.run);
-            result.stream = format!("scenario2-ir{ir}");
-            progress(ir, &result);
-            runs.push(result);
-        }
-        points.push(ImbalancePoint { imbalance_ratio: ir, runs });
+    for (chunk, &ir) in results.chunks(detectors.len().max(1)).zip(ratios.iter()) {
+        points.push(ImbalancePoint { imbalance_ratio: ir, runs: chunk.to_vec() });
     }
     Experiment3Result { points, detectors: config.detectors.clone() }
 }

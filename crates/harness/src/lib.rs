@@ -1,6 +1,22 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation (Sec. VI) from the building blocks in the other crates.
 //!
+//! Everything runs through the unified **Pipeline API**:
+//!
+//! * [`pipeline::PipelineBuilder`] — one prequential run: a stream, an
+//!   [`rbm_im_classifiers::OnlineClassifier`] (the paper's CSPT by default),
+//!   a drift detector (pre-built or resolved by spec), allocation-free
+//!   buffers in the hot loop, optional detector mini-batching and event
+//!   sinks;
+//! * [`registry::DetectorRegistry`] / [`registry::DetectorSpec`] — the open,
+//!   string-keyed detector catalogue (`"adwin(delta=0.01)"` is a valid
+//!   spec); new detectors register without touching this crate;
+//! * [`pipeline::run_grid`] — the rayon-parallel detectors × streams grid
+//!   with deterministic per-cell seeding that experiments 1–3 are built on;
+//! * [`detectors::DetectorKind`] — compat shim enumerating the paper's
+//!   line-up, resolved through the registry;
+//! * [`runner`] — deprecated compat wrapper around the pipeline.
+//!
 //! | Paper artifact | Module | Binary / bench |
 //! |---|---|---|
 //! | Table I (benchmark inventory) | [`rbm_im_streams::registry`] | `cargo run -p rbm-im-harness --release --bin table1` |
@@ -23,9 +39,12 @@ pub mod detectors;
 pub mod experiment1;
 pub mod experiment2;
 pub mod experiment3;
+pub mod pipeline;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod tuning;
 
 pub use detectors::DetectorKind;
-pub use runner::{run_detector_on_stream, RunConfig, RunResult};
+pub use pipeline::{run_grid, GridStream, PipelineBuilder, PipelineEvent, RunConfig, RunResult};
+pub use registry::{DetectorRegistry, DetectorSpec};

@@ -1,0 +1,432 @@
+//! Open, string-keyed detector registry.
+//!
+//! The harness used to instantiate detectors through a closed `match` on
+//! [`DetectorKind`](crate::detectors::DetectorKind), which meant every new
+//! detector (or tuned variant of an existing one) required editing the
+//! harness itself. The registry inverts that: a detector is described by a
+//! serde-friendly [`DetectorSpec`] — a name plus numeric parameters — and
+//! resolved against a [`DetectorRegistry`] of factories. Anything
+//! implementing `DriftDetector` can be registered under a new name without
+//! touching this crate, and tuned variants are one-liners:
+//!
+//! ```
+//! use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+//!
+//! let registry = DetectorRegistry::with_defaults();
+//! let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
+//! let detector = registry.build(&spec, 10, 3).unwrap();
+//! assert_eq!(detector.name(), "ADWIN");
+//! ```
+//!
+//! [`DetectorKind`](crate::detectors::DetectorKind) survives as a thin
+//! compatibility shim whose `build` delegates here.
+
+use rbm_im::network::RbmNetworkConfig;
+use rbm_im::{RbmIm, RbmImConfig};
+use rbm_im_detectors::ddm_oci::DdmOciConfig;
+use rbm_im_detectors::fhddm::FhddmConfig;
+use rbm_im_detectors::perfsim::PerfSimConfig;
+use rbm_im_detectors::{
+    Adwin, Cusum, Ddm, DdmOci, DriftDetector, Ecdd, Eddm, Fhddm, HddmA, HddmW, PageHinkley,
+    PerfSim, Rddm, Wstd,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A detector described by name and numeric parameters — the unit the
+/// registry resolves and the experiment grid iterates over. Serializes to
+/// plain JSON (`{"name": "adwin", "params": {"delta": 0.01}}`) so experiment
+/// configurations can live in files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSpec {
+    /// Registry key (case-insensitive; display capitalization is preserved).
+    pub name: String,
+    /// Numeric parameter overrides; anything a factory does not understand
+    /// is rejected at build time.
+    pub params: BTreeMap<String, f64>,
+}
+
+impl DetectorSpec {
+    /// Spec with no parameter overrides.
+    pub fn new(name: impl Into<String>) -> Self {
+        DetectorSpec { name: name.into(), params: BTreeMap::new() }
+    }
+
+    /// Adds one parameter override (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.params.insert(key.into(), value);
+        self
+    }
+
+    /// Parses the compact `name(key=value, key=value)` form, e.g.
+    /// `"adwin(delta=0.01)"` or just `"rbm-im"`.
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let text = text.trim();
+        let Some(open) = text.find('(') else {
+            if text.is_empty() {
+                return Err(RegistryError::InvalidSpec("empty detector spec".into()));
+            }
+            return Ok(DetectorSpec::new(text));
+        };
+        let name = text[..open].trim();
+        if name.is_empty() {
+            return Err(RegistryError::InvalidSpec(format!("missing detector name in `{text}`")));
+        }
+        let Some(rest) = text[open + 1..].strip_suffix(')') else {
+            return Err(RegistryError::InvalidSpec(format!("unbalanced parentheses in `{text}`")));
+        };
+        let mut spec = DetectorSpec::new(name);
+        for pair in rest.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(RegistryError::InvalidSpec(format!(
+                    "expected `key=value`, found `{pair}` in `{text}`"
+                )));
+            };
+            let value: f64 = value.trim().parse().map_err(|_| {
+                RegistryError::InvalidSpec(format!(
+                    "non-numeric value `{}` in `{text}`",
+                    value.trim()
+                ))
+            })?;
+            spec.params.insert(key.trim().to_string(), value);
+        }
+        Ok(spec)
+    }
+
+    /// Canonical display label: the bare name, or `name(key=value, …)` when
+    /// parameters are overridden. Used as the detector column label for grid
+    /// results.
+    pub fn label(&self) -> String {
+        if self.params.is_empty() {
+            self.name.clone()
+        } else {
+            let params: Vec<String> = self.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}({})", self.name, params.join(", "))
+        }
+    }
+
+    /// Normalized registry key.
+    fn key(&self) -> String {
+        normalize_key(&self.name)
+    }
+}
+
+fn normalize_key(name: &str) -> String {
+    name.trim().to_ascii_lowercase()
+}
+
+/// Errors raised by registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The spec string could not be parsed.
+    InvalidSpec(String),
+    /// No factory is registered under the requested name.
+    UnknownDetector {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered key, for the error message.
+        known: Vec<String>,
+    },
+    /// A parameter the factory does not understand (or cannot accept).
+    InvalidParam {
+        /// Detector being built.
+        detector: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidSpec(msg) => write!(f, "invalid detector spec: {msg}"),
+            RegistryError::UnknownDetector { name, known } => {
+                write!(f, "unknown detector `{name}` (registered: {})", known.join(", "))
+            }
+            RegistryError::InvalidParam { detector, message } => {
+                write!(f, "invalid parameter for `{detector}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Parameter view handed to factories: typed access plus rejection of
+/// anything outside the factory's declared parameter set.
+pub struct Params<'a> {
+    detector: &'a str,
+    map: &'a BTreeMap<String, f64>,
+}
+
+impl<'a> Params<'a> {
+    /// Validates that every provided key is in `allowed`, then exposes the
+    /// map for typed reads.
+    pub fn checked(
+        detector: &'a str,
+        map: &'a BTreeMap<String, f64>,
+        allowed: &[&str],
+    ) -> Result<Self, RegistryError> {
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(RegistryError::InvalidParam {
+                    detector: detector.to_string(),
+                    message: format!(
+                        "unknown parameter `{key}` (accepted: {})",
+                        if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+                    ),
+                });
+            }
+        }
+        Ok(Params { detector, map })
+    }
+
+    /// The parameter, or a default.
+    pub fn get_or(&self, key: &str, default: f64) -> f64 {
+        self.map.get(key).copied().unwrap_or(default)
+    }
+
+    /// The parameter as a positive integer, or a default.
+    pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize, RegistryError> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(&v) if v >= 1.0 && v.fract() == 0.0 && v <= usize::MAX as f64 => Ok(v as usize),
+            Some(&v) => Err(RegistryError::InvalidParam {
+                detector: self.detector.to_string(),
+                message: format!("`{key}` must be a positive integer, got {v}"),
+            }),
+        }
+    }
+}
+
+/// Factory signature: `(spec params, num_features, num_classes) -> detector`.
+pub type DetectorFactory = Box<
+    dyn Fn(&Params<'_>, usize, usize) -> Result<Box<dyn DriftDetector + Send>, RegistryError>
+        + Send
+        + Sync,
+>;
+
+struct RegisteredDetector {
+    factory: DetectorFactory,
+    allowed_params: Vec<&'static str>,
+}
+
+/// String-keyed map from detector names to factories.
+pub struct DetectorRegistry {
+    entries: BTreeMap<String, RegisteredDetector>,
+}
+
+impl DetectorRegistry {
+    /// An empty registry (useful for fully custom detector sets).
+    pub fn empty() -> Self {
+        DetectorRegistry { entries: BTreeMap::new() }
+    }
+
+    /// The registry with every detector this workspace ships: the 13
+    /// reference detectors plus RBM-IM, under their lowercase table names
+    /// (`"wstd"`, `"rddm"`, `"fhddm"`, `"perfsim"`, `"ddm-oci"`, `"rbm-im"`,
+    /// `"ddm"`, `"eddm"`, `"adwin"`, `"hddm-a"`, `"hddm-w"`,
+    /// `"pagehinkley"`, `"cusum"`, `"ecdd"`).
+    pub fn with_defaults() -> Self {
+        let mut registry = DetectorRegistry::empty();
+        registry.register("wstd", &[], |_, _, _| Ok(Box::new(Wstd::new())));
+        registry.register("rddm", &[], |_, _, _| Ok(Box::new(Rddm::new())));
+        registry.register("fhddm", &["window_size", "delta"], |p, _, _| {
+            let defaults = FhddmConfig::default();
+            Ok(Box::new(Fhddm::with_config(FhddmConfig {
+                window_size: p.get_usize_or("window_size", defaults.window_size)?,
+                delta: p.get_or("delta", defaults.delta),
+            })))
+        });
+        registry.register("perfsim", &[], |_, _, classes| {
+            Ok(Box::new(PerfSim::new(PerfSimConfig::for_classes(classes))))
+        });
+        registry.register("ddm-oci", &[], |_, _, classes| {
+            Ok(Box::new(DdmOci::new(DdmOciConfig::for_classes(classes))))
+        });
+        registry.register(
+            "rbm-im",
+            &["mini_batch", "hidden_fraction", "learning_rate", "gibbs_steps", "persistence"],
+            |p, features, classes| {
+                let base = RbmImConfig::default();
+                let config = RbmImConfig {
+                    mini_batch_size: p.get_usize_or("mini_batch", base.mini_batch_size)?,
+                    persistence: p.get_usize_or("persistence", base.persistence as usize)? as u32,
+                    network: RbmNetworkConfig {
+                        hidden_fraction: p.get_or("hidden_fraction", base.network.hidden_fraction),
+                        learning_rate: p.get_or("learning_rate", base.network.learning_rate),
+                        gibbs_steps: p.get_usize_or("gibbs_steps", base.network.gibbs_steps)?,
+                        ..base.network
+                    },
+                    ..base
+                };
+                Ok(Box::new(RbmIm::new(features, classes, config)))
+            },
+        );
+        registry.register("ddm", &[], |_, _, _| Ok(Box::new(Ddm::new())));
+        registry.register("eddm", &[], |_, _, _| Ok(Box::new(Eddm::new())));
+        registry.register("adwin", &["delta"], |p, _, _| {
+            Ok(Box::new(Adwin::new(p.get_or("delta", 0.002))))
+        });
+        registry.register("hddm-a", &[], |_, _, _| Ok(Box::new(HddmA::new())));
+        registry.register("hddm-w", &["lambda"], |p, _, _| {
+            Ok(Box::new(HddmW::new(p.get_or("lambda", 0.05))))
+        });
+        registry.register("pagehinkley", &[], |_, _, _| Ok(Box::new(PageHinkley::new())));
+        registry.register("cusum", &[], |_, _, _| Ok(Box::new(Cusum::new())));
+        registry.register("ecdd", &[], |_, _, _| Ok(Box::new(Ecdd::new())));
+        registry
+    }
+
+    /// The process-wide default registry ([`DetectorRegistry::with_defaults`],
+    /// built once). `DetectorKind::build` and the no-registry pipeline paths
+    /// resolve against this.
+    pub fn global() -> &'static DetectorRegistry {
+        static GLOBAL: OnceLock<DetectorRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(DetectorRegistry::with_defaults)
+    }
+
+    /// Registers (or replaces) a factory under `name`. `allowed_params`
+    /// documents — and enforces — the parameter keys the factory accepts.
+    pub fn register<F>(&mut self, name: &str, allowed_params: &[&'static str], factory: F)
+    where
+        F: Fn(&Params<'_>, usize, usize) -> Result<Box<dyn DriftDetector + Send>, RegistryError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(
+            normalize_key(name),
+            RegisteredDetector {
+                factory: Box::new(factory),
+                allowed_params: allowed_params.to_vec(),
+            },
+        );
+    }
+
+    /// Whether a factory is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&normalize_key(name))
+    }
+
+    /// Registered keys, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Instantiates the detector described by `spec` for a stream schema.
+    pub fn build(
+        &self,
+        spec: &DetectorSpec,
+        num_features: usize,
+        num_classes: usize,
+    ) -> Result<Box<dyn DriftDetector + Send>, RegistryError> {
+        let entry = self.entries.get(&spec.key()).ok_or_else(|| {
+            RegistryError::UnknownDetector { name: spec.name.clone(), known: self.names() }
+        })?;
+        let params = Params::checked(&spec.name, &spec.params, &entry.allowed_params)?;
+        (entry.factory)(&params, num_features, num_classes)
+    }
+}
+
+impl fmt::Debug for DetectorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetectorRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbm_im_detectors::Observation;
+
+    #[test]
+    fn default_registry_builds_every_paper_detector() {
+        let registry = DetectorRegistry::with_defaults();
+        assert_eq!(registry.names().len(), 14);
+        let features = vec![0.1, 0.2, 0.3];
+        for name in registry.names() {
+            let spec = DetectorSpec::new(&name);
+            let mut detector = registry.build(&spec, 3, 3).unwrap();
+            for i in 0..60usize {
+                let obs = Observation::new(&features, i % 3, (i + 1) % 3);
+                detector.update(&obs);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let registry = DetectorRegistry::with_defaults();
+        assert!(registry.contains("ADWIN"));
+        assert!(registry.contains("Rbm-Im"));
+        let detector = registry.build(&DetectorSpec::new("RBM-IM"), 4, 2).unwrap();
+        assert_eq!(detector.name(), "RBM-IM");
+    }
+
+    #[test]
+    fn tuned_variants_parse_and_build() {
+        let registry = DetectorRegistry::with_defaults();
+        let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
+        assert_eq!(spec.name, "adwin");
+        assert_eq!(spec.params.get("delta"), Some(&0.01));
+        assert_eq!(spec.label(), "adwin(delta=0.01)");
+        registry.build(&spec, 5, 2).unwrap();
+
+        let spec = DetectorSpec::parse("rbm-im(mini_batch=25, learning_rate=0.05)").unwrap();
+        let detector = registry.build(&spec, 5, 2).unwrap();
+        assert_eq!(detector.name(), "RBM-IM");
+    }
+
+    #[test]
+    fn unknown_names_and_params_are_rejected() {
+        let registry = DetectorRegistry::with_defaults();
+        let err =
+            registry.build(&DetectorSpec::new("made-up"), 4, 2).err().expect("build must fail");
+        assert!(matches!(err, RegistryError::UnknownDetector { .. }));
+        let err = registry
+            .build(&DetectorSpec::new("adwin").with_param("window", 7.0), 4, 2)
+            .err()
+            .expect("build must fail");
+        assert!(matches!(err, RegistryError::InvalidParam { .. }));
+        let err = registry
+            .build(&DetectorSpec::new("rbm-im").with_param("mini_batch", 12.5), 4, 2)
+            .err()
+            .expect("build must fail");
+        assert!(matches!(err, RegistryError::InvalidParam { .. }));
+    }
+
+    #[test]
+    fn custom_detectors_register_without_touching_the_harness() {
+        let mut registry = DetectorRegistry::with_defaults();
+        registry.register("tuned-adwin", &["delta"], |p, _, _| {
+            Ok(Box::new(Adwin::new(p.get_or("delta", 0.01))))
+        });
+        assert!(registry.contains("tuned-adwin"));
+        registry.build(&DetectorSpec::new("tuned-adwin"), 4, 2).unwrap();
+    }
+
+    #[test]
+    fn spec_parse_error_paths() {
+        assert!(DetectorSpec::parse("").is_err());
+        assert!(DetectorSpec::parse("adwin(delta=").is_err());
+        assert!(DetectorSpec::parse("adwin(delta)").is_err());
+        assert!(DetectorSpec::parse("adwin(delta=abc)").is_err());
+        assert!(DetectorSpec::parse("(delta=1)").is_err());
+        assert_eq!(DetectorSpec::parse("  ddm  ").unwrap().name, "ddm");
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = DetectorSpec::new("adwin").with_param("delta", 0.01);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: DetectorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -28,7 +28,9 @@ pub fn format_table3(result: &Experiment1Result, metric: &str) -> String {
         out.push('\n');
     }
     // Rank row (Friedman average ranks), as in the paper's last row.
-    if let Ok(friedman) = if metric == "pmGM" { result.friedman_pm_gmean() } else { result.friedman_pm_auc() } {
+    if let Ok(friedman) =
+        if metric == "pmGM" { result.friedman_pm_gmean() } else { result.friedman_pm_auc() }
+    {
         out.push_str(&format!("{:<16}", "avg rank"));
         for r in &friedman.average_ranks {
             out.push_str(&format!("{:>10.2}", r));
@@ -46,7 +48,11 @@ pub fn format_table3(result: &Experiment1Result, metric: &str) -> String {
 
 /// Formats the Bonferroni–Dunn summary used for Figs. 4 and 5.
 pub fn format_ranking(result: &Experiment1Result, metric: &str, alpha: f64) -> String {
-    let friedman = match if metric == "pmGM" { result.friedman_pm_gmean() } else { result.friedman_pm_auc() } {
+    let friedman = match if metric == "pmGM" {
+        result.friedman_pm_gmean()
+    } else {
+        result.friedman_pm_auc()
+    } {
         Ok(f) => f,
         Err(e) => return format!("ranking unavailable: {e}"),
     };
@@ -99,7 +105,8 @@ pub fn format_fig8(result: &Experiment2Result) -> String {
 
 /// Fig. 9 table from an Experiment 3 result.
 pub fn format_fig9(result: &Experiment3Result) -> String {
-    let xs: Vec<String> = result.points.iter().map(|p| format!("IR = {}", p.imbalance_ratio)).collect();
+    let xs: Vec<String> =
+        result.points.iter().map(|p| format!("IR = {}", p.imbalance_ratio)).collect();
     let series: Vec<Vec<f64>> = result.detectors.iter().map(|d| result.series(*d)).collect();
     format_series_table("pmAUC vs imbalance ratio", &xs, &result.detectors, &series)
 }
@@ -126,7 +133,12 @@ mod tests {
     fn tiny_result() -> Experiment1Result {
         let config = Experiment1Config {
             detectors: vec![DetectorKind::Fhddm, DetectorKind::RbmIm],
-            build: BuildConfigSerde { seed: 1, scale_divisor: 500, n_drifts: 1, dynamic_imbalance: false },
+            build: BuildConfigSerde {
+                seed: 1,
+                scale_divisor: 500,
+                n_drifts: 1,
+                dynamic_imbalance: false,
+            },
             run: RunConfig { metric_window: 400, max_instances: Some(1_500), ..Default::default() },
             benchmarks: vec!["RBF5".into(), "RandomTree5".into()],
         };

@@ -1,151 +1,55 @@
-//! The prequential evaluation loop: classifier + detector + metrics.
+//! Compatibility shim over the [`pipeline`](crate::pipeline) module.
 //!
-//! Mirrors the paper's setup (Sec. VI-B): every detector drives the same
-//! base classifier (Adaptive Cost-Sensitive Perceptron Trees). Each instance
-//! is first *tested* (prediction recorded into the pmAUC/pmGM evaluator and
-//! into the detector), then *learned*; when the detector signals a drift the
-//! classifier is reset so it can re-learn the new concept. Detector test and
-//! update times are accumulated separately (the bottom rows of Table III).
+//! The prequential loop now lives in
+//! [`PipelineBuilder`](crate::pipeline::PipelineBuilder); this module
+//! re-exports the run configuration/result types under their historical
+//! paths and keeps a deprecated [`run_detector_on_stream`] wrapper for
+//! callers that have not migrated yet. New code should build pipelines (or
+//! grids) directly.
 
 use crate::detectors::DetectorKind;
-use rbm_im_classifiers::{CostSensitivePerceptronTree, OnlineClassifier};
-use rbm_im_detectors::Observation;
-use rbm_im_metrics::{PrequentialEvaluator, PrequentialSnapshot};
+use crate::pipeline::PipelineBuilder;
+pub use crate::pipeline::{RunConfig, RunResult};
 use rbm_im_streams::DataStream;
-use serde::{Deserialize, Serialize};
-use std::time::Instant;
-
-/// Configuration of a single prequential run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RunConfig {
-    /// Window size of the prequential metrics (the paper uses 1000).
-    pub metric_window: usize,
-    /// Maximum number of instances to process (`None` = until exhaustion).
-    pub max_instances: Option<u64>,
-    /// Whether the classifier is reset when the detector fires.
-    pub reset_on_drift: bool,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        RunConfig { metric_window: 1000, max_instances: None, reset_on_drift: true }
-    }
-}
-
-/// Outcome of one prequential run (one cell of Table III plus diagnostics).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Detector evaluated.
-    pub detector: DetectorKind,
-    /// Stream name.
-    pub stream: String,
-    /// Stream-averaged prequential multi-class AUC, in percent.
-    pub pm_auc: f64,
-    /// Stream-averaged prequential multi-class G-mean, in percent.
-    pub pm_gmean: f64,
-    /// Final windowed accuracy, in percent.
-    pub accuracy: f64,
-    /// Final windowed Cohen's kappa.
-    pub kappa: f64,
-    /// Number of instances processed.
-    pub instances: u64,
-    /// Positions at which the detector signalled drift.
-    pub detections: Vec<u64>,
-    /// Total seconds spent in detector `update` calls.
-    pub detector_update_seconds: f64,
-    /// Total seconds spent testing (classifier prediction + metric update).
-    pub test_seconds: f64,
-    /// Total seconds spent training the classifier.
-    pub train_seconds: f64,
-}
-
-impl RunResult {
-    /// Number of drift signals raised.
-    pub fn drift_count(&self) -> usize {
-        self.detections.len()
-    }
-}
 
 /// Runs one detector on one stream with the paper's prequential protocol.
+///
+/// Deprecated compatibility wrapper: equivalent to
+/// `PipelineBuilder::new().boxed_stream(…).detector_spec(kind.spec()).config(*config).run()`.
+#[deprecated(note = "use rbm_im_harness::pipeline::PipelineBuilder (or run_grid) instead")]
 pub fn run_detector_on_stream(
     stream: &mut (dyn DataStream + Send),
     detector_kind: DetectorKind,
     config: &RunConfig,
 ) -> RunResult {
-    let schema = stream.schema().clone();
-    let mut classifier = CostSensitivePerceptronTree::new(schema.num_features, schema.num_classes);
-    let mut detector = detector_kind.build(schema.num_features, schema.num_classes);
-    let mut evaluator = PrequentialEvaluator::new(schema.num_classes, config.metric_window);
-    let mut detections = Vec::new();
-    let mut detector_update_seconds = 0.0;
-    let mut test_seconds = 0.0;
-    let mut train_seconds = 0.0;
-    let mut processed: u64 = 0;
-
-    while let Some(instance) = stream.next_instance() {
-        if let Some(limit) = config.max_instances {
-            if processed >= limit {
-                break;
-            }
+    // The pipeline owns its stream; adapt the borrowed stream through a
+    // forwarding wrapper so the old by-reference signature keeps working.
+    struct BorrowedStream<'a>(&'a mut (dyn DataStream + Send));
+    impl DataStream for BorrowedStream<'_> {
+        fn next_instance(&mut self) -> Option<rbm_im_streams::Instance> {
+            self.0.next_instance()
         }
-        // Test.
-        let test_start = Instant::now();
-        let scores = classifier.predict_scores(&instance.features);
-        let predicted = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are not NaN"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        evaluator.record(instance.class, predicted, &scores);
-        test_seconds += test_start.elapsed().as_secs_f64();
-
-        // Detector update.
-        let observation = Observation {
-            features: &instance.features,
-            true_class: instance.class,
-            predicted_class: predicted,
-            correct: predicted == instance.class,
-        };
-        let update_start = Instant::now();
-        let state = detector.update(&observation);
-        detector_update_seconds += update_start.elapsed().as_secs_f64();
-        if state.is_drift() {
-            detections.push(instance.index);
-            if config.reset_on_drift {
-                classifier.reset();
-            }
+        fn schema(&self) -> &rbm_im_streams::StreamSchema {
+            self.0.schema()
         }
-
-        // Train.
-        let train_start = Instant::now();
-        classifier.learn(&instance);
-        train_seconds += train_start.elapsed().as_secs_f64();
-        processed += 1;
+        fn restart(&mut self) {
+            self.0.restart()
+        }
     }
-
-    let snapshot: PrequentialSnapshot = evaluator.snapshot();
-    RunResult {
-        detector: detector_kind,
-        stream: schema.name,
-        pm_auc: evaluator.average_pm_auc() * 100.0,
-        pm_gmean: evaluator.average_pm_gmean() * 100.0,
-        accuracy: snapshot.accuracy * 100.0,
-        kappa: snapshot.kappa,
-        instances: processed,
-        detections,
-        detector_update_seconds,
-        test_seconds,
-        train_seconds,
-    }
+    PipelineBuilder::new()
+        .stream(BorrowedStream(stream))
+        .detector_spec(detector_kind.spec())
+        .config(*config)
+        .run()
+        .expect("compat runner: registry resolution of a DetectorKind cannot fail")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use rbm_im_streams::scenarios::{scenario1, ScenarioConfig};
     use rbm_im_streams::generators::RandomRbfGenerator;
-    use rbm_im_streams::stream::BoundedStream;
+    use rbm_im_streams::scenarios::{scenario1, ScenarioConfig};
 
     fn small_scenario() -> ScenarioConfig {
         ScenarioConfig {
@@ -159,25 +63,38 @@ mod tests {
     }
 
     #[test]
-    fn run_produces_sane_metrics() {
+    fn compat_shim_matches_pipeline_output() {
+        let config =
+            RunConfig { metric_window: 500, max_instances: Some(2_000), ..Default::default() };
         let mut scenario = scenario1(&small_scenario());
-        let config = RunConfig { metric_window: 500, ..Default::default() };
-        let result = run_detector_on_stream(scenario.stream.as_mut(), DetectorKind::RbmIm, &config);
-        assert_eq!(result.instances, 8_000);
-        assert!(result.pm_auc > 0.0 && result.pm_auc <= 100.0);
-        assert!(result.pm_gmean >= 0.0 && result.pm_gmean <= 100.0);
-        assert!(result.accuracy > 0.0 && result.accuracy <= 100.0);
-        assert!(result.detector_update_seconds >= 0.0);
-        assert_eq!(result.detector, DetectorKind::RbmIm);
-        assert_eq!(result.drift_count(), result.detections.len());
+        let via_shim =
+            run_detector_on_stream(scenario.stream.as_mut(), DetectorKind::Adwin, &config);
+
+        let scenario = scenario1(&small_scenario());
+        let via_pipeline = PipelineBuilder::new()
+            .boxed_stream(scenario.stream)
+            .detector_spec(DetectorKind::Adwin.spec())
+            .config(config)
+            .run()
+            .unwrap();
+        // Timing fields are wall-clock and never reproducible; every
+        // semantic field must match exactly.
+        assert_eq!(via_shim.detector, via_pipeline.detector);
+        assert_eq!(via_shim.stream, via_pipeline.stream);
+        assert_eq!(via_shim.pm_auc, via_pipeline.pm_auc);
+        assert_eq!(via_shim.pm_gmean, via_pipeline.pm_gmean);
+        assert_eq!(via_shim.accuracy, via_pipeline.accuracy);
+        assert_eq!(via_shim.kappa, via_pipeline.kappa);
+        assert_eq!(via_shim.detections, via_pipeline.detections);
+        assert_eq!(via_shim.detector, "ADWIN");
+        assert_eq!(via_shim.instances, 2_000);
     }
 
     #[test]
     fn detector_driven_adaptation_beats_no_detector_after_drift() {
         // A stream with a severe sudden drift: the classifier driven by a
         // reasonable detector (ADWIN) should end up at least as good as one
-        // that never adapts (detector that never fires ⇒ emulate by
-        // disabling reset_on_drift).
+        // that never adapts (emulated by disabling reset_on_drift).
         let make_stream = || {
             let mut gen = RandomRbfGenerator::new(8, 3, 2, 0.0, 77);
             let before: Vec<_> = {
@@ -194,7 +111,8 @@ mod tests {
             VecStream::new(all, 8, 3)
         };
         let config_adapt = RunConfig { metric_window: 500, ..Default::default() };
-        let config_frozen = RunConfig { metric_window: 500, reset_on_drift: false, ..Default::default() };
+        let config_frozen =
+            RunConfig { metric_window: 500, reset_on_drift: false, ..Default::default() };
         let mut s1 = make_stream();
         let adaptive = run_detector_on_stream(&mut s1, DetectorKind::Adwin, &config_adapt);
         let mut s2 = make_stream();
@@ -207,23 +125,6 @@ mod tests {
         );
     }
 
-    #[test]
-    fn max_instances_is_respected() {
-        let mut scenario = scenario1(&small_scenario());
-        let config = RunConfig { metric_window: 200, max_instances: Some(1_000), ..Default::default() };
-        let result = run_detector_on_stream(scenario.stream.as_mut(), DetectorKind::Ddm, &config);
-        assert_eq!(result.instances, 1_000);
-    }
-
-    #[test]
-    fn bounded_stream_terminates_runner() {
-        let gen = RandomRbfGenerator::new(5, 3, 2, 0.0, 3);
-        let mut stream = BoundedStream::new(gen, 2_000);
-        let result =
-            run_detector_on_stream(&mut stream, DetectorKind::Fhddm, &RunConfig { metric_window: 500, ..Default::default() });
-        assert_eq!(result.instances, 2_000);
-    }
-
     /// Minimal in-memory stream used by runner tests.
     struct VecStream {
         data: Vec<rbm_im_streams::Instance>,
@@ -232,7 +133,11 @@ mod tests {
     }
 
     impl VecStream {
-        fn new(data: Vec<rbm_im_streams::Instance>, num_features: usize, num_classes: usize) -> Self {
+        fn new(
+            data: Vec<rbm_im_streams::Instance>,
+            num_features: usize,
+            num_classes: usize,
+        ) -> Self {
             VecStream {
                 data,
                 pos: 0,

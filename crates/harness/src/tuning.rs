@@ -10,8 +10,8 @@
 
 use crate::detectors::DetectorKind;
 use crate::runner::RunConfig;
-use rbm_im::RbmImConfig;
 use rbm_im::network::RbmNetworkConfig;
+use rbm_im::RbmImConfig;
 use rbm_im_stats::nelder_mead::{NelderMead, NelderMeadConfig};
 use rbm_im_streams::registry::{BenchmarkSpec, BuildConfig};
 use serde::{Deserialize, Serialize};
@@ -96,16 +96,16 @@ pub fn tune_rbm_im(
     let objective = |point: &[f64]| {
         evaluations += 1;
         let config = point_to_config(point);
-        let mut stream = spec.build(build);
+        let stream = spec.build(build);
         let run_config = RunConfig {
             metric_window: 500,
             max_instances: Some(prefix_instances),
             ..Default::default()
         };
         // Score by pmAUC of the classifier driven by this candidate; the
-        // generic runner builds RBM-IM with default parameters, so run the
-        // candidate explicitly here.
-        let result = run_with_rbm_config(stream.as_mut(), config, &run_config);
+        // registry builds RBM-IM with default parameters, so run the
+        // candidate configuration explicitly here.
+        let result = run_with_rbm_config(stream, config, &run_config);
         // Nelder–Mead minimizes.
         -result
     };
@@ -119,50 +119,25 @@ pub fn tune_rbm_im(
     TuningOutcome { best_point: result.point, best_pm_auc: -result.value, evaluations }
 }
 
-/// Runs the prequential loop with an explicit RBM-IM configuration and
+/// Runs the prequential pipeline with an explicit RBM-IM configuration and
 /// returns the stream-averaged pmAUC (in percent).
 pub fn run_with_rbm_config(
-    stream: &mut (dyn rbm_im_streams::DataStream + Send),
+    stream: Box<dyn rbm_im_streams::DataStream + Send>,
     config: RbmImConfig,
     run_config: &RunConfig,
 ) -> f64 {
+    use crate::pipeline::PipelineBuilder;
     use rbm_im::RbmIm;
-    use rbm_im_classifiers::{CostSensitivePerceptronTree, OnlineClassifier};
-    use rbm_im_detectors::{DriftDetector, Observation};
-    use rbm_im_metrics::PrequentialEvaluator;
+    use rbm_im_streams::DataStream;
 
     let schema = stream.schema().clone();
-    let mut classifier = CostSensitivePerceptronTree::new(schema.num_features, schema.num_classes);
-    let mut detector = RbmIm::new(schema.num_features, schema.num_classes, config);
-    let mut evaluator = PrequentialEvaluator::new(schema.num_classes, run_config.metric_window);
-    let mut processed = 0u64;
-    while let Some(instance) = stream.next_instance() {
-        if let Some(limit) = run_config.max_instances {
-            if processed >= limit {
-                break;
-            }
-        }
-        let scores = classifier.predict_scores(&instance.features);
-        let predicted = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        evaluator.record(instance.class, predicted, &scores);
-        let obs = Observation {
-            features: &instance.features,
-            true_class: instance.class,
-            predicted_class: predicted,
-            correct: predicted == instance.class,
-        };
-        if detector.update(&obs).is_drift() && run_config.reset_on_drift {
-            classifier.reset();
-        }
-        classifier.learn(&instance);
-        processed += 1;
-    }
-    evaluator.average_pm_auc() * 100.0
+    let result = PipelineBuilder::new()
+        .boxed_stream(stream)
+        .detector(RbmIm::new(schema.num_features, schema.num_classes, config))
+        .config(*run_config)
+        .run()
+        .expect("tuning pipeline is fully specified");
+    result.pm_auc
 }
 
 /// Returns which detector kinds expose tunable parameters in this harness
@@ -188,7 +163,8 @@ mod tests {
     #[test]
     fn tuning_runs_within_budget_and_improves_over_worst_corner() {
         let spec = benchmark_by_name("RBF5").unwrap();
-        let build = BuildConfig { scale_divisor: 500, seed: 9, n_drifts: 1, dynamic_imbalance: false };
+        let build =
+            BuildConfig { scale_divisor: 500, seed: 9, n_drifts: 1, dynamic_imbalance: false };
         let outcome = tune_rbm_im(&spec, &build, 1_500, 8);
         assert!(outcome.evaluations <= 8 + 5, "evaluations {}", outcome.evaluations);
         assert!(outcome.best_pm_auc > 0.0 && outcome.best_pm_auc <= 100.0);

@@ -190,7 +190,8 @@ mod tests {
         for i in 0..200 {
             let class = i % 2;
             // Class-1 instances score a bit higher on class 1, with overlap.
-            let s1 = if class == 1 { 0.5 + (i % 7) as f64 * 0.05 } else { 0.4 + (i % 5) as f64 * 0.05 };
+            let s1 =
+                if class == 1 { 0.5 + (i % 7) as f64 * 0.05 } else { 0.4 + (i % 5) as f64 * 0.05 };
             auc.record(&[1.0 - s1, s1], class);
         }
         let a = auc.auc();

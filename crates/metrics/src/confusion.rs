@@ -21,7 +21,11 @@ impl StreamingConfusionMatrix {
     /// Panics if `num_classes < 2`.
     pub fn new(num_classes: usize) -> Self {
         assert!(num_classes >= 2, "need at least two classes");
-        StreamingConfusionMatrix { num_classes, matrix: vec![vec![0; num_classes]; num_classes], total: 0 }
+        StreamingConfusionMatrix {
+            num_classes,
+            matrix: vec![vec![0; num_classes]; num_classes],
+            total: 0,
+        }
     }
 
     /// Records one prediction.
@@ -30,7 +34,10 @@ impl StreamingConfusionMatrix {
     /// Panics if either label is out of range.
     pub fn record(&mut self, true_class: usize, predicted_class: usize) {
         assert!(true_class < self.num_classes, "true class {true_class} out of range");
-        assert!(predicted_class < self.num_classes, "predicted class {predicted_class} out of range");
+        assert!(
+            predicted_class < self.num_classes,
+            "predicted class {predicted_class} out of range"
+        );
         self.matrix[true_class][predicted_class] += 1;
         self.total += 1;
     }
@@ -248,7 +255,11 @@ mod tests {
             m.record(1, 0);
         }
         assert!((m.accuracy() - 0.9).abs() < 1e-12);
-        assert!(m.kappa().abs() < 1e-12, "majority guessing must not earn kappa, got {}", m.kappa());
+        assert!(
+            m.kappa().abs() < 1e-12,
+            "majority guessing must not earn kappa, got {}",
+            m.kappa()
+        );
         assert_eq!(m.g_mean(), 0.0);
     }
 

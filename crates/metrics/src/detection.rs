@@ -66,7 +66,11 @@ impl DetectionQuality {
 ///
 /// Both position lists must be sorted ascending (they are by construction in
 /// the harness); the function sorts defensively anyway.
-pub fn evaluate_detections(true_positions: &[u64], alarms: &[u64], horizon: u64) -> DetectionQuality {
+pub fn evaluate_detections(
+    true_positions: &[u64],
+    alarms: &[u64],
+    horizon: u64,
+) -> DetectionQuality {
     let mut truths: Vec<u64> = true_positions.to_vec();
     truths.sort_unstable();
     let mut alarm_list: Vec<u64> = alarms.to_vec();

@@ -78,7 +78,7 @@ impl PrequentialEvaluator {
         self.count += 1;
         // Sample the windowed metrics once per full window (and once the
         // first window has filled), mirroring MOA's evaluation cadence.
-        if self.count % self.window_size as u64 == 0 {
+        if self.count.is_multiple_of(self.window_size as u64) {
             let snap = self.snapshot();
             self.sum_auc += snap.pm_auc;
             self.sum_gmean += snap.pm_gmean;

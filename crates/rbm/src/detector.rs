@@ -113,13 +113,15 @@ impl RbmIm {
     /// Creates an RBM-IM detector for a stream with the given schema.
     pub fn new(num_features: usize, num_classes: usize, config: RbmImConfig) -> Self {
         assert!(config.mini_batch_size >= 5, "mini-batch must hold at least a few instances");
-        assert!(config.trend_history >= 4 && config.trend_history % 2 == 0);
+        assert!(config.trend_history >= 4 && config.trend_history.is_multiple_of(2));
         assert!(config.granger_alpha > 0.0 && config.granger_alpha < 1.0);
         assert!(config.magnitude_sigmas >= 0.0);
         assert!(config.persistence >= 1, "persistence must be at least one batch");
         let network = RbmNetwork::new(num_features, num_classes, config.network);
         let trackers = (0..num_classes)
-            .map(|_| TrendTracker::new(config.trend_window, config.trend_history, config.adwin_delta))
+            .map(|_| {
+                TrendTracker::new(config.trend_window, config.trend_history, config.adwin_delta)
+            })
             .collect();
         RbmIm {
             config,
@@ -300,6 +302,41 @@ impl DriftDetector for RbmIm {
         self.observe_instance(&instance)
     }
 
+    /// Mini-batches are RBM-IM's natural unit of work (Sec. V-B): instead of
+    /// going through the per-observation `update` path — which materializes
+    /// an [`Instance`] and then clones it into the internal buffer — the
+    /// batched path moves each observation's features into the buffer once
+    /// and runs the detect-then-train step whenever a mini-batch completes.
+    /// Drift offsets are exactly the positions the per-observation loop
+    /// would report (the observation whose arrival completed a drifting
+    /// mini-batch).
+    fn update_batch(
+        &mut self,
+        observations: &[Observation<'_>],
+        drift_offsets: &mut Vec<usize>,
+    ) -> DetectorState {
+        drift_offsets.clear();
+        let mut state = self.state;
+        for (offset, observation) in observations.iter().enumerate() {
+            assert_eq!(observation.features.len(), self.num_features, "feature count mismatch");
+            self.buffer.push(Instance::new(observation.features.to_vec(), observation.true_class));
+            if self.buffer.len() >= self.config.mini_batch_size {
+                let batch =
+                    MiniBatch { instances: std::mem::take(&mut self.buffer), start_index: 0 };
+                state = self.process_batch(&batch);
+                if state.is_drift() {
+                    drift_offsets.push(offset);
+                }
+            } else if state == DetectorState::Drift {
+                // Mirror `observe_instance`: a drift signal lasts exactly one
+                // observation, then the detector reads stable again.
+                state = DetectorState::Stable;
+            }
+        }
+        self.state = state;
+        state
+    }
+
     fn state(&self) -> DetectorState {
         self.state
     }
@@ -316,14 +353,16 @@ impl DriftDetector for RbmIm {
         true
     }
 
-    fn drifted_classes(&self) -> Vec<usize> {
-        self.drifted.clone()
+    fn drifted_classes_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.drifted);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbm_im_detectors::DriftDetectorExt;
     use rbm_im_streams::generators::{GaussianMixtureGenerator, RandomRbfGenerator};
     use rbm_im_streams::imbalance::{ImbalanceProfile, ImbalancedStream};
     use rbm_im_streams::StreamExt;
@@ -357,7 +396,7 @@ mod tests {
 
     #[test]
     fn detects_global_sudden_drift() {
-        let mut concept_a = RandomRbfGenerator::new(8, 4, 2, 0.0, 5);
+        let mut concept_a = RandomRbfGenerator::new(8, 4, 2, 0.0, 8);
         let mut detector = RbmIm::new(8, 4, quick_config());
         let before = concept_a.take_instances(6_000);
         concept_a.regenerate();
@@ -377,7 +416,7 @@ mod tests {
     #[test]
     fn detects_local_drift_and_attributes_affected_class() {
         // Only class 3 changes its distribution; RBM-IM must notice and name it.
-        let mut gen = RandomRbfGenerator::new(6, 4, 2, 0.0, 9);
+        let mut gen = RandomRbfGenerator::new(6, 4, 2, 0.0, 16);
         let mut detector = RbmIm::new(6, 4, quick_config());
         let before = gen.take_instances(6_000);
         gen.regenerate_classes(&[3]);
@@ -412,8 +451,8 @@ mod tests {
         feed(&mut detector, &before);
         // Drift the minority class only.
         let mut inner = stream; // take ownership to reach the generator
-        // Rebuild: easier to construct a fresh imbalanced stream around a
-        // drifted copy of the generator.
+                                // Rebuild: easier to construct a fresh imbalanced stream around a
+                                // drifted copy of the generator.
         let mut drifted_gen = RandomRbfGenerator::new(6, 3, 2, 0.0, 21);
         // Re-play the same number of draws the original generator performed
         // is unnecessary: regenerating class 2 gives a new concept regardless.
@@ -459,9 +498,47 @@ mod tests {
     }
 
     #[test]
+    fn batched_updates_match_per_instance_updates() {
+        // Same drifting stream, fed once through `update` and once through
+        // `update_batch` with a chunk size deliberately misaligned with the
+        // mini-batch size: detection positions must be identical.
+        let mut gen = RandomRbfGenerator::new(8, 4, 2, 0.0, 8);
+        let mut data = gen.take_instances(6_000);
+        gen.regenerate();
+        data.extend(gen.take_instances(4_000));
+
+        let mut sequential = RbmIm::new(8, 4, quick_config());
+        let mut sequential_positions = Vec::new();
+        for (i, inst) in data.iter().enumerate() {
+            let obs = Observation::new(&inst.features, inst.class, inst.class);
+            if sequential.update(&obs).is_drift() {
+                sequential_positions.push(i);
+            }
+        }
+
+        let mut batched = RbmIm::new(8, 4, quick_config());
+        let mut batched_positions = Vec::new();
+        let mut offsets = Vec::new();
+        let chunk_size = 37;
+        for (chunk_index, chunk) in data.chunks(chunk_size).enumerate() {
+            let observations: Vec<Observation<'_>> = chunk
+                .iter()
+                .map(|inst| Observation::new(&inst.features, inst.class, inst.class))
+                .collect();
+            batched.update_batch(&observations, &mut offsets);
+            batched_positions.extend(offsets.iter().map(|o| chunk_index * chunk_size + o));
+        }
+
+        assert_eq!(sequential_positions, batched_positions);
+        assert!(!sequential_positions.is_empty(), "the injected drift must be detected");
+        assert_eq!(sequential.batches_processed(), batched.batches_processed());
+    }
+
+    #[test]
     fn works_through_the_drift_detector_trait() {
         let mut stream = GaussianMixtureGenerator::balanced(4, 2, 1, 6);
-        let mut detector: Box<dyn DriftDetector + Send> = Box::new(RbmIm::new(4, 2, quick_config()));
+        let mut detector: Box<dyn DriftDetector + Send> =
+            Box::new(RbmIm::new(4, 2, quick_config()));
         for inst in stream.take_instances(1_000) {
             let obs = Observation::new(&inst.features, inst.class, inst.class);
             detector.update(&obs);

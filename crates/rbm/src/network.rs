@@ -393,21 +393,23 @@ impl RbmNetwork {
 
         // Apply updates with momentum and weight decay.
         for i in 0..self.num_visible {
-            for j in 0..self.num_hidden {
-                self.w_vel[i][j] = momentum * self.w_vel[i][j] + lr * (dw[i][j] - decay * self.w[i][j]);
+            for (j, dw_ij) in dw[i].iter().enumerate() {
+                self.w_vel[i][j] =
+                    momentum * self.w_vel[i][j] + lr * (dw_ij - decay * self.w[i][j]);
                 self.w[i][j] += self.w_vel[i][j];
             }
             self.a[i] += lr * da[i];
         }
         for j in 0..self.num_hidden {
-            for k in 0..self.num_classes {
-                self.u_vel[j][k] = momentum * self.u_vel[j][k] + lr * (du[j][k] - decay * self.u[j][k]);
+            for (k, du_jk) in du[j].iter().enumerate() {
+                self.u_vel[j][k] =
+                    momentum * self.u_vel[j][k] + lr * (du_jk - decay * self.u[j][k]);
                 self.u[j][k] += self.u_vel[j][k];
             }
             self.b[j] += lr * db[j];
         }
-        for k in 0..self.num_classes {
-            self.c[k] += lr * dc[k];
+        for (c, dc_k) in self.c.iter_mut().zip(dc.iter()) {
+            *c += lr * dc_k;
         }
         self.batches_trained += 1;
         total_error / batch.len() as f64
@@ -433,10 +435,15 @@ mod tests {
 
     #[test]
     fn construction_respects_hidden_fraction() {
-        let net = RbmNetwork::new(20, 5, RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() });
+        let net = RbmNetwork::new(
+            20,
+            5,
+            RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() },
+        );
         assert_eq!(net.num_hidden(), 5);
         // Floor of 4 hidden units for tiny inputs.
-        let tiny = RbmNetwork::new(3, 2, RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() });
+        let tiny =
+            RbmNetwork::new(3, 2, RbmNetworkConfig { hidden_fraction: 0.25, ..Default::default() });
         assert_eq!(tiny.num_hidden(), 4);
     }
 
@@ -449,12 +456,14 @@ mod tests {
         // Warm the normalization ranges so the before/after comparison is fair.
         let warm = batch_from(stream.take_instances(50));
         net.train_batch(&warm);
-        let before: f64 = probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+        let before: f64 =
+            probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
         for _ in 0..60 {
             let batch = batch_from(stream.take_instances(50));
             net.train_batch(&batch);
         }
-        let after: f64 = probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+        let after: f64 =
+            probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
         assert!(
             after < before * 0.9,
             "training should reduce reconstruction error: before {before}, after {after}"
@@ -474,9 +483,11 @@ mod tests {
             net.train_batch(&batch);
         }
         let err_a: f64 =
-            concept_a.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 200.0;
+            concept_a.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>()
+                / 200.0;
         let err_b: f64 =
-            concept_b.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 200.0;
+            concept_b.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>()
+                / 200.0;
         assert!(
             err_b > err_a * 1.05,
             "unseen concept should reconstruct worse: trained {err_a}, new {err_b}"
@@ -523,7 +534,8 @@ mod tests {
         // the classification probe a wider hidden layer and a faster
         // learning rate, as one would when using the RBM as a classifier.
         let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 23);
-        let cfg = RbmNetworkConfig { hidden_fraction: 2.0, learning_rate: 0.2, ..Default::default() };
+        let cfg =
+            RbmNetworkConfig { hidden_fraction: 2.0, learning_rate: 0.2, ..Default::default() };
         let mut net = RbmNetwork::new(6, 3, cfg);
         for _ in 0..200 {
             let batch = batch_from(stream.take_instances(50));
@@ -577,4 +589,3 @@ mod tests {
         RbmNetwork::new(5, 3, RbmNetworkConfig { gibbs_steps: 0, ..Default::default() });
     }
 }
-

@@ -129,7 +129,13 @@ impl TrendTracker {
                 self.pop_oldest();
             }
         }
-        let trend = trend_from_sums(self.window.len() as f64, self.sum_tr, self.sum_t, self.sum_r, self.sum_t2);
+        let trend = trend_from_sums(
+            self.window.len() as f64,
+            self.sum_tr,
+            self.sum_t,
+            self.sum_r,
+            self.sum_t2,
+        );
         if self.trend_history.len() == self.trend_capacity {
             self.trend_history.pop_front();
         }
@@ -278,7 +284,8 @@ mod tests {
             tracker.observe(v);
         }
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var: f64 =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         assert!((tracker.window_std() - var.sqrt()).abs() < 1e-12);
         let empty = TrendTracker::new(5, 4, 0.002);
         assert_eq!(empty.window_std(), 0.0);

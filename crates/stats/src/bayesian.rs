@@ -180,7 +180,7 @@ mod tests {
     fn mixed_results_are_uncertain() {
         // A wins half the time by 5, loses half the time by 5.
         let a: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 80.0 } else { 70.0 }).collect();
-        let b: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 75.0 } else { 75.0 }).collect();
+        let b: Vec<f64> = vec![75.0; 24];
         let out = bayesian_signed_test(&a, &b, 1.0, 20_000, 11).unwrap();
         assert!(out.p_left < 0.9 && out.p_right < 0.9, "left {} right {}", out.p_left, out.p_right);
     }

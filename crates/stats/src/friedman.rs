@@ -48,15 +48,16 @@ pub fn friedman_test(scores: &[Vec<f64>], higher_is_better: bool) -> Result<Frie
         return Err(StatsError::InsufficientData { needed: 2, got: n });
     }
     if scores.iter().any(|row| row.len() != n) {
-        return Err(StatsError::InvalidParameter("all algorithms need scores on all datasets".into()));
+        return Err(StatsError::InvalidParameter(
+            "all algorithms need scores on all datasets".into(),
+        ));
     }
 
     // Rank algorithms within each dataset.
     let mut rank_sums = vec![0.0; k];
     for j in 0..n {
-        let column: Vec<f64> = (0..k)
-            .map(|i| if higher_is_better { -scores[i][j] } else { scores[i][j] })
-            .collect();
+        let column: Vec<f64> =
+            scores.iter().map(|row| if higher_is_better { -row[j] } else { row[j] }).collect();
         let ranks = rank_with_ties(&column);
         for i in 0..k {
             rank_sums[i] += ranks[i];
@@ -170,7 +171,7 @@ mod tests {
         // Alternating winners — ranks average out.
         let a: Vec<f64> = (0..20).map(|j| if j % 2 == 0 { 0.8 } else { 0.7 }).collect();
         let b: Vec<f64> = (0..20).map(|j| if j % 2 == 0 { 0.7 } else { 0.8 }).collect();
-        let res = friedman_test(&[a, b].to_vec(), true).unwrap();
+        let res = friedman_test([a, b].as_ref(), true).unwrap();
         assert!((res.average_ranks[0] - res.average_ranks[1]).abs() < 1e-12);
         assert!(res.p_value > 0.5);
     }
@@ -221,7 +222,10 @@ mod tests {
 
     #[test]
     fn error_handling() {
-        assert!(matches!(friedman_test(&[vec![1.0, 2.0]], true), Err(StatsError::InsufficientData { .. })));
+        assert!(matches!(
+            friedman_test(&[vec![1.0, 2.0]], true),
+            Err(StatsError::InsufficientData { .. })
+        ));
         assert!(matches!(
             friedman_test(&[vec![1.0], vec![2.0]], true),
             Err(StatsError::InsufficientData { .. })

@@ -71,7 +71,10 @@ pub fn granger_causality(x: &[f64], y: &[f64], config: &GrangerConfig) -> Result
         return Err(StatsError::InvalidParameter("lags must be >= 1".into()));
     }
     if !(0.0..1.0).contains(&config.alpha) || config.alpha == 0.0 {
-        return Err(StatsError::InvalidParameter(format!("alpha must be in (0,1), got {}", config.alpha)));
+        return Err(StatsError::InvalidParameter(format!(
+            "alpha must be in (0,1), got {}",
+            config.alpha
+        )));
     }
     if x.len() != y.len() {
         return Err(StatsError::InvalidParameter(format!(
@@ -196,7 +199,11 @@ mod tests {
         let y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
         let cfg = GrangerConfig { lags: 2, alpha: 0.01, first_difference: false };
         let res = granger_causality(&x, &y, &cfg).unwrap();
-        assert!(!res.causality_found, "independent noise must not show causality (p = {})", res.p_value);
+        assert!(
+            !res.causality_found,
+            "independent noise must not show causality (p = {})",
+            res.p_value
+        );
     }
 
     #[test]
@@ -228,9 +235,7 @@ mod tests {
         let n = 60;
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
         let mut y = vec![0.0; n];
-        for t in 1..n {
-            y[t] = x[t - 1];
-        }
+        y[1..n].copy_from_slice(&x[..(n - 1)]);
         let cfg = GrangerConfig { lags: 1, alpha: 0.05, first_difference: false };
         let res = granger_causality(&x, &y, &cfg).unwrap();
         assert!(res.causality_found);

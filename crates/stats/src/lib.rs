@@ -48,7 +48,9 @@ pub use matrix::Matrix;
 pub use nelder_mead::{NelderMead, NelderMeadConfig};
 pub use online::{Ewma, SlidingWindowStats, WelfordStats};
 pub use regression::{ols_multi, simple_linear_regression, OlsFit, SimpleRegression};
-pub use special::{erf, erfc, ln_gamma, regularized_beta, regularized_gamma_p, regularized_gamma_q};
+pub use special::{
+    erf, erfc, ln_gamma, regularized_beta, regularized_gamma_p, regularized_gamma_q,
+};
 pub use wilcoxon::{wilcoxon_rank_sum, wilcoxon_signed_rank, WilcoxonResult};
 
 /// Error type shared by statistical routines in this crate.

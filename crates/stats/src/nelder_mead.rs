@@ -86,7 +86,12 @@ impl NelderMead {
     /// # Panics
     /// Panics if `initial` is empty or `initial_step` is not positive, or if
     /// bounds were supplied with a dimensionality different from `initial`.
-    pub fn minimize<F>(&self, mut objective: F, initial: &[f64], initial_step: f64) -> NelderMeadResult
+    pub fn minimize<F>(
+        &self,
+        mut objective: F,
+        initial: &[f64],
+        initial_step: f64,
+    ) -> NelderMeadResult
     where
         F: FnMut(&[f64]) -> f64,
     {
@@ -140,11 +145,8 @@ impl NelderMead {
             let worst = simplex[n].clone();
 
             // Reflection.
-            let mut reflected: Vec<f64> = centroid
-                .iter()
-                .zip(worst.0.iter())
-                .map(|(c, w)| c + cfg.alpha * (c - w))
-                .collect();
+            let mut reflected: Vec<f64> =
+                centroid.iter().zip(worst.0.iter()).map(|(c, w)| c + cfg.alpha * (c - w)).collect();
             self.clamp(&mut reflected);
             let f_reflected = eval(&reflected, &mut evaluations);
 
@@ -171,11 +173,8 @@ impl NelderMead {
                 } else {
                     (&worst.0, worst.1)
                 };
-                let mut contracted: Vec<f64> = centroid
-                    .iter()
-                    .zip(base.iter())
-                    .map(|(c, b)| c + cfg.rho * (b - c))
-                    .collect();
+                let mut contracted: Vec<f64> =
+                    centroid.iter().zip(base.iter()).map(|(c, b)| c + cfg.rho * (b - c)).collect();
                 self.clamp(&mut contracted);
                 let f_contracted = eval(&contracted, &mut evaluations);
                 if f_contracted < f_base {

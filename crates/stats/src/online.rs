@@ -114,8 +114,8 @@ impl Ewma {
             self.initialized = true;
         }
         // Recurrence for the sum of squared effective weights.
-        self.sum_sq_weights =
-            self.lambda * self.lambda + (1.0 - self.lambda) * (1.0 - self.lambda) * self.sum_sq_weights;
+        self.sum_sq_weights = self.lambda * self.lambda
+            + (1.0 - self.lambda) * (1.0 - self.lambda) * self.sum_sq_weights;
         self.count += 1;
         self.value
     }
@@ -161,7 +161,12 @@ impl SlidingWindowStats {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be > 0");
-        SlidingWindowStats { capacity, window: VecDeque::with_capacity(capacity), sum: 0.0, sum_sq: 0.0 }
+        SlidingWindowStats {
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
     }
 
     /// Pushes a value, evicting the oldest when full. Returns the evicted

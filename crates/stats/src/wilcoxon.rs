@@ -74,12 +74,8 @@ pub fn wilcoxon_signed_rank(sample_a: &[f64], sample_b: &[f64]) -> Result<Wilcox
             sample_b.len()
         )));
     }
-    let diffs: Vec<f64> = sample_a
-        .iter()
-        .zip(sample_b.iter())
-        .map(|(a, b)| a - b)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> =
+        sample_a.iter().zip(sample_b.iter()).map(|(a, b)| a - b).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n < 5 {
         return Err(StatsError::InsufficientData { needed: 5, got: n });
@@ -180,7 +176,11 @@ mod tests {
     #[test]
     fn signed_rank_no_difference_not_significant() {
         let a: Vec<f64> = (0..40).map(|i| noise(i, 1.0)).collect();
-        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + noise(i + 9999, 0.4) - 0.2 * noise(i + 555, 1.0)).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + noise(i + 9999, 0.4) - 0.2 * noise(i + 555, 1.0))
+            .collect();
         let res = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(res.p_value > 0.01, "p = {}", res.p_value);
     }
@@ -193,9 +193,6 @@ mod tests {
         ));
         // All differences zero → insufficient non-zero pairs.
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-        assert!(matches!(
-            wilcoxon_signed_rank(&a, &a),
-            Err(StatsError::InsufficientData { .. })
-        ));
+        assert!(matches!(wilcoxon_signed_rank(&a, &a), Err(StatsError::InsufficientData { .. })));
     }
 }

@@ -71,7 +71,11 @@ impl<S: DataStream> LocalDriftStream<S> {
             assert!(!e.affected_classes.is_empty(), "a local drift must affect at least one class");
             assert!(e.magnitude > 0.0, "drift magnitude must be > 0");
             for &c in &e.affected_classes {
-                assert!(c < schema.num_classes, "class {c} out of range for {} classes", schema.num_classes);
+                assert!(
+                    c < schema.num_classes,
+                    "class {c} out of range for {} classes",
+                    schema.num_classes
+                );
             }
         }
         let mut rng = StdRng::seed_from_u64(seed);
@@ -93,8 +97,9 @@ impl<S: DataStream> LocalDriftStream<S> {
                         direction * rng.gen_range(0.5..1.0) * event.magnitude
                     })
                     .collect();
-                let scale: Vec<f64> =
-                    (0..num_features).map(|_| 1.0 + rng.gen_range(-0.3..0.3) * event.magnitude).collect();
+                let scale: Vec<f64> = (0..num_features)
+                    .map(|_| 1.0 + rng.gen_range(-0.3..0.3) * event.magnitude)
+                    .collect();
                 transforms.push(ClassTransform { class, event_index: ei, shift, scale });
             }
         }
@@ -152,7 +157,9 @@ impl<S: DataStream> DataStream for LocalDriftStream<S> {
             if alpha <= 0.0 {
                 continue;
             }
-            for ((f, s), sc) in inst.features.iter_mut().zip(transform.shift.iter()).zip(transform.scale.iter()) {
+            for ((f, s), sc) in
+                inst.features.iter_mut().zip(transform.shift.iter()).zip(transform.scale.iter())
+            {
                 let transformed = *f * sc + s;
                 *f = *f * (1.0 - alpha) + transformed * alpha;
             }
@@ -262,7 +269,10 @@ mod tests {
         let late = class_mean(&sample[3000..], 1, 4);
         let d_early_mid = distance(&early, &mid);
         let d_early_late = distance(&early, &late);
-        assert!(d_early_late > d_early_mid, "drift should keep progressing: mid {d_early_mid}, late {d_early_late}");
+        assert!(
+            d_early_late > d_early_mid,
+            "drift should keep progressing: mid {d_early_mid}, late {d_early_late}"
+        );
         assert!(d_early_mid > 0.05, "mid-transition should already have moved");
     }
 

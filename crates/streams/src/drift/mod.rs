@@ -66,7 +66,11 @@ impl DriftSchedule {
     /// `stream_length * k / (n_drifts + 1)`.
     pub fn evenly_spaced(n_drifts: usize, stream_length: u64, width: u64, kind: DriftKind) -> Self {
         let events = (1..=n_drifts as u64)
-            .map(|k| DriftEvent { position: stream_length * k / (n_drifts as u64 + 1), width, kind })
+            .map(|k| DriftEvent {
+                position: stream_length * k / (n_drifts as u64 + 1),
+                width,
+                kind,
+            })
             .collect();
         DriftSchedule { events }
     }
@@ -132,14 +136,34 @@ impl ConceptSequenceStream {
     /// the same feature/class dimensions. There should be exactly
     /// `schedule.events.len() + 1` concepts; extra events beyond the last
     /// concept keep the final concept active.
-    pub fn new(concepts: Vec<Box<dyn DataStream + Send>>, schedule: DriftSchedule, seed: u64) -> Self {
+    pub fn new(
+        concepts: Vec<Box<dyn DataStream + Send>>,
+        schedule: DriftSchedule,
+        seed: u64,
+    ) -> Self {
         assert!(!concepts.is_empty(), "need at least one concept");
-        let schema = concepts[0].schema().renamed(format!("{}-drifting", concepts[0].schema().name));
+        let schema =
+            concepts[0].schema().renamed(format!("{}-drifting", concepts[0].schema().name));
         for c in &concepts {
-            assert_eq!(c.schema().num_features, schema.num_features, "concepts must share feature count");
-            assert_eq!(c.schema().num_classes, schema.num_classes, "concepts must share class count");
+            assert_eq!(
+                c.schema().num_features,
+                schema.num_features,
+                "concepts must share feature count"
+            );
+            assert_eq!(
+                c.schema().num_classes,
+                schema.num_classes,
+                "concepts must share class count"
+            );
         }
-        ConceptSequenceStream { schema, concepts, schedule, rng: StdRng::seed_from_u64(seed), seed, counter: 0 }
+        ConceptSequenceStream {
+            schema,
+            concepts,
+            schedule,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            counter: 0,
+        }
     }
 
     /// The drift schedule driving this stream.
@@ -152,9 +176,8 @@ impl DataStream for ConceptSequenceStream {
     fn next_instance(&mut self) -> Option<Instance> {
         let (active, alpha) = self.schedule.concept_at(self.counter);
         let active = active.min(self.concepts.len() - 1);
-        let use_next = alpha > 0.0
-            && active + 1 < self.concepts.len()
-            && self.rng.gen::<f64>() < alpha;
+        let use_next =
+            alpha > 0.0 && active + 1 < self.concepts.len() && self.rng.gen::<f64>() < alpha;
         let source = if use_next { active + 1 } else { active };
         let mut inst = self.concepts[source].next_instance()?;
         inst.index = self.counter;

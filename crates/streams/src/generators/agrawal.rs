@@ -58,10 +58,16 @@ impl AgrawalGenerator {
     /// uniform attributes so the total feature count matches a benchmark
     /// specification.
     pub fn with_padding(function: usize, num_classes: usize, padding: usize, seed: u64) -> Self {
-        assert!(function < NUM_AGRAWAL_FUNCTIONS, "agrawal function must be in 0..10, got {function}");
+        assert!(
+            function < NUM_AGRAWAL_FUNCTIONS,
+            "agrawal function must be in 0..10, got {function}"
+        );
         assert!(num_classes >= 2, "need at least two classes");
-        let schema =
-            StreamSchema::new(format!("agrawal-f{function}-c{num_classes}"), BASE_ATTRS + padding, num_classes);
+        let schema = StreamSchema::new(
+            format!("agrawal-f{function}-c{num_classes}"),
+            BASE_ATTRS + padding,
+            num_classes,
+        );
         let mut gen = AgrawalGenerator {
             schema,
             function,
@@ -103,8 +109,9 @@ impl AgrawalGenerator {
     /// the instance sequence).
     fn calibrate(&mut self) {
         let mut pilot_rng = StdRng::seed_from_u64(self.seed ^ 0x00c0_ffee);
-        let mut scores: Vec<f64> =
-            (0..2000).map(|_| Self::margin(self.function, &Self::draw_attributes(&mut pilot_rng))).collect();
+        let mut scores: Vec<f64> = (0..2000)
+            .map(|_| Self::margin(self.function, &Self::draw_attributes(&mut pilot_rng)))
+            .collect();
         self.thresholds = quantile_thresholds(&mut scores, self.num_classes);
     }
 
@@ -258,7 +265,10 @@ mod tests {
             }
         }
         assert_eq!(feature_equal, 500, "feature sequence must be identical for equal seeds");
-        assert!(label_diff > 100, "switching the function must relabel a large share, got {label_diff}");
+        assert!(
+            label_diff > 100,
+            "switching the function must relabel a large share, got {label_diff}"
+        );
     }
 
     #[test]

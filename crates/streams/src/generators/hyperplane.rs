@@ -108,7 +108,8 @@ impl HyperplaneGenerator {
         let weights = self.weights.clone();
         let mut scores: Vec<f64> = (0..2000)
             .map(|_| {
-                let x: Vec<f64> = (0..weights.len()).map(|_| pilot_rng.gen_range(0.0..1.0)).collect();
+                let x: Vec<f64> =
+                    (0..weights.len()).map(|_| pilot_rng.gen_range(0.0..1.0)).collect();
                 Self::score(&weights, &x)
             })
             .collect();
@@ -134,7 +135,8 @@ impl HyperplaneGenerator {
 
 impl DataStream for HyperplaneGenerator {
     fn next_instance(&mut self) -> Option<Instance> {
-        let features: Vec<f64> = (0..self.schema.num_features).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+        let features: Vec<f64> =
+            (0..self.schema.num_features).map(|_| self.rng.gen_range(0.0..1.0)).collect();
         let score = Self::score(&self.weights, &features);
         let mut class = class_from_score(score, &self.thresholds);
         if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
@@ -153,8 +155,9 @@ impl DataStream for HyperplaneGenerator {
     fn restart(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.weights = (0..self.schema.num_features).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        self.directions =
-            (0..self.schema.num_features).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        self.directions = (0..self.schema.num_features)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         self.rng = rng;
         self.counter = 0;
         self.calibrate();
@@ -179,7 +182,8 @@ mod tests {
         let mut g = HyperplaneGenerator::new(10, 5, 0.01, 3);
         let w0 = g.weights().to_vec();
         g.take_instances(2000);
-        let moved = g.weights().iter().zip(w0.iter()).filter(|(a, b)| (**a - **b).abs() > 1e-9).count();
+        let moved =
+            g.weights().iter().zip(w0.iter()).filter(|(a, b)| (**a - **b).abs() > 1e-9).count();
         assert!(moved >= 5, "at least the drifting weights must have moved, got {moved}");
     }
 
@@ -226,8 +230,11 @@ mod tests {
 
     #[test]
     fn noise_is_applied() {
-        let clean: Vec<usize> =
-            HyperplaneGenerator::new(10, 5, 0.0, 21).take_instances(800).iter().map(|i| i.class).collect();
+        let clean: Vec<usize> = HyperplaneGenerator::new(10, 5, 0.0, 21)
+            .take_instances(800)
+            .iter()
+            .map(|i| i.class)
+            .collect();
         let noisy: Vec<usize> = HyperplaneGenerator::new(10, 5, 0.0, 21)
             .with_noise(0.25)
             .take_instances(800)

@@ -118,7 +118,12 @@ mod tests {
         let mut g = LedGenerator::new(0.0, 3);
         for inst in g.take_instances(500) {
             let segs: Vec<u8> = (0..7).map(|i| inst.features[i] as u8).collect();
-            assert_eq!(&segs[..], &DIGIT_SEGMENTS[inst.class][..], "digit {} segments corrupted", inst.class);
+            assert_eq!(
+                &segs[..],
+                &DIGIT_SEGMENTS[inst.class][..],
+                "digit {} segments corrupted",
+                inst.class
+            );
         }
     }
 
@@ -166,6 +171,9 @@ mod tests {
                 corrupted += 1;
             }
         }
-        assert!(corrupted > 300, "with 30% segment noise most digits should be corrupted, got {corrupted}");
+        assert!(
+            corrupted > 300,
+            "with 30% segment noise most digits should be corrupted, got {corrupted}"
+        );
     }
 }

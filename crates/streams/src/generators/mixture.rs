@@ -39,7 +39,12 @@ impl GaussianMixtureGenerator {
     /// Creates a mixture with `num_classes` classes, each owning
     /// `clusters_per_class` random clusters in a `num_features`-dimensional
     /// unit cube; classes are sampled uniformly (balanced).
-    pub fn balanced(num_features: usize, num_classes: usize, clusters_per_class: usize, seed: u64) -> Self {
+    pub fn balanced(
+        num_features: usize,
+        num_classes: usize,
+        clusters_per_class: usize,
+        seed: u64,
+    ) -> Self {
         assert!(num_features >= 1);
         assert!(num_classes >= 2);
         assert!(clusters_per_class >= 1);
@@ -47,8 +52,11 @@ impl GaussianMixtureGenerator {
         let classes = (0..num_classes)
             .map(|_| Self::random_class(num_features, clusters_per_class, &mut rng))
             .collect();
-        let schema =
-            StreamSchema::new(format!("gmm-d{num_features}-c{num_classes}"), num_features, num_classes);
+        let schema = StreamSchema::new(
+            format!("gmm-d{num_features}-c{num_classes}"),
+            num_features,
+            num_classes,
+        );
         GaussianMixtureGenerator { schema, seed, rng, classes, clusters_per_class, counter: 0 }
     }
 
@@ -100,8 +108,11 @@ impl GaussianMixtureGenerator {
     pub fn regenerate_classes(&mut self, classes: &[usize]) {
         for &c in classes {
             assert!(c < self.schema.num_classes);
-            self.classes[c] =
-                Self::random_class(self.schema.num_features, self.clusters_per_class, &mut self.rng);
+            self.classes[c] = Self::random_class(
+                self.schema.num_features,
+                self.clusters_per_class,
+                &mut self.rng,
+            );
         }
     }
 
@@ -130,7 +141,9 @@ impl DataStream for GaussianMixtureGenerator {
     fn restart(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.classes = (0..self.schema.num_classes)
-            .map(|_| Self::random_class(self.schema.num_features, self.clusters_per_class, &mut rng))
+            .map(|_| {
+                Self::random_class(self.schema.num_features, self.clusters_per_class, &mut rng)
+            })
             .collect();
         self.rng = rng;
         self.counter = 0;
@@ -175,7 +188,7 @@ mod tests {
         let mut g = GaussianMixtureGenerator::balanced(4, 2, 1, 13);
         let mean = g.class_parameters(0).means[0].clone();
         let sample: Vec<Instance> = (0..500).map(|_| g.generate_for_class(0)).collect();
-        let mut avg = vec![0.0; 4];
+        let mut avg = [0.0; 4];
         for inst in &sample {
             for (a, f) in avg.iter_mut().zip(inst.features.iter()) {
                 *a += f / sample.len() as f64;

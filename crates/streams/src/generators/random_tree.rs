@@ -46,8 +46,11 @@ impl RandomTreeGenerator {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut leaf_counter = 0usize;
         let tree = Self::build_tree(depth, num_features, num_classes, &mut rng, &mut leaf_counter);
-        let schema =
-            StreamSchema::new(format!("randomtree-d{num_features}-c{num_classes}"), num_features, num_classes);
+        let schema = StreamSchema::new(
+            format!("randomtree-d{num_features}-c{num_classes}"),
+            num_features,
+            num_classes,
+        );
         RandomTreeGenerator { schema, seed, rng, tree, depth, concept: 0, noise: 0.0, counter: 0 }
     }
 
@@ -95,8 +98,20 @@ impl RandomTreeGenerator {
         TreeNode::Split {
             feature,
             threshold,
-            left: Box::new(Self::build_tree(depth - 1, num_features, num_classes, rng, leaf_counter)),
-            right: Box::new(Self::build_tree(depth - 1, num_features, num_classes, rng, leaf_counter)),
+            left: Box::new(Self::build_tree(
+                depth - 1,
+                num_features,
+                num_classes,
+                rng,
+                leaf_counter,
+            )),
+            right: Box::new(Self::build_tree(
+                depth - 1,
+                num_features,
+                num_classes,
+                rng,
+                leaf_counter,
+            )),
         }
     }
 
@@ -116,7 +131,8 @@ impl RandomTreeGenerator {
 
 impl DataStream for RandomTreeGenerator {
     fn next_instance(&mut self) -> Option<Instance> {
-        let features: Vec<f64> = (0..self.schema.num_features).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+        let features: Vec<f64> =
+            (0..self.schema.num_features).map(|_| self.rng.gen_range(0.0..1.0)).collect();
         let mut class = Self::classify(&self.tree, &features);
         if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
             class = self.rng.gen_range(0..self.schema.num_classes);
@@ -133,8 +149,13 @@ impl DataStream for RandomTreeGenerator {
     fn restart(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut leaf_counter = 0usize;
-        self.tree =
-            Self::build_tree(self.depth, self.schema.num_features, self.schema.num_classes, &mut rng, &mut leaf_counter);
+        self.tree = Self::build_tree(
+            self.depth,
+            self.schema.num_features,
+            self.schema.num_classes,
+            &mut rng,
+            &mut leaf_counter,
+        );
         self.rng = rng;
         self.concept = 0;
         self.counter = 0;
@@ -162,10 +183,12 @@ mod tests {
         let probes: Vec<Vec<f64>> = (0..300)
             .map(|i| (0..8).map(|j| (((i * 8 + j) as f64) * 0.618_033_9).fract()).collect())
             .collect();
-        let before: Vec<usize> = probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
+        let before: Vec<usize> =
+            probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
         g.regenerate();
         assert_eq!(g.concept(), 1);
-        let after: Vec<usize> = probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
+        let after: Vec<usize> =
+            probes.iter().map(|p| RandomTreeGenerator::classify(&g.tree, p)).collect();
         let changed = before.iter().zip(after.iter()).filter(|(a, b)| a != b).count();
         assert!(changed > 60, "a new random tree must relabel a large share, got {changed}");
     }
@@ -175,7 +198,7 @@ mod tests {
         // With depth 4 there are 16 leaves; for 5 classes each class owns at
         // least 3 leaves, so no class should be empty in a large sample.
         let mut g = RandomTreeGenerator::new(10, 5, 4, 30);
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for inst in g.take_instances(5000) {
             counts[inst.class] += 1;
         }
@@ -197,8 +220,11 @@ mod tests {
 
     #[test]
     fn noise_perturbs_labels() {
-        let clean: Vec<usize> =
-            RandomTreeGenerator::new(5, 4, 4, 1).take_instances(500).iter().map(|i| i.class).collect();
+        let clean: Vec<usize> = RandomTreeGenerator::new(5, 4, 4, 1)
+            .take_instances(500)
+            .iter()
+            .map(|i| i.class)
+            .collect();
         let noisy: Vec<usize> = RandomTreeGenerator::new(5, 4, 4, 1)
             .with_noise(0.3)
             .take_instances(500)

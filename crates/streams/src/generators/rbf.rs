@@ -49,26 +49,31 @@ impl RandomRbfGenerator {
     /// centroids in a `num_features`-dimensional unit cube. `speed` is the
     /// per-instance centroid displacement (incremental drift; `0.0` for a
     /// stationary concept).
-    pub fn new(num_features: usize, num_classes: usize, centroids_per_class: usize, speed: f64, seed: u64) -> Self {
+    pub fn new(
+        num_features: usize,
+        num_classes: usize,
+        centroids_per_class: usize,
+        speed: f64,
+        seed: u64,
+    ) -> Self {
         assert!(num_features >= 1);
         assert!(num_classes >= 2);
         assert!(centroids_per_class >= 1);
         assert!(speed >= 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let centroids = (0..num_classes)
-            .map(|_| (0..centroids_per_class).map(|_| Self::random_centroid(num_features, &mut rng)).collect())
+            .map(|_| {
+                (0..centroids_per_class)
+                    .map(|_| Self::random_centroid(num_features, &mut rng))
+                    .collect()
+            })
             .collect();
-        let schema =
-            StreamSchema::new(format!("rbf-d{num_features}-c{num_classes}"), num_features, num_classes);
-        RandomRbfGenerator {
-            schema,
-            seed,
-            rng,
-            centroids,
-            centroids_per_class,
-            speed,
-            counter: 0,
-        }
+        let schema = StreamSchema::new(
+            format!("rbf-d{num_features}-c{num_classes}"),
+            num_features,
+            num_classes,
+        );
+        RandomRbfGenerator { schema, seed, rng, centroids, centroids_per_class, speed, counter: 0 }
     }
 
     fn random_centroid(num_features: usize, rng: &mut StdRng) -> Centroid {
@@ -258,7 +263,10 @@ mod tests {
         };
         let moved = dist(&mean_of(&before_drift), &mean_of(&after_drift));
         let stayed = dist(&mean_of(&before_stable), &mean_of(&after_stable));
-        assert!(moved > 3.0 * stayed || moved > 0.1, "drifted class moved {moved}, stable {stayed}");
+        assert!(
+            moved > 3.0 * stayed || moved > 0.1,
+            "drifted class moved {moved}, stable {stayed}"
+        );
         assert!(stayed < 0.1, "stable class should not move much, moved {stayed}");
     }
 

@@ -37,7 +37,15 @@ impl SeaGenerator {
         assert!(num_classes >= 2);
         assert!((0.0..1.0).contains(&noise));
         let schema = StreamSchema::new(format!("sea-c{num_classes}"), 3, num_classes);
-        SeaGenerator { schema, seed, rng: StdRng::seed_from_u64(seed), concept: 0, num_classes, noise, counter: 0 }
+        SeaGenerator {
+            schema,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            concept: 0,
+            num_classes,
+            noise,
+            counter: 0,
+        }
     }
 
     /// Switches to one of the four canonical concepts (sudden drift).
@@ -131,7 +139,7 @@ mod tests {
     #[test]
     fn multi_class_bands_cover_all_classes() {
         let mut g = SeaGenerator::new(6, 0.0, 3);
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for inst in g.take_instances(6000) {
             counts[inst.class] += 1;
         }

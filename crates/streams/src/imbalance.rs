@@ -73,7 +73,8 @@ impl ImbalanceProfile {
                 start.iter().zip(end.iter()).map(|(s, e)| s * (1.0 - alpha) + e * alpha).collect()
             }
             ImbalanceProfile::RoleSwitching { weights, interval } => {
-                let shift = if *interval == 0 { 0 } else { (t / interval) as usize % weights.len() };
+                let shift =
+                    if *interval == 0 { 0 } else { (t / interval) as usize % weights.len() };
                 let mut rotated = vec![0.0; weights.len()];
                 for (i, &w) in weights.iter().enumerate() {
                     rotated[(i + shift) % weights.len()] = w;
@@ -278,7 +279,8 @@ mod tests {
     #[test]
     fn role_switching_stream_changes_majority_over_time() {
         let base = RandomRbfGenerator::new(4, 3, 2, 0.0, 6);
-        let profile = ImbalanceProfile::RoleSwitching { weights: vec![20.0, 4.0, 1.0], interval: 3000 };
+        let profile =
+            ImbalanceProfile::RoleSwitching { weights: vec![20.0, 4.0, 1.0], interval: 3000 };
         let mut stream = ImbalancedStream::new(base, profile, 8);
         let sample = stream.take_instances(9000);
         let majority_of = |slice: &[Instance]| -> usize {

@@ -61,7 +61,11 @@ impl StreamSchema {
     /// wrapper streams that change drift/imbalance characteristics but not
     /// the feature space).
     pub fn renamed(&self, name: impl Into<String>) -> Self {
-        StreamSchema { num_features: self.num_features, num_classes: self.num_classes, name: name.into() }
+        StreamSchema {
+            num_features: self.num_features,
+            num_classes: self.num_classes,
+            name: name.into(),
+        }
     }
 }
 

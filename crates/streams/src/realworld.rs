@@ -50,18 +50,102 @@ pub struct RealWorldSpec {
 
 /// The 12 real-world benchmarks of Table I.
 pub const REAL_WORLD_SPECS: [RealWorldSpec; 12] = [
-    RealWorldSpec { name: "Activity-Raw", instances: 1_048_570, features: 3, classes: 6, ir: 128.93, known_drift: true },
-    RealWorldSpec { name: "Connect4", instances: 67_557, features: 42, classes: 3, ir: 45.81, known_drift: false },
-    RealWorldSpec { name: "Covertype", instances: 581_012, features: 54, classes: 7, ir: 96.14, known_drift: false },
-    RealWorldSpec { name: "Crimes", instances: 878_049, features: 3, classes: 39, ir: 106.72, known_drift: false },
-    RealWorldSpec { name: "DJ30", instances: 138_166, features: 8, classes: 30, ir: 204.66, known_drift: true },
-    RealWorldSpec { name: "EEG", instances: 14_980, features: 14, classes: 2, ir: 29.88, known_drift: true },
-    RealWorldSpec { name: "Electricity", instances: 45_312, features: 8, classes: 2, ir: 17.54, known_drift: true },
-    RealWorldSpec { name: "Gas", instances: 13_910, features: 128, classes: 6, ir: 138.03, known_drift: true },
-    RealWorldSpec { name: "Olympic", instances: 271_116, features: 7, classes: 4, ir: 66.82, known_drift: false },
-    RealWorldSpec { name: "Poker", instances: 829_201, features: 10, classes: 10, ir: 144.00, known_drift: true },
-    RealWorldSpec { name: "IntelSensors", instances: 2_219_804, features: 5, classes: 57, ir: 348.26, known_drift: true },
-    RealWorldSpec { name: "Tags", instances: 164_860, features: 4, classes: 11, ir: 194.28, known_drift: false },
+    RealWorldSpec {
+        name: "Activity-Raw",
+        instances: 1_048_570,
+        features: 3,
+        classes: 6,
+        ir: 128.93,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "Connect4",
+        instances: 67_557,
+        features: 42,
+        classes: 3,
+        ir: 45.81,
+        known_drift: false,
+    },
+    RealWorldSpec {
+        name: "Covertype",
+        instances: 581_012,
+        features: 54,
+        classes: 7,
+        ir: 96.14,
+        known_drift: false,
+    },
+    RealWorldSpec {
+        name: "Crimes",
+        instances: 878_049,
+        features: 3,
+        classes: 39,
+        ir: 106.72,
+        known_drift: false,
+    },
+    RealWorldSpec {
+        name: "DJ30",
+        instances: 138_166,
+        features: 8,
+        classes: 30,
+        ir: 204.66,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "EEG",
+        instances: 14_980,
+        features: 14,
+        classes: 2,
+        ir: 29.88,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "Electricity",
+        instances: 45_312,
+        features: 8,
+        classes: 2,
+        ir: 17.54,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "Gas",
+        instances: 13_910,
+        features: 128,
+        classes: 6,
+        ir: 138.03,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "Olympic",
+        instances: 271_116,
+        features: 7,
+        classes: 4,
+        ir: 66.82,
+        known_drift: false,
+    },
+    RealWorldSpec {
+        name: "Poker",
+        instances: 829_201,
+        features: 10,
+        classes: 10,
+        ir: 144.00,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "IntelSensors",
+        instances: 2_219_804,
+        features: 5,
+        classes: 57,
+        ir: 348.26,
+        known_drift: true,
+    },
+    RealWorldSpec {
+        name: "Tags",
+        instances: 164_860,
+        features: 4,
+        classes: 11,
+        ir: 194.28,
+        known_drift: false,
+    },
 ];
 
 impl RealWorldSpec {
@@ -83,11 +167,16 @@ impl RealWorldSpec {
     /// * `scale_divisor` — how much to shrink the instance count relative to
     ///   the original dataset (10 reproduces the default harness setting,
     ///   1 regenerates at full published length).
-    pub fn build(&self, seed: u64, scale_divisor: u64) -> BoundedStream<ImbalancedStream<ConceptSequenceStream>> {
+    pub fn build(
+        &self,
+        seed: u64,
+        scale_divisor: u64,
+    ) -> BoundedStream<ImbalancedStream<ConceptSequenceStream>> {
         let length = self.scaled_instances(scale_divisor);
         // Drifting substitutes get three concepts (two drifts); "unknown"
         // ones a single mild drift halfway through.
-        let (n_concepts, kind) = if self.known_drift { (3, DriftKind::Sudden) } else { (2, DriftKind::Gradual) };
+        let (n_concepts, kind) =
+            if self.known_drift { (3, DriftKind::Sudden) } else { (2, DriftKind::Gradual) };
         let clusters = if self.features >= 40 { 1 } else { 2 };
         let concepts: Vec<Box<dyn DataStream + Send>> = (0..n_concepts)
             .map(|i| {
@@ -179,7 +268,12 @@ mod tests {
         let min = *counts.iter().filter(|&&c| c > 0).min().unwrap() as f64;
         // Sampling noise on the smallest class is large; just verify a high
         // skew materialized (more than a quarter of the nominal IR).
-        assert!(max / min > spec.ir / 4.0, "observed IR {} too small vs declared {}", max / min, spec.ir);
+        assert!(
+            max / min > spec.ir / 4.0,
+            "observed IR {} too small vs declared {}",
+            max / min,
+            spec.ir
+        );
     }
 
     #[test]
@@ -201,8 +295,13 @@ mod tests {
             let spec = RealWorldSpec::by_name(name).unwrap();
             let mut stream = spec.build(1, 100);
             let sample = stream.take_instances(5_000);
-            let distinct: std::collections::HashSet<usize> = sample.iter().map(|i| i.class).collect();
-            assert!(distinct.len() > spec.classes / 3, "{name}: only {} distinct classes", distinct.len());
+            let distinct: std::collections::HashSet<usize> =
+                sample.iter().map(|i| i.class).collect();
+            assert!(
+                distinct.len() > spec.classes / 3,
+                "{name}: only {} distinct classes",
+                distinct.len()
+            );
         }
     }
 }

@@ -8,7 +8,9 @@
 //! the synthetic substitutes of [`crate::realworld`].
 
 use crate::drift::{ConceptSequenceStream, DriftEvent, DriftKind, DriftSchedule};
-use crate::generators::{AgrawalGenerator, HyperplaneGenerator, RandomRbfGenerator, RandomTreeGenerator};
+use crate::generators::{
+    AgrawalGenerator, HyperplaneGenerator, RandomRbfGenerator, RandomTreeGenerator,
+};
 use crate::imbalance::{ImbalanceProfile, ImbalancedStream};
 use crate::realworld::{RealWorldSpec, REAL_WORLD_SPECS};
 use crate::stream::{BoundedStream, DataStream};
@@ -63,8 +65,21 @@ pub struct BenchmarkSpec {
 
 /// The 12 artificial benchmarks of Table I (bottom half).
 pub fn artificial_benchmarks() -> Vec<BenchmarkSpec> {
-    let mk = |name: &str, instances: u64, features: usize, classes: usize, ir: f64, drift: BenchmarkDrift| {
-        BenchmarkSpec { name: name.to_string(), instances, features, classes, ir, drift, real_world: false }
+    let mk = |name: &str,
+              instances: u64,
+              features: usize,
+              classes: usize,
+              ir: f64,
+              drift: BenchmarkDrift| {
+        BenchmarkSpec {
+            name: name.to_string(),
+            instances,
+            features,
+            classes,
+            ir,
+            drift,
+            real_world: false,
+        }
     };
     vec![
         mk("Aggrawal5", 1_000_000, 20, 5, 50.0, BenchmarkDrift::Incremental),
@@ -167,9 +182,8 @@ impl BenchmarkSpec {
                 .collect(),
         };
         let n_concepts = config.n_drifts + 1;
-        let concepts: Vec<Box<dyn DataStream + Send>> = (0..n_concepts)
-            .map(|i| self.build_concept(i, config))
-            .collect();
+        let concepts: Vec<Box<dyn DataStream + Send>> =
+            (0..n_concepts).map(|i| self.build_concept(i, config)).collect();
         let drifting = ConceptSequenceStream::new(concepts, schedule, config.seed ^ 0xABCD);
         let profile = self.imbalance_profile(length, config);
         let imbalanced = ImbalancedStream::new(drifting, profile, config.seed ^ 0x9876);
@@ -182,8 +196,10 @@ impl BenchmarkSpec {
         let family = self.name.to_ascii_lowercase();
         if family.starts_with("aggrawal") || family.starts_with("agrawal") {
             let padding = self.features.saturating_sub(9);
-            Box::new(AgrawalGenerator::with_padding(i % 10, self.classes, padding, config.seed)
-                .with_noise(0.01))
+            Box::new(
+                AgrawalGenerator::with_padding(i % 10, self.classes, padding, config.seed)
+                    .with_noise(0.01),
+            )
         } else if family.starts_with("hyperplane") {
             // Same seed for every concept: the hyperplane rotates continuously
             // (gradual drift); concept switches additionally reorient it.
@@ -195,7 +211,9 @@ impl BenchmarkSpec {
         } else if family.starts_with("rbf") {
             Box::new(RandomRbfGenerator::new(self.features, self.classes, 3, 0.0, seed))
         } else if family.starts_with("randomtree") {
-            Box::new(RandomTreeGenerator::new(self.features, self.classes, 5, seed).with_noise(0.01))
+            Box::new(
+                RandomTreeGenerator::new(self.features, self.classes, 5, seed).with_noise(0.01),
+            )
         } else {
             panic!("unknown artificial benchmark family: {}", self.name);
         }
@@ -296,12 +314,13 @@ mod tests {
     #[test]
     fn dynamic_imbalance_swaps_roles_over_the_stream() {
         let spec = benchmark_by_name("RBF5").unwrap();
-        let config = BuildConfig { scale_divisor: 200, dynamic_imbalance: true, n_drifts: 1, seed: 5 };
+        let config =
+            BuildConfig { scale_divisor: 200, dynamic_imbalance: true, n_drifts: 1, seed: 5 };
         let mut stream = spec.build(&config);
         let length = spec.scaled_instances(&config) as usize;
         let sample = stream.take_instances(length);
         let majority_of = |slice: &[crate::instance::Instance]| -> usize {
-            let mut counts = vec![0usize; 5];
+            let mut counts = [0usize; 5];
             for i in slice {
                 counts[i.class] += 1;
             }

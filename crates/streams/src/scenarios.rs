@@ -83,10 +83,11 @@ fn dynamic_profile(config: &ScenarioConfig, switch_roles: bool) -> ImbalanceProf
     } else {
         // Dynamic IR without role change: interpolate between the full-IR
         // profile and a mild (sqrt IR) profile, keeping the class order.
-        let mild = match ImbalanceProfile::geometric(config.num_classes, config.imbalance_ratio.sqrt()) {
-            ImbalanceProfile::Static(w) => w,
-            _ => unreachable!(),
-        };
+        let mild =
+            match ImbalanceProfile::geometric(config.num_classes, config.imbalance_ratio.sqrt()) {
+                ImbalanceProfile::Static(w) => w,
+                _ => unreachable!(),
+            };
         ImbalanceProfile::LinearShift { start: base, end: mild, period: config.length }
     }
 }
@@ -108,11 +109,16 @@ pub fn scenario1(config: &ScenarioConfig) -> ScenarioStream {
     let schedule = DriftSchedule {
         events: positions
             .iter()
-            .map(|&position| DriftEvent { position, width: (config.length / 20).max(1), kind: config.drift_kind })
+            .map(|&position| DriftEvent {
+                position,
+                width: (config.length / 20).max(1),
+                kind: config.drift_kind,
+            })
             .collect(),
     };
     let drifting = ConceptSequenceStream::new(concepts, schedule, config.seed ^ 0x51);
-    let imbalanced = ImbalancedStream::new(drifting, dynamic_profile(config, false), config.seed ^ 0x52);
+    let imbalanced =
+        ImbalancedStream::new(drifting, dynamic_profile(config, false), config.seed ^ 0x52);
     let all_classes: Vec<usize> = (0..config.num_classes).collect();
     ScenarioStream {
         stream: Box::new(BoundedStream::new(imbalanced, config.length)),
@@ -139,11 +145,16 @@ pub fn scenario2(config: &ScenarioConfig) -> ScenarioStream {
     let schedule = DriftSchedule {
         events: positions
             .iter()
-            .map(|&position| DriftEvent { position, width: (config.length / 20).max(1), kind: config.drift_kind })
+            .map(|&position| DriftEvent {
+                position,
+                width: (config.length / 20).max(1),
+                kind: config.drift_kind,
+            })
             .collect(),
     };
     let drifting = ConceptSequenceStream::new(concepts, schedule, config.seed ^ 0x61);
-    let imbalanced = ImbalancedStream::new(drifting, dynamic_profile(config, true), config.seed ^ 0x62);
+    let imbalanced =
+        ImbalancedStream::new(drifting, dynamic_profile(config, true), config.seed ^ 0x62);
     let all_classes: Vec<usize> = (0..config.num_classes).collect();
     ScenarioStream {
         stream: Box::new(BoundedStream::new(imbalanced, config.length)),
@@ -162,7 +173,8 @@ pub fn scenario3(config: &ScenarioConfig, classes_with_drift: usize) -> Scenario
     let affected: Vec<usize> =
         (config.num_classes - classes_with_drift..config.num_classes).collect();
     let positions = drift_positions(config);
-    let base = RandomRbfGenerator::new(config.num_features, config.num_classes, 3, 0.0, config.seed);
+    let base =
+        RandomRbfGenerator::new(config.num_features, config.num_classes, 3, 0.0, config.seed);
     let events: Vec<LocalDriftEvent> = positions
         .iter()
         .map(|&position| LocalDriftEvent {
@@ -193,7 +205,13 @@ mod tests {
     use crate::stream::StreamExt;
 
     fn small_config() -> ScenarioConfig {
-        ScenarioConfig { length: 6_000, num_features: 8, num_classes: 5, imbalance_ratio: 20.0, ..Default::default() }
+        ScenarioConfig {
+            length: 6_000,
+            num_features: 8,
+            num_classes: 5,
+            imbalance_ratio: 20.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -212,7 +230,7 @@ mod tests {
         let mut s = scenario2(&cfg);
         let sample = s.stream.take_instances(100_000);
         let majority_of = |slice: &[crate::instance::Instance]| -> usize {
-            let mut counts = vec![0usize; 5];
+            let mut counts = [0usize; 5];
             for i in slice {
                 counts[i.class] += 1;
             }

@@ -167,8 +167,8 @@ impl<S: DataStream> DataStream for BoundedStream<S> {
 }
 
 /// Boxed-stream support so heterogeneous benchmark collections can be stored
-/// in one registry.
-impl DataStream for Box<dyn DataStream + Send> {
+/// in one registry (lifetime-generic so scoped, borrowing streams box too).
+impl<'s> DataStream for Box<dyn DataStream + Send + 's> {
     fn next_instance(&mut self) -> Option<Instance> {
         (**self).next_instance()
     }
@@ -201,7 +201,8 @@ mod tests {
     impl DataStream for CyclingStream {
         fn next_instance(&mut self) -> Option<Instance> {
             let class = (self.counter as usize) % self.schema.num_classes;
-            let inst = Instance::with_index(vec![self.counter as f64, class as f64], class, self.counter);
+            let inst =
+                Instance::with_index(vec![self.counter as f64, class as f64], class, self.counter);
             self.counter += 1;
             Some(inst)
         }

@@ -11,7 +11,12 @@ use rbm_im_harness::runner::RunConfig;
 
 fn main() {
     let config = Experiment1Config {
-        build: BuildConfigSerde { seed: 42, scale_divisor: 100, n_drifts: 2, dynamic_imbalance: true },
+        build: BuildConfigSerde {
+            seed: 42,
+            scale_divisor: 100,
+            n_drifts: 2,
+            dynamic_imbalance: true,
+        },
         run: RunConfig { metric_window: 1000, max_instances: Some(15_000), ..Default::default() },
         benchmarks: vec![
             "RBF5".into(),
@@ -25,7 +30,7 @@ fn main() {
     };
     eprintln!("running 6 detectors x 6 benchmarks (this takes a minute or two)...\n");
     let result = run_experiment1(&config, |r| {
-        eprintln!("  {:<14} {:<10} pmAUC {:6.2}", r.stream, r.detector.name(), r.pm_auc);
+        eprintln!("  {:<14} {:<10} pmAUC {:6.2}", r.stream, r.detector, r.pm_auc);
     });
     println!("{}", format_table3(&result, "pmAUC"));
     println!("{}", format_table3(&result, "pmGM"));

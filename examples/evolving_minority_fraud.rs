@@ -9,7 +9,7 @@
 //! Run with: `cargo run -p rbm-im-harness --release --example evolving_minority_fraud`
 
 use rbm_im_harness::detectors::DetectorKind;
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_harness::pipeline::{run_grid, GridStream, RunConfig};
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::scenarios::{scenario2, scenario3, ScenarioConfig};
 
@@ -24,30 +24,38 @@ fn main() {
         seed: 99,
     };
     let run_config = RunConfig { metric_window: 1000, ..Default::default() };
-    let detectors = DetectorKind::paper_detectors();
+    let detectors: Vec<_> = DetectorKind::paper_detectors().iter().map(|d| d.spec()).collect();
+
+    // Both scenario streams in one parallel grid: 6 detectors x 2 streams.
+    let scenario2_config = config.clone();
+    let scenario3_config = config.clone();
+    let streams = vec![
+        GridStream::new("scenario2", move || scenario2(&scenario2_config).stream),
+        GridStream::new("scenario3", move || scenario3(&scenario3_config, 1).stream),
+    ];
+    let results = run_grid(&detectors, &streams, &run_config).expect("grid resolves");
+    let (scenario2_runs, scenario3_runs) = results.split_at(detectors.len());
 
     println!("Scenario 2: global drift + dynamic IR + class-role switching");
     println!("{:<10} {:>8} {:>8} {:>8}", "detector", "pmAUC", "pmGM", "signals");
-    for &detector in &detectors {
-        let mut s = scenario2(&config);
-        let result = run_detector_on_stream(s.stream.as_mut(), detector, &run_config);
+    for result in scenario2_runs {
         println!(
             "{:<10} {:>8.2} {:>8.2} {:>8}",
-            result.detector.name(),
+            result.detector,
             result.pm_auc,
             result.pm_gmean,
             result.drift_count()
         );
     }
 
-    println!("\nScenario 3: the same difficulties, but the drift is LOCAL to the single smallest class");
+    println!(
+        "\nScenario 3: the same difficulties, but the drift is LOCAL to the single smallest class"
+    );
     println!("{:<10} {:>8} {:>8} {:>8}", "detector", "pmAUC", "pmGM", "signals");
-    for &detector in &detectors {
-        let mut s = scenario3(&config, 1);
-        let result = run_detector_on_stream(s.stream.as_mut(), detector, &run_config);
+    for result in scenario3_runs {
         println!(
             "{:<10} {:>8.2} {:>8.2} {:>8}",
-            result.detector.name(),
+            result.detector,
             result.pm_auc,
             result.pm_gmean,
             result.drift_count()

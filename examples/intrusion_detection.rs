@@ -12,7 +12,7 @@
 //! Run with: `cargo run -p rbm-im-harness --release --example intrusion_detection`
 
 use rbm_im_harness::detectors::DetectorKind;
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
+use rbm_im_harness::pipeline::{run_grid, GridStream, RunConfig};
 use rbm_im_streams::drift::local::{LocalDriftEvent, LocalDriftStream};
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::generators::GaussianMixtureGenerator;
@@ -52,12 +52,19 @@ fn main() {
     println!("intrusion-detection stream: 5 classes, 200:1 imbalance, 2 local attack mutations\n");
     let run_config = RunConfig { metric_window: 1000, ..Default::default() };
 
-    for detector in [DetectorKind::RbmIm, DetectorKind::DdmOci, DetectorKind::Fhddm] {
-        let mut stream = build_stream(2024, length);
-        let result = run_detector_on_stream(&mut stream, detector, &run_config);
+    // One parallel grid: three detectors, one stream. Every cell rebuilds
+    // the identical deterministic stream, so the comparison is fair and the
+    // run exploits all cores.
+    let detectors: Vec<_> = [DetectorKind::RbmIm, DetectorKind::DdmOci, DetectorKind::Fhddm]
+        .iter()
+        .map(|d| d.spec())
+        .collect();
+    let streams = vec![GridStream::new("intrusion", move || Box::new(build_stream(2024, length)))];
+    let results = run_grid(&detectors, &streams, &run_config).expect("grid resolves");
+    for result in &results {
         println!(
             "{:<10}  pmAUC {:6.2}%  pmGM {:6.2}%  accuracy {:6.2}%  drift signals {:3}  (detector update time {:.2}s)",
-            result.detector.name(),
+            result.detector,
             result.pm_auc,
             result.pm_gmean,
             result.accuracy,

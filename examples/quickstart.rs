@@ -1,23 +1,29 @@
-//! Quickstart: monitor a drifting, imbalanced stream with RBM-IM.
+//! Quickstart: monitor a drifting, imbalanced stream with the Pipeline API.
 //!
-//! Builds a 4-class RBF stream with a 20:1 imbalance, injects a sudden drift
-//! into the *smallest class only* halfway through, and shows RBM-IM flagging
-//! the change and naming the affected class while a standard error-based
-//! detector (DDM) stays silent.
+//! Builds a 4-class RBF stream with a 10:1 imbalance, injects a sudden drift
+//! into the *smallest class only* halfway through, and runs two pipelines on
+//! identical copies of the stream: one driven by RBM-IM (which sees the
+//! mini-batched feature distribution of every class) and one driven by DDM
+//! (which only sees the classifier's global error rate). Drift events stream
+//! out of the pipeline through an `on_event` sink, including the per-class
+//! attribution RBM-IM provides.
 //!
 //! Run with: `cargo run -p rbm-im-harness --release --example quickstart`
 
-use rbm_im::{RbmIm, RbmImConfig};
-use rbm_im_detectors::{Ddm, DriftDetector, Observation};
+use rbm_im_harness::pipeline::{PipelineBuilder, PipelineEvent, RunConfig};
+use rbm_im_harness::registry::DetectorSpec;
 use rbm_im_streams::drift::local::{LocalDriftEvent, LocalDriftStream};
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::generators::RandomRbfGenerator;
 use rbm_im_streams::imbalance::{ImbalanceProfile, ImbalancedStream};
-use rbm_im_streams::StreamExt;
+use rbm_im_streams::stream::BoundedStream;
+use rbm_im_streams::DataStream;
+use std::cell::RefCell;
 
-fn main() {
-    // 1. Build the stream: 4 classes, geometric 10:1 imbalance, and a severe
-    //    local drift hitting only the smallest class (class 3) at t = 15 000.
+/// The quickstart stream: 4 classes, geometric 10:1 imbalance, and a severe
+/// local drift hitting only the smallest class (class 3) at t = 15 000.
+/// Deterministic, so both pipelines see the identical sequence.
+fn build_stream() -> impl DataStream + Send {
     let base = RandomRbfGenerator::new(10, 4, 3, 0.0, 7);
     let drift = LocalDriftEvent {
         affected_classes: vec![3],
@@ -29,51 +35,58 @@ fn main() {
     // Imbalance first, local drift outermost, so the drift position refers
     // to the indices of the stream we actually iterate over.
     let imbalanced = ImbalancedStream::new(base, ImbalanceProfile::geometric(4, 10.0), 3);
-    let mut stream = LocalDriftStream::new(imbalanced, vec![drift], 11);
+    BoundedStream::new(LocalDriftStream::new(imbalanced, vec![drift], 11), 30_000)
+}
 
-    // 2. Attach the detectors. The minority class contributes only a couple
-    //    of instances to a default 50-instance mini-batch, so the example
-    //    uses a larger batch to give its per-class error a stable estimate.
-    let config = RbmImConfig { mini_batch_size: 100, ..Default::default() };
-    let mut rbm_im = RbmIm::new(10, 4, config);
-    let mut ddm = Ddm::new();
+fn main() {
+    println!("streaming 30000 instances (local drift in class 3 at t = 15000)\n");
+    let config = RunConfig { metric_window: 1000, ..Default::default() };
 
-    // 3. Stream through 30 000 instances. RBM-IM consumes the instances
-    //    directly; DDM monitors a simulated classifier whose accuracy on the
-    //    drifted minority class collapses after the drift (the realistic
-    //    situation the paper describes: the global error barely moves).
-    let instances = stream.take_instances(30_000);
-    println!("streaming {} instances (local drift in class 3 at t = 15000)\n", instances.len());
-    let mut rbm_detections = Vec::new();
-    let mut ddm_detections = Vec::new();
-    for inst in &instances {
-        if rbm_im.observe_instance(inst).is_drift() {
-            rbm_detections.push((inst.index, rbm_im.drifted_classes()));
-        }
-        // Simulated classifier: 90% accurate everywhere, except on class 3
-        // after the drift where it drops to 30%.
-        let drifted_region = inst.index >= 15_000 && inst.class == 3;
-        let accuracy = if drifted_region { 0.3 } else { 0.9 };
-        let hash = ((inst.index as f64 * 0.754_877).fract()) < accuracy;
-        let predicted = if hash { inst.class } else { (inst.class + 1) % 4 };
-        let obs = Observation::new(&inst.features, inst.class, predicted);
-        if ddm.update(&obs).is_drift() {
-            ddm_detections.push(inst.index);
-        }
+    // Pipeline 1: RBM-IM with a larger mini-batch (the minority class
+    // contributes only a couple of instances to a default 50-instance
+    // batch, so a larger batch gives its per-class error a stable
+    // estimate). The tuned variant is a registry one-liner.
+    let drift_log = RefCell::new(Vec::new());
+    let rbm_result = PipelineBuilder::new()
+        .stream(build_stream())
+        .detector_spec(DetectorSpec::parse("rbm-im(mini_batch=100)").expect("valid spec"))
+        .config(config)
+        .on_event(|event| {
+            if let PipelineEvent::Drift { position, classes } = event {
+                drift_log.borrow_mut().push((*position, classes.to_vec()));
+            }
+        })
+        .run()
+        .expect("quickstart pipeline is fully specified");
+
+    println!("RBM-IM raised {} drift signal(s):", rbm_result.drift_count());
+    for (position, classes) in drift_log.borrow().iter() {
+        println!("  at instance {position:>6}, affected classes {classes:?}");
     }
 
-    // 4. Report.
-    println!("RBM-IM raised {} drift signal(s):", rbm_detections.len());
-    for (pos, classes) in &rbm_detections {
-        println!("  at instance {:>6}, affected classes {:?}", pos, classes);
-    }
-    println!("\nDDM (global error monitoring) raised {} drift signal(s): {:?}", ddm_detections.len(), ddm_detections);
+    // Pipeline 2: the same stream, same classifier, but a global
+    // error-rate detector.
+    let ddm_result = PipelineBuilder::new()
+        .stream(build_stream())
+        .detector_spec(DetectorSpec::new("ddm"))
+        .config(config)
+        .run()
+        .expect("quickstart pipeline is fully specified");
     println!(
-        "\nRBM-IM processed {} mini-batches and signalled {} drifts in total.",
-        rbm_im.batches_processed(),
-        rbm_im.drift_count()
+        "\nDDM (global error monitoring) raised {} drift signal(s): {:?}",
+        ddm_result.drift_count(),
+        ddm_result.detections
     );
-    if rbm_detections.iter().any(|(p, c)| *p >= 15_000 && c.contains(&3)) {
+
+    println!(
+        "\npmAUC: RBM-IM-driven {:.2}%  vs  DDM-driven {:.2}%",
+        rbm_result.pm_auc, ddm_result.pm_auc
+    );
+    let attributed = drift_log
+        .borrow()
+        .iter()
+        .any(|(position, classes)| *position >= 15_000 && classes.contains(&3));
+    if attributed {
         println!("=> the local minority-class drift was detected and attributed correctly.");
     } else {
         println!("=> the drift was not attributed to class 3 in this run; try a different seed.");

@@ -9,8 +9,8 @@ use rbm_im_harness::detectors::DetectorKind;
 use rbm_im_harness::experiment1::{run_experiment1, BuildConfigSerde, Experiment1Config};
 use rbm_im_harness::experiment2::{run_experiment2, Experiment2Config};
 use rbm_im_harness::experiment3::{run_experiment3, Experiment3Config};
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_harness::report::{format_fig8, format_fig9, format_table3};
-use rbm_im_harness::runner::{run_detector_on_stream, RunConfig};
 use rbm_im_metrics::evaluate_detections;
 use rbm_im_streams::drift::DriftKind;
 use rbm_im_streams::registry::{all_benchmarks, benchmark_by_name, BuildConfig};
@@ -20,14 +20,18 @@ use rbm_im_streams::{DataStream, StreamExt};
 #[test]
 fn registry_streams_feed_the_full_pipeline() {
     // A real-world substitute and an artificial benchmark, run end-to-end
-    // through the prequential runner with two detectors each.
+    // through the pipeline with two detectors each.
     let build = BuildConfig { scale_divisor: 500, seed: 11, n_drifts: 1, dynamic_imbalance: true };
     let run = RunConfig { metric_window: 500, max_instances: Some(2_000), ..Default::default() };
     for name in ["Electricity", "RBF5"] {
         let spec = benchmark_by_name(name).unwrap();
         for detector in [DetectorKind::RbmIm, DetectorKind::PerfSim] {
-            let mut stream = spec.build(&build);
-            let result = run_detector_on_stream(stream.as_mut(), detector, &run);
+            let result = PipelineBuilder::new()
+                .boxed_stream(spec.build(&build))
+                .detector_spec(detector.spec())
+                .config(run)
+                .run()
+                .unwrap();
             assert!(result.instances > 0, "{name}/{detector:?} processed nothing");
             assert!(result.pm_auc.is_finite());
             assert!(result.pm_gmean.is_finite());
@@ -37,7 +41,8 @@ fn registry_streams_feed_the_full_pipeline() {
 
 #[test]
 fn every_benchmark_in_the_registry_builds_and_emits() {
-    let build = BuildConfig { scale_divisor: 2_000, seed: 3, n_drifts: 1, dynamic_imbalance: false };
+    let build =
+        BuildConfig { scale_divisor: 2_000, seed: 3, n_drifts: 1, dynamic_imbalance: false };
     for spec in all_benchmarks() {
         let mut stream = spec.build(&build);
         let sample = stream.take_instances(300);
@@ -50,7 +55,12 @@ fn every_benchmark_in_the_registry_builds_and_emits() {
 fn experiment1_pipeline_produces_table_and_ranks() {
     let config = Experiment1Config {
         detectors: vec![DetectorKind::Fhddm, DetectorKind::DdmOci, DetectorKind::RbmIm],
-        build: BuildConfigSerde { seed: 5, scale_divisor: 500, n_drifts: 1, dynamic_imbalance: true },
+        build: BuildConfigSerde {
+            seed: 5,
+            scale_divisor: 500,
+            n_drifts: 1,
+            dynamic_imbalance: true,
+        },
         run: RunConfig { metric_window: 400, max_instances: Some(2_000), ..Default::default() },
         benchmarks: vec!["RBF5".into(), "Hyperplane5".into(), "Poker".into()],
     };
@@ -143,10 +153,18 @@ fn skew_insensitive_detectors_outrank_standard_ones_on_imbalanced_drift() {
         seed: 17,
     };
     let run = RunConfig { metric_window: 800, ..Default::default() };
-    let mut s1 = scenario3(&config, 2);
-    let rbm = run_detector_on_stream(s1.stream.as_mut(), DetectorKind::RbmIm, &run);
-    let mut s2 = scenario3(&config, 2);
-    let standard = run_detector_on_stream(s2.stream.as_mut(), DetectorKind::Fhddm, &run);
+    let rbm = PipelineBuilder::new()
+        .boxed_stream(scenario3(&config, 2).stream)
+        .detector_spec(DetectorKind::RbmIm.spec())
+        .config(run)
+        .run()
+        .unwrap();
+    let standard = PipelineBuilder::new()
+        .boxed_stream(scenario3(&config, 2).stream)
+        .detector_spec(DetectorKind::Fhddm.spec())
+        .config(run)
+        .run()
+        .unwrap();
     // On short scaled-down streams the classifier reset triggered by a
     // (correct) detection temporarily costs a few pmGM points, so the margin
     // here is deliberately generous; the full-length comparison is the job
@@ -165,7 +183,8 @@ fn boxed_detectors_share_one_interface() {
     // The harness stores detectors as trait objects; make sure every paper
     // detector works through that interface on a real stream slice.
     let spec = benchmark_by_name("RBF5").unwrap();
-    let build = BuildConfig { scale_divisor: 1_000, seed: 2, n_drifts: 1, dynamic_imbalance: false };
+    let build =
+        BuildConfig { scale_divisor: 1_000, seed: 2, n_drifts: 1, dynamic_imbalance: false };
     let mut stream = spec.build(&build);
     let instances = stream.take_instances(600);
     for kind in DetectorKind::paper_detectors() {

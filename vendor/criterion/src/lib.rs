@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`) backed by a
+//! simple wall-clock measurement: each benchmark closure is warmed up once,
+//! then timed over enough iterations to fill a short measurement window, and
+//! the mean per-iteration time (plus derived throughput) is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the std black box.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: function name plus parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_seconds: f64,
+    iterations: u64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up + calibration run.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        // Pick an iteration count that roughly fills the measurement window,
+        // capped so pathologically slow routines still finish.
+        let target = self.measurement.as_secs_f64();
+        let iters = (target / first.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_seconds = elapsed.as_secs_f64() / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; this stub
+    /// always runs one calibrated measurement per benchmark).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measurement = window;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { mean_seconds: 0.0, iterations: 0, measurement: self.criterion.measurement };
+        routine(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` without an input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { mean_seconds: 0.0, iterations: 0, measurement: self.criterion.measurement };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let mean = bencher.mean_seconds;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{:<40} {:>12}  [{} iter]{}",
+            self.name,
+            label,
+            format_duration(mean),
+            bencher.iterations,
+            rate
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("standalone");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro. Cargo passes
+/// `--bench` (and possibly filters) on the command line; this stub runs every
+/// group unconditionally unless `--list` is given.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { measurement: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" us"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small slice of the rayon API this workspace uses —
+//! `par_iter` / `into_par_iter` followed by `map` / `for_each` / `collect`,
+//! plus `ThreadPoolBuilder::install` for pinning the worker count — on top
+//! of `std::thread::scope`. Work is split into contiguous chunks, one per
+//! worker, and results are stitched back **in input order**, so `collect`
+//! output is independent of the number of threads (the property the
+//! harness's `run_grid` determinism test relies on).
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|n| {
+        n.get().unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+    })
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (infallible here, kept for API
+/// compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped "thread pool" (really: a worker-count override).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A handle that pins the worker count for closures run via
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count active on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|n| {
+            let previous = n.get();
+            n.set(self.num_threads);
+            let result = op();
+            n.set(previous);
+            result
+        })
+    }
+
+    /// The worker count parallel operations under this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+    }
+}
+
+/// Order-preserving parallel map: applies `f` to every item, splitting the
+/// input into one contiguous chunk per worker thread.
+fn parallel_map_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    let chunk_size = total.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    // Split back-to-front so each drain is O(chunk).
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk_size);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon stub worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(total);
+    for part in results.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// A to-be-executed parallel iterator (eagerly materialized item list plus a
+/// deferred mapping).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item (deferred until a consumer runs). The bounds are
+    /// stated here (not only on the consumers) so closure parameter types
+    /// infer at the call site, like real rayon.
+    pub fn map<R, F>(self, f: F) -> MappedParIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MappedParIter { items: self.items, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_indexed(self.items, f);
+    }
+
+    /// Collects the items (identity pipeline).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct MappedParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MappedParIter<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_map_indexed(self.items, self.f).into_iter().collect()
+    }
+
+    /// Executes the map and discards results.
+    pub fn for_each<R, G>(self, g: G)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        parallel_map_indexed(self.items, move |item| g(f(item)));
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Borrowing parallel iteration (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        let work = |n: usize| -> Vec<usize> {
+            (0..97usize).collect::<Vec<_>>().into_par_iter().map(move |x| x * n).collect()
+        };
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| work(3));
+        let many = ThreadPoolBuilder::new().num_threads(7).build().unwrap().install(|| work(3));
+        assert_eq!(single, many);
+    }
+
+    #[test]
+    fn install_restores_previous_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outside = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

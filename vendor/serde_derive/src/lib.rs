@@ -1,0 +1,222 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in. Built directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline), so it supports exactly the shapes this workspace
+//! uses: structs with named fields and enums with unit variants. Anything
+//! else panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + named field identifiers.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Parses the derive input far enough to know the type name and its fields
+/// or variants.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and the
+    // visibility qualifier.
+    let mut kind: Option<String> = None;
+    while let Some(tree) = iter.next() {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // `pub(crate)` carries a parenthesized group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(text);
+                        break;
+                    }
+                    _ => panic!("serde derive: unexpected token `{text}` before struct/enum"),
+                }
+            }
+            other => panic!("serde derive: unexpected token {other} before struct/enum"),
+        }
+    }
+    let kind = kind.expect("serde derive: no struct/enum keyword found");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive: only non-generic braced types are supported (type {name}, found {other:?})"
+        ),
+    };
+    if kind == "struct" {
+        Shape::Struct(name, parse_named_fields(body))
+    } else {
+        Shape::Enum(name, parse_unit_variants(body))
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let mut field_name: Option<String> = None;
+        while let Some(tree) = iter.next() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    field_name = Some(id.to_string());
+                    break;
+                }
+                other => panic!("serde derive: unexpected token {other} in struct body"),
+            }
+        }
+        let Some(field_name) = field_name else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive: expected `:` after field `{field_name}` (tuple structs unsupported), found {other:?}"
+            ),
+        }
+        // Consume the type tokens up to the next top-level comma. Groups are
+        // single token trees, so generic arguments inside `<...>` need
+        // explicit depth tracking.
+        let mut angle_depth = 0usize;
+        for tree in iter.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field_name);
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "serde derive: enum variant `{name}` carries data; only unit variants are supported"
+                    );
+                }
+                variants.push(name);
+            }
+            other => panic!("serde derive: unexpected token {other} in enum body"),
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",\n")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let variant = match self {{ {arms} }};\n\
+                         ::serde::Value::String(variant.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(value.get(\"{f}\").ok_or_else(|| ::serde::Error::msg(\"missing field `{f}` in {name}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {reads} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v}),\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::msg(format!(\"expected {name} variant string, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde derive: generated invalid Rust")
+}
