@@ -1,6 +1,11 @@
 //! Ablation bench (DESIGN.md): cost and behaviour of RBM-IM variants
 //! (class-balanced loss off, persistence off, coarse batches, fixed window)
 //! on a Scenario-3 stream with a single drifting minority class.
+//!
+//! Every variant trains through the batched flat-kernel CD-k
+//! (`rbm_im::linalg` + `RbmNetwork::train_flat`), so ablation timing
+//! differences reflect the variants' detection behaviour, not allocator
+//! noise from the old per-instance loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbm_im_harness::ablation::{run_ablation, AblationVariant};

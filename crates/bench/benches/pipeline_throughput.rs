@@ -3,6 +3,11 @@
 //! batched mode (`detector_batch = 50`, RBM-IM's natural mini-batch), for
 //! RBM-IM and ADWIN. Future PRs optimizing the hot loop should compare
 //! against these numbers.
+//!
+//! RBM-IM's share of this loop (detect + CD-k train per mini-batch) runs on
+//! the flat-matrix `rbm_im::linalg` kernels; see the `rbm_train` bench for
+//! the isolated kernel-level comparison against the retained seed
+//! implementation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rbm_im_harness::detectors::DetectorKind;

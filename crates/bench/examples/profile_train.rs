@@ -1,0 +1,50 @@
+//! Quick end-to-end timing of the flat vs reference CD-k trainers
+//! (min-over-repetitions; see the `rbm_train` criterion bench for the
+//! recorded baseline).
+
+use rbm_im::network::{RbmNetwork, RbmNetworkConfig};
+use rbm_im::reference::ReferenceRbmNetwork;
+use rbm_im_streams::generators::GaussianMixtureGenerator;
+use rbm_im_streams::{MiniBatch, StreamExt};
+use std::time::Instant;
+
+fn main() {
+    for (v, z) in [(10usize, 4usize), (40, 4)] {
+        let mut stream = GaussianMixtureGenerator::balanced(v, z, 1, 7);
+        let batches: Vec<MiniBatch> = (0..64)
+            .map(|_| MiniBatch { start_index: 0, instances: stream.take_instances(50) })
+            .collect();
+        let mut net = RbmNetwork::new(v, z, RbmNetworkConfig::default());
+        for b in &batches {
+            net.train_batch(b);
+        }
+        let mut flat_best = f64::INFINITY;
+        for _ in 0..7 {
+            let n = 3000;
+            let start = Instant::now();
+            for i in 0..n {
+                std::hint::black_box(net.train_batch(&batches[i % 64]));
+            }
+            flat_best = flat_best.min(start.elapsed().as_secs_f64() * 1e6 / n as f64);
+        }
+        let mut rnet = ReferenceRbmNetwork::new(v, z, RbmNetworkConfig::default());
+        for b in &batches {
+            rnet.train_batch(b);
+        }
+        let mut ref_best = f64::INFINITY;
+        for _ in 0..7 {
+            let n = 1500;
+            let start = Instant::now();
+            for i in 0..n {
+                std::hint::black_box(rnet.train_batch(&batches[i % 64]));
+            }
+            ref_best = ref_best.min(start.elapsed().as_secs_f64() * 1e6 / n as f64);
+        }
+        println!(
+            "{v}f{z}c  flat {flat_best:7.3} us/batch ({:9.0} inst/s) | ref {ref_best:7.3} us/batch ({:9.0} inst/s) | speedup {:.2}x",
+            50.0 / flat_best * 1e6,
+            50.0 / ref_best * 1e6,
+            ref_best / flat_best
+        );
+    }
+}

@@ -122,24 +122,11 @@ pub fn softmax_into(scores: &[f64], out: &mut Vec<f64>) {
 /// In-place [`softmax`]: replaces raw scores with the softmax distribution
 /// (uniform for degenerate inputs) without any allocation. Classifiers fill
 /// the caller's score buffer with raw scores and finish with this.
-pub fn softmax_in_place(scores: &mut [f64]) {
-    if scores.is_empty() {
-        return;
-    }
-    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    for s in scores.iter_mut() {
-        *s = (*s - max).exp();
-    }
-    let total: f64 = scores.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        let uniform = 1.0 / scores.len() as f64;
-        scores.fill(uniform);
-        return;
-    }
-    for s in scores.iter_mut() {
-        *s /= total;
-    }
-}
+///
+/// Re-exported from [`rbm_im::linalg`] — the one shared implementation that
+/// the RBM's class-layer reconstruction (Eq. 12) also runs on, so the
+/// classifiers and the RBM can never disagree numerically.
+pub use rbm_im::linalg::softmax_in_place;
 
 #[cfg(test)]
 mod tests {

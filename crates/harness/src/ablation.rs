@@ -13,7 +13,10 @@
 //! * `coarse_batches` — a 4× larger mini-batch (slower reactions);
 //! * `fixed_window` — the ADWIN confidence made so strict that the adaptive
 //!   window effectively never shrinks, leaving only the fixed-length
-//!   regression window.
+//!   regression window;
+//! * `deep_chain` — CD-3 instead of CD-1, probing whether a deeper negative
+//!   phase sharpens the reconstruction-error signal (cheap now that the
+//!   flat-kernel trainer batches each Gibbs step into whole-batch GEMMs).
 
 use crate::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im::network::RbmNetworkConfig;
@@ -37,6 +40,10 @@ pub enum AblationVariant {
     CoarseBatches,
     /// Effectively fixed (non-adaptive) trend window.
     FixedWindow,
+    /// Deeper negative phase: CD-3 instead of CD-1. Affordable since the
+    /// batched flat-kernel trainer (`rbm_im::linalg`) amortizes each extra
+    /// Gibbs step into three GEMMs over the whole mini-batch.
+    DeepChain,
 }
 
 impl AblationVariant {
@@ -48,6 +55,7 @@ impl AblationVariant {
             AblationVariant::NoPersistence,
             AblationVariant::CoarseBatches,
             AblationVariant::FixedWindow,
+            AblationVariant::DeepChain,
         ]
     }
 
@@ -59,6 +67,7 @@ impl AblationVariant {
             AblationVariant::NoPersistence => "no-persistence",
             AblationVariant::CoarseBatches => "coarse-batches",
             AblationVariant::FixedWindow => "fixed-window",
+            AblationVariant::DeepChain => "deep-chain",
         }
     }
 
@@ -76,6 +85,9 @@ impl AblationVariant {
                 RbmImConfig { mini_batch_size: base.mini_batch_size * 4, ..base }
             }
             AblationVariant::FixedWindow => RbmImConfig { adwin_delta: 1e-12, ..base },
+            AblationVariant::DeepChain => {
+                RbmImConfig { network: RbmNetworkConfig { gibbs_steps: 3, ..base.network }, ..base }
+            }
         }
     }
 }
@@ -162,8 +174,10 @@ mod tests {
             full.mini_batch_size * 4
         );
         assert!(AblationVariant::FixedWindow.config().adwin_delta < full.adwin_delta);
-        assert_eq!(AblationVariant::all().len(), 5);
+        assert_eq!(AblationVariant::DeepChain.config().network.gibbs_steps, 3);
+        assert_eq!(AblationVariant::all().len(), 6);
         assert_eq!(AblationVariant::Full.name(), "full");
+        assert_eq!(AblationVariant::DeepChain.name(), "deep-chain");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::network::{RbmNetwork, RbmNetworkConfig};
 use crate::trend::TrendTracker;
 use rbm_im_detectors::{DetectorState, DriftDetector, Observation};
 use rbm_im_stats::granger::{granger_causality, GrangerConfig};
-use rbm_im_streams::{Instance, MiniBatch};
+use rbm_im_streams::Instance;
 
 /// Configuration of the RBM-IM detector (the RBM-IM rows of Tab. II plus
 /// the detection-rule constants).
@@ -99,9 +99,15 @@ pub struct RbmIm {
     /// Per-class count of consecutive batches whose error exceeded the
     /// magnitude / Granger thresholds (the persistence mechanism).
     consecutive_high: Vec<u32>,
-    /// Error history per class: (older mean, older std) snapshots used by
-    /// the magnitude guard; recomputed from the tracker windows.
-    buffer: Vec<Instance>,
+    /// Flat mini-batch buffer: `batch_classes.len()` rows of `num_features`
+    /// feature values. Observations are copied here directly — no
+    /// [`Instance`] is materialized or cloned on the hot path — and the
+    /// buffer is handed to the network's batched detect/train kernels,
+    /// then cleared in place so its capacity is reused forever.
+    batch_features: Vec<f64>,
+    batch_classes: Vec<usize>,
+    /// Reusable per-class reconstruction-error buffer (Eq. 27 output).
+    batch_errors: Vec<Option<f64>>,
     batch_counter: u64,
     state: DetectorState,
     drifted: Vec<usize>,
@@ -130,7 +136,9 @@ impl RbmIm {
             network,
             trackers,
             consecutive_high: vec![0; num_classes],
-            buffer: Vec::with_capacity(config.mini_batch_size),
+            batch_features: Vec::with_capacity(config.mini_batch_size * num_features),
+            batch_classes: Vec::with_capacity(config.mini_batch_size),
+            batch_errors: Vec::with_capacity(num_classes),
             batch_counter: 0,
             state: DetectorState::Stable,
             drifted: Vec::new(),
@@ -162,9 +170,16 @@ impl RbmIm {
     /// used standalone rather than through the [`DriftDetector`] trait).
     /// Returns the detector state after the instance.
     pub fn observe_instance(&mut self, instance: &Instance) -> DetectorState {
-        assert_eq!(instance.features.len(), self.num_features, "feature count mismatch");
-        self.buffer.push(instance.clone());
-        if self.buffer.len() < self.config.mini_batch_size {
+        self.push_observation(&instance.features, instance.class)
+    }
+
+    /// Copies one observation into the flat mini-batch buffer and runs the
+    /// detect-then-train step when the batch completes.
+    fn push_observation(&mut self, features: &[f64], class: usize) -> DetectorState {
+        assert_eq!(features.len(), self.num_features, "feature count mismatch");
+        self.batch_features.extend_from_slice(features);
+        self.batch_classes.push(class);
+        if self.batch_classes.len() < self.config.mini_batch_size {
             // A drift signal lasts for exactly one observation; afterwards
             // the detector returns to stable until the next batch decision.
             if self.state == DetectorState::Drift {
@@ -172,21 +187,25 @@ impl RbmIm {
             }
             return self.state;
         }
-        let batch = MiniBatch {
-            instances: std::mem::take(&mut self.buffer),
-            start_index: instance.index.saturating_sub(self.config.mini_batch_size as u64 - 1),
-        };
-        self.process_batch(&batch)
+        self.process_buffered_batch()
     }
 
-    /// Processes one completed mini-batch: detect first, then train.
-    fn process_batch(&mut self, batch: &MiniBatch) -> DetectorState {
+    /// Processes the buffered mini-batch: detect first, then train, both on
+    /// the flat buffers (no per-instance clones anywhere on this path).
+    fn process_buffered_batch(&mut self) -> DetectorState {
         self.batch_counter += 1;
         self.drifted.clear();
 
+        // Move the buffers out so the borrow checker lets the network (also
+        // a field of `self`) consume them; moved back — still holding their
+        // capacity — before returning.
+        let features = std::mem::take(&mut self.batch_features);
+        let classes = std::mem::take(&mut self.batch_classes);
+        let mut errors = std::mem::take(&mut self.batch_errors);
+
         let warmed_up = self.batch_counter > self.config.warmup_batches;
         if warmed_up {
-            let errors = self.network.batch_reconstruction_errors(batch);
+            self.network.reconstruction_errors_flat_into(&features, &classes, &mut errors);
             for (class, error) in errors.iter().enumerate() {
                 let Some(error) = error else { continue };
                 let drifted = self.update_class(class, *error);
@@ -198,7 +217,13 @@ impl RbmIm {
 
         // Train after detection so the decision is made against the old
         // concept representation (test-then-train at the batch level).
-        self.network.train_batch(batch);
+        self.network.train_flat(&features, &classes);
+
+        self.batch_features = features;
+        self.batch_features.clear();
+        self.batch_classes = classes;
+        self.batch_classes.clear();
+        self.batch_errors = errors;
 
         self.state = if self.drifted.is_empty() {
             DetectorState::Stable
@@ -298,15 +323,13 @@ impl RbmIm {
 
 impl DriftDetector for RbmIm {
     fn update(&mut self, observation: &Observation<'_>) -> DetectorState {
-        let instance = Instance::new(observation.features.to_vec(), observation.true_class);
-        self.observe_instance(&instance)
+        self.push_observation(observation.features, observation.true_class)
     }
 
-    /// Mini-batches are RBM-IM's natural unit of work (Sec. V-B): instead of
-    /// going through the per-observation `update` path — which materializes
-    /// an [`Instance`] and then clones it into the internal buffer — the
-    /// batched path moves each observation's features into the buffer once
-    /// and runs the detect-then-train step whenever a mini-batch completes.
+    /// Mini-batches are RBM-IM's natural unit of work (Sec. V-B): each
+    /// observation's features are copied straight into the flat mini-batch
+    /// buffer (no `Instance` is ever materialized) and the batched
+    /// detect-then-train kernels run whenever a mini-batch completes.
     /// Drift offsets are exactly the positions the per-observation loop
     /// would report (the observation whose arrival completed a drifting
     /// mini-batch).
@@ -319,11 +342,10 @@ impl DriftDetector for RbmIm {
         let mut state = self.state;
         for (offset, observation) in observations.iter().enumerate() {
             assert_eq!(observation.features.len(), self.num_features, "feature count mismatch");
-            self.buffer.push(Instance::new(observation.features.to_vec(), observation.true_class));
-            if self.buffer.len() >= self.config.mini_batch_size {
-                let batch =
-                    MiniBatch { instances: std::mem::take(&mut self.buffer), start_index: 0 };
-                state = self.process_batch(&batch);
+            self.batch_features.extend_from_slice(observation.features);
+            self.batch_classes.push(observation.true_class);
+            if self.batch_classes.len() >= self.config.mini_batch_size {
+                state = self.process_buffered_batch();
                 if state.is_drift() {
                     drift_offsets.push(offset);
                 }

@@ -35,13 +35,31 @@
 //! [`DriftDetector`](rbm_im_detectors::DriftDetector) trait used by every
 //! other detector in the reproduction, plus per-class attribution through
 //! `drifted_classes`.
+//!
+//! # Layers
+//!
+//! * [`linalg`] — flat row-major [`linalg::DenseMatrix`] plus the blocked,
+//!   auto-vectorizable GEMM/GEMV/sigmoid/softmax kernels every hot loop
+//!   runs on (and the one shared `softmax_in_place`, re-exported by the
+//!   classifiers crate);
+//! * [`network`] — the three-layer RBM with batch-level CD-k over a
+//!   zero-allocation [`network::Workspace`];
+//! * [`reference`] — the retained naive per-instance implementation, the
+//!   ground truth of the equivalence suite and the baseline of the
+//!   `rbm_train` microbenchmark;
+//! * [`trend`] / [`detector`] — per-class trend tracking and the RBM-IM
+//!   drift rule on top.
 
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod linalg;
 pub mod network;
+pub mod reference;
 pub mod trend;
 
 pub use detector::{RbmIm, RbmImConfig};
-pub use network::{RbmNetwork, RbmNetworkConfig};
+pub use linalg::DenseMatrix;
+pub use network::{RbmNetwork, RbmNetworkConfig, Workspace};
+pub use reference::ReferenceRbmNetwork;
 pub use trend::TrendTracker;

@@ -1,4 +1,5 @@
-//! The three-layer Restricted Boltzmann Machine underlying RBM-IM.
+//! The three-layer Restricted Boltzmann Machine underlying RBM-IM, on flat
+//! matrix kernels.
 //!
 //! Architecture (paper Eq. 6–12): a visible layer `v` of `V` units holding
 //! the normalized feature vector, a hidden layer `h` of `H` binary units and
@@ -7,10 +8,34 @@
 //! connections. Training minimizes the class-balanced negative
 //! log-likelihood (Eq. 13) with Contrastive Divergence (CD-k, Eq. 16–21) on
 //! mini-batches.
+//!
+//! Unlike the retained per-instance reference ([`crate::reference`]), this
+//! implementation stores every matrix flat and row-major
+//! ([`crate::linalg::DenseMatrix`]) and runs CD-k **batch-level**: the
+//! mini-batch is stacked into feature-major `V×N` / `Z×N` matrices (the
+//! batch is the contiguous SIMD dimension) and the positive phase, the
+//! Gibbs chain, and the reconstruction errors each become a handful of
+//! GEMMs over the whole batch. All scratch lives in a reusable
+//! [`Workspace`], so steady-state training performs zero heap allocations.
+//! The kernels fix their accumulation order (see [`crate::linalg`]) and the
+//! Gibbs-chain uniforms are pre-drawn per instance in arrival order, so the
+//! results — including the RNG stream — are bitwise-identical to the
+//! reference implementation for training, reconstruction errors, and the
+//! layer probabilities. The one deliberate exception is
+//! [`RbmNetwork::predict`]: it hoists the class-independent `v·w` term out
+//! of the class loop (an O(Z·V·H) → O((V+Z)·H) saving), which re-associates
+//! the free-energy sum — predictions agree with the reference up to
+//! last-ulp rounding of near-exact ties, not bit for bit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rbm_im_streams::{Instance, MiniBatch};
+
+use crate::linalg::{
+    axpy, cdk_bias_gradient, cdk_weight_gradient, dot, gemm2_acc, gemm_acc, gemv_acc, gemv_t_acc,
+    momentum_update, sigmoid_in_place, softmax_cols_in_place, softmax_in_place, transpose_into,
+    DenseMatrix,
+};
 
 /// Hyper-parameters of the RBM network (the RBM-IM rows of Tab. II).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,26 +73,101 @@ impl Default for RbmNetworkConfig {
     }
 }
 
-/// The three-layer RBM.
+/// Reusable scratch buffers of the batched CD-k trainer.
+///
+/// The batched data flow stacks a mini-batch of `N` instances into
+/// **feature-major** matrices — layer units × batch, so the batch is the
+/// contiguous dimension every kernel vectorizes over (layer widths are
+/// often single-digit; the batch is 25–100) — and pushes the whole stack
+/// through each phase at once:
+///
+/// ```text
+/// pack       v0: V×N  (normalized features)   z0: Z×N  (one-hot labels)
+/// positive   h0 = σ(b ⊕ wᵀ·v0 + u·z0)                — 1 fused GEMM pair
+/// sample     hs = 1[uniforms < h0]     (uniforms pre-drawn per instance)
+/// gibbs ×k   vk = σ(a ⊕ w·hs)   zk = softmax(c ⊕ uᵀ·hs)      — 2 GEMMs
+///            hk = σ(b ⊕ wᵀ·vk + u·zk)               — 1 fused GEMM pair
+/// gradient   dw += Σₙ wₙ·(v0ₙh0ₙᵀ − vkₙhkₙᵀ)   (batch-reduced fused
+///            du += Σₙ wₙ·(h0ₙz0ₙᵀ − hkₙzkₙᵀ)      outer products)
+/// update     w/u/a/b/c via fused momentum + weight-decay kernels
+/// ```
+///
+/// (`⊕` = bias broadcast across the batch, `wₙ` = the class-balanced weight
+/// of instance `n`'s class, computed once per batch into `class_weights`.)
+///
+/// Every buffer is re-shaped with [`DenseMatrix::resize`] /
+/// [`DenseMatrix::reshape_uninit`] / `Vec::resize`, which never release
+/// capacity: after the first mini-batch of a given shape, training touches
+/// the allocator exactly zero times (`crates/rbm/tests/no_alloc.rs`
+/// enforces this with a counting allocator).
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Normalized visible batch, feature-major `V×N`.
+    v0: DenseMatrix,
+    /// One-hot class batch, `Z×N`.
+    z0: DenseMatrix,
+    /// Positive-phase hidden probabilities, `H×N`.
+    h0: DenseMatrix,
+    /// Hidden samples driving the Gibbs chain, `H×N`.
+    hs: DenseMatrix,
+    /// Reconstructed visible batch, `V×N`.
+    vk: DenseMatrix,
+    /// Reconstructed class batch, `Z×N`.
+    zk: DenseMatrix,
+    /// Negative-phase hidden probabilities, `H×N`.
+    hk: DenseMatrix,
+    /// Pre-drawn sampling uniforms, `N×(k·H)`, drawn instance-major so the
+    /// RNG stream matches the reference's per-instance draw order exactly.
+    uniforms: DenseMatrix,
+    /// Cached transpose `wᵀ: H×V`, refreshed once per batch.
+    wt: DenseMatrix,
+    /// Cached transpose `uᵀ: Z×H`, refreshed once per batch.
+    ut: DenseMatrix,
+    /// Gradient accumulator for `w`, `V×H`.
+    dw: DenseMatrix,
+    /// Gradient accumulator for `u`, `H×Z`.
+    du: DenseMatrix,
+    /// Bias gradient accumulators.
+    da: Vec<f64>,
+    db: Vec<f64>,
+    dc: Vec<f64>,
+    /// Per-class loss weights, computed once per batch (length `Z`).
+    class_weights: Vec<f64>,
+    /// Per-packed-instance loss weights (length `N`), gathered from
+    /// `class_weights` for the blocked gradient kernels.
+    instance_weights: Vec<f64>,
+    /// Classes of the packed (valid-label) instances, in arrival order.
+    packed_classes: Vec<usize>,
+    /// Per-class error sums/counts for `batch_reconstruction_errors`.
+    err_sums: Vec<f64>,
+    err_counts: Vec<usize>,
+    /// Staging buffers for the `MiniBatch`-based entry points.
+    staged_features: Vec<f64>,
+    staged_classes: Vec<usize>,
+}
+
+/// The three-layer RBM on flat storage.
 #[derive(Debug, Clone)]
 pub struct RbmNetwork {
     num_visible: usize,
     num_hidden: usize,
     num_classes: usize,
     config: RbmNetworkConfig,
-    /// Visible–hidden weights, `w[i][j]` connecting `v_i` to `h_j`.
-    w: Vec<Vec<f64>>,
-    /// Hidden–class weights, `u[j][k]` connecting `h_j` to `z_k`.
-    u: Vec<Vec<f64>>,
+    /// Visible–hidden weights, `V×H` row-major (`w[i·H + j]` connects `v_i`
+    /// to `h_j`).
+    w: DenseMatrix,
+    /// Hidden–class weights, `H×Z` row-major (`u[j·Z + k]` connects `h_j`
+    /// to `z_k`).
+    u: DenseMatrix,
     /// Visible biases `a_i`.
     a: Vec<f64>,
     /// Hidden biases `b_j`.
     b: Vec<f64>,
     /// Class biases `c_k`.
     c: Vec<f64>,
-    /// Momentum buffers.
-    w_vel: Vec<Vec<f64>>,
-    u_vel: Vec<Vec<f64>>,
+    /// Momentum buffers (same shapes as `w` / `u`).
+    w_vel: DenseMatrix,
+    u_vel: DenseMatrix,
     /// Per-class instance counts (for the class-balanced loss weights).
     class_counts: Vec<u64>,
     /// Online per-feature min/max used to normalize inputs into [0, 1].
@@ -75,6 +175,7 @@ pub struct RbmNetwork {
     feature_max: Vec<f64>,
     rng: StdRng,
     batches_trained: u64,
+    workspace: Workspace,
 }
 
 impl RbmNetwork {
@@ -89,12 +190,12 @@ impl RbmNetwork {
         let num_hidden = ((num_features as f64 * config.hidden_fraction).round() as usize).max(4);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = 0.1;
-        let w = (0..num_features)
-            .map(|_| (0..num_hidden).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect())
-            .collect();
-        let u = (0..num_hidden)
-            .map(|_| (0..num_classes).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect())
-            .collect();
+        // Row-major fill order matches the reference's nested loops, so both
+        // implementations consume the same RNG stream at construction.
+        let w =
+            DenseMatrix::from_fn(num_features, num_hidden, |_, _| (rng.gen::<f64>() - 0.5) * scale);
+        let u =
+            DenseMatrix::from_fn(num_hidden, num_classes, |_, _| (rng.gen::<f64>() - 0.5) * scale);
         RbmNetwork {
             num_visible: num_features,
             num_hidden,
@@ -105,13 +206,14 @@ impl RbmNetwork {
             a: vec![0.0; num_features],
             b: vec![0.0; num_hidden],
             c: vec![0.0; num_classes],
-            w_vel: vec![vec![0.0; num_hidden]; num_features],
-            u_vel: vec![vec![0.0; num_classes]; num_hidden],
+            w_vel: DenseMatrix::zeros(num_features, num_hidden),
+            u_vel: DenseMatrix::zeros(num_hidden, num_classes),
             class_counts: vec![0; num_classes],
             feature_min: vec![f64::INFINITY; num_features],
             feature_max: vec![f64::NEG_INFINITY; num_features],
             rng,
             batches_trained: 0,
+            workspace: Workspace::default(),
         }
     }
 
@@ -130,134 +232,138 @@ impl RbmNetwork {
         &self.class_counts
     }
 
-    fn sigmoid(x: f64) -> f64 {
-        1.0 / (1.0 + (-x).exp())
+    /// The visible–hidden weight matrix (`V×H`, row-major). Exposed for
+    /// diagnostics and the equivalence suite.
+    pub fn w(&self) -> &DenseMatrix {
+        &self.w
     }
 
-    /// Min–max normalizes a feature vector into `[0, 1]` using the running
-    /// per-feature ranges (features never observed to vary map to 0.5).
-    fn normalize(&self, features: &[f64]) -> Vec<f64> {
-        features
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| {
-                let (lo, hi) = (self.feature_min[i], self.feature_max[i]);
-                if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-12 {
-                    0.5
-                } else {
-                    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
-                }
-            })
-            .collect()
+    /// The hidden–class weight matrix (`H×Z`, row-major).
+    pub fn u(&self) -> &DenseMatrix {
+        &self.u
     }
 
-    fn observe_ranges(&mut self, instance: &Instance) {
-        for (i, &x) in instance.features.iter().enumerate() {
-            if x < self.feature_min[i] {
-                self.feature_min[i] = x;
-            }
-            if x > self.feature_max[i] {
-                self.feature_max[i] = x;
-            }
+    /// Visible biases.
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Hidden biases.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Class biases.
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Min–max normalizes one feature value using the running range of
+    /// feature `i` (features never observed to vary map to 0.5).
+    #[inline]
+    fn normalize_one(&self, i: usize, x: f64) -> f64 {
+        normalize_value(self.feature_min[i], self.feature_max[i], x)
+    }
+
+    fn observe_ranges(&mut self, features: &[f64]) {
+        // Branch-free min/max so the loop vectorizes (equivalent to the
+        // reference's comparisons for all non-NaN inputs).
+        for ((&x, lo), hi) in
+            features.iter().zip(self.feature_min.iter_mut()).zip(self.feature_max.iter_mut())
+        {
+            *lo = lo.min(x);
+            *hi = hi.max(x);
         }
     }
 
     /// Hidden activation probabilities given visible values and a class
-    /// one-hot/soft encoding (Eq. 10).
-    fn hidden_probabilities(&self, v: &[f64], z: &[f64]) -> Vec<f64> {
-        (0..self.num_hidden)
-            .map(|j| {
-                let mut act = self.b[j];
-                for (i, &vi) in v.iter().enumerate() {
-                    act += vi * self.w[i][j];
-                }
-                for (k, &zk) in z.iter().enumerate() {
-                    act += zk * self.u[j][k];
-                }
-                Self::sigmoid(act)
-            })
-            .collect()
+    /// one-hot/soft encoding (Eq. 10). Single-vector form used by tests and
+    /// the equivalence suite; the training path computes whole batches with
+    /// one GEMM instead.
+    pub fn hidden_probabilities(&self, v: &[f64], z: &[f64]) -> Vec<f64> {
+        let mut act = self.b.clone();
+        gemv_t_acc(&mut act, &self.w, v);
+        gemv_acc(&mut act, &self.u, z);
+        sigmoid_in_place(&mut act);
+        act
     }
 
     /// Visible reconstruction probabilities given hidden values (Eq. 11).
-    fn visible_probabilities(&self, h: &[f64]) -> Vec<f64> {
-        (0..self.num_visible)
-            .map(|i| {
-                let mut act = self.a[i];
-                for (j, &hj) in h.iter().enumerate() {
-                    act += hj * self.w[i][j];
-                }
-                Self::sigmoid(act)
-            })
-            .collect()
+    pub fn visible_probabilities(&self, h: &[f64]) -> Vec<f64> {
+        let mut act = self.a.clone();
+        gemv_acc(&mut act, &self.w, h);
+        sigmoid_in_place(&mut act);
+        act
     }
 
     /// Class reconstruction probabilities (softmax, Eq. 12).
-    fn class_probabilities(&self, h: &[f64]) -> Vec<f64> {
-        let activations: Vec<f64> = (0..self.num_classes)
-            .map(|k| {
-                let mut act = self.c[k];
-                for (j, &hj) in h.iter().enumerate() {
-                    act += hj * self.u[j][k];
-                }
-                act
-            })
-            .collect();
-        let max = activations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = activations.iter().map(|&x| (x - max).exp()).collect();
-        let total: f64 = exps.iter().sum();
-        exps.iter().map(|e| e / total).collect()
-    }
-
-    fn sample_binary(&mut self, probabilities: &[f64]) -> Vec<f64> {
-        probabilities.iter().map(|&p| if self.rng.gen::<f64>() < p { 1.0 } else { 0.0 }).collect()
+    pub fn class_probabilities(&self, h: &[f64]) -> Vec<f64> {
+        let mut act = self.c.clone();
+        gemv_t_acc(&mut act, &self.u, h);
+        softmax_in_place(&mut act);
+        act
     }
 
     /// Class-balanced loss weight of a class (Eq. 13): the inverse effective
     /// number of samples, normalized so the average weight over observed
-    /// classes is 1.
+    /// classes is 1. Diagnostic entry point; the training loop computes all
+    /// classes at once with [`RbmNetwork::class_weights_into`].
     pub fn class_weight(&self, class: usize) -> f64 {
+        let mut weights = vec![0.0; self.num_classes];
+        self.class_weights_into(&mut weights);
+        weights[class]
+    }
+
+    /// Computes the class-balanced loss weight of every class into `out`
+    /// (resized to the class count). One call per mini-batch replaces the
+    /// seed's per-instance recomputation, which allocated a fresh `raw`
+    /// vector over all classes for every instance.
+    pub fn class_weights_into(&self, out: &mut Vec<f64>) {
         let beta = self.config.class_balance_beta;
-        let raw: Vec<f64> = self
-            .class_counts
-            .iter()
-            .map(|&n| {
-                if n == 0 {
-                    // Unseen classes get the weight of a single-instance class.
-                    (1.0 - beta) / (1.0 - beta.powi(1))
-                } else {
-                    (1.0 - beta) / (1.0 - beta.powi(n.min(i32::MAX as u64) as i32))
-                }
-            })
-            .collect();
-        let mean: f64 = raw.iter().sum::<f64>() / raw.len() as f64;
+        out.clear();
+        out.extend(self.class_counts.iter().map(|&n| {
+            if n == 0 {
+                // Unseen classes get the weight of a single-instance class.
+                (1.0 - beta) / (1.0 - beta.powi(1))
+            } else {
+                (1.0 - beta) / (1.0 - beta.powi(n.min(i32::MAX as u64) as i32))
+            }
+        }));
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
         if mean <= 0.0 {
-            1.0
+            out.fill(1.0);
         } else {
-            raw[class] / mean
+            for w in out.iter_mut() {
+                *w /= mean;
+            }
         }
     }
 
     /// Predicts the class of an instance by comparing free energies: for
     /// each candidate class `k` the free energy of the configuration
     /// `(v, z = 1_k)` is computed and the lowest-energy class wins (the
-    /// standard discriminative read-out of a classification RBM). Used by
-    /// examples and tests; RBM-IM itself is a detector, not the stream
-    /// classifier.
+    /// standard discriminative read-out of a classification RBM). The
+    /// shared `v·w` contribution is hoisted out of the class loop (one
+    /// transposed GEMV instead of `Z` of them) — this re-associates the
+    /// free-energy sum relative to the reference, so predictions match it
+    /// up to last-ulp rounding of near-exact ties rather than bitwise (the
+    /// detector path never calls this). Used by examples and tests; RBM-IM
+    /// itself is a detector, not the stream classifier.
     pub fn predict(&self, features: &[f64]) -> usize {
-        let v = self.normalize(features);
-        let visible_term: f64 = v.iter().zip(self.a.iter()).map(|(vi, ai)| vi * ai).sum();
+        let v: Vec<f64> =
+            features.iter().enumerate().map(|(i, &x)| self.normalize_one(i, x)).collect();
+        let visible_term = dot(&v, &self.a);
+        // act[j] = b_j + Σ_i v_i w_ij, shared across classes.
+        let mut act = self.b.clone();
+        gemv_t_acc(&mut act, &self.w, &v);
         let mut best = (0usize, f64::NEG_INFINITY);
         for k in 0..self.num_classes {
-            // -F(v, k) = Σ_i a_i v_i + c_k + Σ_j softplus(b_j + Σ_i v_i w_ij + u_jk)
+            // -F(v, k) = Σ_i a_i v_i + c_k + Σ_j softplus(act_j + u_jk)
             let mut neg_free_energy = visible_term + self.c[k];
-            for j in 0..self.num_hidden {
-                let mut act = self.b[j] + self.u[j][k];
-                for (i, &vi) in v.iter().enumerate() {
-                    act += vi * self.w[i][j];
-                }
-                // softplus(act) = ln(1 + e^act), computed stably.
-                neg_free_energy += if act > 30.0 { act } else { (1.0 + act.exp()).ln() };
+            for (j, &act_j) in act.iter().enumerate() {
+                let x = act_j + self.u.get(j, k);
+                // softplus(x) = ln(1 + e^x), computed stably.
+                neg_free_energy += if x > 30.0 { x } else { (1.0 + x.exp()).ln() };
             }
             if neg_free_energy > best.1 {
                 best = (k, neg_free_energy);
@@ -266,44 +372,175 @@ impl RbmNetwork {
         best.0
     }
 
+    /// Packs the valid-label instances of a flat batch into the workspace's
+    /// `v0` / `z0` matrices (normalizing features) and records their classes.
+    /// Returns the number of packed rows.
+    fn pack_batch(&mut self, features: &[f64], classes: &[usize]) -> usize {
+        assert_eq!(
+            features.len(),
+            classes.len() * self.num_visible,
+            "flat batch shape mismatch: expected {} features per instance",
+            self.num_visible
+        );
+        let kept = classes.iter().filter(|&&c| c < self.num_classes).count();
+        let ws = &mut self.workspace;
+        ws.v0.reshape_uninit(self.num_visible, kept);
+        ws.z0.resize(self.num_classes, kept);
+        ws.packed_classes.clear();
+        let mut col = 0;
+        for (n, &class) in classes.iter().enumerate() {
+            if class >= self.num_classes {
+                continue;
+            }
+            let src = &features[n * self.num_visible..(n + 1) * self.num_visible];
+            // Writes walk the instance's column of the feature-major matrix.
+            for (i, &x) in src.iter().enumerate() {
+                *ws.v0.get_mut(i, col) =
+                    normalize_value(self.feature_min[i], self.feature_max[i], x);
+            }
+            *ws.z0.get_mut(class, col) = 1.0;
+            ws.packed_classes.push(class);
+            col += 1;
+        }
+        kept
+    }
+
+    /// Stages a `MiniBatch` into flat buffers and hands it to `run`.
+    fn with_staged<R>(
+        &mut self,
+        batch: &MiniBatch,
+        run: impl FnOnce(&mut Self, &[f64], &[usize]) -> R,
+    ) -> R {
+        let mut features = std::mem::take(&mut self.workspace.staged_features);
+        let mut classes = std::mem::take(&mut self.workspace.staged_classes);
+        features.clear();
+        classes.clear();
+        for instance in &batch.instances {
+            assert_eq!(instance.features.len(), self.num_visible, "feature count mismatch");
+            features.extend_from_slice(&instance.features);
+            classes.push(instance.class);
+        }
+        let out = run(self, &features, &classes);
+        self.workspace.staged_features = features;
+        self.workspace.staged_classes = classes;
+        out
+    }
+
     /// Reconstruction error of a single labeled instance (Eq. 22–26): the
     /// root of the summed squared differences between the instance (features
     /// plus one-hot label) and its reconstruction.
-    pub fn reconstruction_error(&self, instance: &Instance) -> f64 {
-        let v = self.normalize(&instance.features);
-        let mut z = vec![0.0; self.num_classes];
+    pub fn reconstruction_error(&mut self, instance: &Instance) -> f64 {
+        assert_eq!(instance.features.len(), self.num_visible, "feature count mismatch");
+        // Single-row batch through the same kernels; invalid labels keep an
+        // all-zero class row (matching the reference).
+        let ws = &mut self.workspace;
+        ws.v0.reshape_uninit(self.num_visible, 1);
+        ws.z0.resize(self.num_classes, 1);
+        for (i, &x) in instance.features.iter().enumerate() {
+            *ws.v0.get_mut(i, 0) = normalize_value(self.feature_min[i], self.feature_max[i], x);
+        }
         if instance.class < self.num_classes {
-            z[instance.class] = 1.0;
+            *ws.z0.get_mut(instance.class, 0) = 1.0;
         }
-        let h = self.hidden_probabilities(&v, &z);
-        let v_rec = self.visible_probabilities(&h);
-        let z_rec = self.class_probabilities(&h);
-        let mut sum = 0.0;
-        for (x, xr) in v.iter().zip(v_rec.iter()) {
-            sum += (x - xr) * (x - xr);
+        self.refresh_transposes();
+        self.reconstruct_packed(1);
+        self.packed_column_error(0).sqrt()
+    }
+
+    /// Squared reconstruction error of packed instance (column) `n`:
+    /// visible terms in ascending feature order, then class terms in
+    /// ascending class order — the reference's accumulation order
+    /// (Eq. 22–26).
+    fn packed_column_error(&self, n: usize) -> f64 {
+        let ws = &self.workspace;
+        let mut acc = 0.0;
+        for i in 0..self.num_visible {
+            let d = ws.v0.get(i, n) - ws.vk.get(i, n);
+            acc += d * d;
         }
-        for (y, yr) in z.iter().zip(z_rec.iter()) {
-            sum += (y - yr) * (y - yr);
+        for k in 0..self.num_classes {
+            let d = ws.z0.get(k, n) - ws.zk.get(k, n);
+            acc += d * d;
         }
-        sum.sqrt()
+        acc
     }
 
     /// Average reconstruction error of each class over a mini-batch
     /// (Eq. 27). Classes absent from the batch yield `None`.
-    pub fn batch_reconstruction_errors(&self, batch: &MiniBatch) -> Vec<Option<f64>> {
-        let mut sums = vec![0.0; self.num_classes];
-        let mut counts = vec![0usize; self.num_classes];
-        for instance in &batch.instances {
-            if instance.class >= self.num_classes {
-                continue;
-            }
-            sums[instance.class] += self.reconstruction_error(instance);
-            counts[instance.class] += 1;
+    pub fn batch_reconstruction_errors(&mut self, batch: &MiniBatch) -> Vec<Option<f64>> {
+        let mut out = Vec::new();
+        self.with_staged(batch, |net, features, classes| {
+            net.reconstruction_errors_flat_into(features, classes, &mut out);
+        });
+        out
+    }
+
+    /// Flat-batch variant of [`RbmNetwork::batch_reconstruction_errors`]:
+    /// `features` holds `classes.len()` rows of `num_features` values.
+    /// Clears and fills `out` with one entry per class; allocation-free once
+    /// `out` and the workspace have grown to shape.
+    pub fn reconstruction_errors_flat_into(
+        &mut self,
+        features: &[f64],
+        classes: &[usize],
+        out: &mut Vec<Option<f64>>,
+    ) {
+        let kept = self.pack_batch(features, classes);
+        self.refresh_transposes();
+        self.reconstruct_packed(kept);
+        {
+            let ws = &mut self.workspace;
+            ws.err_sums.clear();
+            ws.err_sums.resize(self.num_classes, 0.0);
+            ws.err_counts.clear();
+            ws.err_counts.resize(self.num_classes, 0);
         }
-        sums.iter()
-            .zip(counts.iter())
-            .map(|(&s, &c)| if c == 0 { None } else { Some(s / c as f64) })
-            .collect()
+        for n in 0..kept {
+            let err = self.packed_column_error(n).sqrt();
+            let ws = &mut self.workspace;
+            let class = ws.packed_classes[n];
+            ws.err_sums[class] += err;
+            ws.err_counts[class] += 1;
+        }
+        let ws = &self.workspace;
+        out.clear();
+        out.extend(ws.err_sums.iter().zip(ws.err_counts.iter()).map(|(&s, &c)| {
+            if c == 0 {
+                None
+            } else {
+                Some(s / c as f64)
+            }
+        }));
+    }
+
+    /// Refreshes the cached transposes `wᵀ` / `uᵀ` from the current weights
+    /// so every GEMM in the batched path can run in contiguous axpy form.
+    fn refresh_transposes(&mut self) {
+        transpose_into(&mut self.workspace.wt, &self.w);
+        transpose_into(&mut self.workspace.ut, &self.u);
+    }
+
+    /// One deterministic mean-field reconstruction of the packed batch
+    /// (feature-major: every matrix is layer units × batch, so the batch is
+    /// the contiguous SIMD dimension): `h0 = σ(b ⊕ wᵀ·v0 + u·z0)`, then
+    /// `vk = σ(a ⊕ w·h0)` and `zk = softmax(c ⊕ uᵀ·h0)`. Requires
+    /// `pack_batch` and `refresh_transposes` to have run.
+    fn reconstruct_packed(&mut self, kept: usize) {
+        let ws = &mut self.workspace;
+        ws.h0.reshape_uninit(self.num_hidden, kept);
+        ws.h0.broadcast_cols(&self.b);
+        gemm2_acc(&mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
+        sigmoid_in_place(ws.h0.as_mut_slice());
+
+        ws.vk.reshape_uninit(self.num_visible, kept);
+        ws.vk.broadcast_cols(&self.a);
+        gemm_acc(&mut ws.vk, &self.w, &ws.h0);
+        sigmoid_in_place(ws.vk.as_mut_slice());
+
+        ws.zk.reshape_uninit(self.num_classes, kept);
+        ws.zk.broadcast_cols(&self.c);
+        gemm_acc(&mut ws.zk, &ws.ut, &ws.h0);
+        softmax_cols_in_place(&mut ws.zk);
     }
 
     /// Trains the network on one mini-batch with CD-k and the class-balanced
@@ -314,111 +551,209 @@ impl RbmNetwork {
         if batch.is_empty() {
             return 0.0;
         }
+        self.with_staged(batch, |net, features, classes| net.train_flat(features, classes))
+    }
+
+    /// Flat-batch trainer: `features` holds `classes.len()` rows of
+    /// `num_features` values each (row-major). This is the batched CD-k hot
+    /// path — the detector feeds its internal mini-batch buffer here without
+    /// materializing any `Instance`. Steady state performs zero heap
+    /// allocations: all scratch lives in the [`Workspace`].
+    pub fn train_flat(&mut self, features: &[f64], classes: &[usize]) -> f64 {
+        let n_total = classes.len();
+        if n_total == 0 {
+            return 0.0;
+        }
+        // Validate the batch shape before touching any state: a malformed
+        // batch must not leave partial range/count updates behind.
+        assert_eq!(
+            features.len(),
+            n_total * self.num_visible,
+            "flat batch shape mismatch: expected {} features per instance",
+            self.num_visible
+        );
         // Update normalization ranges and class counts first so the weights
         // reflect the batch about to be learned.
-        for instance in &batch.instances {
-            self.observe_ranges(instance);
-            if instance.class < self.num_classes {
-                self.class_counts[instance.class] += 1;
+        for (n, &class) in classes.iter().enumerate() {
+            self.observe_ranges(&features[n * self.num_visible..(n + 1) * self.num_visible]);
+            if class < self.num_classes {
+                self.class_counts[class] += 1;
             }
         }
 
-        let lr = self.config.learning_rate / batch.len() as f64;
+        let lr = self.config.learning_rate / n_total as f64;
         let momentum = self.config.momentum;
         let decay = self.config.weight_decay;
+        let gibbs_steps = self.config.gibbs_steps;
+        let (num_visible, num_hidden, num_classes) =
+            (self.num_visible, self.num_hidden, self.num_classes);
 
-        // Gradient accumulators.
-        let mut dw = vec![vec![0.0; self.num_hidden]; self.num_visible];
-        let mut du = vec![vec![0.0; self.num_classes]; self.num_hidden];
-        let mut da = vec![0.0; self.num_visible];
-        let mut db = vec![0.0; self.num_hidden];
-        let mut dc = vec![0.0; self.num_classes];
+        let kept = self.pack_batch(features, classes);
+        self.refresh_transposes();
+
+        // Per-class loss weights, once per batch (the class counts are fixed
+        // for the duration of the batch, so per-instance recomputation — as
+        // the seed did — yields the exact same values).
+        let mut class_weights = std::mem::take(&mut self.workspace.class_weights);
+        self.class_weights_into(&mut class_weights);
+        self.workspace.class_weights = class_weights;
+
+        // Pre-draw every Gibbs-sampling uniform, instance-major: instance n
+        // consumes draws [n·kH, (n+1)·kH) exactly as the reference's
+        // per-instance chain does, so the RNG streams stay identical. With
+        // CD-1 (the default) there is exactly one sampling round and the
+        // instance-major order coincides with sampling row by row, so the
+        // draws can feed the comparison directly without the staging matrix.
+        if gibbs_steps > 1 {
+            self.workspace.uniforms.reshape_uninit(kept, gibbs_steps * num_hidden);
+            for n in 0..kept {
+                for slot in self.workspace.uniforms.row_mut(n).iter_mut() {
+                    *slot = self.rng.gen::<f64>();
+                }
+            }
+        }
+
+        let ws = &mut self.workspace;
+
+        // Positive phase over the whole batch (feature-major):
+        // h0 = σ(b ⊕ wᵀ·v0 + u·z0), one fused GEMM pair with the batch as
+        // the contiguous inner dimension.
+        ws.h0.reshape_uninit(num_hidden, kept);
+        ws.h0.broadcast_cols(&self.b);
+        gemm2_acc(&mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
+        sigmoid_in_place(ws.h0.as_mut_slice());
+
+        // First hidden sample (instance-major draws walk the columns).
+        ws.hs.reshape_uninit(num_hidden, kept);
+        if gibbs_steps > 1 {
+            sample_columns(&mut ws.hs, &ws.h0, &ws.uniforms, 0, num_hidden);
+        } else {
+            for n in 0..kept {
+                for j in 0..num_hidden {
+                    let p = ws.h0.get(j, n);
+                    *ws.hs.get_mut(j, n) = if self.rng.gen::<f64>() < p { 1.0 } else { 0.0 };
+                }
+            }
+        }
+
+        // Gibbs chain (negative phase), batch-level.
+        ws.vk.reshape_uninit(num_visible, kept);
+        ws.zk.reshape_uninit(num_classes, kept);
+        ws.hk.reshape_uninit(num_hidden, kept);
+        for step in 0..gibbs_steps {
+            ws.vk.broadcast_cols(&self.a);
+            gemm_acc(&mut ws.vk, &self.w, &ws.hs);
+            sigmoid_in_place(ws.vk.as_mut_slice());
+
+            ws.zk.broadcast_cols(&self.c);
+            gemm_acc(&mut ws.zk, &ws.ut, &ws.hs);
+            softmax_cols_in_place(&mut ws.zk);
+
+            ws.hk.broadcast_cols(&self.b);
+            gemm2_acc(&mut ws.hk, &ws.wt, &ws.vk, &self.u, &ws.zk);
+            sigmoid_in_place(ws.hk.as_mut_slice());
+
+            if step + 1 < gibbs_steps {
+                sample_columns(&mut ws.hs, &ws.hk, &ws.uniforms, step + 1, num_hidden);
+            } else {
+                // Final step uses probabilities (standard CD-k practice).
+                ws.hs.as_mut_slice().copy_from_slice(ws.hk.as_slice());
+            }
+        }
+
+        // Accumulate weighted gradients: ⟨data⟩ − ⟨reconstruction⟩, as
+        // instance-blocked positive-minus-negative outer products (the
+        // outer-product formulation of the gradient GEMMs, ordered to keep
+        // the reference's one-addend-per-instance accumulation).
+        ws.dw.resize(num_visible, num_hidden);
+        ws.du.resize(num_hidden, num_classes);
+        ws.da.clear();
+        ws.da.resize(num_visible, 0.0);
+        ws.db.clear();
+        ws.db.resize(num_hidden, 0.0);
+        ws.dc.clear();
+        ws.dc.resize(num_classes, 0.0);
+        ws.instance_weights.clear();
+        ws.instance_weights.extend(ws.packed_classes.iter().map(|&c| ws.class_weights[c]));
+        cdk_weight_gradient(&mut ws.dw, &ws.instance_weights, &ws.v0, &ws.h0, &ws.vk, &ws.hk);
+        cdk_weight_gradient(&mut ws.du, &ws.instance_weights, &ws.h0, &ws.z0, &ws.hk, &ws.zk);
+        cdk_bias_gradient(&mut ws.da, &ws.instance_weights, &ws.v0, &ws.vk);
+        cdk_bias_gradient(&mut ws.db, &ws.instance_weights, &ws.h0, &ws.hk);
+        cdk_bias_gradient(&mut ws.dc, &ws.instance_weights, &ws.z0, &ws.zk);
         let mut total_error = 0.0;
-
-        for instance in &batch.instances {
-            if instance.class >= self.num_classes {
-                continue;
-            }
-            let weight = self.class_weight(instance.class);
-            let v0 = self.normalize(&instance.features);
-            let mut z0 = vec![0.0; self.num_classes];
-            z0[instance.class] = 1.0;
-
-            // Positive phase.
-            let h0_prob = self.hidden_probabilities(&v0, &z0);
-            let mut h_sample = self.sample_binary(&h0_prob);
-
-            // Gibbs chain (negative phase).
-            let mut vk = v0.clone();
-            let mut zk = z0.clone();
-            let mut hk_prob = h0_prob.clone();
-            for step in 0..self.config.gibbs_steps {
-                vk = self.visible_probabilities(&h_sample);
-                zk = self.class_probabilities(&h_sample);
-                hk_prob = self.hidden_probabilities(&vk, &zk);
-                if step + 1 < self.config.gibbs_steps {
-                    h_sample = self.sample_binary(&hk_prob);
-                } else {
-                    // Final step uses probabilities (standard CD-k practice).
-                    h_sample = hk_prob.clone();
-                }
-            }
-
-            // Accumulate weighted gradients: ⟨data⟩ − ⟨reconstruction⟩.
-            for i in 0..self.num_visible {
-                for j in 0..self.num_hidden {
-                    dw[i][j] += weight * (v0[i] * h0_prob[j] - vk[i] * hk_prob[j]);
-                }
-                da[i] += weight * (v0[i] - vk[i]);
-            }
-            for j in 0..self.num_hidden {
-                for k in 0..self.num_classes {
-                    du[j][k] += weight * (h0_prob[j] * z0[k] - hk_prob[j] * zk[k]);
-                }
-                db[j] += weight * (h0_prob[j] - hk_prob[j]);
-            }
-            for k in 0..self.num_classes {
-                dc[k] += weight * (z0[k] - zk[k]);
-            }
-
+        for n in 0..kept {
+            let weight = ws.instance_weights[n];
             let mut err = 0.0;
-            for (x, xr) in v0.iter().zip(vk.iter()) {
-                err += (x - xr) * (x - xr);
+            for i in 0..num_visible {
+                let d = ws.v0.get(i, n) - ws.vk.get(i, n);
+                err += d * d;
             }
-            for (y, yr) in z0.iter().zip(zk.iter()) {
-                err += (y - yr) * (y - yr);
+            for k in 0..num_classes {
+                let d = ws.z0.get(k, n) - ws.zk.get(k, n);
+                err += d * d;
             }
             total_error += weight * err.sqrt();
         }
 
-        // Apply updates with momentum and weight decay.
-        for i in 0..self.num_visible {
-            for (j, dw_ij) in dw[i].iter().enumerate() {
-                self.w_vel[i][j] =
-                    momentum * self.w_vel[i][j] + lr * (dw_ij - decay * self.w[i][j]);
-                self.w[i][j] += self.w_vel[i][j];
-            }
-            self.a[i] += lr * da[i];
-        }
-        for j in 0..self.num_hidden {
-            for (k, du_jk) in du[j].iter().enumerate() {
-                self.u_vel[j][k] =
-                    momentum * self.u_vel[j][k] + lr * (du_jk - decay * self.u[j][k]);
-                self.u[j][k] += self.u_vel[j][k];
-            }
-            self.b[j] += lr * db[j];
-        }
-        for (c, dc_k) in self.c.iter_mut().zip(dc.iter()) {
-            *c += lr * dc_k;
-        }
+        // Apply updates with momentum and weight decay (fused flat kernels).
+        momentum_update(
+            self.w.as_mut_slice(),
+            self.w_vel.as_mut_slice(),
+            ws.dw.as_slice(),
+            lr,
+            momentum,
+            decay,
+        );
+        momentum_update(
+            self.u.as_mut_slice(),
+            self.u_vel.as_mut_slice(),
+            ws.du.as_slice(),
+            lr,
+            momentum,
+            decay,
+        );
+        axpy(&mut self.a, lr, &ws.da);
+        axpy(&mut self.b, lr, &ws.db);
+        axpy(&mut self.c, lr, &ws.dc);
         self.batches_trained += 1;
-        total_error / batch.len() as f64
+        total_error / n_total as f64
     }
 
     /// Forgets everything (used when the harness fully reinitializes the
     /// detector).
     pub fn reset(&mut self) {
         *self = RbmNetwork::new(self.num_visible, self.num_classes, self.config);
+    }
+}
+
+/// Min–max normalizes `x` into `[0, 1]` over the running range `[lo, hi]`;
+/// degenerate or never-observed ranges map to 0.5. The single definition of
+/// the normalization expression (shared by `predict`, batch packing, and the
+/// single-instance error path), matching the reference bit for bit.
+#[inline]
+fn normalize_value(lo: f64, hi: f64, x: f64) -> f64 {
+    if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-12 {
+        0.5
+    } else {
+        ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// `dst[j][n] ← 1` iff `uniforms[n][round·h + j] < probs[j][n]` — the
+/// batched Bernoulli sampling step over feature-major matrices, reading the
+/// pre-drawn (instance-major) uniforms of the given Gibbs round.
+fn sample_columns(
+    dst: &mut DenseMatrix,
+    probs: &DenseMatrix,
+    uniforms: &DenseMatrix,
+    round: usize,
+    h: usize,
+) {
+    for n in 0..dst.cols() {
+        let u = &uniforms.row(n)[round * h..(round + 1) * h];
+        for (j, &uj) in u.iter().enumerate() {
+            *dst.get_mut(j, n) = if uj < probs.get(j, n) { 1.0 } else { 0.0 };
+        }
     }
 }
 
@@ -529,6 +864,22 @@ mod tests {
     }
 
     #[test]
+    fn class_weights_into_matches_per_class_queries() {
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 17);
+        let mut net = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        for _ in 0..10 {
+            let batch = batch_from(stream.take_instances(50));
+            net.train_batch(&batch);
+        }
+        let mut all = Vec::new();
+        net.class_weights_into(&mut all);
+        assert_eq!(all.len(), 3);
+        for (class, &weight) in all.iter().enumerate() {
+            assert_eq!(weight, net.class_weight(class));
+        }
+    }
+
+    #[test]
     fn prediction_is_better_than_chance_after_training() {
         // The default (detector-sized) network is deliberately small; give
         // the classification probe a wider hidden layer and a faster
@@ -581,6 +932,44 @@ mod tests {
             let e2 = n2.train_batch(&b2);
             assert_eq!(e1, e2);
         }
+    }
+
+    #[test]
+    fn flat_and_minibatch_entry_points_agree() {
+        let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 9);
+        let mut via_batch = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
+        let mut via_flat = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
+        for _ in 0..15 {
+            let batch = batch_from(stream.take_instances(30));
+            let mut features = Vec::new();
+            let mut classes = Vec::new();
+            for inst in &batch.instances {
+                features.extend_from_slice(&inst.features);
+                classes.push(inst.class);
+            }
+            let e1 = via_batch.train_batch(&batch);
+            let e2 = via_flat.train_flat(&features, &classes);
+            assert_eq!(e1, e2);
+            let errs1 = via_batch.batch_reconstruction_errors(&batch);
+            let mut errs2 = Vec::new();
+            via_flat.reconstruction_errors_flat_into(&features, &classes, &mut errs2);
+            assert_eq!(errs1, errs2);
+        }
+    }
+
+    #[test]
+    fn gibbs_chain_depth_changes_the_updates() {
+        // k=1 and k=3 must consume different RNG stream lengths and produce
+        // different weights — a smoke test that the pre-drawn uniforms wire
+        // the deeper chain correctly.
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 41);
+        let data = stream.take_instances(50);
+        let mut k1 = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        let mut k3 =
+            RbmNetwork::new(5, 3, RbmNetworkConfig { gibbs_steps: 3, ..Default::default() });
+        k1.train_batch(&batch_from(data.clone()));
+        k3.train_batch(&batch_from(data));
+        assert_ne!(k1.w().as_slice(), k3.w().as_slice());
     }
 
     #[test]
