@@ -1,0 +1,76 @@
+//! `serve_throughput`: sustained multi-stream serving throughput versus
+//! shard count.
+//!
+//! 64 concurrent drifting streams (the scale of the acceptance criteria)
+//! are attached with tuned RBM-IM detectors and pumped to completion; one
+//! iteration measures attach → ingest (client-side micro-batches of 50,
+//! blocking backpressure) → drain → shutdown, and the throughput is total
+//! instances over wall time. Shard counts 1, 2 and 8 quantify scaling;
+//! `BENCH_serve.json` records the measured baseline (note the runner's
+//! core count — shard scaling needs real cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_serve::{ServeConfig, ServerHandle};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, Instance, StreamExt, StreamSchema};
+
+const STREAMS: usize = 64;
+const INSTANCES_PER_STREAM: usize = 400;
+
+/// Pre-recorded drifting feeds so iterations measure serving, not
+/// generation.
+fn record_feeds() -> Vec<(String, StreamSchema, Vec<Instance>)> {
+    (0..STREAMS)
+        .map(|i| {
+            let mut gen = RandomRbfGenerator::new(10, 4, 2, 0.0, 900 + i as u64);
+            let schema = gen.schema().clone();
+            let mut instances = gen.take_instances(INSTANCES_PER_STREAM / 2);
+            gen.regenerate();
+            instances.extend(gen.take_instances(INSTANCES_PER_STREAM / 2));
+            (format!("feed-{i:02}"), schema, instances)
+        })
+        .collect()
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let feeds = record_feeds();
+    let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4)").unwrap();
+    let total = (STREAMS * INSTANCES_PER_STREAM) as u64;
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    for shards in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("64streams", format!("{shards}shards")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let server = ServerHandle::start(ServeConfig {
+                        num_shards: shards,
+                        queue_capacity: 256,
+                        ..Default::default()
+                    });
+                    let clients: Vec<_> = feeds
+                        .iter()
+                        .map(|(id, schema, _)| server.attach(id, schema.clone(), &spec).unwrap())
+                        .collect();
+                    // Round-robin micro-batched ingest across all feeds.
+                    for chunk_start in (0..INSTANCES_PER_STREAM).step_by(50) {
+                        for ((_, _, instances), client) in feeds.iter().zip(&clients) {
+                            let end = (chunk_start + 50).min(instances.len());
+                            client.ingest_batch(instances[chunk_start..end].to_vec()).unwrap();
+                        }
+                    }
+                    server.drain();
+                    server.shutdown()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

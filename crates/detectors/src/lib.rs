@@ -169,6 +169,15 @@ pub trait DriftDetector {
     fn drifted_classes_into(&self, out: &mut Vec<usize>) {
         out.clear();
     }
+
+    /// Escape hatch for infrastructure that needs the concrete detector
+    /// behind a `Box<dyn DriftDetector>` (e.g. the serving layer installs
+    /// pooled RBM workspaces into RBM-IM instances at attach time). Stateful
+    /// detectors that want to opt in return `Some(self)`; the default opts
+    /// out, so ordinary detectors need not care.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Non-overridable conveniences available on every detector. These live
@@ -216,6 +225,9 @@ impl DriftDetector for Box<dyn DriftDetector + Send> {
     }
     fn drifted_classes_into(&self, out: &mut Vec<usize>) {
         (**self).drifted_classes_into(out)
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
     }
 }
 

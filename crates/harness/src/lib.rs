@@ -43,8 +43,10 @@ pub mod pipeline;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod stepper;
 pub mod tuning;
 
 pub use detectors::DetectorKind;
 pub use pipeline::{run_grid, GridStream, PipelineBuilder, PipelineEvent, RunConfig, RunResult};
 pub use registry::{DetectorRegistry, DetectorSpec};
+pub use stepper::PipelineStepper;

@@ -37,15 +37,16 @@
 //! ```
 
 use crate::registry::{DetectorRegistry, DetectorSpec, RegistryError};
+use crate::stepper::PipelineStepper;
 use rayon::prelude::*;
-use rbm_im_classifiers::{argmax, CostSensitivePerceptronTree, OnlineClassifier};
-use rbm_im_detectors::{DetectorState, DriftDetector, Observation};
-use rbm_im_metrics::{PrequentialEvaluator, PrequentialSnapshot};
+use rbm_im_classifiers::{CostSensitivePerceptronTree, OnlineClassifier};
+use rbm_im_detectors::DriftDetector;
+use rbm_im_metrics::PrequentialSnapshot;
 use rbm_im_streams::registry::{BenchmarkSpec, BuildConfig};
+use rbm_im_streams::source::StreamSource;
 use rbm_im_streams::{DataStream, StreamSchema};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Instant;
 
 /// Configuration of a single prequential run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -301,9 +302,10 @@ impl<'a, C: OnlineClassifier> PipelineBuilder<'a, C> {
     }
 
     /// Runs the pipeline to stream exhaustion (or `max_instances`).
-    // The final flush's `last_state` assignment is never re-read; the
-    // assignment is still correct for every earlier expansion of the macro.
-    #[allow(unused_assignments)]
+    ///
+    /// The loop body lives in [`PipelineStepper`] — the serving layer's
+    /// shards drive the identical code per instance, which is what pins
+    /// sharded serving to the sequential run bit for bit.
     pub fn run(self) -> Result<RunResult, PipelineError> {
         let mut stream = self.stream.ok_or(PipelineError::MissingStream)?;
         let schema = stream.schema().clone();
@@ -311,7 +313,7 @@ impl<'a, C: OnlineClassifier> PipelineBuilder<'a, C> {
             Some(registry) => registry,
             None => DetectorRegistry::global(),
         };
-        let (mut detector, detector_label) = match self.detector {
+        let (detector, detector_label) = match self.detector {
             Some(DetectorSource::Built { detector, label }) => (detector, label),
             Some(DetectorSource::Spec(spec)) => {
                 let detector = registry.build(&spec, schema.num_features, schema.num_classes)?;
@@ -324,157 +326,29 @@ impl<'a, C: OnlineClassifier> PipelineBuilder<'a, C> {
                 (detector, label)
             }
         };
-        let mut classifier = (self.classifier_factory)(&schema);
+        let classifier = (self.classifier_factory)(&schema);
         let mut sinks = self.sinks;
         let config = self.config;
-        let batch_size = config.detector_batch.max(1);
-
-        let mut evaluator = PrequentialEvaluator::new(schema.num_classes, config.metric_window);
-        let mut detections: Vec<u64> = Vec::new();
-        let mut detector_update_seconds = 0.0;
-        let mut test_seconds = 0.0;
-        let mut train_seconds = 0.0;
-        let mut processed: u64 = 0;
-
-        // Buffers reused across the whole run: per-class scores, per-signal
-        // drift attribution, batched observations and their positions.
-        let mut scores: Vec<f64> = Vec::with_capacity(schema.num_classes);
-        let mut drifted: Vec<usize> = Vec::with_capacity(schema.num_classes);
-        let mut drift_offsets: Vec<usize> = Vec::with_capacity(batch_size);
-        let mut pending: Vec<(rbm_im_streams::Instance, usize)> = Vec::with_capacity(batch_size);
-        let mut last_state = DetectorState::Stable;
-
-        macro_rules! emit {
-            ($event:expr) => {{
-                let event = $event;
-                for sink in sinks.iter_mut() {
-                    sink(&event);
-                }
-            }};
-        }
-
-        macro_rules! flush_detector {
-            () => {
-                if !pending.is_empty() {
-                    let observations: Vec<Observation<'_>> = pending
-                        .iter()
-                        .map(|(instance, predicted)| Observation {
-                            features: &instance.features,
-                            true_class: instance.class,
-                            predicted_class: *predicted,
-                            correct: *predicted == instance.class,
-                        })
-                        .collect();
-                    let update_start = Instant::now();
-                    let state = detector.update_batch(&observations, &mut drift_offsets);
-                    detector_update_seconds += update_start.elapsed().as_secs_f64();
-                    if !drift_offsets.is_empty() {
-                        detector.drifted_classes_into(&mut drifted);
-                        for &offset in drift_offsets.iter() {
-                            let position = pending[offset].0.index;
-                            detections.push(position);
-                            emit!(PipelineEvent::Drift { position, classes: &drifted });
-                        }
-                        if config.reset_on_drift {
-                            classifier.reset();
-                        }
-                    } else if state.is_warning() && !last_state.is_warning() {
-                        emit!(PipelineEvent::Warning {
-                            position: pending.last().expect("pending not empty").0.index,
-                        });
-                    }
-                    last_state = state;
-                    pending.clear();
-                }
-            };
-        }
+        let mut stepper =
+            PipelineStepper::new(classifier, detector, detector_label, schema.num_classes, config);
+        let mut emit = move |event: &PipelineEvent<'_>| {
+            for sink in sinks.iter_mut() {
+                sink(event);
+            }
+        };
 
         while let Some(instance) = stream.next_instance() {
             if let Some(limit) = config.max_instances {
-                if processed >= limit {
+                if stepper.instances() >= limit {
                     break;
                 }
             }
-
-            // Test.
-            let test_start = Instant::now();
-            classifier.predict_scores_into(&instance.features, &mut scores);
-            let predicted = argmax(&scores);
-            evaluator.record(instance.class, predicted, &scores);
-            test_seconds += test_start.elapsed().as_secs_f64();
-
-            // Detect (per-instance mode): straight through `update`, so
-            // drift reaction (classifier reset) happens before this
-            // instance is learned, exactly like the paper's protocol.
-            // Batched mode instead buffers after training, below.
-            if batch_size == 1 {
-                let observation = Observation {
-                    features: &instance.features,
-                    true_class: instance.class,
-                    predicted_class: predicted,
-                    correct: predicted == instance.class,
-                };
-                let update_start = Instant::now();
-                let state = detector.update(&observation);
-                detector_update_seconds += update_start.elapsed().as_secs_f64();
-                if state.is_drift() {
-                    detections.push(instance.index);
-                    detector.drifted_classes_into(&mut drifted);
-                    emit!(PipelineEvent::Drift { position: instance.index, classes: &drifted });
-                    if config.reset_on_drift {
-                        classifier.reset();
-                    }
-                } else if state.is_warning() && !last_state.is_warning() {
-                    emit!(PipelineEvent::Warning { position: instance.index });
-                }
-                last_state = state;
-            }
-
-            // Train.
-            let train_start = Instant::now();
-            classifier.learn(&instance);
-            train_seconds += train_start.elapsed().as_secs_f64();
-            processed += 1;
-
-            if let Some(every) = config.snapshot_every {
-                if every > 0 && processed.is_multiple_of(every) {
-                    emit!(PipelineEvent::Snapshot {
-                        position: instance.index,
-                        snapshot: evaluator.snapshot(),
-                    });
-                }
-            }
-
-            // Batched detection: move the (already learned) instance into
-            // the pending buffer — no feature clone — and flush through
-            // `update_batch` when full. A drift found in the flush resets
-            // the classifier from the next instance on (batching already
-            // trades reaction latency for throughput; per-instance mode
-            // keeps the paper's exact reset-before-learn ordering).
-            if batch_size > 1 {
-                pending.push((instance, predicted));
-                if pending.len() >= batch_size {
-                    flush_detector!();
-                }
-            }
+            stepper.step(instance, &mut emit);
         }
-        // Trailing partial batch.
-        flush_detector!();
-
-        let snapshot = evaluator.snapshot();
-        Ok(RunResult {
-            detector: detector_label,
-            stream: self.stream_label.unwrap_or(schema.name),
-            pm_auc: evaluator.average_pm_auc() * 100.0,
-            pm_gmean: evaluator.average_pm_gmean() * 100.0,
-            accuracy: snapshot.accuracy * 100.0,
-            kappa: snapshot.kappa,
-            instances: processed,
-            detections,
-            detector_update_seconds,
-            test_seconds,
-            train_seconds,
-        })
+        // `finish` flushes the trailing partial detector batch.
+        let (result, _detector) =
+            stepper.finish(self.stream_label.unwrap_or(schema.name), &mut emit);
+        Ok(result)
     }
 }
 
@@ -507,6 +381,14 @@ impl GridStream {
         GridStream::new(name, move || spec.build(&cell_build))
     }
 
+    /// Grid stream wrapping a stream-id'd replayable
+    /// [`StreamSource`](rbm_im_streams::source::StreamSource) (the serving
+    /// layer's stream recipe type): the source id becomes the grid name and
+    /// every cell opens a fresh, identical copy.
+    pub fn from_source(source: StreamSource) -> Self {
+        GridStream { name: source.id().to_string(), builder: Box::new(move || source.open()) }
+    }
+
     /// Builds a fresh copy of the stream.
     pub fn build(&self) -> Box<dyn DataStream + Send> {
         (self.builder)()
@@ -519,18 +401,13 @@ impl fmt::Debug for GridStream {
     }
 }
 
-/// Deterministic seed mix of a base seed and a stream name (FNV-1a over the
-/// name, then SplitMix64-style finalization).
+/// Deterministic seed mix of a base seed and a stream name. The canonical
+/// definition lives in the streams crate
+/// ([`rbm_im_streams::source::derive_stream_seed`], shared with the serving
+/// layer's per-stream seeding); this re-export keeps the grid's historic
+/// entry point.
 pub fn derive_seed(base: u64, name: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in name.bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    let mut z = base ^ hash;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    rbm_im_streams::source::derive_stream_seed(base, name)
 }
 
 /// Runs every detector × stream cell of the grid in parallel (rayon) against

@@ -192,6 +192,19 @@ impl<'a> Params<'a> {
         self.map.get(key).copied().unwrap_or(default)
     }
 
+    /// The parameter as a non-negative integer (zero allowed — seeds and
+    /// warm-up counts are legitimately 0), or a default.
+    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, RegistryError> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(&v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            Some(&v) => Err(RegistryError::InvalidParam {
+                detector: self.detector.to_string(),
+                message: format!("`{key}` must be a non-negative integer, got {v}"),
+            }),
+        }
+    }
+
     /// The parameter as a positive integer, or a default.
     pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize, RegistryError> {
         match self.map.get(key) {
@@ -230,9 +243,10 @@ impl DetectorRegistry {
 
     /// The registry with every detector this workspace ships: the 13
     /// reference detectors plus RBM-IM, under their lowercase table names
-    /// (`"wstd"`, `"rddm"`, `"fhddm"`, `"perfsim"`, `"ddm-oci"`, `"rbm-im"`,
-    /// `"ddm"`, `"eddm"`, `"adwin"`, `"hddm-a"`, `"hddm-w"`,
-    /// `"pagehinkley"`, `"cusum"`, `"ecdd"`).
+    /// (`"wstd"`, `"rddm"`, `"fhddm"`, `"perfsim"`, `"ddm-oci"`, `"rbm-im"`
+    /// — also under the compact alias `"rbm"` — `"ddm"`, `"eddm"`,
+    /// `"adwin"`, `"hddm-a"`, `"hddm-w"`, `"pagehinkley"`, `"cusum"`,
+    /// `"ecdd"`).
     pub fn with_defaults() -> Self {
         let mut registry = DetectorRegistry::empty();
         registry.register("wstd", &[], |_, _, _| Ok(Box::new(Wstd::new())));
@@ -250,25 +264,53 @@ impl DetectorRegistry {
         registry.register("ddm-oci", &[], |_, _, classes| {
             Ok(Box::new(DdmOci::new(DdmOciConfig::for_classes(classes))))
         });
-        registry.register(
-            "rbm-im",
-            &["mini_batch", "hidden_fraction", "learning_rate", "gibbs_steps", "persistence"],
-            |p, features, classes| {
-                let base = RbmImConfig::default();
-                let config = RbmImConfig {
-                    mini_batch_size: p.get_usize_or("mini_batch", base.mini_batch_size)?,
-                    persistence: p.get_usize_or("persistence", base.persistence as usize)? as u32,
-                    network: RbmNetworkConfig {
-                        hidden_fraction: p.get_or("hidden_fraction", base.network.hidden_fraction),
-                        learning_rate: p.get_or("learning_rate", base.network.learning_rate),
-                        gibbs_steps: p.get_usize_or("gibbs_steps", base.network.gibbs_steps)?,
-                        ..base.network
-                    },
-                    ..base
-                };
-                Ok(Box::new(RbmIm::new(features, classes, config)))
-            },
-        );
+        // RBM-IM accepts the full hyper-parameter surface of Tab. II in
+        // spec strings, so served streams attach tuned detectors without
+        // code changes: `"rbm(hidden=60,minibatch=50)"` is a valid spec.
+        // `minibatch` is a compact alias of `mini_batch`; `hidden` is the
+        // absolute hidden-unit count (overrides `hidden_fraction`); `seed`
+        // reseeds the network RNG (the serving layer injects a per-stream
+        // seed here in deterministic mode).
+        const RBM_PARAMS: &[&str] = &[
+            "mini_batch",
+            "minibatch",
+            "hidden_fraction",
+            "hidden",
+            "learning_rate",
+            "gibbs_steps",
+            "persistence",
+            "warmup",
+            "seed",
+        ];
+        let rbm_factory = |p: &Params<'_>,
+                           features: usize,
+                           classes: usize|
+         -> Result<Box<dyn DriftDetector + Send>, RegistryError> {
+            let base = RbmImConfig::default();
+            let mini_batch_alias = p.get_usize_or("minibatch", base.mini_batch_size)?;
+            let hidden_units = match p.get_usize_or("hidden", 0)? {
+                0 => base.network.hidden_units,
+                n => Some(n),
+            };
+            let config = RbmImConfig {
+                mini_batch_size: p.get_usize_or("mini_batch", mini_batch_alias)?,
+                persistence: p.get_usize_or("persistence", base.persistence as usize)? as u32,
+                warmup_batches: p.get_u64_or("warmup", base.warmup_batches)?,
+                network: RbmNetworkConfig {
+                    hidden_fraction: p.get_or("hidden_fraction", base.network.hidden_fraction),
+                    hidden_units,
+                    learning_rate: p.get_or("learning_rate", base.network.learning_rate),
+                    gibbs_steps: p.get_usize_or("gibbs_steps", base.network.gibbs_steps)?,
+                    seed: p.get_u64_or("seed", base.network.seed)?,
+                    ..base.network
+                },
+                ..base
+            };
+            Ok(Box::new(RbmIm::new(features, classes, config)))
+        };
+        registry.register("rbm-im", RBM_PARAMS, rbm_factory);
+        // Compact alias used by serving attach specs.
+        registry.register("rbm", RBM_PARAMS, rbm_factory);
         registry.register("ddm", &[], |_, _, _| Ok(Box::new(Ddm::new())));
         registry.register("eddm", &[], |_, _, _| Ok(Box::new(Eddm::new())));
         registry.register("adwin", &["delta"], |p, _, _| {
@@ -315,6 +357,17 @@ impl DetectorRegistry {
         self.entries.contains_key(&normalize_key(name))
     }
 
+    /// Whether the factory registered under `name` declares `param` among
+    /// its accepted parameter keys (`false` for unknown detectors). Lets
+    /// infrastructure decide parameter injection generically — e.g. the
+    /// serving layer injects a per-stream `seed` into any spec whose
+    /// factory accepts one, without hard-coding detector names.
+    pub fn accepts_param(&self, name: &str, param: &str) -> bool {
+        self.entries
+            .get(&normalize_key(name))
+            .is_some_and(|entry| entry.allowed_params.contains(&param))
+    }
+
     /// Registered keys, sorted.
     pub fn names(&self) -> Vec<String> {
         self.entries.keys().cloned().collect()
@@ -349,7 +402,8 @@ mod tests {
     #[test]
     fn default_registry_builds_every_paper_detector() {
         let registry = DetectorRegistry::with_defaults();
-        assert_eq!(registry.names().len(), 14);
+        // 13 reference detectors + RBM-IM + the `rbm` alias.
+        assert_eq!(registry.names().len(), 15);
         let features = vec![0.1, 0.2, 0.3];
         for name in registry.names() {
             let spec = DetectorSpec::new(&name);
@@ -382,6 +436,65 @@ mod tests {
         let spec = DetectorSpec::parse("rbm-im(mini_batch=25, learning_rate=0.05)").unwrap();
         let detector = registry.build(&spec, 5, 2).unwrap();
         assert_eq!(detector.name(), "RBM-IM");
+    }
+
+    #[test]
+    fn rbm_hyper_parameters_parse_in_spec_strings() {
+        use rbm_im::RbmIm;
+
+        let registry = DetectorRegistry::with_defaults();
+        // The compact alias plus absolute hidden count and minibatch alias.
+        let spec = DetectorSpec::parse("rbm(hidden=60, minibatch=50, seed=7)").unwrap();
+        let mut detector = registry.build(&spec, 10, 3).unwrap();
+        assert_eq!(detector.name(), "RBM-IM");
+        let rbm = detector
+            .as_any_mut()
+            .expect("RBM-IM opts into downcasting")
+            .downcast_mut::<RbmIm>()
+            .expect("factory builds a concrete RbmIm");
+        assert_eq!(rbm.network().num_hidden(), 60, "hidden= is the absolute unit count");
+
+        // `hidden` overrides `hidden_fraction`; without it the fraction rules.
+        let spec = DetectorSpec::parse("rbm-im(hidden_fraction=0.5)").unwrap();
+        let mut detector = registry.build(&spec, 10, 3).unwrap();
+        let rbm = detector.as_any_mut().unwrap().downcast_mut::<RbmIm>().expect("concrete RbmIm");
+        assert_eq!(rbm.network().num_hidden(), 5);
+
+        // Seeds decorrelate detectors deterministically: same seed ⇒ same
+        // initial weights, different seed ⇒ different weights.
+        let build = |seed: u64| {
+            let spec = DetectorSpec::new("rbm").with_param("seed", seed as f64);
+            let mut boxed = registry.build(&spec, 6, 2).unwrap();
+            let w = boxed
+                .as_any_mut()
+                .unwrap()
+                .downcast_mut::<RbmIm>()
+                .unwrap()
+                .network()
+                .w()
+                .as_slice()
+                .to_vec();
+            w
+        };
+        assert_eq!(build(5), build(5));
+        assert_ne!(build(5), build(6));
+
+        // The registry advertises which parameters a factory takes.
+        assert!(registry.accepts_param("rbm", "seed"));
+        assert!(registry.accepts_param("RBM-IM", "minibatch"));
+        assert!(!registry.accepts_param("adwin", "seed"));
+        assert!(!registry.accepts_param("nope", "seed"));
+
+        // Seeds and warm-ups are validated like every other integer param:
+        // negative or fractional values are rejected, zero is legal.
+        for bad in ["rbm(seed=-1)", "rbm(seed=2.7)", "rbm(warmup=-3)"] {
+            let err = registry
+                .build(&DetectorSpec::parse(bad).unwrap(), 6, 2)
+                .err()
+                .expect("build must fail");
+            assert!(matches!(err, RegistryError::InvalidParam { .. }), "{bad}: {err}");
+        }
+        registry.build(&DetectorSpec::parse("rbm(seed=0, warmup=0)").unwrap(), 6, 2).unwrap();
     }
 
     #[test]

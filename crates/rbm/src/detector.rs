@@ -156,6 +156,21 @@ impl RbmIm {
         &self.network
     }
 
+    /// Installs a (typically pooled) scratch workspace into the underlying
+    /// network, returning the previous one. The serving layer calls this at
+    /// stream attach so a fresh detector inherits the grown buffer capacity
+    /// of every stream its shard served before; see
+    /// [`WorkspacePool`](crate::pool::WorkspacePool).
+    pub fn adopt_workspace(&mut self, ws: crate::network::Workspace) -> crate::network::Workspace {
+        self.network.adopt_workspace(ws)
+    }
+
+    /// Takes the network's scratch workspace out (e.g. back to a pool when
+    /// the stream detaches).
+    pub fn take_workspace(&mut self) -> crate::network::Workspace {
+        self.network.take_workspace()
+    }
+
     /// Total number of drift signals raised so far.
     pub fn drift_count(&self) -> u64 {
         self.drift_count
@@ -378,6 +393,13 @@ impl DriftDetector for RbmIm {
     fn drifted_classes_into(&self, out: &mut Vec<usize>) {
         out.clear();
         out.extend_from_slice(&self.drifted);
+    }
+
+    /// Opt in to downcasting so infrastructure holding
+    /// `Box<dyn DriftDetector>` (the serving shards) can reach
+    /// [`RbmIm::adopt_workspace`] / [`RbmIm::take_workspace`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

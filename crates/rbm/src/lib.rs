@@ -55,11 +55,13 @@
 pub mod detector;
 pub mod linalg;
 pub mod network;
+pub mod pool;
 pub mod reference;
 pub mod trend;
 
 pub use detector::{RbmIm, RbmImConfig};
 pub use linalg::DenseMatrix;
 pub use network::{RbmNetwork, RbmNetworkConfig, Workspace};
+pub use pool::WorkspacePool;
 pub use reference::ReferenceRbmNetwork;
 pub use trend::TrendTracker;

@@ -44,6 +44,11 @@ pub struct RbmNetworkConfig {
     /// (the paper's grid: 0.25·V … 1.0·V). The absolute count is
     /// `max(4, fraction * num_features)`.
     pub hidden_fraction: f64,
+    /// Absolute hidden-unit count override. When `Some`, it takes precedence
+    /// over [`RbmNetworkConfig::hidden_fraction`] (the registry's
+    /// `rbm(hidden=60)` spec parameter lands here); the floor of 4 units
+    /// still applies.
+    pub hidden_units: Option<usize>,
     /// Learning rate η of the gradient updates (Eq. 17).
     pub learning_rate: f64,
     /// Number of Gibbs sampling steps k in CD-k.
@@ -63,6 +68,7 @@ impl Default for RbmNetworkConfig {
     fn default() -> Self {
         RbmNetworkConfig {
             hidden_fraction: 0.5,
+            hidden_units: None,
             learning_rate: 0.05,
             gibbs_steps: 1,
             class_balance_beta: 0.99,
@@ -187,7 +193,7 @@ impl RbmNetwork {
         assert!(config.learning_rate > 0.0);
         assert!(config.gibbs_steps >= 1);
         assert!(config.class_balance_beta > 0.0 && config.class_balance_beta < 1.0);
-        let num_hidden = ((num_features as f64 * config.hidden_fraction).round() as usize).max(4);
+        let num_hidden = hidden_count(num_features, &config);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = 0.1;
         // Row-major fill order matches the reference's nested loops, so both
@@ -372,10 +378,10 @@ impl RbmNetwork {
         best.0
     }
 
-    /// Packs the valid-label instances of a flat batch into the workspace's
-    /// `v0` / `z0` matrices (normalizing features) and records their classes.
-    /// Returns the number of packed rows.
-    fn pack_batch(&mut self, features: &[f64], classes: &[usize]) -> usize {
+    /// Packs the valid-label instances of a flat batch into the given
+    /// workspace's `v0` / `z0` matrices (normalizing features) and records
+    /// their classes. Returns the number of packed rows.
+    fn pack_batch_in(&self, ws: &mut Workspace, features: &[f64], classes: &[usize]) -> usize {
         assert_eq!(
             features.len(),
             classes.len() * self.num_visible,
@@ -383,7 +389,6 @@ impl RbmNetwork {
             self.num_visible
         );
         let kept = classes.iter().filter(|&&c| c < self.num_classes).count();
-        let ws = &mut self.workspace;
         ws.v0.reshape_uninit(self.num_visible, kept);
         ws.z0.resize(self.num_classes, kept);
         ws.packed_classes.clear();
@@ -429,11 +434,31 @@ impl RbmNetwork {
     /// Reconstruction error of a single labeled instance (Eq. 22–26): the
     /// root of the summed squared differences between the instance (features
     /// plus one-hot label) and its reconstruction.
+    ///
+    /// **Deprecation note:** the `&mut self` receiver exists only to reach
+    /// the network's internal scratch [`Workspace`]; scoring never mutates
+    /// the model. New callers — especially ones sharing a network across
+    /// read paths, or pooling workspaces across many streams — should use
+    /// [`RbmNetwork::reconstruction_error_with`] and own the workspace
+    /// themselves.
     pub fn reconstruction_error(&mut self, instance: &Instance) -> f64 {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let err = self.reconstruction_error_with(&mut ws, instance);
+        self.workspace = ws;
+        err
+    }
+
+    /// Immutable-receiver variant of [`RbmNetwork::reconstruction_error`]:
+    /// scores `instance` against the current model using caller-owned
+    /// scratch, so read-only scorers never need `&mut` access to the network
+    /// and one [`Workspace`] (e.g. checked out of a
+    /// [`WorkspacePool`](crate::pool::WorkspacePool)) can serve any number
+    /// of networks. Allocation-free once `ws` has grown to the largest shape
+    /// it has seen.
+    pub fn reconstruction_error_with(&self, ws: &mut Workspace, instance: &Instance) -> f64 {
         assert_eq!(instance.features.len(), self.num_visible, "feature count mismatch");
         // Single-row batch through the same kernels; invalid labels keep an
         // all-zero class row (matching the reference).
-        let ws = &mut self.workspace;
         ws.v0.reshape_uninit(self.num_visible, 1);
         ws.z0.resize(self.num_classes, 1);
         for (i, &x) in instance.features.iter().enumerate() {
@@ -442,17 +467,16 @@ impl RbmNetwork {
         if instance.class < self.num_classes {
             *ws.z0.get_mut(instance.class, 0) = 1.0;
         }
-        self.refresh_transposes();
-        self.reconstruct_packed(1);
-        self.packed_column_error(0).sqrt()
+        self.refresh_transposes_in(ws);
+        self.reconstruct_packed_in(ws, 1);
+        self.packed_column_error_in(ws, 0).sqrt()
     }
 
     /// Squared reconstruction error of packed instance (column) `n`:
     /// visible terms in ascending feature order, then class terms in
     /// ascending class order — the reference's accumulation order
     /// (Eq. 22–26).
-    fn packed_column_error(&self, n: usize) -> f64 {
-        let ws = &self.workspace;
+    fn packed_column_error_in(&self, ws: &Workspace, n: usize) -> f64 {
         let mut acc = 0.0;
         for i in 0..self.num_visible {
             let d = ws.v0.get(i, n) - ws.vk.get(i, n);
@@ -467,6 +491,11 @@ impl RbmNetwork {
 
     /// Average reconstruction error of each class over a mini-batch
     /// (Eq. 27). Classes absent from the batch yield `None`.
+    ///
+    /// **Deprecation note:** `&mut self` only reaches the internal scratch
+    /// [`Workspace`]; prefer the read-only
+    /// [`RbmNetwork::reconstruction_errors_flat_with`] with a caller-owned
+    /// workspace for new code.
     pub fn batch_reconstruction_errors(&mut self, batch: &MiniBatch) -> Vec<Option<f64>> {
         let mut out = Vec::new();
         self.with_staged(batch, |net, features, classes| {
@@ -479,30 +508,46 @@ impl RbmNetwork {
     /// `features` holds `classes.len()` rows of `num_features` values.
     /// Clears and fills `out` with one entry per class; allocation-free once
     /// `out` and the workspace have grown to shape.
+    ///
+    /// **Deprecation note:** `&mut self` only reaches the internal scratch
+    /// [`Workspace`]; prefer [`RbmNetwork::reconstruction_errors_flat_with`]
+    /// for new code.
     pub fn reconstruction_errors_flat_into(
         &mut self,
         features: &[f64],
         classes: &[usize],
         out: &mut Vec<Option<f64>>,
     ) {
-        let kept = self.pack_batch(features, classes);
-        self.refresh_transposes();
-        self.reconstruct_packed(kept);
-        {
-            let ws = &mut self.workspace;
-            ws.err_sums.clear();
-            ws.err_sums.resize(self.num_classes, 0.0);
-            ws.err_counts.clear();
-            ws.err_counts.resize(self.num_classes, 0);
-        }
+        let mut ws = std::mem::take(&mut self.workspace);
+        self.reconstruction_errors_flat_with(&mut ws, features, classes, out);
+        self.workspace = ws;
+    }
+
+    /// Immutable-receiver variant of
+    /// [`RbmNetwork::reconstruction_errors_flat_into`]: the per-class
+    /// detection pass (Eq. 27) against caller-owned scratch. Scoring never
+    /// mutates the model, so concurrent read paths can share one network
+    /// and pool their workspaces.
+    pub fn reconstruction_errors_flat_with(
+        &self,
+        ws: &mut Workspace,
+        features: &[f64],
+        classes: &[usize],
+        out: &mut Vec<Option<f64>>,
+    ) {
+        let kept = self.pack_batch_in(ws, features, classes);
+        self.refresh_transposes_in(ws);
+        self.reconstruct_packed_in(ws, kept);
+        ws.err_sums.clear();
+        ws.err_sums.resize(self.num_classes, 0.0);
+        ws.err_counts.clear();
+        ws.err_counts.resize(self.num_classes, 0);
         for n in 0..kept {
-            let err = self.packed_column_error(n).sqrt();
-            let ws = &mut self.workspace;
+            let err = self.packed_column_error_in(ws, n).sqrt();
             let class = ws.packed_classes[n];
             ws.err_sums[class] += err;
             ws.err_counts[class] += 1;
         }
-        let ws = &self.workspace;
         out.clear();
         out.extend(ws.err_sums.iter().zip(ws.err_counts.iter()).map(|(&s, &c)| {
             if c == 0 {
@@ -515,18 +560,17 @@ impl RbmNetwork {
 
     /// Refreshes the cached transposes `wᵀ` / `uᵀ` from the current weights
     /// so every GEMM in the batched path can run in contiguous axpy form.
-    fn refresh_transposes(&mut self) {
-        transpose_into(&mut self.workspace.wt, &self.w);
-        transpose_into(&mut self.workspace.ut, &self.u);
+    fn refresh_transposes_in(&self, ws: &mut Workspace) {
+        transpose_into(&mut ws.wt, &self.w);
+        transpose_into(&mut ws.ut, &self.u);
     }
 
     /// One deterministic mean-field reconstruction of the packed batch
     /// (feature-major: every matrix is layer units × batch, so the batch is
     /// the contiguous SIMD dimension): `h0 = σ(b ⊕ wᵀ·v0 + u·z0)`, then
     /// `vk = σ(a ⊕ w·h0)` and `zk = softmax(c ⊕ uᵀ·h0)`. Requires
-    /// `pack_batch` and `refresh_transposes` to have run.
-    fn reconstruct_packed(&mut self, kept: usize) {
-        let ws = &mut self.workspace;
+    /// `pack_batch_in` and `refresh_transposes_in` to have run on `ws`.
+    fn reconstruct_packed_in(&self, ws: &mut Workspace, kept: usize) {
         ws.h0.reshape_uninit(self.num_hidden, kept);
         ws.h0.broadcast_cols(&self.b);
         gemm2_acc(&mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
@@ -588,15 +632,20 @@ impl RbmNetwork {
         let (num_visible, num_hidden, num_classes) =
             (self.num_visible, self.num_hidden, self.num_classes);
 
-        let kept = self.pack_batch(features, classes);
-        self.refresh_transposes();
+        // The scratch workspace is moved out for the duration of the batch
+        // (and moved back below) so the batched kernels can borrow it
+        // mutably alongside `&self` model state — the same mechanism that
+        // lets the `_with` scoring variants run on caller-owned workspaces.
+        let mut workspace = std::mem::take(&mut self.workspace);
+        let ws = &mut workspace;
+
+        let kept = self.pack_batch_in(ws, features, classes);
+        self.refresh_transposes_in(ws);
 
         // Per-class loss weights, once per batch (the class counts are fixed
         // for the duration of the batch, so per-instance recomputation — as
         // the seed did — yields the exact same values).
-        let mut class_weights = std::mem::take(&mut self.workspace.class_weights);
-        self.class_weights_into(&mut class_weights);
-        self.workspace.class_weights = class_weights;
+        self.class_weights_into(&mut ws.class_weights);
 
         // Pre-draw every Gibbs-sampling uniform, instance-major: instance n
         // consumes draws [n·kH, (n+1)·kH) exactly as the reference's
@@ -605,15 +654,13 @@ impl RbmNetwork {
         // instance-major order coincides with sampling row by row, so the
         // draws can feed the comparison directly without the staging matrix.
         if gibbs_steps > 1 {
-            self.workspace.uniforms.reshape_uninit(kept, gibbs_steps * num_hidden);
+            ws.uniforms.reshape_uninit(kept, gibbs_steps * num_hidden);
             for n in 0..kept {
-                for slot in self.workspace.uniforms.row_mut(n).iter_mut() {
+                for slot in ws.uniforms.row_mut(n).iter_mut() {
                     *slot = self.rng.gen::<f64>();
                 }
             }
         }
-
-        let ws = &mut self.workspace;
 
         // Positive phase over the whole batch (feature-major):
         // h0 = σ(b ⊕ wᵀ·v0 + u·z0), one fused GEMM pair with the batch as
@@ -715,15 +762,48 @@ impl RbmNetwork {
         axpy(&mut self.a, lr, &ws.da);
         axpy(&mut self.b, lr, &ws.db);
         axpy(&mut self.c, lr, &ws.dc);
+        self.workspace = workspace;
         self.batches_trained += 1;
         total_error / n_total as f64
     }
 
-    /// Forgets everything (used when the harness fully reinitializes the
-    /// detector).
-    pub fn reset(&mut self) {
-        *self = RbmNetwork::new(self.num_visible, self.num_classes, self.config);
+    /// Installs `ws` as the network's internal scratch workspace, returning
+    /// the previous one. A workspace checked out of a
+    /// [`WorkspacePool`](crate::pool::WorkspacePool) carries the grown
+    /// buffer capacities of every batch shape it has ever processed, so a
+    /// freshly attached detector adopting a pooled workspace skips the
+    /// warm-up allocations entirely.
+    pub fn adopt_workspace(&mut self, ws: Workspace) -> Workspace {
+        std::mem::replace(&mut self.workspace, ws)
     }
+
+    /// Takes the internal scratch workspace out of the network (leaving an
+    /// empty one behind), e.g. to return it to a
+    /// [`WorkspacePool`](crate::pool::WorkspacePool) when the network is
+    /// dropped.
+    pub fn take_workspace(&mut self) -> Workspace {
+        std::mem::take(&mut self.workspace)
+    }
+
+    /// Forgets everything (used when the harness fully reinitializes the
+    /// detector). The scratch workspace — pure capacity, no model state —
+    /// is carried over so adopted/pooled buffers survive resets.
+    pub fn reset(&mut self) {
+        let ws = std::mem::take(&mut self.workspace);
+        *self = RbmNetwork::new(self.num_visible, self.num_classes, self.config);
+        self.workspace = ws;
+    }
+}
+
+/// The hidden-layer width implied by a config: the absolute
+/// `hidden_units` override when present, otherwise `hidden_fraction` of the
+/// visible layer; both floored at 4 units. Shared with the retained
+/// reference implementation so the two always agree on network shape.
+pub(crate) fn hidden_count(num_features: usize, config: &RbmNetworkConfig) -> usize {
+    config
+        .hidden_units
+        .unwrap_or_else(|| (num_features as f64 * config.hidden_fraction).round() as usize)
+        .max(4)
 }
 
 /// Min–max normalizes `x` into `[0, 1]` over the running range `[lo, hi]`;

@@ -1,0 +1,156 @@
+//! Checkout/restore pooling of RBM scratch [`Workspace`]s.
+//!
+//! A [`Workspace`](crate::network::Workspace) holds no model state — only
+//! grown buffer capacity — so one workspace can serve any number of
+//! [`RbmNetwork`](crate::network::RbmNetwork)s of any shape, sequentially.
+//! The serving layer exploits that: each shard worker keeps one
+//! [`WorkspacePool`]; when a stream attaches, its RBM-IM detector adopts a
+//! pooled workspace (inheriting the capacity grown by every stream that ran
+//! on the shard before it, so the new stream's hot path is allocation-free
+//! from the first mini-batch of an already-seen shape), and when the stream
+//! detaches, the workspace returns to the pool.
+//!
+//! The pool is deliberately single-threaded (no locking): it is per-shard
+//! state owned by the shard's worker thread, exactly like the detectors it
+//! feeds. Share-nothing sharding, not synchronization, is the concurrency
+//! model.
+
+use crate::network::Workspace;
+
+/// A LIFO pool of scratch workspaces.
+///
+/// LIFO order keeps the most recently used — and therefore most
+/// capacity-grown and cache-warm — workspace on top.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Vec<Workspace>,
+    checked_out: usize,
+    /// Total checkouts served from the free list (reuse hits).
+    hits: u64,
+    /// Total checkouts that had to create a fresh workspace.
+    misses: u64,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Takes a workspace out of the pool, creating a fresh (empty) one if
+    /// none is free. The caller returns it with [`WorkspacePool::restore`]
+    /// when done; dropping it instead is safe but forfeits the capacity.
+    pub fn checkout(&mut self) -> Workspace {
+        self.checked_out += 1;
+        match self.free.pop() {
+            Some(ws) => {
+                self.hits += 1;
+                ws
+            }
+            None => {
+                self.misses += 1;
+                Workspace::default()
+            }
+        }
+    }
+
+    /// Returns a previously checked-out (or externally built) workspace to
+    /// the pool.
+    pub fn restore(&mut self, ws: Workspace) {
+        self.checked_out = self.checked_out.saturating_sub(1);
+        self.free.push(ws);
+    }
+
+    /// Number of free workspaces currently pooled.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of workspaces currently checked out.
+    pub fn checked_out(&self) -> usize {
+        self.checked_out
+    }
+
+    /// Checkouts satisfied by reusing a pooled workspace.
+    pub fn reuse_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Checkouts that created a fresh workspace.
+    pub fn reuse_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{RbmNetwork, RbmNetworkConfig};
+    use rbm_im_streams::generators::GaussianMixtureGenerator;
+    use rbm_im_streams::{Instance, StreamExt};
+
+    #[test]
+    fn checkout_restore_cycles_reuse_capacity() {
+        let mut pool = WorkspacePool::new();
+        let ws = pool.checkout();
+        assert_eq!(pool.reuse_misses(), 1);
+        assert_eq!(pool.checked_out(), 1);
+        pool.restore(ws);
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.checked_out(), 0);
+        let _ws = pool.checkout();
+        assert_eq!(pool.reuse_hits(), 1);
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn pooled_workspace_serves_multiple_networks() {
+        // One workspace scores instances against two different networks —
+        // the read-only `_with` API plus the pool is exactly what lets a
+        // shard share scratch across all its streams.
+        let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 5);
+        let mut net_a = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
+        let mut net_b =
+            RbmNetwork::new(6, 3, RbmNetworkConfig { seed: 7, ..RbmNetworkConfig::default() });
+        let warm = stream.take_instances(100);
+        let mut features = Vec::new();
+        let mut classes = Vec::new();
+        for inst in &warm {
+            features.extend_from_slice(&inst.features);
+            classes.push(inst.class);
+        }
+        net_a.train_flat(&features, &classes);
+        net_b.train_flat(&features, &classes);
+
+        let mut pool = WorkspacePool::new();
+        let mut ws = pool.checkout();
+        let probe = Instance::new(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], 1);
+        let err_a = net_a.reconstruction_error_with(&mut ws, &probe);
+        let err_b = net_b.reconstruction_error_with(&mut ws, &probe);
+        assert!(err_a.is_finite() && err_b.is_finite());
+        // The immutable variant agrees exactly with the &mut self variant.
+        assert_eq!(err_a, net_a.reconstruction_error(&probe));
+        assert_eq!(err_b, net_b.reconstruction_error(&probe));
+        pool.restore(ws);
+        assert_eq!(pool.free_count(), 1);
+    }
+
+    #[test]
+    fn adopted_workspace_round_trips_through_a_network() {
+        let mut pool = WorkspacePool::new();
+        let mut net = RbmNetwork::new(5, 3, RbmNetworkConfig::default());
+        let previous = net.adopt_workspace(pool.checkout());
+        pool.restore(previous);
+        let mut stream = GaussianMixtureGenerator::balanced(5, 3, 1, 9);
+        let batch = stream.take_instances(50);
+        let mut features = Vec::new();
+        let mut classes = Vec::new();
+        for inst in &batch {
+            features.extend_from_slice(&inst.features);
+            classes.push(inst.class);
+        }
+        net.train_flat(&features, &classes);
+        pool.restore(net.take_workspace());
+        assert_eq!(pool.free_count(), 2);
+    }
+}

@@ -59,7 +59,7 @@ impl ReferenceRbmNetwork {
         assert!(config.learning_rate > 0.0);
         assert!(config.gibbs_steps >= 1);
         assert!(config.class_balance_beta > 0.0 && config.class_balance_beta < 1.0);
-        let num_hidden = ((num_features as f64 * config.hidden_fraction).round() as usize).max(4);
+        let num_hidden = crate::network::hidden_count(num_features, &config);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = 0.1;
         let w = (0..num_features)

@@ -1,0 +1,54 @@
+//! Serving configuration.
+
+use rbm_im_harness::pipeline::RunConfig;
+
+/// Configuration of a [`ServerHandle`](crate::server::ServerHandle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of detector shards (dedicated worker threads). Stream ids are
+    /// hashed onto shards by the [`StreamRouter`](crate::router::StreamRouter);
+    /// every stream's whole pipeline state lives on exactly one shard, so
+    /// shards share nothing and never lock.
+    pub num_shards: usize,
+    /// Bound of each shard's ingest channel, in messages (an ingest message
+    /// carries one instance or one client-side micro-batch). When a shard
+    /// falls behind, `try_ingest` fails fast with
+    /// [`IngestError::Full`](crate::server::IngestError::Full) instead of
+    /// queueing unboundedly — backpressure is explicit and the caller
+    /// chooses between dropping, retrying and blocking.
+    pub queue_capacity: usize,
+    /// Default per-stream pipeline configuration applied by
+    /// [`ServerHandle::attach`](crate::server::ServerHandle::attach)
+    /// (`attach_with` overrides it per stream). The default uses
+    /// `detector_batch = 50` — RBM-IM's natural mini-batch — so the RBM hot
+    /// path always runs the batched CD-k kernels, and emits a metric
+    /// snapshot event every 1000 instances per stream.
+    pub run: RunConfig,
+    /// When `true` (the default), a stream attaching with a detector spec
+    /// whose factory accepts a `seed` parameter — and that does not pin one
+    /// explicitly — gets `seed = derive_stream_seed(base_seed, stream_id)`
+    /// injected. Streams are thereby decorrelated from each other yet fully
+    /// reproducible: results depend only on `(base_seed, stream_id, spec,
+    /// ingest order)`, never on shard count, shard assignment or ingest
+    /// interleaving across streams.
+    pub deterministic_seeding: bool,
+    /// Base seed of deterministic per-stream seeding (see
+    /// [`ServeConfig::deterministic_seeding`]).
+    pub base_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_shards: 4,
+            queue_capacity: 1024,
+            run: RunConfig {
+                detector_batch: 50,
+                snapshot_every: Some(1_000),
+                ..RunConfig::default()
+            },
+            deterministic_seeding: true,
+            base_seed: 42,
+        }
+    }
+}

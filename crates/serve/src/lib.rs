@@ -1,0 +1,88 @@
+//! `rbm-im-serve` — sharded multi-stream serving of RBM-IM drift-detection
+//! pipelines.
+//!
+//! The paper evaluates one stream at a time; production traffic is many
+//! concurrent streams. This crate serves them on a share-nothing sharded
+//! architecture built from the workspace's existing pieces:
+//!
+//! * a [`StreamRouter`](router::StreamRouter) hashes stream ids onto N
+//!   shards — stateless, so attach and ingest agree on placement with no
+//!   coordination;
+//! * each shard is a **dedicated worker thread** exclusively owning its
+//!   streams' pipeline state: classifier, detector (any registry
+//!   [`DetectorSpec`](rbm_im_harness::registry::DetectorSpec)), prequential
+//!   evaluator, plus a per-shard
+//!   [`WorkspacePool`](rbm_im::pool::WorkspacePool) of RBM scratch
+//!   workspaces reused across the shard's streams;
+//! * ingest flows through **bounded MPSC channels**:
+//!   [`StreamClient::try_ingest`](server::StreamClient::try_ingest) fails
+//!   fast with [`IngestError::Full`](server::IngestError::Full) when a
+//!   shard falls behind (explicit backpressure), blocking `ingest` waits,
+//!   and client-side micro-batches amortize channel traffic; the pipeline's
+//!   `detector_batch` micro-batching keeps the RBM hot path on the batched
+//!   CD-k kernels;
+//! * drifts (with per-class attribution), warnings and periodic per-stream
+//!   metric snapshots are published on a subscriber
+//!   [`EventBus`](event::EventBus);
+//! * shards step streams through the *same*
+//!   [`PipelineStepper`](rbm_im_harness::stepper::PipelineStepper) code a
+//!   sequential
+//!   [`PipelineBuilder`](rbm_im_harness::pipeline::PipelineBuilder) run
+//!   executes, and per-stream deterministic seeding decorrelates streams
+//!   reproducibly — so results (drift offsets, metrics) are **bitwise
+//!   independent of shard count and ingest interleaving**, pinned by the
+//!   `tests/serving.rs` suite against sequential runs.
+//!
+//! # Lifecycle
+//!
+//! ```
+//! use rbm_im_harness::registry::DetectorSpec;
+//! use rbm_im_serve::{ServeConfig, ServerHandle};
+//! use rbm_im_streams::generators::GaussianMixtureGenerator;
+//! use rbm_im_streams::{DataStream, StreamExt};
+//!
+//! let server = ServerHandle::start(ServeConfig { num_shards: 2, ..Default::default() });
+//! let events = server.subscribe();
+//!
+//! // Attach a stream with any registry detector spec (tuned RBM hyper-
+//! // parameters go right in the spec string).
+//! let mut stream = GaussianMixtureGenerator::balanced(8, 3, 1, 7);
+//! let spec = DetectorSpec::parse("rbm(minibatch=25)").unwrap();
+//! let client = server.attach("feed-00", stream.schema().clone(), &spec).unwrap();
+//!
+//! // Ingest with explicit backpressure.
+//! for instance in stream.take_instances(500) {
+//!     let mut pending = instance;
+//!     loop {
+//!         match client.try_ingest(pending) {
+//!             Ok(()) => break,
+//!             Err(e) => {
+//!                 pending = e.into_rejected().pop().unwrap();
+//!                 std::thread::yield_now();
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! server.drain(); // barrier: everything above is now processed
+//! let report = server.shutdown();
+//! assert_eq!(report.streams.len(), 1);
+//! assert_eq!(report.streams[0].result.instances, 500);
+//! drop(events);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod router;
+pub mod server;
+mod shard;
+
+pub use config::ServeConfig;
+pub use event::{EventBus, ServeEvent, ServeEventKind};
+pub use router::StreamRouter;
+pub use server::{
+    deterministic_spec, IngestError, ServeError, ServeReport, ServerHandle, StreamClient,
+    StreamSummary,
+};

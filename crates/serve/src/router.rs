@@ -1,0 +1,81 @@
+//! Stream-id → shard routing.
+
+use rbm_im_streams::source::derive_stream_seed;
+
+/// Fixed routing salt: `shard_of` must be a pure function of the stream id
+/// and the shard count (attach and ingest may be called from different
+/// threads and must agree without coordination), so the hash base is a
+/// constant rather than the server's configurable seed.
+const ROUTER_SALT: u64 = 0x5eed_0000_1207_a11b;
+
+/// Hashes stream ids onto shards. Stateless and deterministic: the same id
+/// always lands on the same shard for a given shard count, with no shared
+/// table and no locking on the ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRouter {
+    num_shards: usize,
+}
+
+impl StreamRouter {
+    /// A router over `num_shards` shards (must be ≥ 1).
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "a server needs at least one shard");
+        StreamRouter { num_shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `stream_id` (FNV-1a over the id, SplitMix64
+    /// finalization, modulo the shard count).
+    pub fn shard_of(&self, stream_id: &str) -> usize {
+        (derive_stream_seed(ROUTER_SALT, stream_id) % self.num_shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let router = StreamRouter::new(8);
+        for i in 0..256 {
+            let id = format!("feed-{i:03}");
+            let shard = router.shard_of(&id);
+            assert!(shard < 8);
+            assert_eq!(shard, router.shard_of(&id));
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let router = StreamRouter::new(1);
+        assert_eq!(router.shard_of("anything"), 0);
+        assert_eq!(router.shard_of(""), 0);
+    }
+
+    #[test]
+    fn many_streams_spread_over_shards() {
+        let router = StreamRouter::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..512 {
+            counts[router.shard_of(&format!("feed-{i:04}"))] += 1;
+        }
+        // No shard should be starved or hold the bulk of 512 uniform ids.
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 20 && count < 160,
+                "shard {shard} got a pathological share: {count}/512"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        StreamRouter::new(0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The serving front-end: [`ServerHandle`] (attach / ingest / subscribe /
+//! drain / shutdown) and [`StreamClient`] (the per-stream ingest handle
+//! feeder threads clone and keep).
+
+use crate::config::ServeConfig;
+use crate::event::{EventBus, ServeEvent};
+use crate::router::StreamRouter;
+use crate::shard::{Payload, ShardMsg, ShardReport, ShardWorker};
+use rbm_im_harness::pipeline::{PipelineError, RunConfig, RunResult};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec, RegistryError};
+use rbm_im_streams::source::derive_stream_seed;
+use rbm_im_streams::{Instance, StreamSchema};
+use serde::Serialize;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Errors of serving control operations (attach / detach / blocking
+/// ingest).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The stream id is already attached on its shard.
+    AlreadyAttached(String),
+    /// No stream with this id is attached.
+    UnknownStream(String),
+    /// Detector spec resolution failed.
+    Registry(RegistryError),
+    /// The shard worker is gone (server shut down or worker panicked).
+    ShardUnavailable,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::AlreadyAttached(id) => write!(f, "stream `{id}` is already attached"),
+            ServeError::UnknownStream(id) => write!(f, "no stream `{id}` is attached"),
+            ServeError::Registry(e) => write!(f, "detector resolution failed: {e}"),
+            ServeError::ShardUnavailable => write!(f, "shard worker unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Registry(e) => ServeError::Registry(e),
+            // The stepper path never reports a missing stream, but map it
+            // defensively rather than panicking.
+            PipelineError::MissingStream => ServeError::ShardUnavailable,
+        }
+    }
+}
+
+/// Errors of the non-blocking ingest path. Rejected instances ride back in
+/// the error so callers can retry or shed load without losing data.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The shard's bounded ingest queue is full — explicit backpressure.
+    Full(Vec<Instance>),
+    /// The shard is gone (server shut down).
+    Closed(Vec<Instance>),
+}
+
+impl IngestError {
+    /// The instances that were not ingested, in their original order.
+    pub fn into_rejected(self) -> Vec<Instance> {
+        match self {
+            IngestError::Full(instances) | IngestError::Closed(instances) => instances,
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Full(instances) => {
+                write!(f, "shard ingest queue full ({} instances rejected)", instances.len())
+            }
+            IngestError::Closed(instances) => {
+                write!(f, "shard closed ({} instances rejected)", instances.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Final summary of one served stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamSummary {
+    /// Stream id.
+    pub stream: String,
+    /// Shard that owned the stream.
+    pub shard: usize,
+    /// The stream's prequential run result (identical to what a sequential
+    /// pipeline run over the same instances produces).
+    pub result: RunResult,
+}
+
+/// What [`ServerHandle::shutdown`] returns: every stream's final summary
+/// plus serving diagnostics.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ServeReport {
+    /// Per-stream summaries, sorted by stream id (deterministic whatever
+    /// the shard layout). Streams detached before shutdown are *not*
+    /// included — `detach` already returned their result.
+    pub streams: Vec<StreamSummary>,
+    /// Instances ingested for ids with no attached pipeline (dropped).
+    pub dropped_unknown: u64,
+    /// Workspace-pool checkouts served by reuse across all shards.
+    pub workspace_reuse_hits: u64,
+    /// Workspace-pool checkouts that had to allocate a fresh workspace.
+    pub workspace_reuse_misses: u64,
+    /// Shard workers that panicked before shutdown. A non-zero value means
+    /// the panicked shards' stream summaries (and diagnostics counters) are
+    /// **missing** from this report — callers aggregating fleet results
+    /// must treat it as partial.
+    pub panicked_shards: usize,
+}
+
+impl ServeReport {
+    /// Total instances processed across all streams still attached at
+    /// shutdown.
+    pub fn total_instances(&self) -> u64 {
+        self.streams.iter().map(|s| s.result.instances).sum()
+    }
+
+    /// Total drift signals across all streams still attached at shutdown.
+    pub fn total_drifts(&self) -> usize {
+        self.streams.iter().map(|s| s.result.detections.len()).sum()
+    }
+}
+
+/// Applies deterministic per-stream seeding to an attach spec: when the
+/// registry's factory for `spec.name` accepts a `seed` parameter and the
+/// spec does not pin one, `seed = derive_stream_seed(base_seed, stream_id)`
+/// (masked to 48 bits so the `f64` parameter encoding is exact) is
+/// injected. Exposed so sequential baseline runs can reproduce exactly what
+/// the server built — the determinism tests pin serving against
+/// `PipelineBuilder` through this function.
+pub fn deterministic_spec(
+    registry: &DetectorRegistry,
+    base_seed: u64,
+    stream_id: &str,
+    spec: &DetectorSpec,
+) -> DetectorSpec {
+    if registry.accepts_param(&spec.name, "seed") && !spec.params.contains_key("seed") {
+        let seed = derive_stream_seed(base_seed, stream_id) & ((1u64 << 48) - 1);
+        spec.clone().with_param("seed", seed as f64)
+    } else {
+        spec.clone()
+    }
+}
+
+/// A cloneable per-stream ingest handle: the stream id is pre-resolved to
+/// its shard and interned once, so the hot path is a single bounded-channel
+/// send. Feeder threads clone one of these per stream they pump.
+#[derive(Debug, Clone)]
+pub struct StreamClient {
+    id: Arc<str>,
+    shard: usize,
+    tx: SyncSender<ShardMsg>,
+}
+
+impl StreamClient {
+    /// The stream id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The shard owning the stream.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Non-blocking ingest of one instance. On a full queue the instance
+    /// comes back in [`IngestError::Full`]; the caller decides between
+    /// retrying, blocking ([`StreamClient::ingest`]) and shedding load.
+    pub fn try_ingest(&self, instance: Instance) -> Result<(), IngestError> {
+        match self.tx.try_send(ShardMsg::Ingest {
+            id: Arc::clone(&self.id),
+            payload: Payload::One(instance),
+        }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => Err(IngestError::Full(reclaim(msg))),
+            Err(TrySendError::Disconnected(msg)) => Err(IngestError::Closed(reclaim(msg))),
+        }
+    }
+
+    /// Non-blocking ingest of a client-side micro-batch (one channel
+    /// message however many instances), in per-stream arrival order.
+    pub fn try_ingest_batch(&self, instances: Vec<Instance>) -> Result<(), IngestError> {
+        if instances.is_empty() {
+            return Ok(());
+        }
+        match self.tx.try_send(ShardMsg::Ingest {
+            id: Arc::clone(&self.id),
+            payload: Payload::Many(instances),
+        }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => Err(IngestError::Full(reclaim(msg))),
+            Err(TrySendError::Disconnected(msg)) => Err(IngestError::Closed(reclaim(msg))),
+        }
+    }
+
+    /// Blocking ingest: waits for queue space instead of failing fast (the
+    /// natural mode for replay pumps that should simply run at the shard's
+    /// pace).
+    pub fn ingest(&self, instance: Instance) -> Result<(), IngestError> {
+        self.tx
+            .send(ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::One(instance) })
+            .map_err(|e| IngestError::Closed(reclaim(e.0)))
+    }
+
+    /// Blocking micro-batch ingest.
+    pub fn ingest_batch(&self, instances: Vec<Instance>) -> Result<(), IngestError> {
+        if instances.is_empty() {
+            return Ok(());
+        }
+        self.tx
+            .send(ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::Many(instances) })
+            .map_err(|e| IngestError::Closed(reclaim(e.0)))
+    }
+}
+
+/// Recovers the instances of a bounced ingest message.
+fn reclaim(msg: ShardMsg) -> Vec<Instance> {
+    match msg {
+        ShardMsg::Ingest { payload, .. } => payload.into_instances(),
+        _ => Vec::new(),
+    }
+}
+
+/// A running sharded serving instance.
+///
+/// Lifecycle: [`ServerHandle::start`] spawns the shard workers;
+/// [`ServerHandle::attach`] creates per-stream pipeline state (classifier +
+/// detector resolved from an arbitrary registry [`DetectorSpec`]);
+/// [`StreamClient::try_ingest`] feeds instances with explicit backpressure;
+/// [`ServerHandle::subscribe`] taps the drift-event bus;
+/// [`ServerHandle::drain`] barriers until all queued ingest is processed;
+/// [`ServerHandle::shutdown`] stops the workers gracefully — every attached
+/// stream's trailing micro-batch is flushed and its final summary returned.
+pub struct ServerHandle {
+    config: ServeConfig,
+    registry: Arc<DetectorRegistry>,
+    router: StreamRouter,
+    bus: Arc<EventBus>,
+    shards: Vec<SyncSender<ShardMsg>>,
+    joins: Vec<JoinHandle<ShardReport>>,
+}
+
+impl ServerHandle {
+    /// Starts a server with the default detector registry.
+    pub fn start(config: ServeConfig) -> Self {
+        Self::start_with_registry(config, Arc::new(DetectorRegistry::with_defaults()))
+    }
+
+    /// Starts a server resolving attach specs against a custom registry
+    /// (e.g. one with application-specific detectors registered).
+    pub fn start_with_registry(config: ServeConfig, registry: Arc<DetectorRegistry>) -> Self {
+        assert!(config.num_shards >= 1, "a server needs at least one shard");
+        assert!(config.queue_capacity >= 1, "ingest queues need capacity");
+        let router = StreamRouter::new(config.num_shards);
+        let bus = Arc::new(EventBus::new());
+        let mut shards = Vec::with_capacity(config.num_shards);
+        let mut joins = Vec::with_capacity(config.num_shards);
+        for index in 0..config.num_shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+            let worker = ShardWorker::new(index, Arc::clone(&registry), Arc::clone(&bus));
+            let join = std::thread::Builder::new()
+                .name(format!("rbm-serve-shard-{index}"))
+                .spawn(move || worker.run(rx))
+                .expect("failed to spawn shard worker");
+            shards.push(tx);
+            joins.push(join);
+        }
+        ServerHandle { config, registry, router, bus, shards, joins }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// The shard a stream id routes to.
+    pub fn shard_of(&self, stream_id: &str) -> usize {
+        self.router.shard_of(stream_id)
+    }
+
+    /// The spec a stream would actually be built with: the attach spec
+    /// after deterministic per-stream seed injection (identity when
+    /// [`ServeConfig::deterministic_seeding`] is off). Sequential baseline
+    /// runs use this to reproduce served results exactly.
+    pub fn effective_spec(&self, stream_id: &str, spec: &DetectorSpec) -> DetectorSpec {
+        if self.config.deterministic_seeding {
+            deterministic_spec(&self.registry, self.config.base_seed, stream_id, spec)
+        } else {
+            spec.clone()
+        }
+    }
+
+    /// Attaches a stream under the server's default per-stream
+    /// [`RunConfig`] (see [`ServeConfig::run`]) and returns its ingest
+    /// client. Fails if the id is already attached or the spec does not
+    /// resolve.
+    pub fn attach(
+        &self,
+        stream_id: &str,
+        schema: StreamSchema,
+        spec: &DetectorSpec,
+    ) -> Result<StreamClient, ServeError> {
+        self.attach_with(stream_id, schema, spec, self.config.run)
+    }
+
+    /// [`ServerHandle::attach`] with a per-stream [`RunConfig`] override
+    /// (metric window, micro-batch size, snapshot cadence).
+    pub fn attach_with(
+        &self,
+        stream_id: &str,
+        schema: StreamSchema,
+        spec: &DetectorSpec,
+        run: RunConfig,
+    ) -> Result<StreamClient, ServeError> {
+        let spec = self.effective_spec(stream_id, spec);
+        let shard = self.router.shard_of(stream_id);
+        let id: Arc<str> = Arc::from(stream_id);
+        let (reply_tx, reply_rx) = channel();
+        self.shards[shard]
+            .send(ShardMsg::Attach { id: Arc::clone(&id), schema, spec, run, reply: reply_tx })
+            .map_err(|_| ServeError::ShardUnavailable)?;
+        reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)??;
+        Ok(StreamClient { id, shard, tx: self.shards[shard].clone() })
+    }
+
+    /// An ingest client for an already-attached stream id (stateless
+    /// routing; ingesting through a client for an unattached id counts into
+    /// [`ServeReport::dropped_unknown`]).
+    pub fn client(&self, stream_id: &str) -> StreamClient {
+        let shard = self.router.shard_of(stream_id);
+        StreamClient { id: Arc::from(stream_id), shard, tx: self.shards[shard].clone() }
+    }
+
+    /// Convenience single-instance ingest by id (interns the id per call;
+    /// hot loops should hold a [`StreamClient`]).
+    pub fn try_ingest(&self, stream_id: &str, instance: Instance) -> Result<(), IngestError> {
+        self.client(stream_id).try_ingest(instance)
+    }
+
+    /// Detaches a stream: its trailing micro-batch is flushed (events
+    /// included), its pooled workspace reclaimed, and its final summary
+    /// returned. Instances of that id still queued behind the detach marker
+    /// are dropped (counted in [`ServeReport::dropped_unknown`]).
+    pub fn detach(&self, stream_id: &str) -> Result<RunResult, ServeError> {
+        let shard = self.router.shard_of(stream_id);
+        let (reply_tx, reply_rx) = channel();
+        self.shards[shard]
+            .send(ShardMsg::Detach { id: Arc::from(stream_id), reply: reply_tx })
+            .map_err(|_| ServeError::ShardUnavailable)?;
+        reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?
+    }
+
+    /// Subscribes to the drift-event bus: the receiver sees every event
+    /// published after this call (attach/detach notices, warnings, drifts
+    /// with per-class attribution, periodic metric snapshots).
+    pub fn subscribe(&self) -> Receiver<ServeEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Barrier: returns once every ingest message queued before this call
+    /// has been fully processed on every shard (channel FIFO order is the
+    /// proof). Events for everything ingested so far are on the bus when
+    /// this returns.
+    pub fn drain(&self) {
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for tx in &self.shards {
+            let (reply_tx, reply_rx) = channel();
+            if tx.send(ShardMsg::Drain { reply: reply_tx }).is_ok() {
+                replies.push(reply_rx);
+            }
+        }
+        for reply in replies {
+            let _ = reply.recv();
+        }
+    }
+
+    /// Graceful shutdown: each shard processes everything already queued,
+    /// finalizes its remaining streams (flushing trailing micro-batches,
+    /// publishing their `Detached` events) and exits. Returns the merged
+    /// per-stream report, sorted by stream id.
+    pub fn shutdown(self) -> ServeReport {
+        for tx in &self.shards {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        drop(self.shards);
+        let mut report = ServeReport::default();
+        for join in self.joins {
+            match join.join() {
+                Ok(shard_report) => {
+                    report.streams.extend(shard_report.summaries);
+                    report.dropped_unknown += shard_report.dropped_unknown;
+                    report.workspace_reuse_hits += shard_report.workspace_reuse_hits;
+                    report.workspace_reuse_misses += shard_report.workspace_reuse_misses;
+                }
+                Err(_) => {
+                    // A panicked shard loses its streams' summaries; the
+                    // remaining shards still report, and the loss is
+                    // surfaced via `panicked_shards`.
+                    report.panicked_shards += 1;
+                }
+            }
+        }
+        report.streams.sort_by(|a, b| a.stream.cmp(&b.stream));
+        report
+    }
+}
+
+impl fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("num_shards", &self.router.num_shards())
+            .field("queue_capacity", &self.config.queue_capacity)
+            .finish()
+    }
+}

@@ -1,0 +1,245 @@
+//! Shard worker threads: each shard exclusively owns the pipeline state of
+//! the streams routed to it.
+//!
+//! A shard is a plain loop over its bounded ingest channel. All state —
+//! classifier, detector, prequential evaluator, and the pooled RBM scratch
+//! [`Workspace`](rbm_im::Workspace)s — lives on the worker thread;
+//! correctness needs no locks because nothing is shared. Per-stream
+//! instance order is the channel order, so results are independent of how
+//! streams interleave: every stream steps through exactly the code a
+//! sequential [`PipelineBuilder`](rbm_im_harness::pipeline::PipelineBuilder)
+//! run executes ([`PipelineStepper`]).
+
+use crate::event::{EventBus, ServeEvent, ServeEventKind};
+use crate::server::{ServeError, StreamSummary};
+use rbm_im::pool::WorkspacePool;
+use rbm_im::RbmIm;
+use rbm_im_detectors::DriftDetector;
+use rbm_im_harness::pipeline::{RunConfig, RunResult};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_harness::stepper::PipelineStepper;
+use rbm_im_streams::{Instance, StreamSchema};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// One or many instances carried by an ingest message. Client-side
+/// micro-batches (`try_ingest_batch`) amortize channel traffic; either way
+/// the pipeline's `detector_batch` micro-batching governs how observations
+/// reach the detector kernels.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// A single instance.
+    One(Instance),
+    /// A client-side micro-batch, in per-stream arrival order.
+    Many(Vec<Instance>),
+}
+
+impl Payload {
+    pub(crate) fn into_instances(self) -> Vec<Instance> {
+        match self {
+            Payload::One(instance) => vec![instance],
+            Payload::Many(instances) => instances,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            Payload::One(_) => 1,
+            Payload::Many(instances) => instances.len() as u64,
+        }
+    }
+}
+
+/// Control/data messages of a shard's ingest channel. FIFO channel order
+/// doubles as the consistency mechanism: a `Drain` marker reaching the
+/// worker proves every earlier ingest has been fully processed.
+pub(crate) enum ShardMsg {
+    /// Create pipeline state for a stream.
+    Attach {
+        id: Arc<str>,
+        schema: StreamSchema,
+        spec: DetectorSpec,
+        run: RunConfig,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    /// Close a stream's pipeline and report its final summary.
+    Detach { id: Arc<str>, reply: Sender<Result<RunResult, ServeError>> },
+    /// Instances for one stream.
+    Ingest { id: Arc<str>, payload: Payload },
+    /// Barrier: replied to once every earlier message is processed.
+    Drain { reply: Sender<()> },
+    /// Graceful stop: the worker finalizes every attached stream (flushing
+    /// trailing detector micro-batches) and exits with its report.
+    Shutdown,
+}
+
+/// Per-stream pipeline state owned by a shard.
+struct StreamState {
+    stepper: PipelineStepper,
+    /// Whether the detector adopted a pooled workspace at attach (and must
+    /// return it at close).
+    pooled_workspace: bool,
+}
+
+/// What a shard hands back when it stops.
+pub(crate) struct ShardReport {
+    pub summaries: Vec<StreamSummary>,
+    pub dropped_unknown: u64,
+    pub workspace_reuse_hits: u64,
+    pub workspace_reuse_misses: u64,
+}
+
+/// The worker owning one shard's streams.
+pub(crate) struct ShardWorker {
+    index: usize,
+    registry: Arc<DetectorRegistry>,
+    bus: Arc<EventBus>,
+    streams: HashMap<Arc<str>, StreamState>,
+    /// RBM scratch workspaces pooled across this shard's streams: attach
+    /// checks one out, detach returns it, so successive streams inherit
+    /// grown buffer capacity instead of re-allocating (`rbm_im::pool`).
+    pool: WorkspacePool,
+    /// Instances ingested for ids with no attached pipeline (dropped).
+    dropped_unknown: u64,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(index: usize, registry: Arc<DetectorRegistry>, bus: Arc<EventBus>) -> Self {
+        ShardWorker {
+            index,
+            registry,
+            bus,
+            streams: HashMap::new(),
+            pool: WorkspacePool::new(),
+            dropped_unknown: 0,
+        }
+    }
+
+    /// The worker loop: runs until `Shutdown` (or every sender hung up),
+    /// then finalizes all remaining streams.
+    pub(crate) fn run(mut self, inbox: Receiver<ShardMsg>) -> ShardReport {
+        while let Ok(msg) = inbox.recv() {
+            match msg {
+                ShardMsg::Attach { id, schema, spec, run, reply } => {
+                    let result = self.attach(Arc::clone(&id), &schema, &spec, run);
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Ingest { id, payload } => self.ingest(&id, payload),
+                ShardMsg::Detach { id, reply } => {
+                    let result = match self.streams.remove(&id) {
+                        Some(state) => Ok(self.close_stream(&id, state)),
+                        None => Err(ServeError::UnknownStream(id.to_string())),
+                    };
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Drain { reply } => {
+                    let _ = reply.send(());
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+        // Finalize every stream still attached, in id order so reports are
+        // deterministic.
+        let mut ids: Vec<Arc<str>> = self.streams.keys().cloned().collect();
+        ids.sort();
+        let mut summaries = Vec::with_capacity(ids.len());
+        for id in ids {
+            let state = self.streams.remove(&id).expect("stream present");
+            let result = self.close_stream(&id, state);
+            summaries.push(StreamSummary { stream: id.to_string(), shard: self.index, result });
+        }
+        ShardReport {
+            summaries,
+            dropped_unknown: self.dropped_unknown,
+            workspace_reuse_hits: self.pool.reuse_hits(),
+            workspace_reuse_misses: self.pool.reuse_misses(),
+        }
+    }
+
+    fn attach(
+        &mut self,
+        id: Arc<str>,
+        schema: &StreamSchema,
+        spec: &DetectorSpec,
+        run: RunConfig,
+    ) -> Result<(), ServeError> {
+        if self.streams.contains_key(&id) {
+            return Err(ServeError::AlreadyAttached(id.to_string()));
+        }
+        let mut stepper = PipelineStepper::from_spec(&self.registry, spec, schema, run)
+            .map_err(ServeError::from)?;
+        // RBM-family detectors adopt a pooled scratch workspace so a new
+        // stream inherits the buffer capacity grown by its predecessors.
+        let pooled_workspace = match stepper.detector_mut().as_any_mut() {
+            Some(any) => match any.downcast_mut::<RbmIm>() {
+                Some(rbm) => {
+                    // The replaced workspace is the detector's pristine
+                    // (capacity-free) one; nothing worth pooling.
+                    let _ = rbm.adopt_workspace(self.pool.checkout());
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
+        self.bus.publish(ServeEvent {
+            stream: Arc::clone(&id),
+            shard: self.index,
+            kind: ServeEventKind::Attached,
+        });
+        self.streams.insert(id, StreamState { stepper, pooled_workspace });
+        Ok(())
+    }
+
+    fn ingest(&mut self, id: &Arc<str>, payload: Payload) {
+        let Some(state) = self.streams.get_mut(id) else {
+            self.dropped_unknown += payload.len();
+            return;
+        };
+        let bus = &self.bus;
+        let shard = self.index;
+        let mut on_event = |event: &rbm_im_harness::pipeline::PipelineEvent<'_>| {
+            bus.publish(ServeEvent {
+                stream: Arc::clone(id),
+                shard,
+                kind: ServeEventKind::from_pipeline(event),
+            });
+        };
+        match payload {
+            Payload::One(instance) => state.stepper.step(instance, &mut on_event),
+            Payload::Many(instances) => {
+                for instance in instances {
+                    state.stepper.step(instance, &mut on_event);
+                }
+            }
+        }
+    }
+
+    /// Flushes the stream's trailing detector micro-batch (emitting its
+    /// events), reclaims a pooled workspace, publishes the `Detached`
+    /// event and returns the final summary.
+    fn close_stream(&mut self, id: &Arc<str>, state: StreamState) -> RunResult {
+        let bus = &self.bus;
+        let shard = self.index;
+        let mut on_event = |event: &rbm_im_harness::pipeline::PipelineEvent<'_>| {
+            bus.publish(ServeEvent {
+                stream: Arc::clone(id),
+                shard,
+                kind: ServeEventKind::from_pipeline(event),
+            });
+        };
+        let (result, mut detector) = state.stepper.finish(id.to_string(), &mut on_event);
+        if state.pooled_workspace {
+            if let Some(rbm) = detector.as_any_mut().and_then(|any| any.downcast_mut::<RbmIm>()) {
+                self.pool.restore(rbm.take_workspace());
+            }
+        }
+        self.bus.publish(ServeEvent {
+            stream: Arc::clone(id),
+            shard: self.index,
+            kind: ServeEventKind::Detached { result: result.clone() },
+        });
+        result
+    }
+}

@@ -29,7 +29,9 @@ pub mod instance;
 pub mod realworld;
 pub mod registry;
 pub mod scenarios;
+pub mod source;
 pub mod stream;
 
 pub use instance::{Instance, StreamSchema};
+pub use source::{derive_stream_seed, ReplayStream, StreamSource};
 pub use stream::{DataStream, MiniBatch, StreamExt};
