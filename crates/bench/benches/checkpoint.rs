@@ -1,0 +1,76 @@
+//! `checkpoint`: microbenchmark of per-stream snapshot + restore latency.
+//!
+//! Elastic resharding checkpoints a stream on its old shard, ships the
+//! JSON-serializable state, and restores it on the new shard — so
+//! migration cost per stream is `snapshot + serialize` on one side and
+//! `parse + rebuild + restore` on the other. This bench measures both
+//! halves for a warmed-up pipeline (5 000 instances ingested) with the
+//! trainable RBM-IM detector (the heavyweight case: network weights,
+//! momentum buffers, per-class trend trackers) and with ADWIN (the
+//! lightweight classic-detector case). `BENCH_checkpoint.json` records the
+//! measured baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbm_im_harness::checkpoint::PipelineCheckpoint;
+use rbm_im_harness::pipeline::{PipelineEvent, RunConfig};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_harness::stepper::PipelineStepper;
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, StreamExt};
+
+const WARM_INSTANCES: usize = 5_000;
+
+/// A stepper fed `WARM_INSTANCES` instances of a drifting RBF stream.
+fn warmed_stepper(spec: &DetectorSpec) -> (PipelineStepper, rbm_im_streams::StreamSchema) {
+    let mut gen = RandomRbfGenerator::new(10, 4, 2, 0.0, 21);
+    let schema = gen.schema().clone();
+    let run = RunConfig { metric_window: 1_000, detector_batch: 50, ..Default::default() };
+    let mut stepper =
+        PipelineStepper::from_spec(DetectorRegistry::global(), spec, &schema, run).unwrap();
+    let mut sink = |_: &PipelineEvent<'_>| {};
+    for instance in gen.take_instances(WARM_INSTANCES) {
+        stepper.step(instance, &mut sink);
+    }
+    (stepper, schema)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    let registry = DetectorRegistry::global();
+    let specs =
+        [("rbm-im", "rbm(mini_batch=50, warmup=4, seed=7)"), ("adwin", "adwin(delta=0.01)")];
+    for (label, spec_text) in specs {
+        let spec = DetectorSpec::parse(spec_text).unwrap();
+        let (stepper, schema) = warmed_stepper(&spec);
+
+        // Snapshot + JSON-serialize one warmed stream (the migration
+        // source's cost per stream).
+        group.bench_with_input(BenchmarkId::new("snapshot", label), &(), |b, _| {
+            b.iter(|| {
+                PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone())
+                    .unwrap()
+                    .to_json()
+                    .unwrap()
+                    .len()
+            })
+        });
+
+        // Parse + rebuild + restore (the migration target's cost).
+        let json = PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone())
+            .unwrap()
+            .to_json()
+            .unwrap();
+        println!("checkpoint/{label}: serialized size {} bytes", json.len());
+        group.bench_with_input(BenchmarkId::new("restore", label), &(), |b, _| {
+            b.iter(|| {
+                let checkpoint = PipelineCheckpoint::from_json(&json).unwrap();
+                checkpoint.resume(registry).unwrap().instances()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! reference's training throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rbm_im::network::{RbmNetwork, RbmNetworkConfig};
+use rbm_im::network::{RbmNetwork, RbmNetworkConfig, Workspace};
 use rbm_im::reference::ReferenceRbmNetwork;
 use rbm_im_streams::generators::GaussianMixtureGenerator;
 use rbm_im_streams::{MiniBatch, StreamExt};
@@ -59,17 +59,35 @@ fn bench_rbm_train(c: &mut Criterion) {
             })
         });
 
-        // The detector's per-batch detection pass (Eq. 27) ahead of training.
+        // The detector's per-batch detection pass (Eq. 27) ahead of
+        // training, through the immutable `_with` scoring surface with a
+        // caller-owned workspace (the only scoring surface since the `&mut
+        // self` variants were removed).
         group.bench_with_input(BenchmarkId::new("errors/flat", &shape), &(), |b, _| {
             let mut net = RbmNetwork::new(num_features, num_classes, config);
             for batch in batches.iter().take(8) {
                 net.train_batch(batch);
             }
+            let flat: Vec<(Vec<f64>, Vec<usize>)> = batches
+                .iter()
+                .map(|batch| {
+                    let mut features = Vec::new();
+                    let mut classes = Vec::new();
+                    for inst in &batch.instances {
+                        features.extend_from_slice(&inst.features);
+                        classes.push(inst.class);
+                    }
+                    (features, classes)
+                })
+                .collect();
+            let mut ws = Workspace::default();
+            let mut errs = Vec::new();
             let mut i = 0usize;
             b.iter(|| {
-                let errs = net.batch_reconstruction_errors(&batches[i % ROTATION]);
+                let (features, classes) = &flat[i % ROTATION];
+                net.reconstruction_errors_flat_with(&mut ws, features, classes, &mut errs);
                 i += 1;
-                errs
+                errs.len()
             })
         });
         group.bench_with_input(BenchmarkId::new("errors/reference", &shape), &(), |b, _| {

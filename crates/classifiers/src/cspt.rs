@@ -237,6 +237,131 @@ enum Node {
     Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
+// ---- checkpoint encoding -------------------------------------------------
+//
+// The tree serializes recursively: a leaf is `{"leaf": {...}}` (perceptron
+// and naive-Bayes state via their own `OnlineClassifier::snapshot_state`,
+// plus the per-class attribute observers), a split is
+// `{"feature", "threshold", "left", "right"}`.
+
+fn observer_to_value(o: &AttributeObserver) -> serde::Value {
+    use serde::{Serialize, Value};
+    Value::object(vec![
+        ("count", o.count.serialize_value()),
+        ("mean", o.mean.serialize_value()),
+        ("m2", o.m2.serialize_value()),
+        ("min", o.min.serialize_value()),
+        ("max", o.max.serialize_value()),
+    ])
+}
+
+fn observer_from_value(value: &serde::Value) -> Result<AttributeObserver, serde::Error> {
+    Ok(AttributeObserver {
+        count: value.field("count")?,
+        mean: value.field("mean")?,
+        m2: value.field("m2")?,
+        min: value.field("min")?,
+        max: value.field("max")?,
+    })
+}
+
+fn leaf_to_value(leaf: &Leaf) -> serde::Value {
+    use serde::{Serialize, Value};
+    let observers: Vec<Value> = leaf
+        .observers
+        .iter()
+        .map(|per_class| Value::Array(per_class.iter().map(observer_to_value).collect()))
+        .collect();
+    Value::object(vec![
+        (
+            "perceptron",
+            leaf.perceptron.snapshot_state().expect("perceptron supports checkpointing"),
+        ),
+        (
+            "naive_bayes",
+            leaf.naive_bayes.snapshot_state().expect("naive bayes supports checkpointing"),
+        ),
+        ("observers", Value::Array(observers)),
+        ("class_counts", leaf.class_counts.serialize_value()),
+        ("seen", leaf.seen.serialize_value()),
+        ("seen_since_split_attempt", leaf.seen_since_split_attempt.serialize_value()),
+        ("depth", leaf.depth.serialize_value()),
+    ])
+}
+
+fn leaf_from_value(
+    value: &serde::Value,
+    num_features: usize,
+    num_classes: usize,
+    config: &CsptConfig,
+) -> Result<Leaf, serde::Error> {
+    let depth: usize = value.field("depth")?;
+    let mut leaf = Leaf::new(num_features, num_classes, depth, config);
+    leaf.perceptron.restore_state(value.req("perceptron")?)?;
+    leaf.naive_bayes.restore_state(value.req("naive_bayes")?)?;
+    let serde::Value::Array(per_class_values) = value.req("observers")? else {
+        return Err(serde::Error::msg("leaf `observers` must be an array"));
+    };
+    if per_class_values.len() != num_classes {
+        return Err(serde::Error::msg("leaf observer class count mismatch"));
+    }
+    let mut observers = Vec::with_capacity(num_classes);
+    for per_class in per_class_values {
+        let serde::Value::Array(features) = per_class else {
+            return Err(serde::Error::msg("leaf per-class observers must be an array"));
+        };
+        if features.len() != num_features {
+            return Err(serde::Error::msg("leaf observer feature count mismatch"));
+        }
+        observers.push(
+            features.iter().map(observer_from_value).collect::<Result<Vec<_>, serde::Error>>()?,
+        );
+    }
+    leaf.observers = observers;
+    leaf.class_counts = value.field("class_counts")?;
+    leaf.seen = value.field("seen")?;
+    leaf.seen_since_split_attempt = value.field("seen_since_split_attempt")?;
+    Ok(leaf)
+}
+
+fn node_to_value(node: &Node) -> serde::Value {
+    use serde::{Serialize, Value};
+    match node {
+        Node::Leaf(leaf) => Value::object(vec![("leaf", leaf_to_value(leaf))]),
+        Node::Split { feature, threshold, left, right } => Value::object(vec![
+            ("feature", feature.serialize_value()),
+            ("threshold", threshold.serialize_value()),
+            ("left", node_to_value(left)),
+            ("right", node_to_value(right)),
+        ]),
+    }
+}
+
+fn node_from_value(
+    value: &serde::Value,
+    num_features: usize,
+    num_classes: usize,
+    config: &CsptConfig,
+) -> Result<Node, serde::Error> {
+    if let Some(leaf) = value.get("leaf") {
+        return Ok(Node::Leaf(Box::new(leaf_from_value(leaf, num_features, num_classes, config)?)));
+    }
+    let feature: usize = value.field("feature")?;
+    if feature >= num_features {
+        // A corrupt snapshot must fail here, not panic at predict time
+        // when `find_leaf` indexes the feature vector.
+        return Err(serde::Error::msg(format!(
+            "split feature index {feature} out of range for {num_features} features"
+        )));
+    }
+    Ok(Node::Split {
+        feature,
+        threshold: value.field("threshold")?,
+        left: Box::new(node_from_value(value.req("left")?, num_features, num_classes, config)?),
+        right: Box::new(node_from_value(value.req("right")?, num_features, num_classes, config)?),
+    })
+}
+
 /// The Adaptive Cost-Sensitive Perceptron Tree.
 #[derive(Debug, Clone)]
 pub struct CostSensitivePerceptronTree {
@@ -423,6 +548,36 @@ impl OnlineClassifier for CostSensitivePerceptronTree {
         self.root =
             Node::Leaf(Box::new(Leaf::new(self.num_features, self.num_classes, 0, &self.config)));
         self.n_resets += 1;
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("num_features", self.num_features.serialize_value()),
+            ("num_classes", self.num_classes.serialize_value()),
+            ("root", node_to_value(&self.root)),
+            ("instances_seen", self.instances_seen.serialize_value()),
+            ("n_splits", self.n_splits.serialize_value()),
+            ("n_resets", self.n_resets.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_features: usize = state.field("num_features")?;
+        let num_classes: usize = state.field("num_classes")?;
+        if num_features != self.num_features || num_classes != self.num_classes {
+            return Err(serde::Error::msg(format!(
+                "perceptron tree shape mismatch: snapshot is {num_features}×{num_classes}, model \
+                 is {}×{}",
+                self.num_features, self.num_classes
+            )));
+        }
+        self.root =
+            node_from_value(state.req("root")?, self.num_features, self.num_classes, &self.config)?;
+        self.instances_seen = state.field("instances_seen")?;
+        self.n_splits = state.field("n_splits")?;
+        self.n_resets = state.field("n_resets")?;
+        Ok(())
     }
 }
 

@@ -63,6 +63,26 @@ pub trait OnlineClassifier {
     /// the attached drift detector signals a change (the adaptation
     /// mechanism the paper's base classifier relies on).
     fn reset(&mut self);
+
+    /// Captures the classifier's complete mutable state as a serde
+    /// [`Value`](serde::Value) — the checkpoint half of the workspace-wide
+    /// snapshot/restore contract. A snapshot is restored (with
+    /// [`OnlineClassifier::restore_state`]) onto a freshly built classifier
+    /// of the same shape and configuration, after which prediction and
+    /// learning continue **bitwise identically** to a classifier that was
+    /// never checkpointed. Returns `None` for classifiers that do not
+    /// support checkpointing (the default); every classifier this workspace
+    /// ships overrides it.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`OnlineClassifier::snapshot_state`] onto
+    /// this (identically configured, typically freshly built) classifier.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Err(serde::Error::msg("this classifier does not support checkpointing"))
+    }
 }
 
 /// Index of the maximum score, with ties broken toward the lower class
@@ -131,6 +151,53 @@ pub use rbm_im::linalg::softmax_in_place;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// All three classifiers: snapshot mid-stream, serialize to JSON,
+    /// restore onto a fresh twin, continue learning — predictions must stay
+    /// bitwise-identical to the uninterrupted model.
+    #[test]
+    fn checkpoint_roundtrip_resumes_bitwise_for_every_classifier() {
+        use rbm_im_streams::generators::GaussianMixtureGenerator;
+        use rbm_im_streams::StreamExt;
+
+        type Factory = Box<dyn Fn() -> Box<dyn OnlineClassifier>>;
+        let factories: Vec<(&str, Factory)> = vec![
+            ("perceptron", Box::new(|| Box::new(CostSensitivePerceptron::new(6, 3, 0.05)))),
+            ("naive-bayes", Box::new(|| Box::new(GaussianNaiveBayes::new(6, 3)))),
+            ("cspt", Box::new(|| Box::new(CostSensitivePerceptronTree::new(6, 3)))),
+        ];
+        let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 77);
+        // Enough data that the CSPT grows splits before the cut.
+        let data = stream.take_instances(5_000);
+
+        for (name, make) in &factories {
+            for cut in [0usize, 1, 2_741] {
+                let mut uninterrupted = make();
+                let mut head = make();
+                for inst in &data[..cut] {
+                    uninterrupted.learn(inst);
+                    head.learn(inst);
+                }
+                let snapshot = head
+                    .snapshot_state()
+                    .unwrap_or_else(|| panic!("{name}: must support checkpointing"));
+                let json = serde_json::to_string(&snapshot).unwrap();
+                let mut resumed = make();
+                resumed
+                    .restore_state(&serde_json::parse_value(&json).unwrap())
+                    .unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+                for (i, inst) in data[cut..].iter().enumerate() {
+                    assert_eq!(
+                        uninterrupted.predict_scores(&inst.features),
+                        resumed.predict_scores(&inst.features),
+                        "{name} @ cut {cut}, offset {i}"
+                    );
+                    uninterrupted.learn(inst);
+                    resumed.learn(inst);
+                }
+            }
+        }
+    }
 
     #[test]
     fn normalize_scores_handles_degenerate_inputs() {

@@ -115,6 +115,75 @@ impl OnlineClassifier for GaussianNaiveBayes {
     fn reset(&mut self) {
         *self = GaussianNaiveBayes::new(self.num_features, self.num_classes);
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        let stats: Vec<Value> = self
+            .stats
+            .iter()
+            .map(|per_class| {
+                Value::Array(
+                    per_class
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("count", s.count.serialize_value()),
+                                ("mean", s.mean.serialize_value()),
+                                ("m2", s.m2.serialize_value()),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Some(Value::object(vec![
+            ("num_features", self.num_features.serialize_value()),
+            ("num_classes", self.num_classes.serialize_value()),
+            ("stats", Value::Array(stats)),
+            ("class_counts", self.class_counts.serialize_value()),
+            ("total", self.total.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_features: usize = state.field("num_features")?;
+        let num_classes: usize = state.field("num_classes")?;
+        if num_features != self.num_features || num_classes != self.num_classes {
+            return Err(serde::Error::msg(format!(
+                "naive bayes shape mismatch: snapshot is {num_features}×{num_classes}, model is \
+                 {}×{}",
+                self.num_features, self.num_classes
+            )));
+        }
+        let serde::Value::Array(per_class_values) = state.req("stats")? else {
+            return Err(serde::Error::msg("naive bayes `stats` must be an array"));
+        };
+        if per_class_values.len() != self.num_classes {
+            return Err(serde::Error::msg("naive bayes `stats` class count mismatch"));
+        }
+        let mut stats = Vec::with_capacity(self.num_classes);
+        for per_class in per_class_values {
+            let serde::Value::Array(features) = per_class else {
+                return Err(serde::Error::msg("naive bayes per-class stats must be an array"));
+            };
+            if features.len() != self.num_features {
+                return Err(serde::Error::msg("naive bayes `stats` feature count mismatch"));
+            }
+            let mut row = Vec::with_capacity(self.num_features);
+            for value in features {
+                row.push(FeatureStats {
+                    count: value.field("count")?,
+                    mean: value.field("mean")?,
+                    m2: value.field("m2")?,
+                });
+            }
+            stats.push(row);
+        }
+        self.stats = stats;
+        self.class_counts = state.field("class_counts")?;
+        self.total = state.field("total")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,39 @@ impl OnlineClassifier for CostSensitivePerceptron {
         *self =
             CostSensitivePerceptron::new(self.num_features, self.num_classes, self.learning_rate);
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("num_features", self.num_features.serialize_value()),
+            ("num_classes", self.num_classes.serialize_value()),
+            ("weights", self.weights.serialize_value()),
+            ("biases", self.biases.serialize_value()),
+            ("class_counts", self.class_counts.serialize_value()),
+            ("total_seen", self.total_seen.serialize_value()),
+            ("feature_means", self.feature_means.serialize_value()),
+            ("feature_m2", self.feature_m2.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_features: usize = state.field("num_features")?;
+        let num_classes: usize = state.field("num_classes")?;
+        if num_features != self.num_features || num_classes != self.num_classes {
+            return Err(serde::Error::msg(format!(
+                "perceptron shape mismatch: snapshot is {num_features}×{num_classes}, model is \
+                 {}×{}",
+                self.num_features, self.num_classes
+            )));
+        }
+        self.weights = state.field("weights")?;
+        self.biases = state.field("biases")?;
+        self.class_counts = state.field("class_counts")?;
+        self.total_seen = state.field("total_seen")?;
+        self.feature_means = state.field("feature_means")?;
+        self.feature_m2 = state.field("feature_m2")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

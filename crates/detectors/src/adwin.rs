@@ -192,6 +192,59 @@ impl Adwin {
         (mean0 - mean1).abs() > eps
     }
 
+    /// Captures the full window state (bucket rows plus running
+    /// aggregates) as a serde value — the inherent form of
+    /// [`DriftDetector::snapshot_state`], callable without the trait in
+    /// scope (RBM-IM's trend tracker embeds ADWIN instances and checkpoints
+    /// them through this).
+    pub fn checkpoint_value(&self) -> serde::Value {
+        use serde::{Serialize, Value};
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::object(vec![
+                    ("sums", row.sums.serialize_value()),
+                    ("variances", row.variances.serialize_value()),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("rows", Value::Array(rows)),
+            ("width", self.width.serialize_value()),
+            ("total", self.total.serialize_value()),
+            ("variance", self.variance.serialize_value()),
+            ("clock", self.clock.serialize_value()),
+            ("ticks", self.ticks.serialize_value()),
+            ("last_detection_width", self.last_detection_width.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`Adwin::checkpoint_value`].
+    pub fn restore_from_value(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let serde::Value::Array(rows) = state.req("rows")? else {
+            return Err(serde::Error::msg("adwin `rows` must be an array"));
+        };
+        self.rows = rows
+            .iter()
+            .map(|row| {
+                Ok(BucketRow { sums: row.field("sums")?, variances: row.field("variances")? })
+            })
+            .collect::<Result<Vec<_>, serde::Error>>()?;
+        if self.rows.is_empty() {
+            self.rows.push(BucketRow::default());
+        }
+        self.width = state.field("width")?;
+        self.total = state.field("total")?;
+        self.variance = state.field("variance")?;
+        self.clock = state.field("clock")?;
+        self.ticks = state.field("ticks")?;
+        self.last_detection_width = state.field("last_detection_width")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
+
     fn drop_oldest_bucket(&mut self) {
         // The oldest bucket lives at the highest non-empty level, last index.
         for level in (0..self.rows.len()).rev() {
@@ -230,6 +283,14 @@ impl DriftDetector for Adwin {
 
     fn name(&self) -> &'static str {
         "ADWIN"
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        Some(self.checkpoint_value())
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.restore_from_value(state)
     }
 }
 

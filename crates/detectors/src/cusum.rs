@@ -86,6 +86,24 @@ impl DriftDetector for Cusum {
     fn name(&self) -> &'static str {
         "CUSUM"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("n", self.n.serialize_value()),
+            ("mean", self.mean.serialize_value()),
+            ("g", self.g.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.n = state.field("n")?;
+        self.mean = state.field("mean")?;
+        self.g = state.field("g")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

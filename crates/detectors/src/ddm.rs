@@ -113,6 +113,26 @@ impl DriftDetector for Ddm {
     fn name(&self) -> &'static str {
         "DDM"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("n", self.n.serialize_value()),
+            ("errors", self.errors.serialize_value()),
+            ("p_min", self.p_min.serialize_value()),
+            ("s_min", self.s_min.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.n = state.field("n")?;
+        self.errors = state.field("errors")?;
+        self.p_min = state.field("p_min")?;
+        self.s_min = state.field("s_min")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,49 @@ impl DriftDetector for DdmOci {
         "DDM-OCI"
     }
 
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        let monitors: Vec<Value> = self
+            .monitors
+            .iter()
+            .map(|m| {
+                Value::object(vec![
+                    ("recall_raw", m.recall_raw.serialize_value()),
+                    ("recall", m.recall.serialize_value()),
+                    ("seen", m.seen.serialize_value()),
+                    ("best_recall", m.best_recall.serialize_value()),
+                ])
+            })
+            .collect();
+        Some(Value::object(vec![
+            ("monitors", Value::Array(monitors)),
+            ("state", self.state.serialize_value()),
+            ("drifted", self.drifted.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let serde::Value::Array(monitors) = state.req("monitors")? else {
+            return Err(serde::Error::msg("ddm-oci `monitors` must be an array"));
+        };
+        if monitors.len() != self.monitors.len() {
+            return Err(serde::Error::msg(format!(
+                "ddm-oci monitor count mismatch: snapshot has {}, detector has {}",
+                monitors.len(),
+                self.monitors.len()
+            )));
+        }
+        for (monitor, value) in self.monitors.iter_mut().zip(monitors) {
+            monitor.recall_raw = value.field("recall_raw")?;
+            monitor.recall = value.field("recall")?;
+            monitor.seen = value.field("seen")?;
+            monitor.best_recall = value.field("best_recall")?;
+        }
+        self.state = state.field("state")?;
+        self.drifted = state.field("drifted")?;
+        Ok(())
+    }
+
     fn per_class_detection(&self) -> bool {
         true
     }

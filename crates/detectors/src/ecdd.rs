@@ -100,6 +100,24 @@ impl DriftDetector for Ecdd {
     fn name(&self) -> &'static str {
         "ECDD"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("n", self.n.serialize_value()),
+            ("errors", self.errors.serialize_value()),
+            ("z", self.z.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.n = state.field("n")?;
+        self.errors = state.field("errors")?;
+        self.z = state.field("z")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,30 @@ impl DriftDetector for Eddm {
     fn name(&self) -> &'static str {
         "EDDM"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("instance_counter", self.instance_counter.serialize_value()),
+            ("last_error_at", self.last_error_at.serialize_value()),
+            ("n_errors", self.n_errors.serialize_value()),
+            ("mean_distance", self.mean_distance.serialize_value()),
+            ("m2_distance", self.m2_distance.serialize_value()),
+            ("max_score", self.max_score.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.instance_counter = state.field("instance_counter")?;
+        self.last_error_at = state.field("last_error_at")?;
+        self.n_errors = state.field("n_errors")?;
+        self.mean_distance = state.field("mean_distance")?;
+        self.m2_distance = state.field("m2_distance")?;
+        self.max_score = state.field("max_score")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,24 @@ impl DriftDetector for Fhddm {
     fn name(&self) -> &'static str {
         "FHDDM"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("window", self.window.serialize_value()),
+            ("correct_in_window", self.correct_in_window.serialize_value()),
+            ("max_accuracy", self.max_accuracy.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.window = state.field("window")?;
+        self.correct_in_window = state.field("correct_in_window")?;
+        self.max_accuracy = state.field("max_accuracy")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

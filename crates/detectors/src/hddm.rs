@@ -136,6 +136,26 @@ impl DriftDetector for HddmA {
     fn name(&self) -> &'static str {
         "HDDM-A"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("total", self.total.serialize_value()),
+            ("n", self.n.serialize_value()),
+            ("cut_total", self.cut_total.serialize_value()),
+            ("cut_n", self.cut_n.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.total = state.field("total")?;
+        self.n = state.field("n")?;
+        self.cut_total = state.field("cut_total")?;
+        self.cut_n = state.field("cut_n")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 /// HDDM with EWMA-weighted means and a McDiarmid bound (gradual drifts).
@@ -225,6 +245,35 @@ impl DriftDetector for HddmW {
 
     fn name(&self) -> &'static str {
         "HDDM-W"
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        let (ewma_value, ewma_sum_sq, ewma_initialized, ewma_count) = self.ewma.raw_state();
+        Some(Value::object(vec![
+            ("ewma_value", ewma_value.serialize_value()),
+            ("ewma_sum_sq", ewma_sum_sq.serialize_value()),
+            ("ewma_initialized", ewma_initialized.serialize_value()),
+            ("ewma_count", ewma_count.serialize_value()),
+            ("cut_value", self.cut_value.serialize_value()),
+            ("cut_sum_sq", self.cut_sum_sq.serialize_value()),
+            ("has_cut", self.has_cut.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.ewma.restore_raw(
+            state.field("ewma_value")?,
+            state.field("ewma_sum_sq")?,
+            state.field("ewma_initialized")?,
+            state.field("ewma_count")?,
+        );
+        self.cut_value = state.field("cut_value")?;
+        self.cut_sum_sq = state.field("cut_sum_sq")?;
+        self.has_cut = state.field("has_cut")?;
+        self.state = state.field("state")?;
+        Ok(())
     }
 }
 

@@ -88,7 +88,7 @@ impl<'a> Observation<'a> {
 }
 
 /// State reported by a detector after each observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum DetectorState {
     /// No evidence of change.
     Stable,
@@ -178,6 +178,30 @@ pub trait DriftDetector {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Captures the detector's complete mutable state as a serde
+    /// [`Value`](serde::Value) — the checkpoint half of the workspace-wide
+    /// snapshot/restore contract. Configuration (thresholds, window sizes,
+    /// seeds) is deliberately **not** part of the snapshot: a snapshot is
+    /// restored onto a freshly built, identically configured detector
+    /// (typically rebuilt from the same registry
+    /// `DetectorSpec`), after which the detector continues **bitwise
+    /// identically** to one that was never checkpointed. Returns `None` for
+    /// detectors that do not support checkpointing (the default, so
+    /// third-party detectors keep compiling); every detector this workspace
+    /// ships overrides it.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`DriftDetector::snapshot_state`] onto
+    /// this (identically configured, typically freshly built) detector.
+    /// The default rejects restoration, matching the default
+    /// `snapshot_state` of `None`.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Err(serde::Error::msg(format!("detector `{}` does not support checkpointing", self.name())))
+    }
 }
 
 /// Non-overridable conveniences available on every detector. These live
@@ -228,6 +252,12 @@ impl DriftDetector for Box<dyn DriftDetector + Send> {
     }
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         (**self).as_any_mut()
+    }
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        (**self).restore_state(state)
     }
 }
 
@@ -369,6 +399,99 @@ mod tests {
         }
         assert_eq!(sequential_positions, batched_positions);
         assert!(!sequential_positions.is_empty(), "change must be detected at all");
+    }
+
+    /// Every in-crate detector: snapshot at a cut point, serialize to JSON,
+    /// restore onto a freshly built twin, continue — states and drift
+    /// positions must match the uninterrupted run bitwise, whatever the cut.
+    #[test]
+    fn checkpoint_roundtrip_resumes_bitwise_for_every_detector() {
+        use crate::ddm_oci::DdmOciConfig;
+        use crate::perfsim::PerfSimConfig;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        type Factory = Box<dyn Fn() -> Box<dyn DriftDetector + Send>>;
+        let factories: Vec<(&str, Factory)> = vec![
+            ("ddm", Box::new(|| Box::new(Ddm::new()))),
+            ("eddm", Box::new(|| Box::new(Eddm::new()))),
+            ("rddm", Box::new(|| Box::new(Rddm::new()))),
+            ("adwin", Box::new(|| Box::new(Adwin::new(0.002)))),
+            ("hddm-a", Box::new(|| Box::new(HddmA::new()))),
+            ("hddm-w", Box::new(|| Box::new(HddmW::new(0.05)))),
+            ("fhddm", Box::new(|| Box::new(Fhddm::new()))),
+            ("wstd", Box::new(|| Box::new(Wstd::new()))),
+            ("pagehinkley", Box::new(|| Box::new(PageHinkley::new()))),
+            ("cusum", Box::new(|| Box::new(Cusum::new()))),
+            ("ecdd", Box::new(|| Box::new(Ecdd::new()))),
+            ("perfsim", Box::new(|| Box::new(PerfSim::new(PerfSimConfig::for_classes(3))))),
+            ("ddm-oci", Box::new(|| Box::new(DdmOci::new(DdmOciConfig::for_classes(3))))),
+        ];
+
+        // A 3-class stream whose error rate jumps at 3000 so most detectors
+        // actually traverse warning/drift states during the run.
+        let mut rng = StdRng::seed_from_u64(20_260_726);
+        let labels: Vec<(usize, usize)> = (0..6_000)
+            .map(|i| {
+                let true_class = rng.gen_range(0..3usize);
+                let p = if i < 3_000 { 0.1 } else { 0.5 };
+                let predicted = if rng.gen::<f64>() < p {
+                    (true_class + 1 + rng.gen_range(0..2usize)) % 3
+                } else {
+                    true_class
+                };
+                (true_class, predicted)
+            })
+            .collect();
+        let features = [0.0_f64; 1];
+        let observations: Vec<Observation<'_>> = labels
+            .iter()
+            .map(|&(true_class, predicted_class)| Observation {
+                features: &features,
+                true_class,
+                predicted_class,
+                correct: true_class == predicted_class,
+            })
+            .collect();
+
+        for (name, make) in &factories {
+            for cut in [0usize, 1, 997, 3_100] {
+                let mut uninterrupted = make();
+                let mut head = make();
+                for obs in &observations[..cut] {
+                    uninterrupted.update(obs);
+                    head.update(obs);
+                }
+                let snapshot = head.snapshot_state().unwrap_or_else(|| {
+                    panic!("{name}: every shipped detector must support checkpointing")
+                });
+                let json = serde_json::to_string(&snapshot).unwrap();
+                let parsed = serde_json::parse_value(&json).unwrap();
+                let mut resumed = make();
+                resumed.restore_state(&parsed).unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+                assert_eq!(resumed.state(), uninterrupted.state(), "{name} @ cut {cut}");
+
+                let mut expected_positions = Vec::new();
+                let mut resumed_positions = Vec::new();
+                for (offset, obs) in observations[cut..].iter().enumerate() {
+                    let a = uninterrupted.update(obs);
+                    let b = resumed.update(obs);
+                    assert_eq!(a, b, "{name} @ cut {cut}, offset {offset}");
+                    if a.is_drift() {
+                        expected_positions.push(offset);
+                        let mut lhs = Vec::new();
+                        let mut rhs = Vec::new();
+                        uninterrupted.drifted_classes_into(&mut lhs);
+                        resumed.drifted_classes_into(&mut rhs);
+                        assert_eq!(lhs, rhs, "{name} @ cut {cut}: drift attribution");
+                    }
+                    if b.is_drift() {
+                        resumed_positions.push(offset);
+                    }
+                }
+                assert_eq!(expected_positions, resumed_positions, "{name} @ cut {cut}");
+            }
+        }
     }
 
     #[test]

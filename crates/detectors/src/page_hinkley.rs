@@ -95,6 +95,26 @@ impl DriftDetector for PageHinkley {
     fn name(&self) -> &'static str {
         "PageHinkley"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("n", self.n.serialize_value()),
+            ("mean", self.mean.serialize_value()),
+            ("cumulative", self.cumulative.serialize_value()),
+            ("minimum", self.minimum.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.n = state.field("n")?;
+        self.mean = state.field("mean")?;
+        self.cumulative = state.field("cumulative")?;
+        self.minimum = state.field("minimum")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

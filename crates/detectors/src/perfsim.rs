@@ -143,6 +143,26 @@ impl DriftDetector for PerfSim {
     fn name(&self) -> &'static str {
         "PerfSim"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("current", self.current.serialize_value()),
+            ("previous", self.previous.serialize_value()),
+            ("in_batch", self.in_batch.serialize_value()),
+            ("state", self.state.serialize_value()),
+            ("last_similarity", self.last_similarity.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.current = state.field("current")?;
+        self.previous = state.field("previous")?;
+        self.in_batch = state.field("in_batch")?;
+        self.state = state.field("state")?;
+        self.last_similarity = state.field("last_similarity")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,30 @@ impl DriftDetector for Rddm {
     fn name(&self) -> &'static str {
         "RDDM"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("window", self.window.serialize_value()),
+            ("n", self.n.serialize_value()),
+            ("errors", self.errors.serialize_value()),
+            ("p_min", self.p_min.serialize_value()),
+            ("s_min", self.s_min.serialize_value()),
+            ("warning_steps", self.warning_steps.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.window = state.field("window")?;
+        self.n = state.field("n")?;
+        self.errors = state.field("errors")?;
+        self.p_min = state.field("p_min")?;
+        self.s_min = state.field("s_min")?;
+        self.warning_steps = state.field("warning_steps")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

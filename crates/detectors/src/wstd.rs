@@ -136,6 +136,24 @@ impl DriftDetector for Wstd {
     fn name(&self) -> &'static str {
         "WSTD"
     }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        Some(Value::object(vec![
+            ("old_window", self.old_window.serialize_value()),
+            ("recent_window", self.recent_window.serialize_value()),
+            ("since_last_test", self.since_last_test.serialize_value()),
+            ("state", self.state.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.old_window = state.field("old_window")?;
+        self.recent_window = state.field("recent_window")?;
+        self.since_last_test = state.field("since_last_test")?;
+        self.state = state.field("state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,198 @@
+//! Self-contained pipeline checkpoints: capture a running
+//! [`PipelineStepper`](crate::stepper::PipelineStepper) at any instance
+//! boundary, serialize it to JSON, and resume it — later, elsewhere, or on
+//! a different shard — **bitwise-identically** to a run that was never
+//! interrupted.
+//!
+//! A [`PipelineCheckpoint`] bundles everything needed to rebuild the
+//! pipeline from nothing: the stream schema, the registry
+//! [`DetectorSpec`] the detector was built from, the [`RunConfig`], and
+//! the opaque state value produced by
+//! [`PipelineStepper::state_snapshot`](crate::stepper::PipelineStepper::state_snapshot)
+//! (classifier + detector + prequential evaluator + the partially filled
+//! detector micro-batch + run counters). [`PipelineCheckpoint::resume`]
+//! rebuilds the stepper through the registry and restores the state onto
+//! it.
+//!
+//! This is the enabler for both halves of elastic serving: shard-to-shard
+//! live migration (`rbm-im-serve`'s `resize_shards`) and
+//! restart-from-disk (`rbm-im-serve`'s `SnapshotSink`).
+
+use crate::pipeline::RunConfig;
+use crate::registry::{DetectorRegistry, DetectorSpec, RegistryError};
+use crate::stepper::PipelineStepper;
+use rbm_im_streams::StreamSchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors of checkpoint capture, serialization, and restoration.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The pipeline's classifier or detector does not implement the
+    /// snapshot/restore contract.
+    Unsupported(String),
+    /// A state value did not match the expected shape (corrupt or
+    /// incompatible snapshot).
+    State(serde::Error),
+    /// Rebuilding the detector from its spec failed.
+    Registry(RegistryError),
+    /// JSON encoding/decoding failed.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Unsupported(what) => {
+                write!(f, "checkpointing unsupported: {what}")
+            }
+            CheckpointError::State(e) => write!(f, "checkpoint state error: {e}"),
+            CheckpointError::Registry(e) => write!(f, "checkpoint detector rebuild failed: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<serde::Error> for CheckpointError {
+    fn from(e: serde::Error) -> Self {
+        CheckpointError::State(e)
+    }
+}
+
+impl From<RegistryError> for CheckpointError {
+    fn from(e: RegistryError) -> Self {
+        CheckpointError::Registry(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// A self-contained, serializable checkpoint of one prequential pipeline.
+///
+/// Serializes to plain JSON; [`PipelineCheckpoint::resume`] rebuilds the
+/// stepper (classifier from the schema, detector from the spec via the
+/// registry) and restores the captured state, after which stepping
+/// continues bitwise-identically to the uninterrupted pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCheckpoint {
+    /// Schema of the stream the pipeline serves.
+    pub schema: StreamSchema,
+    /// Registry spec the detector is (re)built from — the *effective* spec,
+    /// i.e. after any deterministic per-stream seed injection.
+    pub spec: DetectorSpec,
+    /// The pipeline's run configuration.
+    pub run: RunConfig,
+    /// Opaque stepper state ([`PipelineStepper::state_snapshot`]).
+    pub state: serde::Value,
+}
+
+impl PipelineCheckpoint {
+    /// Captures a checkpoint of `stepper`, recording the schema / spec /
+    /// config needed to resume it from nothing. The spec must be the one
+    /// the stepper's detector was built from.
+    pub fn capture(
+        stepper: &PipelineStepper,
+        schema: StreamSchema,
+        spec: DetectorSpec,
+    ) -> Result<Self, CheckpointError> {
+        Ok(PipelineCheckpoint {
+            schema,
+            spec,
+            run: stepper.config(),
+            state: stepper.state_snapshot()?,
+        })
+    }
+
+    /// Rebuilds the pipeline: classifier from the schema, detector from the
+    /// spec via `registry`, then restores the captured state. The returned
+    /// stepper continues exactly where [`PipelineCheckpoint::capture`] left
+    /// off.
+    pub fn resume(&self, registry: &DetectorRegistry) -> Result<PipelineStepper, CheckpointError> {
+        let mut stepper = PipelineStepper::from_spec(registry, &self.spec, &self.schema, self.run)
+            .map_err(|e| match e {
+                crate::pipeline::PipelineError::Registry(e) => CheckpointError::Registry(e),
+                crate::pipeline::PipelineError::MissingStream => {
+                    CheckpointError::Unsupported("stepper construction".into())
+                }
+            })?;
+        stepper.restore_state(&self.state)?;
+        Ok(stepper)
+    }
+
+    /// Serializes the checkpoint to a JSON string.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Parses a checkpoint from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        Ok(serde_json::from_str(json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineBuilder, PipelineEvent};
+    use rbm_im_streams::generators::RandomRbfGenerator;
+    use rbm_im_streams::{DataStream, ReplayStream, StreamExt};
+
+    /// Checkpoint a pipeline mid-stream (at an awkward cut), serialize to
+    /// JSON, resume, run the tail: detections and metrics must equal the
+    /// uninterrupted run bitwise.
+    #[test]
+    fn checkpointed_pipeline_resumes_bitwise_identically() {
+        let mut gen = RandomRbfGenerator::new(8, 4, 2, 0.0, 17);
+        let schema = gen.schema().clone();
+        let mut instances = gen.take_instances(3_000);
+        gen.regenerate();
+        instances.extend(gen.take_instances(2_500));
+        let spec = DetectorSpec::parse("rbm(mini_batch=25, warmup=4, persistence=1)").unwrap();
+        let run = RunConfig { metric_window: 500, detector_batch: 37, ..Default::default() };
+        let registry = DetectorRegistry::global();
+
+        let uninterrupted = PipelineBuilder::new()
+            .stream(ReplayStream::new(schema.clone(), instances.clone()))
+            .stream_label("checkpointed")
+            .detector_spec(spec.clone())
+            .config(run)
+            .run()
+            .unwrap();
+        assert!(!uninterrupted.detections.is_empty(), "drift must be detected");
+
+        // Cut misaligned with both the detector micro-batch (37) and the
+        // RBM mini-batch (25).
+        let cut = 2_951;
+        let mut head = PipelineStepper::from_spec(registry, &spec, &schema, run).unwrap();
+        let mut sink = |_: &PipelineEvent<'_>| {};
+        for inst in &instances[..cut] {
+            head.step(inst.clone(), &mut sink);
+        }
+        let json = PipelineCheckpoint::capture(&head, schema.clone(), spec.clone())
+            .unwrap()
+            .to_json()
+            .unwrap();
+        drop(head);
+
+        let checkpoint = PipelineCheckpoint::from_json(&json).unwrap();
+        assert_eq!(checkpoint.schema, schema);
+        assert_eq!(checkpoint.spec, spec);
+        let mut resumed = checkpoint.resume(registry).unwrap();
+        for inst in &instances[cut..] {
+            resumed.step(inst.clone(), &mut sink);
+        }
+        let (result, _detector) = resumed.finish("checkpointed", &mut sink);
+        assert_eq!(result.detections, uninterrupted.detections);
+        assert_eq!(result.instances, uninterrupted.instances);
+        assert_eq!(result.pm_auc, uninterrupted.pm_auc);
+        assert_eq!(result.pm_gmean, uninterrupted.pm_gmean);
+        assert_eq!(result.accuracy, uninterrupted.accuracy);
+        assert_eq!(result.kappa, uninterrupted.kappa);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod detectors;
 pub mod experiment1;
 pub mod experiment2;
@@ -46,6 +47,7 @@ pub mod runner;
 pub mod stepper;
 pub mod tuning;
 
+pub use checkpoint::{CheckpointError, PipelineCheckpoint};
 pub use detectors::DetectorKind;
 pub use pipeline::{run_grid, GridStream, PipelineBuilder, PipelineEvent, RunConfig, RunResult};
 pub use registry::{DetectorRegistry, DetectorSpec};

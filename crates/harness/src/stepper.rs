@@ -20,6 +20,7 @@
 //! handles the trailing partial batch at detach/shutdown, exactly like the
 //! trailing flush at stream exhaustion).
 
+use crate::checkpoint::CheckpointError;
 use crate::pipeline::{PipelineError, PipelineEvent, RunConfig, RunResult};
 use crate::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_classifiers::{argmax, CostSensitivePerceptronTree, OnlineClassifier};
@@ -261,6 +262,63 @@ impl<C: OnlineClassifier> PipelineStepper<C> {
     /// layer uses it to install pooled workspaces after construction).
     pub fn detector_mut(&mut self) -> &mut (dyn DriftDetector + Send) {
         &mut *self.detector
+    }
+
+    /// The stepper's run configuration.
+    pub fn config(&self) -> RunConfig {
+        self.config
+    }
+
+    /// Captures the stepper's complete mutable state as a serde value: the
+    /// classifier, the detector, the prequential evaluator, the partially
+    /// filled detector micro-batch (`pending` — instances already learned
+    /// but not yet seen by the detector), and the run counters. Restored
+    /// with [`PipelineStepper::restore_state`] onto a stepper freshly built
+    /// from the same spec / schema / config, stepping continues
+    /// **bitwise-identically** to an uninterrupted run — this is the
+    /// mechanism behind `rbm-im-serve`'s live shard migration and
+    /// restart-from-disk. Fails if the classifier or detector does not
+    /// implement the snapshot contract.
+    pub fn state_snapshot(&self) -> Result<serde::Value, CheckpointError> {
+        use serde::{Serialize, Value};
+        let classifier = self.classifier.snapshot_state().ok_or_else(|| {
+            CheckpointError::Unsupported("the classifier does not implement snapshot_state".into())
+        })?;
+        let detector = self.detector.snapshot_state().ok_or_else(|| {
+            CheckpointError::Unsupported(format!(
+                "detector `{}` does not implement snapshot_state",
+                self.detector.name()
+            ))
+        })?;
+        Ok(Value::object(vec![
+            ("classifier", classifier),
+            ("detector", detector),
+            ("evaluator", self.evaluator.snapshot_state()),
+            ("detections", self.detections.serialize_value()),
+            ("detector_update_seconds", self.detector_update_seconds.serialize_value()),
+            ("test_seconds", self.test_seconds.serialize_value()),
+            ("train_seconds", self.train_seconds.serialize_value()),
+            ("processed", self.processed.serialize_value()),
+            ("pending", self.pending.serialize_value()),
+            ("last_state", self.last_state.serialize_value()),
+        ]))
+    }
+
+    /// Restores state captured by [`PipelineStepper::state_snapshot`] onto
+    /// this stepper (which must have been built from the same detector
+    /// spec, stream schema, and run configuration).
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<(), CheckpointError> {
+        self.classifier.restore_state(state.req("classifier")?)?;
+        self.detector.restore_state(state.req("detector")?)?;
+        self.evaluator.restore_state(state.req("evaluator")?)?;
+        self.detections = state.field("detections")?;
+        self.detector_update_seconds = state.field("detector_update_seconds")?;
+        self.test_seconds = state.field("test_seconds")?;
+        self.train_seconds = state.field("train_seconds")?;
+        self.processed = state.field("processed")?;
+        self.pending = state.field("pending")?;
+        self.last_state = state.field("last_state")?;
+        Ok(())
     }
 }
 

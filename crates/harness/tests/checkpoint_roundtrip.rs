@@ -1,0 +1,165 @@
+//! Property tests of the workspace-wide checkpoint contract:
+//! snapshot → serialize (JSON) → restore → continue must be **bitwise**
+//! equal to an uninterrupted run for *every* registry detector and every
+//! classifier, at arbitrary cut points — including cuts misaligned with
+//! RBM-IM mini-batches, cuts at zero, and cuts beyond the drift.
+
+use proptest::prelude::*;
+use rbm_im_classifiers::{
+    CostSensitivePerceptron, CostSensitivePerceptronTree, GaussianNaiveBayes, OnlineClassifier,
+};
+use rbm_im_detectors::{DriftDetector, DriftDetectorExt, Observation};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{Instance, StreamExt};
+use std::sync::OnceLock;
+
+const FEATURES: usize = 8;
+const CLASSES: usize = 4;
+const LENGTH: usize = 5_000;
+
+/// A fixed drifting stream shared by every case: RBF concept A for 3000
+/// instances, then a regenerated concept (sudden global drift). Predictions
+/// are simulated with an error rate that jumps at the drift so
+/// error-monitoring detectors see a change too.
+fn fixture() -> &'static Vec<(Instance, usize)> {
+    static FIXTURE: OnceLock<Vec<(Instance, usize)>> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut gen = RandomRbfGenerator::new(FEATURES, CLASSES, 2, 0.0, 99);
+        let mut instances = gen.take_instances(3_000);
+        gen.regenerate();
+        instances.extend(gen.take_instances(LENGTH - 3_000));
+        instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let p = if i < 3_000 { 10 } else { 3 };
+                let predicted = if i % p == 0 { (inst.class + 1) % CLASSES } else { inst.class };
+                (inst, predicted)
+            })
+            .collect()
+    })
+}
+
+fn observation(pair: &(Instance, usize)) -> Observation<'_> {
+    Observation {
+        features: &pair.0.features,
+        true_class: pair.0.class,
+        predicted_class: pair.1,
+        correct: pair.0.class == pair.1,
+    }
+}
+
+/// Registry specs covering every registered detector name (quickened RBM
+/// hyper-parameters so mini-batches and warm-up complete well inside the
+/// fixture).
+fn all_specs() -> Vec<DetectorSpec> {
+    let registry = DetectorRegistry::global();
+    registry
+        .names()
+        .into_iter()
+        .map(|name| {
+            if registry.accepts_param(&name, "mini_batch") {
+                DetectorSpec::parse(&format!(
+                    "{name}(mini_batch=25, warmup=4, persistence=1, seed=7)"
+                ))
+                .unwrap()
+            } else {
+                DetectorSpec::new(name)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every registry detector, arbitrary cut: the resumed detector must
+    /// report identical states, drift positions and attributions over the
+    /// tail, and end in bitwise-identical internal state.
+    #[test]
+    fn every_registry_detector_roundtrips_at_arbitrary_cuts(cut in 0usize..LENGTH) {
+        let registry = DetectorRegistry::global();
+        let data = fixture();
+        for spec in all_specs() {
+            let mut uninterrupted = registry.build(&spec, FEATURES, CLASSES).unwrap();
+            let mut head = registry.build(&spec, FEATURES, CLASSES).unwrap();
+            for pair in &data[..cut] {
+                uninterrupted.update(&observation(pair));
+                head.update(&observation(pair));
+            }
+            let snapshot = head.snapshot_state().unwrap_or_else(|| {
+                panic!("{}: every shipped detector must support checkpointing", spec.label())
+            });
+            let json = serde_json::to_string(&snapshot).unwrap();
+            let mut resumed = registry.build(&spec, FEATURES, CLASSES).unwrap();
+            resumed
+                .restore_state(&serde_json::parse_value(&json).unwrap())
+                .unwrap_or_else(|e| panic!("{}: restore failed: {e}", spec.label()));
+            prop_assert_eq!(resumed.state(), uninterrupted.state());
+
+            for (offset, pair) in data[cut..].iter().enumerate() {
+                let expected = uninterrupted.update(&observation(pair));
+                let got = resumed.update(&observation(pair));
+                prop_assert_eq!(
+                    expected, got,
+                    "{} @ cut {}, offset {}", spec.label(), cut, offset
+                );
+                if expected.is_drift() {
+                    prop_assert_eq!(
+                        uninterrupted.drifted_classes(),
+                        resumed.drifted_classes(),
+                        "{} @ cut {}: attribution", spec.label(), cut
+                    );
+                }
+            }
+            // The strongest check: after the tail, the two detectors'
+            // complete serialized states are bitwise-identical.
+            prop_assert_eq!(
+                serde_json::to_string(&uninterrupted.snapshot_state().unwrap()).unwrap(),
+                serde_json::to_string(&resumed.snapshot_state().unwrap()).unwrap(),
+                "{} @ cut {}: final state", spec.label(), cut
+            );
+        }
+    }
+
+    /// Every classifier, arbitrary cut: resumed predictions and the final
+    /// serialized model state must match the uninterrupted model bitwise.
+    #[test]
+    fn every_classifier_roundtrips_at_arbitrary_cuts(cut in 0usize..LENGTH) {
+        type Factory = fn() -> Box<dyn OnlineClassifier>;
+        let factories: [(&str, Factory); 3] = [
+            ("cspt", || Box::new(CostSensitivePerceptronTree::new(FEATURES, CLASSES))),
+            ("perceptron", || Box::new(CostSensitivePerceptron::new(FEATURES, CLASSES, 0.05))),
+            ("naive-bayes", || Box::new(GaussianNaiveBayes::new(FEATURES, CLASSES))),
+        ];
+        let data = fixture();
+        for (name, make) in factories {
+            let mut uninterrupted = make();
+            let mut head = make();
+            for (inst, _) in &data[..cut] {
+                uninterrupted.learn(inst);
+                head.learn(inst);
+            }
+            let json = serde_json::to_string(&head.snapshot_state().unwrap()).unwrap();
+            let mut resumed = make();
+            resumed
+                .restore_state(&serde_json::parse_value(&json).unwrap())
+                .unwrap_or_else(|e| panic!("{name}: restore failed: {e}"));
+            for (offset, (inst, _)) in data[cut..].iter().enumerate() {
+                prop_assert_eq!(
+                    uninterrupted.predict_scores(&inst.features),
+                    resumed.predict_scores(&inst.features),
+                    "{} @ cut {}, offset {}", name, cut, offset
+                );
+                uninterrupted.learn(inst);
+                resumed.learn(inst);
+            }
+            prop_assert_eq!(
+                serde_json::to_string(&uninterrupted.snapshot_state().unwrap()).unwrap(),
+                serde_json::to_string(&resumed.snapshot_state().unwrap()).unwrap(),
+                "{} @ cut {}: final state", name, cut
+            );
+        }
+    }
+}

@@ -127,6 +127,33 @@ impl WindowedMultiClassAuc {
     pub fn reset(&mut self) {
         self.window.clear();
     }
+
+    /// Captures the window contents as a serde value (checkpoint support);
+    /// restored with [`WindowedMultiClassAuc::restore_state`] onto an
+    /// estimator of the same shape.
+    pub fn snapshot_state(&self) -> serde::Value {
+        use serde::Serialize;
+        serde::Value::object(vec![
+            ("num_classes", self.num_classes.serialize_value()),
+            ("capacity", self.capacity.serialize_value()),
+            ("window", self.window.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`WindowedMultiClassAuc::snapshot_state`].
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_classes: usize = state.field("num_classes")?;
+        let capacity: usize = state.field("capacity")?;
+        if num_classes != self.num_classes || capacity != self.capacity {
+            return Err(serde::Error::msg(format!(
+                "auc window shape mismatch: snapshot is {num_classes} classes / capacity \
+                 {capacity}, estimator is {} / {}",
+                self.num_classes, self.capacity
+            )));
+        }
+        self.window = state.field("window")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

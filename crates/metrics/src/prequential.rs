@@ -9,10 +9,11 @@
 
 use crate::auc::WindowedMultiClassAuc;
 use crate::confusion::StreamingConfusionMatrix;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A point-in-time snapshot of the windowed metrics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrequentialSnapshot {
     /// Stream position at which the snapshot was taken.
     pub position: u64,
@@ -137,6 +138,55 @@ impl PrequentialEvaluator {
     pub fn window_size(&self) -> usize {
         self.window_size
     }
+
+    /// Captures the evaluator's complete mutable state — the AUC window,
+    /// the windowed confusion matrix, the periodic-snapshot history and the
+    /// running stream averages — as a serde value. Restored with
+    /// [`PrequentialEvaluator::restore_state`] onto an evaluator built with
+    /// the same class count and window size, the evaluator continues
+    /// bitwise-identically to one that was never checkpointed.
+    pub fn snapshot_state(&self) -> serde::Value {
+        serde::Value::object(vec![
+            ("num_classes", self.num_classes.serialize_value()),
+            ("window_size", self.window_size.serialize_value()),
+            ("auc", self.auc.snapshot_state()),
+            ("window_confusion", self.window_confusion.serialize_value()),
+            ("recent", self.recent.serialize_value()),
+            ("snapshots", self.snapshots.serialize_value()),
+            ("count", self.count.serialize_value()),
+            ("sum_auc", self.sum_auc.serialize_value()),
+            ("sum_gmean", self.sum_gmean.serialize_value()),
+            ("samples", self.samples.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`PrequentialEvaluator::snapshot_state`].
+    /// Fails if the snapshot was taken with a different class count or
+    /// window size.
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_classes: usize = state.field("num_classes")?;
+        let window_size: usize = state.field("window_size")?;
+        if num_classes != self.num_classes || window_size != self.window_size {
+            return Err(serde::Error::msg(format!(
+                "evaluator shape mismatch: snapshot is {num_classes} classes / window \
+                 {window_size}, evaluator is {} / {}",
+                self.num_classes, self.window_size
+            )));
+        }
+        self.auc.restore_state(state.req("auc")?)?;
+        self.window_confusion =
+            StreamingConfusionMatrix::deserialize_value(state.req("window_confusion")?)?;
+        if self.window_confusion.num_classes() != self.num_classes {
+            return Err(serde::Error::msg("confusion matrix class count mismatch"));
+        }
+        self.recent = state.field("recent")?;
+        self.snapshots = state.field("snapshots")?;
+        self.count = state.field("count")?;
+        self.sum_auc = state.field("sum_auc")?;
+        self.sum_gmean = state.field("sum_gmean")?;
+        self.samples = state.field("samples")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +279,44 @@ mod tests {
     #[should_panic]
     fn zero_window_rejected() {
         PrequentialEvaluator::new(2, 0);
+    }
+
+    /// Checkpoint at an awkward mid-window cut, serialize to JSON, restore
+    /// into a fresh evaluator, continue: every metric must match the
+    /// uninterrupted evaluator bitwise.
+    #[test]
+    fn checkpoint_roundtrip_is_bitwise_identical() {
+        let mut uninterrupted = PrequentialEvaluator::new(3, 100);
+        let mut head = PrequentialEvaluator::new(3, 100);
+        let score = |i: u64, c: usize| {
+            let mut s = one_hot(3, c);
+            // Slightly noisy scores so AUC state is non-trivial.
+            s[(i % 3) as usize] += 0.01 * ((i % 7) as f64);
+            s
+        };
+        for i in 0..537u64 {
+            let true_class = (i % 3) as usize;
+            let predicted = if i % 5 == 0 { (true_class + 1) % 3 } else { true_class };
+            uninterrupted.record(true_class, predicted, &score(i, true_class));
+            head.record(true_class, predicted, &score(i, true_class));
+        }
+        let json = serde_json::to_string(&head.snapshot_state()).unwrap();
+        let mut resumed = PrequentialEvaluator::new(3, 100);
+        resumed.restore_state(&serde_json::parse_value(&json).unwrap()).unwrap();
+        for i in 537..1_483u64 {
+            let true_class = (i % 3) as usize;
+            let predicted = if i % 4 == 0 { (true_class + 2) % 3 } else { true_class };
+            uninterrupted.record(true_class, predicted, &score(i, true_class));
+            resumed.record(true_class, predicted, &score(i, true_class));
+        }
+        assert_eq!(resumed.snapshot(), uninterrupted.snapshot());
+        assert_eq!(resumed.average_pm_auc(), uninterrupted.average_pm_auc());
+        assert_eq!(resumed.average_pm_gmean(), uninterrupted.average_pm_gmean());
+        assert_eq!(resumed.snapshots(), uninterrupted.snapshots());
+        assert_eq!(resumed.count(), uninterrupted.count());
+
+        // Shape mismatches are rejected, not silently accepted.
+        let mut wrong = PrequentialEvaluator::new(4, 100);
+        assert!(wrong.restore_state(&serde_json::parse_value(&json).unwrap()).is_err());
     }
 }

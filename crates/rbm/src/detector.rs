@@ -220,7 +220,11 @@ impl RbmIm {
 
         let warmed_up = self.batch_counter > self.config.warmup_batches;
         if warmed_up {
-            self.network.reconstruction_errors_flat_into(&features, &classes, &mut errors);
+            // Score through the immutable `_with` surface against the
+            // network's own (temporarily detached) scratch workspace.
+            let mut ws = self.network.take_workspace();
+            self.network.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errors);
+            self.network.adopt_workspace(ws);
             for (class, error) in errors.iter().enumerate() {
                 let Some(error) = error else { continue };
                 let drifted = self.update_class(class, *error);
@@ -401,6 +405,83 @@ impl DriftDetector for RbmIm {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
+
+    /// Complete detector state: the RBM network (weights, momentum, RNG),
+    /// every per-class trend tracker (regression window + embedded ADWIN),
+    /// the partially filled mini-batch buffer and the drift bookkeeping.
+    /// The network's scratch workspace is rebuilt, never serialized.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::{Serialize, Value};
+        let trackers: Vec<Value> = self.trackers.iter().map(|t| t.snapshot_state()).collect();
+        Some(Value::object(vec![
+            ("num_features", self.num_features.serialize_value()),
+            ("num_classes", self.num_classes.serialize_value()),
+            ("network", self.network.snapshot_state()),
+            ("trackers", Value::Array(trackers)),
+            ("consecutive_high", self.consecutive_high.serialize_value()),
+            ("batch_features", self.batch_features.serialize_value()),
+            ("batch_classes", self.batch_classes.serialize_value()),
+            ("batch_counter", self.batch_counter.serialize_value()),
+            ("state", self.state.serialize_value()),
+            ("drifted", self.drifted.serialize_value()),
+            ("drift_count", self.drift_count.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_features: usize = state.field("num_features")?;
+        let num_classes: usize = state.field("num_classes")?;
+        if num_features != self.num_features || num_classes != self.num_classes {
+            return Err(serde::Error::msg(format!(
+                "rbm-im shape mismatch: snapshot is {num_features}×{num_classes}, detector is \
+                 {}×{}",
+                self.num_features, self.num_classes
+            )));
+        }
+        self.network.restore_state(state.req("network")?)?;
+        let serde::Value::Array(trackers) = state.req("trackers")? else {
+            return Err(serde::Error::msg("rbm-im `trackers` must be an array"));
+        };
+        if trackers.len() != self.trackers.len() {
+            return Err(serde::Error::msg("rbm-im tracker count mismatch"));
+        }
+        for (tracker, value) in self.trackers.iter_mut().zip(trackers) {
+            tracker.restore_state(value)?;
+        }
+        let consecutive_high: Vec<u32> = state.field("consecutive_high")?;
+        if consecutive_high.len() != self.num_classes {
+            return Err(serde::Error::msg("rbm-im `consecutive_high` length mismatch"));
+        }
+        // Validate the buffered partial mini-batch before accepting it — a
+        // corrupt snapshot must fail here, not panic inside the batched
+        // kernels at the next flush. (Out-of-range class labels are legal:
+        // the batch path skips them, exactly like live ingest does.)
+        let batch_features: Vec<f64> = state.field("batch_features")?;
+        let batch_classes: Vec<usize> = state.field("batch_classes")?;
+        if batch_features.len() != batch_classes.len() * self.num_features {
+            return Err(serde::Error::msg(format!(
+                "rbm-im batch buffer mismatch: {} feature values for {} buffered instances of {} \
+                 features",
+                batch_features.len(),
+                batch_classes.len(),
+                self.num_features
+            )));
+        }
+        if batch_classes.len() >= self.config.mini_batch_size {
+            return Err(serde::Error::msg(
+                "rbm-im batch buffer holds a full mini-batch; snapshots are only taken with a \
+                 partial buffer",
+            ));
+        }
+        self.consecutive_high = consecutive_high;
+        self.batch_features = batch_features;
+        self.batch_classes = batch_classes;
+        self.batch_counter = state.field("batch_counter")?;
+        self.state = state.field("state")?;
+        self.drifted = state.field("drifted")?;
+        self.drift_count = state.field("drift_count")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +657,51 @@ mod tests {
         assert_eq!(sequential_positions, batched_positions);
         assert!(!sequential_positions.is_empty(), "the injected drift must be detected");
         assert_eq!(sequential.batches_processed(), batched.batches_processed());
+    }
+
+    /// Snapshot mid-mini-batch (an awkward cut), serialize to JSON, restore
+    /// onto a fresh detector: drift positions, attributed classes, and the
+    /// underlying network weights must match the uninterrupted run bitwise.
+    #[test]
+    fn checkpoint_roundtrip_resumes_bitwise() {
+        let mut gen = RandomRbfGenerator::new(8, 4, 2, 0.0, 8);
+        let mut data = gen.take_instances(6_000);
+        gen.regenerate();
+        data.extend(gen.take_instances(4_000));
+
+        // Cut deliberately misaligned with the 25-instance mini-batch.
+        let cut = 5_237;
+        let mut uninterrupted = RbmIm::new(8, 4, quick_config());
+        let mut head = RbmIm::new(8, 4, quick_config());
+        for inst in &data[..cut] {
+            uninterrupted.observe_instance(inst);
+            head.observe_instance(inst);
+        }
+        let json = serde_json::to_string(&head.snapshot_state().unwrap()).unwrap();
+        let mut resumed = RbmIm::new(8, 4, quick_config());
+        resumed.restore_state(&serde_json::parse_value(&json).unwrap()).unwrap();
+        assert_eq!(resumed.batches_processed(), uninterrupted.batches_processed());
+
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for (i, inst) in data[cut..].iter().enumerate() {
+            let a = uninterrupted.observe_instance(inst);
+            let b = resumed.observe_instance(inst);
+            assert_eq!(a, b, "state diverged at offset {i}");
+            if a.is_drift() {
+                expected.push((i, uninterrupted.drifted_classes()));
+            }
+            if b.is_drift() {
+                got.push((i, resumed.drifted_classes()));
+            }
+        }
+        assert_eq!(expected, got);
+        assert!(!expected.is_empty(), "the injected drift must be detected");
+        assert_eq!(
+            uninterrupted.network().w().as_slice(),
+            resumed.network().w().as_slice(),
+            "network weights must stay bitwise-identical"
+        );
     }
 
     #[test]

@@ -433,28 +433,14 @@ impl RbmNetwork {
 
     /// Reconstruction error of a single labeled instance (Eq. 22–26): the
     /// root of the summed squared differences between the instance (features
-    /// plus one-hot label) and its reconstruction.
-    ///
-    /// **Deprecation note:** the `&mut self` receiver exists only to reach
-    /// the network's internal scratch [`Workspace`]; scoring never mutates
-    /// the model. New callers — especially ones sharing a network across
-    /// read paths, or pooling workspaces across many streams — should use
-    /// [`RbmNetwork::reconstruction_error_with`] and own the workspace
-    /// themselves.
-    pub fn reconstruction_error(&mut self, instance: &Instance) -> f64 {
-        let mut ws = std::mem::take(&mut self.workspace);
-        let err = self.reconstruction_error_with(&mut ws, instance);
-        self.workspace = ws;
-        err
-    }
-
-    /// Immutable-receiver variant of [`RbmNetwork::reconstruction_error`]:
-    /// scores `instance` against the current model using caller-owned
-    /// scratch, so read-only scorers never need `&mut` access to the network
-    /// and one [`Workspace`] (e.g. checked out of a
-    /// [`WorkspacePool`](crate::pool::WorkspacePool)) can serve any number
-    /// of networks. Allocation-free once `ws` has grown to the largest shape
-    /// it has seen.
+    /// plus one-hot label) and its reconstruction, scored against
+    /// caller-owned scratch. Scoring never mutates the model, so read paths
+    /// never need `&mut` access to the network and one [`Workspace`] (e.g.
+    /// checked out of a [`WorkspacePool`](crate::pool::WorkspacePool)) can
+    /// serve any number of networks. Allocation-free once `ws` has grown to
+    /// the largest shape it has seen. This is the only single-instance
+    /// scoring surface — the old `&mut self` variant that borrowed the
+    /// network's internal scratch is gone.
     pub fn reconstruction_error_with(&self, ws: &mut Workspace, instance: &Instance) -> f64 {
         assert_eq!(instance.features.len(), self.num_visible, "feature count mismatch");
         // Single-row batch through the same kernels; invalid labels keep an
@@ -489,45 +475,16 @@ impl RbmNetwork {
         acc
     }
 
-    /// Average reconstruction error of each class over a mini-batch
-    /// (Eq. 27). Classes absent from the batch yield `None`.
-    ///
-    /// **Deprecation note:** `&mut self` only reaches the internal scratch
-    /// [`Workspace`]; prefer the read-only
-    /// [`RbmNetwork::reconstruction_errors_flat_with`] with a caller-owned
-    /// workspace for new code.
-    pub fn batch_reconstruction_errors(&mut self, batch: &MiniBatch) -> Vec<Option<f64>> {
-        let mut out = Vec::new();
-        self.with_staged(batch, |net, features, classes| {
-            net.reconstruction_errors_flat_into(features, classes, &mut out);
-        });
-        out
-    }
-
-    /// Flat-batch variant of [`RbmNetwork::batch_reconstruction_errors`]:
-    /// `features` holds `classes.len()` rows of `num_features` values.
-    /// Clears and fills `out` with one entry per class; allocation-free once
-    /// `out` and the workspace have grown to shape.
-    ///
-    /// **Deprecation note:** `&mut self` only reaches the internal scratch
-    /// [`Workspace`]; prefer [`RbmNetwork::reconstruction_errors_flat_with`]
-    /// for new code.
-    pub fn reconstruction_errors_flat_into(
-        &mut self,
-        features: &[f64],
-        classes: &[usize],
-        out: &mut Vec<Option<f64>>,
-    ) {
-        let mut ws = std::mem::take(&mut self.workspace);
-        self.reconstruction_errors_flat_with(&mut ws, features, classes, out);
-        self.workspace = ws;
-    }
-
-    /// Immutable-receiver variant of
-    /// [`RbmNetwork::reconstruction_errors_flat_into`]: the per-class
-    /// detection pass (Eq. 27) against caller-owned scratch. Scoring never
-    /// mutates the model, so concurrent read paths can share one network
-    /// and pool their workspaces.
+    /// Average reconstruction error of each class over a flat mini-batch —
+    /// the per-class detection pass (Eq. 27) — against caller-owned scratch:
+    /// `features` holds `classes.len()` rows of `num_features` values;
+    /// classes absent from the batch yield `None`. Scoring never mutates
+    /// the model, so concurrent read paths can share one network and pool
+    /// their workspaces. Clears and fills `out`; allocation-free once `out`
+    /// and the workspace have grown to shape. This is the only batch
+    /// scoring surface — the old `&mut self` variants
+    /// (`batch_reconstruction_errors`, `reconstruction_errors_flat_into`)
+    /// that borrowed the network's internal scratch are gone.
     pub fn reconstruction_errors_flat_with(
         &self,
         ws: &mut Workspace,
@@ -793,6 +750,125 @@ impl RbmNetwork {
         *self = RbmNetwork::new(self.num_visible, self.num_classes, self.config);
         self.workspace = ws;
     }
+
+    /// Captures the network's complete mutable state — weights, biases,
+    /// momentum buffers, class counts, normalization ranges, the RNG state
+    /// (as lossless hex words) and the batch counter — as a serde value.
+    /// The scratch [`Workspace`] is pure capacity and is **never**
+    /// serialized; a restored network keeps (or rebuilds) its own. Restored
+    /// with [`RbmNetwork::restore_state`] onto a network built with the
+    /// same shape and configuration, training and scoring continue
+    /// **bitwise identically** — including the Gibbs-chain RNG stream — to
+    /// a network that was never checkpointed.
+    pub fn snapshot_state(&self) -> serde::Value {
+        use serde::{Serialize, Value};
+        let rng: Vec<Value> = self.rng.state().iter().map(|&w| Value::from_u64_hex(w)).collect();
+        Value::object(vec![
+            ("num_visible", self.num_visible.serialize_value()),
+            ("num_hidden", self.num_hidden.serialize_value()),
+            ("num_classes", self.num_classes.serialize_value()),
+            ("w", matrix_to_value(&self.w)),
+            ("u", matrix_to_value(&self.u)),
+            ("a", self.a.serialize_value()),
+            ("b", self.b.serialize_value()),
+            ("c", self.c.serialize_value()),
+            ("w_vel", matrix_to_value(&self.w_vel)),
+            ("u_vel", matrix_to_value(&self.u_vel)),
+            ("class_counts", self.class_counts.serialize_value()),
+            ("feature_min", self.feature_min.serialize_value()),
+            ("feature_max", self.feature_max.serialize_value()),
+            ("rng", Value::Array(rng)),
+            ("batches_trained", self.batches_trained.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`RbmNetwork::snapshot_state`]. Fails if
+    /// the snapshot was taken at a different layer shape. The internal
+    /// scratch workspace is left untouched (it holds no model state).
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let num_visible: usize = state.field("num_visible")?;
+        let num_hidden: usize = state.field("num_hidden")?;
+        let num_classes: usize = state.field("num_classes")?;
+        if num_visible != self.num_visible
+            || num_hidden != self.num_hidden
+            || num_classes != self.num_classes
+        {
+            return Err(serde::Error::msg(format!(
+                "network shape mismatch: snapshot is {num_visible}v/{num_hidden}h/{num_classes}z, \
+                 network is {}v/{}h/{}z",
+                self.num_visible, self.num_hidden, self.num_classes
+            )));
+        }
+        self.w = matrix_from_value(state.req("w")?, self.num_visible, self.num_hidden)?;
+        self.u = matrix_from_value(state.req("u")?, self.num_hidden, self.num_classes)?;
+        self.a = state.field("a")?;
+        self.b = state.field("b")?;
+        self.c = state.field("c")?;
+        self.w_vel = matrix_from_value(state.req("w_vel")?, self.num_visible, self.num_hidden)?;
+        self.u_vel = matrix_from_value(state.req("u_vel")?, self.num_hidden, self.num_classes)?;
+        self.class_counts = state.field("class_counts")?;
+        self.feature_min = state.field("feature_min")?;
+        self.feature_max = state.field("feature_max")?;
+        for (name, vec, want) in [
+            ("a", self.a.len(), self.num_visible),
+            ("b", self.b.len(), self.num_hidden),
+            ("c", self.c.len(), self.num_classes),
+            ("class_counts", self.class_counts.len(), self.num_classes),
+            ("feature_min", self.feature_min.len(), self.num_visible),
+            ("feature_max", self.feature_max.len(), self.num_visible),
+        ] {
+            if vec != want {
+                return Err(serde::Error::msg(format!(
+                    "network `{name}` length mismatch: snapshot has {vec}, expected {want}"
+                )));
+            }
+        }
+        let serde::Value::Array(rng_words) = state.req("rng")? else {
+            return Err(serde::Error::msg("network `rng` must be an array"));
+        };
+        if rng_words.len() != 4 {
+            return Err(serde::Error::msg("network `rng` must hold 4 state words"));
+        }
+        let mut words = [0u64; 4];
+        for (slot, value) in words.iter_mut().zip(rng_words) {
+            *slot = value.as_u64_hex()?;
+        }
+        self.rng = StdRng::from_state(words);
+        self.batches_trained = state.field("batches_trained")?;
+        Ok(())
+    }
+}
+
+/// Serializes a matrix as `{rows, cols, data}` (row-major flat data).
+fn matrix_to_value(m: &DenseMatrix) -> serde::Value {
+    use serde::{Serialize, Value};
+    Value::object(vec![
+        ("rows", m.rows().serialize_value()),
+        ("cols", m.cols().serialize_value()),
+        ("data", m.as_slice().serialize_value()),
+    ])
+}
+
+/// Rebuilds a matrix serialized by [`matrix_to_value`], validating its
+/// shape against the expected dimensions.
+fn matrix_from_value(
+    value: &serde::Value,
+    want_rows: usize,
+    want_cols: usize,
+) -> Result<DenseMatrix, serde::Error> {
+    let rows: usize = value.field("rows")?;
+    let cols: usize = value.field("cols")?;
+    let data: Vec<f64> = value.field("data")?;
+    if rows != want_rows || cols != want_cols || data.len() != rows * cols {
+        return Err(serde::Error::msg(format!(
+            "matrix shape mismatch: snapshot is {rows}×{cols} ({} values), expected \
+             {want_rows}×{want_cols}",
+            data.len()
+        )));
+    }
+    let mut m = DenseMatrix::zeros(rows, cols);
+    m.as_mut_slice().copy_from_slice(&data);
+    Ok(m)
 }
 
 /// The hidden-layer width implied by a config: the absolute
@@ -848,6 +924,18 @@ mod tests {
         MiniBatch { start_index: instances.first().map(|i| i.index).unwrap_or(0), instances }
     }
 
+    /// Flattens instances into the `(features, classes)` form the flat
+    /// scoring/training entry points take.
+    fn flatten(instances: &[Instance]) -> (Vec<f64>, Vec<usize>) {
+        let mut features = Vec::new();
+        let mut classes = Vec::new();
+        for inst in instances {
+            features.extend_from_slice(&inst.features);
+            classes.push(inst.class);
+        }
+        (features, classes)
+    }
+
     #[test]
     fn construction_respects_hidden_fraction() {
         let net = RbmNetwork::new(
@@ -871,14 +959,17 @@ mod tests {
         // Warm the normalization ranges so the before/after comparison is fair.
         let warm = batch_from(stream.take_instances(50));
         net.train_batch(&warm);
+        let mut ws = Workspace::default();
         let before: f64 =
-            probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+            probe.instances.iter().map(|i| net.reconstruction_error_with(&mut ws, i)).sum::<f64>()
+                / 100.0;
         for _ in 0..60 {
             let batch = batch_from(stream.take_instances(50));
             net.train_batch(&batch);
         }
         let after: f64 =
-            probe.instances.iter().map(|i| net.reconstruction_error(i)).sum::<f64>() / 100.0;
+            probe.instances.iter().map(|i| net.reconstruction_error_with(&mut ws, i)).sum::<f64>()
+                / 100.0;
         assert!(
             after < before * 0.9,
             "training should reduce reconstruction error: before {before}, after {after}"
@@ -897,12 +988,19 @@ mod tests {
             let batch = batch_from(concept_a.take_instances(50));
             net.train_batch(&batch);
         }
-        let err_a: f64 =
-            concept_a.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>()
-                / 200.0;
-        let err_b: f64 =
-            concept_b.take_instances(200).iter().map(|i| net.reconstruction_error(i)).sum::<f64>()
-                / 200.0;
+        let mut ws = Workspace::default();
+        let err_a: f64 = concept_a
+            .take_instances(200)
+            .iter()
+            .map(|i| net.reconstruction_error_with(&mut ws, i))
+            .sum::<f64>()
+            / 200.0;
+        let err_b: f64 = concept_b
+            .take_instances(200)
+            .iter()
+            .map(|i| net.reconstruction_error_with(&mut ws, i))
+            .sum::<f64>()
+            / 200.0;
         assert!(
             err_b > err_a * 1.05,
             "unseen concept should reconstruct worse: trained {err_a}, new {err_b}"
@@ -917,7 +1015,10 @@ mod tests {
         net.train_batch(&batch);
         let only_class_zero: Vec<Instance> =
             (0..20).map(|_| stream.generate_for_class(0)).collect();
-        let errors = net.batch_reconstruction_errors(&batch_from(only_class_zero));
+        let (features, classes) = flatten(&only_class_zero);
+        let mut ws = Workspace::default();
+        let mut errors = Vec::new();
+        net.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errors);
         assert!(errors[0].is_some());
         assert!(errors[1].is_none());
         assert!(errors[2].is_none());
@@ -1019,22 +1120,69 @@ mod tests {
         let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 9);
         let mut via_batch = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
         let mut via_flat = RbmNetwork::new(6, 3, RbmNetworkConfig::default());
+        let mut ws = Workspace::default();
         for _ in 0..15 {
             let batch = batch_from(stream.take_instances(30));
-            let mut features = Vec::new();
-            let mut classes = Vec::new();
-            for inst in &batch.instances {
-                features.extend_from_slice(&inst.features);
-                classes.push(inst.class);
-            }
+            let (features, classes) = flatten(&batch.instances);
             let e1 = via_batch.train_batch(&batch);
             let e2 = via_flat.train_flat(&features, &classes);
             assert_eq!(e1, e2);
-            let errs1 = via_batch.batch_reconstruction_errors(&batch);
+            let mut errs1 = Vec::new();
             let mut errs2 = Vec::new();
-            via_flat.reconstruction_errors_flat_into(&features, &classes, &mut errs2);
+            via_batch.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errs1);
+            via_flat.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errs2);
             assert_eq!(errs1, errs2);
         }
+    }
+
+    /// Checkpoint at an arbitrary batch boundary, serialize to JSON,
+    /// restore onto a fresh network: further training — including the
+    /// Gibbs-chain RNG stream — must be bitwise-identical to the
+    /// uninterrupted network's.
+    #[test]
+    fn checkpoint_roundtrip_training_is_bitwise_identical() {
+        let mut stream = GaussianMixtureGenerator::balanced(6, 3, 1, 55);
+        let config = RbmNetworkConfig { gibbs_steps: 2, ..Default::default() };
+        let mut uninterrupted = RbmNetwork::new(6, 3, config);
+        let mut head = RbmNetwork::new(6, 3, config);
+        let mut batches = Vec::new();
+        for _ in 0..20 {
+            batches.push(flatten(&stream.take_instances(30)));
+        }
+        for (features, classes) in &batches[..7] {
+            assert_eq!(
+                uninterrupted.train_flat(features, classes),
+                head.train_flat(features, classes)
+            );
+        }
+        let json = serde_json::to_string(&head.snapshot_state()).unwrap();
+        let mut resumed = RbmNetwork::new(6, 3, config);
+        resumed.restore_state(&serde_json::parse_value(&json).unwrap()).unwrap();
+        let mut ws = Workspace::default();
+        for (features, classes) in &batches[7..] {
+            let mut expected = Vec::new();
+            let mut got = Vec::new();
+            uninterrupted.reconstruction_errors_flat_with(
+                &mut ws,
+                features,
+                classes,
+                &mut expected,
+            );
+            resumed.reconstruction_errors_flat_with(&mut ws, features, classes, &mut got);
+            assert_eq!(expected, got, "scoring must match after restore");
+            assert_eq!(
+                uninterrupted.train_flat(features, classes),
+                resumed.train_flat(features, classes),
+                "training (and its RNG stream) must match after restore"
+            );
+        }
+        assert_eq!(uninterrupted.w().as_slice(), resumed.w().as_slice());
+        assert_eq!(uninterrupted.u().as_slice(), resumed.u().as_slice());
+        assert_eq!(uninterrupted.batches_trained(), resumed.batches_trained());
+
+        // A different shape refuses the snapshot.
+        let mut wrong = RbmNetwork::new(7, 3, config);
+        assert!(wrong.restore_state(&serde_json::parse_value(&json).unwrap()).is_err());
     }
 
     #[test]

@@ -128,9 +128,12 @@ mod tests {
         let err_a = net_a.reconstruction_error_with(&mut ws, &probe);
         let err_b = net_b.reconstruction_error_with(&mut ws, &probe);
         assert!(err_a.is_finite() && err_b.is_finite());
-        // The immutable variant agrees exactly with the &mut self variant.
-        assert_eq!(err_a, net_a.reconstruction_error(&probe));
-        assert_eq!(err_b, net_b.reconstruction_error(&probe));
+        // Scoring depends only on the model, never on which workspace is
+        // used: a fresh workspace reproduces the pooled one's results
+        // exactly.
+        let mut fresh = Workspace::default();
+        assert_eq!(err_a, net_a.reconstruction_error_with(&mut fresh, &probe));
+        assert_eq!(err_b, net_b.reconstruction_error_with(&mut fresh, &probe));
         pool.restore(ws);
         assert_eq!(pool.free_count(), 1);
     }

@@ -160,6 +160,51 @@ impl TrendTracker {
         Some((all[..half].to_vec(), all[half..].to_vec()))
     }
 
+    /// Captures the tracker's complete mutable state — the regression
+    /// window and its running sums, the embedded ADWIN window, and the
+    /// trend history — as a serde value. Restored with
+    /// [`TrendTracker::restore_state`] onto a tracker built with the same
+    /// configuration, monitoring continues bitwise-identically.
+    pub fn snapshot_state(&self) -> serde::Value {
+        use serde::{Serialize, Value};
+        Value::object(vec![
+            ("max_window", self.max_window.serialize_value()),
+            ("trend_capacity", self.trend_capacity.serialize_value()),
+            ("window", self.window.serialize_value()),
+            ("sum_tr", self.sum_tr.serialize_value()),
+            ("sum_t", self.sum_t.serialize_value()),
+            ("sum_r", self.sum_r.serialize_value()),
+            ("sum_t2", self.sum_t2.serialize_value()),
+            ("sum_r2", self.sum_r2.serialize_value()),
+            ("t", self.t.serialize_value()),
+            ("adwin", self.adwin.checkpoint_value()),
+            ("trend_history", self.trend_history.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`TrendTracker::snapshot_state`].
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let max_window: usize = state.field("max_window")?;
+        let trend_capacity: usize = state.field("trend_capacity")?;
+        if max_window != self.max_window || trend_capacity != self.trend_capacity {
+            return Err(serde::Error::msg(format!(
+                "trend tracker config mismatch: snapshot is window {max_window} / history \
+                 {trend_capacity}, tracker is {} / {}",
+                self.max_window, self.trend_capacity
+            )));
+        }
+        self.window = state.field("window")?;
+        self.sum_tr = state.field("sum_tr")?;
+        self.sum_t = state.field("sum_t")?;
+        self.sum_r = state.field("sum_r")?;
+        self.sum_t2 = state.field("sum_t2")?;
+        self.sum_r2 = state.field("sum_r2")?;
+        self.t = state.field("t")?;
+        self.adwin.restore_from_value(state.req("adwin")?)?;
+        self.trend_history = state.field("trend_history")?;
+        Ok(())
+    }
+
     /// Clears all state (called when a drift has been signalled for the
     /// class this tracker monitors).
     pub fn reset(&mut self) {

@@ -12,7 +12,7 @@
 //! unchanged relative to the seed).
 
 use proptest::prelude::*;
-use rbm_im::network::{RbmNetwork, RbmNetworkConfig};
+use rbm_im::network::{RbmNetwork, RbmNetworkConfig, Workspace};
 use rbm_im::reference::ReferenceRbmNetwork;
 use rbm_im_streams::{Instance, MiniBatch};
 
@@ -20,6 +20,20 @@ const TOL: f64 = 1e-12;
 
 fn batch_from(instances: Vec<Instance>) -> MiniBatch {
     MiniBatch { start_index: 0, instances }
+}
+
+/// Per-class reconstruction errors of a mini-batch through the flat
+/// network's immutable `_with` scoring surface.
+fn flat_batch_errors(net: &RbmNetwork, ws: &mut Workspace, batch: &MiniBatch) -> Vec<Option<f64>> {
+    let mut features = Vec::new();
+    let mut classes = Vec::new();
+    for inst in &batch.instances {
+        features.extend_from_slice(&inst.features);
+        classes.push(inst.class);
+    }
+    let mut out = Vec::new();
+    net.reconstruction_errors_flat_with(ws, &features, &classes, &mut out);
+    out
 }
 
 /// Builds the per-instance stream of a deterministic pseudo-random batch:
@@ -113,7 +127,8 @@ proptest! {
                 "round {round}: training error {flat_err} vs {naive_err}"
             );
             assert_networks_match(&mut flat, &naive, &format!("round {round}"));
-            let flat_errors = flat.batch_reconstruction_errors(&batch);
+            let mut ws = Workspace::default();
+            let flat_errors = flat_batch_errors(&flat, &mut ws, &batch);
             let naive_errors = naive.batch_reconstruction_errors(&batch);
             for (class, (g, w)) in flat_errors.iter().zip(naive_errors.iter()).enumerate() {
                 match (g, w) {
@@ -166,7 +181,9 @@ proptest! {
                 &flat.class_probabilities(&h_naive),
                 &naive.class_probabilities(&h_naive),
             );
-            let (ge, we) = (flat.reconstruction_error(probe), naive.reconstruction_error(probe));
+            let mut ws = Workspace::default();
+            let (ge, we) =
+                (flat.reconstruction_error_with(&mut ws, probe), naive.reconstruction_error(probe));
             prop_assert!(
                 (ge - we).abs() <= TOL,
                 "probe {p}: reconstruction error {ge} vs {we}"
@@ -191,6 +208,7 @@ fn flat_network_is_bitwise_identical_at_fixed_shape() {
         let config = RbmNetworkConfig { gibbs_steps, ..Default::default() };
         let mut flat = RbmNetwork::new(10, 4, config);
         let mut naive = ReferenceRbmNetwork::new(10, 4, config);
+        let mut ws = Workspace::default();
         for round in 0..20u64 {
             let batch = batch_from(synth_instances(50, 10, 4, 1000 + round));
             let flat_err = flat.train_batch(&batch);
@@ -206,7 +224,7 @@ fn flat_network_is_bitwise_identical_at_fixed_shape() {
             assert_eq!(flat.b(), &naive.b[..]);
             assert_eq!(flat.c(), &naive.c[..]);
             assert_eq!(
-                flat.batch_reconstruction_errors(&batch),
+                flat_batch_errors(&flat, &mut ws, &batch),
                 naive.batch_reconstruction_errors(&batch),
                 "k={gibbs_steps} round {round}: per-class errors"
             );

@@ -1,32 +1,46 @@
 //! Enforces the workspace contract: once the [`Workspace`] buffers have
 //! grown to the working shape, steady-state `train_flat` /
-//! `reconstruction_errors_flat_into` calls perform **zero** heap
+//! `reconstruction_errors_flat_with` calls perform **zero** heap
 //! allocations. A counting global allocator measures the hot path directly;
 //! this file holds a single test so no concurrent test can pollute the
 //! counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rbm_im::network::{RbmNetwork, RbmNetworkConfig};
+use rbm_im::network::{RbmNetwork, RbmNetworkConfig, Workspace};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only the test thread's allocations are counted while this is set —
+    /// libtest's harness threads (result reporting, timers) allocate
+    /// concurrently and must not pollute the measurement.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    if COUNTING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -67,20 +81,23 @@ fn steady_state_training_does_not_allocate() {
     let mut features = vec![0.0; BATCH * FEATURES];
     let mut classes = vec![0usize; BATCH];
     let mut errors = Vec::with_capacity(CLASSES);
+    let mut ws = Workspace::default();
 
     // Warm-up: the first batches grow every workspace buffer to shape.
     for round in 0..3 {
         fill_batch(&mut features, &mut classes, CLASSES, round);
-        net.reconstruction_errors_flat_into(&features, &classes, &mut errors);
+        net.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errors);
         net.train_flat(&features, &classes);
     }
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(true));
     for round in 3..10 {
         fill_batch(&mut features, &mut classes, CLASSES, round);
-        net.reconstruction_errors_flat_into(&features, &classes, &mut errors);
+        net.reconstruction_errors_flat_with(&mut ws, &features, &classes, &mut errors);
         net.train_flat(&features, &classes);
     }
+    COUNTING.with(|flag| flag.set(false));
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
     assert_eq!(

@@ -49,6 +49,13 @@ pub enum ServeEventKind {
         /// Final run summary of the stream.
         result: RunResult,
     },
+    /// The stream was live-migrated onto this shard by an elastic resize
+    /// (`ServerHandle::resize_shards`): its checkpointed state moved
+    /// losslessly and processing continues bitwise-identically.
+    Migrated {
+        /// Shard the stream lived on before the resize.
+        from_shard: usize,
+    },
 }
 
 impl ServeEventKind {
@@ -111,6 +118,15 @@ impl EventBus {
     /// only pruned on publish, so this is an upper bound).
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.lock().expect("event bus poisoned").len()
+    }
+
+    /// Disconnects every subscriber: their receivers see end-of-stream once
+    /// they have drained what was already published. The server calls this
+    /// at the end of a graceful shutdown — the bus itself may outlive the
+    /// server inside lingering [`StreamClient`](crate::StreamClient)
+    /// handles, and subscriber loops must still terminate.
+    pub fn close(&self) {
+        self.subscribers.lock().expect("event bus poisoned").clear();
     }
 }
 

@@ -31,7 +31,16 @@
 //!   executes, and per-stream deterministic seeding decorrelates streams
 //!   reproducibly — so results (drift offsets, metrics) are **bitwise
 //!   independent of shard count and ingest interleaving**, pinned by the
-//!   `tests/serving.rs` suite against sequential runs.
+//!   `tests/serving.rs` suite against sequential runs;
+//! * the fleet is **elastic**: ids route over a consistent-hash ring, so
+//!   [`ServerHandle::resize_shards`](server::ServerHandle::resize_shards)
+//!   grows or shrinks the shard count live, migrating only the streams
+//!   whose ring ownership changed (checkpoint on the old shard → transfer
+//!   → restore on the new one, ingest parked and replayed — nothing lost,
+//!   nothing reordered; `tests/resharding.rs`), and
+//!   [`SnapshotSink`](sink::SnapshotSink) spills per-stream
+//!   [`StreamCheckpoint`](server::StreamCheckpoint)s to JSON for bitwise
+//!   warm restarts.
 //!
 //! # Lifecycle
 //!
@@ -78,11 +87,13 @@ pub mod event;
 pub mod router;
 pub mod server;
 mod shard;
+pub mod sink;
 
 pub use config::ServeConfig;
 pub use event::{EventBus, ServeEvent, ServeEventKind};
 pub use router::StreamRouter;
 pub use server::{
-    deterministic_spec, IngestError, ServeError, ServeReport, ServerHandle, StreamClient,
-    StreamSummary,
+    deterministic_spec, IngestError, MigratedStream, ResizeReport, ServeError, ServeReport,
+    ServerHandle, StreamCheckpoint, StreamClient, StreamSummary,
 };
+pub use sink::SnapshotSink;

@@ -1,4 +1,17 @@
-//! Stream-id → shard routing.
+//! Stream-id → shard routing on a consistent-hash ring.
+//!
+//! The original router was `shard_of = hash(id) % N`, which reassigns
+//! almost every stream when the shard count changes — disqualifying for
+//! elastic resharding, where a resize must move only the streams whose
+//! ownership genuinely changed. The ring fixes that: every shard projects
+//! [`StreamRouter::DEFAULT_VIRTUAL_NODES`] pseudo-random points onto the
+//! `u64` circle, and a stream id is owned by the shard whose point is the
+//! id's clockwise successor. A shard's points depend only on its own index,
+//! so growing N→M leaves all existing points in place and adding/removing a
+//! shard moves only the ids whose successor changed — in expectation `K/M`
+//! of `K` streams per added shard, against `K·(1−1/M)` for the modulo
+//! router (`crates/serve/tests/router_quality.rs` pins both the uniformity
+//! of placement and this movement bound).
 
 use rbm_im_streams::source::derive_stream_seed;
 
@@ -8,19 +21,43 @@ use rbm_im_streams::source::derive_stream_seed;
 /// constant rather than the server's configurable seed.
 const ROUTER_SALT: u64 = 0x5eed_0000_1207_a11b;
 
-/// Hashes stream ids onto shards. Stateless and deterministic: the same id
-/// always lands on the same shard for a given shard count, with no shared
-/// table and no locking on the ingest path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Hashes stream ids onto shards via a consistent-hash ring with virtual
+/// nodes. Deterministic: the same id always lands on the same shard for a
+/// given shard count, with no shared table and no locking on the ingest
+/// path. Cheap to clone (the ring is a sorted point vector).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamRouter {
     num_shards: usize,
+    virtual_nodes: usize,
+    /// Ring points sorted by position: `(point, shard)`.
+    ring: Vec<(u64, usize)>,
 }
 
 impl StreamRouter {
-    /// A router over `num_shards` shards (must be ≥ 1).
+    /// Virtual nodes per shard: enough that the largest/smallest shard load
+    /// stays within a few percent of uniform at realistic shard counts.
+    pub const DEFAULT_VIRTUAL_NODES: usize = 64;
+
+    /// A router over `num_shards` shards (must be ≥ 1) with the default
+    /// virtual-node count.
     pub fn new(num_shards: usize) -> Self {
+        Self::with_virtual_nodes(num_shards, Self::DEFAULT_VIRTUAL_NODES)
+    }
+
+    /// A router with an explicit virtual-node count (tests and tuning).
+    pub fn with_virtual_nodes(num_shards: usize, virtual_nodes: usize) -> Self {
         assert!(num_shards >= 1, "a server needs at least one shard");
-        StreamRouter { num_shards }
+        assert!(virtual_nodes >= 1, "a shard needs at least one ring point");
+        let mut ring = Vec::with_capacity(num_shards * virtual_nodes);
+        for shard in 0..num_shards {
+            for vnode in 0..virtual_nodes {
+                ring.push((vnode_point(shard, vnode), shard));
+            }
+        }
+        // Sorting by (point, shard) makes collisions (astronomically rare
+        // on a u64 circle) deterministic.
+        ring.sort_unstable();
+        StreamRouter { num_shards, virtual_nodes, ring }
     }
 
     /// Number of shards routed over.
@@ -28,11 +65,34 @@ impl StreamRouter {
         self.num_shards
     }
 
-    /// The shard owning `stream_id` (FNV-1a over the id, SplitMix64
-    /// finalization, modulo the shard count).
-    pub fn shard_of(&self, stream_id: &str) -> usize {
-        (derive_stream_seed(ROUTER_SALT, stream_id) % self.num_shards as u64) as usize
+    /// Virtual nodes per shard.
+    pub fn virtual_nodes(&self) -> usize {
+        self.virtual_nodes
     }
+
+    /// The shard owning `stream_id`: the id hashes to a point on the `u64`
+    /// circle and is owned by the clockwise-next ring point's shard.
+    pub fn shard_of(&self, stream_id: &str) -> usize {
+        let point = derive_stream_seed(ROUTER_SALT, stream_id);
+        // Successor lookup: first ring point strictly above the id's point,
+        // wrapping to the first point of the circle.
+        let idx = self.ring.partition_point(|&(p, _)| p <= point);
+        let idx = if idx == self.ring.len() { 0 } else { idx };
+        self.ring[idx].1
+    }
+}
+
+/// Ring position of one virtual node: a SplitMix64-style mix of the shard
+/// and vnode indices. Depends only on `(shard, vnode)` — never on the total
+/// shard count — which is what makes the ring consistent under resizes.
+fn vnode_point(shard: usize, vnode: usize) -> u64 {
+    let mut z = (shard as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((vnode as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+        ^ ROUTER_SALT;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -70,6 +130,36 @@ mod tests {
                 count > 20 && count < 160,
                 "shard {shard} got a pathological share: {count}/512"
             );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_reassigns_to_new_shards() {
+        // Consistency: an id that moves under a grow must move *to* one of
+        // the added shards — never between surviving shards.
+        let before = StreamRouter::new(6);
+        let after = StreamRouter::new(8);
+        for i in 0..1_000 {
+            let id = format!("stream-{i:05}");
+            let old = before.shard_of(&id);
+            let new = after.shard_of(&id);
+            assert!(new == old || new >= 6, "{id}: moved {old} → {new}, not to an added shard");
+        }
+    }
+
+    #[test]
+    fn shrinking_the_ring_only_moves_streams_of_removed_shards() {
+        let before = StreamRouter::new(8);
+        let after = StreamRouter::new(5);
+        for i in 0..1_000 {
+            let id = format!("stream-{i:05}");
+            let old = before.shard_of(&id);
+            let new = after.shard_of(&id);
+            if old < 5 {
+                assert_eq!(new, old, "{id}: surviving shard's stream must not move");
+            } else {
+                assert!(new < 5);
+            }
         }
     }
 

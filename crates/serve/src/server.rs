@@ -1,23 +1,34 @@
 //! The serving front-end: [`ServerHandle`] (attach / ingest / subscribe /
-//! drain / shutdown) and [`StreamClient`] (the per-stream ingest handle
-//! feeder threads clone and keep).
+//! resize / checkpoint / drain / shutdown) and [`StreamClient`] (the
+//! per-stream ingest handle feeder threads clone and keep).
+//!
+//! Topology is **dynamic**: the consistent-hash
+//! [`StreamRouter`](crate::router::StreamRouter) and the shard channel set
+//! live behind an `RwLock` that every ingest resolves through (a read lock
+//! held just for the send), so [`ServerHandle::resize_shards`] can grow or
+//! shrink the shard fleet live: only the streams whose ring ownership
+//! changed are migrated — checkpointed on the old shard, transferred, and
+//! restored on the new one, with their in-flight ingest parked and
+//! replayed so no instance is lost or reordered.
 
 use crate::config::ServeConfig;
 use crate::event::{EventBus, ServeEvent};
 use crate::router::StreamRouter;
-use crate::shard::{Payload, ShardMsg, ShardReport, ShardWorker};
+use crate::shard::{MigrationBundle, Payload, RestoreKind, ShardMsg, ShardReport, ShardWorker};
+use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{PipelineError, RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec, RegistryError};
 use rbm_im_streams::source::derive_stream_seed;
 use rbm_im_streams::{Instance, StreamSchema};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-/// Errors of serving control operations (attach / detach / blocking
-/// ingest).
+/// Errors of serving control operations (attach / detach / resize /
+/// checkpoint / blocking ingest).
 #[derive(Debug)]
 pub enum ServeError {
     /// The stream id is already attached on its shard.
@@ -28,6 +39,10 @@ pub enum ServeError {
     Registry(RegistryError),
     /// The shard worker is gone (server shut down or worker panicked).
     ShardUnavailable,
+    /// Capturing or restoring a stream checkpoint failed.
+    Checkpoint(String),
+    /// An elastic resize could not be performed.
+    Resize(String),
 }
 
 impl fmt::Display for ServeError {
@@ -37,6 +52,8 @@ impl fmt::Display for ServeError {
             ServeError::UnknownStream(id) => write!(f, "no stream `{id}` is attached"),
             ServeError::Registry(e) => write!(f, "detector resolution failed: {e}"),
             ServeError::ShardUnavailable => write!(f, "shard worker unavailable"),
+            ServeError::Checkpoint(e) => write!(f, "stream checkpoint failed: {e}"),
+            ServeError::Resize(e) => write!(f, "shard resize failed: {e}"),
         }
     }
 }
@@ -100,6 +117,43 @@ pub struct StreamSummary {
     pub result: RunResult,
 }
 
+/// A served stream's self-contained checkpoint: the stream id plus the
+/// harness [`PipelineCheckpoint`] (schema, effective detector spec, run
+/// config, complete pipeline state). Serializes to plain JSON — the unit
+/// [`SnapshotSink`](crate::sink::SnapshotSink) spills to disk and
+/// [`ServerHandle::restore_stream`] resumes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    /// Stream id.
+    pub stream: String,
+    /// The pipeline checkpoint.
+    pub checkpoint: PipelineCheckpoint,
+}
+
+/// One stream moved by an elastic resize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigratedStream {
+    /// Stream id.
+    pub stream: String,
+    /// Shard the stream lived on before the resize.
+    pub from: usize,
+    /// Shard that owns the stream after the resize.
+    pub to: usize,
+}
+
+/// What [`ServerHandle::resize_shards`] reports: the shard counts and
+/// exactly which streams moved (only those whose consistent-hash ring
+/// ownership changed).
+#[derive(Debug, Clone, Default)]
+pub struct ResizeReport {
+    /// Shard count before the resize.
+    pub old_shards: usize,
+    /// Shard count after the resize.
+    pub new_shards: usize,
+    /// The migrated streams, sorted by id.
+    pub moved: Vec<MigratedStream>,
+}
+
 /// What [`ServerHandle::shutdown`] returns: every stream's final summary
 /// plus serving diagnostics.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -110,7 +164,8 @@ pub struct ServeReport {
     pub streams: Vec<StreamSummary>,
     /// Instances ingested for ids with no attached pipeline (dropped).
     pub dropped_unknown: u64,
-    /// Workspace-pool checkouts served by reuse across all shards.
+    /// Workspace-pool checkouts served by reuse across all shards
+    /// (including shards retired by resizes).
     pub workspace_reuse_hits: u64,
     /// Workspace-pool checkouts that had to allocate a fresh workspace.
     pub workspace_reuse_misses: u64,
@@ -155,14 +210,95 @@ pub fn deterministic_spec(
     }
 }
 
-/// A cloneable per-stream ingest handle: the stream id is pre-resolved to
-/// its shard and interned once, so the hot path is a single bounded-channel
-/// send. Feeder threads clone one of these per stream they pump.
-#[derive(Debug, Clone)]
+/// The shard fleet at one point in time: the consistent-hash router plus
+/// one ingest channel per shard slot. Swapped atomically by resizes.
+struct Topology {
+    router: StreamRouter,
+    shards: Vec<SyncSender<ShardMsg>>,
+}
+
+/// Server state shared between the handle and every [`StreamClient`].
+struct ServerInner {
+    config: ServeConfig,
+    registry: Arc<DetectorRegistry>,
+    bus: Arc<EventBus>,
+    /// The live topology. Ingest takes a read lock for the duration of one
+    /// channel send; resizes take the write lock only for the atomic swap.
+    topology: RwLock<Topology>,
+}
+
+impl ServerInner {
+    /// Blocking routed send: routes `msg` to the shard owning `id` under
+    /// the current topology and waits for queue space. Each *enqueue
+    /// attempt* happens with the topology read lock held (so a resize
+    /// cannot retire the channel between resolve and send), but a full
+    /// queue is waited out with the lock **released** — a saturated shard
+    /// must not starve `resize_shards`' write lock, since growing the
+    /// fleet is exactly how sustained overload gets relieved. Re-resolving
+    /// per attempt also means the wait naturally follows the stream to its
+    /// new shard across a resize.
+    ///
+    /// The `Err` carries the whole message back on purpose: a bounced
+    /// ingest must return its instances to the caller
+    /// ([`IngestError`] reclaims them), so boxing it away would just move
+    /// the allocation onto the hot path.
+    #[allow(clippy::result_large_err)]
+    fn send_routed(&self, id: &str, msg: ShardMsg) -> Result<(), ShardMsg> {
+        let mut msg = msg;
+        let mut attempts = 0u32;
+        loop {
+            match self.try_send_routed(id, msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(bounced)) => {
+                    msg = bounced;
+                    // Brief yields first (queue space usually opens within
+                    // a scheduling quantum), then bounded sleeps so blocked
+                    // feeders do not busy-burn a core against a saturated
+                    // shard.
+                    attempts = attempts.saturating_add(1);
+                    if attempts <= 16 {
+                        std::thread::yield_now();
+                    } else {
+                        let micros = 50u64 << (attempts - 17).min(5);
+                        std::thread::sleep(std::time::Duration::from_micros(micros));
+                    }
+                }
+                Err(TrySendError::Disconnected(bounced)) => return Err(bounced),
+            }
+        }
+    }
+
+    /// See [`ServerInner::send_routed`] on the deliberately large `Err`.
+    #[allow(clippy::result_large_err)]
+    fn try_send_routed(&self, id: &str, msg: ShardMsg) -> Result<(), TrySendError<ShardMsg>> {
+        let topology = self.topology.read().expect("topology lock poisoned");
+        let shard = topology.router.shard_of(id);
+        topology.shards[shard].try_send(msg)
+    }
+}
+
+/// Diagnostics of shards retired by shrinking resizes, folded into the
+/// final [`ServeReport`]. `summaries` is normally empty — a retired shard
+/// owns no streams — but holds the final summaries of streams reinstated
+/// on a retiring source after a failed migration (their state is finalized
+/// at retirement rather than silently lost).
+#[derive(Default)]
+struct RetiredStats {
+    summaries: Vec<StreamSummary>,
+    dropped_unknown: u64,
+    workspace_reuse_hits: u64,
+    workspace_reuse_misses: u64,
+    panicked_shards: usize,
+}
+
+/// A cloneable per-stream ingest handle. The stream id is interned once;
+/// each send resolves the owning shard against the live topology, so
+/// clients keep working across elastic resizes (instances simply start
+/// flowing to the stream's new shard).
+#[derive(Clone)]
 pub struct StreamClient {
     id: Arc<str>,
-    shard: usize,
-    tx: SyncSender<ShardMsg>,
+    inner: Arc<ServerInner>,
 }
 
 impl StreamClient {
@@ -171,19 +307,19 @@ impl StreamClient {
         &self.id
     }
 
-    /// The shard owning the stream.
+    /// The shard currently owning the stream (may change across resizes).
     pub fn shard(&self) -> usize {
-        self.shard
+        self.inner.topology.read().expect("topology lock poisoned").router.shard_of(&self.id)
     }
 
     /// Non-blocking ingest of one instance. On a full queue the instance
     /// comes back in [`IngestError::Full`]; the caller decides between
     /// retrying, blocking ([`StreamClient::ingest`]) and shedding load.
     pub fn try_ingest(&self, instance: Instance) -> Result<(), IngestError> {
-        match self.tx.try_send(ShardMsg::Ingest {
-            id: Arc::clone(&self.id),
-            payload: Payload::One(instance),
-        }) {
+        match self.inner.try_send_routed(
+            &self.id,
+            ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::One(instance) },
+        ) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(msg)) => Err(IngestError::Full(reclaim(msg))),
             Err(TrySendError::Disconnected(msg)) => Err(IngestError::Closed(reclaim(msg))),
@@ -196,10 +332,10 @@ impl StreamClient {
         if instances.is_empty() {
             return Ok(());
         }
-        match self.tx.try_send(ShardMsg::Ingest {
-            id: Arc::clone(&self.id),
-            payload: Payload::Many(instances),
-        }) {
+        match self.inner.try_send_routed(
+            &self.id,
+            ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::Many(instances) },
+        ) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(msg)) => Err(IngestError::Full(reclaim(msg))),
             Err(TrySendError::Disconnected(msg)) => Err(IngestError::Closed(reclaim(msg))),
@@ -210,9 +346,12 @@ impl StreamClient {
     /// natural mode for replay pumps that should simply run at the shard's
     /// pace).
     pub fn ingest(&self, instance: Instance) -> Result<(), IngestError> {
-        self.tx
-            .send(ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::One(instance) })
-            .map_err(|e| IngestError::Closed(reclaim(e.0)))
+        self.inner
+            .send_routed(
+                &self.id,
+                ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::One(instance) },
+            )
+            .map_err(|msg| IngestError::Closed(reclaim(msg)))
     }
 
     /// Blocking micro-batch ingest.
@@ -220,9 +359,18 @@ impl StreamClient {
         if instances.is_empty() {
             return Ok(());
         }
-        self.tx
-            .send(ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::Many(instances) })
-            .map_err(|e| IngestError::Closed(reclaim(e.0)))
+        self.inner
+            .send_routed(
+                &self.id,
+                ShardMsg::Ingest { id: Arc::clone(&self.id), payload: Payload::Many(instances) },
+            )
+            .map_err(|msg| IngestError::Closed(reclaim(msg)))
+    }
+}
+
+impl fmt::Debug for StreamClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamClient").field("id", &self.id).finish()
     }
 }
 
@@ -241,16 +389,21 @@ fn reclaim(msg: ShardMsg) -> Vec<Instance> {
 /// detector resolved from an arbitrary registry [`DetectorSpec`]);
 /// [`StreamClient::try_ingest`] feeds instances with explicit backpressure;
 /// [`ServerHandle::subscribe`] taps the drift-event bus;
+/// [`ServerHandle::resize_shards`] grows or shrinks the fleet live,
+/// migrating only ring-reassigned streams; [`ServerHandle::checkpoint_all`]
+/// captures restartable per-stream checkpoints;
 /// [`ServerHandle::drain`] barriers until all queued ingest is processed;
 /// [`ServerHandle::shutdown`] stops the workers gracefully — every attached
 /// stream's trailing micro-batch is flushed and its final summary returned.
 pub struct ServerHandle {
-    config: ServeConfig,
-    registry: Arc<DetectorRegistry>,
-    router: StreamRouter,
-    bus: Arc<EventBus>,
-    shards: Vec<SyncSender<ShardMsg>>,
-    joins: Vec<JoinHandle<ShardReport>>,
+    inner: Arc<ServerInner>,
+    /// Worker join handles by shard slot (grown/shrunk by resizes).
+    joins: Mutex<HashMap<usize, JoinHandle<ShardReport>>>,
+    /// Serializes control-plane operations (attach / detach / resize /
+    /// restore) so a resize observes a stable stream population.
+    control: Mutex<()>,
+    /// Counters of shards retired by shrinking resizes.
+    retired: Mutex<RetiredStats>,
 }
 
 impl ServerHandle {
@@ -264,31 +417,39 @@ impl ServerHandle {
     pub fn start_with_registry(config: ServeConfig, registry: Arc<DetectorRegistry>) -> Self {
         assert!(config.num_shards >= 1, "a server needs at least one shard");
         assert!(config.queue_capacity >= 1, "ingest queues need capacity");
-        let router = StreamRouter::new(config.num_shards);
         let bus = Arc::new(EventBus::new());
         let mut shards = Vec::with_capacity(config.num_shards);
-        let mut joins = Vec::with_capacity(config.num_shards);
+        let mut joins = HashMap::with_capacity(config.num_shards);
         for index in 0..config.num_shards {
-            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
-            let worker = ShardWorker::new(index, Arc::clone(&registry), Arc::clone(&bus));
-            let join = std::thread::Builder::new()
-                .name(format!("rbm-serve-shard-{index}"))
-                .spawn(move || worker.run(rx))
-                .expect("failed to spawn shard worker");
+            let (tx, join) = spawn_worker(index, &registry, &bus, config.queue_capacity);
             shards.push(tx);
-            joins.push(join);
+            joins.insert(index, join);
         }
-        ServerHandle { config, registry, router, bus, shards, joins }
+        let inner = Arc::new(ServerInner {
+            config,
+            registry,
+            bus,
+            topology: RwLock::new(Topology {
+                router: StreamRouter::new(config.num_shards),
+                shards,
+            }),
+        });
+        ServerHandle {
+            inner,
+            joins: Mutex::new(joins),
+            control: Mutex::new(()),
+            retired: Mutex::new(RetiredStats::default()),
+        }
     }
 
-    /// Number of shards.
+    /// Current number of shards.
     pub fn num_shards(&self) -> usize {
-        self.router.num_shards()
+        self.inner.topology.read().expect("topology lock poisoned").router.num_shards()
     }
 
-    /// The shard a stream id routes to.
+    /// The shard a stream id currently routes to.
     pub fn shard_of(&self, stream_id: &str) -> usize {
-        self.router.shard_of(stream_id)
+        self.inner.topology.read().expect("topology lock poisoned").router.shard_of(stream_id)
     }
 
     /// The spec a stream would actually be built with: the attach spec
@@ -296,8 +457,8 @@ impl ServerHandle {
     /// [`ServeConfig::deterministic_seeding`] is off). Sequential baseline
     /// runs use this to reproduce served results exactly.
     pub fn effective_spec(&self, stream_id: &str, spec: &DetectorSpec) -> DetectorSpec {
-        if self.config.deterministic_seeding {
-            deterministic_spec(&self.registry, self.config.base_seed, stream_id, spec)
+        if self.inner.config.deterministic_seeding {
+            deterministic_spec(&self.inner.registry, self.inner.config.base_seed, stream_id, spec)
         } else {
             spec.clone()
         }
@@ -313,7 +474,7 @@ impl ServerHandle {
         schema: StreamSchema,
         spec: &DetectorSpec,
     ) -> Result<StreamClient, ServeError> {
-        self.attach_with(stream_id, schema, spec, self.config.run)
+        self.attach_with(stream_id, schema, spec, self.inner.config.run)
     }
 
     /// [`ServerHandle::attach`] with a per-stream [`RunConfig`] override
@@ -325,23 +486,25 @@ impl ServerHandle {
         spec: &DetectorSpec,
         run: RunConfig,
     ) -> Result<StreamClient, ServeError> {
+        let _guard = self.control.lock().expect("control lock poisoned");
         let spec = self.effective_spec(stream_id, spec);
-        let shard = self.router.shard_of(stream_id);
         let id: Arc<str> = Arc::from(stream_id);
         let (reply_tx, reply_rx) = channel();
-        self.shards[shard]
-            .send(ShardMsg::Attach { id: Arc::clone(&id), schema, spec, run, reply: reply_tx })
+        self.inner
+            .send_routed(
+                stream_id,
+                ShardMsg::Attach { id: Arc::clone(&id), schema, spec, run, reply: reply_tx },
+            )
             .map_err(|_| ServeError::ShardUnavailable)?;
         reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)??;
-        Ok(StreamClient { id, shard, tx: self.shards[shard].clone() })
+        Ok(StreamClient { id, inner: Arc::clone(&self.inner) })
     }
 
-    /// An ingest client for an already-attached stream id (stateless
-    /// routing; ingesting through a client for an unattached id counts into
-    /// [`ServeReport::dropped_unknown`]).
+    /// An ingest client for an already-attached stream id (routing is
+    /// resolved per send; ingesting through a client for an unattached id
+    /// counts into [`ServeReport::dropped_unknown`]).
     pub fn client(&self, stream_id: &str) -> StreamClient {
-        let shard = self.router.shard_of(stream_id);
-        StreamClient { id: Arc::from(stream_id), shard, tx: self.shards[shard].clone() }
+        StreamClient { id: Arc::from(stream_id), inner: Arc::clone(&self.inner) }
     }
 
     /// Convenience single-instance ingest by id (interns the id per call;
@@ -355,19 +518,96 @@ impl ServerHandle {
     /// returned. Instances of that id still queued behind the detach marker
     /// are dropped (counted in [`ServeReport::dropped_unknown`]).
     pub fn detach(&self, stream_id: &str) -> Result<RunResult, ServeError> {
-        let shard = self.router.shard_of(stream_id);
+        let _guard = self.control.lock().expect("control lock poisoned");
         let (reply_tx, reply_rx) = channel();
-        self.shards[shard]
-            .send(ShardMsg::Detach { id: Arc::from(stream_id), reply: reply_tx })
+        self.inner
+            .send_routed(stream_id, ShardMsg::Detach { id: Arc::from(stream_id), reply: reply_tx })
             .map_err(|_| ServeError::ShardUnavailable)?;
         reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?
     }
 
+    /// Captures a non-destructive checkpoint of one attached stream: the
+    /// stream keeps serving, and the returned [`StreamCheckpoint`] (JSON-
+    /// serializable) resumes it — after a restart, or on another server —
+    /// bitwise-identically via [`ServerHandle::restore_stream`]. The
+    /// checkpoint reflects every instance ingested before this call that
+    /// has been processed; call [`ServerHandle::drain`] first for an
+    /// exact up-to-here snapshot.
+    pub fn checkpoint_stream(&self, stream_id: &str) -> Result<StreamCheckpoint, ServeError> {
+        // Control lock: a concurrent resize could otherwise extract the
+        // stream between routing and delivery, turning a checkpoint of a
+        // healthy stream into a spurious `UnknownStream`.
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let (reply_tx, reply_rx) = channel();
+        self.inner
+            .send_routed(
+                stream_id,
+                ShardMsg::Checkpoint { id: Arc::from(stream_id), reply: reply_tx },
+            )
+            .map_err(|_| ServeError::ShardUnavailable)?;
+        reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?
+    }
+
+    /// Captures non-destructive checkpoints of **every** attached stream,
+    /// sorted by stream id. The restart-from-disk flow is
+    /// `drain(); checkpoint_all()` → spill via
+    /// [`SnapshotSink`](crate::sink::SnapshotSink) → (new process) load →
+    /// [`ServerHandle::restore_stream`] each.
+    pub fn checkpoint_all(&self) -> Result<Vec<StreamCheckpoint>, ServeError> {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let txs: Vec<SyncSender<ShardMsg>> =
+            self.inner.topology.read().expect("topology lock poisoned").shards.clone();
+        let mut replies = Vec::with_capacity(txs.len());
+        for tx in &txs {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(ShardMsg::CheckpointAll { reply: reply_tx })
+                .map_err(|_| ServeError::ShardUnavailable)?;
+            replies.push(reply_rx);
+        }
+        let mut checkpoints = Vec::new();
+        for reply in replies {
+            checkpoints.extend(reply.recv().map_err(|_| ServeError::ShardUnavailable)??);
+        }
+        checkpoints.sort_by(|a, b| a.stream.cmp(&b.stream));
+        Ok(checkpoints)
+    }
+
+    /// Attaches a stream from a previously captured [`StreamCheckpoint`]:
+    /// the pipeline resumes exactly where the checkpoint was taken
+    /// (classifier, detector — RBM weights and RNG included — metrics and
+    /// the partially filled detector micro-batch all restored bitwise).
+    /// Returns the stream's ingest client.
+    pub fn restore_stream(
+        &self,
+        checkpoint: &StreamCheckpoint,
+    ) -> Result<StreamClient, ServeError> {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let id: Arc<str> = Arc::from(checkpoint.stream.as_str());
+        let (reply_tx, reply_rx) = channel();
+        self.inner
+            .send_routed(
+                &checkpoint.stream,
+                ShardMsg::Restore {
+                    id: Arc::clone(&id),
+                    bundle: MigrationBundle {
+                        checkpoint: checkpoint.checkpoint.clone(),
+                        parked: Vec::new(),
+                    },
+                    kind: RestoreKind::FromDisk,
+                    reply: reply_tx,
+                },
+            )
+            .map_err(|_| ServeError::ShardUnavailable)?;
+        reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?.map_err(|f| f.error)?;
+        Ok(StreamClient { id, inner: Arc::clone(&self.inner) })
+    }
+
     /// Subscribes to the drift-event bus: the receiver sees every event
-    /// published after this call (attach/detach notices, warnings, drifts
-    /// with per-class attribution, periodic metric snapshots).
+    /// published after this call (attach/detach/migration notices,
+    /// warnings, drifts with per-class attribution, periodic metric
+    /// snapshots).
     pub fn subscribe(&self) -> Receiver<ServeEvent> {
-        self.bus.subscribe()
+        self.inner.bus.subscribe()
     }
 
     /// Barrier: returns once every ingest message queued before this call
@@ -375,8 +615,14 @@ impl ServerHandle {
     /// proof). Events for everything ingested so far are on the bus when
     /// this returns.
     pub fn drain(&self) {
-        let mut replies = Vec::with_capacity(self.shards.len());
-        for tx in &self.shards {
+        // Control lock: during a resize, a mover's queued ingest sits in
+        // park buffers rather than having been stepped, so a concurrent
+        // drain would acknowledge a barrier it does not actually provide.
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let txs: Vec<SyncSender<ShardMsg>> =
+            self.inner.topology.read().expect("topology lock poisoned").shards.clone();
+        let mut replies = Vec::with_capacity(txs.len());
+        for tx in &txs {
             let (reply_tx, reply_rx) = channel();
             if tx.send(ShardMsg::Drain { reply: reply_tx }).is_ok() {
                 replies.push(reply_rx);
@@ -387,17 +633,297 @@ impl ServerHandle {
         }
     }
 
+    /// Elastically resizes the shard fleet to `new_count` workers,
+    /// **live**: streams keep serving throughout, and only the streams
+    /// whose consistent-hash ring ownership changed are migrated. Each
+    /// moving stream is parked (its ingest buffered, not dropped),
+    /// checkpointed on its old shard, restored on its new shard, and its
+    /// buffered ingest replayed in arrival order — so results remain
+    /// bitwise-identical to a run that was never resized. Growing spawns
+    /// new workers; shrinking drains and retires the removed ones (their
+    /// diagnostics counters fold into the final [`ServeReport`]).
+    pub fn resize_shards(&self, new_count: usize) -> Result<ResizeReport, ServeError> {
+        if new_count == 0 {
+            return Err(ServeError::Resize("a server needs at least one shard".into()));
+        }
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let (old_router, old_shards) = {
+            let topology = self.inner.topology.read().expect("topology lock poisoned");
+            (topology.router.clone(), topology.shards.clone())
+        };
+        let old_count = old_router.num_shards();
+        let mut report =
+            ResizeReport { old_shards: old_count, new_shards: new_count, moved: Vec::new() };
+        if new_count == old_count {
+            return Ok(report);
+        }
+
+        // New topology: surviving channels keep their slots; added slots
+        // get fresh workers (spawned now, receiving traffic only after the
+        // swap).
+        let new_router = StreamRouter::new(new_count);
+        let mut new_shards: Vec<SyncSender<ShardMsg>> =
+            old_shards.iter().take(new_count).cloned().collect();
+        for index in old_count..new_count {
+            let (tx, join) = spawn_worker(
+                index,
+                &self.inner.registry,
+                &self.inner.bus,
+                self.inner.config.queue_capacity,
+            );
+            new_shards.push(tx);
+            self.joins.lock().expect("joins lock poisoned").insert(index, join);
+        }
+
+        // Plan: inventory every old shard and keep the streams whose ring
+        // owner changes.
+        let mut moving: Vec<(Arc<str>, usize, usize)> = Vec::new();
+        for (shard, tx) in old_shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(ShardMsg::Inventory { reply: reply_tx })
+                .map_err(|_| ServeError::ShardUnavailable)?;
+            for id in reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)? {
+                let to = new_router.shard_of(&id);
+                if to != shard {
+                    moving.push((id, shard, to));
+                }
+            }
+        }
+        moving.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Park the movers at their sources (freezes their state while
+        // buffering — not dropping — their ingest) and at their targets
+        // (catches instances routed there after the swap but before the
+        // state arrives). Both parks are enqueued before the swap, so FIFO
+        // ordering makes them effective before any rerouted ingest.
+        let mut by_source: HashMap<usize, Vec<Arc<str>>> = HashMap::new();
+        let mut by_target: HashMap<usize, Vec<Arc<str>>> = HashMap::new();
+        for (id, from, to) in &moving {
+            by_source.entry(*from).or_default().push(Arc::clone(id));
+            by_target.entry(*to).or_default().push(Arc::clone(id));
+        }
+        for (shard, ids) in &by_source {
+            park(&old_shards[*shard], ids.clone())?;
+        }
+        for (shard, ids) in &by_target {
+            park(&new_shards[*shard], ids.clone())?;
+        }
+
+        // Extract every mover's state (checkpoint + ingest parked so far).
+        // FIFO guarantees everything ingested before the park is in the
+        // checkpoint; everything after is in the park buffer.
+        let mut bundles: Vec<(Arc<str>, usize, usize, MigrationBundle)> =
+            Vec::with_capacity(moving.len());
+        let mut failure: Option<ServeError> = None;
+        for (id, from, to) in &moving {
+            let (reply_tx, reply_rx) = channel();
+            if old_shards[*from]
+                .send(ShardMsg::Extract { id: Arc::clone(id), reply: reply_tx })
+                .is_err()
+            {
+                failure = Some(ServeError::ShardUnavailable);
+                break;
+            }
+            match reply_rx.recv() {
+                Ok(Ok(bundle)) => bundles.push((Arc::clone(id), *from, *to, bundle)),
+                Ok(Err(e)) => {
+                    failure = Some(e);
+                    break;
+                }
+                Err(_) => {
+                    failure = Some(ServeError::ShardUnavailable);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Abort: put every extracted stream back on its source, then
+            // unpark everything (sources replay their buffers in place;
+            // targets received no traffic yet). The added workers are
+            // retired. Topology was never swapped, so service continues on
+            // the old fleet.
+            for (id, from, _to, bundle) in bundles {
+                let (reply_tx, reply_rx) = channel();
+                let _ = old_shards[from].send(ShardMsg::Restore {
+                    id,
+                    bundle,
+                    kind: RestoreKind::Reinstate,
+                    reply: reply_tx,
+                });
+                let _ = reply_rx.recv();
+            }
+            for (shard, ids) in &by_source {
+                for id in ids {
+                    let (reply_tx, reply_rx) = channel();
+                    let _ = old_shards[*shard]
+                        .send(ShardMsg::Unpark { id: Arc::clone(id), reply: reply_tx });
+                    let _ = reply_rx.recv();
+                }
+            }
+            // The targets' pre-emptive park entries never saw traffic (the
+            // topology was not swapped), but they must still be closed or
+            // they would linger as dead state on surviving shards.
+            for (shard, ids) in &by_target {
+                for id in ids {
+                    let (reply_tx, reply_rx) = channel();
+                    let _ = new_shards[*shard]
+                        .send(ShardMsg::Unpark { id: Arc::clone(id), reply: reply_tx });
+                    let _ = reply_rx.recv();
+                }
+            }
+            for (index, tx) in new_shards.iter().enumerate().skip(old_count) {
+                let _ = tx.send(ShardMsg::Shutdown);
+                if let Some(join) = self.joins.lock().expect("joins lock poisoned").remove(&index) {
+                    let _ = join.join();
+                }
+            }
+            return Err(e);
+        }
+
+        // Swap the topology. Ingest holds the read lock across each send,
+        // so after this write section every new send resolves against the
+        // new ring; everything sent before is already in a source queue
+        // behind that source's park marker.
+        {
+            let mut topology = self.inner.topology.write().expect("topology lock poisoned");
+            topology.router = new_router;
+            topology.shards = new_shards.clone();
+        }
+
+        // Complete each migration: collect the stragglers that reached the
+        // source after the extract, then restore on the target — state
+        // first, then the source-parked instances, then the target's own
+        // park buffer, preserving arrival order end to end. A failure for
+        // one stream (a panicked worker, a corrupt restore) must not strand
+        // the remaining movers mid-flight: every bundle is still driven to
+        // completion, the failed stream's target park entry is closed (so
+        // subsequent ingest is dropped-and-counted rather than buffered
+        // forever), and the first error is reported after the sweep.
+        let mut first_error: Option<ServeError> = None;
+        for (id, from, to, mut bundle) in bundles {
+            // Stragglers that reached the source after the extract.
+            let (reply_tx, reply_rx) = channel();
+            let stragglers = if old_shards[from]
+                .send(ShardMsg::Unpark { id: Arc::clone(&id), reply: reply_tx })
+                .is_ok()
+            {
+                reply_rx.recv().ok()
+            } else {
+                None
+            };
+            let Some(stragglers) = stragglers else {
+                // Source worker gone (panicked): the state is unrecoverable;
+                // at least close the target's park entry so future ingest is
+                // dropped-and-counted rather than buffered invisibly.
+                close_park(&new_shards[to], &id);
+                first_error.get_or_insert(ServeError::ShardUnavailable);
+                continue;
+            };
+            bundle.parked.extend(stragglers);
+
+            let (reply_tx, reply_rx) = channel();
+            let outcome = match new_shards[to].send(ShardMsg::Restore {
+                id: Arc::clone(&id),
+                bundle,
+                kind: RestoreKind::Migration { from_shard: from },
+                reply: reply_tx,
+            }) {
+                Err(send_error) => {
+                    // The bundle rides back inside the bounced message.
+                    let bundle = match send_error.0 {
+                        ShardMsg::Restore { bundle, .. } => Some(Box::new(bundle)),
+                        _ => None,
+                    };
+                    Err(crate::shard::RestoreFailure {
+                        error: ServeError::ShardUnavailable,
+                        bundle,
+                    })
+                }
+                Ok(()) => reply_rx.recv().unwrap_or(Err(crate::shard::RestoreFailure {
+                    error: ServeError::ShardUnavailable,
+                    bundle: None,
+                })),
+            };
+            match outcome {
+                Ok(()) => report.moved.push(MigratedStream { stream: id.to_string(), from, to }),
+                Err(failure) => {
+                    // Close the target's park entry so its future ingest
+                    // surfaces as `dropped_unknown` instead of accumulating
+                    // invisibly, then salvage the learned state by
+                    // reinstating the stream on its source: a retiring
+                    // source (shrink) finalizes it into the shutdown
+                    // report; a surviving source keeps it queryable even
+                    // though new ingest now routes to the target.
+                    close_park(&new_shards[to], &id);
+                    if let Some(bundle) = failure.bundle {
+                        let (reply_tx, reply_rx) = channel();
+                        if old_shards[from]
+                            .send(ShardMsg::Restore {
+                                id: Arc::clone(&id),
+                                bundle: *bundle,
+                                kind: RestoreKind::Reinstate,
+                                reply: reply_tx,
+                            })
+                            .is_ok()
+                        {
+                            let _ = reply_rx.recv();
+                        }
+                    }
+                    first_error.get_or_insert(failure.error);
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // Shrink: the removed shards now own no streams (ring ownership of
+        // every stream they held moved by construction); retire them and
+        // keep their counters for the final report.
+        for (index, tx) in old_shards.iter().enumerate().skip(new_count) {
+            let _ = tx.send(ShardMsg::Shutdown);
+            if let Some(join) = self.joins.lock().expect("joins lock poisoned").remove(&index) {
+                let mut retired = self.retired.lock().expect("retired lock poisoned");
+                match join.join() {
+                    Ok(shard_report) => {
+                        // Normally empty; holds salvaged streams reinstated
+                        // after a failed migration.
+                        retired.summaries.extend(shard_report.summaries);
+                        retired.dropped_unknown += shard_report.dropped_unknown;
+                        retired.workspace_reuse_hits += shard_report.workspace_reuse_hits;
+                        retired.workspace_reuse_misses += shard_report.workspace_reuse_misses;
+                    }
+                    Err(_) => retired.panicked_shards += 1,
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Graceful shutdown: each shard processes everything already queued,
     /// finalizes its remaining streams (flushing trailing micro-batches,
     /// publishing their `Detached` events) and exits. Returns the merged
     /// per-stream report, sorted by stream id.
     pub fn shutdown(self) -> ServeReport {
-        for tx in &self.shards {
-            let _ = tx.send(ShardMsg::Shutdown);
+        {
+            let _guard = self.control.lock().expect("control lock poisoned");
+            let topology = self.inner.topology.read().expect("topology lock poisoned");
+            for tx in &topology.shards {
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
         }
-        drop(self.shards);
-        let mut report = ServeReport::default();
-        for join in self.joins {
+        let retired = self.retired.into_inner().expect("retired lock poisoned");
+        let mut report = ServeReport {
+            streams: retired.summaries,
+            dropped_unknown: retired.dropped_unknown,
+            workspace_reuse_hits: retired.workspace_reuse_hits,
+            workspace_reuse_misses: retired.workspace_reuse_misses,
+            panicked_shards: retired.panicked_shards,
+        };
+        let joins = self.joins.into_inner().expect("joins lock poisoned");
+        let mut joins: Vec<(usize, JoinHandle<ShardReport>)> = joins.into_iter().collect();
+        joins.sort_by_key(|(index, _)| *index);
+        for (_, join) in joins {
             match join.join() {
                 Ok(shard_report) => {
                     report.streams.extend(shard_report.summaries);
@@ -414,6 +940,10 @@ impl ServerHandle {
             }
         }
         report.streams.sort_by(|a, b| a.stream.cmp(&b.stream));
+        // Disconnect bus subscribers: lingering `StreamClient`s keep the
+        // server internals (bus included) alive, so subscriber loops would
+        // otherwise never see end-of-stream.
+        self.inner.bus.close();
         report
     }
 }
@@ -421,8 +951,42 @@ impl ServerHandle {
 impl fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ServerHandle")
-            .field("num_shards", &self.router.num_shards())
-            .field("queue_capacity", &self.config.queue_capacity)
+            .field("num_shards", &self.num_shards())
+            .field("queue_capacity", &self.inner.config.queue_capacity)
             .finish()
+    }
+}
+
+/// Spawns one shard worker thread with its bounded ingest channel.
+fn spawn_worker(
+    index: usize,
+    registry: &Arc<DetectorRegistry>,
+    bus: &Arc<EventBus>,
+    queue_capacity: usize,
+) -> (SyncSender<ShardMsg>, JoinHandle<ShardReport>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
+    let worker = ShardWorker::new(index, Arc::clone(registry), Arc::clone(bus));
+    let join = std::thread::Builder::new()
+        .name(format!("rbm-serve-shard-{index}"))
+        .spawn(move || worker.run(rx))
+        .expect("failed to spawn shard worker");
+    (tx, join)
+}
+
+/// Parks `ids` on a shard and waits for the acknowledgement.
+fn park(tx: &SyncSender<ShardMsg>, ids: Vec<Arc<str>>) -> Result<(), ServeError> {
+    let (reply_tx, reply_rx) = channel();
+    tx.send(ShardMsg::Park { ids, reply: reply_tx }).map_err(|_| ServeError::ShardUnavailable)?;
+    reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)
+}
+
+/// Closes a park entry on a shard (best effort), discarding whatever it
+/// buffered — used when a migration's state is unrecoverable, so future
+/// ingest for the id surfaces as `dropped_unknown` instead of buffering
+/// forever.
+fn close_park(tx: &SyncSender<ShardMsg>, id: &Arc<str>) {
+    let (reply_tx, reply_rx) = channel();
+    if tx.send(ShardMsg::Unpark { id: Arc::clone(id), reply: reply_tx }).is_ok() {
+        let _ = reply_rx.recv();
     }
 }

@@ -9,12 +9,32 @@
 //! streams interleave: every stream steps through exactly the code a
 //! sequential [`PipelineBuilder`](rbm_im_harness::pipeline::PipelineBuilder)
 //! run executes ([`PipelineStepper`]).
+//!
+//! On top of ingest, workers speak the **migration protocol** that powers
+//! elastic resharding (`ServerHandle::resize_shards`) and
+//! restart-from-disk:
+//!
+//! * `Park` marks stream ids whose ingest should be *buffered* instead of
+//!   processed — on a migration source this freezes the stream's state
+//!   while keeping every instance; on a migration target it catches
+//!   instances that arrive before the stream's state does;
+//! * `Extract` removes a parked stream and hands back a
+//!   [`MigrationBundle`]: its checkpoint (schema + effective spec + run
+//!   config + the stepper's complete state, partially filled detector
+//!   micro-batch included) plus everything parked so far;
+//! * `Unpark` closes a park entry — returning the buffered instances if
+//!   the stream is gone (migration stragglers, replayed on the target), or
+//!   replaying them in place if the stream is still attached (abort path);
+//! * `Restore` rebuilds a stream from a bundle, replays the carried
+//!   instances and then the target's own park buffer — in exactly arrival
+//!   order, so a migrated stream loses nothing and reorders nothing.
 
 use crate::event::{EventBus, ServeEvent, ServeEventKind};
-use crate::server::{ServeError, StreamSummary};
+use crate::server::{ServeError, StreamCheckpoint, StreamSummary};
 use rbm_im::pool::WorkspacePool;
 use rbm_im::RbmIm;
 use rbm_im_detectors::DriftDetector;
+use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_harness::stepper::PipelineStepper;
@@ -51,9 +71,45 @@ impl Payload {
     }
 }
 
+/// Everything needed to move a stream to another shard: its self-contained
+/// checkpoint plus the instances parked at the source while the migration
+/// was in flight.
+#[derive(Debug)]
+pub(crate) struct MigrationBundle {
+    pub checkpoint: PipelineCheckpoint,
+    pub parked: Vec<Instance>,
+}
+
+/// Why a stream is being rebuilt from a bundle — governs the bus event the
+/// restore publishes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RestoreKind {
+    /// Live migration from another shard (`Migrated` event).
+    Migration { from_shard: usize },
+    /// Restart-from-disk via `ServerHandle::restore_stream` (`Attached`
+    /// event — subscribers see every serving stream).
+    FromDisk,
+    /// Reinstatement on its original shard after an aborted migration (no
+    /// event: subscribers already saw this stream attach).
+    Reinstate,
+}
+
+/// A failed restore, carrying the bundle back (boxed — this is a cold
+/// path and the bundle is large) so the caller can salvage the stream's
+/// state, e.g. reinstate it on its source shard after a failed migration
+/// instead of dropping learned state.
+#[derive(Debug)]
+pub(crate) struct RestoreFailure {
+    pub error: ServeError,
+    pub bundle: Option<Box<MigrationBundle>>,
+}
+
 /// Control/data messages of a shard's ingest channel. FIFO channel order
 /// doubles as the consistency mechanism: a `Drain` marker reaching the
-/// worker proves every earlier ingest has been fully processed.
+/// worker proves every earlier ingest has been fully processed, and an
+/// `Extract` reaching the worker proves every instance ingested before the
+/// migration started is either in the stream's state or in its park
+/// buffer.
 pub(crate) enum ShardMsg {
     /// Create pipeline state for a stream.
     Attach {
@@ -69,6 +125,28 @@ pub(crate) enum ShardMsg {
     Ingest { id: Arc<str>, payload: Payload },
     /// Barrier: replied to once every earlier message is processed.
     Drain { reply: Sender<()> },
+    /// List the stream ids attached to this shard (resize planning).
+    Inventory { reply: Sender<Vec<Arc<str>>> },
+    /// Start buffering ingest for these ids instead of processing it.
+    Park { ids: Vec<Arc<str>>, reply: Sender<()> },
+    /// Remove a (parked) stream and hand its state + park buffer over.
+    Extract { id: Arc<str>, reply: Sender<Result<MigrationBundle, ServeError>> },
+    /// Close a park entry: replay it in place if the stream is still
+    /// attached (abort path), else return the buffered stragglers.
+    Unpark { id: Arc<str>, reply: Sender<Vec<Instance>> },
+    /// Rebuild a stream from a bundle (migration target, restart-from-
+    /// disk, or migration-abort reinstatement), replaying carried +
+    /// locally parked instances in order.
+    Restore {
+        id: Arc<str>,
+        bundle: MigrationBundle,
+        kind: RestoreKind,
+        reply: Sender<Result<(), RestoreFailure>>,
+    },
+    /// Non-destructive checkpoint of one stream.
+    Checkpoint { id: Arc<str>, reply: Sender<Result<StreamCheckpoint, ServeError>> },
+    /// Non-destructive checkpoint of every stream on this shard.
+    CheckpointAll { reply: Sender<Result<Vec<StreamCheckpoint>, ServeError>> },
     /// Graceful stop: the worker finalizes every attached stream (flushing
     /// trailing detector micro-batches) and exits with its report.
     Shutdown,
@@ -77,6 +155,11 @@ pub(crate) enum ShardMsg {
 /// Per-stream pipeline state owned by a shard.
 struct StreamState {
     stepper: PipelineStepper,
+    /// The stream's schema / effective spec / run config, retained so the
+    /// stream can be inventoried, checkpointed and migrated.
+    schema: StreamSchema,
+    spec: DetectorSpec,
+    run: RunConfig,
     /// Whether the detector adopted a pooled workspace at attach (and must
     /// return it at close).
     pooled_workspace: bool,
@@ -96,6 +179,8 @@ pub(crate) struct ShardWorker {
     registry: Arc<DetectorRegistry>,
     bus: Arc<EventBus>,
     streams: HashMap<Arc<str>, StreamState>,
+    /// Ingest buffers of parked stream ids (migration in flight).
+    parked: HashMap<Arc<str>, Vec<Instance>>,
     /// RBM scratch workspaces pooled across this shard's streams: attach
     /// checks one out, detach returns it, so successive streams inherit
     /// grown buffer capacity instead of re-allocating (`rbm_im::pool`).
@@ -111,6 +196,7 @@ impl ShardWorker {
             registry,
             bus,
             streams: HashMap::new(),
+            parked: HashMap::new(),
             pool: WorkspacePool::new(),
             dropped_unknown: 0,
         }
@@ -122,7 +208,7 @@ impl ShardWorker {
         while let Ok(msg) = inbox.recv() {
             match msg {
                 ShardMsg::Attach { id, schema, spec, run, reply } => {
-                    let result = self.attach(Arc::clone(&id), &schema, &spec, run);
+                    let result = self.attach(Arc::clone(&id), schema, spec, run);
                     let _ = reply.send(result);
                 }
                 ShardMsg::Ingest { id, payload } => self.ingest(&id, payload),
@@ -135,6 +221,44 @@ impl ShardWorker {
                 }
                 ShardMsg::Drain { reply } => {
                     let _ = reply.send(());
+                }
+                ShardMsg::Inventory { reply } => {
+                    let mut inventory: Vec<Arc<str>> = self.streams.keys().cloned().collect();
+                    inventory.sort();
+                    let _ = reply.send(inventory);
+                }
+                ShardMsg::Park { ids, reply } => {
+                    for id in ids {
+                        self.parked.entry(id).or_default();
+                    }
+                    let _ = reply.send(());
+                }
+                ShardMsg::Extract { id, reply } => {
+                    let result = self.extract(&id);
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Unpark { id, reply } => {
+                    let _ = reply.send(self.unpark(&id));
+                }
+                ShardMsg::Restore { id, bundle, kind, reply } => {
+                    let result = self.restore(Arc::clone(&id), bundle, kind);
+                    let _ = reply.send(result);
+                }
+                ShardMsg::Checkpoint { id, reply } => {
+                    let result = match self.streams.get(&id) {
+                        Some(state) => checkpoint_stream(&id, state),
+                        None => Err(ServeError::UnknownStream(id.to_string())),
+                    };
+                    let _ = reply.send(result);
+                }
+                ShardMsg::CheckpointAll { reply } => {
+                    let mut ids: Vec<Arc<str>> = self.streams.keys().cloned().collect();
+                    ids.sort();
+                    let result = ids
+                        .iter()
+                        .map(|id| checkpoint_stream(id, &self.streams[id]))
+                        .collect::<Result<Vec<_>, _>>();
+                    let _ = reply.send(result);
                 }
                 ShardMsg::Shutdown => break,
             }
@@ -157,16 +281,15 @@ impl ShardWorker {
         }
     }
 
-    fn attach(
+    /// Builds a stream's pipeline state (shared by `Attach` and `Restore`):
+    /// stepper from the spec, pooled RBM workspace adopted when the
+    /// detector is RBM-family.
+    fn build_stream(
         &mut self,
-        id: Arc<str>,
         schema: &StreamSchema,
         spec: &DetectorSpec,
         run: RunConfig,
-    ) -> Result<(), ServeError> {
-        if self.streams.contains_key(&id) {
-            return Err(ServeError::AlreadyAttached(id.to_string()));
-        }
+    ) -> Result<(PipelineStepper, bool), ServeError> {
         let mut stepper = PipelineStepper::from_spec(&self.registry, spec, schema, run)
             .map_err(ServeError::from)?;
         // RBM-family detectors adopt a pooled scratch workspace so a new
@@ -183,16 +306,37 @@ impl ShardWorker {
             },
             None => false,
         };
+        Ok((stepper, pooled_workspace))
+    }
+
+    fn attach(
+        &mut self,
+        id: Arc<str>,
+        schema: StreamSchema,
+        spec: DetectorSpec,
+        run: RunConfig,
+    ) -> Result<(), ServeError> {
+        if self.streams.contains_key(&id) {
+            return Err(ServeError::AlreadyAttached(id.to_string()));
+        }
+        let (stepper, pooled_workspace) = self.build_stream(&schema, &spec, run)?;
         self.bus.publish(ServeEvent {
             stream: Arc::clone(&id),
             shard: self.index,
             kind: ServeEventKind::Attached,
         });
-        self.streams.insert(id, StreamState { stepper, pooled_workspace });
+        self.streams.insert(id, StreamState { stepper, schema, spec, run, pooled_workspace });
         Ok(())
     }
 
     fn ingest(&mut self, id: &Arc<str>, payload: Payload) {
+        // Parked ids buffer instead of processing — the stream is mid-
+        // migration (or expected to arrive); nothing is lost, nothing is
+        // reordered.
+        if let Some(buffer) = self.parked.get_mut(id) {
+            buffer.extend(payload.into_instances());
+            return;
+        }
         let Some(state) = self.streams.get_mut(id) else {
             self.dropped_unknown += payload.len();
             return;
@@ -214,6 +358,135 @@ impl ShardWorker {
                 }
             }
         }
+    }
+
+    /// Removes a stream and packages it for migration. The park entry is
+    /// kept (emptied) so ingest that arrives between the extract and the
+    /// topology swap keeps buffering; `Unpark` later collects those
+    /// stragglers. The stream's pooled workspace stays in *this* shard's
+    /// pool — scratch carries no state and the target adopts its own.
+    fn extract(&mut self, id: &Arc<str>) -> Result<MigrationBundle, ServeError> {
+        let Some(mut state) = self.streams.remove(id) else {
+            return Err(ServeError::UnknownStream(id.to_string()));
+        };
+        let snapshot = match state.stepper.state_snapshot() {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                // Abort: the stream stays attached on this shard.
+                let result = Err(ServeError::Checkpoint(e.to_string()));
+                self.streams.insert(Arc::clone(id), state);
+                return result;
+            }
+        };
+        let checkpoint = PipelineCheckpoint {
+            schema: state.schema.clone(),
+            spec: state.spec.clone(),
+            run: state.run,
+            state: snapshot,
+        };
+        let parked = self.parked.get_mut(id).map(std::mem::take).unwrap_or_default();
+        if state.pooled_workspace {
+            if let Some(rbm) =
+                state.stepper.detector_mut().as_any_mut().and_then(|a| a.downcast_mut::<RbmIm>())
+            {
+                self.pool.restore(rbm.take_workspace());
+            }
+        }
+        Ok(MigrationBundle { checkpoint, parked })
+    }
+
+    /// Closes a park entry. Still-attached stream (migration abort):
+    /// replay the buffer through the stepper in place and return nothing.
+    /// Gone stream (migration completed): return the stragglers for replay
+    /// on the target.
+    fn unpark(&mut self, id: &Arc<str>) -> Vec<Instance> {
+        let buffered = self.parked.remove(id).unwrap_or_default();
+        if self.streams.contains_key(id) {
+            for instance in buffered {
+                self.ingest(id, Payload::One(instance));
+            }
+            Vec::new()
+        } else {
+            buffered
+        }
+    }
+
+    /// Rebuilds a stream from a migration bundle (or a disk checkpoint):
+    /// fresh stepper from the recorded spec, state restored, then the
+    /// carried instances and this shard's own park buffer replayed in
+    /// arrival order.
+    fn restore(
+        &mut self,
+        id: Arc<str>,
+        bundle: MigrationBundle,
+        kind: RestoreKind,
+    ) -> Result<(), RestoreFailure> {
+        if self.streams.contains_key(&id) {
+            return Err(RestoreFailure {
+                error: ServeError::AlreadyAttached(id.to_string()),
+                bundle: Some(Box::new(bundle)),
+            });
+        }
+        let MigrationBundle { checkpoint, parked } = bundle;
+        let (mut stepper, pooled_workspace) =
+            match self.build_stream(&checkpoint.schema, &checkpoint.spec, checkpoint.run) {
+                Ok(built) => built,
+                Err(error) => {
+                    return Err(RestoreFailure {
+                        error,
+                        bundle: Some(Box::new(MigrationBundle { checkpoint, parked })),
+                    });
+                }
+            };
+        if let Err(e) = stepper.restore_state(&checkpoint.state) {
+            // Reclaim the pooled workspace before the stepper is dropped —
+            // a rejected snapshot must not leak pool capacity.
+            if pooled_workspace {
+                if let Some(rbm) =
+                    stepper.detector_mut().as_any_mut().and_then(|a| a.downcast_mut::<RbmIm>())
+                {
+                    self.pool.restore(rbm.take_workspace());
+                }
+            }
+            return Err(RestoreFailure {
+                error: ServeError::Checkpoint(e.to_string()),
+                bundle: Some(Box::new(MigrationBundle { checkpoint, parked })),
+            });
+        }
+        self.streams.insert(
+            Arc::clone(&id),
+            StreamState {
+                stepper,
+                schema: checkpoint.schema,
+                spec: checkpoint.spec,
+                run: checkpoint.run,
+                pooled_workspace,
+            },
+        );
+        // A live migration announces where the stream came from; a restore
+        // from disk announces the stream like any fresh attach, so bus
+        // subscribers see every serving stream either way. A reinstatement
+        // after an aborted migration is silent — subscribers already saw
+        // this stream attach.
+        let event = match kind {
+            RestoreKind::Migration { from_shard } => Some(ServeEventKind::Migrated { from_shard }),
+            RestoreKind::FromDisk => Some(ServeEventKind::Attached),
+            RestoreKind::Reinstate => None,
+        };
+        if let Some(kind) = event {
+            self.bus.publish(ServeEvent { stream: Arc::clone(&id), shard: self.index, kind });
+        }
+        // Replay in arrival order: instances parked at the source first,
+        // then whatever this shard parked while waiting for the state. The
+        // park entry must be closed *before* replaying — `ingest` buffers
+        // anything parked, so replaying through an open entry would cycle
+        // the carried instances back into the buffer behind the local ones.
+        let mut replay = parked;
+        replay.extend(self.parked.remove(&id).unwrap_or_default());
+        for instance in replay {
+            self.ingest(&id, Payload::One(instance));
+        }
+        Ok(())
     }
 
     /// Flushes the stream's trailing detector micro-batch (emitting its
@@ -242,4 +515,19 @@ impl ShardWorker {
         });
         result
     }
+}
+
+/// Non-destructive checkpoint of one attached stream.
+fn checkpoint_stream(id: &Arc<str>, state: &StreamState) -> Result<StreamCheckpoint, ServeError> {
+    let snapshot =
+        state.stepper.state_snapshot().map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+    Ok(StreamCheckpoint {
+        stream: id.to_string(),
+        checkpoint: PipelineCheckpoint {
+            schema: state.schema.clone(),
+            spec: state.spec.clone(),
+            run: state.run,
+            state: snapshot,
+        },
+    })
 }

@@ -1,0 +1,193 @@
+//! Disk persistence for served streams: spill per-stream checkpoints and
+//! prequential metric snapshots to JSON, and load them back for
+//! restart-from-disk.
+//!
+//! A [`SnapshotSink`] owns a directory. Two artifact kinds live in it:
+//!
+//! * `<stream>.checkpoint.json` — one self-contained
+//!   [`StreamCheckpoint`] per stream (schema, effective spec, run config
+//!   and complete pipeline state), overwritten on every spill. A restarted
+//!   process loads these with [`SnapshotSink::load_checkpoints`] and hands
+//!   each to [`ServerHandle::restore_stream`](crate::server::ServerHandle::restore_stream)
+//!   so the stream resumes bitwise-identically;
+//! * `<stream>.metrics.jsonl` — appended [`PrequentialSnapshot`] lines
+//!   (one JSON object per snapshot event), giving dashboards history
+//!   across restarts. Feed the sink from a bus subscription via
+//!   [`SnapshotSink::record_event`].
+//!
+//! Stream ids are sanitized into file names (alphanumerics, `-`, `_`, `.`
+//! kept; everything else mapped to `_` plus a hash suffix on collision
+//! risk), so arbitrary ids cannot escape the sink directory.
+
+use crate::event::{ServeEvent, ServeEventKind};
+use crate::server::StreamCheckpoint;
+use rbm_im_metrics::PrequentialSnapshot;
+use serde::Serialize as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// JSON spill directory for checkpoints and metric history.
+#[derive(Debug)]
+pub struct SnapshotSink {
+    dir: PathBuf,
+}
+
+impl SnapshotSink {
+    /// Opens (creating if needed) a sink over `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotSink { dir })
+    }
+
+    /// The sink directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes (atomically, via a temp file + rename) one stream's
+    /// checkpoint, overwriting any previous checkpoint of the same stream.
+    /// Returns the file path.
+    pub fn spill_checkpoint(&self, checkpoint: &StreamCheckpoint) -> io::Result<PathBuf> {
+        let path = self.checkpoint_path(&checkpoint.stream);
+        let json = serde_json::to_string_pretty(checkpoint)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Spills a batch of checkpoints (e.g. the output of
+    /// `ServerHandle::checkpoint_all`). Returns the written paths.
+    pub fn spill_all(&self, checkpoints: &[StreamCheckpoint]) -> io::Result<Vec<PathBuf>> {
+        checkpoints.iter().map(|c| self.spill_checkpoint(c)).collect()
+    }
+
+    /// Loads every `*.checkpoint.json` in the sink directory, sorted by
+    /// stream id. Files that fail to parse are reported as errors, not
+    /// skipped silently.
+    pub fn load_checkpoints(&self) -> io::Result<Vec<StreamCheckpoint>> {
+        let mut checkpoints = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if !name.ends_with(".checkpoint.json") {
+                continue;
+            }
+            let json = fs::read_to_string(&path)?;
+            let checkpoint: StreamCheckpoint = serde_json::from_str(&json).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+            })?;
+            checkpoints.push(checkpoint);
+        }
+        checkpoints.sort_by(|a, b| a.stream.cmp(&b.stream));
+        Ok(checkpoints)
+    }
+
+    /// Appends one prequential snapshot to the stream's metrics history
+    /// (`<stream>.metrics.jsonl`, one JSON object per line).
+    pub fn spill_snapshot(
+        &self,
+        stream: &str,
+        position: u64,
+        snapshot: &PrequentialSnapshot,
+    ) -> io::Result<()> {
+        let value = serde::Value::object(vec![
+            ("stream", stream.serialize_value()),
+            ("position", position.serialize_value()),
+            ("snapshot", snapshot.serialize_value()),
+        ]);
+        let line = serde_json::to_string(&value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file =
+            fs::OpenOptions::new().create(true).append(true).open(self.metrics_path(stream))?;
+        writeln!(file, "{line}")
+    }
+
+    /// Routes one bus event into the sink: metric snapshots are appended
+    /// to the stream's history, everything else is ignored. Wire a bus
+    /// subscription loop straight through this.
+    pub fn record_event(&self, event: &ServeEvent) -> io::Result<()> {
+        match &event.kind {
+            ServeEventKind::Snapshot { position, snapshot } => {
+                self.spill_snapshot(&event.stream, *position, snapshot)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Loads a stream's appended metric history (positions + snapshots).
+    pub fn load_metrics(&self, stream: &str) -> io::Result<Vec<(u64, PrequentialSnapshot)>> {
+        let path = self.metrics_path(stream);
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut history = Vec::new();
+        for (lineno, line) in fs::read_to_string(&path)?.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = serde_json::parse_value(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), lineno + 1),
+                )
+            })?;
+            let read = || -> Result<(u64, PrequentialSnapshot), serde::Error> {
+                let position: u64 = value.field("position")?;
+                let snapshot = serde::Deserialize::deserialize_value(value.req("snapshot")?)?;
+                Ok((position, snapshot))
+            };
+            history.push(read().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), lineno + 1),
+                )
+            })?);
+        }
+        Ok(history)
+    }
+
+    fn checkpoint_path(&self, stream: &str) -> PathBuf {
+        self.dir.join(format!("{}.checkpoint.json", sanitize(stream)))
+    }
+
+    fn metrics_path(&self, stream: &str) -> PathBuf {
+        self.dir.join(format!("{}.metrics.jsonl", sanitize(stream)))
+    }
+}
+
+/// Maps a stream id to a safe file stem: benign characters pass through,
+/// everything else becomes `_`, and any id that needed mapping (or is
+/// empty) gets a disambiguating hash suffix so distinct ids cannot collide
+/// on the same file.
+fn sanitize(stream: &str) -> String {
+    let mapped: String = stream
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '_' })
+        .collect();
+    if mapped == stream && !mapped.is_empty() {
+        mapped
+    } else {
+        let hash = rbm_im_streams::source::derive_stream_seed(0x51ac_c0de, stream);
+        format!("{mapped}-{hash:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_benign_ids_and_disambiguates_others() {
+        assert_eq!(sanitize("feed-01"), "feed-01");
+        assert_eq!(sanitize("a.b_c9"), "a.b_c9");
+        let odd = sanitize("../escape");
+        assert!(!odd.contains('/'), "{odd}");
+        assert!(odd.ends_with(|c: char| c.is_ascii_hexdigit()), "{odd}: needs a hash suffix");
+        assert_ne!(sanitize("a/b"), sanitize("a:b"), "mapped ids must stay distinct");
+        assert!(!sanitize("").is_empty());
+    }
+}

@@ -125,6 +125,22 @@ impl Ewma {
         self.value
     }
 
+    /// The complete mutable state `(value, sum_sq_weights, initialized,
+    /// count)` — checkpoint support for detectors embedding an EWMA
+    /// (HDDM-W); restored with [`Ewma::restore_raw`].
+    pub fn raw_state(&self) -> (f64, f64, bool, u64) {
+        (self.value, self.sum_sq_weights, self.initialized, self.count)
+    }
+
+    /// Restores state captured by [`Ewma::raw_state`] onto an EWMA with the
+    /// same `lambda`.
+    pub fn restore_raw(&mut self, value: f64, sum_sq_weights: f64, initialized: bool, count: u64) {
+        self.value = value;
+        self.sum_sq_weights = sum_sq_weights;
+        self.initialized = initialized;
+        self.count = count;
+    }
+
     /// Sum of squared weights of the implicit weighted average — converges
     /// to `λ / (2 − λ)`.
     pub fn sum_squared_weights(&self) -> f64 {

@@ -39,6 +39,45 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Like [`Value::get`] but a missing key (or a non-object receiver) is
+    /// an [`Error`] naming the key — the common case for state restoration,
+    /// where absent fields mean a corrupt or incompatible snapshot.
+    pub fn req(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key).ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+    }
+
+    /// Required typed field read: `value.field::<u64>("count")?`. The
+    /// workhorse of hand-written `Deserialize`-style state restoration.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        T::deserialize_value(self.req(key)?)
+            .map_err(|e| Error::msg(format!("field `{key}`: {}", e.0)))
+    }
+
+    /// Builds an object value from `(key, value)` pairs — the writing-side
+    /// counterpart of [`Value::field`].
+    pub fn object(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Encodes a `u64` losslessly as a hex string. [`Value::Number`] is an
+    /// `f64` (53-bit mantissa), so full 64-bit words — RNG state, hashes —
+    /// must travel as strings to round-trip bit for bit.
+    pub fn from_u64_hex(v: u64) -> Value {
+        Value::String(format!("{v:#018x}"))
+    }
+
+    /// Decodes a [`Value::from_u64_hex`] string back into a `u64`.
+    pub fn as_u64_hex(&self) -> Result<u64, Error> {
+        match self {
+            Value::String(s) => {
+                let digits = s.strip_prefix("0x").unwrap_or(s);
+                u64::from_str_radix(digits, 16)
+                    .map_err(|e| Error::msg(format!("invalid hex u64 `{s}`: {e}")))
+            }
+            other => Err(Error::msg(format!("expected hex u64 string, found {other:?}"))),
+        }
+    }
 }
 
 /// Error raised when a [`Value`] does not match the requested shape.
@@ -99,7 +138,18 @@ serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Serialize for f64 {
     fn serialize_value(&self) -> Value {
-        Value::Number(*self)
+        // JSON has no non-finite numbers; detector state legitimately holds
+        // ±∞ sentinels (e.g. untouched running min/max), so they travel as
+        // strings and round-trip exactly instead of degrading to null.
+        if self.is_finite() {
+            Value::Number(*self)
+        } else if self.is_nan() {
+            Value::String("NaN".to_string())
+        } else if *self > 0.0 {
+            Value::String("inf".to_string())
+        } else {
+            Value::String("-inf".to_string())
+        }
     }
 }
 
@@ -107,6 +157,12 @@ impl Deserialize for f64 {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Number(n) => Ok(*n),
+            Value::String(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                other => Err(Error::msg(format!("expected f64, found string `{other}`"))),
+            },
             other => Err(Error::msg(format!("expected f64, found {other:?}"))),
         }
     }
@@ -197,6 +253,21 @@ impl<T: Serialize> Serialize for [T] {
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Array(items) => items.iter().map(T::deserialize_value).collect(),

@@ -122,6 +122,10 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/inf; serialize as null like serde_json's lossy modes.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path below would print "-0" as "0" and lose the
+        // sign bit; state snapshots need negative zero to round-trip.
+        out.push_str("-0.0");
     } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
