@@ -12,6 +12,7 @@ use rbm_im_harness::ablation::{run_ablation, AblationVariant};
 use rbm_im_streams::scenarios::ScenarioConfig;
 
 fn bench_ablation(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("ablation_rbm");
     group.sample_size(10);
     let scenario = ScenarioConfig {

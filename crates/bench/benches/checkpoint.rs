@@ -1,16 +1,20 @@
-//! `checkpoint`: microbenchmark of per-stream snapshot + restore latency.
+//! `checkpoint`: microbenchmark of per-stream snapshot + restore latency
+//! and serialized size, for **both** checkpoint codecs.
 //!
-//! Elastic resharding checkpoints a stream on its old shard, ships the
-//! JSON-serializable state, and restores it on the new shard — so
-//! migration cost per stream is `snapshot + serialize` on one side and
-//! `parse + rebuild + restore` on the other. This bench measures both
-//! halves for a warmed-up pipeline (5 000 instances ingested) with the
-//! trainable RBM-IM detector (the heavyweight case: network weights,
-//! momentum buffers, per-class trend trackers) and with ADWIN (the
-//! lightweight classic-detector case). `BENCH_checkpoint.json` records the
-//! measured baseline.
+//! Elastic resharding and the supervisor's background spills both pay
+//! `snapshot + serialize` on one side and `parse + rebuild + restore` on
+//! the other, so this bench measures each half for a warmed-up pipeline
+//! (5 000 instances ingested) with the trainable RBM-IM detector (the
+//! heavyweight case) and with ADWIN (the lightweight classic-detector
+//! case), once per codec (JSON and the binary framing of
+//! `harness::checkpoint::codec`). The serialized sizes are printed in all
+//! three relevant forms — pretty JSON (what `SnapshotSink` spilled before
+//! the binary codec existed), minified JSON, and binary —
+//! `BENCH_checkpoint.json` records the measured baseline with the runner
+//! metadata embedded.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbm_im_harness::checkpoint::codec::CheckpointCodec;
 use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{PipelineEvent, RunConfig};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
@@ -35,6 +39,7 @@ fn warmed_stepper(spec: &DetectorSpec) -> (PipelineStepper, rbm_im_streams::Stre
 }
 
 fn bench_checkpoint(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("checkpoint");
     group.sample_size(10);
     let registry = DetectorRegistry::global();
@@ -43,31 +48,50 @@ fn bench_checkpoint(c: &mut Criterion) {
     for (label, spec_text) in specs {
         let spec = DetectorSpec::parse(spec_text).unwrap();
         let (stepper, schema) = warmed_stepper(&spec);
+        let checkpoint =
+            PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone()).unwrap();
 
-        // Snapshot + JSON-serialize one warmed stream (the migration
-        // source's cost per stream).
-        group.bench_with_input(BenchmarkId::new("snapshot", label), &(), |b, _| {
-            b.iter(|| {
-                PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone())
-                    .unwrap()
-                    .to_json()
-                    .unwrap()
-                    .len()
-            })
-        });
+        // Size report: the three on-disk forms of the same checkpoint.
+        let pretty = serde_json::to_string_pretty(&checkpoint).unwrap().len();
+        let compact = checkpoint.to_bytes(CheckpointCodec::Json).len();
+        let binary = checkpoint.to_bytes(CheckpointCodec::Binary).len();
+        println!(
+            "checkpoint/{label}: pretty-json {pretty} B, minified-json {compact} B, binary \
+             {binary} B ({:.2}x vs pretty spill, {:.2}x vs minified)",
+            pretty as f64 / binary as f64,
+            compact as f64 / binary as f64,
+        );
 
-        // Parse + rebuild + restore (the migration target's cost).
-        let json = PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone())
-            .unwrap()
-            .to_json()
-            .unwrap();
-        println!("checkpoint/{label}: serialized size {} bytes", json.len());
-        group.bench_with_input(BenchmarkId::new("restore", label), &(), |b, _| {
-            b.iter(|| {
-                let checkpoint = PipelineCheckpoint::from_json(&json).unwrap();
-                checkpoint.resume(registry).unwrap().instances()
-            })
-        });
+        for codec in [CheckpointCodec::Json, CheckpointCodec::Binary] {
+            // Snapshot + serialize one warmed stream (the migration
+            // source's / background spill's cost per stream).
+            group.bench_with_input(
+                BenchmarkId::new(format!("snapshot-{codec}"), label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        PipelineCheckpoint::capture(&stepper, schema.clone(), spec.clone())
+                            .unwrap()
+                            .to_bytes(codec)
+                            .len()
+                    })
+                },
+            );
+
+            // Parse + rebuild + restore (the migration target's / cold
+            // restart's cost).
+            let bytes = checkpoint.to_bytes(codec);
+            group.bench_with_input(
+                BenchmarkId::new(format!("restore-{codec}"), label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let parsed = PipelineCheckpoint::from_bytes(&bytes).unwrap();
+                        parsed.resume(registry).unwrap().instances()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -9,6 +9,7 @@ use rbm_im_streams::registry::{benchmark_by_name, BuildConfig};
 use rbm_im_streams::StreamExt;
 
 fn bench_overhead(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let build =
         BuildConfig { seed: 42, scale_divisor: 1_000, n_drifts: 1, dynamic_imbalance: true };
     let spec = benchmark_by_name("RBF5").expect("RBF5 exists");

@@ -7,6 +7,7 @@ use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::scenarios::{scenario3, ScenarioConfig};
 
 fn bench_fig8(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("fig8_local_drift");
     group.sample_size(10);
     let config = ScenarioConfig {

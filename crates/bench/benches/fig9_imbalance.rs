@@ -7,6 +7,7 @@ use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::scenarios::{scenario2, ScenarioConfig};
 
 fn bench_fig9(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("fig9_imbalance");
     group.sample_size(10);
     let run = RunConfig { metric_window: 500, ..Default::default() };

@@ -18,6 +18,7 @@ use rbm_im_streams::stream::BoundedStream;
 const INSTANCES: u64 = 4_000;
 
 fn bench_pipeline_throughput(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("pipeline_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(INSTANCES));

@@ -30,6 +30,7 @@ fn make_batches(num_features: usize, num_classes: usize, seed: u64) -> Vec<MiniB
 }
 
 fn bench_rbm_train(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("rbm_train");
     group.sample_size(10);
     group.throughput(Throughput::Elements(BATCH as u64));

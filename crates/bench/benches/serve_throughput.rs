@@ -34,6 +34,7 @@ fn record_feeds() -> Vec<(String, StreamSchema, Vec<Instance>)> {
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let feeds = record_feeds();
     let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4)").unwrap();
     let total = (STREAMS * INSTANCES_PER_STREAM) as u64;

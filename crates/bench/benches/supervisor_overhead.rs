@@ -1,0 +1,125 @@
+//! `supervisor_overhead`: what the autonomic control plane costs the data
+//! plane.
+//!
+//! The same 32-stream serving workload is pumped to completion three
+//! ways: unsupervised (the PR-4 baseline), with pathologically aggressive
+//! background checkpointing (every 20 ms per stream — hundreds of times
+//! more frequent than a production policy, so several full spill rounds
+//! land inside every iteration), and with checkpointing plus the
+//! load-based auto-resize policy sampling gauges every tick. The supervisor runs on
+//! its own thread and only touches control-plane operations, so the
+//! overhead should be the cost of the periodic `checkpoint_stream` calls
+//! interleaving with ingest on the shard workers — `BENCH_supervisor_overhead.json`
+//! records the measured numbers with runner metadata embedded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_serve::{
+    CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ServeConfig, ServerHandle,
+    SnapshotSink, Supervisor, SupervisorConfig,
+};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, Instance, StreamExt, StreamSchema};
+use std::sync::Arc;
+use std::time::Duration;
+
+const STREAMS: usize = 32;
+const INSTANCES_PER_STREAM: usize = 400;
+const SHARDS: usize = 2;
+
+/// Pre-recorded drifting feeds so iterations measure serving, not
+/// generation.
+fn record_feeds() -> Vec<(String, StreamSchema, Vec<Instance>)> {
+    (0..STREAMS)
+        .map(|i| {
+            let mut gen = RandomRbfGenerator::new(10, 4, 2, 0.0, 1_700 + i as u64);
+            let schema = gen.schema().clone();
+            let mut instances = gen.take_instances(INSTANCES_PER_STREAM / 2);
+            gen.regenerate();
+            instances.extend(gen.take_instances(INSTANCES_PER_STREAM / 2));
+            (format!("feed-{i:02}"), schema, instances)
+        })
+        .collect()
+}
+
+/// Supervisor setup per benchmark arm (`None` = unsupervised baseline).
+fn supervisor_config(arm: &str) -> Option<SupervisorConfig> {
+    match arm {
+        "unsupervised" => None,
+        "checkpointing" => Some(SupervisorConfig {
+            tick: Duration::from_millis(5),
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::from_millis(20),
+                jitter: 0.5,
+                on_drift: true,
+            }),
+            resize: None,
+        }),
+        "checkpoint+resize" => Some(SupervisorConfig {
+            tick: Duration::from_millis(5),
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::from_millis(20),
+                jitter: 0.5,
+                on_drift: true,
+            }),
+            resize: Some(ResizeConfig {
+                min_shards: 1,
+                max_shards: 8,
+                cooldown: Duration::from_millis(200),
+                policy: Box::new(HysteresisResizePolicy::default()),
+            }),
+        }),
+        other => unreachable!("unknown arm {other}"),
+    }
+}
+
+fn bench_supervisor_overhead(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
+    let feeds = record_feeds();
+    let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4)").unwrap();
+    let total = (STREAMS * INSTANCES_PER_STREAM) as u64;
+    let spill_dir = std::env::temp_dir().join(format!("rbm-bench-spills-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("supervisor_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    for arm in ["unsupervised", "checkpointing", "checkpoint+resize"] {
+        group.bench_with_input(BenchmarkId::new("32streams", arm), &(), |b, _| {
+            b.iter(|| {
+                let server = Arc::new(ServerHandle::start(ServeConfig {
+                    num_shards: SHARDS,
+                    queue_capacity: 256,
+                    ..Default::default()
+                }));
+                let supervisor = supervisor_config(arm).map(|config| {
+                    Supervisor::start(
+                        Arc::clone(&server),
+                        SnapshotSink::new(&spill_dir).expect("spill dir"),
+                        config,
+                    )
+                });
+                let clients: Vec<_> = feeds
+                    .iter()
+                    .map(|(id, schema, _)| server.attach(id, schema.clone(), &spec).unwrap())
+                    .collect();
+                for chunk_start in (0..INSTANCES_PER_STREAM).step_by(50) {
+                    for ((_, _, instances), client) in feeds.iter().zip(&clients) {
+                        let end = (chunk_start + 50).min(instances.len());
+                        client.ingest_batch(instances[chunk_start..end].to_vec()).unwrap();
+                    }
+                }
+                server.drain();
+                if let Some(supervisor) = supervisor {
+                    let report = supervisor.stop();
+                    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+                }
+                Arc::try_unwrap(server).expect("supervisor stopped").shutdown()
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
+
+criterion_group!(benches, bench_supervisor_overhead);
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig};
 use rbm_im_streams::registry::{benchmark_by_name, BuildConfig};
 
 fn bench_table3(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
     let mut group = c.benchmark_group("table3_detectors");
     group.sample_size(10);
     let build =

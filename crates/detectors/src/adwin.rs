@@ -10,7 +10,7 @@
 //! ADWIN is used twice in the reproduction: as a reference drift detector
 //! over the classifier's error stream, and as the *self-adaptive window
 //! size* mechanism inside RBM-IM's trend tracking (paper Sec. V-B, "we
-//! propose to use a self-adaptive window size [19]").
+//! propose to use a self-adaptive window size \[19\]").
 
 use crate::{DetectorState, DriftDetector, Observation};
 

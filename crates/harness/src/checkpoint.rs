@@ -1,5 +1,5 @@
 //! Self-contained pipeline checkpoints: capture a running
-//! [`PipelineStepper`](crate::stepper::PipelineStepper) at any instance
+//! [`PipelineStepper`] at any instance
 //! boundary, serialize it to JSON, and resume it — later, elsewhere, or on
 //! a different shard — **bitwise-identically** to a run that was never
 //! interrupted.
@@ -18,9 +18,12 @@
 //! live migration (`rbm-im-serve`'s `resize_shards`) and
 //! restart-from-disk (`rbm-im-serve`'s `SnapshotSink`).
 
+pub mod codec;
+
 use crate::pipeline::RunConfig;
 use crate::registry::{DetectorRegistry, DetectorSpec, RegistryError};
 use crate::stepper::PipelineStepper;
+use codec::{CheckpointCodec, CodecError};
 use rbm_im_streams::StreamSchema;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -38,6 +41,9 @@ pub enum CheckpointError {
     Registry(RegistryError),
     /// JSON encoding/decoding failed.
     Json(serde_json::Error),
+    /// Binary (or sniffed) encoding/decoding failed — truncation, version
+    /// mismatch, corruption (see [`codec::CodecError`]).
+    Codec(CodecError),
 }
 
 impl fmt::Display for CheckpointError {
@@ -49,6 +55,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::State(e) => write!(f, "checkpoint state error: {e}"),
             CheckpointError::Registry(e) => write!(f, "checkpoint detector rebuild failed: {e}"),
             CheckpointError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            CheckpointError::Codec(e) => write!(f, "checkpoint codec error: {e}"),
         }
     }
 }
@@ -70,6 +77,12 @@ impl From<RegistryError> for CheckpointError {
 impl From<serde_json::Error> for CheckpointError {
     fn from(e: serde_json::Error) -> Self {
         CheckpointError::Json(e)
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Codec(e)
     }
 }
 
@@ -133,6 +146,27 @@ impl PipelineCheckpoint {
     /// Parses a checkpoint from a JSON string.
     pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
         Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes the checkpoint with the chosen codec
+    /// ([`CheckpointCodec::Binary`] is ~8× smaller than the pretty JSON
+    /// spill format and ~3× smaller than minified JSON on warmed RBM-IM
+    /// pipelines — see `BENCH_checkpoint.json`).
+    pub fn to_bytes(&self, codec: CheckpointCodec) -> Vec<u8> {
+        codec::encode(codec, self)
+    }
+
+    /// Parses a checkpoint written by [`PipelineCheckpoint::to_bytes`]
+    /// with **either** codec — the binary magic is sniffed, anything else
+    /// parses as JSON.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Ok(codec::decode(bytes)?)
+    }
+
+    /// Instances the checkpointed pipeline had processed at capture time —
+    /// the resume offset a replayer should continue the stream from.
+    pub fn processed(&self) -> Result<u64, CheckpointError> {
+        Ok(self.state.field("processed")?)
     }
 }
 

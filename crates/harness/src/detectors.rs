@@ -1,5 +1,5 @@
 //! The closed enum of the paper's detectors — now a thin compatibility shim
-//! over the open [`DetectorRegistry`](crate::registry::DetectorRegistry).
+//! over the open [`DetectorRegistry`].
 //!
 //! `DetectorKind` remains convenient for enumerating the paper's line-up
 //! (Table II / Table III column order) and for serde round-trips of older

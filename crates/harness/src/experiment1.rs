@@ -3,7 +3,8 @@
 //! Bayesian signed pairwise tests (Figs. 6–7).
 //!
 //! The full grid (detectors × benchmarks) runs through the rayon-parallel
-//! [`run_grid`], one deterministic cell per pair, so wall-clock time scales
+//! [`run_grid`](crate::pipeline::run_grid), one deterministic cell per
+//! pair, so wall-clock time scales
 //! with the core count while the output stays byte-identical to a
 //! single-threaded run.
 

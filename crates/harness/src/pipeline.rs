@@ -8,8 +8,7 @@
 //!
 //! * is generic over the [`OnlineClassifier`] driving the detector (the
 //!   paper's CSPT by default),
-//! * resolves detectors through the open
-//!   [`DetectorRegistry`](crate::registry::DetectorRegistry) (or accepts any
+//! * resolves detectors through the open [`DetectorRegistry`] (or accepts any
 //!   pre-built `DriftDetector`),
 //! * reuses one scores buffer and one drift-attribution buffer across the
 //!   whole stream (`predict_scores_into` / `drifted_classes_into`) and can
@@ -381,8 +380,8 @@ impl GridStream {
         GridStream::new(name, move || spec.build(&cell_build))
     }
 
-    /// Grid stream wrapping a stream-id'd replayable
-    /// [`StreamSource`](rbm_im_streams::source::StreamSource) (the serving
+    /// Grid stream wrapping a stream-id'd replayable [`StreamSource`]
+    /// (the serving
     /// layer's stream recipe type): the source id becomes the grid name and
     /// every cell opens a fresh, identical copy.
     pub fn from_source(source: StreamSource) -> Self {

@@ -18,6 +18,26 @@
 //! assert_eq!(detector.name(), "ADWIN");
 //! ```
 //!
+//! The trainable RBM-IM detector exposes its full hyper-parameter surface
+//! through the same grammar (under both the `rbm-im` name and the compact
+//! `rbm` alias), so serving attach calls and experiment configs tune it
+//! without code changes:
+//!
+//! ```
+//! use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+//!
+//! let registry = DetectorRegistry::with_defaults();
+//! let spec = DetectorSpec::parse("rbm(hidden=60,minibatch=50,seed=7)").unwrap();
+//! assert_eq!(spec.params.get("hidden"), Some(&60.0));
+//! let detector = registry.build(&spec, 10, 4).unwrap();
+//! assert_eq!(detector.name(), "RBM-IM");
+//!
+//! // Infrastructure can ask which parameters a factory takes — this is
+//! // how the serving layer decides to inject per-stream `seed`s.
+//! assert!(registry.accepts_param("rbm", "seed"));
+//! assert!(!registry.accepts_param("adwin", "seed"));
+//! ```
+//!
 //! [`DetectorKind`](crate::detectors::DetectorKind) survives as a thin
 //! compatibility shim whose `build` delegates here.
 
@@ -60,8 +80,26 @@ impl DetectorSpec {
         self
     }
 
-    /// Parses the compact `name(key=value, key=value)` form, e.g.
-    /// `"adwin(delta=0.01)"` or just `"rbm-im"`.
+    /// Parses the compact `name(key=value, key=value)` form.
+    ///
+    /// The grammar is `name` or `name(params)` where `params` is a
+    /// comma-separated list of `key=value` pairs with numeric values;
+    /// whitespace around names, keys and values is ignored, and a trailing
+    /// comma is tolerated. Parameter *validation* happens at build time
+    /// against the factory's declared set, not here.
+    ///
+    /// ```
+    /// use rbm_im_harness::registry::DetectorSpec;
+    ///
+    /// let spec = DetectorSpec::parse("rbm(hidden=60, minibatch=50, seed=7)").unwrap();
+    /// assert_eq!(spec.name, "rbm");
+    /// assert_eq!(spec.params.get("minibatch"), Some(&50.0));
+    /// assert_eq!(spec.label(), "rbm(hidden=60, minibatch=50, seed=7)");
+    ///
+    /// assert_eq!(DetectorSpec::parse("ddm").unwrap().params.len(), 0);
+    /// assert!(DetectorSpec::parse("adwin(delta=").is_err());
+    /// assert!(DetectorSpec::parse("adwin(delta=two)").is_err());
+    /// ```
     pub fn parse(text: &str) -> Result<Self, RegistryError> {
         let text = text.trim();
         let Some(open) = text.find('(') else {

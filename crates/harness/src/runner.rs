@@ -1,7 +1,7 @@
 //! Compatibility shim over the [`pipeline`](crate::pipeline) module.
 //!
 //! The prequential loop now lives in
-//! [`PipelineBuilder`](crate::pipeline::PipelineBuilder); this module
+//! [`PipelineBuilder`]; this module
 //! re-exports the run configuration/result types under their historical
 //! paths and keeps a deprecated [`run_detector_on_stream`] wrapper for
 //! callers that have not migrated yet. New code should build pipelines (or

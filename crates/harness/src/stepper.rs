@@ -2,7 +2,8 @@
 //! of [`PipelineBuilder::run`](crate::pipeline::PipelineBuilder::run),
 //! exposed as a pausable state machine.
 //!
-//! [`PipelineBuilder::run`] owns a stream and drives it to exhaustion; a
+//! [`PipelineBuilder::run`](crate::pipeline::PipelineBuilder::run) owns a
+//! stream and drives it to exhaustion; a
 //! serving shard owns *many* streams and interleaves them as ingest
 //! arrives, so it needs the same loop body with the stream inverted out:
 //! feed one [`Instance`], get the events, keep the state. That is

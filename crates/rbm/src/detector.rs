@@ -20,7 +20,7 @@
 //!      constant series trivially exhibit no Granger causality), **or**
 //!    * the class's adaptive window shrank (ADWIN detected a change in the
 //!      reconstruction-error level), which is the self-adaptive mechanism
-//!      the paper adopts from [19];
+//!      the paper adopts from \[19\];
 //! 4. the network is trained on the batch (CD-k with the class-balanced
 //!    loss), so the detector keeps following the stream;
 //! 5. if any class drifted, the detector reports [`DetectorState::Drift`]

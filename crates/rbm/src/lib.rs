@@ -26,7 +26,7 @@
 //!    materially, a drift is signalled **for that class** (the paper's
 //!    detection rule, Sec. V-B), and independently an ADWIN monitor on the
 //!    per-class reconstruction error provides the self-adaptive windowing
-//!    the paper attributes to [19],
+//!    the paper attributes to \[19\],
 //! 4. the network then trains on the batch, so the detector follows the
 //!    stream (changing imbalance ratios, class-role switches) without any
 //!    manually set thresholds.
@@ -44,7 +44,7 @@
 //!   classifiers crate);
 //! * [`network`] — the three-layer RBM with batch-level CD-k over a
 //!   zero-allocation [`network::Workspace`];
-//! * [`reference`] — the retained naive per-instance implementation, the
+//! * [`mod@reference`] — the retained naive per-instance implementation, the
 //!   ground truth of the equivalence suite and the baseline of the
 //!   `rbm_train` microbenchmark;
 //! * [`trend`] / [`detector`] — per-class trend tracking and the RBM-IM

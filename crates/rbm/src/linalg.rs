@@ -27,7 +27,7 @@
 /// contiguous `cols`-long slice, so row access is a single slice index and
 /// row-wise kernels (axpy, sigmoid, softmax) run over contiguous memory.
 /// [`DenseMatrix::resize`] re-shapes in place without shrinking the backing
-/// allocation, which is what lets the training [`Workspace`]
+/// allocation, which is what lets the training [`Workspace`](crate::network::Workspace)
 /// (`crate::network::Workspace`) reach a zero-allocation steady state: the
 /// first mini-batch grows every buffer to its working size and subsequent
 /// batches reuse the capacity.

@@ -1,6 +1,6 @@
 //! Checkout/restore pooling of RBM scratch [`Workspace`]s.
 //!
-//! A [`Workspace`](crate::network::Workspace) holds no model state — only
+//! A [`Workspace`] holds no model state — only
 //! grown buffer capacity — so one workspace can serve any number of
 //! [`RbmNetwork`](crate::network::RbmNetwork)s of any shape, sequentially.
 //! The serving layer exploits that: each shard worker keeps one

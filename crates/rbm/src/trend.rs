@@ -5,7 +5,7 @@
 //! mini-batches. The regression is computed incrementally from running sums
 //! (`ΣtR`, `Σt`, `ΣR`, `Σt²`) exactly as in Eq. 29–36, with the window-size
 //! bookkeeping of Eq. 33–37. The window length adapts to the stream: an
-//! embedded ADWIN instance (the "self-adaptive window size [19]" of the
+//! embedded ADWIN instance (the "self-adaptive window size \[19\]" of the
 //! paper) shrinks it when the error level shifts.
 
 use rbm_im_detectors::adwin::Adwin;

@@ -56,6 +56,33 @@ pub enum ServeEventKind {
         /// Shard the stream lived on before the resize.
         from_shard: usize,
     },
+    /// The supervisor **performed** a load-based auto-resize (failed
+    /// attempts publish nothing — this event is fact, not intent). This
+    /// is a **fleet-level** event: [`ServeEvent::stream`] is empty and
+    /// [`ServeEvent::shard`] is the shard count after the resize. The
+    /// per-stream `Migrated` events of the streams it moved *precede* it
+    /// on the bus (they are published by the shard workers while the
+    /// resize is in flight; this event is published once it has
+    /// succeeded).
+    ResizeDecision {
+        /// Shard count before the resize.
+        old_shards: usize,
+        /// Shard count the policy asked for (post-clamping to the
+        /// configured bounds).
+        new_shards: usize,
+        /// The smoothed per-shard queued-instance backlog that drove the
+        /// decision.
+        mean_queued_instances: f64,
+    },
+    /// The supervisor spilled a background checkpoint of this stream to
+    /// disk (fires after the bytes are durably renamed into place).
+    CheckpointSpilled {
+        /// Instances the checkpoint covers (its resume offset).
+        position: u64,
+        /// Whether the spill was triggered by a drift signal rather than
+        /// the periodic interval.
+        urgent: bool,
+    },
 }
 
 impl ServeEventKind {

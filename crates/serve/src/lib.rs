@@ -5,7 +5,7 @@
 //! concurrent streams. This crate serves them on a share-nothing sharded
 //! architecture built from the workspace's existing pieces:
 //!
-//! * a [`StreamRouter`](router::StreamRouter) hashes stream ids onto N
+//! * a [`StreamRouter`] hashes stream ids onto N
 //!   shards — stateless, so attach and ingest agree on placement with no
 //!   coordination;
 //! * each shard is a **dedicated worker thread** exclusively owning its
@@ -15,15 +15,15 @@
 //!   [`WorkspacePool`](rbm_im::pool::WorkspacePool) of RBM scratch
 //!   workspaces reused across the shard's streams;
 //! * ingest flows through **bounded MPSC channels**:
-//!   [`StreamClient::try_ingest`](server::StreamClient::try_ingest) fails
-//!   fast with [`IngestError::Full`](server::IngestError::Full) when a
+//!   [`StreamClient::try_ingest`] fails
+//!   fast with [`IngestError::Full`] when a
 //!   shard falls behind (explicit backpressure), blocking `ingest` waits,
 //!   and client-side micro-batches amortize channel traffic; the pipeline's
 //!   `detector_batch` micro-batching keeps the RBM hot path on the batched
 //!   CD-k kernels;
 //! * drifts (with per-class attribution), warnings and periodic per-stream
 //!   metric snapshots are published on a subscriber
-//!   [`EventBus`](event::EventBus);
+//!   [`EventBus`];
 //! * shards step streams through the *same*
 //!   [`PipelineStepper`](rbm_im_harness::stepper::PipelineStepper) code a
 //!   sequential
@@ -33,14 +33,23 @@
 //!   independent of shard count and ingest interleaving**, pinned by the
 //!   `tests/serving.rs` suite against sequential runs;
 //! * the fleet is **elastic**: ids route over a consistent-hash ring, so
-//!   [`ServerHandle::resize_shards`](server::ServerHandle::resize_shards)
+//!   [`ServerHandle::resize_shards`]
 //!   grows or shrinks the shard count live, migrating only the streams
 //!   whose ring ownership changed (checkpoint on the old shard → transfer
 //!   → restore on the new one, ingest parked and replayed — nothing lost,
 //!   nothing reordered; `tests/resharding.rs`), and
-//!   [`SnapshotSink`](sink::SnapshotSink) spills per-stream
-//!   [`StreamCheckpoint`](server::StreamCheckpoint)s to JSON for bitwise
-//!   warm restarts.
+//!   [`SnapshotSink`] spills per-stream
+//!   [`StreamCheckpoint`]s to disk — in the compact binary checkpoint
+//!   codec by default ([`rbm_im_harness::checkpoint::codec`]) — for
+//!   bitwise warm restarts;
+//! * the fleet is **autonomic**: a background
+//!   [`Supervisor`] closes the loop on those
+//!   mechanisms — per-stream jittered background checkpointing (urgent
+//!   after drifts), and load-based auto-resize driven by a pluggable
+//!   [`ResizePolicy`] over the shards'
+//!   lock-free queue gauges ([`ServerHandle::shard_loads`]) within
+//!   configured bounds, with every decision published on the bus
+//!   (`tests/supervisor.rs`).
 //!
 //! # Lifecycle
 //!
@@ -88,12 +97,17 @@ pub mod router;
 pub mod server;
 mod shard;
 pub mod sink;
+pub mod supervisor;
 
 pub use config::ServeConfig;
 pub use event::{EventBus, ServeEvent, ServeEventKind};
 pub use router::StreamRouter;
 pub use server::{
     deterministic_spec, IngestError, MigratedStream, ResizeReport, ServeError, ServeReport,
-    ServerHandle, StreamCheckpoint, StreamClient, StreamSummary,
+    ServerHandle, ShardLoad, StreamCheckpoint, StreamClient, StreamSummary,
 };
 pub use sink::SnapshotSink;
+pub use supervisor::{
+    CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ResizePolicy, Supervisor,
+    SupervisorConfig, SupervisorHandle, SupervisorReport,
+};

@@ -3,7 +3,7 @@
 //! per-stream ingest handle feeder threads clone and keep).
 //!
 //! Topology is **dynamic**: the consistent-hash
-//! [`StreamRouter`](crate::router::StreamRouter) and the shard channel set
+//! [`StreamRouter`] and the shard channel set
 //! live behind an `RwLock` that every ingest resolves through (a read lock
 //! held just for the send), so [`ServerHandle::resize_shards`] can grow or
 //! shrink the shard fleet live: only the streams whose ring ownership
@@ -14,7 +14,9 @@
 use crate::config::ServeConfig;
 use crate::event::{EventBus, ServeEvent};
 use crate::router::StreamRouter;
-use crate::shard::{MigrationBundle, Payload, RestoreKind, ShardMsg, ShardReport, ShardWorker};
+use crate::shard::{
+    MigrationBundle, Payload, RestoreKind, ShardGauge, ShardMsg, ShardReport, ShardWorker,
+};
 use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{PipelineError, RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec, RegistryError};
@@ -210,11 +212,37 @@ pub fn deterministic_spec(
     }
 }
 
+/// A point-in-time load reading of one shard, taken from its lock-free
+/// gauges. `queue_depth`/`queued_instances` are the ingest messages /
+/// instances enqueued but not yet fully processed (the backlog a
+/// [`ResizePolicy`](crate::supervisor::ResizePolicy) watches);
+/// `processed_instances` is the shard's lifetime throughput counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardLoad {
+    /// Shard slot index.
+    pub shard: usize,
+    /// Ingest messages enqueued but not yet processed.
+    pub queue_depth: u64,
+    /// Instances inside those unprocessed messages.
+    pub queued_instances: u64,
+    /// Lifetime instances fully processed by this shard slot.
+    pub processed_instances: u64,
+}
+
+/// One shard slot of the live topology: its ingest channel plus the load
+/// gauge shared with its worker.
+#[derive(Clone)]
+struct ShardLink {
+    tx: SyncSender<ShardMsg>,
+    gauge: Arc<ShardGauge>,
+}
+
 /// The shard fleet at one point in time: the consistent-hash router plus
-/// one ingest channel per shard slot. Swapped atomically by resizes.
+/// one ingest channel (and load gauge) per shard slot. Swapped atomically
+/// by resizes.
 struct Topology {
     router: StreamRouter,
-    shards: Vec<SyncSender<ShardMsg>>,
+    shards: Vec<ShardLink>,
 }
 
 /// Server state shared between the handle and every [`StreamClient`].
@@ -273,7 +301,19 @@ impl ServerInner {
     fn try_send_routed(&self, id: &str, msg: ShardMsg) -> Result<(), TrySendError<ShardMsg>> {
         let topology = self.topology.read().expect("topology lock poisoned");
         let shard = topology.router.shard_of(id);
-        topology.shards[shard].try_send(msg)
+        let instances = match &msg {
+            ShardMsg::Ingest { payload, .. } => Some(payload.len()),
+            _ => None,
+        };
+        let link = &topology.shards[shard];
+        link.tx.try_send(msg)?;
+        // Gauge the enqueue only after the send succeeded (bounced ingest
+        // never reaches the queue). The worker counts the matching
+        // completion, so `enqueued − processed` is the live queue depth.
+        if let Some(instances) = instances {
+            link.gauge.record_enqueue(instances);
+        }
+        Ok(())
     }
 }
 
@@ -421,8 +461,8 @@ impl ServerHandle {
         let mut shards = Vec::with_capacity(config.num_shards);
         let mut joins = HashMap::with_capacity(config.num_shards);
         for index in 0..config.num_shards {
-            let (tx, join) = spawn_worker(index, &registry, &bus, config.queue_capacity);
-            shards.push(tx);
+            let (link, join) = spawn_worker(index, &registry, &bus, config.queue_capacity);
+            shards.push(link);
             joins.insert(index, join);
         }
         let inner = Arc::new(ServerInner {
@@ -450,6 +490,59 @@ impl ServerHandle {
     /// The shard a stream id currently routes to.
     pub fn shard_of(&self, stream_id: &str) -> usize {
         self.inner.topology.read().expect("topology lock poisoned").router.shard_of(stream_id)
+    }
+
+    /// Point-in-time load readings of every shard slot, from the lock-free
+    /// gauges the ingest path maintains — cheap enough to poll at high
+    /// frequency ([`Supervisor`](crate::supervisor::Supervisor) feeds these
+    /// to its [`ResizePolicy`](crate::supervisor::ResizePolicy) every
+    /// tick). Readings are monotone-counter differences, not a consistent
+    /// cross-shard snapshot.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        use std::sync::atomic::Ordering;
+        let topology = self.inner.topology.read().expect("topology lock poisoned");
+        topology
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, link)| {
+                let enq_m = link.gauge.enqueued_messages.load(Ordering::Relaxed);
+                let pro_m = link.gauge.processed_messages.load(Ordering::Relaxed);
+                let enq_i = link.gauge.enqueued_instances.load(Ordering::Relaxed);
+                let pro_i = link.gauge.processed_instances.load(Ordering::Relaxed);
+                ShardLoad {
+                    shard,
+                    queue_depth: enq_m.saturating_sub(pro_m),
+                    queued_instances: enq_i.saturating_sub(pro_i),
+                    processed_instances: pro_i,
+                }
+            })
+            .collect()
+    }
+
+    /// The ids of every currently attached stream, sorted (an inventory
+    /// barrier across all shards — takes the control lock, so it cannot
+    /// race a resize). The supervisor uses this to keep its per-stream
+    /// checkpoint schedule in sync with attaches and detaches.
+    pub fn attached_streams(&self) -> Vec<String> {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let links: Vec<ShardLink> =
+            self.inner.topology.read().expect("topology lock poisoned").shards.clone();
+        let mut replies = Vec::with_capacity(links.len());
+        for link in &links {
+            let (reply_tx, reply_rx) = channel();
+            if link.tx.send(ShardMsg::Inventory { reply: reply_tx }).is_ok() {
+                replies.push(reply_rx);
+            }
+        }
+        let mut ids: Vec<String> = replies
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .flatten()
+            .map(|id| id.to_string())
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// The spec a stream would actually be built with: the attach spec
@@ -555,12 +648,13 @@ impl ServerHandle {
     /// [`ServerHandle::restore_stream`] each.
     pub fn checkpoint_all(&self) -> Result<Vec<StreamCheckpoint>, ServeError> {
         let _guard = self.control.lock().expect("control lock poisoned");
-        let txs: Vec<SyncSender<ShardMsg>> =
+        let links: Vec<ShardLink> =
             self.inner.topology.read().expect("topology lock poisoned").shards.clone();
-        let mut replies = Vec::with_capacity(txs.len());
-        for tx in &txs {
+        let mut replies = Vec::with_capacity(links.len());
+        for link in &links {
             let (reply_tx, reply_rx) = channel();
-            tx.send(ShardMsg::CheckpointAll { reply: reply_tx })
+            link.tx
+                .send(ShardMsg::CheckpointAll { reply: reply_tx })
                 .map_err(|_| ServeError::ShardUnavailable)?;
             replies.push(reply_rx);
         }
@@ -605,9 +699,15 @@ impl ServerHandle {
     /// Subscribes to the drift-event bus: the receiver sees every event
     /// published after this call (attach/detach/migration notices,
     /// warnings, drifts with per-class attribution, periodic metric
-    /// snapshots).
+    /// snapshots, supervisor resize decisions and checkpoint spills).
     pub fn subscribe(&self) -> Receiver<ServeEvent> {
         self.inner.bus.subscribe()
+    }
+
+    /// The server's event bus — the supervisor publishes fleet-level
+    /// events (resize decisions, checkpoint spills) through it.
+    pub(crate) fn bus(&self) -> &Arc<EventBus> {
+        &self.inner.bus
     }
 
     /// Barrier: returns once every ingest message queued before this call
@@ -619,12 +719,12 @@ impl ServerHandle {
         // park buffers rather than having been stepped, so a concurrent
         // drain would acknowledge a barrier it does not actually provide.
         let _guard = self.control.lock().expect("control lock poisoned");
-        let txs: Vec<SyncSender<ShardMsg>> =
+        let links: Vec<ShardLink> =
             self.inner.topology.read().expect("topology lock poisoned").shards.clone();
-        let mut replies = Vec::with_capacity(txs.len());
-        for tx in &txs {
+        let mut replies = Vec::with_capacity(links.len());
+        for link in &links {
             let (reply_tx, reply_rx) = channel();
-            if tx.send(ShardMsg::Drain { reply: reply_tx }).is_ok() {
+            if link.tx.send(ShardMsg::Drain { reply: reply_tx }).is_ok() {
                 replies.push(reply_rx);
             }
         }
@@ -662,25 +762,25 @@ impl ServerHandle {
         // get fresh workers (spawned now, receiving traffic only after the
         // swap).
         let new_router = StreamRouter::new(new_count);
-        let mut new_shards: Vec<SyncSender<ShardMsg>> =
-            old_shards.iter().take(new_count).cloned().collect();
+        let mut new_shards: Vec<ShardLink> = old_shards.iter().take(new_count).cloned().collect();
         for index in old_count..new_count {
-            let (tx, join) = spawn_worker(
+            let (link, join) = spawn_worker(
                 index,
                 &self.inner.registry,
                 &self.inner.bus,
                 self.inner.config.queue_capacity,
             );
-            new_shards.push(tx);
+            new_shards.push(link);
             self.joins.lock().expect("joins lock poisoned").insert(index, join);
         }
 
         // Plan: inventory every old shard and keep the streams whose ring
         // owner changes.
         let mut moving: Vec<(Arc<str>, usize, usize)> = Vec::new();
-        for (shard, tx) in old_shards.iter().enumerate() {
+        for (shard, link) in old_shards.iter().enumerate() {
             let (reply_tx, reply_rx) = channel();
-            tx.send(ShardMsg::Inventory { reply: reply_tx })
+            link.tx
+                .send(ShardMsg::Inventory { reply: reply_tx })
                 .map_err(|_| ServeError::ShardUnavailable)?;
             for id in reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)? {
                 let to = new_router.shard_of(&id);
@@ -703,10 +803,10 @@ impl ServerHandle {
             by_target.entry(*to).or_default().push(Arc::clone(id));
         }
         for (shard, ids) in &by_source {
-            park(&old_shards[*shard], ids.clone())?;
+            park(&old_shards[*shard].tx, ids.clone())?;
         }
         for (shard, ids) in &by_target {
-            park(&new_shards[*shard], ids.clone())?;
+            park(&new_shards[*shard].tx, ids.clone())?;
         }
 
         // Extract every mover's state (checkpoint + ingest parked so far).
@@ -718,6 +818,7 @@ impl ServerHandle {
         for (id, from, to) in &moving {
             let (reply_tx, reply_rx) = channel();
             if old_shards[*from]
+                .tx
                 .send(ShardMsg::Extract { id: Arc::clone(id), reply: reply_tx })
                 .is_err()
             {
@@ -744,7 +845,7 @@ impl ServerHandle {
             // the old fleet.
             for (id, from, _to, bundle) in bundles {
                 let (reply_tx, reply_rx) = channel();
-                let _ = old_shards[from].send(ShardMsg::Restore {
+                let _ = old_shards[from].tx.send(ShardMsg::Restore {
                     id,
                     bundle,
                     kind: RestoreKind::Reinstate,
@@ -756,6 +857,7 @@ impl ServerHandle {
                 for id in ids {
                     let (reply_tx, reply_rx) = channel();
                     let _ = old_shards[*shard]
+                        .tx
                         .send(ShardMsg::Unpark { id: Arc::clone(id), reply: reply_tx });
                     let _ = reply_rx.recv();
                 }
@@ -767,12 +869,13 @@ impl ServerHandle {
                 for id in ids {
                     let (reply_tx, reply_rx) = channel();
                     let _ = new_shards[*shard]
+                        .tx
                         .send(ShardMsg::Unpark { id: Arc::clone(id), reply: reply_tx });
                     let _ = reply_rx.recv();
                 }
             }
-            for (index, tx) in new_shards.iter().enumerate().skip(old_count) {
-                let _ = tx.send(ShardMsg::Shutdown);
+            for (index, link) in new_shards.iter().enumerate().skip(old_count) {
+                let _ = link.tx.send(ShardMsg::Shutdown);
                 if let Some(join) = self.joins.lock().expect("joins lock poisoned").remove(&index) {
                     let _ = join.join();
                 }
@@ -804,6 +907,7 @@ impl ServerHandle {
             // Stragglers that reached the source after the extract.
             let (reply_tx, reply_rx) = channel();
             let stragglers = if old_shards[from]
+                .tx
                 .send(ShardMsg::Unpark { id: Arc::clone(&id), reply: reply_tx })
                 .is_ok()
             {
@@ -815,14 +919,14 @@ impl ServerHandle {
                 // Source worker gone (panicked): the state is unrecoverable;
                 // at least close the target's park entry so future ingest is
                 // dropped-and-counted rather than buffered invisibly.
-                close_park(&new_shards[to], &id);
+                close_park(&new_shards[to].tx, &id);
                 first_error.get_or_insert(ServeError::ShardUnavailable);
                 continue;
             };
             bundle.parked.extend(stragglers);
 
             let (reply_tx, reply_rx) = channel();
-            let outcome = match new_shards[to].send(ShardMsg::Restore {
+            let outcome = match new_shards[to].tx.send(ShardMsg::Restore {
                 id: Arc::clone(&id),
                 bundle,
                 kind: RestoreKind::Migration { from_shard: from },
@@ -854,10 +958,11 @@ impl ServerHandle {
                     // source (shrink) finalizes it into the shutdown
                     // report; a surviving source keeps it queryable even
                     // though new ingest now routes to the target.
-                    close_park(&new_shards[to], &id);
+                    close_park(&new_shards[to].tx, &id);
                     if let Some(bundle) = failure.bundle {
                         let (reply_tx, reply_rx) = channel();
                         if old_shards[from]
+                            .tx
                             .send(ShardMsg::Restore {
                                 id: Arc::clone(&id),
                                 bundle: *bundle,
@@ -880,8 +985,8 @@ impl ServerHandle {
         // Shrink: the removed shards now own no streams (ring ownership of
         // every stream they held moved by construction); retire them and
         // keep their counters for the final report.
-        for (index, tx) in old_shards.iter().enumerate().skip(new_count) {
-            let _ = tx.send(ShardMsg::Shutdown);
+        for (index, link) in old_shards.iter().enumerate().skip(new_count) {
+            let _ = link.tx.send(ShardMsg::Shutdown);
             if let Some(join) = self.joins.lock().expect("joins lock poisoned").remove(&index) {
                 let mut retired = self.retired.lock().expect("retired lock poisoned");
                 match join.join() {
@@ -908,8 +1013,8 @@ impl ServerHandle {
         {
             let _guard = self.control.lock().expect("control lock poisoned");
             let topology = self.inner.topology.read().expect("topology lock poisoned");
-            for tx in &topology.shards {
-                let _ = tx.send(ShardMsg::Shutdown);
+            for link in &topology.shards {
+                let _ = link.tx.send(ShardMsg::Shutdown);
             }
         }
         let retired = self.retired.into_inner().expect("retired lock poisoned");
@@ -957,20 +1062,22 @@ impl fmt::Debug for ServerHandle {
     }
 }
 
-/// Spawns one shard worker thread with its bounded ingest channel.
+/// Spawns one shard worker thread with its bounded ingest channel and a
+/// fresh load gauge.
 fn spawn_worker(
     index: usize,
     registry: &Arc<DetectorRegistry>,
     bus: &Arc<EventBus>,
     queue_capacity: usize,
-) -> (SyncSender<ShardMsg>, JoinHandle<ShardReport>) {
+) -> (ShardLink, JoinHandle<ShardReport>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
-    let worker = ShardWorker::new(index, Arc::clone(registry), Arc::clone(bus));
+    let gauge = Arc::new(ShardGauge::default());
+    let worker = ShardWorker::new(index, Arc::clone(registry), Arc::clone(bus), Arc::clone(&gauge));
     let join = std::thread::Builder::new()
         .name(format!("rbm-serve-shard-{index}"))
         .spawn(move || worker.run(rx))
         .expect("failed to spawn shard worker");
-    (tx, join)
+    (ShardLink { tx, gauge }, join)
 }
 
 /// Parks `ids` on a shard and waits for the acknowledgement.

@@ -40,8 +40,40 @@ use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_harness::stepper::PipelineStepper;
 use rbm_im_streams::{Instance, StreamSchema};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+
+/// Lock-free per-shard load counters, shared between the ingest senders
+/// (which count enqueues) and the worker thread (which counts completions).
+/// `enqueued − processed` is the shard's live queue depth — the signal the
+/// supervisor's [`ResizePolicy`](crate::supervisor::ResizePolicy) watches.
+/// Counters are monotone, so reads need no coordination with the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct ShardGauge {
+    /// Ingest messages successfully enqueued to this shard.
+    pub enqueued_messages: AtomicU64,
+    /// Ingest messages the worker has fully processed.
+    pub processed_messages: AtomicU64,
+    /// Instances inside the enqueued messages.
+    pub enqueued_instances: AtomicU64,
+    /// Instances inside the processed messages.
+    pub processed_instances: AtomicU64,
+}
+
+impl ShardGauge {
+    /// Records one enqueued ingest message of `instances` instances.
+    pub fn record_enqueue(&self, instances: u64) {
+        self.enqueued_messages.fetch_add(1, Ordering::Relaxed);
+        self.enqueued_instances.fetch_add(instances, Ordering::Relaxed);
+    }
+
+    /// Records one fully processed ingest message of `instances` instances.
+    pub fn record_processed(&self, instances: u64) {
+        self.processed_messages.fetch_add(1, Ordering::Relaxed);
+        self.processed_instances.fetch_add(instances, Ordering::Relaxed);
+    }
+}
 
 /// One or many instances carried by an ingest message. Client-side
 /// micro-batches (`try_ingest_batch`) amortize channel traffic; either way
@@ -63,7 +95,7 @@ impl Payload {
         }
     }
 
-    fn len(&self) -> u64 {
+    pub(crate) fn len(&self) -> u64 {
         match self {
             Payload::One(_) => 1,
             Payload::Many(instances) => instances.len() as u64,
@@ -178,6 +210,8 @@ pub(crate) struct ShardWorker {
     index: usize,
     registry: Arc<DetectorRegistry>,
     bus: Arc<EventBus>,
+    /// Load counters shared with the ingest senders.
+    gauge: Arc<ShardGauge>,
     streams: HashMap<Arc<str>, StreamState>,
     /// Ingest buffers of parked stream ids (migration in flight).
     parked: HashMap<Arc<str>, Vec<Instance>>,
@@ -190,11 +224,17 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
-    pub(crate) fn new(index: usize, registry: Arc<DetectorRegistry>, bus: Arc<EventBus>) -> Self {
+    pub(crate) fn new(
+        index: usize,
+        registry: Arc<DetectorRegistry>,
+        bus: Arc<EventBus>,
+        gauge: Arc<ShardGauge>,
+    ) -> Self {
         ShardWorker {
             index,
             registry,
             bus,
+            gauge,
             streams: HashMap::new(),
             parked: HashMap::new(),
             pool: WorkspacePool::new(),
@@ -211,7 +251,13 @@ impl ShardWorker {
                     let result = self.attach(Arc::clone(&id), schema, spec, run);
                     let _ = reply.send(result);
                 }
-                ShardMsg::Ingest { id, payload } => self.ingest(&id, payload),
+                ShardMsg::Ingest { id, payload } => {
+                    let instances = payload.len();
+                    self.ingest(&id, payload);
+                    // Counted after the step so `enqueued − processed`
+                    // includes the message currently being worked on.
+                    self.gauge.record_processed(instances);
+                }
                 ShardMsg::Detach { id, reply } => {
                     let result = match self.streams.remove(&id) {
                         Some(state) => Ok(self.close_stream(&id, state)),

@@ -1,19 +1,31 @@
-//! Disk persistence for served streams: spill per-stream checkpoints and
-//! prequential metric snapshots to JSON, and load them back for
-//! restart-from-disk.
+//! Disk persistence for served streams: spill per-stream checkpoints (in
+//! either checkpoint codec) and prequential metric snapshots, and load
+//! them back for restart-from-disk.
 //!
 //! A [`SnapshotSink`] owns a directory. Two artifact kinds live in it:
 //!
-//! * `<stream>.checkpoint.json` — one self-contained
-//!   [`StreamCheckpoint`] per stream (schema, effective spec, run config
-//!   and complete pipeline state), overwritten on every spill. A restarted
-//!   process loads these with [`SnapshotSink::load_checkpoints`] and hands
-//!   each to [`ServerHandle::restore_stream`](crate::server::ServerHandle::restore_stream)
+//! * `<stream>.checkpoint.bin` / `<stream>.checkpoint.json` — one
+//!   self-contained [`StreamCheckpoint`] per stream (schema, effective
+//!   spec, run config and complete pipeline state), overwritten on every
+//!   spill. The format follows the sink's
+//!   [`CheckpointCodec`]: the compact binary codec by default (sized for
+//!   frequent background spills — see
+//!   [`rbm_im_harness::checkpoint::codec`]), or JSON for debuggability.
+//!   Loading sniffs the format from the file contents, so a restarted
+//!   process reads spills from either codec regardless of its own
+//!   configuration. A restarted process loads these with
+//!   [`SnapshotSink::load_checkpoints`] and hands each to
+//!   [`ServerHandle::restore_stream`](crate::server::ServerHandle::restore_stream)
 //!   so the stream resumes bitwise-identically;
 //! * `<stream>.metrics.jsonl` — appended [`PrequentialSnapshot`] lines
 //!   (one JSON object per snapshot event), giving dashboards history
 //!   across restarts. Feed the sink from a bus subscription via
 //!   [`SnapshotSink::record_event`].
+//!
+//! Spills are atomic (temp file + rename), so a crash mid-spill leaves the
+//! previous checkpoint intact, and a truncated or corrupt file is reported
+//! as a clean [`io::Error`] at load — never silently skipped, never
+//! garbage state.
 //!
 //! Stream ids are sanitized into file names (alphanumerics, `-`, `_`, `.`
 //! kept; everything else mapped to `_` plus a hash suffix on collision
@@ -21,24 +33,33 @@
 
 use crate::event::{ServeEvent, ServeEventKind};
 use crate::server::StreamCheckpoint;
+use rbm_im_harness::checkpoint::codec::{self, CheckpointCodec};
 use rbm_im_metrics::PrequentialSnapshot;
 use serde::Serialize as _;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
-/// JSON spill directory for checkpoints and metric history.
+/// Spill directory for checkpoints and metric history.
 #[derive(Debug)]
 pub struct SnapshotSink {
     dir: PathBuf,
+    codec: CheckpointCodec,
 }
 
 impl SnapshotSink {
-    /// Opens (creating if needed) a sink over `dir`.
+    /// Opens (creating if needed) a sink over `dir` with the default
+    /// checkpoint codec ([`CheckpointCodec::Binary`]).
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_codec(dir, CheckpointCodec::default())
+    }
+
+    /// Opens (creating if needed) a sink over `dir` spilling checkpoints
+    /// with `codec`. Loading is codec-agnostic either way.
+    pub fn with_codec(dir: impl Into<PathBuf>, codec: CheckpointCodec) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotSink { dir })
+        Ok(SnapshotSink { dir, codec })
     }
 
     /// The sink directory.
@@ -46,16 +67,36 @@ impl SnapshotSink {
         &self.dir
     }
 
+    /// The codec new spills are written with.
+    pub fn codec(&self) -> CheckpointCodec {
+        self.codec
+    }
+
     /// Writes (atomically, via a temp file + rename) one stream's
-    /// checkpoint, overwriting any previous checkpoint of the same stream.
-    /// Returns the file path.
+    /// checkpoint, overwriting any previous checkpoint of the same stream
+    /// — in **either** codec, so switching codecs cannot leave a stale
+    /// duplicate behind. Returns the file path.
     pub fn spill_checkpoint(&self, checkpoint: &StreamCheckpoint) -> io::Result<PathBuf> {
-        let path = self.checkpoint_path(&checkpoint.stream);
-        let json = serde_json::to_string_pretty(checkpoint)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, json)?;
+        let path = self.checkpoint_path(&checkpoint.stream, self.codec);
+        let bytes = match self.codec {
+            CheckpointCodec::Json => serde_json::to_string_pretty(checkpoint)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                .into_bytes(),
+            CheckpointCodec::Binary => codec::encode(CheckpointCodec::Binary, checkpoint),
+        };
+        let tmp = path.with_extension(format!("{}.tmp", self.codec.extension()));
+        fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;
+        // Drop the other codec's spill of the same stream, if any — the
+        // freshly written file is now the stream's sole checkpoint. Best
+        // effort: the spill itself is already durable at this point, and a
+        // crash window between the rename and this removal is tolerated by
+        // the loaders (they deduplicate by stream id).
+        let other = match self.codec {
+            CheckpointCodec::Json => CheckpointCodec::Binary,
+            CheckpointCodec::Binary => CheckpointCodec::Json,
+        };
+        let _ = fs::remove_file(self.checkpoint_path(&checkpoint.stream, other));
         Ok(path)
     }
 
@@ -65,25 +106,69 @@ impl SnapshotSink {
         checkpoints.iter().map(|c| self.spill_checkpoint(c)).collect()
     }
 
-    /// Loads every `*.checkpoint.json` in the sink directory, sorted by
-    /// stream id. Files that fail to parse are reported as errors, not
-    /// skipped silently.
+    /// Loads every `*.checkpoint.bin` / `*.checkpoint.json` in the sink
+    /// directory, sorted by stream id — **one checkpoint per stream**: if
+    /// a crash between a spill's rename and its stale-file cleanup left
+    /// both codecs' files behind, the one capturing the *later* stream
+    /// position wins (ties go to the binary file), so a restart never
+    /// restores the same stream twice or from the staler of the two
+    /// states — whichever direction the codec switch went. The codec of
+    /// each file is sniffed from its contents. Files that fail to parse
+    /// (truncated spill, corrupt bytes, a future codec version) are
+    /// reported as errors naming the file, not skipped silently.
     pub fn load_checkpoints(&self) -> io::Result<Vec<StreamCheckpoint>> {
-        let mut checkpoints = Vec::new();
+        let mut by_stream: std::collections::HashMap<String, (bool, StreamCheckpoint)> =
+            std::collections::HashMap::new();
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            if !name.ends_with(".checkpoint.json") {
+            let is_binary_file = name.ends_with(".checkpoint.bin");
+            if !is_binary_file && !name.ends_with(".checkpoint.json") {
                 continue;
             }
-            let json = fs::read_to_string(&path)?;
-            let checkpoint: StreamCheckpoint = serde_json::from_str(&json).map_err(|e| {
+            let bytes = fs::read(&path)?;
+            let checkpoint: StreamCheckpoint = codec::decode(&bytes).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
             })?;
-            checkpoints.push(checkpoint);
+            let candidate = (is_binary_file, checkpoint);
+            match by_stream.remove(&candidate.1.stream) {
+                None => {
+                    by_stream.insert(candidate.1.stream.clone(), candidate);
+                }
+                Some(existing) => {
+                    let winner = fresher(existing, candidate);
+                    by_stream.insert(winner.1.stream.clone(), winner);
+                }
+            }
         }
+        let mut checkpoints: Vec<StreamCheckpoint> =
+            by_stream.into_values().map(|(_, c)| c).collect();
         checkpoints.sort_by(|a, b| a.stream.cmp(&b.stream));
         Ok(checkpoints)
+    }
+
+    /// Loads one stream's checkpoint, whichever codec it was spilled with
+    /// (duplicates from a crashed codec switch resolve exactly like
+    /// [`SnapshotSink::load_checkpoints`]: later position wins, ties to
+    /// binary). Returns `Ok(None)` if the stream has no spill.
+    pub fn load_checkpoint(&self, stream: &str) -> io::Result<Option<StreamCheckpoint>> {
+        let mut best: Option<(bool, StreamCheckpoint)> = None;
+        for codec_kind in [CheckpointCodec::Binary, CheckpointCodec::Json] {
+            let path = self.checkpoint_path(stream, codec_kind);
+            if !path.exists() {
+                continue;
+            }
+            let bytes = fs::read(&path)?;
+            let checkpoint: StreamCheckpoint = codec::decode(&bytes).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+            })?;
+            let candidate = (codec_kind == CheckpointCodec::Binary, checkpoint);
+            best = Some(match best.take() {
+                None => candidate,
+                Some(existing) => fresher(existing, candidate),
+            });
+        }
+        Ok(best.map(|(_, c)| c))
     }
 
     /// Appends one prequential snapshot to the stream's metrics history
@@ -150,12 +235,26 @@ impl SnapshotSink {
         Ok(history)
     }
 
-    fn checkpoint_path(&self, stream: &str) -> PathBuf {
-        self.dir.join(format!("{}.checkpoint.json", sanitize(stream)))
+    fn checkpoint_path(&self, stream: &str, codec: CheckpointCodec) -> PathBuf {
+        self.dir.join(format!("{}.checkpoint.{}", sanitize(stream), codec.extension()))
     }
 
     fn metrics_path(&self, stream: &str) -> PathBuf {
         self.dir.join(format!("{}.metrics.jsonl", sanitize(stream)))
+    }
+}
+
+/// Of two spills for the same stream (possible only in the crash window
+/// between a spill's rename and its stale-file cleanup), the fresher one
+/// is the one capturing the later stream position — the direction of the
+/// codec switch says nothing about recency. Ties go to the binary file.
+fn fresher(a: (bool, StreamCheckpoint), b: (bool, StreamCheckpoint)) -> (bool, StreamCheckpoint) {
+    let position_a = a.1.checkpoint.processed().unwrap_or(0);
+    let position_b = b.1.checkpoint.processed().unwrap_or(0);
+    if position_a > position_b || (position_a == position_b && a.0) {
+        a
+    } else {
+        b
     }
 }
 

@@ -1,0 +1,234 @@
+//! `SnapshotSink` durability contract: codec equivalence and error paths.
+//!
+//! Background spills are only worth having if a warm restart can trust
+//! them, so every failure mode must surface as a clean error naming the
+//! offending file: truncated spills, corrupt bytes, future codec
+//! versions, unwritable directories. And the two codecs must be perfectly
+//! interchangeable — a checkpoint spilled as JSON and one spilled as
+//! binary restore the *same* pipeline.
+
+use rbm_im_harness::checkpoint::codec::{CheckpointCodec, BINARY_MAGIC};
+use rbm_im_harness::checkpoint::PipelineCheckpoint;
+use rbm_im_harness::pipeline::{PipelineEvent, RunConfig};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_harness::stepper::PipelineStepper;
+use rbm_im_serve::{SnapshotSink, StreamCheckpoint};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, StreamExt};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A unique scratch directory under the target-adjacent temp root.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rbm-sink-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small warmed checkpoint to spill (500 instances, ADWIN so it is
+/// cheap).
+fn sample_checkpoint(stream: &str) -> StreamCheckpoint {
+    sample_checkpoint_at(stream, 500)
+}
+
+/// A warmed checkpoint capturing exactly `instances` processed instances.
+fn sample_checkpoint_at(stream: &str, instances: usize) -> StreamCheckpoint {
+    let mut gen = RandomRbfGenerator::new(6, 3, 2, 0.0, 11);
+    let schema = gen.schema().clone();
+    let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
+    let run = RunConfig { metric_window: 100, detector_batch: 10, ..Default::default() };
+    let mut stepper =
+        PipelineStepper::from_spec(DetectorRegistry::global(), &spec, &schema, run).unwrap();
+    let mut sink = |_: &PipelineEvent<'_>| {};
+    for instance in gen.take_instances(instances) {
+        stepper.step(instance, &mut sink);
+    }
+    StreamCheckpoint {
+        stream: stream.to_string(),
+        checkpoint: PipelineCheckpoint::capture(&stepper, schema, spec).unwrap(),
+    }
+}
+
+fn checkpoint_file(dir: &Path, suffix: &str) -> PathBuf {
+    fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().ends_with(suffix))
+        .unwrap_or_else(|| panic!("no *{suffix} in {}", dir.display()))
+}
+
+#[test]
+fn json_and_binary_spills_restore_the_same_checkpoint() {
+    let checkpoint = sample_checkpoint("feed-a");
+
+    let json_dir = scratch("json");
+    let json_sink = SnapshotSink::with_codec(&json_dir, CheckpointCodec::Json).unwrap();
+    let json_path = json_sink.spill_checkpoint(&checkpoint).unwrap();
+    assert!(json_path.to_string_lossy().ends_with(".checkpoint.json"));
+
+    let bin_dir = scratch("bin");
+    let bin_sink = SnapshotSink::with_codec(&bin_dir, CheckpointCodec::Binary).unwrap();
+    assert_eq!(bin_sink.codec(), CheckpointCodec::Binary);
+    let bin_path = bin_sink.spill_checkpoint(&checkpoint).unwrap();
+    assert!(bin_path.to_string_lossy().ends_with(".checkpoint.bin"));
+
+    // The binary spill carries the magic and is much smaller than the
+    // pretty JSON spill.
+    let bin_bytes = fs::read(&bin_path).unwrap();
+    let json_bytes = fs::read(&json_path).unwrap();
+    assert_eq!(&bin_bytes[..4], &BINARY_MAGIC);
+    assert!(
+        bin_bytes.len() * 4 <= json_bytes.len(),
+        "binary ({}) must be ≥4× smaller than the JSON spill ({})",
+        bin_bytes.len(),
+        json_bytes.len()
+    );
+
+    // Loading is codec-agnostic and the payloads are identical.
+    let from_json = json_sink.load_checkpoints().unwrap();
+    let from_bin = bin_sink.load_checkpoints().unwrap();
+    assert_eq!(from_json, from_bin);
+    assert_eq!(from_bin[0], checkpoint);
+    assert_eq!(bin_sink.load_checkpoint("feed-a").unwrap().unwrap(), checkpoint);
+    assert!(bin_sink.load_checkpoint("missing").unwrap().is_none());
+
+    let _ = fs::remove_dir_all(json_dir);
+    let _ = fs::remove_dir_all(bin_dir);
+}
+
+#[test]
+fn switching_codecs_replaces_the_old_spill_atomically() {
+    let dir = scratch("switch");
+    let checkpoint = sample_checkpoint("feed-b");
+    SnapshotSink::with_codec(&dir, CheckpointCodec::Json)
+        .unwrap()
+        .spill_checkpoint(&checkpoint)
+        .unwrap();
+    // Re-spill the same stream with the binary codec: the JSON file must
+    // be gone, or a later load would see a stale duplicate.
+    SnapshotSink::with_codec(&dir, CheckpointCodec::Binary)
+        .unwrap()
+        .spill_checkpoint(&checkpoint)
+        .unwrap();
+    let loaded = SnapshotSink::new(&dir).unwrap().load_checkpoints().unwrap();
+    assert_eq!(loaded.len(), 1, "stale other-codec spill must have been replaced");
+    assert_eq!(loaded[0], checkpoint);
+    // No leftover temp files from the atomic write protocol.
+    for entry in fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert!(!name.to_string_lossy().ends_with(".tmp"), "leftover temp file {name:?}");
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_window_duplicate_spills_dedupe_by_freshest_position() {
+    // Simulate a crash between a spill's rename and its stale-file
+    // cleanup: both codecs' files exist for one stream. Loading must
+    // return exactly one checkpoint per stream — the one capturing the
+    // later position, whichever direction the codec switch went — so a
+    // cold restart never restores a stream twice or from stale state.
+    let dir = scratch("crash-window");
+    let older = sample_checkpoint_at("feed-f", 300);
+    let fresh = sample_checkpoint_at("feed-f", 500);
+
+    // Json -> Binary switch: stale JSON (older position) resurrected
+    // beside the fresh binary spill.
+    let json_sink = SnapshotSink::with_codec(&dir, CheckpointCodec::Json).unwrap();
+    let json_path = json_sink.spill_checkpoint(&older).unwrap();
+    let stale_bytes = fs::read(&json_path).unwrap();
+    let bin_sink = SnapshotSink::with_codec(&dir, CheckpointCodec::Binary).unwrap();
+    bin_sink.spill_checkpoint(&fresh).unwrap();
+    fs::write(&json_path, &stale_bytes).unwrap();
+    let loaded = bin_sink.load_checkpoints().unwrap();
+    assert_eq!(loaded.len(), 1, "one checkpoint per stream, not one per file");
+    assert_eq!(loaded[0], fresh, "the later-position spill must win");
+    assert_eq!(bin_sink.load_checkpoint("feed-f").unwrap().unwrap(), fresh);
+
+    // Binary -> Json switch: stale binary (older position) resurrected
+    // beside the fresh JSON spill — the JSON one must win now.
+    let dir2 = scratch("crash-window-reverse");
+    let bin_sink = SnapshotSink::with_codec(&dir2, CheckpointCodec::Binary).unwrap();
+    let bin_path = bin_sink.spill_checkpoint(&older).unwrap();
+    let stale_bytes = fs::read(&bin_path).unwrap();
+    let json_sink = SnapshotSink::with_codec(&dir2, CheckpointCodec::Json).unwrap();
+    json_sink.spill_checkpoint(&fresh).unwrap();
+    fs::write(&bin_path, &stale_bytes).unwrap();
+    let loaded = json_sink.load_checkpoints().unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert_eq!(loaded[0], fresh, "freshness must beat the binary preference");
+    assert_eq!(json_sink.load_checkpoint("feed-f").unwrap().unwrap(), fresh);
+
+    let _ = fs::remove_dir_all(dir);
+    let _ = fs::remove_dir_all(dir2);
+}
+
+#[test]
+fn unwritable_directory_is_a_clean_error() {
+    // A *file* where the sink directory should be: create_dir_all fails.
+    let parent = scratch("unwritable");
+    fs::create_dir_all(&parent).unwrap();
+    let blocker = parent.join("occupied");
+    fs::write(&blocker, b"not a directory").unwrap();
+    assert!(SnapshotSink::new(&blocker).is_err(), "file in place of dir must fail to open");
+    assert!(
+        SnapshotSink::new(blocker.join("nested")).is_err(),
+        "dir under a file must fail to open"
+    );
+
+    // A sink whose directory vanished after opening fails at spill, not
+    // with a panic or a silent no-op.
+    let vanishing = parent.join("vanishing");
+    let sink = SnapshotSink::new(&vanishing).unwrap();
+    fs::remove_dir_all(&vanishing).unwrap();
+    assert!(sink.spill_checkpoint(&sample_checkpoint("feed-c")).is_err());
+    let _ = fs::remove_dir_all(parent);
+}
+
+#[test]
+fn truncated_and_corrupt_spills_error_at_load() {
+    for codec in [CheckpointCodec::Binary, CheckpointCodec::Json] {
+        let dir = scratch(&format!("corrupt-{codec}"));
+        let sink = SnapshotSink::with_codec(&dir, codec).unwrap();
+        sink.spill_checkpoint(&sample_checkpoint("feed-d")).unwrap();
+        let path = checkpoint_file(&dir, &format!(".checkpoint.{}", codec.extension()));
+
+        // Truncate to half: load must fail and name the file.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = sink.load_checkpoints().expect_err("truncated spill must not load");
+        assert!(err.to_string().contains("checkpoint."), "error should name the file: {err}");
+        let err = sink.load_checkpoint("feed-d").expect_err("single load must also fail");
+        assert!(err.to_string().contains("checkpoint."), "{err}");
+
+        // Arbitrary garbage: same clean failure.
+        fs::write(&path, b"\xff\xfe\xfdgarbage").unwrap();
+        assert!(sink.load_checkpoints().is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn future_codec_version_is_a_clean_error() {
+    let dir = scratch("version");
+    let sink = SnapshotSink::with_codec(&dir, CheckpointCodec::Binary).unwrap();
+    sink.spill_checkpoint(&sample_checkpoint("feed-e")).unwrap();
+    let path = checkpoint_file(&dir, ".checkpoint.bin");
+    let mut bytes = fs::read(&path).unwrap();
+    // Bump the version field (bytes 4–5, little endian) to a future one.
+    bytes[4] = 0x2A;
+    bytes[5] = 0x00;
+    fs::write(&path, &bytes).unwrap();
+    let err = sink.load_checkpoints().expect_err("future version must not load");
+    let message = err.to_string();
+    assert!(
+        message.contains("version 42") && message.contains("not supported"),
+        "version mismatch must be explicit: {message}"
+    );
+    let _ = fs::remove_dir_all(dir);
+}

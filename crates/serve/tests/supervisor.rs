@@ -1,0 +1,410 @@
+//! Integration suite of the autonomic supervisor (`serve::supervisor`).
+//!
+//! The load-bearing property is that the control plane is **invisible in
+//! the results**: however aggressively the supervisor spills background
+//! checkpoints and resizes the fleet, every stream's drift offsets and
+//! prequential metrics stay bitwise-identical to a sequential
+//! [`PipelineBuilder`] run over the same instances. On top of that the
+//! suite pins the durability loop end to end: background checkpoints land
+//! on disk in the binary codec while the server is live, and a **cold
+//! restart** from whatever the latest spill happens to be resumes each
+//! stream bitwise-identically to a run that was never interrupted.
+
+use rbm_im_harness::checkpoint::codec;
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig, RunResult};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_serve::{
+    deterministic_spec, CheckpointPolicy, HysteresisResizePolicy, IngestError, ResizeConfig,
+    ServeConfig, ServeEventKind, ServerHandle, SnapshotSink, StreamClient, Supervisor,
+    SupervisorConfig,
+};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, Instance, ReplayStream, StreamExt, StreamSchema};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unique scratch directory for spills.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rbm-supervisor-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A recorded drifting stream: RBF concept A, then a regenerated concept B
+/// (sudden global drift at `drift_at`).
+fn record_drifting_stream(
+    seed: u64,
+    drift_at: usize,
+    total: usize,
+) -> (StreamSchema, Vec<Instance>) {
+    let mut gen = RandomRbfGenerator::new(8, 4, 2, 0.0, seed);
+    let schema = gen.schema().clone();
+    let mut instances = gen.take_instances(drift_at);
+    gen.regenerate();
+    instances.extend(gen.take_instances(total - drift_at));
+    (schema, instances)
+}
+
+struct Feed {
+    id: String,
+    schema: StreamSchema,
+    instances: Vec<Instance>,
+    spec: DetectorSpec,
+}
+
+/// A small fleet mixing trainable RBM-IM variants with a classic detector.
+fn fleet(total: usize) -> Vec<Feed> {
+    let specs = [
+        "rbm(mini_batch=25, warmup=4, persistence=1)",
+        "adwin(delta=0.01)",
+        "rbm-im(minibatch=25, hidden=8, warmup=4, persistence=1)",
+        "rbm(mini_batch=25, warmup=4, persistence=1, learning_rate=0.1)",
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (schema, instances) = record_drifting_stream(300 + i as u64, total / 2, total);
+            Feed {
+                id: format!("feed-{i:02}"),
+                schema,
+                instances,
+                spec: DetectorSpec::parse(spec).unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn run_config() -> RunConfig {
+    RunConfig { metric_window: 500, detector_batch: 50, ..Default::default() }
+}
+
+/// Sequential ground truth over the same instances, using the effective
+/// (seed-injected) spec the server builds.
+fn sequential_baseline(feed: &Feed, run: RunConfig, base_seed: u64) -> RunResult {
+    let spec = deterministic_spec(DetectorRegistry::global(), base_seed, &feed.id, &feed.spec);
+    PipelineBuilder::new()
+        .stream(ReplayStream::new(feed.schema.clone(), feed.instances.clone()))
+        .stream_label(feed.id.clone())
+        .detector_spec(spec)
+        .config(run)
+        .run()
+        .unwrap()
+}
+
+fn assert_results_match(context: &str, served: &RunResult, sequential: &RunResult) {
+    assert_eq!(served.detections, sequential.detections, "{context}: drift offsets");
+    assert_eq!(served.instances, sequential.instances, "{context}: instance count");
+    assert_eq!(served.pm_auc, sequential.pm_auc, "{context}: pmAUC");
+    assert_eq!(served.pm_gmean, sequential.pm_gmean, "{context}: pmGM");
+    assert_eq!(served.accuracy, sequential.accuracy, "{context}: accuracy");
+    assert_eq!(served.kappa, sequential.kappa, "{context}: kappa");
+}
+
+/// Blocking batched ingest with backpressure retry.
+fn ingest_all(client: &StreamClient, mut batch: Vec<Instance>) {
+    loop {
+        match client.try_ingest_batch(batch) {
+            Ok(()) => return,
+            Err(IngestError::Full(rejected)) => {
+                batch = rejected;
+                std::thread::yield_now();
+            }
+            Err(IngestError::Closed(_)) => panic!("shard closed during ingest"),
+        }
+    }
+}
+
+/// The acceptance pin: an aggressively supervised run — background spills
+/// every few milliseconds, urgent spills on drift, auto-resize with tight
+/// cooldown driving live migrations under concurrent ingest — produces
+/// results bitwise-identical to the sequential pipeline, the fleet never
+/// leaves the policy bounds, and binary-codec checkpoints land on disk
+/// while serving.
+#[test]
+fn supervised_run_is_bitwise_deterministic_within_policy_bounds() {
+    const MIN_SHARDS: usize = 1;
+    const MAX_SHARDS: usize = 5;
+    let feeds = fleet(4_000);
+    let run = run_config();
+    let dir = scratch("determinism");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        queue_capacity: 32,
+        run,
+        ..Default::default()
+    }));
+    let events = server.subscribe();
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&dir).unwrap(),
+        SupervisorConfig {
+            tick: Duration::from_millis(5),
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::from_millis(20),
+                jitter: 0.5,
+                on_drift: true,
+            }),
+            resize: Some(ResizeConfig {
+                min_shards: MIN_SHARDS,
+                max_shards: MAX_SHARDS,
+                cooldown: Duration::from_millis(25),
+                // λ=1.0 → raw backlog; tiny watermarks so the bounded
+                // queues (32 messages) push the policy around: sustained
+                // ingest grows the fleet, the post-drain idle shrinks it.
+                policy: Box::new(HysteresisResizePolicy::new(40.0, 2.0, 1.0)),
+            }),
+        },
+    );
+
+    // Concurrent feeders, one per stream, blasting micro-batches against
+    // the small queues so real backlog accumulates.
+    std::thread::scope(|scope| {
+        for feed in &feeds {
+            let client = server.attach(&feed.id, feed.schema.clone(), &feed.spec).unwrap();
+            scope.spawn(move || {
+                for chunk in feed.instances.chunks(43) {
+                    ingest_all(&client, chunk.to_vec());
+                }
+            });
+        }
+    });
+    server.drain();
+
+    // Let the supervisor observe the idle fleet for a few cooldowns so the
+    // scale-down path runs too.
+    std::thread::sleep(Duration::from_millis(150));
+    let report = supervisor.stop();
+    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+    assert!(report.periodic_spills > 0, "background spills must have happened");
+
+    // Every decision stayed within the policy bounds.
+    for resize in &report.resizes {
+        assert!(
+            (MIN_SHARDS..=MAX_SHARDS).contains(&resize.new_shards),
+            "resize to {} outside [{MIN_SHARDS}, {MAX_SHARDS}]",
+            resize.new_shards
+        );
+    }
+    assert!(
+        !report.resizes.is_empty(),
+        "tight watermarks + bounded queues must have driven at least one resize"
+    );
+    let final_shards = server.num_shards();
+    assert!((MIN_SHARDS..=MAX_SHARDS).contains(&final_shards));
+
+    // Binary spills are on disk (and only binary: the sink's default).
+    let spills: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().contains(".checkpoint."))
+        .collect();
+    assert_eq!(spills.len(), feeds.len(), "one live spill per stream: {spills:?}");
+    for path in &spills {
+        assert!(path.to_string_lossy().ends_with(".checkpoint.bin"), "{path:?}");
+        assert!(codec::is_binary(&fs::read(path).unwrap()), "{path:?} must carry the magic");
+    }
+
+    // The bus saw the fleet-level decisions and the spill notices.
+    let mut resize_events = 0usize;
+    let mut spill_events = 0usize;
+    for event in events.try_iter() {
+        match event.kind {
+            ServeEventKind::ResizeDecision { old_shards, new_shards, .. } => {
+                resize_events += 1;
+                assert_ne!(old_shards, new_shards);
+                assert_eq!(event.shard, new_shards, "fleet events carry the new count");
+                assert!(event.stream.is_empty(), "fleet events have no stream id");
+            }
+            ServeEventKind::CheckpointSpilled { .. } => spill_events += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(resize_events, report.resizes.len());
+    assert!(spill_events as u64 >= report.periodic_spills + report.urgent_spills);
+
+    // And none of it changed a single bit of the results.
+    let report = Arc::try_unwrap(server).expect("supervisor stopped, last handle").shutdown();
+    assert_eq!(report.streams.len(), feeds.len());
+    assert_eq!(report.dropped_unknown, 0);
+    assert_eq!(report.panicked_shards, 0);
+    for summary in &report.streams {
+        let feed = feeds.iter().find(|f| f.id == summary.stream).unwrap();
+        let sequential = sequential_baseline(feed, run, ServeConfig::default().base_seed);
+        assert!(!sequential.detections.is_empty(), "{}: baseline must drift", feed.id);
+        assert_results_match(&format!("supervised {}", feed.id), &summary.result, &sequential);
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// The cold-restart acceptance pin: kill a supervised server mid-stream
+/// (no drain, no graceful checkpoint), restart from whatever the latest
+/// background spill was, replay each stream's tail from the checkpoint's
+/// recorded position — and finish bitwise-identical to a sequential run
+/// that was never interrupted.
+#[test]
+fn cold_restart_from_latest_background_spill_is_bitwise_identical() {
+    let feeds = fleet(4_500);
+    let run = run_config();
+    let dir = scratch("restart");
+    let base_seed = ServeConfig::default().base_seed;
+
+    // Phase 1: serve the head with background checkpointing, then kill.
+    let head = 2_700usize;
+    {
+        let server = Arc::new(ServerHandle::start(ServeConfig {
+            num_shards: 3,
+            queue_capacity: 64,
+            run,
+            ..Default::default()
+        }));
+        let supervisor = Supervisor::start(
+            Arc::clone(&server),
+            SnapshotSink::new(&dir).unwrap(),
+            SupervisorConfig {
+                tick: Duration::from_millis(4),
+                checkpoint: Some(CheckpointPolicy {
+                    every: Duration::from_millis(15),
+                    jitter: 0.4,
+                    on_drift: true,
+                }),
+                resize: None,
+            },
+        );
+        let clients: Vec<StreamClient> = feeds
+            .iter()
+            .map(|feed| server.attach(&feed.id, feed.schema.clone(), &feed.spec).unwrap())
+            .collect();
+        for (i, feed) in feeds.iter().enumerate() {
+            ingest_all(&clients[i], feed.instances[..head].to_vec());
+        }
+        server.drain();
+        // Give every stream at least one post-drain spill window so the
+        // latest checkpoint is guaranteed to exist (its exact position may
+        // be anywhere up to `head` — the restart math below doesn't care).
+        std::thread::sleep(Duration::from_millis(120));
+        // Keep serving past the last spill, then KILL: no drain, no final
+        // checkpoint — everything after the last spill must be recoverable
+        // from the recorded stream alone.
+        for (i, feed) in feeds.iter().enumerate() {
+            ingest_all(&clients[i], feed.instances[head..head + 400].to_vec());
+        }
+        let report = supervisor.stop();
+        assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+        assert!(
+            report.periodic_spills + report.urgent_spills >= feeds.len() as u64,
+            "every stream must have spilled at least once"
+        );
+        // Abrupt stop: the shutdown report is discarded, like a crash that
+        // took the process after the workers flushed their queues.
+        let _ = Arc::try_unwrap(server).expect("supervisor stopped, last handle").shutdown();
+    }
+
+    // Phase 2: cold restart in a "new process": load the latest spills,
+    // restore every stream, replay its tail from the checkpoint's recorded
+    // position, and finish the stream.
+    let sink = SnapshotSink::new(&dir).unwrap();
+    let checkpoints = sink.load_checkpoints().unwrap();
+    assert_eq!(checkpoints.len(), feeds.len(), "one spill per stream survives the kill");
+    let server = ServerHandle::start(ServeConfig {
+        num_shards: 2, // a different fleet size on purpose
+        queue_capacity: 64,
+        run,
+        ..Default::default()
+    });
+    for checkpoint in &checkpoints {
+        let feed = feeds.iter().find(|f| f.id == checkpoint.stream).unwrap();
+        let position = checkpoint.checkpoint.processed().unwrap() as usize;
+        assert!(
+            position > 0 && position <= head + 400,
+            "{}: spill position {position} out of range",
+            feed.id
+        );
+        let client = server.restore_stream(checkpoint).unwrap();
+        ingest_all(&client, feed.instances[position..].to_vec());
+    }
+    server.drain();
+    let report = server.shutdown();
+    assert_eq!(report.streams.len(), feeds.len());
+    for summary in &report.streams {
+        let feed = feeds.iter().find(|f| f.id == summary.stream).unwrap();
+        let sequential = sequential_baseline(feed, run, base_seed);
+        assert!(!sequential.detections.is_empty(), "{}: baseline must drift", feed.id);
+        assert_results_match(&format!("cold restart {}", feed.id), &summary.result, &sequential);
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Drift-urgent spills fire, detached streams leave the schedule without
+/// errors, and bus subscribers see the urgent spill notices after the
+/// drift they were triggered by.
+#[test]
+fn urgent_spills_and_detach_lifecycle() {
+    let feeds = fleet(4_000);
+    let feed = &feeds[0]; // the RBM feed — its baseline detects drift
+    let run = run_config();
+    let dir = scratch("urgent");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        queue_capacity: 64,
+        run,
+        ..Default::default()
+    }));
+    let events = server.subscribe();
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&dir).unwrap(),
+        SupervisorConfig {
+            tick: Duration::from_millis(4),
+            // Long interval: any spill soon after the drift is urgent-path.
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::from_secs(3_600),
+                jitter: 0.0,
+                on_drift: true,
+            }),
+            resize: None,
+        },
+    );
+
+    let client = server.attach(&feed.id, feed.schema.clone(), &feed.spec).unwrap();
+    let idle = server.attach("idle-stream", feeds[1].schema.clone(), &feeds[1].spec).unwrap();
+    ingest_all(&idle, feeds[1].instances[..200].to_vec());
+    for chunk in feed.instances.chunks(100) {
+        ingest_all(&client, chunk.to_vec());
+    }
+    server.drain();
+    // Detach mid-life: the supervisor must shed it from the schedule
+    // silently.
+    let detached = server.detach("idle-stream").unwrap();
+    assert_eq!(detached.instances, 200);
+    std::thread::sleep(Duration::from_millis(60));
+
+    let report = supervisor.stop();
+    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+    assert!(report.urgent_spills > 0, "drift must have forced an urgent spill");
+
+    let mut drift_seen = false;
+    let mut urgent_after_drift = false;
+    for event in events.try_iter() {
+        match event.kind {
+            ServeEventKind::Drift { .. } if event.stream.as_ref() == feed.id => drift_seen = true,
+            ServeEventKind::CheckpointSpilled { urgent: true, position } => {
+                assert!(drift_seen, "urgent spill must follow a drift");
+                assert!(position > 0);
+                urgent_after_drift = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(urgent_after_drift, "bus must carry the urgent spill notice");
+
+    let _ = Arc::try_unwrap(server).expect("supervisor stopped, last handle").shutdown();
+    let _ = fs::remove_dir_all(dir);
+}

@@ -8,7 +8,7 @@
 //! * [`ConceptSequenceStream`] — the MOA-style composition of several
 //!   concept streams with scheduled transitions (sudden / gradual /
 //!   incremental), used for *global* drift;
-//! * [`local`] — the [`LocalDriftStream`](local::LocalDriftStream) wrapper
+//! * [`local`] — the [`LocalDriftStream`] wrapper
 //!   that applies real drift to a chosen subset of classes only.
 
 pub mod local;

@@ -3,8 +3,8 @@
 //! The paper evaluates drift detectors inside the MOA environment; this
 //! crate re-implements the needed pieces natively in Rust:
 //!
-//! * an [`Instance`](instance::Instance) / [`StreamSchema`](instance::StreamSchema)
-//!   model and the [`DataStream`](stream::DataStream) trait,
+//! * an [`Instance`] / [`StreamSchema`]
+//!   model and the [`DataStream`] trait,
 //! * the synthetic generators used by the paper's artificial benchmarks
 //!   (Agrawal, rotating Hyperplane, RandomRBF, RandomTree) plus a few extra
 //!   classical generators (SEA, LED, Gaussian mixtures) used by the

@@ -1,0 +1,164 @@
+//! An autonomic serving fleet: background checkpointing + load-based
+//! auto-resize + crash recovery, end to end.
+//!
+//! Thirty-two drifting feeds are served on a deliberately undersized
+//! 2-shard fleet while a [`Supervisor`] (a) spills every stream's
+//! checkpoint in the compact binary codec on a jittered per-stream
+//! schedule — urgently whenever a stream drifts — and (b) watches the
+//! shards' queue gauges, growing the fleet live when backlog builds and
+//! shrinking it when the burst passes. Midway the process "crashes": the
+//! server is torn down without a final checkpoint, a fresh server cold-
+//! starts from whatever the latest background spills were, replays each
+//! stream's tail from its recorded position, and finishes with results
+//! bitwise-identical to a run that was never interrupted.
+//!
+//! Run with:
+//! `cargo run -p rbm-im-serve --release --example serve_autonomic`
+
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_serve::{
+    CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ServeConfig, ServeEventKind,
+    ServerHandle, SnapshotSink, StreamClient, Supervisor, SupervisorConfig,
+};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, Instance, StreamExt, StreamSchema};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FEEDS: usize = 32;
+const INSTANCES_PER_FEED: usize = 3_000;
+const CRASH_AT: usize = 1_800;
+
+/// A recorded drifting feed (concept A, then a regenerated concept B).
+fn record_feed(i: usize) -> (String, StreamSchema, Vec<Instance>) {
+    let mut gen = RandomRbfGenerator::new(10, 4, 2, 0.0, 7_000 + i as u64);
+    let schema = gen.schema().clone();
+    let mut instances = gen.take_instances(INSTANCES_PER_FEED / 2);
+    gen.regenerate();
+    instances.extend(gen.take_instances(INSTANCES_PER_FEED / 2));
+    (format!("feed-{i:02}"), schema, instances)
+}
+
+fn ingest_all(client: &StreamClient, mut batch: Vec<Instance>) {
+    loop {
+        match client.try_ingest_batch(batch) {
+            Ok(()) => return,
+            Err(e) => {
+                batch = e.into_rejected();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn supervisor_config() -> SupervisorConfig {
+    SupervisorConfig {
+        tick: Duration::from_millis(10),
+        checkpoint: Some(CheckpointPolicy {
+            every: Duration::from_millis(50),
+            jitter: 0.5,
+            on_drift: true,
+        }),
+        resize: Some(ResizeConfig {
+            min_shards: 1,
+            max_shards: 8,
+            cooldown: Duration::from_millis(60),
+            policy: Box::new(HysteresisResizePolicy::new(64.0, 4.0, 0.5)),
+        }),
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+    let spill_dir = std::env::temp_dir().join(format!("rbm-autonomic-{}", std::process::id()));
+    let feeds: Vec<_> = (0..FEEDS).map(record_feed).collect();
+    let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4, persistence=1)").unwrap();
+
+    // ---- Phase 1: supervised serving, then a "crash" ---------------------
+    println!("phase 1: serving {FEEDS} feeds on 2 shards with an autonomic supervisor");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        queue_capacity: 64,
+        ..Default::default()
+    }));
+    let events = server.subscribe();
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&spill_dir).expect("spill dir"),
+        supervisor_config(),
+    );
+
+    // Feed the head concurrently so real backlog builds on the small fleet.
+    std::thread::scope(|scope| {
+        for (id, schema, instances) in &feeds {
+            let client = server.attach(id, schema.clone(), &spec).unwrap();
+            scope.spawn(move || {
+                for chunk in instances[..CRASH_AT].chunks(50) {
+                    ingest_all(&client, chunk.to_vec());
+                }
+            });
+        }
+    });
+    server.drain();
+    // Linger long enough for every stream's jittered spill to land.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let report = supervisor.stop();
+    if !report.errors.is_empty() {
+        eprintln!("  supervisor errors: {:?}", report.errors);
+    }
+    let mut grew = 0usize;
+    let mut shrank = 0usize;
+    for r in &report.resizes {
+        if r.new_shards > r.old_shards {
+            grew += 1;
+        } else {
+            shrank += 1;
+        }
+    }
+    println!(
+        "  supervisor: {} periodic + {} urgent spills, {} resizes ({grew} up, {shrank} down), \
+         fleet now {} shards",
+        report.periodic_spills,
+        report.urgent_spills,
+        report.resizes.len(),
+        server.num_shards()
+    );
+    let drifts =
+        events.try_iter().filter(|e| matches!(e.kind, ServeEventKind::Drift { .. })).count();
+    println!("  bus: {drifts} drift events so far");
+    // CRASH: no drain, no graceful checkpoint — drop everything.
+    drop(Arc::try_unwrap(server).expect("supervisor stopped").shutdown());
+
+    // ---- Phase 2: cold restart from the background spills ----------------
+    let sink = SnapshotSink::new(&spill_dir).expect("spill dir");
+    let checkpoints = sink.load_checkpoints().expect("load spills");
+    println!("phase 2: cold restart — {} binary spills found, replaying tails", checkpoints.len());
+    let server = ServerHandle::start(ServeConfig {
+        num_shards: 4, // a different fleet shape; results cannot care
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    for checkpoint in &checkpoints {
+        let (_, _, instances) =
+            feeds.iter().find(|(id, _, _)| *id == checkpoint.stream).expect("known feed");
+        let position = checkpoint.checkpoint.processed().expect("resume position") as usize;
+        let client = server.restore_stream(checkpoint).expect("restore");
+        ingest_all(&client, instances[position..].to_vec());
+    }
+    server.drain();
+    let report = server.shutdown();
+
+    let total: u64 = report.streams.iter().map(|s| s.result.instances).sum();
+    let detected = report.streams.iter().filter(|s| !s.result.detections.is_empty()).count();
+    let mean_auc: f64 =
+        report.streams.iter().map(|s| s.result.pm_auc).sum::<f64>() / report.streams.len() as f64;
+    println!(
+        "done: {} streams finished ({total} instances end-to-end), {detected}/{} detected their \
+         drift, mean pmAUC {mean_auc:.2}%, wall {:?}",
+        report.streams.len(),
+        FEEDS,
+        start.elapsed()
+    );
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
