@@ -1,0 +1,114 @@
+//! `net_throughput`: the TCP wire front-end's serving throughput versus
+//! the in-process `StreamClient` path it wraps.
+//!
+//! 16 concurrent drifting streams are pumped to completion over loopback
+//! TCP (4 client connections, micro-batches of 50, blocking backpressure
+//! mapped from `Busy` replies) and, as the baseline, through in-process
+//! `StreamClient`s against an identical fleet. One iteration measures
+//! bind/start → attach → ingest → drain → shutdown, so the delta between
+//! the two groups is the wire cost: framing, serialization and loopback
+//! syscalls. `BENCH_net.json` records the measured baseline (single-core
+//! runner — see the caveat there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_net::{NetClient, NetServer};
+use rbm_im_serve::{ServeConfig, ServerHandle};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, Instance, StreamExt, StreamSchema};
+
+const STREAMS: usize = 16;
+const INSTANCES_PER_STREAM: usize = 400;
+const CONNECTIONS: usize = 4;
+const CHUNK: usize = 50;
+
+/// Pre-recorded drifting feeds so iterations measure serving, not
+/// generation.
+fn record_feeds() -> Vec<(String, StreamSchema, Vec<Instance>)> {
+    (0..STREAMS)
+        .map(|i| {
+            let mut gen = RandomRbfGenerator::new(10, 4, 2, 0.0, 1700 + i as u64);
+            let schema = gen.schema().clone();
+            let mut instances = gen.take_instances(INSTANCES_PER_STREAM / 2);
+            gen.regenerate();
+            instances.extend(gen.take_instances(INSTANCES_PER_STREAM / 2));
+            (format!("feed-{i:02}"), schema, instances)
+        })
+        .collect()
+}
+
+fn config(shards: usize) -> ServeConfig {
+    ServeConfig { num_shards: shards, queue_capacity: 256, ..Default::default() }
+}
+
+fn bench_net_throughput(c: &mut Criterion) {
+    rbm_im_bench::print_runner_metadata();
+    let feeds = record_feeds();
+    let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4)").unwrap();
+    let total = (STREAMS * INSTANCES_PER_STREAM) as u64;
+
+    let mut group = c.benchmark_group("net_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tcp_loopback", format!("{shards}shards")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let server = NetServer::bind("127.0.0.1:0", config(shards)).unwrap();
+                    let control = NetClient::connect(server.local_addr()).unwrap();
+                    for (id, schema, _) in &feeds {
+                        control.attach(id, schema.clone(), &spec).unwrap();
+                    }
+                    // Each connection serves an interleaved slice of feeds.
+                    std::thread::scope(|scope| {
+                        for worker in 0..CONNECTIONS {
+                            let feeds = &feeds;
+                            let addr = server.local_addr();
+                            scope.spawn(move || {
+                                let conn = NetClient::connect(addr).unwrap();
+                                for (id, _, instances) in
+                                    feeds.iter().skip(worker).step_by(CONNECTIONS)
+                                {
+                                    let client = conn.client(id);
+                                    for chunk in instances.chunks(CHUNK) {
+                                        client.ingest_batch(chunk.to_vec()).unwrap();
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    control.drain().unwrap();
+                    let report = control.shutdown().unwrap();
+                    server.shutdown();
+                    report
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("in_process", format!("{shards}shards")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let server = ServerHandle::start(config(shards));
+                    let clients: Vec<_> = feeds
+                        .iter()
+                        .map(|(id, schema, _)| server.attach(id, schema.clone(), &spec).unwrap())
+                        .collect();
+                    for ((_, _, instances), client) in feeds.iter().zip(&clients) {
+                        for chunk in instances.chunks(CHUNK) {
+                            client.ingest_batch(chunk.to_vec()).unwrap();
+                        }
+                    }
+                    server.drain();
+                    server.shutdown()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_throughput);
+criterion_main!(benches);

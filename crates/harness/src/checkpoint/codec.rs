@@ -170,6 +170,26 @@ pub fn is_binary(bytes: &[u8]) -> bool {
     bytes.starts_with(&BINARY_MAGIC)
 }
 
+// ---- framing primitives (shared with the wire protocol) --------------------
+
+/// Appends `v` as a LEB128 varint — the integer framing every packed
+/// structure in this codec uses. Public so other binary framings in the
+/// workspace (the `rbm-im-net` TCP wire protocol) reuse the checkpoint
+/// codec's primitives instead of inventing parallel ones.
+pub fn write_varint(out: &mut Vec<u8>, v: u64) {
+    put_varint(out, v);
+}
+
+/// Reads a [`write_varint`]-encoded value from `bytes` starting at `*pos`,
+/// advancing `pos` past it. Truncated or overlong input fails with the
+/// same clean [`CodecError`]s binary checkpoint decoding produces.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut r = Reader { bytes, pos: *pos };
+    let v = r.varint()?;
+    *pos = r.pos;
+    Ok(v)
+}
+
 // ---- value tags ------------------------------------------------------------
 
 const TAG_NULL: u8 = 0x00;
@@ -793,6 +813,22 @@ mod tests {
             decode_value(&future),
             Err(CodecError::VersionMismatch { found: 0x7FFF, supported: BINARY_VERSION })
         );
+    }
+
+    #[test]
+    fn varint_helpers_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX];
+        let mut out = Vec::new();
+        for v in values {
+            write_varint(&mut out, v);
+        }
+        let mut pos = 0usize;
+        for v in values {
+            assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, out.len());
+        let mut pos = 0usize;
+        assert!(matches!(read_varint(&[0x80], &mut pos), Err(CodecError::Truncated { .. })));
     }
 
     #[test]

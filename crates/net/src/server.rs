@@ -1,0 +1,438 @@
+//! The TCP front-end: a `std::net` listener terminating wire frames and
+//! driving the in-process serving plane.
+//!
+//! # Connection lifecycle
+//!
+//! Each accepted connection gets a dedicated handler thread running a
+//! strict request→reply loop: read one frame, perform the operation, write
+//! exactly one reply. Two frames change the loop's shape:
+//!
+//! * [`Frame::Subscribe`] turns the connection into a server-push event
+//!   stream — after the `Ack`, the handler pumps [`Frame::Event`] frames
+//!   until shutdown closes the bus (or the client disconnects);
+//! * [`Frame::Shutdown`] shuts the serving plane down, replies with the
+//!   final [`Frame::Report`], and closes the connection.
+//!
+//! # Error containment
+//!
+//! Malformed input never panics a handler and never poisons the serving
+//! plane. Frame-scoped failures (unsupported version, unknown frame type,
+//! undecodable body) get an [`Frame::Error`] reply and the connection
+//! lives on; framing-level failures (garbage length prefix, EOF inside a
+//! frame) get a best-effort error reply and the connection closes, since
+//! the byte stream cannot be resynchronized. Every discarded frame counts
+//! into [`ServeReport::frames_dropped`] on the final report.
+
+use crate::wire::{self, ErrorCode, Frame, WireError};
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_serve::{ServeConfig, ServeReport, ServerHandle, StreamClient};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared state between the accept loop, connection handlers and the local
+/// [`NetServerHandle`].
+struct Shared {
+    /// The serving plane. `shutdown` consumes a `ServerHandle`, so the
+    /// first shutdown — wire or local — takes it; later operations see
+    /// `None` and answer [`ErrorCode::Unavailable`].
+    server: Mutex<Option<ServerHandle>>,
+    /// The final report, stashed by whichever side performed the shutdown
+    /// so the other can still read it.
+    report: Mutex<Option<ServeReport>>,
+    /// Wire frames discarded before reaching a shard (malformed framing,
+    /// bad magic, unsupported version, unknown type).
+    frames_dropped: AtomicU64,
+    /// Set once shutdown begins; the accept loop exits on the next
+    /// (possibly self-inflicted) connection.
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    /// Performs the serving-plane shutdown exactly once. Returns `None`
+    /// when another caller already did.
+    fn shutdown_serve(&self) -> Option<ServeReport> {
+        let handle = self.server.lock().expect("server lock poisoned").take()?;
+        self.stopping.store(true, Ordering::SeqCst);
+        let mut report = handle.shutdown();
+        report.frames_dropped += self.frames_dropped.load(Ordering::SeqCst);
+        *self.report.lock().expect("report lock poisoned") = Some(report.clone());
+        Some(report)
+    }
+}
+
+/// Entry points for binding the TCP front-end.
+pub struct NetServer;
+
+impl NetServer {
+    /// Starts a serving plane with the default detector registry and binds
+    /// the wire front-end to `addr` (use `127.0.0.1:0` to let the OS pick
+    /// a loopback port; the bound address is on the returned handle).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<NetServerHandle> {
+        Self::bind_with_registry(addr, config, Arc::new(DetectorRegistry::with_defaults()))
+    }
+
+    /// [`NetServer::bind`] with a custom detector registry (attach specs
+    /// arriving over the wire resolve against it).
+    pub fn bind_with_registry(
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        registry: Arc<DetectorRegistry>,
+    ) -> std::io::Result<NetServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let server = ServerHandle::start_with_registry(config, registry);
+        let shared = Arc::new(Shared {
+            server: Mutex::new(Some(server)),
+            report: Mutex::new(None),
+            frames_dropped: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(NetServerHandle { shared, addr, accept: Some(accept) })
+    }
+}
+
+/// Handle on a running TCP front-end: the bound address, the drop
+/// counters, and the local shutdown path.
+pub struct NetServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The address the front-end accepts connections on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wire frames discarded so far (monotone; folded into
+    /// [`ServeReport::frames_dropped`] at shutdown).
+    pub fn frames_dropped(&self) -> u64 {
+        self.shared.frames_dropped.load(Ordering::SeqCst)
+    }
+
+    /// Shuts the serving plane and the accept loop down and returns the
+    /// final report. If a wire client already performed the shutdown, the
+    /// report it received is returned.
+    pub fn shutdown(mut self) -> ServeReport {
+        let report = match self.shared.shutdown_serve() {
+            Some(report) => report,
+            None => {
+                self.shared.report.lock().expect("report lock poisoned").clone().unwrap_or_default()
+            }
+        };
+        // Unblock the accept loop (it exits on the next connection once
+        // `stopping` is set); a refused connect means it already exited.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for NetServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServerHandle")
+            .field("addr", &self.addr)
+            .field("frames_dropped", &self.frames_dropped())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, shared));
+            }
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// What a handled frame tells the connection loop to do next.
+enum Flow {
+    /// Keep reading frames.
+    Continue,
+    /// Close the connection (shutdown handled, subscription pump ended).
+    Close,
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // The server side's local address IS the listener address — kept to
+    // wake the accept loop when a shutdown arrives over this connection.
+    let listener_addr = stream.local_addr().ok();
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // Per-connection ingest clients, interned once per stream id so the
+    // hot path never touches the control plane.
+    let mut clients: HashMap<String, StreamClient> = HashMap::new();
+    loop {
+        let flow = match wire::read_frame(&mut reader) {
+            Ok(frame) => {
+                match handle_frame(frame, &shared, &mut clients, &mut writer, listener_addr) {
+                    Ok(flow) => flow,
+                    Err(_) => Flow::Close, // peer gone mid-reply
+                }
+            }
+            Err(WireError::Closed) => Flow::Close,
+            // The connection died (or was cut) mid-frame: the partial frame
+            // is dropped and counted; best-effort error reply — a fuzzing
+            // peer may have only half-closed its write side — then close.
+            Err(e @ WireError::Io(_)) => {
+                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                let _ = reply(
+                    &mut writer,
+                    &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                );
+                Flow::Close
+            }
+            // Frame-scoped failures: the frame was consumed whole, so the
+            // stream is still in sync — reply and carry on.
+            Err(e @ WireError::UnsupportedVersion { .. }) => {
+                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                match reply(
+                    &mut writer,
+                    &Frame::Error { code: ErrorCode::UnsupportedVersion, message: e.to_string() },
+                ) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+            Err(e @ WireError::UnknownFrameType(_)) => {
+                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                match reply(
+                    &mut writer,
+                    &Frame::Error { code: ErrorCode::UnknownFrameType, message: e.to_string() },
+                ) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+            Err(e @ WireError::Malformed(_)) => {
+                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                match reply(
+                    &mut writer,
+                    &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                ) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+            // Framing-level failure: the byte stream cannot be
+            // resynchronized. Best-effort error reply, then close.
+            Err(e @ WireError::TooLarge(_)) => {
+                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                let _ = reply(
+                    &mut writer,
+                    &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                );
+                Flow::Close
+            }
+        };
+        if matches!(flow, Flow::Close) {
+            break;
+        }
+    }
+}
+
+fn reply<W: Write>(writer: &mut W, frame: &Frame) -> std::io::Result<()> {
+    wire::write_frame(writer, frame)?;
+    writer.flush()
+}
+
+fn serve_error<W: Write>(writer: &mut W, message: String) -> std::io::Result<()> {
+    reply(writer, &Frame::Error { code: ErrorCode::Serve, message })
+}
+
+fn unavailable<W: Write>(writer: &mut W) -> std::io::Result<()> {
+    reply(
+        writer,
+        &Frame::Error {
+            code: ErrorCode::Unavailable,
+            message: "the serving plane has shut down".to_string(),
+        },
+    )
+}
+
+fn handle_frame<W: Write>(
+    frame: Frame,
+    shared: &Shared,
+    clients: &mut HashMap<String, StreamClient>,
+    writer: &mut W,
+    listener_addr: Option<SocketAddr>,
+) -> std::io::Result<Flow> {
+    match frame {
+        Frame::Attach { stream, schema, spec, run } => {
+            let spec = match DetectorSpec::parse(&spec) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    serve_error(writer, format!("invalid detector spec: {e}"))?;
+                    return Ok(Flow::Continue);
+                }
+            };
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let attached = match run {
+                Some(run) => server.attach_with(&stream, schema, &spec, run),
+                None => server.attach(&stream, schema, &spec),
+            };
+            drop(guard);
+            match attached {
+                Ok(client) => {
+                    clients.insert(stream, client);
+                    reply(writer, &Frame::Ack)?;
+                }
+                Err(e) => serve_error(writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Frame::Detach { stream } => {
+            clients.remove(&stream);
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let detached = server.detach(&stream);
+            drop(guard);
+            match detached {
+                Ok(result) => reply(writer, &Frame::Result(Box::new(result)))?,
+                Err(e) => serve_error(writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Frame::Ingest { stream, blocking, instances } => {
+            let client = match clients.entry(stream) {
+                std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    let guard = shared.server.lock().expect("server lock poisoned");
+                    let Some(server) = guard.as_ref() else {
+                        drop(guard);
+                        unavailable(writer)?;
+                        return Ok(Flow::Continue);
+                    };
+                    let client = server.client(entry.key());
+                    drop(guard);
+                    entry.insert(client)
+                }
+            };
+            if blocking {
+                match client.ingest_batch(instances) {
+                    Ok(()) => reply(writer, &Frame::Ack)?,
+                    Err(_) => unavailable(writer)?,
+                }
+            } else {
+                match client.try_ingest_batch(instances) {
+                    Ok(()) => reply(writer, &Frame::Ack)?,
+                    Err(rbm_im_serve::IngestError::Full(rejected)) => {
+                        reply(writer, &Frame::Busy { rejected: rejected.len() as u64 })?
+                    }
+                    Err(rbm_im_serve::IngestError::Closed(_)) => unavailable(writer)?,
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Frame::Drain => {
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            server.drain();
+            drop(guard);
+            reply(writer, &Frame::Ack)?;
+            Ok(Flow::Continue)
+        }
+        Frame::Checkpoint { stream } => {
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let checkpoint = server.checkpoint_stream(&stream);
+            drop(guard);
+            match checkpoint {
+                Ok(checkpoint) => reply(writer, &Frame::CheckpointData(Box::new(checkpoint)))?,
+                Err(e) => serve_error(writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Frame::Shutdown => {
+            match shared.shutdown_serve() {
+                Some(report) => {
+                    reply(writer, &Frame::Report(Box::new(report)))?;
+                    // Unblock the accept loop so the listener closes now,
+                    // not at the next (never-arriving) connection.
+                    if let Some(addr) = listener_addr {
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+                None => unavailable(writer)?,
+            }
+            Ok(Flow::Close)
+        }
+        Frame::Subscribe => {
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let events = server.subscribe();
+            drop(guard);
+            reply(writer, &Frame::Ack)?;
+            // Server-push mode: pump bus events until shutdown closes the
+            // bus or the client disconnects.
+            for event in events {
+                reply(writer, &Frame::Event(Box::new(event)))?;
+            }
+            Ok(Flow::Close)
+        }
+        // Reply-type frames arriving at the server are a protocol
+        // violation by the client; answer with an error and carry on.
+        Frame::Ack
+        | Frame::Busy { .. }
+        | Frame::Error { .. }
+        | Frame::Result(_)
+        | Frame::CheckpointData(_)
+        | Frame::Report(_)
+        | Frame::Event(_) => {
+            shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+            reply(
+                writer,
+                &Frame::Error {
+                    code: ErrorCode::Malformed,
+                    message: "reply frame sent to the server".to_string(),
+                },
+            )?;
+            Ok(Flow::Continue)
+        }
+    }
+}

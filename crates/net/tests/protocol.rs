@@ -1,0 +1,428 @@
+//! Wire-protocol robustness: malformed, truncated, garbage and
+//! future-version frames yield clean [`Frame::Error`] replies — never a
+//! handler panic, never a poisoned serving plane — and every discarded
+//! frame is visible in [`ServeReport::frames_dropped`] on the final report.
+//!
+//! The fuzz cases are deterministic (fixed cut points, fixed XOR mask per
+//! byte position) so a failure reproduces byte-for-byte.
+
+use rbm_im_detectors::{DetectorState, DriftDetector, Observation};
+use rbm_im_harness::pipeline::RunConfig;
+use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+use rbm_im_net::wire::{self, FT_SHUTDOWN};
+use rbm_im_net::{ErrorCode, Frame, NetClient, NetServer, NetServerHandle};
+use rbm_im_serve::{IngestError, ServeConfig};
+use rbm_im_streams::{Instance, StreamSchema};
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A raw (non-`NetClient`) connection for sending hand-crafted bytes.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn open(addr: SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("connect raw");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("set read timeout");
+        let read_half = stream.try_clone().expect("clone stream");
+        RawConn { reader: BufReader::new(read_half), writer: stream }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send raw bytes");
+        self.writer.flush().expect("flush raw bytes");
+    }
+
+    /// Half-closes the write side (signals EOF to the server while keeping
+    /// the read side open for a best-effort error reply).
+    fn close_write(&mut self) {
+        let _ = self.writer.shutdown(Shutdown::Write);
+    }
+
+    fn read_reply(&mut self) -> Result<Frame, wire::WireError> {
+        wire::read_frame(&mut self.reader)
+    }
+
+    fn expect_error(&mut self, expected: ErrorCode, context: &str) {
+        match self.read_reply() {
+            Ok(Frame::Error { code, .. }) => {
+                assert_eq!(code, expected, "{context}: error code");
+            }
+            other => panic!("{context}: expected Error({expected}), got {other:?}"),
+        }
+    }
+
+    /// Drains whatever the server sends until it closes the connection or
+    /// the read times out. Used by fuzz cases where any non-panic response
+    /// (a reply, or a clean close) is acceptable.
+    fn drain_replies(&mut self) {
+        loop {
+            let mut probe = [0u8; 256];
+            match self.reader.read(&mut probe) {
+                Ok(0) => return,   // server closed
+                Ok(_) => continue, // some reply bytes
+                Err(_) => return,  // timeout / reset
+            }
+        }
+    }
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        num_shards: 1,
+        run: RunConfig { metric_window: 100, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Proves the serving plane behind `addr` is still healthy: a fresh
+/// connection can attach, ingest and drain.
+fn assert_server_healthy(addr: SocketAddr, probe_id: &str) {
+    let client = NetClient::connect(addr).expect("healthy server accepts connections");
+    let feed = client
+        .attach(probe_id, StreamSchema::new(probe_id, 2, 2), &DetectorSpec::new("ddm"))
+        .expect("healthy server attaches");
+    feed.ingest_batch(vec![Instance::with_index(vec![0.5, 0.5], 0, 0)])
+        .expect("healthy server ingests");
+    client.drain().expect("healthy server drains");
+    client.detach(probe_id).expect("healthy server detaches");
+}
+
+/// Frame-scoped corruption — bad magic, future version, unknown type,
+/// trailing garbage, reply frames sent to the server — each gets an error
+/// reply on a connection that stays usable, and each is counted.
+#[test]
+fn frame_scoped_errors_leave_the_connection_usable() {
+    let server = NetServer::bind("127.0.0.1:0", small_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = RawConn::open(addr);
+
+    // Layout of an encoded frame: [0..4] length prefix, [4..8] magic,
+    // [8..10] version, [10] frame type, [11..] body.
+    let valid = wire::encode_frame(&Frame::Drain);
+
+    let mut bad_magic = valid.clone();
+    bad_magic[4..8].copy_from_slice(b"XXXX");
+    conn.send(&bad_magic);
+    conn.expect_error(ErrorCode::Malformed, "bad magic");
+
+    let mut future_version = valid.clone();
+    future_version[8..10].copy_from_slice(&999u16.to_le_bytes());
+    conn.send(&future_version);
+    conn.expect_error(ErrorCode::UnsupportedVersion, "future version");
+
+    let mut unknown_type = valid.clone();
+    unknown_type[10] = 0x7f;
+    conn.send(&unknown_type);
+    conn.expect_error(ErrorCode::UnknownFrameType, "unknown frame type");
+
+    // A Shutdown frame with trailing garbage is malformed — it must NOT
+    // shut the serving plane down.
+    let mut trailing = wire::encode_frame(&Frame::Shutdown);
+    trailing.extend_from_slice(&[0xde, 0xad, 0xbe]);
+    let body_len = (trailing.len() - 4) as u32;
+    trailing[0..4].copy_from_slice(&body_len.to_le_bytes());
+    conn.send(&trailing);
+    conn.expect_error(ErrorCode::Malformed, "trailing garbage on shutdown");
+
+    // Reply frames arriving at the server are a protocol violation.
+    conn.send(&wire::encode_frame(&Frame::Ack));
+    conn.expect_error(ErrorCode::Malformed, "reply frame sent to server");
+
+    // An undecodable attach spec is a serve error, not a dead connection.
+    conn.send(&wire::encode_frame(&Frame::Attach {
+        stream: "bad-spec".to_string(),
+        schema: StreamSchema::new("bad-spec", 2, 2),
+        spec: "%%%not-a-spec%%%".to_string(),
+        run: None,
+    }));
+    conn.expect_error(ErrorCode::Serve, "invalid detector spec");
+
+    // The same connection still serves valid requests.
+    conn.send(&wire::encode_frame(&Frame::Drain));
+    match conn.read_reply() {
+        Ok(Frame::Ack) => {}
+        other => panic!("connection should still serve Drain: {other:?}"),
+    }
+    assert_server_healthy(addr, "probe-after-corruption");
+
+    assert_eq!(
+        server.frames_dropped(),
+        5,
+        "five discarded frames counted (serve errors are not drops)"
+    );
+    let report = server.shutdown();
+    assert_eq!(report.frames_dropped, 5, "drop counter folded into the final report");
+    assert_eq!(report.panicked_shards, 0);
+}
+
+/// Framing-level garbage — a nonsense length prefix, a frame cut off
+/// mid-payload — cannot be resynchronized: the server sends a best-effort
+/// error reply, closes that connection, and stays healthy.
+#[test]
+fn framing_level_garbage_gets_a_best_effort_reply_then_close() {
+    let server = NetServer::bind("127.0.0.1:0", small_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // An HTTP request: the first four bytes ("GET ") decode as a ~542 MB
+    // length prefix, rejected as oversized.
+    let mut http = RawConn::open(addr);
+    http.send(b"GET / HTTP/1.1\r\nHost: example\r\n\r\n");
+    http.expect_error(ErrorCode::Malformed, "HTTP request");
+    match http.read_reply() {
+        Err(_) => {} // connection closed after the reply
+        Ok(frame) => panic!("connection must close after framing failure, got {frame:?}"),
+    }
+
+    // A frame truncated mid-payload (write side closed): best-effort error
+    // reply, then close.
+    let valid = wire::encode_frame(&Frame::Checkpoint { stream: "s".to_string() });
+    let mut cut = RawConn::open(addr);
+    cut.send(&valid[..valid.len() - 3]);
+    cut.close_write();
+    cut.expect_error(ErrorCode::Malformed, "truncated mid-payload");
+
+    assert_server_healthy(addr, "probe-after-garbage");
+    let report = server.shutdown();
+    assert_eq!(report.frames_dropped, 2);
+    assert_eq!(report.panicked_shards, 0);
+}
+
+/// Every request frame type, truncated at several cut points and with
+/// single-byte corruption at every (sampled) position: the server may
+/// reply with an error or close the connection, but it never panics and
+/// the serving plane stays healthy throughout.
+#[test]
+fn truncation_and_byte_flip_fuzz_never_panics_the_worker() {
+    let server = NetServer::bind("127.0.0.1:0", small_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let request_frames: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "attach",
+            wire::encode_frame(&Frame::Attach {
+                stream: "fz".to_string(),
+                schema: StreamSchema::new("fz", 3, 2),
+                spec: "adwin(delta=0.01)".to_string(),
+                run: Some(RunConfig::default()),
+            }),
+        ),
+        ("detach", wire::encode_frame(&Frame::Detach { stream: "fz".to_string() })),
+        (
+            "ingest",
+            wire::encode_frame(&Frame::Ingest {
+                stream: "fz".to_string(),
+                blocking: false,
+                instances: vec![
+                    Instance::with_index(vec![0.25, 0.5, 0.75], 1, 0),
+                    Instance::with_index(vec![0.1, 0.2, 0.3], 0, 1),
+                ],
+            }),
+        ),
+        ("drain", wire::encode_frame(&Frame::Drain)),
+        ("checkpoint", wire::encode_frame(&Frame::Checkpoint { stream: "fz".to_string() })),
+        ("shutdown", wire::encode_frame(&Frame::Shutdown)),
+        ("subscribe", wire::encode_frame(&Frame::Subscribe)),
+    ];
+
+    for (name, bytes) in &request_frames {
+        // Truncations: inside the length prefix, inside the header, at the
+        // midpoint, one byte short.
+        let cuts = [1usize, 6, 10, bytes.len() / 2, bytes.len() - 1];
+        for &cut in cuts.iter().filter(|&&c| c < bytes.len()) {
+            let mut conn = RawConn::open(addr);
+            conn.send(&bytes[..cut]);
+            conn.close_write();
+            conn.drain_replies(); // error reply or clean close; never a hang
+            drop(conn);
+            // Truncating a Shutdown frame must not shut the plane down.
+            assert!(server.frames_dropped() < u64::MAX, "handle is alive");
+        }
+
+        // Single-byte corruption: XOR a fixed mask at every position
+        // (sampled past 64 to bound runtime). Positions whose mutation
+        // would produce a *valid* Shutdown frame are skipped — a real
+        // shutdown is correct behavior, not a robustness failure, and the
+        // fuzz loop needs the server to outlive it.
+        let positions: Vec<usize> = (0..bytes.len()).filter(|&i| i < 64 || i % 7 == 0).collect();
+        for &pos in &positions {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0xA5;
+            if pos == 10 && mutated[10] == FT_SHUTDOWN {
+                continue;
+            }
+            let mut conn = RawConn::open(addr);
+            conn.send(&mutated);
+            conn.close_write();
+            conn.drain_replies();
+            drop(conn);
+        }
+        // After each frame type's batch, the plane must still serve.
+        assert_server_healthy(addr, &format!("probe-after-{name}"));
+    }
+
+    let report = server.shutdown();
+    assert!(
+        report.frames_dropped > 0,
+        "the fuzz barrage must have produced counted drops, got {}",
+        report.frames_dropped
+    );
+    assert_eq!(report.panicked_shards, 0, "no shard worker panicked under fuzz");
+}
+
+/// A detector whose `update` blocks on a gate — holds the single shard
+/// worker mid-step so queue backpressure becomes deterministic (the same
+/// device as the in-process serving suite).
+struct GateDetector {
+    gate: Arc<(Mutex<GateState>, Condvar)>,
+}
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    entered: bool,
+}
+
+impl DriftDetector for GateDetector {
+    fn update(&mut self, _observation: &Observation<'_>) -> DetectorState {
+        let (lock, condvar) = &*self.gate;
+        let mut state = lock.lock().unwrap();
+        state.entered = true;
+        condvar.notify_all();
+        while !state.open {
+            state = condvar.wait(state).unwrap();
+        }
+        DetectorState::Stable
+    }
+    fn state(&self) -> DetectorState {
+        DetectorState::Stable
+    }
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "Gate"
+    }
+}
+
+/// Shard backpressure crosses the wire: a non-blocking ingest against a
+/// full queue gets a `Busy` reply carrying the rejected count, and the
+/// client maps it back onto `IngestError::Full` with the instances intact.
+#[test]
+fn busy_reply_carries_the_rejected_count() {
+    let gate = Arc::new((Mutex::new(GateState::default()), Condvar::new()));
+    let mut registry = DetectorRegistry::with_defaults();
+    {
+        let gate = Arc::clone(&gate);
+        registry.register("gate", &[], move |_, _, _| {
+            Ok(Box::new(GateDetector { gate: Arc::clone(&gate) }))
+        });
+    }
+    let capacity = 4;
+    let server = NetServer::bind_with_registry(
+        "127.0.0.1:0",
+        ServeConfig {
+            num_shards: 1,
+            queue_capacity: capacity,
+            run: RunConfig { metric_window: 100, detector_batch: 1, ..Default::default() },
+            ..Default::default()
+        },
+        Arc::new(registry),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let client = NetClient::connect(addr).expect("connect");
+    let feed = client
+        .attach("gated", StreamSchema::new("gated", 2, 2), &DetectorSpec::new("gate"))
+        .expect("attach");
+    let instance = |i: u64| Instance::with_index(vec![0.0, 1.0], 0, i);
+
+    // First instance: wait until the worker provably holds it inside the
+    // detector, so the queue is empty again and counts are exact.
+    feed.try_ingest(instance(0)).expect("first instance");
+    {
+        let (lock, condvar) = &*gate;
+        let mut state = lock.lock().unwrap();
+        while !state.entered {
+            state = condvar.wait(state).unwrap();
+        }
+    }
+    // Fill the queue exactly.
+    for i in 0..capacity as u64 {
+        feed.try_ingest(instance(1 + i)).expect("fill the queue");
+    }
+
+    // Raw-frame view: the server answers Busy with the rejected count.
+    let mut raw = RawConn::open(addr);
+    raw.send(&wire::encode_frame(&Frame::Ingest {
+        stream: "gated".to_string(),
+        blocking: false,
+        instances: (0..3).map(|i| instance(90 + i)).collect(),
+    }));
+    match raw.read_reply() {
+        Ok(Frame::Busy { rejected }) => assert_eq!(rejected, 3, "whole batch rejected"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Client view: Busy maps onto IngestError::Full with the instances
+    // riding back intact.
+    let batch: Vec<Instance> = (0..3).map(|i| instance(80 + i)).collect();
+    match feed.try_ingest_batch(batch.clone()) {
+        Err(IngestError::Full(rejected)) => assert_eq!(rejected, batch),
+        other => panic!("expected Full, got {other:?}"),
+    }
+
+    // Open the gate; everything actually queued flows through.
+    {
+        let (lock, condvar) = &*gate;
+        lock.lock().unwrap().open = true;
+        condvar.notify_all();
+    }
+    client.drain().expect("drain");
+    let report = client.shutdown().expect("shutdown");
+    assert_eq!(report.streams.len(), 1);
+    assert_eq!(report.streams[0].result.instances, 1 + capacity as u64);
+    assert_eq!(report.frames_dropped, 0, "backpressure is not a protocol error");
+    server.shutdown();
+}
+
+/// After a wire-initiated shutdown, surviving connections get
+/// `Unavailable` error replies (not hangs, not panics) and the local
+/// handle still returns the report the wire client received.
+#[test]
+fn operations_after_shutdown_answer_unavailable() {
+    let server: NetServerHandle = NetServer::bind("127.0.0.1:0", small_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let first = NetClient::connect(addr).expect("connect first");
+    let survivor = NetClient::connect(addr).expect("connect survivor");
+    first
+        .attach("feed", StreamSchema::new("feed", 2, 2), &DetectorSpec::new("ddm"))
+        .expect("attach")
+        .ingest_batch(vec![Instance::with_index(vec![0.1, 0.9], 1, 0)])
+        .expect("ingest");
+    first.drain().expect("drain");
+    let report = first.shutdown().expect("wire shutdown");
+    assert_eq!(report.streams.len(), 1);
+    assert_eq!(report.streams[0].result.instances, 1);
+
+    let is_unavailable = |err: rbm_im_net::NetError| {
+        matches!(err, rbm_im_net::NetError::Remote { code: ErrorCode::Unavailable, .. })
+    };
+    assert!(is_unavailable(survivor.drain().expect_err("drain after shutdown")));
+    assert!(is_unavailable(survivor.detach("feed").expect_err("detach after shutdown")));
+    assert!(is_unavailable(
+        survivor
+            .attach("late", StreamSchema::new("late", 2, 2), &DetectorSpec::new("ddm"))
+            .expect_err("attach after shutdown")
+    ));
+    assert!(is_unavailable(survivor.shutdown().expect_err("second shutdown")));
+
+    // The local handle returns the same (stashed) report.
+    let local = server.shutdown();
+    assert_eq!(local.streams.len(), 1);
+    assert_eq!(local.streams[0].result.instances, 1);
+}

@@ -106,7 +106,7 @@ pub use server::{
     deterministic_spec, IngestError, MigratedStream, ResizeReport, ServeError, ServeReport,
     ServerHandle, ShardLoad, StreamCheckpoint, StreamClient, StreamSummary,
 };
-pub use sink::SnapshotSink;
+pub use sink::{MetricRetention, SnapshotSink};
 pub use supervisor::{
     CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ResizePolicy, Supervisor,
     SupervisorConfig, SupervisorHandle, SupervisorReport,

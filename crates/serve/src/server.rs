@@ -108,7 +108,7 @@ impl fmt::Display for IngestError {
 impl std::error::Error for IngestError {}
 
 /// Final summary of one served stream.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamSummary {
     /// Stream id.
     pub stream: String,
@@ -158,7 +158,7 @@ pub struct ResizeReport {
 
 /// What [`ServerHandle::shutdown`] returns: every stream's final summary
 /// plus serving diagnostics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Per-stream summaries, sorted by stream id (deterministic whatever
     /// the shard layout). Streams detached before shutdown are *not*
@@ -166,6 +166,12 @@ pub struct ServeReport {
     pub streams: Vec<StreamSummary>,
     /// Instances ingested for ids with no attached pipeline (dropped).
     pub dropped_unknown: u64,
+    /// Wire frames a network front-end discarded before they reached a
+    /// shard (malformed framing, bad magic, unsupported version). Always 0
+    /// for in-process serving; `rbm-im-net` folds its connection counters
+    /// in here at shutdown so wire-level drops are visible in the final
+    /// report alongside [`ServeReport::dropped_unknown`].
+    pub frames_dropped: u64,
     /// Workspace-pool checkouts served by reuse across all shards
     /// (including shards retired by resizes).
     pub workspace_reuse_hits: u64,
@@ -1021,6 +1027,7 @@ impl ServerHandle {
         let mut report = ServeReport {
             streams: retired.summaries,
             dropped_unknown: retired.dropped_unknown,
+            frames_dropped: 0,
             workspace_reuse_hits: retired.workspace_reuse_hits,
             workspace_reuse_misses: retired.workspace_reuse_misses,
             panicked_shards: retired.panicked_shards,

@@ -20,7 +20,14 @@
 //! * `<stream>.metrics.jsonl` — appended [`PrequentialSnapshot`] lines
 //!   (one JSON object per snapshot event), giving dashboards history
 //!   across restarts. Feed the sink from a bus subscription via
-//!   [`SnapshotSink::record_event`].
+//!   [`SnapshotSink::record_event`]. With a [`MetricRetention`] policy
+//!   configured ([`SnapshotSink::with_retention`]), oversized or overaged
+//!   live files rotate to numbered generations
+//!   (`<stream>.metrics.1.jsonl` is the newest sealed generation) with a
+//!   bounded keep count — the
+//!   [`Supervisor`](crate::supervisor::Supervisor) enforces this off its
+//!   spill schedule, and [`SnapshotSink::load_metrics`] reads the
+//!   generations back oldest-first so history order survives rotation.
 //!
 //! Spills are atomic (temp file + rename), so a crash mid-spill leaves the
 //! previous checkpoint intact, and a truncated or corrupt file is reported
@@ -40,11 +47,37 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+/// Rotation policy for per-stream metric history files. The live
+/// `<stream>.metrics.jsonl` rotates to `<stream>.metrics.1.jsonl` (older
+/// generations shift up by one, the oldest beyond `keep_rotations` is
+/// deleted) when it exceeds `max_bytes`, or — if `max_age` is set — when
+/// it has lived longer than that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricRetention {
+    /// Rotate once the live file reaches this many bytes.
+    pub max_bytes: u64,
+    /// Sealed generations to keep (`0` = rotation simply truncates the
+    /// history).
+    pub keep_rotations: usize,
+    /// Rotate a non-empty live file older than this regardless of size
+    /// (age is measured from the file's creation time where the
+    /// filesystem reports one, from its last modification otherwise).
+    /// `None` = size-only rotation.
+    pub max_age: Option<std::time::Duration>,
+}
+
+impl Default for MetricRetention {
+    fn default() -> Self {
+        MetricRetention { max_bytes: 1 << 20, keep_rotations: 2, max_age: None }
+    }
+}
+
 /// Spill directory for checkpoints and metric history.
 #[derive(Debug)]
 pub struct SnapshotSink {
     dir: PathBuf,
     codec: CheckpointCodec,
+    retention: Option<MetricRetention>,
 }
 
 impl SnapshotSink {
@@ -59,7 +92,21 @@ impl SnapshotSink {
     pub fn with_codec(dir: impl Into<PathBuf>, codec: CheckpointCodec) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotSink { dir, codec })
+        Ok(SnapshotSink { dir, codec, retention: None })
+    }
+
+    /// Enables metric-history rotation under `retention`. Without this,
+    /// live metric files grow unboundedly (the pre-rotation behavior) —
+    /// though [`SnapshotSink::load_metrics`] always reads any sealed
+    /// generations a retention-configured process left behind.
+    pub fn with_retention(mut self, retention: MetricRetention) -> Self {
+        self.retention = Some(retention);
+        self
+    }
+
+    /// The metric retention policy, if one is configured.
+    pub fn retention(&self) -> Option<MetricRetention> {
+        self.retention
     }
 
     /// The sink directory.
@@ -203,14 +250,87 @@ impl SnapshotSink {
         }
     }
 
-    /// Loads a stream's appended metric history (positions + snapshots).
+    /// Applies the configured [`MetricRetention`] to one stream's live
+    /// metric file: if it is oversized (or overaged), sealed generations
+    /// shift up one slot (dropping the one beyond `keep_rotations`) and
+    /// the live file becomes `<stream>.metrics.1.jsonl`. Returns whether a
+    /// rotation happened. A sink without a retention policy, a missing
+    /// live file, and an empty live file are all no-ops.
+    ///
+    /// The [`Supervisor`](crate::supervisor::Supervisor) calls this after
+    /// each successful background spill of the stream, so rotation rides
+    /// the spill schedule and needs no clock of its own.
+    pub fn enforce_metric_retention(&self, stream: &str) -> io::Result<bool> {
+        let Some(retention) = self.retention else { return Ok(false) };
+        let live = self.metrics_path(stream);
+        let meta = match fs::metadata(&live) {
+            Ok(meta) => meta,
+            Err(_) => return Ok(false),
+        };
+        if meta.len() == 0 {
+            return Ok(false);
+        }
+        let oversized = meta.len() >= retention.max_bytes;
+        let overaged = retention.max_age.is_some_and(|max_age| {
+            meta.created()
+                .or_else(|_| meta.modified())
+                .ok()
+                .and_then(|born| born.elapsed().ok())
+                .is_some_and(|age| age >= max_age)
+        });
+        if !oversized && !overaged {
+            return Ok(false);
+        }
+        if retention.keep_rotations == 0 {
+            fs::remove_file(&live)?;
+            return Ok(true);
+        }
+        // Shift sealed generations newest-last so no rename overwrites a
+        // file that has not moved yet; the generation falling off the end
+        // is deleted (best effort — it may never have existed).
+        let _ = fs::remove_file(self.rotated_metrics_path(stream, retention.keep_rotations));
+        for generation in (1..retention.keep_rotations).rev() {
+            let from = self.rotated_metrics_path(stream, generation);
+            if from.exists() {
+                fs::rename(&from, self.rotated_metrics_path(stream, generation + 1))?;
+            }
+        }
+        fs::rename(&live, self.rotated_metrics_path(stream, 1))?;
+        Ok(true)
+    }
+
+    /// Loads a stream's appended metric history (positions + snapshots),
+    /// oldest first: sealed rotation generations from oldest to newest,
+    /// then the live file — so history order is exactly append order, with
+    /// or without rotation (and regardless of whether *this* sink has a
+    /// retention policy).
     pub fn load_metrics(&self, stream: &str) -> io::Result<Vec<(u64, PrequentialSnapshot)>> {
-        let path = self.metrics_path(stream);
-        if !path.exists() {
-            return Ok(Vec::new());
+        let mut generations = Vec::new();
+        for generation in 1.. {
+            let path = self.rotated_metrics_path(stream, generation);
+            if !path.exists() {
+                break;
+            }
+            generations.push(path);
         }
         let mut history = Vec::new();
-        for (lineno, line) in fs::read_to_string(&path)?.lines().enumerate() {
+        for path in generations.into_iter().rev() {
+            self.read_metrics_file(&path, &mut history)?;
+        }
+        let live = self.metrics_path(stream);
+        if live.exists() {
+            self.read_metrics_file(&live, &mut history)?;
+        }
+        Ok(history)
+    }
+
+    /// Parses one metrics JSONL file into `history` (append order).
+    fn read_metrics_file(
+        &self,
+        path: &Path,
+        history: &mut Vec<(u64, PrequentialSnapshot)>,
+    ) -> io::Result<()> {
+        for (lineno, line) in fs::read_to_string(path)?.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
@@ -232,7 +352,7 @@ impl SnapshotSink {
                 )
             })?);
         }
-        Ok(history)
+        Ok(())
     }
 
     fn checkpoint_path(&self, stream: &str, codec: CheckpointCodec) -> PathBuf {
@@ -241,6 +361,10 @@ impl SnapshotSink {
 
     fn metrics_path(&self, stream: &str) -> PathBuf {
         self.dir.join(format!("{}.metrics.jsonl", sanitize(stream)))
+    }
+
+    fn rotated_metrics_path(&self, stream: &str, generation: usize) -> PathBuf {
+        self.dir.join(format!("{}.metrics.{generation}.jsonl", sanitize(stream)))
     }
 }
 

@@ -434,6 +434,12 @@ fn run(
                             shard: server.shard_of(id),
                             kind: ServeEventKind::CheckpointSpilled { position, urgent },
                         });
+                        // Metric-history rotation rides the spill
+                        // schedule: right after a stream's spill, its
+                        // (sink-configured) retention policy is enforced.
+                        if let Err(e) = sink.enforce_metric_retention(id) {
+                            report.errors.push(format!("metric retention of `{id}`: {e}"));
+                        }
                     }
                     // The stream detached after this tick's event drain:
                     // not an error, the entry dies at its Detached event.

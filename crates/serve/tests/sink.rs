@@ -232,3 +232,121 @@ fn future_codec_version_is_a_clean_error() {
     );
     let _ = fs::remove_dir_all(dir);
 }
+
+// ---- metric-history rotation -----------------------------------------------
+
+use rbm_im_metrics::PrequentialSnapshot;
+use rbm_im_serve::MetricRetention;
+
+fn snapshot_at(position: u64) -> PrequentialSnapshot {
+    PrequentialSnapshot { position, pm_auc: 0.9, pm_gmean: 0.8, accuracy: 0.95, kappa: 0.7 }
+}
+
+/// Size-based rotation: the live file seals into numbered generations
+/// (newest = `.1`), generations beyond the keep count fall off, and
+/// `load_metrics` reads what is kept oldest-first — a contiguous suffix
+/// of the appended history, in append order.
+#[test]
+fn size_rotation_keeps_a_bounded_ordered_suffix() {
+    let dir = scratch("rotate-size");
+    let sink = SnapshotSink::new(&dir).unwrap().with_retention(MetricRetention {
+        max_bytes: 1,
+        keep_rotations: 2,
+        max_age: None,
+    });
+
+    // max_bytes=1: every enforcement rotates, so each generation holds
+    // exactly one line.
+    let mut rotations = 0;
+    for position in 0..5u64 {
+        sink.spill_snapshot("feed", position, &snapshot_at(position)).unwrap();
+        if sink.enforce_metric_retention("feed").unwrap() {
+            rotations += 1;
+        }
+    }
+    assert_eq!(rotations, 5, "every spill exceeded max_bytes");
+    assert!(dir.join("feed.metrics.1.jsonl").exists(), "newest sealed generation");
+    assert!(dir.join("feed.metrics.2.jsonl").exists(), "oldest kept generation");
+    assert!(!dir.join("feed.metrics.3.jsonl").exists(), "beyond keep_rotations is dropped");
+    assert!(!dir.join("feed.metrics.jsonl").exists(), "live file was just sealed");
+
+    let history = sink.load_metrics("feed").unwrap();
+    let positions: Vec<u64> = history.iter().map(|(p, _)| *p).collect();
+    assert_eq!(positions, vec![3, 4], "kept generations, oldest first");
+    assert_eq!(history[1].1, snapshot_at(4), "snapshot payloads survive rotation");
+
+    // Appends continue into a fresh live file; load stays ordered.
+    sink.spill_snapshot("feed", 5, &snapshot_at(5)).unwrap();
+    let positions: Vec<u64> = sink.load_metrics("feed").unwrap().iter().map(|(p, _)| *p).collect();
+    assert_eq!(positions, vec![3, 4, 5]);
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// `keep_rotations: 0` makes rotation a pure truncation.
+#[test]
+fn zero_keep_rotations_truncates_the_history() {
+    let dir = scratch("rotate-zero");
+    let sink = SnapshotSink::new(&dir).unwrap().with_retention(MetricRetention {
+        max_bytes: 1,
+        keep_rotations: 0,
+        max_age: None,
+    });
+    sink.spill_snapshot("feed", 1, &snapshot_at(1)).unwrap();
+    assert!(sink.enforce_metric_retention("feed").unwrap());
+    assert!(sink.load_metrics("feed").unwrap().is_empty());
+    assert!(
+        fs::read_dir(&dir).unwrap().next().is_none(),
+        "truncation leaves no metric files at all"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Age-based rotation seals a live file regardless of its size.
+#[test]
+fn age_rotation_seals_small_but_old_files() {
+    let dir = scratch("rotate-age");
+    let sink = SnapshotSink::new(&dir).unwrap().with_retention(MetricRetention {
+        max_bytes: u64::MAX,
+        keep_rotations: 1,
+        max_age: Some(std::time::Duration::ZERO),
+    });
+    sink.spill_snapshot("feed", 7, &snapshot_at(7)).unwrap();
+    assert!(sink.enforce_metric_retention("feed").unwrap(), "age 0 rotates immediately");
+    assert!(dir.join("feed.metrics.1.jsonl").exists());
+    assert_eq!(
+        sink.load_metrics("feed").unwrap().iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+        vec![7]
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Enforcement is a no-op without a policy, without a live file, and
+/// inside the size/age bounds; and a retention-less sink still reads the
+/// sealed generations a configured process left behind.
+#[test]
+fn retention_noops_and_cross_process_generation_reads() {
+    let dir = scratch("rotate-noop");
+    let plain = SnapshotSink::new(&dir).unwrap();
+    assert!(!plain.enforce_metric_retention("feed").unwrap(), "no policy, no rotation");
+
+    let sink = SnapshotSink::new(&dir).unwrap().with_retention(MetricRetention {
+        max_bytes: 10_000,
+        keep_rotations: 2,
+        max_age: None,
+    });
+    assert!(!sink.enforce_metric_retention("feed").unwrap(), "no live file, no rotation");
+    sink.spill_snapshot("feed", 1, &snapshot_at(1)).unwrap();
+    assert!(!sink.enforce_metric_retention("feed").unwrap(), "inside the bounds");
+
+    // Force a rotation, then read through a *retention-less* sink.
+    let tight = SnapshotSink::new(&dir).unwrap().with_retention(MetricRetention {
+        max_bytes: 1,
+        keep_rotations: 2,
+        max_age: None,
+    });
+    assert!(tight.enforce_metric_retention("feed").unwrap());
+    sink.spill_snapshot("feed", 2, &snapshot_at(2)).unwrap();
+    let positions: Vec<u64> = plain.load_metrics("feed").unwrap().iter().map(|(p, _)| *p).collect();
+    assert_eq!(positions, vec![1, 2], "generations are readable without a policy");
+    let _ = fs::remove_dir_all(dir);
+}

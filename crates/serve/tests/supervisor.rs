@@ -408,3 +408,207 @@ fn urgent_spills_and_detach_lifecycle() {
     let _ = Arc::try_unwrap(server).expect("supervisor stopped, last handle").shutdown();
     let _ = fs::remove_dir_all(dir);
 }
+
+/// A resize policy that demands a different fleet size on every tick —
+/// the most hostile schedule possible: with a zero cooldown, every spill
+/// round runs right after (or between) live migrations.
+struct TogglePolicy {
+    big: bool,
+}
+
+impl rbm_im_serve::ResizePolicy for TogglePolicy {
+    fn desired_shards(
+        &mut self,
+        _loads: &[rbm_im_serve::ShardLoad],
+        current: usize,
+    ) -> Option<usize> {
+        self.big = !self.big;
+        Some(if self.big { current + 1 } else { current.saturating_sub(1).max(1) })
+    }
+}
+
+/// Edge case: a resize decision landing in the middle of the spill
+/// schedule — every tick resizes the fleet (zero cooldown, toggling
+/// policy) *and* spills every stream (`every: ZERO`). Migration-adjacent
+/// checkpoints must neither error nor change a bit of the results.
+#[test]
+fn resize_decisions_mid_spill_round_stay_bitwise_and_error_free() {
+    let feeds = fleet(2_500);
+    let run = run_config();
+    let dir = scratch("resize-mid-spill");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        queue_capacity: 64,
+        run,
+        ..Default::default()
+    }));
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&dir).unwrap(),
+        SupervisorConfig {
+            tick: Duration::from_millis(2),
+            // Everything is due every tick: each spill round runs fresh on
+            // the heels of that tick's resize.
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::ZERO,
+                jitter: 0.0,
+                on_drift: true,
+            }),
+            resize: Some(ResizeConfig {
+                min_shards: 1,
+                max_shards: 4,
+                cooldown: Duration::ZERO,
+                policy: Box::new(TogglePolicy { big: false }),
+            }),
+        },
+    );
+
+    std::thread::scope(|scope| {
+        for feed in &feeds {
+            let client = server.attach(&feed.id, feed.schema.clone(), &feed.spec).unwrap();
+            scope.spawn(move || {
+                for chunk in feed.instances.chunks(37) {
+                    ingest_all(&client, chunk.to_vec());
+                }
+            });
+        }
+    });
+    server.drain();
+    // Post-drain window: the toggling policy keeps resizing the idle
+    // fleet while full spill rounds keep running between migrations.
+    std::thread::sleep(Duration::from_millis(800));
+
+    let report = supervisor.stop();
+    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+    assert!(
+        report.resizes.len() >= 4,
+        "the toggling policy must have resized repeatedly, got {:?}",
+        report.resizes
+    );
+    assert!(report.periodic_spills > 0, "spill rounds must have run between migrations");
+
+    let final_report = Arc::try_unwrap(server).expect("supervisor stopped").shutdown();
+    assert_eq!(final_report.panicked_shards, 0);
+    assert_eq!(final_report.streams.len(), feeds.len());
+    for summary in &final_report.streams {
+        let feed = feeds.iter().find(|f| f.id == summary.stream).unwrap();
+        let sequential = sequential_baseline(feed, run, ServeConfig::default().base_seed);
+        assert_results_match(
+            &format!("resize-mid-spill {}", feed.id),
+            &summary.result,
+            &sequential,
+        );
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Edge case: a stream that drifts *and* detaches inside the same tick
+/// window. The event fold sees `Attached`, `Drift` (urgent mark) and
+/// `Detached` together, so the schedule entry dies before the spill round
+/// — no panic, no spill attempt, no checkpoint file, no `.tmp` orphan.
+#[test]
+fn urgent_spill_for_stream_detached_same_tick_leaves_no_orphan() {
+    let (schema, instances) = record_drifting_stream(77, 700, 1_400);
+    let dir = scratch("detach-same-tick");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        run: run_config(),
+        ..Default::default()
+    }));
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&dir).unwrap(),
+        SupervisorConfig {
+            // A long tick: the whole attach→drift→detach lifecycle below
+            // completes inside the first window, so one fold sees it all.
+            tick: Duration::from_millis(400),
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::from_secs(3_600),
+                jitter: 0.0,
+                on_drift: true,
+            }),
+            resize: None,
+        },
+    );
+
+    // ADWIN: cheap, reliably fires on the recorded concept change.
+    let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
+    let client = server.attach("ephemeral", schema, &spec).unwrap();
+    ingest_all(&client, instances);
+    server.drain();
+    let result = server.detach("ephemeral").unwrap();
+    assert!(!result.detections.is_empty(), "the drift must actually have fired");
+
+    // Let a few ticks run so the fold + spill round provably execute.
+    std::thread::sleep(Duration::from_millis(900));
+    let report = supervisor.stop();
+    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+    assert_eq!(report.urgent_spills, 0, "the detach must have cancelled the urgent spill");
+
+    let leftovers: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "no spill file or temp orphan may exist for the detached stream: {leftovers:?}"
+    );
+
+    let final_report = Arc::try_unwrap(server).expect("supervisor stopped").shutdown();
+    assert_eq!(final_report.panicked_shards, 0);
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Edge case, stressed: rapid attach→ingest→detach churn under a 1 ms
+/// tick with everything due every tick. Spill attempts constantly race
+/// stream detaches (the `UnknownStream` skip path); none of it may panic,
+/// error, or leave a `.tmp` orphan in the sink directory.
+#[test]
+fn attach_detach_churn_under_eager_spills_leaves_no_tmp_orphans() {
+    let (schema, instances) = record_drifting_stream(78, 100, 200);
+    let dir = scratch("churn");
+    let server = Arc::new(ServerHandle::start(ServeConfig {
+        num_shards: 2,
+        run: run_config(),
+        ..Default::default()
+    }));
+    let supervisor = Supervisor::start(
+        Arc::clone(&server),
+        SnapshotSink::new(&dir).unwrap(),
+        SupervisorConfig {
+            tick: Duration::from_millis(1),
+            checkpoint: Some(CheckpointPolicy {
+                every: Duration::ZERO,
+                jitter: 0.0,
+                on_drift: true,
+            }),
+            resize: None,
+        },
+    );
+
+    let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
+    for round in 0..60 {
+        let id = format!("eph-{round:02}");
+        let client = server.attach(&id, schema.clone(), &spec).unwrap();
+        ingest_all(&client, instances.clone());
+        let result = server.detach(&id).unwrap();
+        assert_eq!(result.instances, instances.len() as u64);
+    }
+
+    let report = supervisor.stop();
+    assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+
+    let tmp_orphans: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".tmp"))
+        .collect();
+    assert!(tmp_orphans.is_empty(), "aborted spills must not strand temp files: {tmp_orphans:?}");
+
+    let final_report = Arc::try_unwrap(server).expect("supervisor stopped").shutdown();
+    assert_eq!(final_report.panicked_shards, 0);
+    assert_eq!(final_report.dropped_unknown, 0);
+    let _ = fs::remove_dir_all(dir);
+}
