@@ -1,0 +1,160 @@
+//! `linalg_kernels`: kernel-level microbenchmark of the CD-k hot loops in
+//! `rbm_im::linalg`, isolating each kernel from the training loop so the
+//! parallel-dispatch and fast-math deltas are directly attributable.
+//!
+//! Two shapes bracket the serving reality: `narrow` is the harness default
+//! (10 visible features + 4 classes, hidden ≈ 7, batch 50) where the
+//! size-based `Auto` fallback should keep everything sequential, and `wide`
+//! (80 visible + 4 classes, hidden 40, batch 100) where row-parallelism has
+//! real work to split. Every `gemm`/`cdk` kernel runs sequential vs
+//! parallel (worker caps 1/2/4), and the activation kernels run exact vs
+//! fast-math. Outputs are bitwise-identical across the parallel arms, so
+//! deltas are pure dispatch cost vs core gain — read them against the
+//! `rayon_pool_threads` runner-metadata field (on a 1-core runner the
+//! "parallel speedup" is a dispatch-overhead measurement, nothing more).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbm_im::linalg::{
+    cdk_bias_gradient_with, cdk_weight_gradient_with, gemm_acc_with, sigmoid_matrix_with,
+    softmax_cols_in_place_with, DenseMatrix, KernelPolicy, ParallelMode,
+};
+
+/// Deterministic pseudo-random matrix fill (xorshift; no rand dependency).
+fn filled(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    })
+}
+
+fn policy(threads: usize) -> KernelPolicy {
+    KernelPolicy { parallel: ParallelMode::On, max_threads: threads, fast_math: false }
+}
+
+struct Shape {
+    name: &'static str,
+    visible: usize,
+    hidden: usize,
+    batch: usize,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape { name: "narrow", visible: 10, hidden: 7, batch: 50 },
+    Shape { name: "wide", visible: 80, hidden: 40, batch: 100 },
+];
+
+fn bench_linalg_kernels(c: &mut Criterion) {
+    rayon::ensure_pool(4);
+    rbm_im_bench::print_runner_metadata();
+    let mut group = c.benchmark_group("linalg_kernels");
+    group.sample_size(20);
+
+    for shape in SHAPES {
+        let Shape { name, visible, hidden, batch } = *shape;
+
+        // gemm_acc: hidden-activation product h += W^T-layout GEMM —
+        // (hidden × visible) · (visible × batch).
+        let a = filled(hidden, visible, 1);
+        let b_mat = filled(visible, batch, 2);
+        for threads in [0usize, 1, 2, 4] {
+            let label = if threads == 0 { "seq".to_string() } else { format!("par-t{threads}") };
+            let pol = if threads == 0 { KernelPolicy::EXACT_SEQUENTIAL } else { policy(threads) };
+            group.bench_with_input(
+                BenchmarkId::new(format!("gemm_acc/{label}"), name),
+                &(),
+                |bench, _| {
+                    let mut c_mat = DenseMatrix::zeros(hidden, batch);
+                    bench.iter(|| {
+                        c_mat.fill(0.0);
+                        gemm_acc_with(&pol, &mut c_mat, &a, &b_mat);
+                        c_mat.get(0, 0)
+                    })
+                },
+            );
+        }
+
+        // cdk_weight_gradient: ΔW from the positive/negative phase
+        // visible/hidden states — the single hottest CD-k kernel.
+        let x0 = filled(visible, batch, 3);
+        let xk = filled(visible, batch, 4);
+        let h0 = filled(hidden, batch, 5);
+        let hk = filled(hidden, batch, 6);
+        let weights: Vec<f64> = (0..batch).map(|i| 1.0 + (i % 3) as f64 * 0.25).collect();
+        for threads in [0usize, 1, 2, 4] {
+            let label = if threads == 0 { "seq".to_string() } else { format!("par-t{threads}") };
+            let pol = if threads == 0 { KernelPolicy::EXACT_SEQUENTIAL } else { policy(threads) };
+            group.bench_with_input(
+                BenchmarkId::new(format!("cdk_weight_gradient/{label}"), name),
+                &(),
+                |bench, _| {
+                    let mut d = DenseMatrix::zeros(visible, hidden);
+                    bench.iter(|| {
+                        d.fill(0.0);
+                        cdk_weight_gradient_with(&pol, &mut d, &weights, &x0, &h0, &xk, &hk);
+                        d.get(0, 0)
+                    })
+                },
+            );
+        }
+
+        // cdk_bias_gradient: Δa over visible rows.
+        for threads in [0usize, 1, 2, 4] {
+            let label = if threads == 0 { "seq".to_string() } else { format!("par-t{threads}") };
+            let pol = if threads == 0 { KernelPolicy::EXACT_SEQUENTIAL } else { policy(threads) };
+            group.bench_with_input(
+                BenchmarkId::new(format!("cdk_bias_gradient/{label}"), name),
+                &(),
+                |bench, _| {
+                    let mut d = vec![0.0; visible];
+                    bench.iter(|| {
+                        d.iter_mut().for_each(|v| *v = 0.0);
+                        cdk_bias_gradient_with(&pol, &mut d, &weights, &x0, &xk);
+                        d[0]
+                    })
+                },
+            );
+        }
+
+        // Activation kernels: exact `exp` vs the ≤1e-9 fast-math
+        // polynomial. This is the ~1/3-of-CD-k slice the fast path targets.
+        let logits = filled(hidden, batch, 7);
+        for (label, fast) in [("exact", false), ("fast", true)] {
+            let pol = KernelPolicy { fast_math: fast, ..KernelPolicy::EXACT_SEQUENTIAL };
+            group.bench_with_input(
+                BenchmarkId::new(format!("sigmoid/{label}"), name),
+                &(),
+                |bench, _| {
+                    let mut m = logits.clone();
+                    bench.iter(|| {
+                        m.as_mut_slice().copy_from_slice(logits.as_slice());
+                        sigmoid_matrix_with(&pol, &mut m);
+                        m.get(0, 0)
+                    })
+                },
+            );
+        }
+        let scores = filled(4, batch, 8);
+        for (label, fast) in [("exact", false), ("fast", true)] {
+            let pol = KernelPolicy { fast_math: fast, ..KernelPolicy::EXACT_SEQUENTIAL };
+            group.bench_with_input(
+                BenchmarkId::new(format!("softmax_cols/{label}"), name),
+                &(),
+                |bench, _| {
+                    let mut m = scores.clone();
+                    bench.iter(|| {
+                        m.as_mut_slice().copy_from_slice(scores.as_slice());
+                        softmax_cols_in_place_with(&pol, &mut m);
+                        m.get(0, 0)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg_kernels);
+criterion_main!(benches);

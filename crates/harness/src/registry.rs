@@ -4,7 +4,8 @@
 //! [`DetectorKind`](crate::detectors::DetectorKind), which meant every new
 //! detector (or tuned variant of an existing one) required editing the
 //! harness itself. The registry inverts that: a detector is described by a
-//! serde-friendly [`DetectorSpec`] — a name plus numeric parameters — and
+//! serde-friendly [`DetectorSpec`] — a name plus parameters (numeric
+//! hyper-parameters or word-valued execution knobs) — and
 //! resolved against a [`DetectorRegistry`] of factories. Anything
 //! implementing `DriftDetector` can be registered under a new name without
 //! touching this crate, and tuned variants are one-liners:
@@ -24,11 +25,16 @@
 //! without code changes:
 //!
 //! ```
-//! use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
+//! use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec, ParamValue};
 //!
 //! let registry = DetectorRegistry::with_defaults();
 //! let spec = DetectorSpec::parse("rbm(hidden=60,minibatch=50,seed=7)").unwrap();
-//! assert_eq!(spec.params.get("hidden"), Some(&60.0));
+//! assert_eq!(spec.params.get("hidden"), Some(&ParamValue::Number(60.0)));
+//! let detector = registry.build(&spec, 10, 4).unwrap();
+//! assert_eq!(detector.name(), "RBM-IM");
+//!
+//! // Execution-mode knobs take identifier words, not just numbers:
+//! let spec = DetectorSpec::parse("rbm(parallel=on, fastmath=on)").unwrap();
 //! let detector = registry.build(&spec, 10, 4).unwrap();
 //! assert_eq!(detector.name(), "RBM-IM");
 //!
@@ -42,7 +48,7 @@
 //! compatibility shim whose `build` delegates here.
 
 use rbm_im::network::RbmNetworkConfig;
-use rbm_im::{RbmIm, RbmImConfig};
+use rbm_im::{ParallelMode, RbmIm, RbmImConfig};
 use rbm_im_detectors::ddm_oci::DdmOciConfig;
 use rbm_im_detectors::fhddm::FhddmConfig;
 use rbm_im_detectors::perfsim::PerfSimConfig;
@@ -55,17 +61,113 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::OnceLock;
 
-/// A detector described by name and numeric parameters — the unit the
-/// registry resolves and the experiment grid iterates over. Serializes to
-/// plain JSON (`{"name": "adwin", "params": {"delta": 0.01}}`) so experiment
+/// A single parameter value in a detector spec: a number (the common case —
+/// hyper-parameters are numeric) or a bare identifier word for execution-mode
+/// knobs like `parallel=auto`. Words are restricted to identifier shape
+/// (`[A-Za-z][A-Za-z0-9_-]*`) so spec strings stay unambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Numeric value (`delta=0.01`, `hidden=60`).
+    Number(f64),
+    /// Identifier word (`parallel=auto`, `fastmath=on`).
+    Word(String),
+}
+
+impl ParamValue {
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ParamValue::Number(n) => Some(*n),
+            ParamValue::Word(_) => None,
+        }
+    }
+
+    /// The word, if this is an identifier word.
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            ParamValue::Number(_) => None,
+            ParamValue::Word(w) => Some(w.as_str()),
+        }
+    }
+
+    /// Whether `text` has identifier shape — an ASCII letter followed by
+    /// letters, digits, `_` or `-`. Anything else is neither a number nor a
+    /// word and is rejected at parse time.
+    fn is_word(text: &str) -> bool {
+        let mut chars = text.chars();
+        matches!(chars.next(), Some(c) if c.is_ascii_alphabetic())
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Number(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Word(v.to_string())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Word(v)
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Number(n) => write!(f, "{n}"),
+            ParamValue::Word(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+// Numbers serialize as JSON numbers and words as JSON strings, so spec files
+// read naturally (`{"parallel": "auto", "hidden": 60}`). Deserialization
+// tries the numeric shape first; note `f64` itself round-trips non-finite
+// values as the strings `"inf"`/`"-inf"`/`"NaN"`, which therefore decode as
+// numbers — exactly matching what `DetectorSpec::parse` does with those
+// tokens (Rust's float parser accepts them).
+impl Serialize for ParamValue {
+    fn serialize_value(&self) -> serde::Value {
+        match self {
+            ParamValue::Number(n) => n.serialize_value(),
+            ParamValue::Word(w) => w.serialize_value(),
+        }
+    }
+}
+
+impl Deserialize for ParamValue {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(n) = f64::deserialize_value(value) {
+            return Ok(ParamValue::Number(n));
+        }
+        let word = String::deserialize_value(value)?;
+        if ParamValue::is_word(&word) {
+            Ok(ParamValue::Word(word))
+        } else {
+            Err(serde::Error::msg(format!("`{word}` is not an identifier-shaped param word")))
+        }
+    }
+}
+
+/// A detector described by name and parameters — the unit the registry
+/// resolves and the experiment grid iterates over. Serializes to plain JSON
+/// (`{"name": "adwin", "params": {"delta": 0.01}}`) so experiment
 /// configurations can live in files.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetectorSpec {
     /// Registry key (case-insensitive; display capitalization is preserved).
     pub name: String,
-    /// Numeric parameter overrides; anything a factory does not understand
-    /// is rejected at build time.
-    pub params: BTreeMap<String, f64>,
+    /// Parameter overrides (numeric hyper-parameters or word-valued mode
+    /// knobs); anything a factory does not understand is rejected at build
+    /// time.
+    pub params: BTreeMap<String, ParamValue>,
 }
 
 impl DetectorSpec {
@@ -74,31 +176,36 @@ impl DetectorSpec {
         DetectorSpec { name: name.into(), params: BTreeMap::new() }
     }
 
-    /// Adds one parameter override (builder style).
-    pub fn with_param(mut self, key: impl Into<String>, value: f64) -> Self {
-        self.params.insert(key.into(), value);
+    /// Adds one parameter override (builder style). Accepts `f64` for
+    /// numeric parameters and `&str`/`String` for word-valued knobs.
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
         self
     }
 
     /// Parses the compact `name(key=value, key=value)` form.
     ///
     /// The grammar is `name` or `name(params)` where `params` is a
-    /// comma-separated list of `key=value` pairs with numeric values;
-    /// whitespace around names, keys and values is ignored, and a trailing
-    /// comma is tolerated. Parameter *validation* happens at build time
-    /// against the factory's declared set, not here.
+    /// comma-separated list of `key=value` pairs; a value is a number or an
+    /// identifier word (`parallel=auto`). Whitespace around names, keys and
+    /// values is ignored, and a trailing comma is tolerated. Parameter
+    /// *validation* happens at build time against the factory's declared
+    /// set, not here — so `adwin(delta=two)` parses but fails to build.
     ///
     /// ```
-    /// use rbm_im_harness::registry::DetectorSpec;
+    /// use rbm_im_harness::registry::{DetectorSpec, ParamValue};
     ///
     /// let spec = DetectorSpec::parse("rbm(hidden=60, minibatch=50, seed=7)").unwrap();
     /// assert_eq!(spec.name, "rbm");
-    /// assert_eq!(spec.params.get("minibatch"), Some(&50.0));
+    /// assert_eq!(spec.params.get("minibatch"), Some(&ParamValue::Number(50.0)));
     /// assert_eq!(spec.label(), "rbm(hidden=60, minibatch=50, seed=7)");
+    ///
+    /// let spec = DetectorSpec::parse("rbm(parallel=auto, fastmath=on)").unwrap();
+    /// assert_eq!(spec.params.get("parallel"), Some(&ParamValue::Word("auto".into())));
     ///
     /// assert_eq!(DetectorSpec::parse("ddm").unwrap().params.len(), 0);
     /// assert!(DetectorSpec::parse("adwin(delta=").is_err());
-    /// assert!(DetectorSpec::parse("adwin(delta=two)").is_err());
+    /// assert!(DetectorSpec::parse("adwin(delta=2..5)").is_err());
     /// ```
     pub fn parse(text: &str) -> Result<Self, RegistryError> {
         let text = text.trim();
@@ -126,12 +233,16 @@ impl DetectorSpec {
                     "expected `key=value`, found `{pair}` in `{text}`"
                 )));
             };
-            let value: f64 = value.trim().parse().map_err(|_| {
-                RegistryError::InvalidSpec(format!(
-                    "non-numeric value `{}` in `{text}`",
-                    value.trim()
-                ))
-            })?;
+            let value = value.trim();
+            let value = if let Ok(n) = value.parse::<f64>() {
+                ParamValue::Number(n)
+            } else if ParamValue::is_word(value) {
+                ParamValue::Word(value.to_string())
+            } else {
+                return Err(RegistryError::InvalidSpec(format!(
+                    "value `{value}` in `{text}` is neither a number nor an identifier word"
+                )));
+            };
             spec.params.insert(key.trim().to_string(), value);
         }
         Ok(spec)
@@ -200,7 +311,7 @@ impl std::error::Error for RegistryError {}
 /// anything outside the factory's declared parameter set.
 pub struct Params<'a> {
     detector: &'a str,
-    map: &'a BTreeMap<String, f64>,
+    map: &'a BTreeMap<String, ParamValue>,
 }
 
 impl<'a> Params<'a> {
@@ -208,7 +319,7 @@ impl<'a> Params<'a> {
     /// map for typed reads.
     pub fn checked(
         detector: &'a str,
-        map: &'a BTreeMap<String, f64>,
+        map: &'a BTreeMap<String, ParamValue>,
         allowed: &[&str],
     ) -> Result<Self, RegistryError> {
         for key in map.keys() {
@@ -225,33 +336,74 @@ impl<'a> Params<'a> {
         Ok(Params { detector, map })
     }
 
-    /// The parameter, or a default.
-    pub fn get_or(&self, key: &str, default: f64) -> f64 {
-        self.map.get(key).copied().unwrap_or(default)
+    fn invalid(&self, message: String) -> RegistryError {
+        RegistryError::InvalidParam { detector: self.detector.to_string(), message }
     }
 
-    /// The parameter as a non-negative integer (zero allowed — seeds and
-    /// warm-up counts are legitimately 0), or a default.
-    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, RegistryError> {
+    /// The parameter as a number, or a default; word values are rejected.
+    pub fn get_or(&self, key: &str, default: f64) -> Result<f64, RegistryError> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(&v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
-            Some(&v) => Err(RegistryError::InvalidParam {
-                detector: self.detector.to_string(),
-                message: format!("`{key}` must be a non-negative integer, got {v}"),
-            }),
+            Some(ParamValue::Number(v)) => Ok(*v),
+            Some(ParamValue::Word(w)) => {
+                Err(self.invalid(format!("`{key}` must be numeric, got `{w}`")))
+            }
         }
     }
 
-    /// The parameter as a positive integer, or a default.
+    /// The parameter as a non-negative integer (zero allowed — seeds and
+    /// warm-up counts are legitimately 0), or a default. Only a *provided*
+    /// value is range-checked; the default passes through untouched (some
+    /// factories use out-of-range defaults as "not set" sentinels).
+    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, RegistryError> {
+        if !self.map.contains_key(key) {
+            return Ok(default);
+        }
+        match self.get_or(key, 0.0)? {
+            v if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            v => Err(self.invalid(format!("`{key}` must be a non-negative integer, got {v}"))),
+        }
+    }
+
+    /// The parameter as a positive integer, or a default (not range-checked,
+    /// like [`Params::get_u64_or`]).
     pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize, RegistryError> {
+        if !self.map.contains_key(key) {
+            return Ok(default);
+        }
+        match self.get_or(key, 0.0)? {
+            v if v >= 1.0 && v.fract() == 0.0 && v <= usize::MAX as f64 => Ok(v as usize),
+            v => Err(self.invalid(format!("`{key}` must be a positive integer, got {v}"))),
+        }
+    }
+
+    /// The parameter as one of the allowed identifier words, or `None` when
+    /// absent. Numbers and unknown words are rejected with an error naming
+    /// the accepted set.
+    pub fn get_word(&self, key: &str, allowed: &[&str]) -> Result<Option<&'a str>, RegistryError> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(ParamValue::Word(w)) if allowed.contains(&w.as_str()) => Ok(Some(w.as_str())),
+            Some(other) => Err(self
+                .invalid(format!("`{key}` must be one of {}, got `{other}`", allowed.join("|")))),
+        }
+    }
+
+    /// The parameter as an on/off flag, or a default. Accepts the words
+    /// `on`/`off`/`true`/`false` and the numbers `1`/`0`.
+    pub fn get_flag_or(&self, key: &str, default: bool) -> Result<bool, RegistryError> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(&v) if v >= 1.0 && v.fract() == 0.0 && v <= usize::MAX as f64 => Ok(v as usize),
-            Some(&v) => Err(RegistryError::InvalidParam {
-                detector: self.detector.to_string(),
-                message: format!("`{key}` must be a positive integer, got {v}"),
-            }),
+            Some(ParamValue::Word(w)) => match w.as_str() {
+                "on" | "true" => Ok(true),
+                "off" | "false" => Ok(false),
+                other => Err(self.invalid(format!("`{key}` must be on|off|1|0, got `{other}`"))),
+            },
+            Some(ParamValue::Number(n)) if *n == 1.0 => Ok(true),
+            Some(ParamValue::Number(n)) if *n == 0.0 => Ok(false),
+            Some(ParamValue::Number(n)) => {
+                Err(self.invalid(format!("`{key}` must be on|off|1|0, got {n}")))
+            }
         }
     }
 }
@@ -293,7 +445,7 @@ impl DetectorRegistry {
             let defaults = FhddmConfig::default();
             Ok(Box::new(Fhddm::with_config(FhddmConfig {
                 window_size: p.get_usize_or("window_size", defaults.window_size)?,
-                delta: p.get_or("delta", defaults.delta),
+                delta: p.get_or("delta", defaults.delta)?,
             })))
         });
         registry.register("perfsim", &[], |_, _, classes| {
@@ -308,7 +460,12 @@ impl DetectorRegistry {
         // `minibatch` is a compact alias of `mini_batch`; `hidden` is the
         // absolute hidden-unit count (overrides `hidden_fraction`); `seed`
         // reseeds the network RNG (the serving layer injects a per-stream
-        // seed here in deterministic mode).
+        // seed here in deterministic mode). `parallel`/`threads`/`fastmath`
+        // are execution knobs, not hyper-parameters: `parallel=auto|off|on`
+        // selects row-parallel kernels (bitwise-identical to sequential),
+        // `threads=N` caps the worker count (0 = whole pool), and
+        // `fastmath=on|off|1|0` opts into the ≤1e-9 polynomial-`exp`
+        // activation path.
         const RBM_PARAMS: &[&str] = &[
             "mini_batch",
             "minibatch",
@@ -319,6 +476,9 @@ impl DetectorRegistry {
             "persistence",
             "warmup",
             "seed",
+            "parallel",
+            "threads",
+            "fastmath",
         ];
         let rbm_factory = |p: &Params<'_>,
                            features: usize,
@@ -330,16 +490,28 @@ impl DetectorRegistry {
                 0 => base.network.hidden_units,
                 n => Some(n),
             };
+            // Execution-mode knobs: absent means "keep the config default"
+            // (which for `parallel` honours the RBM_KERNEL_PARALLEL env).
+            let parallel = match p.get_word("parallel", &["auto", "off", "on"])? {
+                None => base.network.parallel,
+                Some("auto") => ParallelMode::Auto,
+                Some("off") => ParallelMode::Off,
+                Some("on") => ParallelMode::On,
+                Some(_) => unreachable!("get_word validated the allowed set"),
+            };
             let config = RbmImConfig {
                 mini_batch_size: p.get_usize_or("mini_batch", mini_batch_alias)?,
                 persistence: p.get_usize_or("persistence", base.persistence as usize)? as u32,
                 warmup_batches: p.get_u64_or("warmup", base.warmup_batches)?,
                 network: RbmNetworkConfig {
-                    hidden_fraction: p.get_or("hidden_fraction", base.network.hidden_fraction),
+                    hidden_fraction: p.get_or("hidden_fraction", base.network.hidden_fraction)?,
                     hidden_units,
-                    learning_rate: p.get_or("learning_rate", base.network.learning_rate),
+                    learning_rate: p.get_or("learning_rate", base.network.learning_rate)?,
                     gibbs_steps: p.get_usize_or("gibbs_steps", base.network.gibbs_steps)?,
                     seed: p.get_u64_or("seed", base.network.seed)?,
+                    parallel,
+                    max_threads: p.get_u64_or("threads", base.network.max_threads as u64)? as usize,
+                    fast_math: p.get_flag_or("fastmath", base.network.fast_math)?,
                     ..base.network
                 },
                 ..base
@@ -352,11 +524,11 @@ impl DetectorRegistry {
         registry.register("ddm", &[], |_, _, _| Ok(Box::new(Ddm::new())));
         registry.register("eddm", &[], |_, _, _| Ok(Box::new(Eddm::new())));
         registry.register("adwin", &["delta"], |p, _, _| {
-            Ok(Box::new(Adwin::new(p.get_or("delta", 0.002))))
+            Ok(Box::new(Adwin::new(p.get_or("delta", 0.002)?)))
         });
         registry.register("hddm-a", &[], |_, _, _| Ok(Box::new(HddmA::new())));
         registry.register("hddm-w", &["lambda"], |p, _, _| {
-            Ok(Box::new(HddmW::new(p.get_or("lambda", 0.05))))
+            Ok(Box::new(HddmW::new(p.get_or("lambda", 0.05)?)))
         });
         registry.register("pagehinkley", &[], |_, _, _| Ok(Box::new(PageHinkley::new())));
         registry.register("cusum", &[], |_, _, _| Ok(Box::new(Cusum::new())));
@@ -467,7 +639,7 @@ mod tests {
         let registry = DetectorRegistry::with_defaults();
         let spec = DetectorSpec::parse("adwin(delta=0.01)").unwrap();
         assert_eq!(spec.name, "adwin");
-        assert_eq!(spec.params.get("delta"), Some(&0.01));
+        assert_eq!(spec.params.get("delta"), Some(&ParamValue::Number(0.01)));
         assert_eq!(spec.label(), "adwin(delta=0.01)");
         registry.build(&spec, 5, 2).unwrap();
 
@@ -557,7 +729,7 @@ mod tests {
     fn custom_detectors_register_without_touching_the_harness() {
         let mut registry = DetectorRegistry::with_defaults();
         registry.register("tuned-adwin", &["delta"], |p, _, _| {
-            Ok(Box::new(Adwin::new(p.get_or("delta", 0.01))))
+            Ok(Box::new(Adwin::new(p.get_or("delta", 0.01)?)))
         });
         assert!(registry.contains("tuned-adwin"));
         registry.build(&DetectorSpec::new("tuned-adwin"), 4, 2).unwrap();
@@ -568,9 +740,64 @@ mod tests {
         assert!(DetectorSpec::parse("").is_err());
         assert!(DetectorSpec::parse("adwin(delta=").is_err());
         assert!(DetectorSpec::parse("adwin(delta)").is_err());
-        assert!(DetectorSpec::parse("adwin(delta=abc)").is_err());
         assert!(DetectorSpec::parse("(delta=1)").is_err());
+        // Values must be numbers or identifier words; anything else is a
+        // parse error (words that a factory rejects fail later, at build).
+        assert!(DetectorSpec::parse("adwin(delta=2..5)").is_err());
+        assert!(DetectorSpec::parse("adwin(delta=a b)").is_err());
+        assert!(DetectorSpec::parse("rbm(parallel=-auto)").is_err());
         assert_eq!(DetectorSpec::parse("  ddm  ").unwrap().name, "ddm");
+    }
+
+    #[test]
+    fn word_values_parse_but_numeric_params_reject_them_at_build() {
+        let registry = DetectorRegistry::with_defaults();
+        // `delta=two` is grammatically fine now that words exist…
+        let spec = DetectorSpec::parse("adwin(delta=two)").unwrap();
+        assert_eq!(spec.params.get("delta"), Some(&ParamValue::Word("two".into())));
+        // …but ADWIN's `delta` is numeric, so the build rejects it.
+        let err = registry.build(&spec, 4, 2).err().expect("build must fail");
+        assert!(matches!(err, RegistryError::InvalidParam { .. }), "{err}");
+        // Same for integer-typed RBM params.
+        let err = registry
+            .build(&DetectorSpec::parse("rbm(seed=alpha)").unwrap(), 4, 2)
+            .err()
+            .expect("build must fail");
+        assert!(matches!(err, RegistryError::InvalidParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn execution_mode_knobs_parse_and_build() {
+        use rbm_im::RbmIm;
+
+        let registry = DetectorRegistry::with_defaults();
+        let check = |text: &str, parallel: ParallelMode, fast_math: bool| {
+            let spec = DetectorSpec::parse(text).unwrap();
+            let mut detector = registry.build(&spec, 6, 2).unwrap();
+            let rbm =
+                detector.as_any_mut().unwrap().downcast_mut::<RbmIm>().expect("concrete RbmIm");
+            assert_eq!(rbm.config().network.parallel, parallel, "{text}");
+            assert_eq!(rbm.config().network.fast_math, fast_math, "{text}");
+        };
+        check("rbm(parallel=off)", ParallelMode::Off, false);
+        check("rbm(parallel=on, fastmath=on)", ParallelMode::On, true);
+        check("rbm(parallel=auto, fastmath=0)", ParallelMode::Auto, false);
+        check("rbm(fastmath=1)", RbmNetworkConfig::default().parallel, true);
+
+        // `threads` caps the worker count; it is numeric.
+        let spec = DetectorSpec::parse("rbm(parallel=on, threads=2)").unwrap();
+        let mut detector = registry.build(&spec, 6, 2).unwrap();
+        let rbm = detector.as_any_mut().unwrap().downcast_mut::<RbmIm>().unwrap();
+        assert_eq!(rbm.config().network.max_threads, 2);
+
+        // Unknown words for the mode knobs are named in the error.
+        for bad in ["rbm(parallel=sideways)", "rbm(fastmath=maybe)", "rbm(parallel=1)"] {
+            let err = registry
+                .build(&DetectorSpec::parse(bad).unwrap(), 6, 2)
+                .err()
+                .expect("build must fail");
+            assert!(matches!(err, RegistryError::InvalidParam { .. }), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -579,5 +806,19 @@ mod tests {
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let back: DetectorSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn word_params_round_trip_through_parse_serde_and_reparse() {
+        // parse → serde → re-parse of the new execution knobs: the JSON form
+        // carries words as strings, and the label re-parses to the same spec.
+        let spec = DetectorSpec::parse("rbm(fastmath=on, hidden=60, parallel=auto)").unwrap();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(json.contains("\"auto\""), "words serialize as JSON strings: {json}");
+        assert!(json.contains("60"), "numbers stay numeric: {json}");
+        let back: DetectorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let reparsed = DetectorSpec::parse(&back.label()).unwrap();
+        assert_eq!(spec, reparsed);
     }
 }

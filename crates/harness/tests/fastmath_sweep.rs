@@ -1,0 +1,70 @@
+//! End-to-end fast-math contract: on every benchmark in the 24-stream
+//! registry, an RBM-IM detector running the fast-math activation path
+//! (`fastmath=on` in the spec grammar) must raise drift at **exactly** the
+//! same stream offsets as the exact path, and the surrounding prequential
+//! pipeline must report identical final metrics. The ≤1e-9 per-activation
+//! bound (pinned in `crates/rbm/tests/fastmath.rs`) is far below the margin
+//! of every drift threshold, so any divergence here is a real bug, not
+//! noise.
+//!
+//! Streams are shortened via `BuildConfig::scale_divisor` (each floors at
+//! the registry's 2 000-instance minimum) and capped so the sweep stays
+//! test-suite friendly while every benchmark family is still exercised.
+
+use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig, RunResult};
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_streams::registry::{all_benchmarks, BenchmarkSpec, BuildConfig};
+
+fn run_spec(benchmark: &BenchmarkSpec, spec: &str) -> RunResult {
+    let build = BuildConfig { scale_divisor: 10_000, ..Default::default() };
+    let config = RunConfig {
+        metric_window: 500,
+        max_instances: Some(2_000),
+        detector_batch: 10,
+        ..Default::default()
+    };
+    PipelineBuilder::new()
+        .boxed_stream(benchmark.build(&build))
+        .stream_label(benchmark.name.clone())
+        .detector_spec(DetectorSpec::parse(spec).expect("spec parses"))
+        .config(config)
+        .run()
+        .expect("pipeline run succeeds")
+}
+
+#[test]
+fn fast_math_drift_offsets_match_exact_on_every_registry_benchmark() {
+    // A twitchy detector configuration (small batches, minimal warm-up) so
+    // a meaningful number of the shortened streams actually fire.
+    const EXACT: &str = "rbm(mini_batch=10, warmup=1, persistence=1, seed=7)";
+    const FAST: &str = "rbm(mini_batch=10, warmup=1, persistence=1, seed=7, fastmath=on)";
+
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 24, "registry sweep covers the full Table I set");
+
+    let mut streams_with_drift = 0usize;
+    for benchmark in &benchmarks {
+        let exact = run_spec(benchmark, EXACT);
+        let fast = run_spec(benchmark, FAST);
+        assert_eq!(
+            exact.detections, fast.detections,
+            "{}: fast-math moved a drift offset",
+            benchmark.name
+        );
+        // With identical drift decisions the classifier resets at the same
+        // positions, so the prequential metrics must agree bitwise too.
+        assert_eq!(exact.pm_auc, fast.pm_auc, "{}: pm_auc diverged", benchmark.name);
+        assert_eq!(exact.pm_gmean, fast.pm_gmean, "{}: pm_gmean diverged", benchmark.name);
+        assert_eq!(exact.accuracy, fast.accuracy, "{}: accuracy diverged", benchmark.name);
+        assert_eq!(exact.kappa, fast.kappa, "{}: kappa diverged", benchmark.name);
+        if !exact.detections.is_empty() {
+            streams_with_drift += 1;
+        }
+    }
+    // The agreement must not be vacuous: at least some of the shortened
+    // streams have to produce actual drift signals for the offsets to pin.
+    assert!(
+        streams_with_drift >= 3,
+        "only {streams_with_drift} of 24 shortened streams fired — sweep too weak to pin offsets"
+    );
+}

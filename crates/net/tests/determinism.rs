@@ -391,3 +391,59 @@ fn wire_detach_returns_the_sequential_result() {
     assert!(report.streams.is_empty(), "the detached stream already returned its result");
     server.shutdown();
 }
+
+/// The new kernel knobs survive the wire: a TCP `Attach` whose spec carries
+/// `parallel=on, threads=2` (and a second feed with `fastmath=on`) produces
+/// a report bitwise-identical to the same feeds attached in-process, and to
+/// the sequential pipeline ground truth. This extends the serving-level
+/// mode-transparency pin (`rbm-im-serve`) across the wire protocol — the
+/// spec grammar's word-valued params round-trip through the frame codec.
+#[test]
+fn kernel_mode_params_attach_bitwise_identically_over_tcp() {
+    rayon::ensure_pool(4);
+    let specs = [
+        "rbm(mini_batch=25, warmup=4, persistence=1, parallel=on, threads=2)",
+        "rbm(mini_batch=25, warmup=4, persistence=1, fastmath=on)",
+    ];
+    let feeds: Vec<Feed> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (schema, instances) = record_drifting_stream(300 + i as u64, 8, 4, 2_500, 4_500);
+            Feed {
+                id: format!("mode-{i}"),
+                schema,
+                instances,
+                spec: DetectorSpec::parse(spec).unwrap(),
+            }
+        })
+        .collect();
+
+    let (tcp_report, tcp_drifts) = run_over_tcp(&feeds, 2, 2, 41);
+    let in_process_report = run_in_process(&feeds, 2, 41);
+
+    assert_eq!(tcp_report.streams.len(), feeds.len());
+    for (tcp, local) in tcp_report.streams.iter().zip(&in_process_report.streams) {
+        assert_eq!(tcp.stream, local.stream, "summary order");
+        assert_results_match(
+            &format!("{} TCP vs in-process", tcp.stream),
+            &tcp.result,
+            &local.result,
+        );
+    }
+    for (feed, summary) in feeds.iter().zip(&tcp_report.streams) {
+        let sequential = sequential_baseline(feed, run_config());
+        assert!(
+            !sequential.detections.is_empty(),
+            "{}: the injected drift must fire for the pin to bite",
+            feed.id
+        );
+        assert_results_match(
+            &format!("{} TCP vs sequential", feed.id),
+            &summary.result,
+            &sequential,
+        );
+        let observed = tcp_drifts.get(&feed.id).cloned().unwrap_or_default();
+        assert_eq!(observed, summary.result.detections, "{}: subscribed drift events", feed.id);
+    }
+}

@@ -156,6 +156,12 @@ impl RbmIm {
         &self.network
     }
 
+    /// The configuration this detector was built with (diagnostics — lets
+    /// infrastructure verify which execution mode a spec resolved to).
+    pub fn config(&self) -> &RbmImConfig {
+        &self.config
+    }
+
     /// Installs a (typically pooled) scratch workspace into the underlying
     /// network, returning the previous one. The serving layer calls this at
     /// stream attach so a fresh detector inherits the grown buffer capacity

@@ -32,9 +32,10 @@ use rand::{Rng, SeedableRng};
 use rbm_im_streams::{Instance, MiniBatch};
 
 use crate::linalg::{
-    axpy, cdk_bias_gradient, cdk_weight_gradient, dot, gemm2_acc, gemm_acc, gemv_acc, gemv_t_acc,
-    momentum_update, sigmoid_in_place, softmax_cols_in_place, softmax_in_place, transpose_into,
-    DenseMatrix,
+    axpy, cdk_bias_gradient_with, cdk_weight_gradient_with, dot, gemm2_acc_with, gemm_acc_with,
+    gemv_acc, gemv_t_acc, momentum_update, sigmoid_in_place, sigmoid_matrix_with,
+    softmax_cols_in_place_with, softmax_in_place, transpose_into, DenseMatrix, KernelPolicy,
+    ParallelMode,
 };
 
 /// Hyper-parameters of the RBM network (the RBM-IM rows of Tab. II).
@@ -62,6 +63,21 @@ pub struct RbmNetworkConfig {
     pub momentum: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Row-parallelism mode of the batched CD-k kernels. Never changes
+    /// results — parallel-exact is bitwise-identical to sequential at any
+    /// thread count — so it is an execution knob, not a hyper-parameter.
+    /// The default comes from the `RBM_KERNEL_PARALLEL` env var
+    /// (`auto`/`off`/`on`; unset = `Auto`).
+    pub parallel: ParallelMode,
+    /// Upper bound on threads the kernels may use (0 = whole pool); caps,
+    /// never grows, the process-wide `rayon` pool.
+    pub max_threads: usize,
+    /// Opt-in fast-math: the batched sigmoid/softmax kernels use the
+    /// polynomial [`crate::linalg::fast_exp`] instead of `f64::exp`.
+    /// Results are only tolerance-equivalent (≤ 1e-9 per activation) to
+    /// the exact path, so this **does** leave the bitwise contract —
+    /// deliberately, and only when asked for.
+    pub fast_math: bool,
 }
 
 impl Default for RbmNetworkConfig {
@@ -75,6 +91,9 @@ impl Default for RbmNetworkConfig {
             weight_decay: 1e-4,
             momentum: 0.5,
             seed: 42,
+            parallel: ParallelMode::from_env(),
+            max_threads: 0,
+            fast_math: false,
         }
     }
 }
@@ -522,26 +541,40 @@ impl RbmNetwork {
         transpose_into(&mut ws.ut, &self.u);
     }
 
+    /// Kernel execution policy of this network (from the config's
+    /// `parallel` / `max_threads` / `fast_math` knobs). Both the training
+    /// and the scoring batched paths run under this policy, so a fast-math
+    /// network scores and learns in fast-math throughout.
+    #[inline]
+    fn kernel_policy(&self) -> KernelPolicy {
+        KernelPolicy {
+            parallel: self.config.parallel,
+            max_threads: self.config.max_threads,
+            fast_math: self.config.fast_math,
+        }
+    }
+
     /// One deterministic mean-field reconstruction of the packed batch
     /// (feature-major: every matrix is layer units × batch, so the batch is
     /// the contiguous SIMD dimension): `h0 = σ(b ⊕ wᵀ·v0 + u·z0)`, then
     /// `vk = σ(a ⊕ w·h0)` and `zk = softmax(c ⊕ uᵀ·h0)`. Requires
     /// `pack_batch_in` and `refresh_transposes_in` to have run on `ws`.
     fn reconstruct_packed_in(&self, ws: &mut Workspace, kept: usize) {
+        let policy = self.kernel_policy();
         ws.h0.reshape_uninit(self.num_hidden, kept);
         ws.h0.broadcast_cols(&self.b);
-        gemm2_acc(&mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
-        sigmoid_in_place(ws.h0.as_mut_slice());
+        gemm2_acc_with(&policy, &mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
+        sigmoid_matrix_with(&policy, &mut ws.h0);
 
         ws.vk.reshape_uninit(self.num_visible, kept);
         ws.vk.broadcast_cols(&self.a);
-        gemm_acc(&mut ws.vk, &self.w, &ws.h0);
-        sigmoid_in_place(ws.vk.as_mut_slice());
+        gemm_acc_with(&policy, &mut ws.vk, &self.w, &ws.h0);
+        sigmoid_matrix_with(&policy, &mut ws.vk);
 
         ws.zk.reshape_uninit(self.num_classes, kept);
         ws.zk.broadcast_cols(&self.c);
-        gemm_acc(&mut ws.zk, &ws.ut, &ws.h0);
-        softmax_cols_in_place(&mut ws.zk);
+        gemm_acc_with(&policy, &mut ws.zk, &ws.ut, &ws.h0);
+        softmax_cols_in_place_with(&policy, &mut ws.zk);
     }
 
     /// Trains the network on one mini-batch with CD-k and the class-balanced
@@ -622,10 +655,11 @@ impl RbmNetwork {
         // Positive phase over the whole batch (feature-major):
         // h0 = σ(b ⊕ wᵀ·v0 + u·z0), one fused GEMM pair with the batch as
         // the contiguous inner dimension.
+        let policy = self.kernel_policy();
         ws.h0.reshape_uninit(num_hidden, kept);
         ws.h0.broadcast_cols(&self.b);
-        gemm2_acc(&mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
-        sigmoid_in_place(ws.h0.as_mut_slice());
+        gemm2_acc_with(&policy, &mut ws.h0, &ws.wt, &ws.v0, &self.u, &ws.z0);
+        sigmoid_matrix_with(&policy, &mut ws.h0);
 
         // First hidden sample (instance-major draws walk the columns).
         ws.hs.reshape_uninit(num_hidden, kept);
@@ -646,16 +680,16 @@ impl RbmNetwork {
         ws.hk.reshape_uninit(num_hidden, kept);
         for step in 0..gibbs_steps {
             ws.vk.broadcast_cols(&self.a);
-            gemm_acc(&mut ws.vk, &self.w, &ws.hs);
-            sigmoid_in_place(ws.vk.as_mut_slice());
+            gemm_acc_with(&policy, &mut ws.vk, &self.w, &ws.hs);
+            sigmoid_matrix_with(&policy, &mut ws.vk);
 
             ws.zk.broadcast_cols(&self.c);
-            gemm_acc(&mut ws.zk, &ws.ut, &ws.hs);
-            softmax_cols_in_place(&mut ws.zk);
+            gemm_acc_with(&policy, &mut ws.zk, &ws.ut, &ws.hs);
+            softmax_cols_in_place_with(&policy, &mut ws.zk);
 
             ws.hk.broadcast_cols(&self.b);
-            gemm2_acc(&mut ws.hk, &ws.wt, &ws.vk, &self.u, &ws.zk);
-            sigmoid_in_place(ws.hk.as_mut_slice());
+            gemm2_acc_with(&policy, &mut ws.hk, &ws.wt, &ws.vk, &self.u, &ws.zk);
+            sigmoid_matrix_with(&policy, &mut ws.hk);
 
             if step + 1 < gibbs_steps {
                 sample_columns(&mut ws.hs, &ws.hk, &ws.uniforms, step + 1, num_hidden);
@@ -679,11 +713,27 @@ impl RbmNetwork {
         ws.dc.resize(num_classes, 0.0);
         ws.instance_weights.clear();
         ws.instance_weights.extend(ws.packed_classes.iter().map(|&c| ws.class_weights[c]));
-        cdk_weight_gradient(&mut ws.dw, &ws.instance_weights, &ws.v0, &ws.h0, &ws.vk, &ws.hk);
-        cdk_weight_gradient(&mut ws.du, &ws.instance_weights, &ws.h0, &ws.z0, &ws.hk, &ws.zk);
-        cdk_bias_gradient(&mut ws.da, &ws.instance_weights, &ws.v0, &ws.vk);
-        cdk_bias_gradient(&mut ws.db, &ws.instance_weights, &ws.h0, &ws.hk);
-        cdk_bias_gradient(&mut ws.dc, &ws.instance_weights, &ws.z0, &ws.zk);
+        cdk_weight_gradient_with(
+            &policy,
+            &mut ws.dw,
+            &ws.instance_weights,
+            &ws.v0,
+            &ws.h0,
+            &ws.vk,
+            &ws.hk,
+        );
+        cdk_weight_gradient_with(
+            &policy,
+            &mut ws.du,
+            &ws.instance_weights,
+            &ws.h0,
+            &ws.z0,
+            &ws.hk,
+            &ws.zk,
+        );
+        cdk_bias_gradient_with(&policy, &mut ws.da, &ws.instance_weights, &ws.v0, &ws.vk);
+        cdk_bias_gradient_with(&policy, &mut ws.db, &ws.instance_weights, &ws.h0, &ws.hk);
+        cdk_bias_gradient_with(&policy, &mut ws.dc, &ws.instance_weights, &ws.z0, &ws.zk);
         let mut total_error = 0.0;
         for n in 0..kept {
             let weight = ws.instance_weights[n];

@@ -14,6 +14,7 @@
 use proptest::prelude::*;
 use rbm_im::network::{RbmNetwork, RbmNetworkConfig, Workspace};
 use rbm_im::reference::ReferenceRbmNetwork;
+use rbm_im::ParallelMode;
 use rbm_im_streams::{Instance, MiniBatch};
 
 const TOL: f64 = 1e-12;
@@ -193,6 +194,50 @@ proptest! {
                 naive.predict(&probe.features),
                 "probe {p}: prediction"
             );
+        }
+    }
+}
+
+/// Row-parallel kernels keep the bitwise pin: a network trained with
+/// `parallel = On` at 1, 2 and 4 worker threads produces exactly the bytes
+/// the sequential network (and therefore the naive reference) produces,
+/// because each output row's accumulation runs whole on one worker in the
+/// unchanged element order. `ensure_pool(4)` oversubscribes the pool so the
+/// parallel path genuinely executes even on a 1-core runner.
+#[test]
+fn parallel_training_is_bitwise_identical_at_any_thread_count() {
+    rayon::ensure_pool(4);
+    for threads in [1usize, 2, 4] {
+        let sequential_config =
+            RbmNetworkConfig { parallel: ParallelMode::Off, ..Default::default() };
+        let parallel_config = RbmNetworkConfig {
+            parallel: ParallelMode::On,
+            max_threads: threads,
+            ..Default::default()
+        };
+        let mut sequential = RbmNetwork::new(10, 4, sequential_config);
+        let mut parallel = RbmNetwork::new(10, 4, parallel_config);
+        let mut naive = ReferenceRbmNetwork::new(10, 4, sequential_config);
+        for round in 0..12u64 {
+            let batch = batch_from(synth_instances(50, 10, 4, 2000 + round));
+            let seq_err = sequential.train_batch(&batch);
+            let par_err = parallel.train_batch(&batch);
+            let naive_err = naive.train_batch(&batch);
+            assert_eq!(par_err, seq_err, "threads={threads} round {round}: training error");
+            assert_eq!(par_err, naive_err, "threads={threads} round {round}: vs reference");
+            assert_eq!(
+                parallel.w().as_slice(),
+                sequential.w().as_slice(),
+                "threads={threads} round {round}: w"
+            );
+            assert_eq!(
+                parallel.u().as_slice(),
+                sequential.u().as_slice(),
+                "threads={threads} round {round}: u"
+            );
+            assert_eq!(parallel.a(), sequential.a(), "threads={threads} round {round}: a");
+            assert_eq!(parallel.b(), sequential.b(), "threads={threads} round {round}: b");
+            assert_eq!(parallel.c(), sequential.c(), "threads={threads} round {round}: c");
         }
     }
 }

@@ -1,0 +1,146 @@
+//! Fast-math tolerance suite: the opt-in polynomial-`exp` activation path
+//! (`fast_math = true` in [`RbmNetworkConfig`]) deliberately trades bitwise
+//! identity for speed, but its deviation from the exact path is contractual:
+//! **≤ 1e-9** on every activation value, and small enough that training
+//! trajectories stay within 1e-9 per element over a realistic horizon. The
+//! companion harness-level sweep (`crates/harness/tests/fastmath_sweep.rs`)
+//! pins the stronger end-to-end property — identical drift offsets on the
+//! full 24-benchmark registry — on top of these numeric bounds.
+
+use proptest::prelude::*;
+use rbm_im::linalg::{
+    fast_exp, sigmoid_in_place, sigmoid_in_place_fast, softmax_cols_in_place,
+    softmax_cols_in_place_with, DenseMatrix, KernelPolicy,
+};
+use rbm_im::network::{RbmNetwork, RbmNetworkConfig};
+use rbm_im_streams::{Instance, MiniBatch};
+
+/// The contractual activation tolerance of the fast-math mode.
+const FAST_MATH_TOL: f64 = 1e-9;
+
+fn fast_policy() -> KernelPolicy {
+    KernelPolicy { fast_math: true, ..KernelPolicy::EXACT_SEQUENTIAL }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `fast_exp` tracks `f64::exp` to ≤ 1e-9 *relative* error across the
+    /// whole finite-result range (the polynomial's actual error is ~1e-13;
+    /// the bound leaves headroom so the contract survives refactors).
+    #[test]
+    fn fast_exp_relative_error_is_bounded(x in -700.0f64..700.0) {
+        let exact = x.exp();
+        let fast = fast_exp(x);
+        let rel = (fast - exact).abs() / exact;
+        prop_assert!(rel <= FAST_MATH_TOL, "exp({x}): {fast} vs {exact} (rel {rel:e})");
+    }
+
+    /// Fast sigmoid stays within 1e-9 of the exact sigmoid elementwise
+    /// (sigmoid outputs live in [0, 1], so absolute error is the right
+    /// metric).
+    #[test]
+    fn fast_sigmoid_absolute_error_is_bounded(
+        xs in prop::collection::vec(-40.0f64..40.0, 1..200)
+    ) {
+        let mut exact = xs.clone();
+        let mut fast = xs;
+        sigmoid_in_place(&mut exact);
+        sigmoid_in_place_fast(&mut fast);
+        for (i, (e, f)) in exact.iter().zip(fast.iter()).enumerate() {
+            prop_assert!(
+                (e - f).abs() <= FAST_MATH_TOL,
+                "sigmoid[{i}]: {f} vs {e} (diff {:e})",
+                (e - f).abs()
+            );
+        }
+    }
+
+    /// Fast column-softmax stays within 1e-9 of the exact path and still
+    /// produces columns that sum to 1 (softmax normalizes, so the polynomial
+    /// error largely cancels).
+    #[test]
+    fn fast_softmax_absolute_error_is_bounded(
+        shape in (1usize..8, 1usize..30),
+        seed in 0u64..10_000
+    ) {
+        let (classes, batch) = shape;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 30.0 - 15.0
+        };
+        let mut exact = DenseMatrix::from_fn(classes, batch, |_, _| next());
+        let mut fast = exact.clone();
+        softmax_cols_in_place(&mut exact);
+        softmax_cols_in_place_with(&fast_policy(), &mut fast);
+        for (i, (e, f)) in exact.as_slice().iter().zip(fast.as_slice().iter()).enumerate() {
+            prop_assert!(
+                (e - f).abs() <= FAST_MATH_TOL,
+                "softmax[{i}]: {f} vs {e} (diff {:e})",
+                (e - f).abs()
+            );
+        }
+        for col in 0..batch {
+            let sum: f64 = (0..classes).map(|r| fast.get(r, col)).sum();
+            prop_assert!((sum - 1.0).abs() <= 1e-12, "col {col} sums to {sum}");
+        }
+    }
+}
+
+fn synth_instances(n: usize, num_features: usize, num_classes: usize, seed: u64) -> Vec<Instance> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let features: Vec<f64> = (0..num_features)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0)
+                .collect();
+            let class = (next() % num_classes as u64) as usize;
+            Instance::new(features, class)
+        })
+        .collect()
+}
+
+/// Whole-network check: training the same seed with `fast_math = on` keeps
+/// every weight, bias, and per-batch training error within 1e-9 of the exact
+/// network over a 10-batch horizon. (The per-activation error is ~1e-13;
+/// this bounds the accumulated divergence that the drift detector actually
+/// sees.)
+#[test]
+fn fast_math_training_trajectory_stays_within_tolerance() {
+    let exact_config = RbmNetworkConfig::default();
+    let fast_config = RbmNetworkConfig { fast_math: true, ..Default::default() };
+    let mut exact = RbmNetwork::new(10, 4, exact_config);
+    let mut fast = RbmNetwork::new(10, 4, fast_config);
+    for round in 0..10u64 {
+        let batch =
+            MiniBatch { start_index: 0, instances: synth_instances(50, 10, 4, 4000 + round) };
+        let exact_err = exact.train_batch(&batch);
+        let fast_err = fast.train_batch(&batch);
+        assert!(
+            (exact_err - fast_err).abs() <= FAST_MATH_TOL,
+            "round {round}: training error {fast_err} vs {exact_err}"
+        );
+        for (i, (e, f)) in exact.w().as_slice().iter().zip(fast.w().as_slice().iter()).enumerate() {
+            assert!(
+                (e - f).abs() <= FAST_MATH_TOL,
+                "round {round}: w[{i}] {f} vs {e} (diff {:e})",
+                (e - f).abs()
+            );
+        }
+        for (i, (e, f)) in exact.b().iter().zip(fast.b().iter()).enumerate() {
+            assert!((e - f).abs() <= FAST_MATH_TOL, "round {round}: b[{i}] {f} vs {e}");
+        }
+        for (i, (e, f)) in exact.c().iter().zip(fast.c().iter()).enumerate() {
+            assert!((e - f).abs() <= FAST_MATH_TOL, "round {round}: c[{i}] {f} vs {e}");
+        }
+    }
+}

@@ -1,9 +1,21 @@
 //! Enforces the workspace contract: once the [`Workspace`] buffers have
 //! grown to the working shape, steady-state `train_flat` /
 //! `reconstruction_errors_flat_with` calls perform **zero** heap
-//! allocations. A counting global allocator measures the hot path directly;
-//! this file holds a single test so no concurrent test can pollute the
-//! counter.
+//! allocations — in sequential mode *and* on the row-parallel kernel path.
+//! A counting global allocator measures the hot path directly; this file
+//! holds a single test so no concurrent test can pollute the counter.
+//!
+//! **Parallel-path exemption.** The persistent worker pool allocates
+//! exactly once per process, at spin-up (`rayon::ensure_pool`): thread
+//! stacks, the leaked pool descriptor, and the cached thread-count string
+//! read from `RAYON_NUM_THREADS`. The test therefore spins the pool up
+//! *before* counting starts. After that, job dispatch is allocation-free by
+//! construction — the job slot is a fixed-size struct behind a mutex, and
+//! chunk closures borrow pre-grown workspace buffers. Allocation counting
+//! is thread-local to the test thread, which still proves the kernels
+//! allocation-free: the posting thread participates in every parallel job
+//! and runs the *same* chunk closure as the workers, so any allocating
+//! kernel would be counted on the poster's own chunks.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -70,12 +82,12 @@ fn fill_batch(features: &mut [f64], classes: &mut [usize], num_classes: usize, s
     }
 }
 
-#[test]
-fn steady_state_training_does_not_allocate() {
+/// Runs the steady-state measurement for one network configuration and
+/// returns the number of allocations observed on the test thread.
+fn measure_steady_state(config: RbmNetworkConfig, label: &str) {
     const BATCH: usize = 50; // the paper's default mini-batch size
     const FEATURES: usize = 12;
     const CLASSES: usize = 4;
-    let config = RbmNetworkConfig { gibbs_steps: 2, ..Default::default() };
     let mut net = RbmNetwork::new(FEATURES, CLASSES, config);
 
     let mut features = vec![0.0; BATCH * FEATURES];
@@ -103,9 +115,45 @@ fn steady_state_training_does_not_allocate() {
     assert_eq!(
         after - before,
         0,
-        "steady-state detect+train must not touch the allocator ({} allocations observed)",
+        "{label}: steady-state detect+train must not touch the allocator \
+         ({} allocations observed)",
         after - before
     );
     assert_eq!(net.batches_trained(), 10);
     assert_eq!(errors.len(), CLASSES);
+}
+
+#[test]
+fn steady_state_training_does_not_allocate() {
+    // Sequential exact mode: the original contract.
+    measure_steady_state(
+        RbmNetworkConfig {
+            gibbs_steps: 2,
+            parallel: rbm_im::ParallelMode::Off,
+            ..Default::default()
+        },
+        "sequential",
+    );
+
+    // Row-parallel mode: spin the pool up *outside* the counted region
+    // (the documented one-time exemption), then require the same zero.
+    // `ensure_pool(2)` oversubscribes a 1-core runner so the parallel
+    // dispatch path genuinely executes.
+    rayon::ensure_pool(2);
+    measure_steady_state(
+        RbmNetworkConfig {
+            gibbs_steps: 2,
+            parallel: rbm_im::ParallelMode::On,
+            max_threads: 2,
+            ..Default::default()
+        },
+        "row-parallel",
+    );
+
+    // Fast-math mode shares the dispatch machinery and must also stay
+    // allocation-free.
+    measure_steady_state(
+        RbmNetworkConfig { gibbs_steps: 2, fast_math: true, ..Default::default() },
+        "fast-math",
+    );
 }

@@ -467,3 +467,63 @@ fn event_bus_publishes_lifecycle_and_snapshots() {
 fn server_shard(event: &rbm_im_serve::ServeEvent) -> usize {
     rbm_im_serve::StreamRouter::new(2).shard_of(&event.stream)
 }
+
+/// Kernel execution modes are serving-transparent. A stream attached with
+/// `parallel=on` (row-parallel kernels, pool oversubscribed to 4 workers so
+/// the path genuinely executes on a 1-core runner) is **bitwise identical**
+/// — drift offsets and every prequential metric — to the same stream with
+/// `parallel=off` and to the sequential pipeline; `fastmath=on` keeps the
+/// drift offsets and metrics identical end-to-end as well (its ≤1e-9
+/// activation deviation is far below every drift threshold).
+#[test]
+fn kernel_mode_specs_serve_bitwise_identical_results() {
+    rayon::ensure_pool(4);
+    let (schema, instances) = record_drifting_stream(400, 8, 4, 2_500, 4_500);
+
+    let serve_spec = |spec_text: &str| -> (RunResult, RunResult) {
+        let spec = DetectorSpec::parse(spec_text).unwrap();
+        let server = ServerHandle::start(ServeConfig {
+            num_shards: 2,
+            run: run_config(50),
+            ..Default::default()
+        });
+        let feed = Feed {
+            id: "mode".to_string(),
+            schema: schema.clone(),
+            instances: instances.clone(),
+            spec: spec.clone(),
+        };
+        let sequential = sequential_baseline(&server, &feed, run_config(50));
+        let client = server.attach("mode", schema.clone(), &spec).unwrap();
+        for chunk in instances.chunks(37) {
+            client.ingest_batch(chunk.to_vec()).unwrap();
+        }
+        server.drain();
+        let report = server.shutdown();
+        let summary =
+            report.streams.iter().find(|s| s.stream == "mode").expect("stream summary present");
+        (summary.result.clone(), sequential)
+    };
+
+    const BASE: &str = "mini_batch=25, warmup=4, persistence=1";
+    let (off, off_seq) = serve_spec(&format!("rbm({BASE}, parallel=off)"));
+    let (on, on_seq) = serve_spec(&format!("rbm({BASE}, parallel=on, threads=2)"));
+    let (fast, fast_seq) = serve_spec(&format!("rbm({BASE}, fastmath=on)"));
+
+    // Each mode individually matches its own sequential ground truth.
+    assert_results_match("parallel=off served vs sequential", &off, &off_seq);
+    assert_results_match("parallel=on served vs sequential", &on, &on_seq);
+    assert_results_match("fastmath=on served vs sequential", &fast, &fast_seq);
+    assert!(!off.detections.is_empty(), "the injected drift must fire for the pin to bite");
+
+    // Cross-mode (labels differ, so compare semantic fields directly):
+    // parallel-exact is bitwise, fast-math keeps identical drift decisions
+    // and therefore identical classifier trajectories.
+    for (context, other) in [("parallel=on", &on), ("fastmath=on", &fast)] {
+        assert_eq!(off.detections, other.detections, "{context}: drift offsets vs exact");
+        assert_eq!(off.pm_auc, other.pm_auc, "{context}: pmAUC vs exact");
+        assert_eq!(off.pm_gmean, other.pm_gmean, "{context}: pmGM vs exact");
+        assert_eq!(off.accuracy, other.accuracy, "{context}: accuracy vs exact");
+        assert_eq!(off.kappa, other.kappa, "{context}: kappa vs exact");
+    }
+}

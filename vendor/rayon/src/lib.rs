@@ -7,10 +7,24 @@
 //! worker, and results are stitched back **in input order**, so `collect`
 //! output is independent of the number of threads (the property the
 //! harness's `run_grid` determinism test relies on).
+//!
+//! On top of the iterator shim, the crate exposes a **persistent worker
+//! pool** ([`parallel_chunks`], [`pool_threads`], [`ensure_pool`]) for hot
+//! kernels: the scoped-thread shim spawns OS threads per call, which is
+//! fine for coarse grid work but ruinous (and allocating) inside a CD-k
+//! kernel that runs thousands of times per second. The pool spins up once
+//! (sized from `RAYON_NUM_THREADS`, else available parallelism), after
+//! which dispatching a job performs **no heap allocation**: the job is a
+//! type-erased pointer to a caller-stack closure published under a single
+//! mutex, chunks are claimed under that mutex, and the caller participates
+//! and blocks until every chunk has retired — so the closure never
+//! outlives its borrows.
 
 use std::cell::Cell;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 thread_local! {
     static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
@@ -23,6 +37,235 @@ pub fn current_num_threads() -> usize {
             std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
         })
     })
+}
+
+// ---------------------------------------------------------------------------
+// Persistent kernel pool
+// ---------------------------------------------------------------------------
+
+/// A published parallel job: a type-erased pointer to a `Fn(usize) + Sync`
+/// closure living on the posting thread's stack, plus the chunk count and
+/// the number of pool workers allowed to help. The posting thread does not
+/// return until every chunk has retired, so the pointer never dangles while
+/// reachable.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    chunks: usize,
+    max_workers: usize,
+}
+
+// SAFETY: `data` points at a `Sync` closure; the retirement protocol in
+// `parallel_chunks` guarantees it is only dereferenced while the posting
+// thread keeps it alive.
+unsafe impl Send for Job {}
+
+unsafe fn call_chunk<F: Fn(usize) + Sync>(data: *const (), index: usize) {
+    let f = unsafe { &*(data as *const F) };
+    f(index);
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Currently published job, if any. `None` between jobs; a new job can
+    /// only be published once the previous one has fully retired.
+    job: Option<Job>,
+    /// Bumped on every publish; workers use it to avoid re-entering a
+    /// generation they already left.
+    generation: u64,
+    /// Next unclaimed chunk index of the current job.
+    next_chunk: usize,
+    /// Chunks currently executing (claimed, not yet retired).
+    running: usize,
+    /// Pool workers admitted to the current generation (capped by
+    /// `Job::max_workers`).
+    admitted: usize,
+    /// Set when any chunk panicked; the posting thread re-panics.
+    panicked: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation.
+    work_ready: Condvar,
+    /// Posters wait here for job retirement (and for the slot to free up).
+    work_done: Condvar,
+    /// Total pool parallelism including the posting thread.
+    threads: usize,
+}
+
+static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
+/// Minimum pool size requested via [`ensure_pool`] before first spin-up.
+static POOL_MIN: AtomicUsize = AtomicUsize::new(0);
+
+/// Pool size from the environment: `RAYON_NUM_THREADS` if set to a positive
+/// integer, else `std::thread::available_parallelism`. Cached after the
+/// first read — `env::var` allocates, and [`pool_threads`] sits on the
+/// allocation-free kernel dispatch path.
+fn env_pool_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+fn pool_shared() -> &'static PoolShared {
+    POOL.get_or_init(|| {
+        let threads = env_pool_threads().max(POOL_MIN.load(Ordering::SeqCst)).max(1);
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            threads,
+        }));
+        for _ in 1..threads {
+            std::thread::Builder::new()
+                .name("rayon-pool-worker".into())
+                .spawn(move || pool_worker(shared))
+                .expect("failed to spawn pool worker");
+        }
+        shared
+    })
+}
+
+/// The persistent pool's total parallelism (worker threads + the posting
+/// thread). Does **not** spin the pool up: before first use it reports the
+/// size the pool *would* get (`RAYON_NUM_THREADS`, else available
+/// parallelism, else 1).
+pub fn pool_threads() -> usize {
+    POOL.get()
+        .map(|s| s.threads)
+        .unwrap_or_else(|| env_pool_threads().max(POOL_MIN.load(Ordering::SeqCst)).max(1))
+}
+
+/// Guarantees the pool, once spun up, has at least `min_threads` total
+/// parallelism — even on machines with fewer cores (threads are then
+/// oversubscribed, which costs throughput but preserves semantics; the
+/// equivalence suites use this to genuinely exercise the parallel code
+/// paths on 1-core CI runners). Returns the pool's effective size. Calling
+/// this after the pool has already spun up cannot grow it.
+pub fn ensure_pool(min_threads: usize) -> usize {
+    if POOL.get().is_none() {
+        POOL_MIN.fetch_max(min_threads, Ordering::SeqCst);
+    }
+    pool_shared().threads
+}
+
+fn pool_worker(shared: &'static PoolShared) {
+    let mut last_generation = 0u64;
+    let mut st = shared.state.lock().expect("pool state poisoned");
+    loop {
+        while st.generation == last_generation || st.job.is_none() {
+            st = shared.work_ready.wait(st).expect("pool state poisoned");
+        }
+        last_generation = st.generation;
+        let job = st.job.expect("checked above");
+        if st.admitted >= job.max_workers {
+            continue; // over-subscribed for this generation; wait for the next
+        }
+        st.admitted += 1;
+        loop {
+            // `generation` cannot move while we have a chunk running (the
+            // poster waits for `running == 0`), so this check only trips
+            // between generations — exactly when stale claims must stop.
+            if st.generation != last_generation || st.job.is_none() || st.next_chunk >= job.chunks {
+                break;
+            }
+            let index = st.next_chunk;
+            st.next_chunk += 1;
+            st.running += 1;
+            drop(st);
+            // SAFETY: the posting thread keeps the closure alive until
+            // `running` returns to 0, which cannot happen before we retire.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (job.call)(job.data, index)
+            }));
+            st = shared.state.lock().expect("pool state poisoned");
+            st.running -= 1;
+            if outcome.is_err() {
+                st.panicked = true;
+            }
+            if st.next_chunk >= job.chunks && st.running == 0 {
+                shared.work_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `f(0..chunks)` across the persistent pool, with at most
+/// `max_workers` pool workers helping the calling thread (so effective
+/// parallelism is `min(chunks, max_workers + 1, pool_threads())`). Blocks
+/// until every chunk has finished. Chunks are claimed dynamically, so `f`
+/// must not depend on which thread runs which chunk — only on the chunk
+/// index. After the pool's one-time spin-up, dispatching performs no heap
+/// allocation.
+///
+/// Concurrent calls from different threads are serialized (one job in
+/// flight at a time). Must **not** be called from inside a chunk closure —
+/// there is no nested parallelism, and a nested post would deadlock waiting
+/// for its own enclosing job to retire.
+pub fn parallel_chunks<F: Fn(usize) + Sync>(chunks: usize, max_workers: usize, f: F) {
+    if chunks == 0 {
+        return;
+    }
+    if chunks == 1 || max_workers == 0 || pool_threads() == 1 {
+        for index in 0..chunks {
+            f(index);
+        }
+        return;
+    }
+    let shared = pool_shared();
+    let job = Job { data: &f as *const F as *const (), call: call_chunk::<F>, chunks, max_workers };
+    let mut st = shared.state.lock().expect("pool state poisoned");
+    while st.job.is_some() {
+        // Another thread's job is in flight; wait for the slot.
+        st = shared.work_done.wait(st).expect("pool state poisoned");
+    }
+    st.job = Some(job);
+    st.generation = st.generation.wrapping_add(1);
+    st.next_chunk = 0;
+    st.running = 0;
+    st.admitted = 0;
+    st.panicked = false;
+    shared.work_ready.notify_all();
+    // Participate in our own job.
+    let mut own_panic = None;
+    loop {
+        if st.next_chunk >= chunks {
+            break;
+        }
+        let index = st.next_chunk;
+        st.next_chunk += 1;
+        st.running += 1;
+        drop(st);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
+        st = shared.state.lock().expect("pool state poisoned");
+        st.running -= 1;
+        if let Err(payload) = outcome {
+            st.panicked = true;
+            own_panic = Some(payload);
+        }
+    }
+    while !(st.next_chunk >= chunks && st.running == 0) {
+        st = shared.work_done.wait(st).expect("pool state poisoned");
+    }
+    let panicked = st.panicked;
+    st.job = None;
+    shared.work_done.notify_all(); // wake queued posters
+    drop(st);
+    if let Some(payload) = own_panic {
+        std::panic::resume_unwind(payload);
+    }
+    if panicked {
+        panic!("parallel_chunks: a pool worker panicked while running a chunk");
+    }
 }
 
 /// Error type of [`ThreadPoolBuilder::build`] (infallible here, kept for API
@@ -271,5 +514,54 @@ mod tests {
             sum.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn pool_chunks_visit_every_index_exactly_once() {
+        assert!(ensure_pool(3) >= 3);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        parallel_chunks(64, 2, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {i} ran a wrong number of times");
+        }
+    }
+
+    #[test]
+    fn pool_handles_degenerate_shapes() {
+        ensure_pool(2);
+        parallel_chunks(0, 4, |_| panic!("no chunks must run"));
+        let ran = AtomicUsize::new(0);
+        parallel_chunks(1, 4, |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        parallel_chunks(3, 0, |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pool_serializes_concurrent_posters() {
+        ensure_pool(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        parallel_chunks(8, 1, |_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 50 * 8);
+    }
+
+    #[test]
+    fn pool_reports_at_least_one_thread() {
+        assert!(pool_threads() >= 1);
     }
 }
