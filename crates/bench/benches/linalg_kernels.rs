@@ -31,7 +31,12 @@ fn filled(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
 }
 
 fn policy(threads: usize) -> KernelPolicy {
-    KernelPolicy { parallel: ParallelMode::On, max_threads: threads, fast_math: false }
+    KernelPolicy {
+        parallel: ParallelMode::On,
+        max_threads: threads,
+        fast_math: false,
+        timing: false,
+    }
 }
 
 struct Shape {

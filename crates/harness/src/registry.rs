@@ -465,7 +465,9 @@ impl DetectorRegistry {
         // selects row-parallel kernels (bitwise-identical to sequential),
         // `threads=N` caps the worker count (0 = whole pool), and
         // `fastmath=on|off|1|0` opts into the ≤1e-9 polynomial-`exp`
-        // activation path.
+        // activation path, and `timing=on|off|1|0` opts into per-kernel
+        // CD-k timing (`rbm_kernel_seconds{kernel}` in the global metrics
+        // registry; results are untouched).
         const RBM_PARAMS: &[&str] = &[
             "mini_batch",
             "minibatch",
@@ -479,6 +481,7 @@ impl DetectorRegistry {
             "parallel",
             "threads",
             "fastmath",
+            "timing",
         ];
         let rbm_factory = |p: &Params<'_>,
                            features: usize,
@@ -512,6 +515,7 @@ impl DetectorRegistry {
                     parallel,
                     max_threads: p.get_u64_or("threads", base.network.max_threads as u64)? as usize,
                     fast_math: p.get_flag_or("fastmath", base.network.fast_math)?,
+                    kernel_timing: p.get_flag_or("timing", base.network.kernel_timing)?,
                     ..base.network
                 },
                 ..base

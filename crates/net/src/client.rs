@@ -8,7 +8,8 @@
 use crate::wire::{self, ErrorCode, Frame, WireError};
 use rbm_im_harness::pipeline::{RunConfig, RunResult};
 use rbm_im_harness::registry::DetectorSpec;
-use rbm_im_serve::{IngestError, ServeEvent, ServeReport, StreamCheckpoint};
+use rbm_im_obs::MetricsSnapshot;
+use rbm_im_serve::{HealthSnapshot, IngestError, ServeEvent, ServeReport, StreamCheckpoint};
 use rbm_im_streams::{Instance, StreamSchema};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -178,6 +179,27 @@ impl NetClient {
     /// *any* connection — is fully processed.
     pub fn drain(&self) -> Result<(), NetError> {
         expect_ack(self.request(&Frame::Drain)?)
+    }
+
+    /// Fetches a point-in-time snapshot of the server's metrics registry
+    /// (counters, gauges, latency histograms) over the wire.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, NetError> {
+        match self.request(&Frame::Metrics)? {
+            Frame::MetricsData(snapshot) => Ok(*snapshot),
+            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected MetricsData, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's liveness/health summary: per-shard queue
+    /// depths and stream counts, ingest latency quantiles, and the age of
+    /// the last checkpoint spill.
+    pub fn health(&self) -> Result<HealthSnapshot, NetError> {
+        match self.request(&Frame::Health)? {
+            Frame::HealthData(health) => Ok(*health),
+            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected HealthData, got {other:?}"))),
+        }
     }
 
     /// Captures a non-destructive checkpoint of one attached stream.

@@ -25,13 +25,104 @@
 
 use crate::wire::{self, ErrorCode, Frame, WireError};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
-use rbm_im_serve::{ServeConfig, ServeReport, ServerHandle, StreamClient};
+use rbm_im_obs::{Counter, Histogram, MetricsRegistry};
+use rbm_im_serve::{FrameDropBreakdown, ServeConfig, ServeReport, ServerHandle, StreamClient};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-category drop counters, bound into the serving plane's metrics
+/// registry as `rbm_net_frames_dropped_total{kind}` so the breakdown shows
+/// up in exposition as well as on the final [`ServeReport`].
+struct DropCounters {
+    malformed: Arc<Counter>,
+    unsupported_version: Arc<Counter>,
+    unknown_frame_type: Arc<Counter>,
+    oversized: Arc<Counter>,
+    io: Arc<Counter>,
+    unexpected_reply: Arc<Counter>,
+}
+
+impl DropCounters {
+    fn bind(metrics: &MetricsRegistry) -> Self {
+        let kind = |k: &str| metrics.counter("rbm_net_frames_dropped_total", &[("kind", k)]);
+        Self {
+            malformed: kind("malformed"),
+            unsupported_version: kind("unsupported_version"),
+            unknown_frame_type: kind("unknown_frame_type"),
+            oversized: kind("oversized"),
+            io: kind("io"),
+            unexpected_reply: kind("unexpected_reply"),
+        }
+    }
+
+    fn breakdown(&self) -> FrameDropBreakdown {
+        FrameDropBreakdown {
+            malformed: self.malformed.get(),
+            unsupported_version: self.unsupported_version.get(),
+            unknown_frame_type: self.unknown_frame_type.get(),
+            oversized: self.oversized.get(),
+            io: self.io.get(),
+            unexpected_reply: self.unexpected_reply.get(),
+        }
+    }
+}
+
+/// Pre-registered request instrumentation: one latency histogram per
+/// request frame type (`rbm_net_request_latency_seconds{frame}`) plus the
+/// backpressure counter (`rbm_net_busy_total`). Histograms record integer
+/// nanoseconds; exposition divides to seconds.
+struct NetObs {
+    attach: Arc<Histogram>,
+    detach: Arc<Histogram>,
+    ingest: Arc<Histogram>,
+    drain: Arc<Histogram>,
+    checkpoint: Arc<Histogram>,
+    shutdown: Arc<Histogram>,
+    subscribe: Arc<Histogram>,
+    metrics: Arc<Histogram>,
+    health: Arc<Histogram>,
+    busy: Arc<Counter>,
+}
+
+impl NetObs {
+    fn bind(metrics: &MetricsRegistry) -> Self {
+        let frame = |f: &str| metrics.histogram("rbm_net_request_latency_seconds", &[("frame", f)]);
+        Self {
+            attach: frame("attach"),
+            detach: frame("detach"),
+            ingest: frame("ingest"),
+            drain: frame("drain"),
+            checkpoint: frame("checkpoint"),
+            shutdown: frame("shutdown"),
+            subscribe: frame("subscribe"),
+            metrics: frame("metrics"),
+            health: frame("health"),
+            busy: metrics.counter("rbm_net_busy_total", &[]),
+        }
+    }
+
+    /// The latency histogram for a request frame; `None` for reply-type
+    /// frames (a client protocol violation, counted as a drop instead).
+    fn latency(&self, frame: &Frame) -> Option<&Arc<Histogram>> {
+        match frame {
+            Frame::Attach { .. } => Some(&self.attach),
+            Frame::Detach { .. } => Some(&self.detach),
+            Frame::Ingest { .. } => Some(&self.ingest),
+            Frame::Drain => Some(&self.drain),
+            Frame::Checkpoint { .. } => Some(&self.checkpoint),
+            Frame::Shutdown => Some(&self.shutdown),
+            Frame::Subscribe => Some(&self.subscribe),
+            Frame::Metrics => Some(&self.metrics),
+            Frame::Health => Some(&self.health),
+            _ => None,
+        }
+    }
+}
 
 /// Shared state between the accept loop, connection handlers and the local
 /// [`NetServerHandle`].
@@ -43,9 +134,12 @@ struct Shared {
     /// The final report, stashed by whichever side performed the shutdown
     /// so the other can still read it.
     report: Mutex<Option<ServeReport>>,
-    /// Wire frames discarded before reaching a shard (malformed framing,
-    /// bad magic, unsupported version, unknown type).
-    frames_dropped: AtomicU64,
+    /// Wire frames discarded before reaching a shard, broken down by
+    /// failure category (malformed framing, bad magic, unsupported
+    /// version, unknown type, oversized, io, reply-at-server).
+    drops: DropCounters,
+    /// Per-frame-type request latency and backpressure counters.
+    obs: NetObs,
     /// Set once shutdown begins; the accept loop exits on the next
     /// (possibly self-inflicted) connection.
     stopping: AtomicBool,
@@ -58,7 +152,9 @@ impl Shared {
         let handle = self.server.lock().expect("server lock poisoned").take()?;
         self.stopping.store(true, Ordering::SeqCst);
         let mut report = handle.shutdown();
-        report.frames_dropped += self.frames_dropped.load(Ordering::SeqCst);
+        let breakdown = self.drops.breakdown();
+        report.frames_dropped += breakdown.total();
+        report.frames_dropped_by = breakdown;
         *self.report.lock().expect("report lock poisoned") = Some(report.clone());
         Some(report)
     }
@@ -85,17 +181,19 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let server = ServerHandle::start_with_registry(config, registry);
+        let metrics = server.metrics();
         let shared = Arc::new(Shared {
             server: Mutex::new(Some(server)),
             report: Mutex::new(None),
-            frames_dropped: AtomicU64::new(0),
+            drops: DropCounters::bind(&metrics),
+            obs: NetObs::bind(&metrics),
             stopping: AtomicBool::new(false),
         });
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, shared))
         };
-        Ok(NetServerHandle { shared, addr, accept: Some(accept) })
+        Ok(NetServerHandle { shared, metrics, addr, accept: Some(accept) })
     }
 }
 
@@ -103,6 +201,7 @@ impl NetServer {
 /// counters, and the local shutdown path.
 pub struct NetServerHandle {
     shared: Arc<Shared>,
+    metrics: Arc<MetricsRegistry>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
 }
@@ -113,10 +212,23 @@ impl NetServerHandle {
         self.addr
     }
 
+    /// The serving plane's metrics registry (wire counters included) —
+    /// hand it to an [`rbm_im_obs::ObsServer`] for scraping. Outlives the
+    /// serving plane, so it is readable even after shutdown.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Wire frames discarded so far (monotone; folded into
     /// [`ServeReport::frames_dropped`] at shutdown).
     pub fn frames_dropped(&self) -> u64 {
-        self.shared.frames_dropped.load(Ordering::SeqCst)
+        self.shared.drops.breakdown().total()
+    }
+
+    /// Wire frames discarded so far, broken down by failure category
+    /// (folded into [`ServeReport::frames_dropped_by`] at shutdown).
+    pub fn frames_dropped_by(&self) -> FrameDropBreakdown {
+        self.shared.drops.breakdown()
     }
 
     /// Shuts the serving plane and the accept loop down and returns the
@@ -189,7 +301,21 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     loop {
         let flow = match wire::read_frame(&mut reader) {
             Ok(frame) => {
-                match handle_frame(frame, &shared, &mut clients, &mut writer, listener_addr) {
+                // Per-frame-type request latency, gated so the hot path
+                // pays nothing when observability is off. `Subscribe`
+                // deliberately measures the whole pump: its "latency" is
+                // the lifetime of the subscription.
+                let timer = if rbm_im_obs::enabled() {
+                    shared.obs.latency(&frame).map(|h| (Arc::clone(h), Instant::now()))
+                } else {
+                    None
+                };
+                let outcome =
+                    handle_frame(frame, &shared, &mut clients, &mut writer, listener_addr);
+                if let Some((histogram, start)) = timer {
+                    histogram.record(start.elapsed().as_nanos() as u64);
+                }
+                match outcome {
                     Ok(flow) => flow,
                     Err(_) => Flow::Close, // peer gone mid-reply
                 }
@@ -199,7 +325,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             // is dropped and counted; best-effort error reply — a fuzzing
             // peer may have only half-closed its write side — then close.
             Err(e @ WireError::Io(_)) => {
-                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                shared.drops.io.inc();
                 let _ = reply(
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
@@ -209,7 +335,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             // Frame-scoped failures: the frame was consumed whole, so the
             // stream is still in sync — reply and carry on.
             Err(e @ WireError::UnsupportedVersion { .. }) => {
-                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                shared.drops.unsupported_version.inc();
                 match reply(
                     &mut writer,
                     &Frame::Error { code: ErrorCode::UnsupportedVersion, message: e.to_string() },
@@ -219,7 +345,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Err(e @ WireError::UnknownFrameType(_)) => {
-                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                shared.drops.unknown_frame_type.inc();
                 match reply(
                     &mut writer,
                     &Frame::Error { code: ErrorCode::UnknownFrameType, message: e.to_string() },
@@ -229,7 +355,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Err(e @ WireError::Malformed(_)) => {
-                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                shared.drops.malformed.inc();
                 match reply(
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
@@ -241,7 +367,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             // Framing-level failure: the byte stream cannot be
             // resynchronized. Best-effort error reply, then close.
             Err(e @ WireError::TooLarge(_)) => {
-                shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+                shared.drops.oversized.inc();
                 let _ = reply(
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
@@ -350,6 +476,7 @@ fn handle_frame<W: Write>(
                 match client.try_ingest_batch(instances) {
                     Ok(()) => reply(writer, &Frame::Ack)?,
                     Err(rbm_im_serve::IngestError::Full(rejected)) => {
+                        shared.obs.busy.inc();
                         reply(writer, &Frame::Busy { rejected: rejected.len() as u64 })?
                     }
                     Err(rbm_im_serve::IngestError::Closed(_)) => unavailable(writer)?,
@@ -398,6 +525,30 @@ fn handle_frame<W: Write>(
             }
             Ok(Flow::Close)
         }
+        Frame::Metrics => {
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let snapshot = server.metrics().snapshot();
+            drop(guard);
+            reply(writer, &Frame::MetricsData(Box::new(snapshot)))?;
+            Ok(Flow::Continue)
+        }
+        Frame::Health => {
+            let guard = shared.server.lock().expect("server lock poisoned");
+            let Some(server) = guard.as_ref() else {
+                drop(guard);
+                unavailable(writer)?;
+                return Ok(Flow::Continue);
+            };
+            let health = server.health();
+            drop(guard);
+            reply(writer, &Frame::HealthData(Box::new(health)))?;
+            Ok(Flow::Continue)
+        }
         Frame::Subscribe => {
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
@@ -423,8 +574,10 @@ fn handle_frame<W: Write>(
         | Frame::Result(_)
         | Frame::CheckpointData(_)
         | Frame::Report(_)
-        | Frame::Event(_) => {
-            shared.frames_dropped.fetch_add(1, Ordering::SeqCst);
+        | Frame::Event(_)
+        | Frame::MetricsData(_)
+        | Frame::HealthData(_) => {
+            shared.drops.unexpected_reply.inc();
             reply(
                 writer,
                 &Frame::Error {

@@ -28,7 +28,8 @@ use rbm_im_harness::checkpoint::codec::{
     self, read_varint, write_varint, CheckpointCodec, CodecError,
 };
 use rbm_im_harness::pipeline::{RunConfig, RunResult};
-use rbm_im_serve::{ServeEvent, ServeEventKind, ServeReport, StreamCheckpoint};
+use rbm_im_obs::MetricsSnapshot;
+use rbm_im_serve::{HealthSnapshot, ServeEvent, ServeEventKind, ServeReport, StreamCheckpoint};
 use rbm_im_streams::{Instance, StreamSchema};
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -62,6 +63,10 @@ pub const FT_CHECKPOINT: u8 = 0x05;
 pub const FT_SHUTDOWN: u8 = 0x06;
 /// Frame type: [`Frame::Subscribe`].
 pub const FT_SUBSCRIBE: u8 = 0x07;
+/// Frame type: [`Frame::Metrics`].
+pub const FT_METRICS: u8 = 0x08;
+/// Frame type: [`Frame::Health`].
+pub const FT_HEALTH: u8 = 0x09;
 /// Frame type: [`Frame::Ack`].
 pub const FT_ACK: u8 = 0x80;
 /// Frame type: [`Frame::Busy`].
@@ -76,6 +81,10 @@ pub const FT_CHECKPOINT_DATA: u8 = 0x84;
 pub const FT_REPORT: u8 = 0x85;
 /// Frame type: [`Frame::Event`].
 pub const FT_EVENT: u8 = 0x86;
+/// Frame type: [`Frame::MetricsData`].
+pub const FT_METRICS_DATA: u8 = 0x87;
+/// Frame type: [`Frame::HealthData`].
+pub const FT_HEALTH_DATA: u8 = 0x88;
 
 /// Machine-readable category of an [`Frame::Error`] reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +187,12 @@ pub enum Frame {
     /// [`Frame::Ack`] reply the server sends [`Frame::Event`] frames until
     /// shutdown closes the bus.
     Subscribe,
+    /// Request a point-in-time snapshot of the server's metric registry.
+    /// Reply: [`Frame::MetricsData`].
+    Metrics,
+    /// Request a liveness summary (per-shard load, stream counts, latency
+    /// quantiles, last-spill age). Reply: [`Frame::HealthData`].
+    Health,
     /// Success reply carrying no data.
     Ack,
     /// Backpressure reply to a non-blocking [`Frame::Ingest`]: the shard
@@ -202,6 +217,10 @@ pub enum Frame {
     Report(Box<ServeReport>),
     /// One [`ServeEvent`] pushed on a subscribed connection.
     Event(Box<ServeEvent>),
+    /// The server's [`MetricsSnapshot`] (reply to [`Frame::Metrics`]).
+    MetricsData(Box<MetricsSnapshot>),
+    /// The server's [`HealthSnapshot`] (reply to [`Frame::Health`]).
+    HealthData(Box<HealthSnapshot>),
 }
 
 /// Errors of reading or decoding a frame.
@@ -322,6 +341,8 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::Shutdown => out.push(FT_SHUTDOWN),
         Frame::Subscribe => out.push(FT_SUBSCRIBE),
+        Frame::Metrics => out.push(FT_METRICS),
+        Frame::Health => out.push(FT_HEALTH),
         Frame::Ack => out.push(FT_ACK),
         Frame::Busy { rejected } => {
             out.push(FT_BUSY);
@@ -347,6 +368,14 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         Frame::Event(event) => {
             out.push(FT_EVENT);
             put_value(&mut out, &event_to_value(event));
+        }
+        Frame::MetricsData(snapshot) => {
+            out.push(FT_METRICS_DATA);
+            put_value(&mut out, &snapshot.serialize_value());
+        }
+        Frame::HealthData(health) => {
+            out.push(FT_HEALTH_DATA);
+            put_value(&mut out, &health.serialize_value());
         }
     }
     out
@@ -505,6 +534,8 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         FT_CHECKPOINT => Frame::Checkpoint { stream: c.str()? },
         FT_SHUTDOWN => Frame::Shutdown,
         FT_SUBSCRIBE => Frame::Subscribe,
+        FT_METRICS => Frame::Metrics,
+        FT_HEALTH => Frame::Health,
         FT_ACK => Frame::Ack,
         FT_BUSY => Frame::Busy { rejected: c.varint()? },
         FT_ERROR => {
@@ -518,6 +549,14 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         FT_EVENT => {
             let value = codec::decode_to_value(c.rest())?;
             Frame::Event(Box::new(event_from_value(&value)?))
+        }
+        FT_METRICS_DATA => {
+            let value = codec::decode_to_value(c.rest())?;
+            Frame::MetricsData(Box::new(MetricsSnapshot::deserialize_value(&value)?))
+        }
+        FT_HEALTH_DATA => {
+            let value = codec::decode_to_value(c.rest())?;
+            Frame::HealthData(Box::new(HealthSnapshot::deserialize_value(&value)?))
         }
         other => return Err(WireError::UnknownFrameType(other)),
     };
@@ -639,6 +678,7 @@ pub fn event_from_value(value: &Value) -> Result<ServeEvent, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbm_im_serve::ShardHealth;
 
     fn roundtrip(frame: &Frame) -> Frame {
         let bytes = encode_frame(frame);
@@ -756,6 +796,55 @@ mod tests {
                 }
                 other => panic!("wrong frame: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        assert!(matches!(roundtrip(&Frame::Metrics), Frame::Metrics));
+        assert!(matches!(roundtrip(&Frame::Health), Frame::Health));
+
+        let registry = rbm_im_obs::MetricsRegistry::new();
+        registry.counter("rbm_net_busy_total", &[]).add(7);
+        registry.gauge("rbm_serve_queue_depth", &[("shard", "0")]).set(-3);
+        let hist = registry.histogram("rbm_net_request_latency_seconds", &[("frame", "ingest")]);
+        for v in [1u64, 900, 65_536, u64::MAX] {
+            hist.record(v);
+        }
+        let snapshot = registry.snapshot();
+        match roundtrip(&Frame::MetricsData(Box::new(snapshot.clone()))) {
+            Frame::MetricsData(back) => {
+                assert_eq!(back.counter_total("rbm_net_busy_total"), 7);
+                let orig = snapshot.merged_histogram("rbm_net_request_latency_seconds");
+                let dec = back.merged_histogram("rbm_net_request_latency_seconds");
+                assert_eq!(dec.count(), orig.count());
+                assert_eq!(dec.quantile(0.5), orig.quantile(0.5));
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+
+        let health = HealthSnapshot {
+            shards: vec![ShardHealth {
+                shard: 0,
+                streams: 2,
+                queue_depth: 5,
+                queued_instances: 120,
+                processed_instances: 4096,
+            }],
+            streams: 2,
+            ingest_p50_seconds: 0.000_25,
+            ingest_p99_seconds: 0.004,
+            last_spill_age_seconds: -1.0,
+        };
+        match roundtrip(&Frame::HealthData(Box::new(health))) {
+            Frame::HealthData(back) => {
+                assert_eq!(back.shards.len(), 1);
+                assert_eq!(back.shards[0].queued_instances, 120);
+                assert_eq!(back.streams, 2);
+                assert_eq!(back.ingest_p50_seconds, 0.000_25);
+                assert_eq!(back.last_spill_age_seconds, -1.0);
+            }
+            other => panic!("wrong frame: {other:?}"),
         }
     }
 

@@ -6,11 +6,13 @@
 //! The fuzz cases are deterministic (fixed cut points, fixed XOR mask per
 //! byte position) so a failure reproduces byte-for-byte.
 
+use proptest::prelude::*;
 use rbm_im_detectors::{DetectorState, DriftDetector, Observation};
 use rbm_im_harness::pipeline::RunConfig;
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_net::wire::{self, FT_SHUTDOWN};
 use rbm_im_net::{ErrorCode, Frame, NetClient, NetServer, NetServerHandle};
+use rbm_im_obs::MetricsRegistry;
 use rbm_im_serve::{IngestError, ServeConfig};
 use rbm_im_streams::{Instance, StreamSchema};
 use std::io::{BufReader, Read, Write};
@@ -272,6 +274,93 @@ fn truncation_and_byte_flip_fuzz_never_panics_the_worker() {
         report.frames_dropped
     );
     assert_eq!(report.panicked_shards, 0, "no shard worker panicked under fuzz");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A `MetricsData` frame built from an arbitrary registry state — any
+    /// mix of counters, gauges and histogram observations — survives the
+    /// RBMC codec byte-for-byte (decode then re-encode is the identity),
+    /// and every strict truncation of the encoded frame decodes to a clean
+    /// [`WireError`](wire::WireError), never a panic.
+    #[test]
+    fn metrics_frame_roundtrips_and_truncations_fail_clean(
+        counters in prop::collection::vec((0usize..5, 0u64..1 << 48), 0..6),
+        gauges in prop::collection::vec((0usize..4, -1_000_000i64..1_000_000), 0..4),
+        hist_values in prop::collection::vec(0u64..u64::MAX, 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let registry = MetricsRegistry::new();
+        for (name, v) in &counters {
+            registry.counter(&format!("counter_{name}"), &[]).add(*v);
+        }
+        for (name, v) in &gauges {
+            registry.gauge(&format!("gauge_{name}"), &[("shard", "0")]).set(*v);
+        }
+        let hist = registry.histogram("rbm_net_request_latency_seconds", &[("frame", "ingest")]);
+        for &v in &hist_values {
+            hist.record(v);
+        }
+        let frame = Frame::MetricsData(Box::new(registry.snapshot()));
+        let bytes = wire::encode_frame(&frame);
+
+        let mut cursor = &bytes[..];
+        let back = wire::read_frame(&mut cursor).expect("decode full frame");
+        prop_assert!(cursor.is_empty(), "frame fully consumed");
+        prop_assert_eq!(wire::encode_frame(&back), bytes.clone(), "re-encode is the identity");
+
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let mut truncated = &bytes[..cut];
+            prop_assert!(
+                wire::read_frame(&mut truncated).is_err(),
+                "truncation at {cut}/{} must fail clean", bytes.len()
+            );
+        }
+    }
+}
+
+/// A TCP client can fetch a `Metrics` snapshot and a `HealthSnapshot`
+/// mid-run: structural counters (enqueued/processed instances) are always
+/// recorded, so the snapshot is non-trivial even without `RBM_OBS=on`, and
+/// the breakdown counters surface wire drops per category.
+#[test]
+fn metrics_and_health_are_queryable_mid_run() {
+    let server = NetServer::bind("127.0.0.1:0", small_config()).expect("bind");
+    let addr = server.local_addr();
+    let client = NetClient::connect(addr).expect("connect");
+    let feed = client
+        .attach("feed", StreamSchema::new("feed", 2, 2), &DetectorSpec::new("ddm"))
+        .expect("attach");
+    feed.ingest_batch((0..50).map(|i| Instance::with_index(vec![0.3, 0.7], 0, i)).collect())
+        .expect("ingest");
+    client.drain().expect("drain");
+
+    let snapshot = client.metrics().expect("metrics over the wire");
+    assert_eq!(snapshot.counter_total("rbm_serve_processed_instances_total"), 50);
+    assert_eq!(snapshot.counter_total("rbm_net_frames_dropped_total"), 0);
+
+    let health = client.health().expect("health over the wire");
+    assert_eq!(health.streams, 1);
+    assert_eq!(health.shards.len(), 1);
+    assert_eq!(health.shards[0].processed_instances, 50);
+
+    // A dropped frame ticks the right category — visible mid-run in the
+    // next snapshot, and in the final report's breakdown.
+    let mut raw = RawConn::open(addr);
+    let mut unknown = wire::encode_frame(&Frame::Drain);
+    unknown[10] = 0x7f;
+    raw.send(&unknown);
+    raw.expect_error(ErrorCode::UnknownFrameType, "unknown frame type");
+    let snapshot = client.metrics().expect("metrics after drop");
+    assert_eq!(snapshot.counter_total("rbm_net_frames_dropped_total"), 1);
+
+    let report = client.shutdown().expect("shutdown");
+    assert_eq!(report.frames_dropped, 1);
+    assert_eq!(report.frames_dropped_by.unknown_frame_type, 1);
+    assert_eq!(report.frames_dropped_by.total(), 1);
+    server.shutdown();
 }
 
 /// A detector whose `update` blocks on a gate — holds the single shard

@@ -1,0 +1,234 @@
+//! Prometheus-text exposition and the `std::net` scrape listener.
+//!
+//! [`render_prometheus`] turns metric snapshots into text-format 0.0.4
+//! exposition (`# TYPE` per family, cumulative `_bucket{le=…}` /
+//! `_sum` / `_count` for histograms). [`ObsServer`] is a deliberately
+//! minimal HTTP endpoint: any request on the socket gets a `200 OK`
+//! `text/plain` exposition and the connection is closed — enough for a
+//! Prometheus scrape job or `curl`, with no routing, TLS, or keep-alive.
+//!
+//! Duration histograms follow the naming convention established in
+//! [`crate::registry`]: families suffixed `_seconds` record integer
+//! nanoseconds and are divided by 1e9 here, so the wire/Value layer stays
+//! exact-integer while scrapes read SI seconds.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::registry::{MetricId, MetricsRegistry, MetricsSnapshot};
+
+/// Formats a sample value. Prometheus text values must parse as Go floats
+/// and must never leak `NaN` into dashboards; non-finite inputs render as
+/// 0 (they can only arise from a corrupted snapshot).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_type_header(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+fn render_histogram(out: &mut String, id: &MetricId, snap: &HistogramSnapshot) {
+    // `_seconds` families are recorded in nanoseconds (see crate docs).
+    let scale = if id.name.ends_with("_seconds") { 1e-9 } else { 1.0 };
+    let mut label_parts: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    let mut cumulative = 0u64;
+    for (i, &count) in snap.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let le = bucket_upper_bound(i) as f64 * scale;
+        label_parts.push(format!("le=\"{}\"", fmt_value(le)));
+        out.push_str(&format!("{}_bucket{{{}}} {}\n", id.name, label_parts.join(","), cumulative));
+        label_parts.pop();
+    }
+    label_parts.push("le=\"+Inf\"".to_string());
+    out.push_str(&format!("{}_bucket{{{}}} {}\n", id.name, label_parts.join(","), cumulative));
+    label_parts.pop();
+    let suffix = id.label_suffix();
+    out.push_str(&format!("{}_sum{} {}\n", id.name, suffix, fmt_value(snap.sum as f64 * scale)));
+    out.push_str(&format!("{}_count{} {}\n", id.name, suffix, cumulative));
+}
+
+/// Renders one merged snapshot in Prometheus text format. Families are
+/// emitted in sorted order with a single `# TYPE` line each.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (id, v) in &snapshot.counters {
+        write_type_header(&mut out, &mut last, &id.name, "counter");
+        out.push_str(&format!("{}{} {}\n", id.name, id.label_suffix(), v));
+    }
+    last.clear();
+    for (id, v) in &snapshot.gauges {
+        write_type_header(&mut out, &mut last, &id.name, "gauge");
+        out.push_str(&format!("{}{} {}\n", id.name, id.label_suffix(), v));
+    }
+    last.clear();
+    for (id, h) in &snapshot.histograms {
+        write_type_header(&mut out, &mut last, &id.name, "histogram");
+        render_histogram(&mut out, id, h);
+    }
+    out
+}
+
+/// Snapshots every source registry, merges, and renders the exposition —
+/// the body served by [`ObsServer`], also directly callable from tests.
+pub fn scrape_text(sources: &[Arc<MetricsRegistry>]) -> String {
+    let mut merged = MetricsSnapshot::default();
+    for source in sources {
+        merged.merge(&source.snapshot());
+    }
+    render_prometheus(&merged)
+}
+
+/// Minimal Prometheus scrape listener over plain `std::net`.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use rbm_im_obs::{MetricsRegistry, ObsServer};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// let obs = ObsServer::serve("127.0.0.1:0", vec![Arc::clone(&registry)]).unwrap();
+/// println!("scrape me at http://{}/metrics", obs.local_addr());
+/// // … run the workload …
+/// obs.shutdown();
+/// ```
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves the
+    /// exposition for `sources` until [`ObsServer::shutdown`].
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        sources: Vec<Arc<MetricsRegistry>>,
+    ) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("obs-scrape".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                // Scrapes are tiny and rare; serving them inline keeps the
+                // listener single-threaded and failure-contained.
+                let _ = serve_one(stream, &sources);
+            }
+        })?;
+        Ok(ObsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads (and discards) the request head, then writes the exposition.
+fn serve_one(mut stream: TcpStream, sources: &[Arc<MetricsRegistry>]) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = [0u8; 4096];
+    let mut filled = 0usize;
+    // Read until the blank line ending the request head, EOF, cap, or
+    // timeout — whatever arrives first; the reply ignores the request.
+    while filled < head.len() {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if head[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = scrape_text(sources);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("shard", "0")]).add(5);
+        reg.gauge("b_depth", &[]).set(-3);
+        let h = reg.histogram("c_seconds", &[("shard", "1")]);
+        h.record(1_000_000); // 1 ms
+        let text = scrape_text(&[Arc::new(reg)]);
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{shard=\"0\"} 5"));
+        assert!(text.contains("# TYPE b_depth gauge"));
+        assert!(text.contains("b_depth -3"));
+        assert!(text.contains("# TYPE c_seconds histogram"));
+        assert!(text.contains("c_seconds_bucket{shard=\"1\",le=\"+Inf\"} 1"));
+        assert!(text.contains("c_seconds_count{shard=\"1\"} 1"));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn fmt_value_never_emits_non_finite() {
+        assert_eq!(fmt_value(f64::NAN), "0");
+        assert_eq!(fmt_value(f64::INFINITY), "0");
+        assert_eq!(fmt_value(2.0), "2");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+}

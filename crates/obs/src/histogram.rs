@@ -1,0 +1,283 @@
+//! Fixed-bucket log-linear histogram for latency and size distributions.
+//!
+//! The bucket layout is HDR-style log-linear: each power-of-two octave is
+//! split into 4 linear sub-buckets, so the relative quantile error is
+//! bounded at 25% (one sub-bucket width) across the full `u64` range while
+//! the whole histogram stays a fixed 252-slot array of `AtomicU64` —
+//! about 2 KiB, no allocation after construction, and [`Histogram::record`]
+//! is a pair of wait-free `fetch_add`s. Durations are recorded as integer
+//! nanoseconds; the exposition layer converts `_seconds`-suffixed metrics
+//! back to seconds at render time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Value;
+
+/// Number of log-linear buckets: values 0–3 map to 4 exact unit buckets,
+/// octaves 2–63 contribute 4 sub-buckets each (`4 + 62 * 4 = 252`).
+pub const NUM_BUCKETS: usize = 252;
+
+/// Returns the bucket index for a recorded value. Total over `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        // Octave is the MSB position (>= 2 here); the next two bits select
+        // the linear sub-bucket, giving `base & 3` in `0..4`.
+        let octave = 63 - v.leading_zeros() as usize;
+        let base = (v >> (octave - 2)) as usize;
+        (octave - 1) * 4 + (base & 3)
+    }
+}
+
+/// Largest value that maps to bucket `index` — the Prometheus `le` bound.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    debug_assert!(index < NUM_BUCKETS);
+    if index < 4 {
+        index as u64
+    } else {
+        let octave = index / 4 + 1;
+        let sub = (index % 4) as u128;
+        // The very top bucket's exclusive bound is 2^64, which overflows
+        // u64 — compute in u128 and clamp.
+        let bound = ((5 + sub) << (octave - 2)) - 1;
+        bound.min(u64::MAX as u128) as u64
+    }
+}
+
+/// Lock-free log-linear histogram. `record` is wait-free and performs no
+/// heap allocation; snapshots are taken with relaxed loads (each bucket is
+/// individually consistent; the total may lag concurrent writers by a few
+/// in-flight samples, which is fine for telemetry).
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Records one observation. Wait-free, allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Copies the current bucket contents into an owned snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned point-in-time copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `NUM_BUCKETS` entries (see [`bucket_index`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded raw values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; NUM_BUCKETS], sum: 0 }
+    }
+
+    /// Total observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot bucket-wise (e.g. to aggregate shards).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Estimated value at quantile `q` (clamped to `[0, 1]`): the upper
+    /// bound of the bucket containing the target rank, i.e. an estimate
+    /// with at most one sub-bucket (≤ 25%) of relative overshoot. Returns
+    /// 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Mean of the recorded raw values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Serializes to a compact value tree: non-zero buckets as
+    /// `[index, count]` pairs (the array is mostly zeros) and the raw sum
+    /// as a hex string so full 64-bit nanosecond totals round-trip exactly.
+    pub fn to_value(&self) -> Value {
+        let sparse: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| Value::Array(vec![Value::Number(i as f64), Value::Number(c as f64)]))
+            .collect();
+        Value::object(vec![
+            ("sum", Value::from_u64_hex(self.sum)),
+            ("buckets", Value::Array(sparse)),
+        ])
+    }
+
+    /// Inverse of [`HistogramSnapshot::to_value`].
+    pub fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let sum = value.req("sum")?.as_u64_hex()?;
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let Value::Array(entries) = value.req("buckets")? else {
+            return Err(serde::Error::msg("histogram buckets: expected array"));
+        };
+        for entry in entries {
+            let Value::Array(pair) = entry else {
+                return Err(serde::Error::msg("histogram bucket entry: expected [index, count]"));
+            };
+            if pair.len() != 2 {
+                return Err(serde::Error::msg("histogram bucket entry: expected [index, count]"));
+            }
+            let index: usize = serde::Deserialize::deserialize_value(&pair[0])?;
+            let count: u64 = serde::Deserialize::deserialize_value(&pair[1])?;
+            if index >= NUM_BUCKETS {
+                return Err(serde::Error::msg(format!(
+                    "histogram bucket index {index} out of range"
+                )));
+            }
+            buckets[index] = count;
+        }
+        Ok(HistogramSnapshot { buckets, sum })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_total_and_monotone() {
+        let mut last = 0usize;
+        for v in 0u64..4096 {
+            let i = bucket_index(v);
+            assert!(i >= last, "bucket index must be monotone at v={v}");
+            assert!(i < NUM_BUCKETS);
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 3, 4, 7, 8, 9, 100, 1_000, 123_456, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} below previous bucket bound");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_buckets_below_four() {
+        for v in 0u64..4 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        let p50 = snap.quantile(0.5);
+        let p99 = snap.quantile(0.99);
+        // Log-linear buckets overshoot by at most one sub-bucket (25%).
+        assert!((500..=640).contains(&p50), "p50={p50}");
+        assert!((990..=1280).contains(&p99), "p99={p99}");
+        assert!(snap.quantile(0.0) >= 1);
+        assert_eq!(snap.quantile(1.0), snap.quantile(0.9999));
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_quantile_is_zero() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0);
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_bucket_wise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 7);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.sum, a.snapshot().sum + b.snapshot().sum);
+    }
+
+    #[test]
+    fn snapshot_value_round_trip() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 123_456, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let restored = HistogramSnapshot::from_value(&snap.to_value()).unwrap();
+        assert_eq!(snap, restored);
+    }
+}

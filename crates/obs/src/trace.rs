@@ -1,0 +1,159 @@
+//! Structured span tracing: ring-buffered begin/end records with
+//! monotonic timestamps, drained to JSONL by whoever owns the sink.
+//!
+//! The tracer is for *slow-path* operations — checkpoint spills, resize
+//! migrations, park/replay phases — so it favours simplicity over
+//! lock-freedom: a mutexed ring of owned records, bounded by capacity
+//! (oldest spans drop first). Timestamps are nanoseconds since the
+//! tracer's construction, from `Instant` (monotonic, never wall-clock),
+//! so traces from one process order totally and are immune to clock
+//! steps.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Value;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (`"spill"`, `"resize.park"`, …).
+    pub span: String,
+    /// Free-form detail (stream id, shard index, …); empty when n/a.
+    pub detail: String,
+    /// Start offset in nanoseconds since tracer construction.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl TraceEvent {
+    /// Renders the span as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let value = Value::object(vec![
+            ("span", Value::String(self.span.clone())),
+            ("detail", Value::String(self.detail.clone())),
+            ("start_ns", Value::from_u64_hex(self.start_ns)),
+            ("dur_ns", Value::from_u64_hex(self.dur_ns)),
+        ]);
+        serde_json::to_string(&value).expect("trace event serialization is infallible")
+    }
+}
+
+/// Bounded ring buffer of completed spans.
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` undrained spans.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+        }
+    }
+
+    /// Nanoseconds since tracer construction (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Begins a span; finish it with [`SpanTimer::finish`].
+    pub fn span(&self, span: &str, detail: &str) -> SpanTimer<'_> {
+        SpanTimer {
+            tracer: self,
+            span: span.to_string(),
+            detail: detail.to_string(),
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Records an already-timed span.
+    pub fn record(&self, span: &str, detail: &str, start_ns: u64, dur_ns: u64) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TraceEvent {
+            span: span.to_string(),
+            detail: detail.to_string(),
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// Takes every buffered span, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of buffered (undrained) spans.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-flight span handle returned by [`Tracer::span`].
+#[must_use = "call finish() to record the span"]
+pub struct SpanTimer<'t> {
+    tracer: &'t Tracer,
+    span: String,
+    detail: String,
+    start_ns: u64,
+}
+
+impl SpanTimer<'_> {
+    /// Ends the span and records it in the ring.
+    pub fn finish(self) {
+        let dur = self.tracer.now_ns().saturating_sub(self.start_ns);
+        self.tracer.record(&self.span, &self.detail, self.start_ns, dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_drain_in_order() {
+        let tracer = Tracer::new(8);
+        tracer.span("first", "a").finish();
+        tracer.span("second", "").finish();
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].span, "first");
+        assert_eq!(events[1].span, "second");
+        assert!(events[0].start_ns <= events[1].start_ns);
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let tracer = Tracer::new(2);
+        tracer.record("a", "", 0, 1);
+        tracer.record("b", "", 1, 1);
+        tracer.record("c", "", 2, 1);
+        let spans: Vec<String> = tracer.drain().into_iter().map(|e| e.span).collect();
+        assert_eq!(spans, ["b", "c"]);
+    }
+
+    #[test]
+    fn jsonl_line_parses_back() {
+        let event =
+            TraceEvent { span: "spill".into(), detail: "s-1".into(), start_ns: 5, dur_ns: 9 };
+        let line = event.to_jsonl();
+        let value = serde_json::parse_value(&line).unwrap();
+        assert_eq!(value.req("span").unwrap(), &Value::String("spill".into()));
+        assert_eq!(value.req("dur_ns").unwrap().as_u64_hex().unwrap(), 9);
+    }
+}

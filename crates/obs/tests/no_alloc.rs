@@ -1,0 +1,91 @@
+//! Enforces the hot-path contract: once instruments are registered,
+//! `Counter::inc`/`add`, `Gauge::set`/`add`, and `Histogram::record`
+//! perform **zero** heap allocations. Same counting-allocator harness as
+//! `crates/rbm/tests/no_alloc.rs`; one test per file so no concurrent
+//! test pollutes the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rbm_im_obs::MetricsRegistry;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the test thread's allocations are counted while this is set —
+    /// libtest's harness threads allocate concurrently and must not
+    /// pollute the measurement.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    if COUNTING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_here();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn recording_does_not_allocate() {
+    // Registration is the cold path and may allocate freely.
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("rbm_test_ops_total", &[("shard", "0")]);
+    let gauge = registry.gauge("rbm_test_depth", &[("shard", "0")]);
+    let histogram = registry.histogram("rbm_test_latency_seconds", &[("shard", "0")]);
+
+    // Warm-up (nothing to grow, but mirror the rbm harness shape).
+    for v in 0..16u64 {
+        counter.inc();
+        gauge.set(v as i64);
+        histogram.record(v * 1_000);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(true));
+    for v in 0..10_000u64 {
+        counter.inc();
+        counter.add(3);
+        gauge.add(1);
+        gauge.set(-(v as i64));
+        // Sweep the full bucket range, including the top octave.
+        histogram.record(v);
+        histogram.record(v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    COUNTING.with(|flag| flag.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "metric recording must not touch the allocator ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(counter.get(), 16 + 10_000 * 4);
+    assert_eq!(histogram.snapshot().count(), 16 + 20_000);
+}

@@ -1,0 +1,115 @@
+//! End-to-end scrape: an [`ObsServer`] bound on loopback answers a plain
+//! HTTP GET with Prometheus-text exposition that parses line-by-line —
+//! every line is either a `# TYPE` header or a well-formed sample with a
+//! finite value — and histogram `_bucket` series are cumulative.
+
+use rbm_im_obs::{MetricsRegistry, ObsServer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A metric (or sample) name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (name, labels, value), asserting shape.
+fn parse_sample(line: &str) -> (String, String, f64) {
+    let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line:?}"));
+    let value: f64 = value.parse().unwrap_or_else(|_| panic!("unparsable value: {line:?}"));
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest.strip_suffix('}').unwrap_or_else(|| panic!("unclosed {{: {line:?}"));
+            (name, labels)
+        }
+        None => (series, ""),
+    };
+    assert!(is_valid_name(name), "bad metric name in {line:?}");
+    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or_else(|| panic!("bad label pair: {line:?}"));
+        assert!(is_valid_name(k), "bad label name in {line:?}");
+        assert!(v.starts_with('"') && v.ends_with('"'), "unquoted label value in {line:?}");
+    }
+    (name.to_string(), labels.to_string(), value)
+}
+
+#[test]
+fn scrape_parses_line_by_line_with_no_nan_leakage() {
+    let registry = Arc::new(MetricsRegistry::new());
+    for shard in 0..3 {
+        let s = shard.to_string();
+        registry.counter("rbm_serve_processed_instances_total", &[("shard", &s)]).add(100 + shard);
+        registry.gauge("rbm_serve_queue_depth", &[("shard", &s)]).set(shard as i64 - 1);
+        let hist = registry.histogram("rbm_serve_ingest_latency_seconds", &[("shard", &s)]);
+        for v in [900u64, 25_000, 1_000_000, 40_000_000, u64::MAX] {
+            hist.record(v);
+        }
+    }
+    // An empty histogram must expose only the +Inf bucket with 0, never NaN.
+    registry.histogram("rbm_net_request_latency_seconds", &[("frame", "drain")]);
+
+    let obs = ObsServer::serve("127.0.0.1:0", vec![Arc::clone(&registry)]).expect("bind scrape");
+    let mut conn = TcpStream::connect(obs.local_addr()).expect("connect scrape");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).expect("set timeout");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    obs.shutdown();
+
+    let (head, body) =
+        response.split_once("\r\n\r\n").expect("HTTP response has a head/body separator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "status line: {head:?}");
+    assert!(head.contains("text/plain"), "content type: {head:?}");
+
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut bucket_cumulative: HashMap<String, u64> = HashMap::new();
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("# TYPE ") {
+            let mut parts = header.split_whitespace();
+            let name = parts.next().expect("TYPE header has a name");
+            let kind = parts.next().expect("TYPE header has a kind");
+            assert!(is_valid_name(name), "bad family name in {line:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown family kind in {line:?}"
+            );
+            typed.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only TYPE comments are emitted: {line:?}");
+        let (name, labels, value) = parse_sample(line);
+        assert!(value.is_finite(), "non-finite value leaked: {line:?}");
+        samples += 1;
+        // Every sample belongs to a declared family (histogram samples via
+        // their _bucket/_sum/_count suffix).
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s))
+            .filter(|f| typed.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&name);
+        assert!(typed.contains_key(family), "sample {name} has no # TYPE header");
+        // Cumulative bucket counts never decrease within one series.
+        if name.ends_with("_bucket") {
+            let series =
+                labels.split(',').filter(|p| !p.starts_with("le=")).collect::<Vec<_>>().join(",");
+            let prev = bucket_cumulative.entry(format!("{name}{{{series}}}")).or_insert(0);
+            assert!(value as u64 >= *prev, "bucket counts must be cumulative: {line:?}");
+            *prev = value as u64;
+        }
+    }
+    assert!(samples > 0, "exposition must not be empty");
+    assert!(body.contains("rbm_serve_ingest_latency_seconds_bucket{shard=\"0\",le=\"+Inf\"} 5"));
+    assert!(body.contains("rbm_net_request_latency_seconds_bucket{frame=\"drain\",le=\"+Inf\"} 0"));
+    assert!(!body.contains("NaN") && !body.contains("inf"), "no non-finite text anywhere");
+}

@@ -244,13 +244,54 @@ pub struct KernelPolicy {
     /// of `f64::exp`, trading bitwise identity for a ≤ 1e-9 absolute
     /// tolerance (proptest-bounded) and a vectorizable inner loop.
     pub fast_math: bool,
+    /// Opt-in kernel timing: each policy-dispatched kernel records its
+    /// wall-clock duration into the process-global metrics registry
+    /// ([`rbm_im_obs::global`]) as `rbm_kernel_seconds{kernel}`. Off by
+    /// default and additionally gated on [`rbm_im_obs::enabled`]; timing
+    /// observes, never changes, kernel results.
+    pub timing: bool,
 }
 
 impl KernelPolicy {
     /// The baseline policy: sequential, exact. Bitwise-identical to calling
     /// the plain kernels.
-    pub const EXACT_SEQUENTIAL: KernelPolicy =
-        KernelPolicy { parallel: ParallelMode::Off, max_threads: 0, fast_math: false };
+    pub const EXACT_SEQUENTIAL: KernelPolicy = KernelPolicy {
+        parallel: ParallelMode::Off,
+        max_threads: 0,
+        fast_math: false,
+        timing: false,
+    };
+}
+
+/// Drop-guard of the opt-in kernel timing: armed only when the policy asks
+/// for timing *and* observability is globally enabled, it records the
+/// elapsed nanoseconds into `rbm_kernel_seconds{kernel}` in the global
+/// registry on drop (covering every early-return path of a kernel).
+struct KernelTimer {
+    kernel: &'static str,
+    start: Option<std::time::Instant>,
+}
+
+impl KernelTimer {
+    #[inline]
+    fn start(policy: &KernelPolicy, kernel: &'static str) -> KernelTimer {
+        let start = if policy.timing && rbm_im_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        KernelTimer { kernel, start }
+    }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            rbm_im_obs::global()
+                .histogram("rbm_kernel_seconds", &[("kernel", self.kernel)])
+                .record(start.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// Minimum per-kernel work (inner-loop multiply-adds) before `Auto` engages
@@ -408,6 +449,7 @@ pub fn gemm_acc_with(policy: &KernelPolicy, c: &mut DenseMatrix, a: &DenseMatrix
     assert_eq!(a.cols, b.rows, "gemm inner dimensions must agree");
     assert_eq!(c.rows, a.rows, "gemm output rows must match a");
     assert_eq!(c.cols, b.cols, "gemm output cols must match b");
+    let _timer = KernelTimer::start(policy, "gemm");
     let (m, n, k) = (c.rows, c.cols, a.cols);
     let workers = plan_workers(policy, m, m * n * k);
     if workers <= 1 {
@@ -530,6 +572,7 @@ pub fn gemm2_acc_with(
     assert_eq!(c.rows, a2.rows, "gemm2 output rows must match a2");
     assert_eq!(c.cols, b1.cols, "gemm2 output cols must match b1");
     assert_eq!(c.cols, b2.cols, "gemm2 output cols must match b2");
+    let _timer = KernelTimer::start(policy, "gemm2");
     let (m, n) = (c.rows, c.cols);
     let (k1, k2) = (a1.cols, a2.cols);
     let workers = plan_workers(policy, m, m * n * (k1 + k2));
@@ -701,6 +744,7 @@ pub fn sigmoid_in_place_fast(x: &mut [f64]) {
 /// element is independent, so any split is bitwise-safe *within* a math
 /// mode).
 pub fn sigmoid_matrix_with(policy: &KernelPolicy, m: &mut DenseMatrix) {
+    let _timer = KernelTimer::start(policy, "sigmoid");
     let total = m.data.len();
     // Unit of work per element is several mul/adds (polynomial) or a libm
     // call; weight it so Auto engages at realistic activation sizes.
@@ -801,6 +845,7 @@ pub fn cdk_weight_gradient_with(
     assert_eq!(hk.cols, batch, "hk batch mismatch");
     assert_eq!(d.rows, x0.rows, "gradient rows must match x height");
     assert_eq!(d.cols, h0.rows, "gradient cols must match h height");
+    let _timer = KernelTimer::start(policy, "cdk_weight_grad");
     let (v, h) = (d.rows, d.cols);
     let workers = plan_workers(policy, v, v * h * batch * 2);
     if workers <= 1 {
@@ -924,6 +969,7 @@ pub fn cdk_bias_gradient_with(
     assert_eq!(x0.cols, batch, "x0 batch mismatch");
     assert_eq!(xk.cols, batch, "xk batch mismatch");
     assert_eq!(d.len(), x0.rows, "bias gradient length mismatch");
+    let _timer = KernelTimer::start(policy, "cdk_bias_grad");
     let rows = d.len();
     let workers = plan_workers(policy, rows, rows * batch);
     if workers <= 1 {
@@ -1001,6 +1047,7 @@ pub fn softmax_cols_in_place(m: &mut DenseMatrix) {
 /// one worker in the exact sequential op order, so the split is
 /// bitwise-safe within a math mode.
 pub fn softmax_cols_in_place_with(policy: &KernelPolicy, m: &mut DenseMatrix) {
+    let _timer = KernelTimer::start(policy, "softmax");
     let (z, n) = (m.rows, m.cols);
     if z == 0 {
         return;
@@ -1223,7 +1270,33 @@ mod tests {
     /// A policy that forces the parallel path (no size threshold) with a
     /// given thread cap.
     fn par(max_threads: usize) -> KernelPolicy {
-        KernelPolicy { parallel: ParallelMode::On, max_threads, fast_math: false }
+        KernelPolicy { parallel: ParallelMode::On, max_threads, fast_math: false, timing: false }
+    }
+
+    #[test]
+    fn kernel_timing_records_without_perturbing_results() {
+        let mk = |seed: usize, rows: usize, cols: usize| {
+            DenseMatrix::from_fn(rows, cols, |r, c| {
+                ((r * 13 + c * 29 + seed * 5) % 97) as f64 * 0.041 - 1.9
+            })
+        };
+        let a = mk(1, 7, 5);
+        let b = mk(2, 5, 11);
+        let mut plain = mk(3, 7, 11);
+        let mut timed = plain.clone();
+        gemm_acc_with(&KernelPolicy::EXACT_SEQUENTIAL, &mut plain, &a, &b);
+
+        rbm_im_obs::force_enabled(true);
+        let policy = KernelPolicy { timing: true, ..KernelPolicy::EXACT_SEQUENTIAL };
+        let before = rbm_im_obs::global().snapshot().merged_histogram("rbm_kernel_seconds").count();
+        gemm_acc_with(&policy, &mut timed, &a, &b);
+        sigmoid_matrix_with(&policy, &mut timed);
+        let after = rbm_im_obs::global().snapshot().merged_histogram("rbm_kernel_seconds").count();
+        rbm_im_obs::force_enabled(false);
+
+        assert_eq!(after - before, 2, "one observation per timed kernel call");
+        sigmoid_matrix_with(&KernelPolicy::EXACT_SEQUENTIAL, &mut plain);
+        assert_eq!(plain.data, timed.data, "timing must never perturb kernel results");
     }
 
     #[test]

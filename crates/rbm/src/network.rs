@@ -78,6 +78,12 @@ pub struct RbmNetworkConfig {
     /// the exact path, so this **does** leave the bitwise contract —
     /// deliberately, and only when asked for.
     pub fast_math: bool,
+    /// Opt-in CD-k kernel timing: the policy-dispatched kernels record
+    /// their durations into the global metrics registry as
+    /// `rbm_kernel_seconds{kernel}` (see [`KernelPolicy::timing`]). Pure
+    /// observation — never changes results — but it pays a clock read and
+    /// a histogram update per kernel call, so it stays off by default.
+    pub kernel_timing: bool,
 }
 
 impl Default for RbmNetworkConfig {
@@ -94,6 +100,7 @@ impl Default for RbmNetworkConfig {
             parallel: ParallelMode::from_env(),
             max_threads: 0,
             fast_math: false,
+            kernel_timing: false,
         }
     }
 }
@@ -551,6 +558,7 @@ impl RbmNetwork {
             parallel: self.config.parallel,
             max_threads: self.config.max_threads,
             fast_math: self.config.fast_math,
+            timing: self.config.kernel_timing,
         }
     }
 

@@ -103,8 +103,9 @@ pub use config::ServeConfig;
 pub use event::{EventBus, ServeEvent, ServeEventKind};
 pub use router::StreamRouter;
 pub use server::{
-    deterministic_spec, IngestError, MigratedStream, ResizeReport, ServeError, ServeReport,
-    ServerHandle, ShardLoad, StreamCheckpoint, StreamClient, StreamSummary,
+    deterministic_spec, FrameDropBreakdown, HealthSnapshot, IngestError, MigratedStream,
+    ResizeReport, ServeError, ServeReport, ServerHandle, ShardHealth, ShardLoad, StreamCheckpoint,
+    StreamClient, StreamSummary,
 };
 pub use sink::{MetricRetention, SnapshotSink};
 pub use supervisor::{

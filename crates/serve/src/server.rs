@@ -20,14 +20,17 @@ use crate::shard::{
 use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{PipelineError, RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec, RegistryError};
+use rbm_im_obs::{MetricsRegistry, Tracer};
 use rbm_im_streams::source::derive_stream_seed;
 use rbm_im_streams::{Instance, StreamSchema};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Errors of serving control operations (attach / detach / resize /
 /// checkpoint / blocking ingest).
@@ -172,6 +175,10 @@ pub struct ServeReport {
     /// in here at shutdown so wire-level drops are visible in the final
     /// report alongside [`ServeReport::dropped_unknown`].
     pub frames_dropped: u64,
+    /// Per-category breakdown of [`ServeReport::frames_dropped`], so
+    /// protocol-defect triage does not stop at a single opaque total. The
+    /// categories sum to `frames_dropped`.
+    pub frames_dropped_by: FrameDropBreakdown,
     /// Workspace-pool checkouts served by reuse across all shards
     /// (including shards retired by resizes).
     pub workspace_reuse_hits: u64,
@@ -195,6 +202,74 @@ impl ServeReport {
     pub fn total_drifts(&self) -> usize {
         self.streams.iter().map(|s| s.result.detections.len()).sum()
     }
+}
+
+/// Per-category tallies of wire frames a network front-end dropped before
+/// they reached a shard. Mirrors `rbm-im-net`'s connection counters and
+/// the `rbm_net_frames_dropped_total{kind}` metric family; the categories
+/// sum to [`ServeReport::frames_dropped`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameDropBreakdown {
+    /// Frames with unparseable framing or bad magic.
+    pub malformed: u64,
+    /// Frames carrying an unsupported protocol version.
+    pub unsupported_version: u64,
+    /// Frames with an unknown frame-type byte.
+    pub unknown_frame_type: u64,
+    /// Frames whose declared length exceeded the per-frame cap.
+    pub oversized: u64,
+    /// Frames lost to connection I/O errors mid-read.
+    pub io: u64,
+    /// Reply-typed frames received where a request was expected.
+    pub unexpected_reply: u64,
+}
+
+impl FrameDropBreakdown {
+    /// Sum across all categories — equals the flat `frames_dropped` total.
+    pub fn total(&self) -> u64 {
+        self.malformed
+            + self.unsupported_version
+            + self.unknown_frame_type
+            + self.oversized
+            + self.io
+            + self.unexpected_reply
+    }
+}
+
+/// One shard's row in a [`HealthSnapshot`]: stream population plus the
+/// same gauge readings as [`ShardLoad`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard slot index.
+    pub shard: usize,
+    /// Streams currently attached to this shard.
+    pub streams: usize,
+    /// Ingest messages enqueued but not yet processed.
+    pub queue_depth: u64,
+    /// Instances inside those unprocessed messages.
+    pub queued_instances: u64,
+    /// Lifetime instances fully processed by this shard slot.
+    pub processed_instances: u64,
+}
+
+/// Liveness-oriented summary of a running server, built by
+/// [`ServerHandle::health`] and exposed over the wire as the `Health`
+/// frame: per-shard load and stream counts, fleet-wide ingest latency
+/// quantiles, and the age of the most recent checkpoint spill.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Per-shard rows, by slot index.
+    pub shards: Vec<ShardHealth>,
+    /// Total attached streams across all shards.
+    pub streams: usize,
+    /// Median per-message ingest latency in seconds, merged across shards
+    /// (0 when timing instrumentation is off or nothing was recorded).
+    pub ingest_p50_seconds: f64,
+    /// 99th-percentile per-message ingest latency in seconds.
+    pub ingest_p99_seconds: f64,
+    /// Seconds since the last checkpoint spill acknowledged via the
+    /// supervisor, or `-1` when no spill has happened yet.
+    pub last_spill_age_seconds: f64,
 }
 
 /// Applies deterministic per-stream seeding to an attach spec: when the
@@ -259,6 +334,18 @@ struct ServerInner {
     /// The live topology. Ingest takes a read lock for the duration of one
     /// channel send; resizes take the write lock only for the atomic swap.
     topology: RwLock<Topology>,
+    /// This server's metric instruments (shard gauges, latency histograms,
+    /// resize/spill timings). Per-server rather than process-global so
+    /// concurrent servers in one process never share counters.
+    metrics: Arc<MetricsRegistry>,
+    /// Ring buffer of slow-path spans (resize phases, spills), drained to
+    /// JSONL by the supervisor's sink.
+    tracer: Arc<Tracer>,
+    /// Monotonic reference point for `last_spill_ns`.
+    epoch: Instant,
+    /// Nanoseconds since `epoch` of the most recent checkpoint spill;
+    /// `u64::MAX` until the first spill.
+    last_spill_ns: AtomicU64,
 }
 
 impl ServerInner {
@@ -464,10 +551,12 @@ impl ServerHandle {
         assert!(config.num_shards >= 1, "a server needs at least one shard");
         assert!(config.queue_capacity >= 1, "ingest queues need capacity");
         let bus = Arc::new(EventBus::new());
+        let metrics = Arc::new(MetricsRegistry::new());
         let mut shards = Vec::with_capacity(config.num_shards);
         let mut joins = HashMap::with_capacity(config.num_shards);
         for index in 0..config.num_shards {
-            let (link, join) = spawn_worker(index, &registry, &bus, config.queue_capacity);
+            let (link, join) =
+                spawn_worker(index, &registry, &bus, &metrics, config.queue_capacity);
             shards.push(link);
             joins.insert(index, join);
         }
@@ -479,6 +568,10 @@ impl ServerHandle {
                 router: StreamRouter::new(config.num_shards),
                 shards,
             }),
+            metrics,
+            tracer: Arc::new(Tracer::new(4096)),
+            epoch: Instant::now(),
+            last_spill_ns: AtomicU64::new(u64::MAX),
         });
         ServerHandle {
             inner,
@@ -505,17 +598,16 @@ impl ServerHandle {
     /// tick). Readings are monotone-counter differences, not a consistent
     /// cross-shard snapshot.
     pub fn shard_loads(&self) -> Vec<ShardLoad> {
-        use std::sync::atomic::Ordering;
         let topology = self.inner.topology.read().expect("topology lock poisoned");
         topology
             .shards
             .iter()
             .enumerate()
             .map(|(shard, link)| {
-                let enq_m = link.gauge.enqueued_messages.load(Ordering::Relaxed);
-                let pro_m = link.gauge.processed_messages.load(Ordering::Relaxed);
-                let enq_i = link.gauge.enqueued_instances.load(Ordering::Relaxed);
-                let pro_i = link.gauge.processed_instances.load(Ordering::Relaxed);
+                let enq_m = link.gauge.enqueued_messages.get();
+                let pro_m = link.gauge.processed_messages.get();
+                let enq_i = link.gauge.enqueued_instances.get();
+                let pro_i = link.gauge.processed_instances.get();
                 ShardLoad {
                     shard,
                     queue_depth: enq_m.saturating_sub(pro_m),
@@ -524,6 +616,76 @@ impl ServerHandle {
                 }
             })
             .collect()
+    }
+
+    /// The server's metrics registry: every shard gauge, latency
+    /// histogram, and resize/spill timing registers here. Hand it to an
+    /// [`ObsServer`](rbm_im_obs::ObsServer) for Prometheus scraping, or
+    /// snapshot it directly.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The server's span tracer (resize phases, checkpoint spills). The
+    /// supervisor drains it to a JSONL trace sink each tick.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.inner.tracer)
+    }
+
+    /// Marks a checkpoint spill as having just completed (feeds the
+    /// last-spill age in [`ServerHandle::health`]).
+    pub(crate) fn note_spill(&self) {
+        let now = self.inner.epoch.elapsed().as_nanos() as u64;
+        self.inner.last_spill_ns.store(now, Ordering::Relaxed);
+    }
+
+    /// A liveness summary of the running server: per-shard stream counts
+    /// and load gauges, fleet-wide ingest latency quantiles, and the age
+    /// of the most recent checkpoint spill. Takes the control lock (the
+    /// per-shard stream counts are an inventory barrier), so it cannot
+    /// race a resize — poll it from a health endpoint, not a hot loop.
+    pub fn health(&self) -> HealthSnapshot {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let links: Vec<ShardLink> =
+            self.inner.topology.read().expect("topology lock poisoned").shards.clone();
+        let mut shards = Vec::with_capacity(links.len());
+        let mut total_streams = 0usize;
+        for (index, link) in links.iter().enumerate() {
+            let (reply_tx, reply_rx) = channel();
+            let streams = if link.tx.send(ShardMsg::Inventory { reply: reply_tx }).is_ok() {
+                reply_rx.recv().map(|ids| ids.len()).unwrap_or(0)
+            } else {
+                0
+            };
+            total_streams += streams;
+            let enq_m = link.gauge.enqueued_messages.get();
+            let pro_m = link.gauge.processed_messages.get();
+            let enq_i = link.gauge.enqueued_instances.get();
+            let pro_i = link.gauge.processed_instances.get();
+            shards.push(ShardHealth {
+                shard: index,
+                streams,
+                queue_depth: enq_m.saturating_sub(pro_m),
+                queued_instances: enq_i.saturating_sub(pro_i),
+                processed_instances: pro_i,
+            });
+        }
+        let ingest =
+            self.inner.metrics.snapshot().merged_histogram("rbm_serve_ingest_latency_seconds");
+        let last_spill_ns = self.inner.last_spill_ns.load(Ordering::Relaxed);
+        let last_spill_age_seconds = if last_spill_ns == u64::MAX {
+            -1.0
+        } else {
+            let now = self.inner.epoch.elapsed().as_nanos() as u64;
+            now.saturating_sub(last_spill_ns) as f64 / 1e9
+        };
+        HealthSnapshot {
+            shards,
+            streams: total_streams,
+            ingest_p50_seconds: ingest.quantile(0.5) as f64 / 1e9,
+            ingest_p99_seconds: ingest.quantile(0.99) as f64 / 1e9,
+            last_spill_age_seconds,
+        }
     }
 
     /// The ids of every currently attached stream, sorted (an inventory
@@ -774,6 +936,7 @@ impl ServerHandle {
                 index,
                 &self.inner.registry,
                 &self.inner.bus,
+                &self.inner.metrics,
                 self.inner.config.queue_capacity,
             );
             new_shards.push(link);
@@ -797,11 +960,30 @@ impl ServerHandle {
         }
         moving.sort_by(|a, b| a.0.cmp(&b.0));
 
+        // Resize phases are cold-path control operations, so their timings
+        // are always recorded (no RBM_OBS gate): one histogram sample per
+        // phase plus a trace span covering the same interval.
+        let record_phase = |phase: &str, started: Instant| {
+            let dur_ns = started.elapsed().as_nanos() as u64;
+            self.inner
+                .metrics
+                .histogram("rbm_serve_resize_seconds", &[("phase", phase)])
+                .record(dur_ns);
+            let end_ns = self.inner.tracer.now_ns();
+            self.inner.tracer.record(
+                &format!("resize.{phase}"),
+                &format!("{old_count}->{new_count}"),
+                end_ns.saturating_sub(dur_ns),
+                dur_ns,
+            );
+        };
+
         // Park the movers at their sources (freezes their state while
         // buffering — not dropping — their ingest) and at their targets
         // (catches instances routed there after the swap but before the
         // state arrives). Both parks are enqueued before the swap, so FIFO
         // ordering makes them effective before any rerouted ingest.
+        let park_started = Instant::now();
         let mut by_source: HashMap<usize, Vec<Arc<str>>> = HashMap::new();
         let mut by_target: HashMap<usize, Vec<Arc<str>>> = HashMap::new();
         for (id, from, to) in &moving {
@@ -814,10 +996,12 @@ impl ServerHandle {
         for (shard, ids) in &by_target {
             park(&new_shards[*shard].tx, ids.clone())?;
         }
+        record_phase("park", park_started);
 
         // Extract every mover's state (checkpoint + ingest parked so far).
         // FIFO guarantees everything ingested before the park is in the
         // checkpoint; everything after is in the park buffer.
+        let extract_started = Instant::now();
         let mut bundles: Vec<(Arc<str>, usize, usize, MigrationBundle)> =
             Vec::with_capacity(moving.len());
         let mut failure: Option<ServeError> = None;
@@ -888,6 +1072,7 @@ impl ServerHandle {
             }
             return Err(e);
         }
+        record_phase("extract", extract_started);
 
         // Swap the topology. Ingest holds the read lock across each send,
         // so after this write section every new send resolves against the
@@ -908,6 +1093,7 @@ impl ServerHandle {
         // completion, the failed stream's target park entry is closed (so
         // subsequent ingest is dropped-and-counted rather than buffered
         // forever), and the first error is reported after the sweep.
+        let restore_started = Instant::now();
         let mut first_error: Option<ServeError> = None;
         for (id, from, to, mut bundle) in bundles {
             // Stragglers that reached the source after the extract.
@@ -984,6 +1170,7 @@ impl ServerHandle {
                 }
             }
         }
+        record_phase("restore", restore_started);
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -991,6 +1178,7 @@ impl ServerHandle {
         // Shrink: the removed shards now own no streams (ring ownership of
         // every stream they held moved by construction); retire them and
         // keep their counters for the final report.
+        let retire_started = Instant::now();
         for (index, link) in old_shards.iter().enumerate().skip(new_count) {
             let _ = link.tx.send(ShardMsg::Shutdown);
             if let Some(join) = self.joins.lock().expect("joins lock poisoned").remove(&index) {
@@ -1007,6 +1195,9 @@ impl ServerHandle {
                     Err(_) => retired.panicked_shards += 1,
                 }
             }
+        }
+        if new_count < old_count {
+            record_phase("retire", retire_started);
         }
         Ok(report)
     }
@@ -1028,6 +1219,7 @@ impl ServerHandle {
             streams: retired.summaries,
             dropped_unknown: retired.dropped_unknown,
             frames_dropped: 0,
+            frames_dropped_by: FrameDropBreakdown::default(),
             workspace_reuse_hits: retired.workspace_reuse_hits,
             workspace_reuse_misses: retired.workspace_reuse_misses,
             panicked_shards: retired.panicked_shards,
@@ -1075,11 +1267,20 @@ fn spawn_worker(
     index: usize,
     registry: &Arc<DetectorRegistry>,
     bus: &Arc<EventBus>,
+    metrics: &Arc<MetricsRegistry>,
     queue_capacity: usize,
 ) -> (ShardLink, JoinHandle<ShardReport>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
-    let gauge = Arc::new(ShardGauge::default());
-    let worker = ShardWorker::new(index, Arc::clone(registry), Arc::clone(bus), Arc::clone(&gauge));
+    // Re-grown slots rebind the *same* registry counters (get-or-register
+    // by id), so per-slot totals stay monotone across resizes.
+    let gauge = Arc::new(ShardGauge::for_shard(metrics, index));
+    let worker = ShardWorker::new(
+        index,
+        Arc::clone(registry),
+        Arc::clone(bus),
+        Arc::clone(&gauge),
+        Arc::clone(metrics),
+    );
     let join = std::thread::Builder::new()
         .name(format!("rbm-serve-shard-{index}"))
         .spawn(move || worker.run(rx))

@@ -38,40 +38,62 @@ use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_harness::stepper::PipelineStepper;
+use rbm_im_obs::{Counter, Histogram, MetricsRegistry};
 use rbm_im_streams::{Instance, StreamSchema};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Lock-free per-shard load counters, shared between the ingest senders
 /// (which count enqueues) and the worker thread (which counts completions).
 /// `enqueued − processed` is the shard's live queue depth — the signal the
 /// supervisor's [`ResizePolicy`](crate::supervisor::ResizePolicy) watches.
 /// Counters are monotone, so reads need no coordination with the hot path.
-#[derive(Debug, Default)]
+///
+/// The counters live in the server's
+/// [`MetricsRegistry`] (`rbm_serve_*_total{shard}` families), so the
+/// resize policy, `ServerHandle::shard_loads`, and the exposition paths
+/// all read the **same** instruments — there is no private duplicate.
+/// Registry handles are monotone across resizes: a re-grown shard slot
+/// reattaches to its counters, which keeps `enqueued − processed`
+/// consistent because both sides survive together.
+#[derive(Clone)]
 pub(crate) struct ShardGauge {
     /// Ingest messages successfully enqueued to this shard.
-    pub enqueued_messages: AtomicU64,
+    pub enqueued_messages: Arc<Counter>,
     /// Ingest messages the worker has fully processed.
-    pub processed_messages: AtomicU64,
+    pub processed_messages: Arc<Counter>,
     /// Instances inside the enqueued messages.
-    pub enqueued_instances: AtomicU64,
+    pub enqueued_instances: Arc<Counter>,
     /// Instances inside the processed messages.
-    pub processed_instances: AtomicU64,
+    pub processed_instances: Arc<Counter>,
 }
 
 impl ShardGauge {
+    /// Binds (or rebinds) the gauge counters of shard slot `index` in the
+    /// server's metrics registry.
+    pub fn for_shard(metrics: &MetricsRegistry, index: usize) -> Self {
+        let shard = index.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+        ShardGauge {
+            enqueued_messages: metrics.counter("rbm_serve_enqueued_messages_total", labels),
+            processed_messages: metrics.counter("rbm_serve_processed_messages_total", labels),
+            enqueued_instances: metrics.counter("rbm_serve_enqueued_instances_total", labels),
+            processed_instances: metrics.counter("rbm_serve_processed_instances_total", labels),
+        }
+    }
+
     /// Records one enqueued ingest message of `instances` instances.
     pub fn record_enqueue(&self, instances: u64) {
-        self.enqueued_messages.fetch_add(1, Ordering::Relaxed);
-        self.enqueued_instances.fetch_add(instances, Ordering::Relaxed);
+        self.enqueued_messages.inc();
+        self.enqueued_instances.add(instances);
     }
 
     /// Records one fully processed ingest message of `instances` instances.
     pub fn record_processed(&self, instances: u64) {
-        self.processed_messages.fetch_add(1, Ordering::Relaxed);
-        self.processed_instances.fetch_add(instances, Ordering::Relaxed);
+        self.processed_messages.inc();
+        self.processed_instances.add(instances);
     }
 }
 
@@ -195,6 +217,13 @@ struct StreamState {
     /// Whether the detector adopted a pooled workspace at attach (and must
     /// return it at close).
     pooled_workspace: bool,
+    /// Per-stream step-timing histogram
+    /// (`rbm_serve_stream_step_seconds{stream}`), bound at attach/restore
+    /// so the hot path records through the handle without any lookup.
+    /// Timing is at ingest-message granularity (one clock pair per
+    /// micro-batch, see [`ShardWorker::ingest`]) and only taken while
+    /// [`rbm_im_obs::enabled`] is on.
+    step_latency: Arc<Histogram>,
 }
 
 /// What a shard hands back when it stops.
@@ -221,6 +250,15 @@ pub(crate) struct ShardWorker {
     pool: WorkspacePool,
     /// Instances ingested for ids with no attached pipeline (dropped).
     dropped_unknown: u64,
+    /// The server's metrics registry (per-stream histograms register here
+    /// at attach/restore).
+    metrics: Arc<MetricsRegistry>,
+    /// This shard's ingest latency histogram
+    /// (`rbm_serve_ingest_latency_seconds{shard}`).
+    ingest_latency: Arc<Histogram>,
+    /// Queue-depth distribution sampled after each processed ingest
+    /// message (`rbm_serve_queue_depth{shard}`).
+    queue_depth: Arc<Histogram>,
 }
 
 impl ShardWorker {
@@ -229,7 +267,12 @@ impl ShardWorker {
         registry: Arc<DetectorRegistry>,
         bus: Arc<EventBus>,
         gauge: Arc<ShardGauge>,
+        metrics: Arc<MetricsRegistry>,
     ) -> Self {
+        let shard = index.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+        let ingest_latency = metrics.histogram("rbm_serve_ingest_latency_seconds", labels);
+        let queue_depth = metrics.histogram("rbm_serve_queue_depth", labels);
         ShardWorker {
             index,
             registry,
@@ -239,7 +282,15 @@ impl ShardWorker {
             parked: HashMap::new(),
             pool: WorkspacePool::new(),
             dropped_unknown: 0,
+            metrics,
+            ingest_latency,
+            queue_depth,
         }
+    }
+
+    /// The per-stream step-timing histogram handle for `id`.
+    fn stream_step_histogram(&self, id: &str) -> Arc<Histogram> {
+        self.metrics.histogram("rbm_serve_stream_step_seconds", &[("stream", id)])
     }
 
     /// The worker loop: runs until `Shutdown` (or every sender hung up),
@@ -257,6 +308,16 @@ impl ShardWorker {
                     // Counted after the step so `enqueued − processed`
                     // includes the message currently being worked on.
                     self.gauge.record_processed(instances);
+                    if rbm_im_obs::enabled() {
+                        // The backlog left *after* this message: monotone
+                        // counter difference, no cross-thread coordination.
+                        let depth = self
+                            .gauge
+                            .enqueued_messages
+                            .get()
+                            .saturating_sub(self.gauge.processed_messages.get());
+                        self.queue_depth.record(depth);
+                    }
                 }
                 ShardMsg::Detach { id, reply } => {
                     let result = match self.streams.remove(&id) {
@@ -371,7 +432,9 @@ impl ShardWorker {
             shard: self.index,
             kind: ServeEventKind::Attached,
         });
-        self.streams.insert(id, StreamState { stepper, schema, spec, run, pooled_workspace });
+        let step_latency = self.stream_step_histogram(&id);
+        self.streams
+            .insert(id, StreamState { stepper, schema, spec, run, pooled_workspace, step_latency });
         Ok(())
     }
 
@@ -396,6 +459,12 @@ impl ShardWorker {
                 kind: ServeEventKind::from_pipeline(event),
             });
         };
+        // One clock pair per ingest message (not per instance) keeps the
+        // metrics-on overhead bounded: client micro-batches amortize the
+        // reads, and the recording itself is two wait-free `fetch_add`s.
+        // Timing never influences stepping, so results are bitwise
+        // identical with observability on or off.
+        let started = if rbm_im_obs::enabled() { Some(Instant::now()) } else { None };
         match payload {
             Payload::One(instance) => state.stepper.step(instance, &mut on_event),
             Payload::Many(instances) => {
@@ -403,6 +472,11 @@ impl ShardWorker {
                     state.stepper.step(instance, &mut on_event);
                 }
             }
+        }
+        if let Some(started) = started {
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            self.ingest_latency.record(elapsed_ns);
+            state.step_latency.record(elapsed_ns);
         }
     }
 
@@ -499,6 +573,7 @@ impl ShardWorker {
                 bundle: Some(Box::new(MigrationBundle { checkpoint, parked })),
             });
         }
+        let step_latency = self.stream_step_histogram(&id);
         self.streams.insert(
             Arc::clone(&id),
             StreamState {
@@ -507,6 +582,7 @@ impl ShardWorker {
                 spec: checkpoint.spec,
                 run: checkpoint.run,
                 pooled_workspace,
+                step_latency,
             },
         );
         // A live migration announces where the stream came from; a restore

@@ -42,10 +42,14 @@ use crate::event::{ServeEvent, ServeEventKind};
 use crate::server::StreamCheckpoint;
 use rbm_im_harness::checkpoint::codec::{self, CheckpointCodec};
 use rbm_im_metrics::PrequentialSnapshot;
+use rbm_im_obs::{Histogram, MetricsRegistry, TraceEvent};
 use serde::Serialize as _;
+use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Rotation policy for per-stream metric history files. The live
 /// `<stream>.metrics.jsonl` rotates to `<stream>.metrics.1.jsonl` (older
@@ -72,12 +76,28 @@ impl Default for MetricRetention {
     }
 }
 
+/// Checkpoint-spill timing instruments
+/// (`rbm_supervisor_spill_seconds{phase=encode|write}`), bound via
+/// [`SnapshotSink::with_metrics`]. Spills are cold-path, so their timings
+/// are recorded whenever instruments are bound, independent of `RBM_OBS`.
+struct SpillObs {
+    encode: Arc<Histogram>,
+    write: Arc<Histogram>,
+}
+
+impl fmt::Debug for SpillObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpillObs").finish()
+    }
+}
+
 /// Spill directory for checkpoints and metric history.
 #[derive(Debug)]
 pub struct SnapshotSink {
     dir: PathBuf,
     codec: CheckpointCodec,
     retention: Option<MetricRetention>,
+    spill_obs: Option<SpillObs>,
 }
 
 impl SnapshotSink {
@@ -92,7 +112,7 @@ impl SnapshotSink {
     pub fn with_codec(dir: impl Into<PathBuf>, codec: CheckpointCodec) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotSink { dir, codec, retention: None })
+        Ok(SnapshotSink { dir, codec, retention: None, spill_obs: None })
     }
 
     /// Enables metric-history rotation under `retention`. Without this,
@@ -107,6 +127,20 @@ impl SnapshotSink {
     /// The metric retention policy, if one is configured.
     pub fn retention(&self) -> Option<MetricRetention> {
         self.retention
+    }
+
+    /// Binds spill-timing instruments from `metrics`: every subsequent
+    /// checkpoint spill records its encode and write durations into
+    /// `rbm_supervisor_spill_seconds{phase=encode|write}`. The
+    /// [`Supervisor`](crate::supervisor::Supervisor) wires the server's
+    /// registry in automatically, so supervised runs get spill timing
+    /// without caller involvement.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.spill_obs = Some(SpillObs {
+            encode: metrics.histogram("rbm_supervisor_spill_seconds", &[("phase", "encode")]),
+            write: metrics.histogram("rbm_supervisor_spill_seconds", &[("phase", "write")]),
+        });
+        self
     }
 
     /// The sink directory.
@@ -125,15 +159,23 @@ impl SnapshotSink {
     /// duplicate behind. Returns the file path.
     pub fn spill_checkpoint(&self, checkpoint: &StreamCheckpoint) -> io::Result<PathBuf> {
         let path = self.checkpoint_path(&checkpoint.stream, self.codec);
+        let encode_started = Instant::now();
         let bytes = match self.codec {
             CheckpointCodec::Json => serde_json::to_string_pretty(checkpoint)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
                 .into_bytes(),
             CheckpointCodec::Binary => codec::encode(CheckpointCodec::Binary, checkpoint),
         };
+        if let Some(obs) = &self.spill_obs {
+            obs.encode.record(encode_started.elapsed().as_nanos() as u64);
+        }
+        let write_started = Instant::now();
         let tmp = path.with_extension(format!("{}.tmp", self.codec.extension()));
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;
+        if let Some(obs) = &self.spill_obs {
+            obs.write.record(write_started.elapsed().as_nanos() as u64);
+        }
         // Drop the other codec's spill of the same stream, if any — the
         // freshly written file is now the stream's sole checkpoint. Best
         // effort: the spill itself is already durable at this point, and a
@@ -261,9 +303,21 @@ impl SnapshotSink {
     /// each successful background spill of the stream, so rotation rides
     /// the spill schedule and needs no clock of its own.
     pub fn enforce_metric_retention(&self, stream: &str) -> io::Result<bool> {
-        let Some(retention) = self.retention else { return Ok(false) };
         let live = self.metrics_path(stream);
-        let meta = match fs::metadata(&live) {
+        self.enforce_rotation(&live, |generation| self.rotated_metrics_path(stream, generation))
+    }
+
+    /// The shared rotation engine behind metric-history and trace-log
+    /// retention: applies the sink's [`MetricRetention`] to `live`, with
+    /// `rotated(n)` naming the n-th sealed generation. Returns whether a
+    /// rotation happened; no policy / missing file / empty file are no-ops.
+    fn enforce_rotation(
+        &self,
+        live: &Path,
+        rotated: impl Fn(usize) -> PathBuf,
+    ) -> io::Result<bool> {
+        let Some(retention) = self.retention else { return Ok(false) };
+        let meta = match fs::metadata(live) {
             Ok(meta) => meta,
             Err(_) => return Ok(false),
         };
@@ -282,21 +336,49 @@ impl SnapshotSink {
             return Ok(false);
         }
         if retention.keep_rotations == 0 {
-            fs::remove_file(&live)?;
+            fs::remove_file(live)?;
             return Ok(true);
         }
         // Shift sealed generations newest-last so no rename overwrites a
         // file that has not moved yet; the generation falling off the end
         // is deleted (best effort — it may never have existed).
-        let _ = fs::remove_file(self.rotated_metrics_path(stream, retention.keep_rotations));
+        let _ = fs::remove_file(rotated(retention.keep_rotations));
         for generation in (1..retention.keep_rotations).rev() {
-            let from = self.rotated_metrics_path(stream, generation);
+            let from = rotated(generation);
             if from.exists() {
-                fs::rename(&from, self.rotated_metrics_path(stream, generation + 1))?;
+                fs::rename(&from, rotated(generation + 1))?;
             }
         }
-        fs::rename(&live, self.rotated_metrics_path(stream, 1))?;
+        fs::rename(live, rotated(1))?;
         Ok(true)
+    }
+
+    /// Appends completed trace spans (one JSONL line each, see
+    /// [`TraceEvent::to_jsonl`]) to the sink-wide `trace.jsonl`, then
+    /// applies the sink's retention policy to it (sealed generations are
+    /// `trace.1.jsonl`, …). The supervisor drains the server's
+    /// [`Tracer`](rbm_im_obs::Tracer) through this every tick. Returns
+    /// whether the append triggered a rotation.
+    pub fn spill_trace(&self, events: &[TraceEvent]) -> io::Result<bool> {
+        if events.is_empty() {
+            return Ok(false);
+        }
+        let live = self.trace_path();
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(&live)?;
+        for event in events {
+            writeln!(file, "{}", event.to_jsonl())?;
+        }
+        drop(file);
+        self.enforce_rotation(&live, |generation| self.rotated_trace_path(generation))
+    }
+
+    /// The live trace log path (`<dir>/trace.jsonl`).
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join("trace.jsonl")
+    }
+
+    fn rotated_trace_path(&self, generation: usize) -> PathBuf {
+        self.dir.join(format!("trace.{generation}.jsonl"))
     }
 
     /// Loads a stream's appended metric history (positions + snapshots),

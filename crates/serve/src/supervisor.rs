@@ -311,6 +311,13 @@ fn run(
     stop: Receiver<()>,
     events: Receiver<ServeEvent>,
 ) -> SupervisorReport {
+    // Auto-wire telemetry: the sink records spill encode/write timings
+    // into the server's registry, urgent spills are counted, and the
+    // server's slow-path trace ring is drained to the sink every tick.
+    let metrics = server.metrics();
+    let sink = sink.with_metrics(&metrics);
+    let urgent_spills = metrics.counter("rbm_supervisor_urgent_spills_total", &[]);
+    let tracer = server.tracer();
     let mut report = SupervisorReport::default();
     let mut schedule: HashMap<String, StreamSchedule> = HashMap::new();
     let mut last_resize = Instant::now();
@@ -422,10 +429,15 @@ fn run(
                 if !urgent && now < entry.next_due {
                     continue;
                 }
-                match spill(&server, &sink, id) {
+                let span = tracer.span("spill", id);
+                let outcome = spill(&server, &sink, id);
+                span.finish();
+                match outcome {
                     Ok(position) => {
+                        server.note_spill();
                         if urgent {
                             report.urgent_spills += 1;
+                            urgent_spills.inc();
                         } else {
                             report.periodic_spills += 1;
                         }
@@ -449,6 +461,21 @@ fn run(
                 entry.urgent = false;
                 entry.next_due = now + policy.every;
             }
+        }
+
+        // Persist the slow-path spans accumulated this tick (spills above,
+        // resize phases recorded by the server) to the sink's JSONL trace
+        // log, rotation included.
+        if !tracer.is_empty() {
+            if let Err(e) = sink.spill_trace(&tracer.drain()) {
+                report.errors.push(format!("trace spill: {e}"));
+            }
+        }
+    }
+    // Final flush so spans from the last partial tick are not lost.
+    if !tracer.is_empty() {
+        if let Err(e) = sink.spill_trace(&tracer.drain()) {
+            report.errors.push(format!("trace spill: {e}"));
         }
     }
     report

@@ -16,6 +16,7 @@
 //! `cargo run -p rbm-im-serve --release --example serve_autonomic`
 
 use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_obs::{MetricsRegistry, ObsServer};
 use rbm_im_serve::{
     CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ServeConfig, ServeEventKind,
     ServerHandle, SnapshotSink, StreamClient, Supervisor, SupervisorConfig,
@@ -68,8 +69,22 @@ fn supervisor_config() -> SupervisorConfig {
     }
 }
 
+/// Formats a `_seconds` histogram quantile (recorded in integer ns) for
+/// display; "-" when the histogram is empty.
+fn quantile_ms(metrics: &MetricsRegistry, family: &str, q: f64) -> String {
+    let hist = metrics.snapshot().merged_histogram(family);
+    if hist.count() == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.3}ms", hist.quantile(q) as f64 / 1e6)
+    }
+}
+
 fn main() {
     let start = Instant::now();
+    // Turn the telemetry plane on for the demo (equivalent to RBM_OBS=on):
+    // results are untouched, but latency histograms fill in.
+    rbm_im_obs::force_enabled(true);
     let spill_dir = std::env::temp_dir().join(format!("rbm-autonomic-{}", std::process::id()));
     let feeds: Vec<_> = (0..FEEDS).map(record_feed).collect();
     let spec = DetectorSpec::parse("rbm(minibatch=25, warmup=4, persistence=1)").unwrap();
@@ -82,6 +97,10 @@ fn main() {
         ..Default::default()
     }));
     let events = server.subscribe();
+    // Prometheus-text scrape endpoint over the fleet's metrics registry:
+    // `curl` it any time while phase 1 runs.
+    let obs = ObsServer::serve("127.0.0.1:0", vec![server.metrics()]).expect("scrape listener");
+    println!("  scrape endpoint live at http://{}/metrics", obs.local_addr());
     let supervisor = Supervisor::start(
         Arc::clone(&server),
         SnapshotSink::new(&spill_dir).expect("spill dir"),
@@ -127,6 +146,14 @@ fn main() {
     let drifts =
         events.try_iter().filter(|e| matches!(e.kind, ServeEventKind::Drift { .. })).count();
     println!("  bus: {drifts} drift events so far");
+    let metrics = server.metrics();
+    println!(
+        "  telemetry: ingest p50 {} / p99 {}, spill p50 {}",
+        quantile_ms(&metrics, "rbm_serve_ingest_latency_seconds", 0.5),
+        quantile_ms(&metrics, "rbm_serve_ingest_latency_seconds", 0.99),
+        quantile_ms(&metrics, "rbm_supervisor_spill_seconds", 0.5),
+    );
+    obs.shutdown();
     // CRASH: no drain, no graceful checkpoint — drop everything.
     drop(Arc::try_unwrap(server).expect("supervisor stopped").shutdown());
 
@@ -147,6 +174,12 @@ fn main() {
         ingest_all(&client, instances[position..].to_vec());
     }
     server.drain();
+    let metrics = server.metrics();
+    println!(
+        "  telemetry: replay ingest p50 {} / p99 {}",
+        quantile_ms(&metrics, "rbm_serve_ingest_latency_seconds", 0.5),
+        quantile_ms(&metrics, "rbm_serve_ingest_latency_seconds", 0.99),
+    );
     let report = server.shutdown();
 
     let total: u64 = report.streams.iter().map(|s| s.result.instances).sum();

@@ -15,6 +15,7 @@
 
 use rbm_im_harness::registry::DetectorSpec;
 use rbm_im_net::{NetClient, NetServer};
+use rbm_im_obs::ObsServer;
 use rbm_im_serve::{ServeConfig, ServeEventKind};
 use rbm_im_streams::drift::local::{LocalDriftEvent, LocalDriftStream};
 use rbm_im_streams::drift::DriftKind;
@@ -62,7 +63,13 @@ fn main() {
     )
     .expect("bind loopback");
     let addr = server.local_addr();
-    println!("wire front-end listening on {addr}\n");
+    println!("wire front-end listening on {addr}");
+
+    // Telemetry on (same as RBM_OBS=on) + a Prometheus scrape endpoint over
+    // the fleet's registry, live for the whole run.
+    rbm_im_obs::force_enabled(true);
+    let obs = ObsServer::serve("127.0.0.1:0", vec![server.metrics()]).expect("scrape listener");
+    println!("scrape endpoint live at http://{}/metrics\n", obs.local_addr());
 
     // Control connection: attaches, drain, shutdown.
     let control = NetClient::connect(addr).expect("connect control");
@@ -138,9 +145,27 @@ fn main() {
     control.drain().expect("drain barrier");
     let serve_seconds = start.elapsed().as_secs_f64();
 
+    // Mid-run telemetry fetch over the wire: the same snapshot a scrape
+    // sees, as a structured value.
+    let quantile_ms = |family: &str, q: f64| -> String {
+        let hist = control.metrics().expect("metrics over the wire").merged_histogram(family);
+        if hist.count() == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.3}ms", hist.quantile(q) as f64 / 1e6)
+        }
+    };
+    println!(
+        "\ntelemetry: ingest p50 {} / p99 {}, wire ingest-request p99 {}",
+        quantile_ms("rbm_serve_ingest_latency_seconds", 0.5),
+        quantile_ms("rbm_serve_ingest_latency_seconds", 0.99),
+        quantile_ms("rbm_net_request_latency_seconds", 0.99),
+    );
+
     let report = control.shutdown().expect("shutdown");
     let total_drifts = subscriber.join().expect("subscriber thread");
     server.shutdown(); // joins the accept loop; the report was taken above
+    obs.shutdown();
 
     let total = report.total_instances();
     println!("\nprocessed {total} instances in {serve_seconds:.2}s over TCP");
