@@ -8,12 +8,21 @@
 //! instances over wall time. Shard counts 1, 2 and 8 quantify scaling;
 //! `BENCH_serve.json` records the measured baseline (note the runner's
 //! core count — shard scaling needs real cores).
+//!
+//! The `budget-capped` arm reruns the 8-shard workload under a
+//! supervisor [`TierPolicy`] whose hot cap (16 of 64 streams) forces
+//! continuous evict/rehydrate churn — the throughput cost of serving the
+//! same traffic in a quarter of the memory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rbm_im_harness::registry::DetectorSpec;
-use rbm_im_serve::{ServeConfig, ServerHandle};
+use rbm_im_serve::{
+    ServeConfig, ServerHandle, SnapshotSink, Supervisor, SupervisorConfig, TierPolicy,
+};
 use rbm_im_streams::generators::RandomRbfGenerator;
 use rbm_im_streams::{DataStream, Instance, StreamExt, StreamSchema};
+use std::sync::Arc;
+use std::time::Duration;
 
 const STREAMS: usize = 64;
 const INSTANCES_PER_STREAM: usize = 400;
@@ -70,6 +79,45 @@ fn bench_serve_throughput(c: &mut Criterion) {
             },
         );
     }
+
+    // Same 64-stream workload, 8 shards, but the hot tier is budget-capped
+    // to 16 streams: the supervisor evicts LRU streams to binary spill
+    // files while ingest keeps waking them — worst-case tier churn.
+    let spill_dir = std::env::temp_dir().join(format!("rbm-bench-budget-{}", std::process::id()));
+    group.bench_with_input(BenchmarkId::new("64streams-budget", "8shards-16hot"), &(), |b, _| {
+        b.iter(|| {
+            let server = Arc::new(ServerHandle::start(ServeConfig {
+                num_shards: 8,
+                queue_capacity: 256,
+                ..Default::default()
+            }));
+            let supervisor = Supervisor::start(
+                Arc::clone(&server),
+                SnapshotSink::new(&spill_dir).expect("spill dir"),
+                SupervisorConfig {
+                    tick: Duration::from_millis(2),
+                    checkpoint: None,
+                    resize: None,
+                    tier: Some(TierPolicy::default().with_max_hot_streams(16)),
+                },
+            );
+            let clients: Vec<_> = feeds
+                .iter()
+                .map(|(id, schema, _)| server.attach(id, schema.clone(), &spec).unwrap())
+                .collect();
+            for chunk_start in (0..INSTANCES_PER_STREAM).step_by(50) {
+                for ((_, _, instances), client) in feeds.iter().zip(&clients) {
+                    let end = (chunk_start + 50).min(instances.len());
+                    client.ingest_batch(instances[chunk_start..end].to_vec()).unwrap();
+                }
+            }
+            server.drain();
+            let report = supervisor.stop();
+            assert!(report.errors.is_empty(), "supervisor errors: {:?}", report.errors);
+            Arc::try_unwrap(server).expect("supervisor stopped").shutdown()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&spill_dir);
     group.finish();
 }
 

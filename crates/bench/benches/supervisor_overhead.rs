@@ -54,6 +54,7 @@ fn supervisor_config(arm: &str) -> Option<SupervisorConfig> {
                 on_drift: true,
             }),
             resize: None,
+            tier: None,
         }),
         "checkpoint+resize" => Some(SupervisorConfig {
             tick: Duration::from_millis(5),
@@ -68,6 +69,7 @@ fn supervisor_config(arm: &str) -> Option<SupervisorConfig> {
                 cooldown: Duration::from_millis(200),
                 policy: Box::new(HysteresisResizePolicy::default()),
             }),
+            tier: None,
         }),
         other => unreachable!("unknown arm {other}"),
     }

@@ -139,11 +139,22 @@ impl std::error::Error for CodecError {}
 
 /// Serializes any [`Serialize`] type with the chosen codec.
 pub fn encode<T: Serialize>(codec: CheckpointCodec, value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    encode_into(codec, value, &mut out);
+    out
+}
+
+/// [`encode`] into a caller-owned buffer: the encoded bytes are appended
+/// to `out` (which is *not* cleared first). Callers that encode on a
+/// schedule — the serving `SnapshotSink` above all — reuse one scratch
+/// buffer across spills so steady-state encoding stops paying a fresh
+/// output allocation per checkpoint.
+pub fn encode_into<T: Serialize>(codec: CheckpointCodec, value: &T, out: &mut Vec<u8>) {
     match codec {
-        CheckpointCodec::Json => {
-            serde_json::to_string(&value.serialize_value()).unwrap_or_default().into_bytes()
-        }
-        CheckpointCodec::Binary => encode_value(&value.serialize_value()),
+        CheckpointCodec::Json => out.extend_from_slice(
+            serde_json::to_string(&value.serialize_value()).unwrap_or_default().as_bytes(),
+        ),
+        CheckpointCodec::Binary => encode_value_into(&value.serialize_value(), out),
     }
 }
 
@@ -227,21 +238,27 @@ fn as_exact_int(n: f64) -> Option<i64> {
 
 /// Encodes a [`Value`] tree into the versioned binary format.
 pub fn encode_value(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    encode_value_into(value, &mut out);
+    out
+}
+
+/// [`encode_value`] appending to a caller-owned buffer (not cleared
+/// first), so repeat encoders can amortize the output allocation.
+pub fn encode_value_into(value: &Value, out: &mut Vec<u8>) {
     // Pass 1: intern every object key in first-seen order.
     let mut keys: Vec<&str> = Vec::new();
     let mut key_ids: HashMap<&str, u64> = HashMap::new();
     collect_keys(value, &mut keys, &mut key_ids);
 
-    let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(&BINARY_MAGIC);
     out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
-    put_varint(&mut out, keys.len() as u64);
+    put_varint(out, keys.len() as u64);
     for key in &keys {
-        put_varint(&mut out, key.len() as u64);
+        put_varint(out, key.len() as u64);
         out.extend_from_slice(key.as_bytes());
     }
-    encode_node(value, &key_ids, &mut out);
-    out
+    encode_node(value, &key_ids, out);
 }
 
 fn collect_keys<'a>(value: &'a Value, keys: &mut Vec<&'a str>, ids: &mut HashMap<&'a str, u64>) {

@@ -639,6 +639,15 @@ pub fn event_to_value(event: &ServeEvent) -> Value {
             fields.push(("position", position.serialize_value()));
             fields.push(("urgent", urgent.serialize_value()));
         }
+        ServeEventKind::Hibernated { position, clean } => {
+            fields.push(("kind", Value::String("hibernated".into())));
+            fields.push(("position", position.serialize_value()));
+            fields.push(("clean", clean.serialize_value()));
+        }
+        ServeEventKind::Rehydrated { position } => {
+            fields.push(("kind", Value::String("rehydrated".into())));
+            fields.push(("position", position.serialize_value()));
+        }
     }
     Value::object(fields)
 }
@@ -670,6 +679,11 @@ pub fn event_from_value(value: &Value) -> Result<ServeEvent, WireError> {
             position: value.field("position")?,
             urgent: value.field("urgent")?,
         },
+        "hibernated" => ServeEventKind::Hibernated {
+            position: value.field("position")?,
+            clean: value.field("clean")?,
+        },
+        "rehydrated" => ServeEventKind::Rehydrated { position: value.field("position")? },
         other => return Err(WireError::Malformed(format!("unknown event kind `{other}`"))),
     };
     Ok(ServeEvent { stream, shard, kind })
@@ -785,6 +799,16 @@ mod tests {
                 shard: 1,
                 kind: ServeEventKind::CheckpointSpilled { position: 4096, urgent: true },
             },
+            ServeEvent {
+                stream: Arc::from("s"),
+                shard: 1,
+                kind: ServeEventKind::Hibernated { position: 4096, clean: false },
+            },
+            ServeEvent {
+                stream: Arc::from("s"),
+                shard: 1,
+                kind: ServeEventKind::Rehydrated { position: 4096 },
+            },
         ];
         for event in events {
             let frame = Frame::Event(Box::new(event.clone()));
@@ -827,21 +851,30 @@ mod tests {
             shards: vec![ShardHealth {
                 shard: 0,
                 streams: 2,
+                hot_streams: 1,
+                cold_streams: 1,
                 queue_depth: 5,
                 queued_instances: 120,
                 processed_instances: 4096,
             }],
             streams: 2,
+            hot_streams: 1,
+            cold_streams: 1,
             ingest_p50_seconds: 0.000_25,
             ingest_p99_seconds: 0.004,
+            rehydrate_p99_seconds: 0.000_8,
             last_spill_age_seconds: -1.0,
         };
         match roundtrip(&Frame::HealthData(Box::new(health))) {
             Frame::HealthData(back) => {
                 assert_eq!(back.shards.len(), 1);
                 assert_eq!(back.shards[0].queued_instances, 120);
+                assert_eq!(back.shards[0].cold_streams, 1);
                 assert_eq!(back.streams, 2);
+                assert_eq!(back.hot_streams, 1);
+                assert_eq!(back.cold_streams, 1);
                 assert_eq!(back.ingest_p50_seconds, 0.000_25);
+                assert_eq!(back.rehydrate_p99_seconds, 0.000_8);
                 assert_eq!(back.last_spill_age_seconds, -1.0);
             }
             other => panic!("wrong frame: {other:?}"),

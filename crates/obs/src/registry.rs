@@ -6,6 +6,7 @@
 //! them directly — the hot path never touches the registry, so `inc` /
 //! `set` / `record` are single wait-free atomic ops with zero allocation.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -121,10 +122,15 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
+/// Instrument stores are hash maps, not vecs: a serving fleet registers
+/// one `rbm_serve_stream_step_seconds{stream}` histogram per attached
+/// stream, so registration and handle re-lookup must stay O(1) at 100k+
+/// streams (a linear scan here made fleet attach quadratic). Snapshots
+/// sort by id, so iteration order never leaks out.
 struct Inner {
-    counters: Vec<(MetricId, Arc<Counter>)>,
-    gauges: Vec<(MetricId, Arc<Gauge>)>,
-    histograms: Vec<(MetricId, Arc<Histogram>)>,
+    counters: HashMap<MetricId, Arc<Counter>>,
+    gauges: HashMap<MetricId, Arc<Gauge>>,
+    histograms: HashMap<MetricId, Arc<Histogram>>,
 }
 
 /// Registry of named instruments. Cheap to clone handles out of; intended
@@ -145,9 +151,9 @@ impl MetricsRegistry {
     pub fn new() -> Self {
         MetricsRegistry {
             inner: Mutex::new(Inner {
-                counters: Vec::new(),
-                gauges: Vec::new(),
-                histograms: Vec::new(),
+                counters: HashMap::new(),
+                gauges: HashMap::new(),
+                histograms: HashMap::new(),
             }),
         }
     }
@@ -157,24 +163,14 @@ impl MetricsRegistry {
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let id = MetricId::new(name, labels);
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, c)) = inner.counters.iter().find(|(i, _)| *i == id) {
-            return Arc::clone(c);
-        }
-        let c = Arc::new(Counter::new());
-        inner.counters.push((id, Arc::clone(&c)));
-        c
+        Arc::clone(inner.counters.entry(id).or_insert_with(|| Arc::new(Counter::new())))
     }
 
     /// Returns the gauge for `name` + `labels`, registering on first use.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let id = MetricId::new(name, labels);
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, g)) = inner.gauges.iter().find(|(i, _)| *i == id) {
-            return Arc::clone(g);
-        }
-        let g = Arc::new(Gauge::new());
-        inner.gauges.push((id, Arc::clone(&g)));
-        g
+        Arc::clone(inner.gauges.entry(id).or_insert_with(|| Arc::new(Gauge::new())))
     }
 
     /// Returns the histogram for `name` + `labels`, registering on first
@@ -183,12 +179,7 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let id = MetricId::new(name, labels);
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, h)) = inner.histograms.iter().find(|(i, _)| *i == id) {
-            return Arc::clone(h);
-        }
-        let h = Arc::new(Histogram::new());
-        inner.histograms.push((id, Arc::clone(&h)));
-        h
+        Arc::clone(inner.histograms.entry(id).or_insert_with(|| Arc::new(Histogram::new())))
     }
 
     /// Point-in-time copy of every registered instrument, sorted by metric
@@ -201,6 +192,7 @@ impl MetricsRegistry {
             inner.gauges.iter().map(|(id, g)| (id.clone(), g.get())).collect();
         let mut histograms: Vec<(MetricId, HistogramSnapshot)> =
             inner.histograms.iter().map(|(id, h)| (id.clone(), h.snapshot())).collect();
+        drop(inner);
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         histograms.sort_by(|a, b| a.0.cmp(&b.0));

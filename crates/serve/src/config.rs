@@ -1,6 +1,7 @@
 //! Serving configuration.
 
 use rbm_im_harness::pipeline::RunConfig;
+use std::time::Duration;
 
 /// Configuration of a [`ServerHandle`](crate::server::ServerHandle).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +50,84 @@ impl Default for ServeConfig {
             },
             deterministic_seeding: true,
             base_seed: 42,
+        }
+    }
+}
+
+/// When the [`Supervisor`](crate::supervisor::Supervisor) evicts idle
+/// streams' in-memory pipeline state to their binary checkpoint (the
+/// **cold tier** — see `ARCHITECTURE.md` §9).
+///
+/// Two independent triggers, either of which may be disabled:
+///
+/// * **idle age** — a hot stream that has not ingested for
+///   [`TierPolicy::idle_after`] is evicted regardless of budget;
+/// * **memory budget** — whenever more than
+///   [`TierPolicy::max_hot_streams`] streams are hot, the least-recently
+///   active ones are *urgently* evicted until the fleet fits, however
+///   recently they stepped.
+///
+/// Hibernation is purely a residency decision: a hibernated stream stays
+/// attached, transparently rehydrates on its next ingest / detach, and a
+/// fleet run under any `TierPolicy` stays **bitwise identical** to the
+/// same fleet always-hot and to the sequential pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Evict hot streams idle for at least this long (`None` disables the
+    /// idle-age trigger; budget pressure still evicts).
+    pub idle_after: Option<Duration>,
+    /// Hard cap on simultaneously hot streams across the fleet (`None`
+    /// disables budget eviction). Derive it from a byte budget with
+    /// [`TierPolicy::budget_bytes`].
+    pub max_hot_streams: Option<usize>,
+    /// Evictions + cold-memory→disk demotions performed per supervisor
+    /// tick: each one costs a checkpoint encode + spill (~1 ms at the
+    /// benchmarked 47 KB state), so huge fleets drain toward cold over a
+    /// few ticks instead of stalling one tick for seconds.
+    pub max_demotions_per_tick: usize,
+}
+
+impl TierPolicy {
+    /// Engineering estimate of one hot stream's resident footprint
+    /// (pipeline state + metric windows + amortized workspace scratch),
+    /// anchored on the ~47 KB binary-checkpoint size measured in
+    /// `BENCH_checkpoint.json` with headroom for the live (un-packed)
+    /// representation. Used by [`TierPolicy::budget_bytes`].
+    pub const APPROX_HOT_STREAM_BYTES: u64 = 96 * 1024;
+
+    /// Idle-age-only policy: evict after `idle_after` without a hot cap.
+    pub fn idle(idle_after: Duration) -> Self {
+        TierPolicy { idle_after: Some(idle_after), ..Self::default() }
+    }
+
+    /// Budget-driven policy: size the hot tier to roughly `bytes` of
+    /// resident stream state (`max_hot_streams = bytes /`
+    /// [`APPROX_HOT_STREAM_BYTES`](Self::APPROX_HOT_STREAM_BYTES), at
+    /// least 1), with the default idle-age trigger on top.
+    pub fn budget_bytes(bytes: u64) -> Self {
+        let max_hot = (bytes / Self::APPROX_HOT_STREAM_BYTES).max(1) as usize;
+        TierPolicy { max_hot_streams: Some(max_hot), ..Self::default() }
+    }
+
+    /// Replaces the hot-stream cap.
+    pub fn with_max_hot_streams(mut self, max_hot_streams: usize) -> Self {
+        self.max_hot_streams = Some(max_hot_streams);
+        self
+    }
+
+    /// Replaces the per-tick demotion cap.
+    pub fn with_max_demotions_per_tick(mut self, cap: usize) -> Self {
+        self.max_demotions_per_tick = cap.max(1);
+        self
+    }
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        TierPolicy {
+            idle_after: Some(Duration::from_secs(30)),
+            max_hot_streams: None,
+            max_demotions_per_tick: 1024,
         }
     }
 }

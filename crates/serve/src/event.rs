@@ -83,6 +83,29 @@ pub enum ServeEventKind {
         /// the periodic interval.
         urgent: bool,
     },
+    /// The stream's in-memory pipeline state was evicted to its binary
+    /// checkpoint (the cold tier): its workspace scratch returned to the
+    /// shard pool and only the checkpoint handle stays resident. The
+    /// stream remains attached — the next ingest or detach transparently
+    /// rehydrates it, bitwise-identically.
+    Hibernated {
+        /// Instances the cold checkpoint covers (its resume offset).
+        position: u64,
+        /// `true` when the eviction reused the freshest background spill
+        /// on disk (no encode was needed); `false` when the state was
+        /// dirty and had to be encoded on demand (held in memory until
+        /// the supervisor demotes it to disk).
+        clean: bool,
+    },
+    /// A hibernated stream's pipeline state was rebuilt from its cold
+    /// checkpoint (triggered by ingest, detach, shutdown or a migration
+    /// that had to replay buffered instances). Processing continues
+    /// exactly where the hibernation left off.
+    Rehydrated {
+        /// Instances restored into the rebuilt state (== the `position`
+        /// of the matching `Hibernated` event).
+        position: u64,
+    },
 }
 
 impl ServeEventKind {

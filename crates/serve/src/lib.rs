@@ -49,7 +49,15 @@
 //!   [`ResizePolicy`] over the shards'
 //!   lock-free queue gauges ([`ServerHandle::shard_loads`]) within
 //!   configured bounds, with every decision published on the bus
-//!   (`tests/supervisor.rs`).
+//!   (`tests/supervisor.rs`);
+//! * stream state is **tiered**: under a supervisor [`TierPolicy`] (or an
+//!   explicit [`ServerHandle::hibernate_stream`]), idle streams'
+//!   in-memory pipeline state is evicted to their binary checkpoint —
+//!   reusing the freshest background spill when clean — and workspace
+//!   scratch returns to the shard pool, so fleets far larger than RAM
+//!   would allow stay attached in a bounded hot-tier budget; the next
+//!   ingest, checkpoint or detach rehydrates transparently and
+//!   bitwise-identically (`tests/hibernate.rs`, `ARCHITECTURE.md` §9).
 //!
 //! # Lifecycle
 //!
@@ -99,14 +107,15 @@ mod shard;
 pub mod sink;
 pub mod supervisor;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, TierPolicy};
 pub use event::{EventBus, ServeEvent, ServeEventKind};
 pub use router::StreamRouter;
 pub use server::{
-    deterministic_spec, FrameDropBreakdown, HealthSnapshot, IngestError, MigratedStream,
-    ResizeReport, ServeError, ServeReport, ServerHandle, ShardHealth, ShardLoad, StreamCheckpoint,
-    StreamClient, StreamSummary,
+    deterministic_spec, FrameDropBreakdown, HealthSnapshot, HibernateOutcome, IngestError,
+    MigratedStream, ResizeReport, ServeError, ServeReport, ServerHandle, ShardHealth, ShardLoad,
+    StreamCheckpoint, StreamClient, StreamSummary,
 };
+pub use shard::{TierKind, TierScanEntry};
 pub use sink::{MetricRetention, SnapshotSink};
 pub use supervisor::{
     CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ResizePolicy, Supervisor,

@@ -15,7 +15,8 @@ use crate::config::ServeConfig;
 use crate::event::{EventBus, ServeEvent};
 use crate::router::StreamRouter;
 use crate::shard::{
-    MigrationBundle, Payload, RestoreKind, ShardGauge, ShardMsg, ShardReport, ShardWorker,
+    BundleState, MigrationBundle, Payload, RestoreKind, ShardGauge, ShardMsg, ShardReport,
+    ShardWorker, TierScanEntry,
 };
 use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{PipelineError, RunConfig, RunResult};
@@ -26,6 +27,7 @@ use rbm_im_streams::{Instance, StreamSchema};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -135,6 +137,33 @@ pub struct StreamCheckpoint {
     pub checkpoint: PipelineCheckpoint,
 }
 
+/// What [`ServerHandle::hibernate_stream`] (or the supervisor's
+/// [`TierPolicy`](crate::config::TierPolicy) pass) did to the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HibernateOutcome {
+    /// The stream's live state was evicted to its binary checkpoint.
+    Hibernated {
+        /// Instances the cold checkpoint covers.
+        position: u64,
+        /// `true` when a fresh background spill at the same position let
+        /// the eviction reuse the disk file without encoding; `false` when
+        /// dirty state was encoded on demand (held in memory until the
+        /// supervisor demotes it to disk).
+        clean: bool,
+    },
+    /// The stream was already cold with in-memory bytes, and a matching
+    /// spill let them be replaced by the disk file.
+    DemotedToDisk {
+        /// Instances the cold checkpoint covers.
+        position: u64,
+    },
+    /// The stream was already cold; nothing changed.
+    AlreadyCold {
+        /// Instances the cold checkpoint covers.
+        position: u64,
+    },
+}
+
 /// One stream moved by an elastic resize.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigratedStream {
@@ -242,8 +271,12 @@ impl FrameDropBreakdown {
 pub struct ShardHealth {
     /// Shard slot index.
     pub shard: usize,
-    /// Streams currently attached to this shard.
+    /// Streams currently attached to this shard (hot + cold).
     pub streams: usize,
+    /// Attached streams with live in-memory pipeline state.
+    pub hot_streams: usize,
+    /// Attached streams hibernated to their binary checkpoint.
+    pub cold_streams: usize,
     /// Ingest messages enqueued but not yet processed.
     pub queue_depth: u64,
     /// Instances inside those unprocessed messages.
@@ -260,13 +293,22 @@ pub struct ShardHealth {
 pub struct HealthSnapshot {
     /// Per-shard rows, by slot index.
     pub shards: Vec<ShardHealth>,
-    /// Total attached streams across all shards.
+    /// Total attached streams across all shards (hot + cold).
     pub streams: usize,
+    /// Attached streams with live in-memory pipeline state.
+    pub hot_streams: usize,
+    /// Attached streams hibernated to their binary checkpoint (the cold
+    /// tier — see `ARCHITECTURE.md` §9).
+    pub cold_streams: usize,
     /// Median per-message ingest latency in seconds, merged across shards
     /// (0 when timing instrumentation is off or nothing was recorded).
     pub ingest_p50_seconds: f64,
     /// 99th-percentile per-message ingest latency in seconds.
     pub ingest_p99_seconds: f64,
+    /// 99th-percentile rehydration latency in seconds (cold → hot state
+    /// rebuilds; 0 until a stream has rehydrated). Always recorded —
+    /// rehydrates are cold-path transitions, not gated on `RBM_OBS`.
+    pub rehydrate_p99_seconds: f64,
     /// Seconds since the last checkpoint spill acknowledged via the
     /// supervisor, or `-1` when no spill has happened yet.
     pub last_spill_age_seconds: f64,
@@ -650,14 +692,24 @@ impl ServerHandle {
             self.inner.topology.read().expect("topology lock poisoned").shards.clone();
         let mut shards = Vec::with_capacity(links.len());
         let mut total_streams = 0usize;
+        let mut total_hot = 0usize;
+        let mut total_cold = 0usize;
         for (index, link) in links.iter().enumerate() {
+            // A tier scan rather than a bare inventory: same barrier, but
+            // the rows also say which residency tier each stream occupies.
             let (reply_tx, reply_rx) = channel();
-            let streams = if link.tx.send(ShardMsg::Inventory { reply: reply_tx }).is_ok() {
-                reply_rx.recv().map(|ids| ids.len()).unwrap_or(0)
+            let entries = if link.tx.send(ShardMsg::Tiers { reply: reply_tx }).is_ok() {
+                reply_rx.recv().unwrap_or_default()
             } else {
-                0
+                Vec::new()
             };
+            let streams = entries.len();
+            let hot =
+                entries.iter().filter(|e| matches!(e.tier, crate::shard::TierKind::Hot)).count();
+            let cold = streams - hot;
             total_streams += streams;
+            total_hot += hot;
+            total_cold += cold;
             let enq_m = link.gauge.enqueued_messages.get();
             let pro_m = link.gauge.processed_messages.get();
             let enq_i = link.gauge.enqueued_instances.get();
@@ -665,13 +717,16 @@ impl ServerHandle {
             shards.push(ShardHealth {
                 shard: index,
                 streams,
+                hot_streams: hot,
+                cold_streams: cold,
                 queue_depth: enq_m.saturating_sub(pro_m),
                 queued_instances: enq_i.saturating_sub(pro_i),
                 processed_instances: pro_i,
             });
         }
-        let ingest =
-            self.inner.metrics.snapshot().merged_histogram("rbm_serve_ingest_latency_seconds");
+        let snapshot = self.inner.metrics.snapshot();
+        let ingest = snapshot.merged_histogram("rbm_serve_ingest_latency_seconds");
+        let rehydrate = snapshot.merged_histogram("rbm_serve_rehydrate_seconds");
         let last_spill_ns = self.inner.last_spill_ns.load(Ordering::Relaxed);
         let last_spill_age_seconds = if last_spill_ns == u64::MAX {
             -1.0
@@ -682,8 +737,11 @@ impl ServerHandle {
         HealthSnapshot {
             shards,
             streams: total_streams,
+            hot_streams: total_hot,
+            cold_streams: total_cold,
             ingest_p50_seconds: ingest.quantile(0.5) as f64 / 1e9,
             ingest_p99_seconds: ingest.quantile(0.99) as f64 / 1e9,
+            rehydrate_p99_seconds: rehydrate.quantile(0.99) as f64 / 1e9,
             last_spill_age_seconds,
         }
     }
@@ -809,6 +867,64 @@ impl ServerHandle {
         reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?
     }
 
+    /// Hibernates one attached stream: its live pipeline state is encoded
+    /// to its binary checkpoint (held in memory until the supervisor's
+    /// next spill demotes it to disk), its workspace scratch returns to
+    /// the shard pool, and the stream stays attached — the next ingest,
+    /// checkpoint or detach transparently rehydrates it,
+    /// bitwise-identically. Normally the supervisor's
+    /// [`TierPolicy`](crate::config::TierPolicy) drives this; the manual
+    /// entry point exists for explicit cold-start flows (attach a large
+    /// fleet, hibernate the idle tail up front).
+    pub fn hibernate_stream(&self, stream_id: &str) -> Result<HibernateOutcome, ServeError> {
+        self.hibernate_with(stream_id, None)
+    }
+
+    /// [`ServerHandle::hibernate_stream`] with the freshest background
+    /// spill of the stream, as `(position, path)`: when the spill position
+    /// matches the stream's, the eviction is **clean** — the disk file
+    /// becomes the cold handle and no encode happens — and an already-cold
+    /// in-memory handle is demoted to the disk file.
+    pub(crate) fn hibernate_with(
+        &self,
+        stream_id: &str,
+        spill: Option<(u64, PathBuf)>,
+    ) -> Result<HibernateOutcome, ServeError> {
+        // Control lock: hibernation must not race a resize extracting the
+        // same stream (the shard also refuses parked ids, belt-and-braces).
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let (reply_tx, reply_rx) = channel();
+        self.inner
+            .send_routed(
+                stream_id,
+                ShardMsg::Hibernate { id: Arc::from(stream_id), spill, reply: reply_tx },
+            )
+            .map_err(|_| ServeError::ShardUnavailable)?;
+        reply_rx.recv().map_err(|_| ServeError::ShardUnavailable)?
+    }
+
+    /// Per-stream tier rows across the whole fleet (id, position, idle
+    /// age, tier, resident bytes), sorted by stream id — the supervisor's
+    /// tier policy plans its evictions from this, and budget-conscious
+    /// callers audit their hot-tier population through it. Control-locked
+    /// barrier, like [`ServerHandle::attached_streams`].
+    pub fn tier_scan(&self) -> Vec<TierScanEntry> {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let links: Vec<ShardLink> =
+            self.inner.topology.read().expect("topology lock poisoned").shards.clone();
+        let mut replies = Vec::with_capacity(links.len());
+        for link in &links {
+            let (reply_tx, reply_rx) = channel();
+            if link.tx.send(ShardMsg::Tiers { reply: reply_tx }).is_ok() {
+                replies.push(reply_rx);
+            }
+        }
+        let mut entries: Vec<TierScanEntry> =
+            replies.into_iter().filter_map(|rx| rx.recv().ok()).flatten().collect();
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        entries
+    }
+
     /// Captures non-destructive checkpoints of **every** attached stream,
     /// sorted by stream id. The restart-from-disk flow is
     /// `drain(); checkpoint_all()` → spill via
@@ -852,7 +968,7 @@ impl ServerHandle {
                 ShardMsg::Restore {
                     id: Arc::clone(&id),
                     bundle: MigrationBundle {
-                        checkpoint: checkpoint.checkpoint.clone(),
+                        state: BundleState::Hot(checkpoint.checkpoint.clone()),
                         parked: Vec::new(),
                     },
                     kind: RestoreKind::FromDisk,

@@ -28,22 +28,52 @@
 //! * `Restore` rebuilds a stream from a bundle, replays the carried
 //!   instances and then the target's own park buffer — in exactly arrival
 //!   order, so a migrated stream loses nothing and reorders nothing.
+//!
+//! Streams additionally live in one of two **residency tiers**
+//! (`ARCHITECTURE.md` §9). A [`StreamSlot::Hot`] slot holds live pipeline
+//! state; a [`StreamSlot::Cold`] slot holds only the stream's binary
+//! checkpoint — as in-memory bytes right after a dirty eviction, or as a
+//! path into the spill directory once the supervisor has demoted it to
+//! disk. `Hibernate` evicts (reusing the caller's fresh spill when the
+//! positions match, encoding on demand otherwise) and returns the
+//! stream's workspace scratch to the shard pool; ingest, detach and
+//! shutdown transparently rehydrate through the same codec path the
+//! migration protocol uses, so a hibernated stream is observationally
+//! identical to a hot one — bitwise.
 
 use crate::event::{EventBus, ServeEvent, ServeEventKind};
-use crate::server::{ServeError, StreamCheckpoint, StreamSummary};
+use crate::server::{HibernateOutcome, ServeError, StreamCheckpoint, StreamSummary};
 use rbm_im::pool::WorkspacePool;
 use rbm_im::RbmIm;
 use rbm_im_detectors::DriftDetector;
+use rbm_im_harness::checkpoint::codec::{self, CheckpointCodec};
 use rbm_im_harness::checkpoint::PipelineCheckpoint;
 use rbm_im_harness::pipeline::{RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_harness::stepper::PipelineStepper;
-use rbm_im_obs::{Counter, Histogram, MetricsRegistry};
+use rbm_im_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use rbm_im_streams::{Instance, StreamSchema};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Whether `RBM_HIBERNATE` forces aggressive shard-level hibernation:
+/// every stream is evicted to its binary checkpoint right after **each**
+/// processed ingest message, so the next message rehydrates it again.
+/// Worst-case thrash on purpose — the CI `hibernate` job runs the
+/// determinism suites under this to prove tiering is bitwise-invisible.
+/// Read once; the value is fixed for the process lifetime.
+fn forced_hibernate() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        matches!(
+            std::env::var("RBM_HIBERNATE").ok().as_deref(),
+            Some("on") | Some("1") | Some("true") | Some("aggressive") | Some("every")
+        )
+    })
+}
 
 /// Lock-free per-shard load counters, shared between the ingest senders
 /// (which count enqueues) and the worker thread (which counts completions).
@@ -125,12 +155,63 @@ impl Payload {
     }
 }
 
+/// Where a cold stream's checkpoint bytes live.
+#[derive(Debug)]
+pub(crate) enum ColdHandle {
+    /// Encoded on demand at eviction (the state was dirtier than the
+    /// freshest background spill); resident until the supervisor re-spills
+    /// and demotes it to disk.
+    Memory(Vec<u8>),
+    /// The authoritative spill file in the sink directory — zero resident
+    /// state beyond the path.
+    Disk(PathBuf),
+}
+
+impl ColdHandle {
+    /// Bytes this handle keeps resident in memory.
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            ColdHandle::Memory(bytes) => bytes.len() as u64,
+            ColdHandle::Disk(_) => 0,
+        }
+    }
+}
+
+/// A hibernated stream: attached, routable, but holding no live pipeline
+/// state — only its binary checkpoint.
+struct ColdStream {
+    handle: ColdHandle,
+    /// Instances the checkpoint covers (its resume offset).
+    position: u64,
+    /// When the stream went cold (tier-scan reporting).
+    since: Instant,
+}
+
+/// A stream's residency slot: live pipeline state, or its checkpoint.
+/// `Hot` is boxed so the streams map pays ~1 pointer per slot instead of
+/// sizing every bucket for the full pipeline state — at 100k mostly-cold
+/// streams the inline variant would cost ~75 MB of dead bucket space.
+enum StreamSlot {
+    Hot(Box<StreamState>),
+    Cold(ColdStream),
+}
+
+/// The transferable state inside a [`MigrationBundle`]: a hot stream
+/// moves as its captured checkpoint; a cold stream moves as its already-
+/// encoded checkpoint handle — **without rehydrating** — unless buffered
+/// instances force a replay on the target.
+#[derive(Debug)]
+pub(crate) enum BundleState {
+    Hot(PipelineCheckpoint),
+    Cold { handle: ColdHandle, position: u64 },
+}
+
 /// Everything needed to move a stream to another shard: its self-contained
-/// checkpoint plus the instances parked at the source while the migration
-/// was in flight.
+/// state plus the instances parked at the source while the migration was
+/// in flight.
 #[derive(Debug)]
 pub(crate) struct MigrationBundle {
-    pub checkpoint: PipelineCheckpoint,
+    pub state: BundleState,
     pub parked: Vec<Instance>,
 }
 
@@ -158,6 +239,37 @@ pub(crate) struct RestoreFailure {
     pub bundle: Option<Box<MigrationBundle>>,
 }
 
+/// One stream's row in a tier scan
+/// ([`ServerHandle::tier_scan`](crate::server::ServerHandle::tier_scan)):
+/// the supervisor's [`TierPolicy`](crate::config::TierPolicy) pass and
+/// `ServerHandle::health` both read these.
+#[derive(Debug, Clone)]
+pub struct TierScanEntry {
+    /// Stream id.
+    pub id: Arc<str>,
+    /// Instances processed (hot) or covered by the cold checkpoint.
+    pub position: u64,
+    /// Time since last ingest activity (hot) or since hibernation (cold).
+    pub idle: Duration,
+    /// Residency tier of the slot.
+    pub tier: TierKind,
+    /// Bytes the slot keeps resident beyond bookkeeping (cold in-memory
+    /// checkpoints; 0 for hot and disk-backed slots).
+    pub resident_bytes: u64,
+}
+
+/// Which tier a scanned stream occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierKind {
+    /// Live in-memory pipeline state.
+    Hot,
+    /// Hibernated; checkpoint bytes resident in memory (dirty eviction
+    /// awaiting its disk demotion).
+    ColdMemory,
+    /// Hibernated; only the spill file path is held.
+    ColdDisk,
+}
+
 /// Control/data messages of a shard's ingest channel. FIFO channel order
 /// doubles as the consistency mechanism: a `Drain` marker reaching the
 /// worker proves every earlier ingest has been fully processed, and an
@@ -179,8 +291,23 @@ pub(crate) enum ShardMsg {
     Ingest { id: Arc<str>, payload: Payload },
     /// Barrier: replied to once every earlier message is processed.
     Drain { reply: Sender<()> },
-    /// List the stream ids attached to this shard (resize planning).
+    /// List the stream ids attached to this shard (resize planning);
+    /// includes hibernated streams — they are attached.
     Inventory { reply: Sender<Vec<Arc<str>>> },
+    /// Per-stream tier rows (hot/cold, idleness, resident bytes) for the
+    /// supervisor's tier policy and `health()`.
+    Tiers { reply: Sender<Vec<TierScanEntry>> },
+    /// Evict a stream's live state to its binary checkpoint. `spill`
+    /// carries the freshest background spill (position, path): when it
+    /// matches the stream's position the eviction is **clean** (the disk
+    /// file becomes the cold handle, no encode); otherwise the state is
+    /// encoded on demand and held in memory. Also demotes an in-memory
+    /// cold handle to disk when the spill position matches.
+    Hibernate {
+        id: Arc<str>,
+        spill: Option<(u64, PathBuf)>,
+        reply: Sender<Result<HibernateOutcome, ServeError>>,
+    },
     /// Start buffering ingest for these ids instead of processing it.
     Park { ids: Vec<Arc<str>>, reply: Sender<()> },
     /// Remove a (parked) stream and hand its state + park buffer over.
@@ -197,7 +324,8 @@ pub(crate) enum ShardMsg {
         kind: RestoreKind,
         reply: Sender<Result<(), RestoreFailure>>,
     },
-    /// Non-destructive checkpoint of one stream.
+    /// Non-destructive checkpoint of one stream (a cold stream's handle is
+    /// decoded — not rehydrated).
     Checkpoint { id: Arc<str>, reply: Sender<Result<StreamCheckpoint, ServeError>> },
     /// Non-destructive checkpoint of every stream on this shard.
     CheckpointAll { reply: Sender<Result<Vec<StreamCheckpoint>, ServeError>> },
@@ -224,6 +352,10 @@ struct StreamState {
     /// micro-batch, see [`ShardWorker::ingest`]) and only taken while
     /// [`rbm_im_obs::enabled`] is on.
     step_latency: Arc<Histogram>,
+    /// When this stream last processed ingest (LRU signal of the
+    /// supervisor's tier policy; always maintained — one monotonic clock
+    /// read per ingest message, never influencing results).
+    last_active: Instant,
 }
 
 /// What a shard hands back when it stops.
@@ -241,12 +373,13 @@ pub(crate) struct ShardWorker {
     bus: Arc<EventBus>,
     /// Load counters shared with the ingest senders.
     gauge: Arc<ShardGauge>,
-    streams: HashMap<Arc<str>, StreamState>,
+    streams: HashMap<Arc<str>, StreamSlot>,
     /// Ingest buffers of parked stream ids (migration in flight).
     parked: HashMap<Arc<str>, Vec<Instance>>,
     /// RBM scratch workspaces pooled across this shard's streams: attach
     /// checks one out, detach returns it, so successive streams inherit
     /// grown buffer capacity instead of re-allocating (`rbm_im::pool`).
+    /// Hibernation returns the evicted stream's workspace here too.
     pool: WorkspacePool,
     /// Instances ingested for ids with no attached pipeline (dropped).
     dropped_unknown: u64,
@@ -259,6 +392,30 @@ pub(crate) struct ShardWorker {
     /// Queue-depth distribution sampled after each processed ingest
     /// message (`rbm_serve_queue_depth{shard}`).
     queue_depth: Arc<Histogram>,
+    /// Fleet-wide tier populations (`rbm_serve_streams{tier=hot|cold}`) —
+    /// shared instruments across all shards (same registry id), adjusted
+    /// with wait-free deltas at every tier transition.
+    tier_hot: Arc<Gauge>,
+    tier_cold: Arc<Gauge>,
+    /// Bytes held resident by in-memory cold handles
+    /// (`rbm_serve_cold_resident_bytes`, fleet-wide).
+    cold_bytes: Arc<Gauge>,
+    /// Rehydration latency (`rbm_serve_rehydrate_seconds`, fleet-wide).
+    /// Rehydrates are cold-path control transitions, so — like resize
+    /// phases — they are always recorded, independent of `RBM_OBS`.
+    rehydrate_latency: Arc<Histogram>,
+    /// `rbm_serve_hibernations_total{kind=clean|dirty}`.
+    hibernations_clean: Arc<Counter>,
+    hibernations_dirty: Arc<Counter>,
+    /// Cold slots whose rehydrate failed (unreadable/corrupt checkpoint).
+    rehydrate_failures: Arc<Counter>,
+    /// Shared unregistered histogram handed to every stream while
+    /// `RBM_OBS` is off. Per-stream step histograms are ~2 KB of buckets
+    /// each and registration takes the registry mutex — at 100k+ streams
+    /// that is hundreds of MB and a lock per attach/rehydrate for a
+    /// metric nobody records (step timing itself is obs-gated). With obs
+    /// off, every stream shares this one never-exported sink instead.
+    step_sink: Arc<Histogram>,
 }
 
 impl ShardWorker {
@@ -273,6 +430,15 @@ impl ShardWorker {
         let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
         let ingest_latency = metrics.histogram("rbm_serve_ingest_latency_seconds", labels);
         let queue_depth = metrics.histogram("rbm_serve_queue_depth", labels);
+        let tier_hot = metrics.gauge("rbm_serve_streams", &[("tier", "hot")]);
+        let tier_cold = metrics.gauge("rbm_serve_streams", &[("tier", "cold")]);
+        let cold_bytes = metrics.gauge("rbm_serve_cold_resident_bytes", &[]);
+        let rehydrate_latency = metrics.histogram("rbm_serve_rehydrate_seconds", &[]);
+        let hibernations_clean =
+            metrics.counter("rbm_serve_hibernations_total", &[("kind", "clean")]);
+        let hibernations_dirty =
+            metrics.counter("rbm_serve_hibernations_total", &[("kind", "dirty")]);
+        let rehydrate_failures = metrics.counter("rbm_serve_rehydrate_failures_total", &[]);
         ShardWorker {
             index,
             registry,
@@ -285,12 +451,27 @@ impl ShardWorker {
             metrics,
             ingest_latency,
             queue_depth,
+            tier_hot,
+            tier_cold,
+            cold_bytes,
+            rehydrate_latency,
+            hibernations_clean,
+            hibernations_dirty,
+            rehydrate_failures,
+            step_sink: Arc::new(Histogram::new()),
         }
     }
 
-    /// The per-stream step-timing histogram handle for `id`.
+    /// The per-stream step-timing histogram handle for `id`. Registered
+    /// (and thus exported) only while `RBM_OBS` is on; otherwise the
+    /// shard's shared [`Self::step_sink`] stands in, keeping attach and
+    /// rehydrate free of per-stream registry work at fleet scale.
     fn stream_step_histogram(&self, id: &str) -> Arc<Histogram> {
-        self.metrics.histogram("rbm_serve_stream_step_seconds", &[("stream", id)])
+        if rbm_im_obs::enabled() {
+            self.metrics.histogram("rbm_serve_stream_step_seconds", &[("stream", id)])
+        } else {
+            Arc::clone(&self.step_sink)
+        }
     }
 
     /// The worker loop: runs until `Shutdown` (or every sender hung up),
@@ -320,9 +501,19 @@ impl ShardWorker {
                     }
                 }
                 ShardMsg::Detach { id, reply } => {
-                    let result = match self.streams.remove(&id) {
-                        Some(state) => Ok(self.close_stream(&id, state)),
-                        None => Err(ServeError::UnknownStream(id.to_string())),
+                    // A cold stream rehydrates first: `finish` must flush
+                    // its trailing micro-batch and report the exact
+                    // RunResult an always-hot run would.
+                    let result = if self.streams.contains_key(&id) {
+                        match self.rehydrate(&id, "detach") {
+                            Ok(()) => match self.streams.remove(&id) {
+                                Some(StreamSlot::Hot(state)) => Ok(self.close_stream(&id, *state)),
+                                _ => Err(ServeError::UnknownStream(id.to_string())),
+                            },
+                            Err(e) => Err(e),
+                        }
+                    } else {
+                        Err(ServeError::UnknownStream(id.to_string()))
                     };
                     let _ = reply.send(result);
                 }
@@ -333,6 +524,37 @@ impl ShardWorker {
                     let mut inventory: Vec<Arc<str>> = self.streams.keys().cloned().collect();
                     inventory.sort();
                     let _ = reply.send(inventory);
+                }
+                ShardMsg::Tiers { reply } => {
+                    let mut entries: Vec<TierScanEntry> = self
+                        .streams
+                        .iter()
+                        .map(|(id, slot)| match slot {
+                            StreamSlot::Hot(state) => TierScanEntry {
+                                id: Arc::clone(id),
+                                position: state.stepper.instances(),
+                                idle: state.last_active.elapsed(),
+                                tier: TierKind::Hot,
+                                resident_bytes: 0,
+                            },
+                            StreamSlot::Cold(cold) => TierScanEntry {
+                                id: Arc::clone(id),
+                                position: cold.position,
+                                idle: cold.since.elapsed(),
+                                tier: match cold.handle {
+                                    ColdHandle::Memory(_) => TierKind::ColdMemory,
+                                    ColdHandle::Disk(_) => TierKind::ColdDisk,
+                                },
+                                resident_bytes: cold.handle.resident_bytes(),
+                            },
+                        })
+                        .collect();
+                    entries.sort_by(|a, b| a.id.cmp(&b.id));
+                    let _ = reply.send(entries);
+                }
+                ShardMsg::Hibernate { id, spill, reply } => {
+                    let result = self.hibernate(&id, spill.as_ref());
+                    let _ = reply.send(result);
                 }
                 ShardMsg::Park { ids, reply } => {
                     for id in ids {
@@ -353,7 +575,8 @@ impl ShardWorker {
                 }
                 ShardMsg::Checkpoint { id, reply } => {
                     let result = match self.streams.get(&id) {
-                        Some(state) => checkpoint_stream(&id, state),
+                        Some(StreamSlot::Hot(state)) => checkpoint_stream(&id, state),
+                        Some(StreamSlot::Cold(cold)) => cold_checkpoint(&id, cold),
                         None => Err(ServeError::UnknownStream(id.to_string())),
                     };
                     let _ = reply.send(result);
@@ -363,7 +586,10 @@ impl ShardWorker {
                     ids.sort();
                     let result = ids
                         .iter()
-                        .map(|id| checkpoint_stream(id, &self.streams[id]))
+                        .map(|id| match &self.streams[id] {
+                            StreamSlot::Hot(state) => checkpoint_stream(id, state),
+                            StreamSlot::Cold(cold) => cold_checkpoint(id, cold),
+                        })
                         .collect::<Result<Vec<_>, _>>();
                     let _ = reply.send(result);
                 }
@@ -371,14 +597,31 @@ impl ShardWorker {
             }
         }
         // Finalize every stream still attached, in id order so reports are
-        // deterministic.
+        // deterministic. Cold streams rehydrate so their trailing micro-
+        // batches flush and their summaries match an always-hot shutdown.
         let mut ids: Vec<Arc<str>> = self.streams.keys().cloned().collect();
         ids.sort();
         let mut summaries = Vec::with_capacity(ids.len());
         for id in ids {
-            let state = self.streams.remove(&id).expect("stream present");
-            let result = self.close_stream(&id, state);
-            summaries.push(StreamSummary { stream: id.to_string(), shard: self.index, result });
+            let _ = self.rehydrate(&id, "shutdown");
+            match self.streams.remove(&id).expect("stream present") {
+                StreamSlot::Hot(state) => {
+                    let result = self.close_stream(&id, *state);
+                    summaries.push(StreamSummary {
+                        stream: id.to_string(),
+                        shard: self.index,
+                        result,
+                    });
+                }
+                StreamSlot::Cold(cold) => {
+                    // Rehydrate failed (unreadable checkpoint): the
+                    // stream's summary is unrecoverable. Surfaced via
+                    // `rbm_serve_rehydrate_failures_total` — the report
+                    // simply misses this stream, like a panicked worker's.
+                    self.tier_cold.add(-1);
+                    self.cold_bytes.add(-(cold.handle.resident_bytes() as i64));
+                }
+            }
         }
         ShardReport {
             summaries,
@@ -416,6 +659,18 @@ impl ShardWorker {
         Ok((stepper, pooled_workspace))
     }
 
+    /// Returns a state's pooled workspace to the shard pool (if it
+    /// adopted one) — shared by close, extract and hibernate.
+    fn reclaim_workspace(&mut self, state: &mut StreamState) {
+        if state.pooled_workspace {
+            if let Some(rbm) =
+                state.stepper.detector_mut().as_any_mut().and_then(|a| a.downcast_mut::<RbmIm>())
+            {
+                self.pool.restore(rbm.take_workspace());
+            }
+        }
+    }
+
     fn attach(
         &mut self,
         id: Arc<str>,
@@ -433,8 +688,19 @@ impl ShardWorker {
             kind: ServeEventKind::Attached,
         });
         let step_latency = self.stream_step_histogram(&id);
-        self.streams
-            .insert(id, StreamState { stepper, schema, spec, run, pooled_workspace, step_latency });
+        self.tier_hot.add(1);
+        self.streams.insert(
+            id,
+            StreamSlot::Hot(Box::new(StreamState {
+                stepper,
+                schema,
+                spec,
+                run,
+                pooled_workspace,
+                step_latency,
+                last_active: Instant::now(),
+            })),
+        );
         Ok(())
     }
 
@@ -446,7 +712,20 @@ impl ShardWorker {
             buffer.extend(payload.into_instances());
             return;
         }
-        let Some(state) = self.streams.get_mut(id) else {
+        // A cold slot transparently rehydrates before stepping: the
+        // triggering payload waits right here on the worker thread, so
+        // per-stream order is untouched.
+        if matches!(self.streams.get(id), Some(StreamSlot::Cold(_)))
+            && self.rehydrate(id, "ingest").is_err()
+        {
+            // Unreadable cold checkpoint: dropping the payload (counted)
+            // beats panicking the whole shard. The slot stays cold, so a
+            // later detach/shutdown surfaces the same failure.
+            self.rehydrate_failures.inc();
+            self.dropped_unknown += payload.len();
+            return;
+        }
+        let Some(StreamSlot::Hot(state)) = self.streams.get_mut(id) else {
             self.dropped_unknown += payload.len();
             return;
         };
@@ -473,11 +752,158 @@ impl ShardWorker {
                 }
             }
         }
+        state.last_active = Instant::now();
         if let Some(started) = started {
             let elapsed_ns = started.elapsed().as_nanos() as u64;
             self.ingest_latency.record(elapsed_ns);
             state.step_latency.record(elapsed_ns);
         }
+        // Forced tiering (`RBM_HIBERNATE`): evict right back to cold after
+        // every message, so the determinism suites thrash the hibernate/
+        // rehydrate cycle as hard as possible.
+        if forced_hibernate() {
+            let _ = self.hibernate(id, None);
+        }
+    }
+
+    /// Evicts a stream's live pipeline state to its binary checkpoint (or
+    /// demotes an in-memory cold handle to a matching disk spill). See
+    /// [`ShardMsg::Hibernate`].
+    fn hibernate(
+        &mut self,
+        id: &Arc<str>,
+        spill: Option<&(u64, PathBuf)>,
+    ) -> Result<HibernateOutcome, ServeError> {
+        if self.parked.contains_key(id) {
+            // Mid-migration: the extract owns this stream's fate.
+            return Err(ServeError::Checkpoint(format!("stream `{id}` is parked for migration")));
+        }
+        match self.streams.get_mut(id) {
+            None => Err(ServeError::UnknownStream(id.to_string())),
+            Some(StreamSlot::Cold(cold)) => {
+                if let Some((position, path)) = spill {
+                    if *position == cold.position && matches!(cold.handle, ColdHandle::Memory(_)) {
+                        // The spill captures exactly this state (positions
+                        // are monotone and the pipeline is deterministic,
+                        // so equal position ⇒ identical state): the disk
+                        // file replaces the resident bytes.
+                        self.cold_bytes.add(-(cold.handle.resident_bytes() as i64));
+                        cold.handle = ColdHandle::Disk(path.clone());
+                        return Ok(HibernateOutcome::DemotedToDisk { position: *position });
+                    }
+                }
+                Ok(HibernateOutcome::AlreadyCold { position: cold.position })
+            }
+            Some(StreamSlot::Hot(state)) => {
+                let position = state.stepper.instances();
+                let clean = matches!(spill, Some((p, _)) if *p == position);
+                let handle = if clean {
+                    let (_, path) = spill.expect("clean implies spill");
+                    ColdHandle::Disk(path.clone())
+                } else {
+                    // Dirty: encode the current state on demand. Kept in
+                    // memory — shard workers never write spill files (the
+                    // supervisor thread owns the disk), so a racing
+                    // background spill can never clobber fresher state.
+                    let snapshot = state
+                        .stepper
+                        .state_snapshot()
+                        .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+                    let checkpoint = StreamCheckpoint {
+                        stream: id.to_string(),
+                        checkpoint: PipelineCheckpoint {
+                            schema: state.schema.clone(),
+                            spec: state.spec.clone(),
+                            run: state.run,
+                            state: snapshot,
+                        },
+                    };
+                    ColdHandle::Memory(codec::encode(CheckpointCodec::Binary, &checkpoint))
+                };
+                let Some(StreamSlot::Hot(mut state)) = self.streams.remove(id) else {
+                    unreachable!("slot checked hot above");
+                };
+                self.reclaim_workspace(&mut state);
+                drop(state);
+                self.cold_bytes.add(handle.resident_bytes() as i64);
+                self.streams.insert(
+                    Arc::clone(id),
+                    StreamSlot::Cold(ColdStream { handle, position, since: Instant::now() }),
+                );
+                self.tier_hot.add(-1);
+                self.tier_cold.add(1);
+                if clean {
+                    self.hibernations_clean.inc();
+                } else {
+                    self.hibernations_dirty.inc();
+                }
+                self.bus.publish(ServeEvent {
+                    stream: Arc::clone(id),
+                    shard: self.index,
+                    kind: ServeEventKind::Hibernated { position, clean },
+                });
+                Ok(HibernateOutcome::Hibernated { position, clean })
+            }
+        }
+    }
+
+    /// Rebuilds a cold stream's live state from its checkpoint handle
+    /// (no-op for hot streams). On failure the cold slot stays intact.
+    fn rehydrate(&mut self, id: &Arc<str>, trigger: &'static str) -> Result<(), ServeError> {
+        let checkpoint = match self.streams.get(id) {
+            Some(StreamSlot::Hot(_)) => return Ok(()),
+            Some(StreamSlot::Cold(cold)) => cold_checkpoint(id, cold)?,
+            None => return Err(ServeError::UnknownStream(id.to_string())),
+        };
+        let started = Instant::now();
+        let StreamCheckpoint { checkpoint, .. } = checkpoint;
+        let (mut stepper, pooled_workspace) =
+            self.build_stream(&checkpoint.schema, &checkpoint.spec, checkpoint.run)?;
+        if let Err(e) = stepper.restore_state(&checkpoint.state) {
+            // Reclaim the pooled workspace before the stepper is dropped.
+            if pooled_workspace {
+                if let Some(rbm) =
+                    stepper.detector_mut().as_any_mut().and_then(|a| a.downcast_mut::<RbmIm>())
+                {
+                    self.pool.restore(rbm.take_workspace());
+                }
+            }
+            return Err(ServeError::Checkpoint(e.to_string()));
+        }
+        let position = stepper.instances();
+        let step_latency = self.stream_step_histogram(id);
+        let old = self.streams.insert(
+            Arc::clone(id),
+            StreamSlot::Hot(Box::new(StreamState {
+                stepper,
+                schema: checkpoint.schema,
+                spec: checkpoint.spec,
+                run: checkpoint.run,
+                pooled_workspace,
+                step_latency,
+                last_active: Instant::now(),
+            })),
+        );
+        if let Some(StreamSlot::Cold(cold)) = old {
+            self.cold_bytes.add(-(cold.handle.resident_bytes() as i64));
+        }
+        self.tier_cold.add(-1);
+        self.tier_hot.add(1);
+        self.note_rehydrated(id, position, started, trigger);
+        Ok(())
+    }
+
+    /// Rehydration telemetry + bus event (shared with the migration-replay
+    /// path): latency histogram (always recorded — cold path), trigger-
+    /// labelled counter, `Rehydrated` event.
+    fn note_rehydrated(&self, id: &Arc<str>, position: u64, started: Instant, trigger: &str) {
+        self.rehydrate_latency.record(started.elapsed().as_nanos() as u64);
+        self.metrics.counter("rbm_serve_rehydrations_total", &[("trigger", trigger)]).inc();
+        self.bus.publish(ServeEvent {
+            stream: Arc::clone(id),
+            shard: self.index,
+            kind: ServeEventKind::Rehydrated { position },
+        });
     }
 
     /// Removes a stream and packages it for migration. The park entry is
@@ -485,34 +911,46 @@ impl ShardWorker {
     /// topology swap keeps buffering; `Unpark` later collects those
     /// stragglers. The stream's pooled workspace stays in *this* shard's
     /// pool — scratch carries no state and the target adopts its own.
+    /// A cold stream leaves as its checkpoint handle, unrehydrated.
     fn extract(&mut self, id: &Arc<str>) -> Result<MigrationBundle, ServeError> {
-        let Some(mut state) = self.streams.remove(id) else {
+        let Some(slot) = self.streams.remove(id) else {
             return Err(ServeError::UnknownStream(id.to_string()));
         };
-        let snapshot = match state.stepper.state_snapshot() {
-            Ok(snapshot) => snapshot,
-            Err(e) => {
-                // Abort: the stream stays attached on this shard.
-                let result = Err(ServeError::Checkpoint(e.to_string()));
-                self.streams.insert(Arc::clone(id), state);
-                return result;
+        let parked_of = |parked: &mut HashMap<Arc<str>, Vec<Instance>>| {
+            parked.get_mut(id).map(std::mem::take).unwrap_or_default()
+        };
+        match slot {
+            StreamSlot::Cold(cold) => {
+                self.tier_cold.add(-1);
+                self.cold_bytes.add(-(cold.handle.resident_bytes() as i64));
+                let parked = parked_of(&mut self.parked);
+                Ok(MigrationBundle {
+                    state: BundleState::Cold { handle: cold.handle, position: cold.position },
+                    parked,
+                })
             }
-        };
-        let checkpoint = PipelineCheckpoint {
-            schema: state.schema.clone(),
-            spec: state.spec.clone(),
-            run: state.run,
-            state: snapshot,
-        };
-        let parked = self.parked.get_mut(id).map(std::mem::take).unwrap_or_default();
-        if state.pooled_workspace {
-            if let Some(rbm) =
-                state.stepper.detector_mut().as_any_mut().and_then(|a| a.downcast_mut::<RbmIm>())
-            {
-                self.pool.restore(rbm.take_workspace());
+            StreamSlot::Hot(mut state) => {
+                let snapshot = match state.stepper.state_snapshot() {
+                    Ok(snapshot) => snapshot,
+                    Err(e) => {
+                        // Abort: the stream stays attached on this shard.
+                        let result = Err(ServeError::Checkpoint(e.to_string()));
+                        self.streams.insert(Arc::clone(id), StreamSlot::Hot(state));
+                        return result;
+                    }
+                };
+                let checkpoint = PipelineCheckpoint {
+                    schema: state.schema.clone(),
+                    spec: state.spec.clone(),
+                    run: state.run,
+                    state: snapshot,
+                };
+                let parked = parked_of(&mut self.parked);
+                self.reclaim_workspace(&mut state);
+                self.tier_hot.add(-1);
+                Ok(MigrationBundle { state: BundleState::Hot(checkpoint), parked })
             }
         }
-        Ok(MigrationBundle { checkpoint, parked })
     }
 
     /// Closes a park entry. Still-attached stream (migration abort):
@@ -531,10 +969,13 @@ impl ShardWorker {
         }
     }
 
-    /// Rebuilds a stream from a migration bundle (or a disk checkpoint):
-    /// fresh stepper from the recorded spec, state restored, then the
-    /// carried instances and this shard's own park buffer replayed in
-    /// arrival order.
+    /// Rebuilds a stream from a migration bundle (or a disk checkpoint).
+    /// A **cold** bundle with nothing to replay transfers as bytes — the
+    /// stream lands cold on this shard without ever rehydrating; buffered
+    /// instances (carried or locally parked) force a rehydrate + replay.
+    /// A **hot** bundle builds a fresh stepper from the recorded spec,
+    /// restores the state, then replays carried + locally parked
+    /// instances in arrival order.
     fn restore(
         &mut self,
         id: Arc<str>,
@@ -547,14 +988,81 @@ impl ShardWorker {
                 bundle: Some(Box::new(bundle)),
             });
         }
-        let MigrationBundle { checkpoint, parked } = bundle;
+        let MigrationBundle { state, parked } = bundle;
+        match state {
+            BundleState::Cold { handle, position } => {
+                let locally_parked = self.parked.get(&id).is_some_and(|b| !b.is_empty());
+                if parked.is_empty() && !locally_parked {
+                    // Pure transfer: the checkpoint bytes become this
+                    // shard's cold slot; no decode, no pipeline rebuild.
+                    self.parked.remove(&id);
+                    self.cold_bytes.add(handle.resident_bytes() as i64);
+                    self.streams.insert(
+                        Arc::clone(&id),
+                        StreamSlot::Cold(ColdStream { handle, position, since: Instant::now() }),
+                    );
+                    self.tier_cold.add(1);
+                    if let Some(kind) = restore_event(kind) {
+                        self.bus.publish(ServeEvent {
+                            stream: Arc::clone(&id),
+                            shard: self.index,
+                            kind,
+                        });
+                    }
+                    return Ok(());
+                }
+                // Instances are waiting: decode and restore hot, replaying
+                // them — a rehydration in migration clothing.
+                let started = Instant::now();
+                let cold = ColdStream { handle, position, since: started };
+                let checkpoint = match cold_checkpoint(&id, &cold) {
+                    Ok(checkpoint) => checkpoint,
+                    Err(error) => {
+                        return Err(RestoreFailure {
+                            error,
+                            bundle: Some(Box::new(MigrationBundle {
+                                state: BundleState::Cold {
+                                    handle: cold.handle,
+                                    position: cold.position,
+                                },
+                                parked,
+                            })),
+                        });
+                    }
+                };
+                self.restore_hot(
+                    Arc::clone(&id),
+                    checkpoint.checkpoint,
+                    parked,
+                    kind,
+                    Some(started),
+                )
+            }
+            BundleState::Hot(checkpoint) => self.restore_hot(id, checkpoint, parked, kind, None),
+        }
+    }
+
+    /// The hot-restore body shared by migration, restart-from-disk,
+    /// reinstatement and cold-bundle rehydration (`rehydrated_at` is the
+    /// decode start time when this restore doubles as a rehydrate).
+    fn restore_hot(
+        &mut self,
+        id: Arc<str>,
+        checkpoint: PipelineCheckpoint,
+        parked: Vec<Instance>,
+        kind: RestoreKind,
+        rehydrated_at: Option<Instant>,
+    ) -> Result<(), RestoreFailure> {
         let (mut stepper, pooled_workspace) =
             match self.build_stream(&checkpoint.schema, &checkpoint.spec, checkpoint.run) {
                 Ok(built) => built,
                 Err(error) => {
                     return Err(RestoreFailure {
                         error,
-                        bundle: Some(Box::new(MigrationBundle { checkpoint, parked })),
+                        bundle: Some(Box::new(MigrationBundle {
+                            state: BundleState::Hot(checkpoint),
+                            parked,
+                        })),
                     });
                 }
             };
@@ -570,33 +1078,37 @@ impl ShardWorker {
             }
             return Err(RestoreFailure {
                 error: ServeError::Checkpoint(e.to_string()),
-                bundle: Some(Box::new(MigrationBundle { checkpoint, parked })),
+                bundle: Some(Box::new(MigrationBundle {
+                    state: BundleState::Hot(checkpoint),
+                    parked,
+                })),
             });
         }
+        let position = stepper.instances();
         let step_latency = self.stream_step_histogram(&id);
+        self.tier_hot.add(1);
         self.streams.insert(
             Arc::clone(&id),
-            StreamState {
+            StreamSlot::Hot(Box::new(StreamState {
                 stepper,
                 schema: checkpoint.schema,
                 spec: checkpoint.spec,
                 run: checkpoint.run,
                 pooled_workspace,
                 step_latency,
-            },
+                last_active: Instant::now(),
+            })),
         );
         // A live migration announces where the stream came from; a restore
         // from disk announces the stream like any fresh attach, so bus
         // subscribers see every serving stream either way. A reinstatement
         // after an aborted migration is silent — subscribers already saw
         // this stream attach.
-        let event = match kind {
-            RestoreKind::Migration { from_shard } => Some(ServeEventKind::Migrated { from_shard }),
-            RestoreKind::FromDisk => Some(ServeEventKind::Attached),
-            RestoreKind::Reinstate => None,
-        };
-        if let Some(kind) = event {
+        if let Some(kind) = restore_event(kind) {
             self.bus.publish(ServeEvent { stream: Arc::clone(&id), shard: self.index, kind });
+        }
+        if let Some(started) = rehydrated_at {
+            self.note_rehydrated(&id, position, started, "migrate");
         }
         // Replay in arrival order: instances parked at the source first,
         // then whatever this shard parked while waiting for the state. The
@@ -630,6 +1142,7 @@ impl ShardWorker {
                 self.pool.restore(rbm.take_workspace());
             }
         }
+        self.tier_hot.add(-1);
         self.bus.publish(ServeEvent {
             stream: Arc::clone(id),
             shard: self.index,
@@ -639,7 +1152,16 @@ impl ShardWorker {
     }
 }
 
-/// Non-destructive checkpoint of one attached stream.
+/// The bus event a restore publishes, by restore kind.
+fn restore_event(kind: RestoreKind) -> Option<ServeEventKind> {
+    match kind {
+        RestoreKind::Migration { from_shard } => Some(ServeEventKind::Migrated { from_shard }),
+        RestoreKind::FromDisk => Some(ServeEventKind::Attached),
+        RestoreKind::Reinstate => None,
+    }
+}
+
+/// Non-destructive checkpoint of one attached (hot) stream.
 fn checkpoint_stream(id: &Arc<str>, state: &StreamState) -> Result<StreamCheckpoint, ServeError> {
     let snapshot =
         state.stepper.state_snapshot().map_err(|e| ServeError::Checkpoint(e.to_string()))?;
@@ -652,4 +1174,27 @@ fn checkpoint_stream(id: &Arc<str>, state: &StreamState) -> Result<StreamCheckpo
             state: snapshot,
         },
     })
+}
+
+/// Non-destructive checkpoint of a cold stream: its handle is decoded
+/// (memory bytes or the spill file) — the stream is **not** rehydrated.
+fn cold_checkpoint(id: &Arc<str>, cold: &ColdStream) -> Result<StreamCheckpoint, ServeError> {
+    let decoded: StreamCheckpoint = match &cold.handle {
+        ColdHandle::Memory(bytes) => {
+            codec::decode(bytes).map_err(|e| ServeError::Checkpoint(e.to_string()))?
+        }
+        ColdHandle::Disk(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", path.display())))?;
+            codec::decode(&bytes)
+                .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", path.display())))?
+        }
+    };
+    if decoded.stream != id.as_ref() {
+        return Err(ServeError::Checkpoint(format!(
+            "cold checkpoint names stream `{}`, expected `{id}`",
+            decoded.stream
+        )));
+    }
+    Ok(decoded)
 }

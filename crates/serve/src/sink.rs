@@ -48,7 +48,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Rotation policy for per-stream metric history files. The live
@@ -98,6 +98,11 @@ pub struct SnapshotSink {
     codec: CheckpointCodec,
     retention: Option<MetricRetention>,
     spill_obs: Option<SpillObs>,
+    /// Persistent encode buffer reused across checkpoint spills: after the
+    /// first spill its capacity covers the fleet's largest checkpoint, so
+    /// steady-state background spilling stops allocating a fresh output
+    /// vector per checkpoint (pinned by `tests/spill_alloc.rs`).
+    encode_scratch: Mutex<Vec<u8>>,
 }
 
 impl SnapshotSink {
@@ -112,7 +117,13 @@ impl SnapshotSink {
     pub fn with_codec(dir: impl Into<PathBuf>, codec: CheckpointCodec) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotSink { dir, codec, retention: None, spill_obs: None })
+        Ok(SnapshotSink {
+            dir,
+            codec,
+            retention: None,
+            spill_obs: None,
+            encode_scratch: Mutex::new(Vec::new()),
+        })
     }
 
     /// Enables metric-history rotation under `retention`. Without this,
@@ -159,19 +170,31 @@ impl SnapshotSink {
     /// duplicate behind. Returns the file path.
     pub fn spill_checkpoint(&self, checkpoint: &StreamCheckpoint) -> io::Result<PathBuf> {
         let path = self.checkpoint_path(&checkpoint.stream, self.codec);
+        // Encode into the sink's persistent scratch buffer: cleared (not
+        // shrunk) per spill, so once it has grown to the fleet's largest
+        // checkpoint no further output allocations happen. JSON spills
+        // still build an intermediate string (the pretty-printer's
+        // contract); the default binary codec encodes straight into the
+        // scratch.
+        let mut scratch = self.encode_scratch.lock().expect("encode scratch poisoned");
+        scratch.clear();
         let encode_started = Instant::now();
-        let bytes = match self.codec {
-            CheckpointCodec::Json => serde_json::to_string_pretty(checkpoint)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
-                .into_bytes(),
-            CheckpointCodec::Binary => codec::encode(CheckpointCodec::Binary, checkpoint),
-        };
+        match self.codec {
+            CheckpointCodec::Json => {
+                let text = serde_json::to_string_pretty(checkpoint)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                scratch.extend_from_slice(text.as_bytes());
+            }
+            CheckpointCodec::Binary => {
+                codec::encode_into(CheckpointCodec::Binary, checkpoint, &mut scratch);
+            }
+        }
         if let Some(obs) = &self.spill_obs {
             obs.encode.record(encode_started.elapsed().as_nanos() as u64);
         }
         let write_started = Instant::now();
         let tmp = path.with_extension(format!("{}.tmp", self.codec.extension()));
-        fs::write(&tmp, bytes)?;
+        fs::write(&tmp, &*scratch)?;
         fs::rename(&tmp, &path)?;
         if let Some(obs) = &self.spill_obs {
             obs.write.record(write_started.elapsed().as_nanos() as u64);

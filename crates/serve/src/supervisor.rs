@@ -26,7 +26,16 @@
 //!   flaps), clamps the answer to `[min_shards, max_shards]`, enforces a
 //!   cooldown between resizes, and then calls `resize_shards` — emitting
 //!   a [`ServeEventKind::ResizeDecision`] bus event either way the
-//!   decision goes.
+//!   decision goes;
+//! * **tiered stream state** — with a [`TierPolicy`] configured, each tick
+//!   scans the fleet's residency tiers and **hibernates** hot streams that
+//!   are idle past the policy's age, or — under budget pressure — the
+//!   least-recently-active ones until the hot tier fits
+//!   [`TierPolicy::max_hot_streams`]. Every eviction first spills a fresh
+//!   checkpoint, so clean evictions reuse the disk file without encoding,
+//!   and already-cold in-memory handles are demoted to disk the same way.
+//!   Disk-authoritative cold streams are skipped by the periodic spill
+//!   schedule (their checkpoint cannot go stale) until they rehydrate.
 //!
 //! The supervisor runs on its **own** thread and touches the data plane
 //! only through the same public control operations callers use: ingest
@@ -39,12 +48,14 @@
 //! path: kill the server, reload the latest background spills, resume,
 //! and the tail of the stream completes bitwise-identically.
 
+use crate::config::TierPolicy;
 use crate::event::{ServeEvent, ServeEventKind};
-use crate::server::{ServeError, ServerHandle, ShardLoad};
+use crate::server::{HibernateOutcome, ServeError, ServerHandle, ShardLoad};
+use crate::shard::TierKind;
 use crate::sink::SnapshotSink;
 use rbm_im_stats::Ewma;
 use rbm_im_streams::source::derive_stream_seed;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -199,6 +210,9 @@ pub struct SupervisorConfig {
     pub checkpoint: Option<CheckpointPolicy>,
     /// Load-based auto-resize (`None` pins the fleet size).
     pub resize: Option<ResizeConfig>,
+    /// Hot/cold stream tiering (`None` keeps every stream hot — the
+    /// pre-tiering behavior). See [`TierPolicy`].
+    pub tier: Option<TierPolicy>,
 }
 
 impl Default for SupervisorConfig {
@@ -207,6 +221,7 @@ impl Default for SupervisorConfig {
             tick: Duration::from_millis(250),
             checkpoint: Some(CheckpointPolicy::default()),
             resize: None,
+            tier: None,
         }
     }
 }
@@ -233,6 +248,12 @@ pub struct SupervisorReport {
     pub periodic_spills: u64,
     /// Urgent (drift-driven) checkpoints spilled.
     pub urgent_spills: u64,
+    /// Streams hibernated by the tier policy (idle-age or budget
+    /// pressure). Each hibernation also spilled a fresh checkpoint.
+    pub hibernations: u64,
+    /// Cold streams whose in-memory checkpoint bytes were demoted to the
+    /// spill file on disk.
+    pub disk_demotions: u64,
     /// Every resize decision taken, in order.
     pub resizes: Vec<ResizeDecision>,
     /// Control-plane errors the supervisor absorbed (a stream detached
@@ -320,6 +341,11 @@ fn run(
     let tracer = server.tracer();
     let mut report = SupervisorReport::default();
     let mut schedule: HashMap<String, StreamSchedule> = HashMap::new();
+    // Cold streams whose spill file on disk *is* their state (clean
+    // eviction or completed demotion): periodic spills skip them — the
+    // bytes cannot go stale while the stream is cold. Membership ends at
+    // the stream's `Rehydrated` (or `Detached`) event.
+    let mut cold_disk: HashSet<String> = HashSet::new();
     let mut last_resize = Instant::now();
     // Streams attached before the supervisor started predate the bus
     // subscription; seed the schedule once from a fleet inventory. From
@@ -342,33 +368,37 @@ fn run(
         }
         let now = Instant::now();
 
-        // Fold the bus events since the last tick into the schedule.
-        // Events arrive in publish order, and a stream's `Attached` always
-        // precedes its `Drift`s, so an urgent mark can never race the
-        // stream's first schedule entry.
-        if let Some(policy) = config.checkpoint {
-            for event in events.try_iter() {
-                match &event.kind {
-                    ServeEventKind::Attached => {
+        // Fold the bus events since the last tick into the schedule and
+        // the cold-disk set. Events arrive in publish order, and a
+        // stream's `Attached` always precedes its `Drift`s, so an urgent
+        // mark can never race the stream's first schedule entry. Draining
+        // happens every tick regardless of policies, so the bus queue
+        // cannot grow unboundedly behind a resize-only supervisor.
+        for event in events.try_iter() {
+            match &event.kind {
+                ServeEventKind::Attached => {
+                    if let Some(policy) = config.checkpoint {
                         let id = event.stream.to_string();
                         let next_due = now + jitter_offset(&policy, &id);
                         schedule.entry(id).or_insert(StreamSchedule { next_due, urgent: false });
                     }
-                    ServeEventKind::Detached { .. } => {
-                        schedule.remove(event.stream.as_ref());
-                    }
-                    ServeEventKind::Drift { .. } if policy.on_drift => {
-                        if let Some(entry) = schedule.get_mut(event.stream.as_ref()) {
-                            entry.urgent = true;
-                        }
-                    }
-                    _ => {}
                 }
+                ServeEventKind::Detached { .. } => {
+                    schedule.remove(event.stream.as_ref());
+                    cold_disk.remove(event.stream.as_ref());
+                }
+                ServeEventKind::Drift { .. } if config.checkpoint.is_some_and(|p| p.on_drift) => {
+                    if let Some(entry) = schedule.get_mut(event.stream.as_ref()) {
+                        entry.urgent = true;
+                    }
+                }
+                // Rehydrated state starts diverging from its spill the
+                // moment it steps again — back onto the normal schedule.
+                ServeEventKind::Rehydrated { .. } => {
+                    cold_disk.remove(event.stream.as_ref());
+                }
+                _ => {}
             }
-        } else {
-            // Keep the subscription drained so the bus queue cannot grow
-            // unboundedly behind a resize-only supervisor.
-            for _ in events.try_iter() {}
         }
 
         // Resize before the spill round: the decision is a gauge read,
@@ -422,11 +452,105 @@ fn run(
             }
         }
 
+        // Tier pass: hibernate idle / over-budget hot streams and demote
+        // cold in-memory handles to disk. Runs after the resize block (a
+        // just-resized fleet reports fresh tier rows) and before the spill
+        // round (an eviction's spill resets the stream's spill schedule,
+        // so the round never redundantly re-spills what the tier pass just
+        // wrote).
+        if let Some(tier) = config.tier {
+            let scan = server.tier_scan();
+            let hot: Vec<_> = scan.iter().filter(|e| e.tier == TierKind::Hot).collect();
+            let mut planned: Vec<&std::sync::Arc<str>> = Vec::new();
+            let mut planned_ids: HashSet<&str> = HashSet::new();
+            // Budget pressure first — these evictions are *urgent* (the
+            // fleet is over its memory budget): most-idle hot streams go,
+            // id order breaking ties so the plan is deterministic.
+            if let Some(max_hot) = tier.max_hot_streams {
+                if hot.len() > max_hot {
+                    let mut candidates = hot.clone();
+                    candidates.sort_by(|a, b| b.idle.cmp(&a.idle).then_with(|| a.id.cmp(&b.id)));
+                    for entry in &candidates[..hot.len() - max_hot] {
+                        if planned_ids.insert(entry.id.as_ref()) {
+                            planned.push(&entry.id);
+                        }
+                    }
+                }
+            }
+            // Idle-age trigger on whatever remains hot.
+            if let Some(idle_after) = tier.idle_after {
+                for entry in &hot {
+                    if entry.idle >= idle_after && planned_ids.insert(entry.id.as_ref()) {
+                        planned.push(&entry.id);
+                    }
+                }
+            }
+            // Cold in-memory handles: re-spill at their (frozen) position
+            // and swap the resident bytes for the disk file.
+            for entry in scan.iter().filter(|e| e.tier == TierKind::ColdMemory) {
+                if planned_ids.insert(entry.id.as_ref()) {
+                    planned.push(&entry.id);
+                }
+            }
+            // The per-tick cap bounds this tick's encode+spill work; the
+            // remainder drains over the following ticks (the scan re-finds
+            // it).
+            for id in planned.into_iter().take(tier.max_demotions_per_tick) {
+                let span = tracer.span("hibernate", id);
+                let outcome = demote(&server, &sink, id);
+                span.finish();
+                match outcome {
+                    Ok((outcome, position)) => {
+                        server.note_spill();
+                        server.bus().publish(ServeEvent {
+                            stream: Arc::from(id.as_ref()),
+                            shard: server.shard_of(id),
+                            kind: ServeEventKind::CheckpointSpilled { position, urgent: false },
+                        });
+                        match outcome {
+                            HibernateOutcome::Hibernated { clean, .. } => {
+                                report.hibernations += 1;
+                                if clean {
+                                    cold_disk.insert(id.to_string());
+                                }
+                            }
+                            HibernateOutcome::DemotedToDisk { .. } => {
+                                report.disk_demotions += 1;
+                                cold_disk.insert(id.to_string());
+                            }
+                            HibernateOutcome::AlreadyCold { .. } => {
+                                cold_disk.insert(id.to_string());
+                            }
+                        }
+                        // The eviction just spilled a fresh checkpoint;
+                        // push the stream's periodic slot out accordingly.
+                        if let (Some(policy), Some(entry)) =
+                            (config.checkpoint, schedule.get_mut(id.as_ref()))
+                        {
+                            entry.next_due = now + policy.every;
+                        }
+                    }
+                    // Detached between the scan and the demote: the
+                    // schedule entry dies at its Detached event.
+                    Err(SpillError::Serve(ServeError::UnknownStream(_))) => {}
+                    Err(e) => report.errors.push(format!("hibernate of `{id}`: {e}")),
+                }
+            }
+        }
+
         // Spill everything due or urgent.
         if let Some(policy) = config.checkpoint {
             for (id, entry) in schedule.iter_mut() {
                 let urgent = entry.urgent;
                 if !urgent && now < entry.next_due {
+                    continue;
+                }
+                if !urgent && cold_disk.contains(id) {
+                    // The disk file already *is* this cold stream's state;
+                    // a periodic spill would decode and rewrite identical
+                    // bytes. (Urgent spills still run — a drift marked the
+                    // state worth preserving before the stream went cold.)
+                    entry.next_due = now + policy.every;
                     continue;
                 }
                 let span = tracer.span("spill", id);
@@ -516,6 +640,24 @@ fn spill(server: &ServerHandle, sink: &SnapshotSink, id: &str) -> Result<u64, Sp
     let position = checkpoint.checkpoint.processed().unwrap_or(0);
     sink.spill_checkpoint(&checkpoint).map_err(SpillError::Io)?;
     Ok(position)
+}
+
+/// Demotes one stream toward the cold-disk tier: spill a fresh checkpoint,
+/// then hand the shard its `(position, path)` so the eviction reuses the
+/// file when the stream has not stepped since (clean), or encodes on
+/// demand when it has (dirty — the in-memory bytes are demoted by the next
+/// tick's pass, by which point the position is frozen). Returns the
+/// outcome plus the spilled position.
+fn demote(
+    server: &ServerHandle,
+    sink: &SnapshotSink,
+    id: &str,
+) -> Result<(HibernateOutcome, u64), SpillError> {
+    let checkpoint = server.checkpoint_stream(id).map_err(SpillError::Serve)?;
+    let position = checkpoint.checkpoint.processed().unwrap_or(0);
+    let path = sink.spill_checkpoint(&checkpoint).map_err(SpillError::Io)?;
+    let outcome = server.hibernate_with(id, Some((position, path))).map_err(SpillError::Serve)?;
+    Ok((outcome, position))
 }
 
 #[cfg(test)]

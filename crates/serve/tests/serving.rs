@@ -391,7 +391,14 @@ fn rbm_workspaces_are_pooled_across_streams_on_a_shard() {
     let report = server.shutdown();
 
     assert_eq!(report.workspace_reuse_misses, 1, "only the first attach allocates");
-    assert_eq!(report.workspace_reuse_hits, 1, "the second attach reuses pool-a's workspace");
+    if std::env::var("RBM_HIBERNATE").is_ok() {
+        // Forced hibernation thrashes the pool (every message returns the
+        // workspace and checks it out again), so only the lower bound and
+        // the single-allocation invariant above are meaningful.
+        assert!(report.workspace_reuse_hits >= 1, "pool-a's workspace is reused");
+    } else {
+        assert_eq!(report.workspace_reuse_hits, 1, "the second attach reuses pool-a's workspace");
+    }
 }
 
 /// Attach/detach lifecycle errors and unknown-id ingest accounting.

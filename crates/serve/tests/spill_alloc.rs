@@ -1,0 +1,116 @@
+//! Pins the [`SnapshotSink`] encode-scratch contract: the sink keeps one
+//! persistent output buffer across checkpoint spills, so once it has
+//! grown to the fleet's largest checkpoint, steady-state background
+//! spilling allocates no fresh output vector per spill. Same
+//! counting-allocator harness as `crates/obs/tests/no_alloc.rs`; one test
+//! per file so no concurrent test pollutes the counter.
+//!
+//! A spill is not allocation-*free* — the codec builds its intermediate
+//! value tree and the filesystem path conversions allocate — but those
+//! costs are identical per spill of the same checkpoint. What the scratch
+//! buffer removes is the per-spill output growth: the first spill pays
+//! for the buffer, every later spill of the same (or smaller) checkpoint
+//! must allocate strictly less, and steady state must be flat.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rbm_im_harness::registry::DetectorSpec;
+use rbm_im_serve::{ServeConfig, SnapshotSink};
+use rbm_im_streams::generators::RandomRbfGenerator;
+use rbm_im_streams::{DataStream, StreamExt};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the test thread's allocations are counted while this is set —
+    /// libtest's harness threads allocate concurrently and must not
+    /// pollute the measurement.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    if COUNTING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_here();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn repeated_spills_reuse_the_encode_scratch() {
+    // Build a real RBM checkpoint (the ~47 KB binary state the supervisor
+    // spills in production) — all cold-path, uncounted.
+    let checkpoint = served_rbm_checkpoint();
+    let dir = std::env::temp_dir().join(format!("rbm-spill-alloc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sink = SnapshotSink::new(&dir).unwrap();
+
+    let mut spill_allocs = [0u64; 3];
+    for slot in &mut spill_allocs {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        COUNTING.with(|flag| flag.set(true));
+        sink.spill_checkpoint(&checkpoint).unwrap();
+        COUNTING.with(|flag| flag.set(false));
+        *slot = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    }
+
+    assert!(
+        spill_allocs[1] < spill_allocs[0],
+        "the first spill grows the scratch; later spills must not \
+         ({spill_allocs:?} allocations per spill)"
+    );
+    assert_eq!(
+        spill_allocs[1], spill_allocs[2],
+        "steady-state spills of the same checkpoint must allocate identically \
+         ({spill_allocs:?} allocations per spill)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A served RBM stream's checkpoint, the supervisor's spill payload.
+fn served_rbm_checkpoint() -> rbm_im_serve::StreamCheckpoint {
+    let mut gen = RandomRbfGenerator::new(8, 4, 2, 0.0, 11);
+    let server = rbm_im_serve::ServerHandle::start(ServeConfig::default());
+    let spec = DetectorSpec::parse("rbm(mini_batch=25, warmup=4, persistence=1)").unwrap();
+    let client = server.attach("spill-alloc", gen.schema().clone(), &spec).unwrap();
+    let mut batch = gen.take_instances(400);
+    loop {
+        match client.try_ingest_batch(batch) {
+            Ok(()) => break,
+            Err(e) => {
+                batch = e.into_rejected();
+                std::thread::yield_now();
+            }
+        }
+    }
+    server.drain();
+    let checkpoint = server.checkpoint_stream("spill-alloc").unwrap();
+    drop(server.shutdown());
+    checkpoint
+}

@@ -160,6 +160,7 @@ fn supervised_run_is_bitwise_deterministic_within_policy_bounds() {
                 // ingest grows the fleet, the post-drain idle shrinks it.
                 policy: Box::new(HysteresisResizePolicy::new(40.0, 2.0, 1.0)),
             }),
+            tier: None,
         },
     );
 
@@ -276,6 +277,7 @@ fn cold_restart_from_latest_background_spill_is_bitwise_identical() {
                     on_drift: true,
                 }),
                 resize: None,
+                tier: None,
             },
         );
         let clients: Vec<StreamClient> = feeds
@@ -370,6 +372,7 @@ fn urgent_spills_and_detach_lifecycle() {
                 on_drift: true,
             }),
             resize: None,
+            tier: None,
         },
     );
 
@@ -460,6 +463,7 @@ fn resize_decisions_mid_spill_round_stay_bitwise_and_error_free() {
                 cooldown: Duration::ZERO,
                 policy: Box::new(TogglePolicy { big: false }),
             }),
+            tier: None,
         },
     );
 
@@ -528,6 +532,7 @@ fn urgent_spill_for_stream_detached_same_tick_leaves_no_orphan() {
                 on_drift: true,
             }),
             resize: None,
+            tier: None,
         },
     );
 
@@ -584,6 +589,7 @@ fn attach_detach_churn_under_eager_spills_leaves_no_tmp_orphans() {
                 on_drift: true,
             }),
             resize: None,
+            tier: None,
         },
     );
 

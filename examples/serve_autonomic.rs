@@ -66,6 +66,7 @@ fn supervisor_config() -> SupervisorConfig {
             cooldown: Duration::from_millis(60),
             policy: Box::new(HysteresisResizePolicy::new(64.0, 4.0, 0.5)),
         }),
+        tier: None,
     }
 }
 

@@ -48,6 +48,18 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this stub always runs one batch per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Exactly one setup per timed routine call.
+    PerIteration,
+}
+
 /// Timing loop handed to benchmark closures.
 pub struct Bencher {
     /// Mean seconds per iteration, filled by [`Bencher::iter`].
@@ -73,6 +85,34 @@ impl Bencher {
         }
         let elapsed = start.elapsed();
         self.mean_seconds = elapsed.as_secs_f64() / iters as f64;
+        self.iterations = iters;
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`, with
+    /// the setup excluded from the measurement — the shape benches use
+    /// when each timed call must start from a state the call destroys
+    /// (e.g. parking a stream that the next setup wakes back up).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up + calibration run.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement.as_secs_f64();
+        let iters = (target / first.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let mut timed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.mean_seconds = timed.as_secs_f64() / iters as f64;
         self.iterations = iters;
     }
 }
@@ -233,6 +273,20 @@ mod tests {
         group.throughput(Throughput::Elements(10));
         group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
             b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion { measurement: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("test");
+        group.bench_with_input(BenchmarkId::new("batched", 1), &(), |b, _| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
         });
         group.finish();
     }
