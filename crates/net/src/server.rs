@@ -26,7 +26,9 @@
 use crate::wire::{self, ErrorCode, Frame, WireError};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_obs::{Counter, Histogram, MetricsRegistry};
-use rbm_im_serve::{FrameDropBreakdown, ServeConfig, ServeReport, ServerHandle, StreamClient};
+use rbm_im_serve::{
+    FaultPlane, FrameDropBreakdown, ServeConfig, ServeReport, ServerHandle, StreamClient,
+};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -143,6 +145,10 @@ struct Shared {
     /// Set once shutdown begins; the accept loop exits on the next
     /// (possibly self-inflicted) connection.
     stopping: AtomicBool,
+    /// Optional chaos fault plane: consulted on the reply path for
+    /// injected delays and mid-frame truncations (shared with the serving
+    /// plane, which draws its own sites from it).
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl Shared {
@@ -172,15 +178,30 @@ impl NetServer {
     }
 
     /// [`NetServer::bind`] with a custom detector registry (attach specs
-    /// arriving over the wire resolve against it).
+    /// arriving over the wire resolve against it). Adopts the
+    /// `RBM_CHAOS` environment fault plane when armed.
     pub fn bind_with_registry(
         addr: impl ToSocketAddrs,
         config: ServeConfig,
         registry: Arc<DetectorRegistry>,
     ) -> std::io::Result<NetServerHandle> {
+        Self::bind_with_faults(addr, config, registry, rbm_im_serve::chaos::env_plane().cloned())
+    }
+
+    /// [`NetServer::bind_with_registry`] with an explicit chaos
+    /// [`FaultPlane`] (or `None` for a clean run). The plane is shared
+    /// between the serving plane (kill-shard, hibernate, spill sites) and
+    /// this front-end's reply path (delay, truncate-mid-frame sites), so
+    /// one seed drives the whole stack's fault schedule.
+    pub fn bind_with_faults(
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        registry: Arc<DetectorRegistry>,
+        faults: Option<Arc<FaultPlane>>,
+    ) -> std::io::Result<NetServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let server = ServerHandle::start_with_registry(config, registry);
+        let server = ServerHandle::start_with_faults(config, registry, faults.clone());
         let metrics = server.metrics();
         let shared = Arc::new(Shared {
             server: Mutex::new(Some(server)),
@@ -188,6 +209,7 @@ impl NetServer {
             drops: DropCounters::bind(&metrics),
             obs: NetObs::bind(&metrics),
             stopping: AtomicBool::new(false),
+            faults,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -298,6 +320,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     // Per-connection ingest clients, interned once per stream id so the
     // hot path never touches the control plane.
     let mut clients: HashMap<String, StreamClient> = HashMap::new();
+    let mut lane = ReplyLane::new(shared.faults.clone());
     loop {
         let flow = match wire::read_frame(&mut reader) {
             Ok(frame) => {
@@ -310,8 +333,14 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 } else {
                     None
                 };
-                let outcome =
-                    handle_frame(frame, &shared, &mut clients, &mut writer, listener_addr);
+                let outcome = handle_frame(
+                    frame,
+                    &shared,
+                    &mut clients,
+                    &mut lane,
+                    &mut writer,
+                    listener_addr,
+                );
                 if let Some((histogram, start)) = timer {
                     histogram.record(start.elapsed().as_nanos() as u64);
                 }
@@ -327,6 +356,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e @ WireError::Io(_)) => {
                 shared.drops.io.inc();
                 let _ = reply(
+                    &mut lane,
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
                 );
@@ -337,6 +367,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e @ WireError::UnsupportedVersion { .. }) => {
                 shared.drops.unsupported_version.inc();
                 match reply(
+                    &mut lane,
                     &mut writer,
                     &Frame::Error { code: ErrorCode::UnsupportedVersion, message: e.to_string() },
                 ) {
@@ -347,6 +378,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e @ WireError::UnknownFrameType(_)) => {
                 shared.drops.unknown_frame_type.inc();
                 match reply(
+                    &mut lane,
                     &mut writer,
                     &Frame::Error { code: ErrorCode::UnknownFrameType, message: e.to_string() },
                 ) {
@@ -357,6 +389,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e @ WireError::Malformed(_)) => {
                 shared.drops.malformed.inc();
                 match reply(
+                    &mut lane,
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
                 ) {
@@ -369,6 +402,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e @ WireError::TooLarge(_)) => {
                 shared.drops.oversized.inc();
                 let _ = reply(
+                    &mut lane,
                     &mut writer,
                     &Frame::Error { code: ErrorCode::Malformed, message: e.to_string() },
                 );
@@ -381,17 +415,57 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn reply<W: Write>(writer: &mut W, frame: &Frame) -> std::io::Result<()> {
+/// Per-connection reply state: counts replies — the fault plane's
+/// deterministic coordinate for the net sites — so the same seed faults
+/// the same replies on every run.
+struct ReplyLane {
+    faults: Option<Arc<FaultPlane>>,
+    replies: u64,
+}
+
+impl ReplyLane {
+    fn new(faults: Option<Arc<FaultPlane>>) -> Self {
+        Self { faults, replies: 0 }
+    }
+}
+
+fn reply<W: Write>(lane: &mut ReplyLane, writer: &mut W, frame: &Frame) -> std::io::Result<()> {
+    lane.replies += 1;
+    if let Some(plane) = &lane.faults {
+        if let Some(delay) = plane.net_delay(lane.replies) {
+            std::thread::sleep(delay);
+        }
+        if plane.net_truncate(lane.replies) {
+            // Models a server killed between reply write and flush: the
+            // peer sees a partial frame then EOF, never a silent drop (a
+            // blocking client would hang forever in the strict
+            // request→reply protocol). The error return closes this
+            // connection; the client must reconnect.
+            let encoded = wire::encode_frame(frame);
+            let keep = (encoded.len() / 2).max(1);
+            writer.write_all(&encoded[..keep])?;
+            writer.flush()?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "chaos: injected reply truncation",
+            ));
+        }
+    }
     wire::write_frame(writer, frame)?;
     writer.flush()
 }
 
-fn serve_error<W: Write>(writer: &mut W, message: String) -> std::io::Result<()> {
-    reply(writer, &Frame::Error { code: ErrorCode::Serve, message })
+fn serve_error<W: Write>(
+    lane: &mut ReplyLane,
+    writer: &mut W,
+    message: String,
+) -> std::io::Result<()> {
+    reply(lane, writer, &Frame::Error { code: ErrorCode::Serve, message })
 }
 
-fn unavailable<W: Write>(writer: &mut W) -> std::io::Result<()> {
+fn unavailable<W: Write>(lane: &mut ReplyLane, writer: &mut W) -> std::io::Result<()> {
     reply(
+        lane,
         writer,
         &Frame::Error {
             code: ErrorCode::Unavailable,
@@ -404,6 +478,7 @@ fn handle_frame<W: Write>(
     frame: Frame,
     shared: &Shared,
     clients: &mut HashMap<String, StreamClient>,
+    lane: &mut ReplyLane,
     writer: &mut W,
     listener_addr: Option<SocketAddr>,
 ) -> std::io::Result<Flow> {
@@ -412,14 +487,14 @@ fn handle_frame<W: Write>(
             let spec = match DetectorSpec::parse(&spec) {
                 Ok(spec) => spec,
                 Err(e) => {
-                    serve_error(writer, format!("invalid detector spec: {e}"))?;
+                    serve_error(lane, writer, format!("invalid detector spec: {e}"))?;
                     return Ok(Flow::Continue);
                 }
             };
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let attached = match run {
@@ -430,9 +505,9 @@ fn handle_frame<W: Write>(
             match attached {
                 Ok(client) => {
                     clients.insert(stream, client);
-                    reply(writer, &Frame::Ack)?;
+                    reply(lane, writer, &Frame::Ack)?;
                 }
-                Err(e) => serve_error(writer, e.to_string())?,
+                Err(e) => serve_error(lane, writer, e.to_string())?,
             }
             Ok(Flow::Continue)
         }
@@ -441,14 +516,14 @@ fn handle_frame<W: Write>(
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let detached = server.detach(&stream);
             drop(guard);
             match detached {
-                Ok(result) => reply(writer, &Frame::Result(Box::new(result)))?,
-                Err(e) => serve_error(writer, e.to_string())?,
+                Ok(result) => reply(lane, writer, &Frame::Result(Box::new(result)))?,
+                Err(e) => serve_error(lane, writer, e.to_string())?,
             }
             Ok(Flow::Continue)
         }
@@ -459,7 +534,7 @@ fn handle_frame<W: Write>(
                     let guard = shared.server.lock().expect("server lock poisoned");
                     let Some(server) = guard.as_ref() else {
                         drop(guard);
-                        unavailable(writer)?;
+                        unavailable(lane, writer)?;
                         return Ok(Flow::Continue);
                     };
                     let client = server.client(entry.key());
@@ -469,17 +544,17 @@ fn handle_frame<W: Write>(
             };
             if blocking {
                 match client.ingest_batch(instances) {
-                    Ok(()) => reply(writer, &Frame::Ack)?,
-                    Err(_) => unavailable(writer)?,
+                    Ok(()) => reply(lane, writer, &Frame::Ack)?,
+                    Err(_) => unavailable(lane, writer)?,
                 }
             } else {
                 match client.try_ingest_batch(instances) {
-                    Ok(()) => reply(writer, &Frame::Ack)?,
+                    Ok(()) => reply(lane, writer, &Frame::Ack)?,
                     Err(rbm_im_serve::IngestError::Full(rejected)) => {
                         shared.obs.busy.inc();
-                        reply(writer, &Frame::Busy { rejected: rejected.len() as u64 })?
+                        reply(lane, writer, &Frame::Busy { rejected: rejected.len() as u64 })?
                     }
-                    Err(rbm_im_serve::IngestError::Closed(_)) => unavailable(writer)?,
+                    Err(rbm_im_serve::IngestError::Closed(_)) => unavailable(lane, writer)?,
                 }
             }
             Ok(Flow::Continue)
@@ -488,40 +563,42 @@ fn handle_frame<W: Write>(
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             server.drain();
             drop(guard);
-            reply(writer, &Frame::Ack)?;
+            reply(lane, writer, &Frame::Ack)?;
             Ok(Flow::Continue)
         }
         Frame::Checkpoint { stream } => {
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let checkpoint = server.checkpoint_stream(&stream);
             drop(guard);
             match checkpoint {
-                Ok(checkpoint) => reply(writer, &Frame::CheckpointData(Box::new(checkpoint)))?,
-                Err(e) => serve_error(writer, e.to_string())?,
+                Ok(checkpoint) => {
+                    reply(lane, writer, &Frame::CheckpointData(Box::new(checkpoint)))?
+                }
+                Err(e) => serve_error(lane, writer, e.to_string())?,
             }
             Ok(Flow::Continue)
         }
         Frame::Shutdown => {
             match shared.shutdown_serve() {
                 Some(report) => {
-                    reply(writer, &Frame::Report(Box::new(report)))?;
+                    reply(lane, writer, &Frame::Report(Box::new(report)))?;
                     // Unblock the accept loop so the listener closes now,
                     // not at the next (never-arriving) connection.
                     if let Some(addr) = listener_addr {
                         let _ = TcpStream::connect(addr);
                     }
                 }
-                None => unavailable(writer)?,
+                None => unavailable(lane, writer)?,
             }
             Ok(Flow::Close)
         }
@@ -529,40 +606,40 @@ fn handle_frame<W: Write>(
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let snapshot = server.metrics().snapshot();
             drop(guard);
-            reply(writer, &Frame::MetricsData(Box::new(snapshot)))?;
+            reply(lane, writer, &Frame::MetricsData(Box::new(snapshot)))?;
             Ok(Flow::Continue)
         }
         Frame::Health => {
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let health = server.health();
             drop(guard);
-            reply(writer, &Frame::HealthData(Box::new(health)))?;
+            reply(lane, writer, &Frame::HealthData(Box::new(health)))?;
             Ok(Flow::Continue)
         }
         Frame::Subscribe => {
             let guard = shared.server.lock().expect("server lock poisoned");
             let Some(server) = guard.as_ref() else {
                 drop(guard);
-                unavailable(writer)?;
+                unavailable(lane, writer)?;
                 return Ok(Flow::Continue);
             };
             let events = server.subscribe();
             drop(guard);
-            reply(writer, &Frame::Ack)?;
+            reply(lane, writer, &Frame::Ack)?;
             // Server-push mode: pump bus events until shutdown closes the
             // bus or the client disconnects.
             for event in events {
-                reply(writer, &Frame::Event(Box::new(event)))?;
+                reply(lane, writer, &Frame::Event(Box::new(event)))?;
             }
             Ok(Flow::Close)
         }
@@ -579,6 +656,7 @@ fn handle_frame<W: Write>(
         | Frame::HealthData(_) => {
             shared.drops.unexpected_reply.inc();
             reply(
+                lane,
                 writer,
                 &Frame::Error {
                     code: ErrorCode::Malformed,

@@ -13,7 +13,10 @@ use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_net::wire::{self, FT_SHUTDOWN};
 use rbm_im_net::{ErrorCode, Frame, NetClient, NetServer, NetServerHandle};
 use rbm_im_obs::MetricsRegistry;
-use rbm_im_serve::{IngestError, ServeConfig};
+use rbm_im_serve::{
+    ChaosSpillIo, FaultConfig, FaultPlane, FaultRate, FaultSite, IngestError, ServeConfig,
+    SnapshotSink,
+};
 use rbm_im_streams::{Instance, StreamSchema};
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -514,4 +517,200 @@ fn operations_after_shutdown_answer_unavailable() {
     let local = server.shutdown();
     assert_eq!(local.streams.len(), 1);
     assert_eq!(local.streams[0].result.instances, 1);
+}
+
+/// Crash mid-frame on the reply path: the chaos plane cuts a reply in
+/// half between the write and the flush of the rest (the same wire state
+/// a server killed mid-reply leaves behind). The client surfaces a clean
+/// error — never a hang, never a garbage decode adopted as truth — the
+/// connection is dead afterwards, and a fresh connection finds the stream
+/// intact with every pre-crash instance still counted.
+#[test]
+fn truncated_reply_mid_frame_surfaces_cleanly_and_reconnect_recovers() {
+    let plane = Arc::new(FaultPlane::new(FaultConfig::quiet(0x7e57_0001)));
+    let server = NetServer::bind_with_faults(
+        "127.0.0.1:0",
+        small_config(),
+        Arc::new(DetectorRegistry::with_defaults()),
+        Some(Arc::clone(&plane)),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Clean phase: nothing armed, the connection behaves normally.
+    let client = NetClient::connect(addr).expect("connect");
+    let feed = client
+        .attach("crashy", StreamSchema::new("crashy", 2, 2), &DetectorSpec::new("ddm"))
+        .expect("attach");
+    feed.ingest_batch((0..20).map(|i| Instance::with_index(vec![0.4, 0.6], 0, i)).collect())
+        .expect("clean ingest");
+    client.drain().expect("clean drain");
+
+    // The next reply is truncated at the midpoint and the connection
+    // aborted — exactly a kill between reply write and flush.
+    plane.arm(FaultSite::NetTruncate, 1);
+    let crashed = client.drain().expect_err("a half-written reply must surface as an error");
+    assert!(
+        matches!(crashed, rbm_im_net::NetError::Io(_) | rbm_im_net::NetError::Wire(_)),
+        "truncation is a transport/decode error, got {crashed:?}"
+    );
+    assert_eq!(plane.injected(FaultSite::NetTruncate), 1, "exactly one injected truncation");
+
+    // The dead connection stays dead: no silent resynchronization.
+    assert!(client.drain().is_err(), "the aborted connection must not come back");
+
+    // Reconnect semantics: the stream and its state live on the server,
+    // not the connection. A fresh client resumes it mid-stream.
+    let reconnected = NetClient::connect(addr).expect("reconnect");
+    let feed = reconnected.client("crashy");
+    feed.ingest_batch((0..20).map(|i| Instance::with_index(vec![0.4, 0.6], 1, 20 + i)).collect())
+        .expect("ingest after reconnect");
+    reconnected.drain().expect("drain after reconnect");
+    let result = reconnected.detach("crashy").expect("detach after reconnect");
+    assert_eq!(result.instances, 40, "no pre-crash instance was lost");
+    assert_server_healthy(addr, "probe-after-reply-truncation");
+
+    let report = server.shutdown();
+    assert_eq!(report.panicked_shards, 0);
+}
+
+/// The truncation + byte-flip sweep again, this time with the chaos
+/// plane live underneath: random hibernate/rehydrate cycles inside the
+/// shard worker, delayed replies on the wire, and a [`SnapshotSink`]
+/// whose I/O injects ENOSPC and corrupt-on-read while wire-fetched
+/// checkpoints are spilled mid-barrage. Malformed bytes plus injected
+/// faults must still never panic the plane or lose the live stream.
+#[test]
+fn fuzz_sweep_survives_an_active_fault_plane_and_faulted_spills() {
+    let plane = Arc::new(FaultPlane::new(FaultConfig {
+        hibernate: FaultRate::every(0.05),
+        net_delay: FaultRate::every(0.25),
+        net_delay_ms: 1,
+        spill_enospc: FaultRate::every(0.25),
+        spill_corrupt_read: FaultRate::every(0.25),
+        ..FaultConfig::quiet(0xfa57_c4a0)
+    }));
+    let server = NetServer::bind_with_faults(
+        "127.0.0.1:0",
+        small_config(),
+        Arc::new(DetectorRegistry::with_defaults()),
+        Some(Arc::clone(&plane)),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let dir = std::env::temp_dir().join(format!(
+        "rbm-net-chaos-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sink = SnapshotSink::new(&dir)
+        .expect("sink")
+        .with_io(Arc::new(ChaosSpillIo::new(Arc::clone(&plane))));
+
+    // A live stream keeps real state in play while the barrage runs.
+    let client = NetClient::connect(addr).expect("connect");
+    let feed = client
+        .attach(
+            "fz-live",
+            StreamSchema::new("fz-live", 3, 2),
+            &DetectorSpec::parse("adwin(delta=0.01)").expect("spec"),
+        )
+        .expect("attach");
+
+    let request_frames: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "attach",
+            wire::encode_frame(&Frame::Attach {
+                stream: "fz".to_string(),
+                schema: StreamSchema::new("fz", 3, 2),
+                spec: "adwin(delta=0.01)".to_string(),
+                run: Some(RunConfig::default()),
+            }),
+        ),
+        (
+            // NOT the live stream: a byte flip can leave an Ingest frame
+            // decodable, and a decodable ingest into the live stream
+            // would (correctly) change its instance count.
+            "ingest",
+            wire::encode_frame(&Frame::Ingest {
+                stream: "fz-nobody".to_string(),
+                blocking: false,
+                instances: vec![Instance::with_index(vec![0.25, 0.5, 0.75], 1, 0)],
+            }),
+        ),
+        ("checkpoint", wire::encode_frame(&Frame::Checkpoint { stream: "fz-live".to_string() })),
+        ("drain", wire::encode_frame(&Frame::Drain)),
+    ];
+
+    let mut ingested = 0u64;
+    let mut failed_spills = 0u64;
+    for (round, (name, bytes)) in request_frames.iter().enumerate() {
+        for &cut in
+            [1usize, 6, 10, bytes.len() / 2, bytes.len() - 1].iter().filter(|&&c| c < bytes.len())
+        {
+            let mut conn = RawConn::open(addr);
+            conn.send(&bytes[..cut]);
+            conn.close_write();
+            conn.drain_replies();
+        }
+        for pos in (0..bytes.len()).filter(|&i| i < 32 || i % 11 == 0) {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0xA5;
+            if pos == 10 && mutated[10] == FT_SHUTDOWN {
+                continue;
+            }
+            let mut conn = RawConn::open(addr);
+            conn.send(&mutated);
+            conn.close_write();
+            conn.drain_replies();
+        }
+
+        // Interleave real traffic with the garbage: ingest (hibernate
+        // chaos thrashes the worker underneath), checkpoint over the
+        // wire, spill through the faulted sink, read it back.
+        feed.ingest_batch(
+            (0..25)
+                .map(|i| Instance::with_index(vec![0.2, 0.5, 0.8], (i % 2) as usize, ingested + i))
+                .collect(),
+        )
+        .expect("live ingest under chaos");
+        ingested += 25;
+        client.drain().expect("live drain under chaos");
+        let checkpoint = client.checkpoint_stream("fz-live").expect("checkpoint over the wire");
+        match sink.spill_checkpoint(&checkpoint) {
+            Ok(_) => match sink.load_checkpoint("fz-live") {
+                Ok(Some(loaded)) => assert_eq!(loaded.stream, "fz-live"),
+                Ok(None) => panic!("spilled checkpoint vanished"),
+                Err(_) => {} // injected corrupt-on-read: a clean load error
+            },
+            Err(error) => {
+                assert!(
+                    error.to_string().contains("chaos: injected"),
+                    "only injected faults may fail the spill: {error}"
+                );
+                failed_spills += 1;
+            }
+        }
+        assert_server_healthy(addr, &format!("probe-round-{round}-{name}"));
+    }
+
+    // Deterministic floor on spill-fault coverage: an armed burst fails
+    // the final spill with certainty, whatever the rate draws did.
+    plane.arm(FaultSite::SpillEnospc, 1);
+    let last = client.checkpoint_stream("fz-live").expect("final checkpoint");
+    let error = sink.spill_checkpoint(&last).expect_err("armed ENOSPC must fail the spill");
+    assert!(error.to_string().contains("chaos: injected ENOSPC"), "got: {error}");
+    failed_spills += 1;
+
+    assert!(plane.injected(FaultSite::NetDelay) > 0, "reply delays must have fired");
+    assert!(plane.injected(FaultSite::SpillEnospc) >= 1, "ENOSPC must have fired");
+    assert!(failed_spills >= 1);
+
+    let result = client.detach("fz-live").expect("detach the live stream");
+    assert_eq!(result.instances, ingested, "no live instance lost under the barrage");
+    let report = server.shutdown();
+    assert!(report.frames_dropped > 0, "the barrage must have produced counted drops");
+    assert_eq!(report.panicked_shards, 0, "no shard worker panicked under chaos");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -57,7 +57,16 @@
 //!   scratch returns to the shard pool, so fleets far larger than RAM
 //!   would allow stay attached in a bounded hot-tier budget; the next
 //!   ingest, checkpoint or detach rehydrates transparently and
-//!   bitwise-identically (`tests/hibernate.rs`, `ARCHITECTURE.md` §9).
+//!   bitwise-identically (`tests/hibernate.rs`, `ARCHITECTURE.md` §9);
+//! * the durability stack is **proven under attack**: a deterministic,
+//!   seed-driven fault-injection plane ([`chaos`]) threads kill-shard
+//!   panics, spill I/O faults (via the sink's injectable [`SpillIo`]
+//!   seam), hibernate storms and net-reply faults through the serving
+//!   stack from a replayable [`ChaosPlan`]; the chaos suites
+//!   (`tests/chaos.rs`, `examples/chaos_soak.rs`) prove zero-loss,
+//!   bitwise recovery — every surviving stream identical to a clean
+//!   replay from its last durable point — with exact instance accounting
+//!   (`ARCHITECTURE.md` §10).
 //!
 //! # Lifecycle
 //!
@@ -99,6 +108,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod event;
 pub mod router;
@@ -107,6 +117,10 @@ mod shard;
 pub mod sink;
 pub mod supervisor;
 
+pub use chaos::{
+    ChaosEvent, ChaosFault, ChaosPlan, ChaosSpillIo, FaultConfig, FaultPlane, FaultRate, FaultSite,
+    SpillWriteFault,
+};
 pub use config::{ServeConfig, TierPolicy};
 pub use event::{EventBus, ServeEvent, ServeEventKind};
 pub use router::StreamRouter;
@@ -116,7 +130,7 @@ pub use server::{
     StreamCheckpoint, StreamClient, StreamSummary,
 };
 pub use shard::{TierKind, TierScanEntry};
-pub use sink::{MetricRetention, SnapshotSink};
+pub use sink::{MetricRetention, OsSpillIo, SnapshotSink, SpillIo};
 pub use supervisor::{
     CheckpointPolicy, HysteresisResizePolicy, ResizeConfig, ResizePolicy, Supervisor,
     SupervisorConfig, SupervisorHandle, SupervisorReport,

@@ -11,6 +11,7 @@
 //! restored on the new one, with their in-flight ingest parked and
 //! replayed so no instance is lost or reordered.
 
+use crate::chaos::{self, FaultPlane};
 use crate::config::ServeConfig;
 use crate::event::{EventBus, ServeEvent};
 use crate::router::StreamRouter;
@@ -388,6 +389,9 @@ struct ServerInner {
     /// Nanoseconds since `epoch` of the most recent checkpoint spill;
     /// `u64::MAX` until the first spill.
     last_spill_ns: AtomicU64,
+    /// The fault-injection plane every (re)spawned worker inherits —
+    /// `None` outside chaos runs (see `crate::chaos`).
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl ServerInner {
@@ -588,17 +592,36 @@ impl ServerHandle {
     }
 
     /// Starts a server resolving attach specs against a custom registry
-    /// (e.g. one with application-specific detectors registered).
+    /// (e.g. one with application-specific detectors registered). Adopts
+    /// the process-wide `RBM_CHAOS` environment fault plane when one is
+    /// configured ([`chaos::env_plane`]).
     pub fn start_with_registry(config: ServeConfig, registry: Arc<DetectorRegistry>) -> Self {
+        Self::start_with_faults(config, registry, chaos::env_plane().cloned())
+    }
+
+    /// Starts a server with an explicit fault-injection plane (or none,
+    /// overriding the `RBM_CHAOS` environment gate): every shard worker —
+    /// including workers spawned later by resizes and
+    /// [`ServerHandle::revive_shard`] — consults `faults` for its seeded
+    /// kill-shard and hibernate-storm decisions. The chaos suites build
+    /// their servers through this (`ARCHITECTURE.md` §10).
+    pub fn start_with_faults(
+        config: ServeConfig,
+        registry: Arc<DetectorRegistry>,
+        faults: Option<Arc<FaultPlane>>,
+    ) -> Self {
         assert!(config.num_shards >= 1, "a server needs at least one shard");
         assert!(config.queue_capacity >= 1, "ingest queues need capacity");
         let bus = Arc::new(EventBus::new());
         let metrics = Arc::new(MetricsRegistry::new());
+        if let Some(plane) = &faults {
+            plane.bind_metrics(&metrics);
+        }
         let mut shards = Vec::with_capacity(config.num_shards);
         let mut joins = HashMap::with_capacity(config.num_shards);
         for index in 0..config.num_shards {
             let (link, join) =
-                spawn_worker(index, &registry, &bus, &metrics, config.queue_capacity);
+                spawn_worker(index, &registry, &bus, &metrics, config.queue_capacity, &faults);
             shards.push(link);
             joins.insert(index, join);
         }
@@ -614,6 +637,7 @@ impl ServerHandle {
             tracer: Arc::new(Tracer::new(4096)),
             epoch: Instant::now(),
             last_spill_ns: AtomicU64::new(u64::MAX),
+            faults,
         });
         ServerHandle {
             inner,
@@ -884,8 +908,13 @@ impl ServerHandle {
     /// spill of the stream, as `(position, path)`: when the spill position
     /// matches the stream's, the eviction is **clean** — the disk file
     /// becomes the cold handle and no encode happens — and an already-cold
-    /// in-memory handle is demoted to the disk file.
-    pub(crate) fn hibernate_with(
+    /// in-memory handle is demoted to the disk file. The supervisor's
+    /// tier pass drives this; it is public so external harnesses (the
+    /// chaos suites, model-based tests) can drive the full
+    /// `Memory → Disk → rehydrate` lifecycle explicitly. Safe against
+    /// stale spills: the shard adopts the disk file only when its
+    /// position matches the stream's exactly.
+    pub fn hibernate_with(
         &self,
         stream_id: &str,
         spill: Option<(u64, PathBuf)>,
@@ -1054,6 +1083,7 @@ impl ServerHandle {
                 &self.inner.bus,
                 &self.inner.metrics,
                 self.inner.config.queue_capacity,
+                &self.inner.faults,
             );
             new_shards.push(link);
             self.joins.lock().expect("joins lock poisoned").insert(index, join);
@@ -1318,6 +1348,71 @@ impl ServerHandle {
         Ok(report)
     }
 
+    /// Replaces a **dead** (panicked) shard worker with a fresh one on
+    /// the same slot: the dead handle is joined (folding its panic into
+    /// [`ServeReport::panicked_shards`]), a new worker with an empty
+    /// stream map takes over the slot's channel, and the slot's queue
+    /// gauges are re-zeroed (messages enqueued to the dead worker were
+    /// lost with its queue and will never be processed).
+    ///
+    /// The streams the dead worker owned are **not** restored here — the
+    /// caller recovers them explicitly, e.g. via
+    /// [`ServerHandle::restore_stream`] from their latest spills (plus a
+    /// replay of the post-checkpoint tail), or a fresh
+    /// [`ServerHandle::attach`] and a replay from zero. Refuses to touch
+    /// a slot whose worker is still alive.
+    pub fn revive_shard(&self, index: usize) -> Result<(), ServeError> {
+        let _guard = self.control.lock().expect("control lock poisoned");
+        let mut joins = self.joins.lock().expect("joins lock poisoned");
+        let Some(join) = joins.get(&index) else {
+            return Err(ServeError::Resize(format!("no shard slot {index}")));
+        };
+        if !join.is_finished() {
+            return Err(ServeError::Resize(format!("shard {index} is still alive")));
+        }
+        let join = joins.remove(&index).expect("handle checked present above");
+        {
+            let mut retired = self.retired.lock().expect("retired lock poisoned");
+            match join.join() {
+                // A worker that exited cleanly (every sender gone) still
+                // reported; keep its diagnostics like a retired shard's.
+                Ok(report) => {
+                    retired.summaries.extend(report.summaries);
+                    retired.dropped_unknown += report.dropped_unknown;
+                    retired.workspace_reuse_hits += report.workspace_reuse_hits;
+                    retired.workspace_reuse_misses += report.workspace_reuse_misses;
+                }
+                Err(_) => retired.panicked_shards += 1,
+            }
+        }
+        let (link, new_join) = spawn_worker(
+            index,
+            &self.inner.registry,
+            &self.inner.bus,
+            &self.inner.metrics,
+            self.inner.config.queue_capacity,
+            &self.inner.faults,
+        );
+        joins.insert(index, new_join);
+        let mut topology = self.inner.topology.write().expect("topology lock poisoned");
+        if index >= topology.shards.len() {
+            return Err(ServeError::Resize(format!("shard slot {index} left the topology")));
+        }
+        // Re-zero the slot's queue depth under the write lock (no send can
+        // be in flight — `try_send_routed` holds the read lock across
+        // send + gauge): whatever the dead queue still held is marked
+        // processed so `enqueued − processed` reads 0 for the new worker.
+        let gauge = &topology.shards[index].gauge;
+        let lost_messages =
+            gauge.enqueued_messages.get().saturating_sub(gauge.processed_messages.get());
+        let lost_instances =
+            gauge.enqueued_instances.get().saturating_sub(gauge.processed_instances.get());
+        gauge.processed_messages.add(lost_messages);
+        gauge.processed_instances.add(lost_instances);
+        topology.shards[index] = link;
+        Ok(())
+    }
+
     /// Graceful shutdown: each shard processes everything already queued,
     /// finalizes its remaining streams (flushing trailing micro-batches,
     /// publishing their `Detached` events) and exits. Returns the merged
@@ -1385,6 +1480,7 @@ fn spawn_worker(
     bus: &Arc<EventBus>,
     metrics: &Arc<MetricsRegistry>,
     queue_capacity: usize,
+    faults: &Option<Arc<FaultPlane>>,
 ) -> (ShardLink, JoinHandle<ShardReport>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
     // Re-grown slots rebind the *same* registry counters (get-or-register
@@ -1396,6 +1492,7 @@ fn spawn_worker(
         Arc::clone(bus),
         Arc::clone(&gauge),
         Arc::clone(metrics),
+        faults.clone(),
     );
     let join = std::thread::Builder::new()
         .name(format!("rbm-serve-shard-{index}"))

@@ -41,6 +41,7 @@
 //! migration protocol uses, so a hibernated stream is observationally
 //! identical to a hot one — bitwise.
 
+use crate::chaos::FaultPlane;
 use crate::event::{EventBus, ServeEvent, ServeEventKind};
 use crate::server::{HibernateOutcome, ServeError, StreamCheckpoint, StreamSummary};
 use rbm_im::pool::WorkspacePool;
@@ -416,6 +417,15 @@ pub(crate) struct ShardWorker {
     /// metric nobody records (step timing itself is obs-gated). With obs
     /// off, every stream shares this one never-exported sink instead.
     step_sink: Arc<Histogram>,
+    /// The fault-injection plane, when the server runs under chaos
+    /// (`ARCHITECTURE.md` §10): consulted once per ingest message for the
+    /// kill-shard and forced-hibernate sites. `None` costs nothing.
+    faults: Option<Arc<FaultPlane>>,
+    /// Ingest messages this worker incarnation has handled — the
+    /// deterministic per-worker coordinate every fault decision draws on.
+    /// Starts at zero for each (re)spawned worker, so a revived shard
+    /// replays a fresh, reproducible decision sequence.
+    messages_seen: u64,
 }
 
 impl ShardWorker {
@@ -425,6 +435,7 @@ impl ShardWorker {
         bus: Arc<EventBus>,
         gauge: Arc<ShardGauge>,
         metrics: Arc<MetricsRegistry>,
+        faults: Option<Arc<FaultPlane>>,
     ) -> Self {
         let shard = index.to_string();
         let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
@@ -459,6 +470,8 @@ impl ShardWorker {
             hibernations_dirty,
             rehydrate_failures,
             step_sink: Arc::new(Histogram::new()),
+            faults,
+            messages_seen: 0,
         }
     }
 
@@ -705,6 +718,18 @@ impl ShardWorker {
     }
 
     fn ingest(&mut self, id: &Arc<str>, payload: Payload) {
+        self.messages_seen += 1;
+        // Kill-shard fault site: a seeded panic mid-ingest, unwinding the
+        // whole worker (its streams and queue die with it — that is the
+        // point). Recovery is `ServerHandle::revive_shard` plus
+        // restore-from-spill; the chaos suites prove no durable state is
+        // lost across it.
+        if self.faults.as_ref().is_some_and(|f| f.shard_panic(self.index, self.messages_seen)) {
+            panic!(
+                "chaos: injected shard panic (shard {}, message {})",
+                self.index, self.messages_seen
+            );
+        }
         // Parked ids buffer instead of processing — the stream is mid-
         // migration (or expected to arrive); nothing is lost, nothing is
         // reordered.
@@ -760,8 +785,12 @@ impl ShardWorker {
         }
         // Forced tiering (`RBM_HIBERNATE`): evict right back to cold after
         // every message, so the determinism suites thrash the hibernate/
-        // rehydrate cycle as hard as possible.
-        if forced_hibernate() {
+        // rehydrate cycle as hard as possible. The chaos plane's
+        // hibernate-storm site does the same thing at a seeded rate —
+        // tiering is bitwise-invisible, so neither may change a result.
+        let storm =
+            self.faults.as_ref().is_some_and(|f| f.chaos_hibernate(self.index, self.messages_seen));
+        if forced_hibernate() || storm {
             let _ = self.hibernate(id, None);
         }
     }

@@ -91,6 +91,42 @@ impl fmt::Debug for SpillObs {
     }
 }
 
+/// The sink's injectable filesystem seam: every checkpoint **write**,
+/// the atomic **rename** publishing it, and every checkpoint **read**
+/// route through this trait. Production uses the [`OsSpillIo`]
+/// passthrough; the chaos plane substitutes
+/// [`ChaosSpillIo`](crate::chaos::ChaosSpillIo) to inject ENOSPC,
+/// short-write and corrupt-on-read faults deterministically
+/// ([`SnapshotSink::with_io`]). Directory scans and metric/trace appends
+/// stay on the raw filesystem — the fault surface under test is the
+/// checkpoint durability path.
+pub trait SpillIo: Send + Sync + fmt::Debug {
+    /// Writes `bytes` to `path` (creating or truncating it).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Reads the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+}
+
+/// The default [`SpillIo`]: a plain passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsSpillIo;
+
+impl SpillIo for OsSpillIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+}
+
 /// Spill directory for checkpoints and metric history.
 #[derive(Debug)]
 pub struct SnapshotSink {
@@ -98,6 +134,9 @@ pub struct SnapshotSink {
     codec: CheckpointCodec,
     retention: Option<MetricRetention>,
     spill_obs: Option<SpillObs>,
+    /// The filesystem seam checkpoint writes/renames/reads go through
+    /// ([`OsSpillIo`] unless [`SnapshotSink::with_io`] swapped it).
+    io: Arc<dyn SpillIo>,
     /// Persistent encode buffer reused across checkpoint spills: after the
     /// first spill its capacity covers the fleet's largest checkpoint, so
     /// steady-state background spilling stops allocating a fresh output
@@ -114,16 +153,43 @@ impl SnapshotSink {
 
     /// Opens (creating if needed) a sink over `dir` spilling checkpoints
     /// with `codec`. Loading is codec-agnostic either way.
+    ///
+    /// Opening sweeps orphan `*.checkpoint.*.tmp` files out of the
+    /// directory: a process that died between a spill's temp-file write
+    /// and its rename leaves a partially written `.tmp` behind, and while
+    /// the loaders never read those, letting them accumulate turns every
+    /// crash into permanent disk debris. The sweep is safe by
+    /// construction — a `.tmp` is only ever the *incomplete* side of an
+    /// atomic publish, never the authoritative checkpoint.
     pub fn with_codec(dir: impl Into<PathBuf>, codec: CheckpointCodec) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let orphan = path.file_name().and_then(|n| n.to_str()).is_some_and(|name| {
+                name.ends_with(".checkpoint.bin.tmp") || name.ends_with(".checkpoint.json.tmp")
+            });
+            if orphan {
+                let _ = fs::remove_file(&path);
+            }
+        }
         Ok(SnapshotSink {
             dir,
             codec,
             retention: None,
             spill_obs: None,
+            io: Arc::new(OsSpillIo),
             encode_scratch: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Replaces the sink's filesystem seam ([`OsSpillIo`] by default):
+    /// checkpoint writes, their atomic renames, and checkpoint reads all
+    /// route through `io`. The chaos harness injects
+    /// [`ChaosSpillIo`](crate::chaos::ChaosSpillIo) here.
+    pub fn with_io(mut self, io: Arc<dyn SpillIo>) -> Self {
+        self.io = io;
+        self
     }
 
     /// Enables metric-history rotation under `retention`. Without this,
@@ -194,8 +260,8 @@ impl SnapshotSink {
         }
         let write_started = Instant::now();
         let tmp = path.with_extension(format!("{}.tmp", self.codec.extension()));
-        fs::write(&tmp, &*scratch)?;
-        fs::rename(&tmp, &path)?;
+        self.io.write(&tmp, scratch.as_slice())?;
+        self.io.rename(&tmp, &path)?;
         if let Some(obs) = &self.spill_obs {
             obs.write.record(write_started.elapsed().as_nanos() as u64);
         }
@@ -238,7 +304,7 @@ impl SnapshotSink {
             if !is_binary_file && !name.ends_with(".checkpoint.json") {
                 continue;
             }
-            let bytes = fs::read(&path)?;
+            let bytes = self.io.read(&path)?;
             let checkpoint: StreamCheckpoint = codec::decode(&bytes).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
             })?;
@@ -270,7 +336,7 @@ impl SnapshotSink {
             if !path.exists() {
                 continue;
             }
-            let bytes = fs::read(&path)?;
+            let bytes = self.io.read(&path)?;
             let checkpoint: StreamCheckpoint = codec::decode(&bytes).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
             })?;

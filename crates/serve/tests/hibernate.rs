@@ -12,6 +12,7 @@
 //! existing serving/resharding/supervisor test through the thrash path in
 //! CI.)
 
+use proptest::prelude::*;
 use rbm_im_harness::pipeline::{PipelineBuilder, RunConfig, RunResult};
 use rbm_im_harness::registry::{DetectorRegistry, DetectorSpec};
 use rbm_im_obs::{MetricId, MetricsSnapshot};
@@ -577,4 +578,166 @@ fn urgent_spill_same_tick_as_eviction_spills_the_cold_stream() {
 
     let _ = Arc::try_unwrap(server).expect("supervisor stopped").shutdown();
     let _ = fs::remove_dir_all(dir);
+}
+
+/// One step of the model-based lifecycle walk below, decoded from a raw
+/// proptest draw. Ingest is weighted heaviest so most sequences make real
+/// progress through the stream before the tier machinery kicks in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LifecycleOp {
+    /// Ingest the next chunk of instances (rehydrates a cold stream).
+    Ingest,
+    /// Dirty eviction: `hibernate_stream` with no spill to reuse.
+    Hibernate,
+    /// Clean demotion: spill a fresh checkpoint, then `hibernate_with`
+    /// the `(position, path)` pair so the disk file becomes authoritative
+    /// (`Memory → Disk` leg of the lifecycle).
+    DemoteViaSpill,
+    /// Non-destructive checkpoint; must not change the stream's tier.
+    Checkpoint,
+    /// Detach (rehydrating if cold), check the result against a
+    /// sequential prefix run, then restore from a checkpoint and keep
+    /// going.
+    DetachRestore,
+}
+
+impl LifecycleOp {
+    fn decode(raw: usize) -> Self {
+        match raw {
+            0..=3 => LifecycleOp::Ingest,
+            4 => LifecycleOp::Hibernate,
+            5 => LifecycleOp::DemoteViaSpill,
+            6 => LifecycleOp::Checkpoint,
+            _ => LifecycleOp::DetachRestore,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Model-based lifecycle sweep: arbitrary interleavings of
+    /// ingest / dirty-hibernate / spill-demote / checkpoint /
+    /// detach-and-restore against a single-stream server, with a trivial
+    /// shadow model (`cursor` = instances ingested, `cold` = tier). Every
+    /// step pins the server against the model — positions, tier rows,
+    /// hibernate outcomes, prefix results at each detach — and the final
+    /// detach must be bitwise-identical to a sequential pipeline that
+    /// never tiered at all (the `Memory → Disk → rehydrate` legs are all
+    /// exercised whenever the drawn sequence contains them).
+    #[test]
+    fn arbitrary_tier_lifecycle_interleavings_match_the_model(
+        raw_ops in prop::collection::vec(0usize..10, 6..20)
+    ) {
+        if skip_under_forced_hibernation() {
+            return;
+        }
+        const TOTAL: usize = 600;
+        const CHUNK: usize = 60;
+        let feeds = fleet(1, TOTAL);
+        let feed = &feeds[0];
+        let run = run_config();
+        let dir = scratch("proptest-lifecycle");
+        let sink = SnapshotSink::new(&dir).unwrap();
+        let server = ServerHandle::start(ServeConfig { num_shards: 1, run, ..Default::default() });
+        let mut client = server.attach(&feed.id, feed.schema.clone(), &feed.spec).unwrap();
+
+        // The shadow model.
+        let mut cursor = 0usize; // instances the server has accepted
+        let mut cold = false; // current tier (true = ColdMemory or ColdDisk)
+
+        for op in raw_ops.iter().map(|&raw| LifecycleOp::decode(raw)) {
+            match op {
+                LifecycleOp::Ingest => {
+                    if cursor < TOTAL {
+                        let next = (cursor + CHUNK).min(TOTAL);
+                        ingest_all(&client, feed.instances[cursor..next].to_vec());
+                        cursor = next;
+                        cold = false; // ingest rehydrates
+                    }
+                }
+                LifecycleOp::Hibernate => {
+                    server.drain();
+                    match server.hibernate_stream(&feed.id).unwrap() {
+                        HibernateOutcome::Hibernated { position, clean } => {
+                            prop_assert!(!cold, "model said cold, server evicted");
+                            prop_assert_eq!(position, cursor as u64);
+                            prop_assert!(!clean, "no spill offered: eviction must encode");
+                        }
+                        HibernateOutcome::AlreadyCold { position } => {
+                            prop_assert!(cold, "model said hot, server said cold");
+                            prop_assert_eq!(position, cursor as u64);
+                        }
+                        HibernateOutcome::DemotedToDisk { .. } => {
+                            panic!("no spill offered: demotion to disk is impossible")
+                        }
+                    }
+                    cold = true;
+                }
+                LifecycleOp::DemoteViaSpill => {
+                    server.drain();
+                    let checkpoint = server.checkpoint_stream(&feed.id).unwrap();
+                    prop_assert_eq!(
+                        checkpoint.checkpoint.processed().unwrap(),
+                        cursor as u64
+                    );
+                    let path = sink.spill_checkpoint(&checkpoint).unwrap();
+                    server.hibernate_with(&feed.id, Some((cursor as u64, path))).unwrap();
+                    let scan = server.tier_scan();
+                    let row = scan.iter().find(|e| e.id.as_ref() == feed.id).unwrap();
+                    prop_assert_eq!(row.tier, TierKind::ColdDisk);
+                    prop_assert_eq!(row.position, cursor as u64);
+                    cold = true;
+                }
+                LifecycleOp::Checkpoint => {
+                    server.drain();
+                    let checkpoint = server.checkpoint_stream(&feed.id).unwrap();
+                    prop_assert_eq!(
+                        checkpoint.checkpoint.processed().unwrap(),
+                        cursor as u64
+                    );
+                    let scan = server.tier_scan();
+                    let row = scan.iter().find(|e| e.id.as_ref() == feed.id).unwrap();
+                    prop_assert_eq!(
+                        row.tier == TierKind::Hot,
+                        !cold,
+                        "checkpointing must not change the tier"
+                    );
+                }
+                LifecycleOp::DetachRestore => {
+                    if cursor == 0 {
+                        continue;
+                    }
+                    server.drain();
+                    let checkpoint = server.checkpoint_stream(&feed.id).unwrap();
+                    let result = server.detach(&feed.id).unwrap();
+                    let prefix = Feed {
+                        id: feed.id.clone(),
+                        schema: feed.schema.clone(),
+                        instances: feed.instances[..cursor].to_vec(),
+                        spec: feed.spec.clone(),
+                    };
+                    let sequential =
+                        sequential_baseline(&prefix, run, ServeConfig::default().base_seed);
+                    assert_results_match("prefix detach", &result, &sequential);
+                    client = server.restore_stream(&checkpoint).unwrap();
+                    cold = false; // restore re-attaches hot
+                }
+            }
+        }
+
+        // Finish the stream and close the loop against the ground truth.
+        if cursor < TOTAL {
+            ingest_all(&client, feed.instances[cursor..].to_vec());
+        }
+        server.drain();
+        let result = server.detach(&feed.id).unwrap();
+        let sequential = sequential_baseline(feed, run, ServeConfig::default().base_seed);
+        prop_assert_eq!(result.instances, TOTAL as u64);
+        assert_results_match("final detach", &result, &sequential);
+        let report = server.shutdown();
+        prop_assert!(report.streams.is_empty());
+        prop_assert_eq!(report.panicked_shards, 0);
+        let _ = fs::remove_dir_all(dir);
+    }
 }

@@ -169,6 +169,35 @@ fn crash_window_duplicate_spills_dedupe_by_freshest_position() {
 }
 
 #[test]
+fn opening_a_sink_sweeps_orphan_tmp_files() {
+    // A crash (or injected ENOSPC) between the atomic-write protocol's
+    // temp write and its rename leaves a `*.checkpoint.<ext>.tmp` orphan
+    // behind. The next sink opened on the directory must sweep those so
+    // debris never accumulates — while leaving real checkpoints and
+    // unrelated files alone.
+    let dir = scratch("tmp-sweep");
+    let sink = SnapshotSink::with_codec(&dir, CheckpointCodec::Binary).unwrap();
+    let checkpoint = sample_checkpoint("feed-g");
+    sink.spill_checkpoint(&checkpoint).unwrap();
+    fs::write(dir.join("feed-g.checkpoint.bin.tmp"), b"half-written").unwrap();
+    fs::write(dir.join("other.checkpoint.json.tmp"), b"half-written").unwrap();
+    fs::write(dir.join("notes.tmp"), b"not checkpoint debris").unwrap();
+
+    let reopened = SnapshotSink::with_codec(&dir, CheckpointCodec::Binary).unwrap();
+    assert!(!dir.join("feed-g.checkpoint.bin.tmp").exists(), "orphan binary tmp must be swept");
+    assert!(!dir.join("other.checkpoint.json.tmp").exists(), "orphan json tmp must be swept");
+    assert!(dir.join("notes.tmp").exists(), "non-checkpoint tmp files are not ours to delete");
+    assert_eq!(
+        reopened.load_checkpoint("feed-g").unwrap().unwrap(),
+        checkpoint,
+        "the real checkpoint must survive the sweep"
+    );
+    // Loading the full directory sees exactly the one real spill.
+    assert_eq!(reopened.load_checkpoints().unwrap().len(), 1);
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
 fn unwritable_directory_is_a_clean_error() {
     // A *file* where the sink directory should be: create_dir_all fails.
     let parent = scratch("unwritable");
